@@ -1,0 +1,51 @@
+"""E13 — bibliometric analysis throughput at 10k records.
+
+Not a comparison (there is no baseline to beat) but a scaling check: the
+analysis toolkit must stay interactive at corpus sizes well beyond the
+artifact's, since it is the "ad-hoc question" path editors hit repeatedly.
+"""
+
+import pytest
+
+from repro.analysis.coauthors import collaboration_graph, collaboration_stats
+from repro.analysis.productivity import gini_coefficient, productivity
+from repro.analysis.trends import emerging_keywords, top_keywords
+from repro.corpus.synthetic import SyntheticCorpus, SyntheticCorpusConfig
+
+
+@pytest.fixture(scope="module")
+def records():
+    return SyntheticCorpus(SyntheticCorpusConfig(size=10_000, seed=808)).records()
+
+
+def test_productivity_table(benchmark, records):
+    table = benchmark(productivity, records)
+    assert table[0].total >= table[-1].total
+
+
+def test_gini(benchmark, records):
+    counts = [p.total for p in productivity(records)]
+    value = benchmark(gini_coefficient, counts)
+    assert 0.0 <= value <= 1.0
+
+
+def test_collaboration_graph_build(benchmark, records):
+    graph = benchmark(collaboration_graph, records)
+    assert graph.number_of_nodes() > 1_000
+
+
+def test_collaboration_stats(benchmark, records):
+    stats = benchmark(collaboration_stats, records)
+    assert stats.authors > 1_000
+
+
+def test_top_keywords(benchmark, records):
+    top = benchmark(top_keywords, records, k=10)
+    assert len(top) == 10
+
+
+def test_emerging_keywords(benchmark, records):
+    rows = benchmark(
+        lambda: emerging_keywords(records, split_year=1980, k=10)
+    )
+    assert rows

@@ -1,0 +1,64 @@
+"""E2 — index build throughput vs. corpus size, builder vs. naive baseline.
+
+Regenerates the build-throughput table: rows are corpus sizes (1k/5k/20k
+records), columns are the full builder and the naive baseline.  Expected
+shape: the naive baseline wins on raw speed by a small constant factor
+(it skips normalization, dedup, and convention-aware keys) while producing
+a measurably mis-ordered index (scored in E1/E8)."""
+
+import pytest
+
+from repro.baselines.naive import naive_build
+from repro.core.builder import build_index
+
+
+@pytest.mark.parametrize("size", ["1k", "5k", "20k"])
+def test_full_builder(benchmark, size, corpus_1k, corpus_5k, corpus_20k):
+    records = {"1k": corpus_1k, "5k": corpus_5k, "20k": corpus_20k}[size]
+    index = benchmark(build_index, records)
+    assert len(index) >= len(records)
+
+
+@pytest.mark.parametrize("size", ["1k", "5k", "20k"])
+def test_naive_baseline(benchmark, size, corpus_1k, corpus_5k, corpus_20k):
+    records = {"1k": corpus_1k, "5k": corpus_5k, "20k": corpus_20k}[size]
+    index = benchmark(naive_build, records)
+    assert len(index) >= len(records)
+
+
+def test_builder_with_resolution(benchmark, corpus_1k):
+    """Entity resolution enabled: the extra cost of variant clustering."""
+    from repro.core.builder import AuthorIndexBuilder
+
+    def build():
+        return AuthorIndexBuilder(resolve_variants=True).add_records(corpus_1k).build()
+
+    index = benchmark(build)
+    assert len(index) > 0
+
+
+def test_incremental_add_100(benchmark, corpus_5k):
+    """Adding 100 records to a 4.9k-record index incrementally — the
+    per-volume update path.  Compare against ``test_incremental_rebuild``:
+    the incremental indexer should win by a wide margin."""
+    from repro.core.incremental import IncrementalIndexer
+
+    base, delta = corpus_5k[:-100], corpus_5k[-100:]
+    indexer = IncrementalIndexer()
+    indexer.add_all(base)
+
+    def add_then_undo():
+        for record in delta:
+            indexer.add(record)
+        for record in delta:
+            indexer.remove(record.record_id)
+
+    benchmark(add_then_undo)
+    assert indexer.record_count == len(base)
+
+
+def test_incremental_rebuild_baseline(benchmark, corpus_5k):
+    """The rebuild alternative: one full build of all 5k records (what the
+    incremental path avoids paying per update batch)."""
+    index = benchmark(build_index, corpus_5k)
+    assert len(index) >= len(corpus_5k)

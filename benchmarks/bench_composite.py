@@ -1,0 +1,91 @@
+"""E11 — composite indexes vs. single-field index + filter vs. scan.
+
+Regenerates the composite-index table: the workload is the index editor's
+bread-and-butter "this volume, these pages" selection over 10k records.
+Expected shape: composite lookup ≈ hash-probe fast; composite prefix+range
+beats single-field-index-plus-residual (which touches every row of the
+volume) which beats the scan; the margin grows as the residual gets more
+selective."""
+
+import pytest
+
+from repro.corpus.synthetic import SyntheticCorpus, SyntheticCorpusConfig
+from repro.corpus.wvlr import PUBLICATION_SCHEMA
+from repro.query.executor import QueryEngine
+from repro.storage.store import IndexKind, RecordStore
+
+
+def _populated(store: RecordStore) -> RecordStore:
+    records = SyntheticCorpus(SyntheticCorpusConfig(size=10_000, seed=606)).records()
+    with store.transaction() as txn:
+        for record in records:
+            txn.insert(record.to_store_dict())
+    return store
+
+
+@pytest.fixture(scope="module")
+def composite_engine():
+    store = _populated(RecordStore(PUBLICATION_SCHEMA))
+    store.create_composite_index(("volume", "page"))
+    return QueryEngine(store)
+
+
+@pytest.fixture(scope="module")
+def single_engine():
+    store = _populated(RecordStore(PUBLICATION_SCHEMA))
+    store.create_index("volume", IndexKind.HASH)
+    return QueryEngine(store)
+
+
+@pytest.fixture(scope="module")
+def scan_engine():
+    return QueryEngine(_populated(RecordStore(PUBLICATION_SCHEMA)))
+
+
+POINT = "volume = 80 AND page = 100"
+RANGE = "volume = 80 AND page >= 100 AND page < 400"
+
+
+def test_point_composite(benchmark, composite_engine):
+    assert composite_engine.explain(POINT).startswith("COMPOSITE LOOKUP")
+    benchmark(composite_engine.execute, POINT)
+
+
+def test_point_single_index_residual(benchmark, single_engine):
+    assert single_engine.explain(POINT).startswith("INDEX LOOKUP")
+    benchmark(single_engine.execute, POINT)
+
+
+def test_point_scan(benchmark, scan_engine):
+    benchmark(scan_engine.execute_without_indexes, POINT)
+
+
+def test_range_composite(benchmark, composite_engine):
+    assert composite_engine.explain(RANGE).startswith("COMPOSITE RANGE")
+    rows = benchmark(composite_engine.execute, RANGE)
+    assert rows
+
+
+def test_range_single_index_residual(benchmark, single_engine):
+    rows = benchmark(single_engine.execute, RANGE)
+    assert rows
+
+
+def test_range_scan(benchmark, scan_engine):
+    rows = benchmark(scan_engine.execute_without_indexes, RANGE)
+    assert rows
+
+
+def test_results_agree(benchmark, composite_engine, single_engine, scan_engine):
+    """All three access paths must return identical rows (timed as the
+    cost of the full three-way verification)."""
+
+    def verify():
+        for query in (POINT, RANGE):
+            a = sorted(r["id"] for r in composite_engine.execute(query))
+            b = sorted(r["id"] for r in single_engine.execute(query))
+            c = sorted(r["id"] for r in scan_engine.execute_without_indexes(query))
+            assert a == b == c
+        return True
+
+    assert benchmark(verify)

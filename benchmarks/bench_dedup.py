@@ -1,0 +1,47 @@
+"""E5 — entity-resolution scaling and quality vs. planted noise.
+
+Regenerates the resolution table: rows are noise rates (corruptions per 100
+characters), measuring runtime at fixed input size plus pairwise
+precision/recall against planted ground truth (printed via benchmark
+extra_info).  Expected shape: runtime is flat in noise (blocking dominates),
+precision stays ~1.0, recall falls as damage exceeds the conservative
+merge threshold."""
+
+import pytest
+
+from repro.corpus.synthetic import SyntheticCorpus, SyntheticCorpusConfig
+from repro.names.resolution import NameResolver
+
+NOISE_RATES = [0.5, 2.0, 4.0, 8.0]
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return SyntheticCorpus(SyntheticCorpusConfig(size=2_000, seed=505, author_pool=400))
+
+
+@pytest.mark.parametrize("noise", NOISE_RATES)
+def test_resolution_quality_vs_noise(benchmark, corpus, noise):
+    names, truth = corpus.noisy_variants(noise_rate=noise)
+    resolver = NameResolver()
+
+    report = benchmark(resolver.resolve, names)
+
+    precision, recall = report.score_against(truth)
+    benchmark.extra_info["precision"] = round(precision, 4)
+    benchmark.extra_info["recall"] = round(recall, 4)
+    benchmark.extra_info["variants"] = len(names)
+    benchmark.extra_info["clusters"] = len(report.clusters)
+    assert precision >= 0.95
+
+
+@pytest.mark.parametrize("pool", [100, 400, 1600])
+def test_resolution_scaling_with_pool_size(benchmark, pool):
+    """Runtime scaling in the number of distinct authors (blocking should
+    keep it near-linear rather than quadratic)."""
+    corpus = SyntheticCorpus(SyntheticCorpusConfig(size=10, seed=506, author_pool=pool))
+    names, _ = corpus.noisy_variants(noise_rate=2.0)
+    resolver = NameResolver()
+    report = benchmark(resolver.resolve, names)
+    benchmark.extra_info["pairs_scored"] = report.pairs_scored
+    assert report.input_count == len(names)

@@ -1,0 +1,64 @@
+"""E4 — index-structure crossover: B-tree vs. hash vs. scan by selectivity.
+
+Regenerates the crossover figure: x-axis is result selectivity (fraction of
+the 10k-record table matched), series are hash probe (point only), B-tree
+range scan, and full scan.  Expected shape: hash wins point lookups;
+B-tree wins ranges at low selectivity; the scan overtakes the B-tree once
+selectivity approaches tens of percent (each indexed hit pays pointer
+chasing + record copy that the sequential scan amortizes)."""
+
+import pytest
+
+from repro.corpus.synthetic import SyntheticCorpus, SyntheticCorpusConfig
+from repro.corpus.wvlr import PUBLICATION_SCHEMA
+from repro.storage.store import IndexKind, RecordStore
+
+#: selectivity targets as (label, year-range width out of 27 volumes)
+SELECTIVITIES = [("2pct", 1), ("7pct", 2), ("15pct", 4), ("30pct", 8), ("60pct", 16)]
+
+
+@pytest.fixture(scope="module")
+def stores():
+    records = SyntheticCorpus(SyntheticCorpusConfig(size=10_000, seed=404)).records()
+    btree = RecordStore(PUBLICATION_SCHEMA)
+    hash_store = RecordStore(PUBLICATION_SCHEMA)
+    plain = RecordStore(PUBLICATION_SCHEMA)
+    for store in (btree, hash_store, plain):
+        with store.transaction() as txn:
+            for record in records:
+                txn.insert(record.to_store_dict())
+    btree.create_index("year", IndexKind.BTREE)
+    hash_store.create_index("year", IndexKind.HASH)
+    return btree, hash_store, plain
+
+
+def test_point_lookup_hash(benchmark, stores):
+    _, hash_store, _ = stores
+    rows = benchmark(hash_store.find_by, "year", 1980)
+    assert rows
+
+
+def test_point_lookup_btree(benchmark, stores):
+    btree, _, _ = stores
+    rows = benchmark(btree.find_by, "year", 1980)
+    assert rows
+
+
+def test_point_lookup_scan(benchmark, stores):
+    _, _, plain = stores
+    rows = benchmark(plain.find_by, "year", 1980)
+    assert rows
+
+
+@pytest.mark.parametrize("label,width", SELECTIVITIES)
+def test_range_btree(benchmark, stores, label, width):
+    btree, _, _ = stores
+    rows = benchmark(btree.range_by, "year", 1970, 1970 + width)
+    assert rows
+
+
+@pytest.mark.parametrize("label,width", SELECTIVITIES)
+def test_range_scan(benchmark, stores, label, width):
+    _, _, plain = stores
+    rows = benchmark(plain.range_by, "year", 1970, 1970 + width)
+    assert rows

@@ -1,0 +1,68 @@
+"""E3 — query latency: indexed execution vs. forced full scan at 10k records.
+
+Regenerates the query-latency table: point lookups, range scans, and
+conjunctive queries, each executed through the planner (which picks the
+index) and through the scan-only path.  Expected shape: indexed point
+lookups beat scans by orders of magnitude; ranges win proportionally to
+selectivity; the gap closes as the residual filter dominates."""
+
+import pytest
+
+from repro.corpus.synthetic import SyntheticCorpus, SyntheticCorpusConfig
+from repro.corpus.wvlr import PUBLICATION_SCHEMA
+from repro.query.executor import QueryEngine
+from repro.storage.store import IndexKind, RecordStore
+
+QUERIES = {
+    "point-surname": 'surnames:"McAteer"',
+    "point-volume": "volume = 80",
+    "range-year-narrow": "year >= 1990 AND year <= 1991",
+    "range-year-wide": "year >= 1975",
+    "conjunctive": 'surnames:"Johnson" AND year >= 1980 AND student = false',
+    "order-limit": "year >= 1985 ORDER BY page LIMIT 10",
+}
+
+
+@pytest.fixture(scope="module")
+def engine():
+    records = SyntheticCorpus(SyntheticCorpusConfig(size=10_000, seed=303)).records()
+    store = RecordStore(PUBLICATION_SCHEMA)
+    with store.transaction() as txn:
+        for record in records:
+            txn.insert(record.to_store_dict())
+    store.create_index("surnames", IndexKind.HASH)
+    store.create_index("year", IndexKind.BTREE)
+    store.create_index("volume", IndexKind.BTREE)
+    return QueryEngine(store)
+
+
+@pytest.mark.parametrize("name", list(QUERIES))
+def test_indexed(benchmark, engine, name):
+    query = QUERIES[name]
+    rows = benchmark(engine.execute, query)
+    assert rows == engine.execute_without_indexes(query) or len(rows) == len(
+        engine.execute_without_indexes(query)
+    )
+
+
+@pytest.mark.parametrize("name", list(QUERIES))
+def test_forced_scan(benchmark, engine, name):
+    query = QUERIES[name]
+    benchmark(engine.execute_without_indexes, query)
+
+
+AGGREGATES = {
+    "group-volume": "* GROUP BY volume",
+    "group-filtered": "year >= 1985 GROUP BY volume ORDER BY count DESC",
+    "group-list-field": "* GROUP BY surnames ORDER BY count DESC LIMIT 20",
+}
+
+
+@pytest.mark.parametrize("name", list(AGGREGATES))
+def test_aggregate(benchmark, engine, name):
+    rows = benchmark(engine.execute, AGGREGATES[name])
+    assert rows
+
+
+def test_count(benchmark, engine):
+    assert benchmark(engine.count, "year >= 1985") > 0

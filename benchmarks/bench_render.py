@@ -1,0 +1,57 @@
+"""E6 — render throughput per format over a 5k-record index.
+
+Regenerates the renderer table: one row per output format.  Expected shape:
+JSON fastest (no layout work), markdown/HTML close behind (string escaping),
+LaTeX similar, paginated text slowest (per-row wrapping + page furniture)."""
+
+import pytest
+
+from repro.core.builder import build_index
+from repro.core.pagination import PageLayout, paginate
+
+
+@pytest.fixture(scope="module")
+def index(corpus_5k):
+    return build_index(corpus_5k)
+
+
+@pytest.mark.parametrize("fmt", ["json", "markdown", "html", "latex"])
+def test_render_format(benchmark, index, fmt):
+    output = benchmark(index.render, fmt)
+    assert len(output) > 10_000
+
+
+def test_render_text_paginated(benchmark, index):
+    output = benchmark(index.render, "text")
+    assert "AUTHOR INDEX" in output
+
+
+def test_render_text_continuous(benchmark, index):
+    output = benchmark(lambda: index.render("text", paginated=False))
+    assert len(output) > 10_000
+
+
+def test_paginate_only(benchmark, index):
+    pages = benchmark(paginate, index, PageLayout())
+    assert len(pages) > 100
+
+
+def test_build_title_index(benchmark, corpus_5k):
+    from repro.core.titleindex import build_title_index
+
+    title_index = benchmark(build_title_index, corpus_5k)
+    assert len(title_index) > 4_000
+
+
+def test_build_kwic_index(benchmark, corpus_5k):
+    from repro.core.kwic import build_kwic_index
+
+    kwic = benchmark(build_kwic_index, corpus_5k, min_group_size=2)
+    assert len(kwic.keywords()) > 20
+
+
+def test_build_toc(benchmark, corpus_5k):
+    from repro.core.toc import build_toc
+
+    toc = benchmark(build_toc, corpus_5k)
+    assert len(toc) == 27

@@ -1,0 +1,70 @@
+"""E12 — full-text title search vs. LIKE-pattern scanning.
+
+The workload: find titles mentioning given words in a 10k-record corpus.
+Expected shape: inverted-index retrieval wins by orders of magnitude over
+`LIKE "%word%"` scans (which must regex every title), and the one-time
+index build amortizes after a handful of queries."""
+
+import pytest
+
+from repro.corpus.synthetic import SyntheticCorpus, SyntheticCorpusConfig
+from repro.corpus.wvlr import PUBLICATION_SCHEMA
+from repro.query.executor import QueryEngine
+from repro.search.engine import TitleSearchEngine
+from repro.storage.store import RecordStore
+
+
+@pytest.fixture(scope="module")
+def records():
+    return SyntheticCorpus(SyntheticCorpusConfig(size=10_000, seed=707)).records()
+
+
+@pytest.fixture(scope="module")
+def search_engine(records):
+    return TitleSearchEngine(records)
+
+
+@pytest.fixture(scope="module")
+def like_engine(records):
+    store = RecordStore(PUBLICATION_SCHEMA)
+    with store.transaction() as txn:
+        for record in records:
+            txn.insert(record.to_store_dict())
+    return QueryEngine(store)
+
+
+def test_build_search_index(benchmark, records):
+    engine = benchmark(TitleSearchEngine, records)
+    assert len(engine) == 10_000
+
+
+def test_single_term_inverted(benchmark, search_engine):
+    hits = benchmark(search_engine.search, "mining")
+    assert hits
+
+
+def test_single_term_like_scan(benchmark, like_engine):
+    rows = benchmark(like_engine.execute, 'title LIKE "%Mining%"')
+    assert rows
+
+
+def test_two_term_and_inverted(benchmark, search_engine):
+    hits = benchmark(search_engine.search, "coal arbitration")
+    assert isinstance(hits, list)
+
+
+def test_two_term_and_like_scan(benchmark, like_engine):
+    rows = benchmark(
+        like_engine.execute, 'title LIKE "%Coal%" AND title LIKE "%Arbitration%"'
+    )
+    assert isinstance(rows, list)
+
+
+def test_phrase_inverted(benchmark, search_engine):
+    hits = benchmark(search_engine.search, '"surface mining"')
+    assert isinstance(hits, list)
+
+
+def test_ranked_top10(benchmark, search_engine):
+    hits = benchmark(lambda: search_engine.search("coal mining reclamation", k=10))
+    assert len(hits) <= 10

@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark suites (E1–E8).
+
+Corpora are generated once per session from fixed seeds so every benchmark
+run measures the same workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.synthetic import SyntheticCorpus, SyntheticCorpusConfig
+from repro.corpus.wvlr import load_reference_records
+
+
+@pytest.fixture(scope="session")
+def reference_records():
+    return load_reference_records()
+
+
+@pytest.fixture(scope="session")
+def corpus_1k():
+    return list(SyntheticCorpus(SyntheticCorpusConfig(size=1_000, seed=101)).records())
+
+
+@pytest.fixture(scope="session")
+def corpus_5k():
+    return list(SyntheticCorpus(SyntheticCorpusConfig(size=5_000, seed=102)).records())
+
+
+@pytest.fixture(scope="session")
+def corpus_20k():
+    return list(SyntheticCorpus(SyntheticCorpusConfig(size=20_000, seed=103)).records())

@@ -1,0 +1,71 @@
+"""Bibliometrics over the artifact's corpus: who wrote, with whom, about what.
+
+Runs the :mod:`repro.analysis` toolkit over the reference corpus and prints
+the journal's shape: productivity concentration, the collaboration graph,
+and topic trends across the 1966–1993 span the index covers.
+
+Run with::
+
+    python examples/bibliometrics.py
+"""
+
+from repro.analysis import (
+    collaboration_stats,
+    emerging_keywords,
+    gini_coefficient,
+    head_share,
+    keyword_trend,
+    productivity,
+    top_keywords,
+)
+from repro.corpus import load_reference_records
+
+BOILERPLATE = {"west", "virginia", "law", "review", "act", "new"}
+
+
+def main() -> None:
+    records = load_reference_records()
+    years = [r.citation.year for r in records]
+    print(f"{len(records)} records, {min(years)}-{max(years)}\n")
+
+    # 1. Productivity: the heavy tail.
+    table = productivity(records)
+    counts = [p.total for p in table]
+    print("== productivity ==")
+    for p in table[:8]:
+        print(f"  {p.total:2d} pieces  {p.author.inverted():28s} "
+              f"({p.first_year}-{p.last_year})")
+    print(f"  authors: {len(table)}; Gini: {gini_coefficient(counts):.3f}; "
+          f"top-10 share: {head_share(counts, 10):.1%}\n")
+
+    # 2. Collaboration.
+    stats = collaboration_stats(records)
+    print("== collaboration ==")
+    print(f"  {stats.authors} authors, {stats.collaborations} collaborating pairs, "
+          f"{stats.solo_authors} solo")
+    print(f"  {stats.components} collaboration clusters, "
+          f"largest has {stats.largest_component} authors")
+    if stats.most_collaborative:
+        label, degree = stats.most_collaborative
+        print(f"  most collaborative: {label} ({degree} distinct co-authors)")
+    if stats.strongest_pair:
+        a, b, weight = stats.strongest_pair
+        print(f"  strongest pair: {a} + {b} ({weight} joint pieces)\n")
+
+    # 3. Topics.
+    print("== topics ==")
+    print("  all-time top keywords:",
+          ", ".join(f"{w}({c})" for w, c in top_keywords(records, k=8, stopwords=BOILERPLATE)))
+    coal = keyword_trend(records, "coal")
+    eighties = coal.in_span(1980, 1989)
+    print(f"  'coal' appears in {coal.total} titles "
+          f"({eighties} of them in the 1980s)")
+    print("  emerging after 1985:")
+    for word, early, late in emerging_keywords(
+        records, split_year=1985, k=6, stopwords=BOILERPLATE
+    ):
+        print(f"    {word:16s} {early:2d} -> {late:2d}")
+
+
+if __name__ == "__main__":
+    main()

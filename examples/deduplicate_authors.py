@@ -1,0 +1,63 @@
+"""Entity resolution over OCR-noisy author names (the E5 scenario).
+
+The scanned artifact spells several authors two ways — *Herdon/Hemdon*,
+*Johnson/Johson*, *Curnutte/Cumutte*, *Crittenden/Crittendon* — so a naive
+index prints duplicate headings.  This example shows both halves of the fix:
+
+1. resolve the reference corpus's real OCR variants into single headings;
+2. measure precision/recall on a synthetic corpus with planted noise.
+
+Run with::
+
+    python examples/deduplicate_authors.py
+"""
+
+from repro.core.builder import AuthorIndexBuilder
+from repro.corpus import load_reference_records
+from repro.corpus.synthetic import SyntheticCorpus, SyntheticCorpusConfig
+from repro.names import NameResolver
+
+
+def resolve_reference_corpus() -> None:
+    records = load_reference_records()
+
+    plain = AuthorIndexBuilder().add_records(records).build()
+    resolved = (
+        AuthorIndexBuilder(resolve_variants=True).add_records(records).build()
+    )
+
+    plain_headings = {g.heading for g in plain.groups()}
+    resolved_headings = {g.heading for g in resolved.groups()}
+    merged = sorted(plain_headings - resolved_headings)
+
+    print("== reference corpus (real OCR noise) ==")
+    print(f"headings without resolution: {len(plain.groups())}")
+    print(f"headings with resolution:    {len(resolved.groups())}")
+    print("variant spellings absorbed into canonical headings:")
+    for heading in merged:
+        print(f"  - {heading}")
+    print()
+
+
+def score_synthetic_noise() -> None:
+    print("== synthetic corpus (planted noise, known truth) ==")
+    corpus = SyntheticCorpus(SyntheticCorpusConfig(size=300, seed=11, author_pool=60))
+    for noise_rate in (1.0, 3.0, 6.0):
+        names, truth = corpus.noisy_variants(noise_rate=noise_rate)
+        report = NameResolver(threshold=0.90).resolve(names)
+        precision, recall = report.score_against(truth)
+        print(
+            f"noise={noise_rate:>4.1f}/100 chars  "
+            f"variants={len(names):4d}  clusters={len(report.clusters):4d}  "
+            f"precision={precision:.3f}  recall={recall:.3f}"
+        )
+    print()
+    print("Higher noise leaves more variants unmerged (recall drops) while")
+    print("precision stays near 1.0 — the resolver is tuned conservative, the")
+    print("right trade-off for an index where a wrong merge is worse than a")
+    print("duplicate heading.")
+
+
+if __name__ == "__main__":
+    resolve_reference_corpus()
+    score_synthetic_noise()

@@ -1,0 +1,86 @@
+"""Produce the complete front-matter bundle of a cumulative-index issue.
+
+The artifact is one of several indexes its issue carries; this example
+regenerates the whole bundle from the reference corpus:
+
+1. the per-volume table of contents,
+2. the author index (the paper itself),
+3. the title index,
+4. a KWIC subject index,
+
+plus a BibTeX export of the underlying records — everything a law-review
+editor ships to the printer, from one database.
+
+Run with::
+
+    python examples/front_matter_bundle.py [output-dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.core import build_index, build_kwic_index, build_title_index, build_toc
+from repro.core.pagination import PageLayout
+from repro.corpus import load_reference_records
+from repro.corpus.wvlr import load_reference_metadata, load_reference_reporter
+from repro.export import format_bibtex
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("front_matter")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    records = load_reference_records()
+    meta = load_reference_metadata()
+    reporter = load_reference_reporter()
+    print(f"{len(records)} records from {reporter.name}")
+
+    # 1. Table of contents (volume by volume, page order).
+    toc = build_toc(records)
+    (out_dir / "contents.txt").write_text(toc.render_text(), encoding="utf-8")
+    print(f"contents.txt       {len(toc)} volumes")
+
+    # 2. Author index — the artifact, with its page furniture.
+    author_index = build_index(records)
+    layout = PageLayout(
+        first_page=meta["first_page"], volume=meta["volume"], year=meta["year"]
+    )
+    (out_dir / "author_index.txt").write_text(
+        author_index.render("text", layout=layout), encoding="utf-8"
+    )
+    (out_dir / "author_index.html").write_text(
+        author_index.render("html", title="Author Index"), encoding="utf-8"
+    )
+    print(f"author_index.*     {len(author_index)} rows, "
+          f"{len(author_index.groups())} headings")
+
+    # 3. Title index (leading articles skipped in filing).
+    title_index = build_title_index(records)
+    (out_dir / "title_index.txt").write_text(
+        title_index.render_text(), encoding="utf-8"
+    )
+    print(f"title_index.txt    {len(title_index)} titles, "
+          f"letters {''.join(title_index.letters())}")
+
+    # 4. KWIC subject index; suppress this corpus's boilerplate words.
+    kwic = build_kwic_index(
+        records,
+        min_group_size=2,
+        extra_stopwords={"west", "virginia", "law", "act", "review"},
+    )
+    (out_dir / "subject_index.txt").write_text(kwic.render_text(), encoding="utf-8")
+    top = sorted(kwic.groups, key=lambda g: -len(g.entries))[:5]
+    print(f"subject_index.txt  {len(kwic.keywords())} headings; busiest: "
+          + ", ".join(f"{g.heading}({len(g.entries)})" for g in top))
+
+    # 5. BibTeX export of the records themselves.
+    (out_dir / "corpus.bib").write_text(
+        format_bibtex(records, journal=reporter.abbreviation), encoding="utf-8"
+    )
+    print("corpus.bib         BibTeX export")
+
+    print(f"\nbundle written to {out_dir}/")
+
+
+if __name__ == "__main__":
+    main()

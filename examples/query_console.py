@@ -1,0 +1,69 @@
+"""A small query console over the reference corpus.
+
+Demonstrates the embedded store + query engine on the paper's own data:
+loads the corpus, declares indexes, then either runs the queries given on
+the command line or drops into an interactive loop.
+
+Run with::
+
+    python examples/query_console.py 'surnames:"McAteer"' 'year >= 1990 LIMIT 5'
+    python examples/query_console.py            # interactive
+"""
+
+import sys
+
+from repro.corpus import PUBLICATION_SCHEMA, populate_store
+from repro.errors import ReproError
+from repro.query import QueryEngine
+from repro.storage import IndexKind, RecordStore
+
+
+def make_engine() -> QueryEngine:
+    store = RecordStore(PUBLICATION_SCHEMA)
+    count = populate_store(store)
+    store.create_index("surnames", IndexKind.HASH)
+    store.create_index("year", IndexKind.BTREE)
+    store.create_index("volume", IndexKind.BTREE)
+    store.create_index("student", IndexKind.HASH)
+    print(f"{count} records loaded; indexes on surnames/year/volume/student")
+    return QueryEngine(store)
+
+
+def run(engine: QueryEngine, query: str) -> None:
+    try:
+        plan = engine.explain(query)
+        rows = engine.execute(query)
+    except ReproError as exc:
+        print(f"  error: {exc}")
+        return
+    print("  plan: " + " | ".join(plan.splitlines()))
+    for row in rows[:20]:
+        authors = "; ".join(row["authors"])
+        print(f"  {authors:45.45s} {row['title']:60.60s} "
+              f"{row['volume']}:{row['page']} ({row['year']})")
+    if len(rows) > 20:
+        print(f"  ... and {len(rows) - 20} more")
+    print(f"  ({len(rows)} rows)")
+
+
+def main() -> None:
+    engine = make_engine()
+    queries = sys.argv[1:]
+    if queries:
+        for query in queries:
+            print(f"\n> {query}")
+            run(engine, query)
+        return
+    print("enter queries (blank line to quit), e.g. student = true AND year >= 1990")
+    while True:
+        try:
+            line = input("> ").strip()
+        except EOFError:
+            break
+        if not line:
+            break
+        run(engine, line)
+
+
+if __name__ == "__main__":
+    main()

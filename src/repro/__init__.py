@@ -1,0 +1,72 @@
+"""repro — a bibliographic author-index engine.
+
+Reproduction of the front-matter artifact *Author Index* as a system: the
+library a publisher would run to produce a printed author index from a
+database of publication records.
+
+Quickstart::
+
+    from repro import PublicationRecord, build_index
+
+    records = [
+        PublicationRecord.create(
+            1, "Habeas Corpus in West Virginia",
+            ["Fox, Fred L., II*"], "69:293 (1967)"),
+    ]
+    index = build_index(records)
+    print(index.render("text", paginated=False))
+
+Subpackages
+-----------
+core
+    The index pipeline: builder, collation, pagination, renderers.
+names / citation / textproc
+    Parsing substrates for names, citations, and scanned text.
+storage / query
+    The embedded record store and its query engine.
+corpus
+    Reference data (the artifact itself), raw-text ingest, and the
+    synthetic corpus generator.
+baselines
+    Naive comparison implementations used by the benchmarks.
+"""
+
+from repro.citation import Citation, parse_citation
+from repro.core import (
+    AuthorIndex,
+    AuthorIndexBuilder,
+    CollationOptions,
+    IndexEntry,
+    PublicationRecord,
+    build_index,
+)
+from repro.errors import ReproError
+from repro.names import PersonName, parse_name
+from repro.query import QueryEngine, parse_query
+from repro.repository import PublicationRepository
+from repro.storage import Field, FieldType, IndexKind, RecordStore, Schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Citation",
+    "parse_citation",
+    "AuthorIndex",
+    "AuthorIndexBuilder",
+    "CollationOptions",
+    "IndexEntry",
+    "PublicationRecord",
+    "build_index",
+    "ReproError",
+    "PersonName",
+    "parse_name",
+    "QueryEngine",
+    "parse_query",
+    "PublicationRepository",
+    "Field",
+    "FieldType",
+    "IndexKind",
+    "RecordStore",
+    "Schema",
+    "__version__",
+]

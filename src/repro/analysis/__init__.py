@@ -1,0 +1,35 @@
+"""Bibliometric analysis over publication corpora.
+
+The database exists to be asked questions; this package answers the ones
+an editor or historian of a journal actually asks:
+
+* :mod:`productivity` — who writes how much; concentration measures.
+* :mod:`coauthors` — the collaboration graph (networkx) and its shape.
+* :mod:`trends` — what the journal writes about, by period.
+
+Everything operates on plain ``PublicationRecord`` sequences, so the
+input can come from the repository, the corpus loaders, or ingest.
+"""
+
+from repro.analysis.productivity import (
+    AuthorProductivity,
+    gini_coefficient,
+    head_share,
+    productivity,
+)
+from repro.analysis.coauthors import CollaborationStats, collaboration_graph, collaboration_stats
+from repro.analysis.trends import KeywordTrend, emerging_keywords, keyword_trend, top_keywords
+
+__all__ = [
+    "AuthorProductivity",
+    "productivity",
+    "gini_coefficient",
+    "head_share",
+    "CollaborationStats",
+    "collaboration_graph",
+    "collaboration_stats",
+    "KeywordTrend",
+    "keyword_trend",
+    "top_keywords",
+    "emerging_keywords",
+]

@@ -1,0 +1,109 @@
+"""Topic trends: what the journal writes about, by period.
+
+Keywords come from the same significant-word extraction the KWIC subject
+index uses (:func:`repro.core.kwic.significant_words`), so the trend
+numbers and the printed subject index agree on vocabulary.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.entry import PublicationRecord
+from repro.core.kwic import significant_words
+
+
+@dataclass(frozen=True, slots=True)
+class KeywordTrend:
+    """Occurrences of one keyword per year."""
+
+    keyword: str
+    by_year: Mapping[int, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.by_year.values())
+
+    def in_span(self, first: int, last: int) -> int:
+        """Occurrences within ``[first, last]``."""
+        return sum(
+            count for year, count in self.by_year.items() if first <= year <= last
+        )
+
+
+def keyword_trend(
+    records: Iterable[PublicationRecord], keyword: str
+) -> KeywordTrend:
+    """Yearly occurrence counts of ``keyword`` in titles.
+
+    >>> recs = [PublicationRecord.create(1, "The Law of Coal", ["A, B."], "74:283 (1972)"),
+    ...         PublicationRecord.create(2, "Coal and Energy", ["C, D."], "76:257 (1974)")]
+    >>> keyword_trend(recs, "coal").by_year
+    {1972: 1, 1974: 1}
+    """
+    wanted = keyword.casefold()
+    by_year: Counter[int] = Counter()
+    for record in records:
+        if wanted in significant_words(record.title):
+            by_year[record.citation.year] += 1
+    return KeywordTrend(keyword=wanted, by_year=dict(sorted(by_year.items())))
+
+
+def top_keywords(
+    records: Sequence[PublicationRecord],
+    *,
+    first: int | None = None,
+    last: int | None = None,
+    k: int = 10,
+    stopwords: Iterable[str] = (),
+) -> list[tuple[str, int]]:
+    """The ``k`` most frequent title keywords in ``[first, last]``.
+
+    Ties break alphabetically for determinism.
+    """
+    suppress = {w.casefold() for w in stopwords}
+    counts: Counter[str] = Counter()
+    for record in records:
+        year = record.citation.year
+        if first is not None and year < first:
+            continue
+        if last is not None and year > last:
+            continue
+        for word in significant_words(record.title):
+            if word not in suppress:
+                counts[word] += 1
+    ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ranked[:k]
+
+
+def emerging_keywords(
+    records: Sequence[PublicationRecord],
+    *,
+    split_year: int,
+    k: int = 10,
+    min_late_count: int = 3,
+    stopwords: Iterable[str] = (),
+) -> list[tuple[str, int, int]]:
+    """Keywords that grew the most after ``split_year``.
+
+    Returns ``(keyword, early_count, late_count)`` sorted by growth
+    (late − early), keeping only keywords with at least
+    ``min_late_count`` late occurrences.
+    """
+    suppress = {w.casefold() for w in stopwords}
+    early: Counter[str] = Counter()
+    late: Counter[str] = Counter()
+    for record in records:
+        bucket = late if record.citation.year > split_year else early
+        for word in significant_words(record.title):
+            if word not in suppress:
+                bucket[word] += 1
+    rows = [
+        (word, early.get(word, 0), count)
+        for word, count in late.items()
+        if count >= min_late_count
+    ]
+    rows.sort(key=lambda row: (-(row[2] - row[1]), row[0]))
+    return rows[:k]

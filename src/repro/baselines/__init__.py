@@ -1,0 +1,5 @@
+"""Baseline implementations the benchmarks compare against."""
+
+from repro.baselines.naive import NaiveIndexBuilder, naive_build
+
+__all__ = ["NaiveIndexBuilder", "naive_build"]

@@ -1,0 +1,45 @@
+"""The naive baseline: raw string sort, no conventions, no dedup.
+
+This is what a quick script would do with the same records: explode per
+author and ``sort()`` on the raw inverted name.  It is measurably faster
+(less key construction) and measurably *wrong* on the artifact's edge
+cases — ``O'Brien``/``Oakes`` ordering, honorific placement, suffix order,
+duplicate co-author rows — which E2/E8 quantify via
+:func:`repro.core.diffing.diff_indexes`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.builder import AuthorIndex
+from repro.core.collation import DEFAULT_OPTIONS, naive_key
+from repro.core.entry import IndexEntry, PublicationRecord, explode
+
+
+class NaiveIndexBuilder:
+    """Drop-in-shaped counterpart of :class:`AuthorIndexBuilder`."""
+
+    def __init__(self) -> None:
+        self._records: list[PublicationRecord] = []
+
+    def add_record(self, record: PublicationRecord) -> "NaiveIndexBuilder":
+        self._records.append(record)
+        return self
+
+    def add_records(self, records: Iterable[PublicationRecord]) -> "NaiveIndexBuilder":
+        self._records.extend(records)
+        return self
+
+    def build(self) -> AuthorIndex:
+        """Explode and raw-sort; no normalization, resolution, or dedup."""
+        entries: list[IndexEntry] = [
+            entry for record in self._records for entry in explode(record)
+        ]
+        entries.sort(key=naive_key)
+        return AuthorIndex(entries, DEFAULT_OPTIONS)
+
+
+def naive_build(records: Iterable[PublicationRecord]) -> AuthorIndex:
+    """One-call convenience mirroring :func:`repro.core.builder.build_index`."""
+    return NaiveIndexBuilder().add_records(records).build()

@@ -1,0 +1,29 @@
+"""Citation handling: the ``volume:page (year)`` references of the artifact.
+
+Each index row in the paper cites its article as ``95:691 (1993)`` in a
+column headed by the reporter abbreviation (``W. VA. L. REV.``).  This
+package models that citation form, parses both the columnar and the
+Bluebook-style spellings, formats them back, and validates corpus-level
+consistency (volume/year monotonicity).
+"""
+
+from repro.citation.model import Citation, Reporter, WVLR
+from repro.citation.parser import parse_citation, try_parse_citation
+from repro.citation.reporters import ReporterRegistry
+from repro.citation.validate import (
+    CitationIssue,
+    check_volume_year_consistency,
+    validate_citation,
+)
+
+__all__ = [
+    "Citation",
+    "Reporter",
+    "WVLR",
+    "parse_citation",
+    "try_parse_citation",
+    "ReporterRegistry",
+    "CitationIssue",
+    "validate_citation",
+    "check_volume_year_consistency",
+]

@@ -1,0 +1,104 @@
+"""Parsing citation strings.
+
+Two spellings are accepted:
+
+* columnar (the paper's right-hand column): ``95:691 (1993)``
+* Bluebook-style: ``95 W. Va. L. Rev. 691 (1993)``
+
+OCR slack handled: stray spaces around the colon, ``O``/``o`` for ``0`` and
+``l``/``I`` for ``1`` inside numbers, and a missing closing parenthesis.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.citation.model import Citation
+from repro.errors import CitationParseError
+
+_DIGIT_CONFUSIONS = str.maketrans({"O": "0", "o": "0", "l": "1", "I": "1", "|": "1"})
+
+_COLUMNAR = re.compile(
+    r"""^\s*
+        (?P<volume>[0-9OolI|]{1,4})
+        \s*:\s*
+        (?P<page>[0-9OolI|]{1,5})
+        \s*\(\s*(?P<year>[0-9OolI|]{4})\s*\)?
+        \s*$""",
+    re.VERBOSE,
+)
+
+_BLUEBOOK = re.compile(
+    r"""^\s*
+        (?P<volume>\d{1,4})
+        \s+(?P<reporter>[A-Za-z][A-Za-z.&\s']*?)\s+
+        (?P<page>\d{1,5})
+        \s*\(\s*(?P<year>\d{4})\s*\)?
+        \s*$""",
+    re.VERBOSE,
+)
+
+
+def _to_int(token: str, field: str, text: str) -> int:
+    repaired = token.translate(_DIGIT_CONFUSIONS)
+    try:
+        return int(repaired)
+    except ValueError:
+        raise CitationParseError(f"non-numeric {field}: {token!r}", text=text) from None
+
+
+def parse_citation(text: str) -> Citation:
+    """Parse ``text`` into a :class:`Citation`.
+
+    >>> parse_citation("95:691 (1993)")
+    Citation(volume=95, page=691, year=1993)
+    >>> parse_citation("82 W. Va. L. Rev. 1241 (1980)")
+    Citation(volume=82, page=1241, year=1980)
+    >>> parse_citation("9l:973 (1989)")  # OCR 'l' for '1'
+    Citation(volume=91, page=973, year=1989)
+
+    Raises
+    ------
+    CitationParseError
+        If neither spelling matches or a component is implausible.
+    """
+    match = _COLUMNAR.match(text)
+    if match is None:
+        match = _BLUEBOOK.match(text)
+    if match is None:
+        raise CitationParseError("unrecognized citation format", text=text)
+    volume = _to_int(match["volume"], "volume", text)
+    page = _to_int(match["page"], "page", text)
+    year = _to_int(match["year"], "year", text)
+    try:
+        return Citation(volume=volume, page=page, year=year)
+    except Exception as exc:  # ValidationError -> parse error at this boundary
+        raise CitationParseError(str(exc), text=text) from exc
+
+
+def try_parse_citation(text: str) -> Citation | None:
+    """Like :func:`parse_citation` but returns ``None`` on failure."""
+    try:
+        return parse_citation(text)
+    except CitationParseError:
+        return None
+
+
+_EMBEDDED = re.compile(r"\d{1,4}\s*:\s*\d{1,5}\s*\(\s*\d{4}\s*\)")
+
+
+def find_citations(text: str) -> list[tuple[Citation, tuple[int, int]]]:
+    """Find all columnar citations embedded in free text.
+
+    Returns ``(citation, (start, end))`` pairs in document order.  Used by
+    the raw-text ingest parser to locate the citation column.
+
+    >>> [c.columnar() for c, _ in find_citations("see 95:1 (1992) and 95:663 (1993)")]
+    ['95:1 (1992)', '95:663 (1993)']
+    """
+    found = []
+    for match in _EMBEDDED.finditer(text):
+        citation = try_parse_citation(match.group(0))
+        if citation is not None:
+            found.append((citation, match.span()))
+    return found

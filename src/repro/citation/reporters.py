@@ -1,0 +1,81 @@
+"""Reporter registry: resolving citation abbreviations to publications.
+
+Bluebook-style citations name their reporter by abbreviation
+(``W. Va. L. Rev.``); a registry maps the spellings encountered in scanned
+text — with and without periods, with OCR case damage — back to one
+canonical :class:`~repro.citation.model.Reporter`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from repro.citation.model import PROCEEDINGS, Reporter, WVLR
+
+_NORMALIZE = re.compile(r"[.\s]+")
+
+
+def _fold(abbreviation: str) -> str:
+    """Abbreviation matching key: lower-case, periods/spaces collapsed.
+
+    >>> _fold("W. Va. L. Rev.")
+    'w va l rev'
+    >>> _fold("W VA  L REV")
+    'w va l rev'
+    """
+    return _NORMALIZE.sub(" ", abbreviation.casefold()).strip()
+
+
+class ReporterRegistry:
+    """Lookup of reporters by (folded) abbreviation or alias.
+
+    >>> registry = ReporterRegistry.with_defaults()
+    >>> registry.resolve("W. VA. L. REV.").name
+    'West Virginia Law Review'
+    >>> registry.resolve("Unknown J.") is None
+    True
+    """
+
+    def __init__(self) -> None:
+        self._by_key: dict[str, Reporter] = {}
+        self._reporters: list[Reporter] = []
+
+    @classmethod
+    def with_defaults(cls) -> "ReporterRegistry":
+        """Registry pre-loaded with the reporters this corpus cites."""
+        registry = cls()
+        registry.register(WVLR, aliases=("W Va L Rev", "West Virginia Law Review"))
+        registry.register(PROCEEDINGS)
+        return registry
+
+    def register(self, reporter: Reporter, *, aliases: Iterable[str] = ()) -> None:
+        """Add ``reporter`` under its abbreviation plus ``aliases``.
+
+        Re-registering the same abbreviation for a *different* reporter
+        raises ``ValueError`` — silent shadowing would corrupt citations.
+        """
+        keys = [_fold(reporter.abbreviation), *(_fold(a) for a in aliases)]
+        for key in keys:
+            existing = self._by_key.get(key)
+            if existing is not None and existing != reporter:
+                raise ValueError(
+                    f"abbreviation {key!r} already registered for {existing.name}"
+                )
+        if reporter not in self._reporters:
+            self._reporters.append(reporter)
+        for key in keys:
+            self._by_key[key] = reporter
+
+    def resolve(self, abbreviation: str) -> Reporter | None:
+        """The reporter for ``abbreviation``, or ``None``."""
+        return self._by_key.get(_fold(abbreviation))
+
+    def __contains__(self, abbreviation: str) -> bool:
+        return _fold(abbreviation) in self._by_key
+
+    def __iter__(self):
+        return iter(self._reporters)
+
+    def __len__(self) -> int:
+        return len(self._reporters)

@@ -1,0 +1,110 @@
+"""Corpus-level citation validation.
+
+Beyond per-citation field checks (done by the model), author indexes obey
+corpus invariants the paper exhibits: within one reporter, years grow with
+volume numbers (approximately one volume per year), and pages within a
+volume stay within plausible bounds.  Violations usually indicate OCR damage
+and are reported, not raised, so ingest can continue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.citation.model import Citation, Reporter
+
+
+@dataclass(frozen=True, slots=True)
+class CitationIssue:
+    """One suspected problem with a citation."""
+
+    citation: Citation
+    code: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.code}] {self.citation.columnar()}: {self.message}"
+
+
+#: Largest plausible page number in a single annual volume.
+MAX_PLAUSIBLE_PAGE = 5000
+
+#: Slack (years) allowed between a volume's expected and printed year.
+#: Law-review volumes straddle academic years, so +/-2 is normal.
+YEAR_SLACK = 2
+
+
+def validate_citation(
+    citation: Citation, reporter: Reporter | None = None
+) -> list[CitationIssue]:
+    """Check one citation; returns a list of issues (empty when clean)."""
+    issues: list[CitationIssue] = []
+    if citation.page > MAX_PLAUSIBLE_PAGE:
+        issues.append(
+            CitationIssue(
+                citation,
+                "page-range",
+                f"page {citation.page} exceeds plausible volume size",
+            )
+        )
+    if reporter is not None:
+        expected = reporter.expected_year(citation.volume)
+        if expected is not None and abs(expected - citation.year) > YEAR_SLACK:
+            issues.append(
+                CitationIssue(
+                    citation,
+                    "volume-year",
+                    f"volume {citation.volume} of {reporter.abbreviation} expects "
+                    f"~{expected}, printed {citation.year}",
+                )
+            )
+    return issues
+
+
+def check_volume_year_consistency(
+    citations: Iterable[Citation],
+) -> list[CitationIssue]:
+    """Cross-citation check: each volume must map to a narrow year band.
+
+    Groups citations by volume; any volume whose printed years span more
+    than ``YEAR_SLACK + 1`` years is flagged on every outlying citation
+    (outlying = furthest from the volume's median year).
+    """
+    by_volume: dict[int, list[Citation]] = {}
+    for citation in citations:
+        by_volume.setdefault(citation.volume, []).append(citation)
+
+    issues: list[CitationIssue] = []
+    for volume, group in sorted(by_volume.items()):
+        years = sorted(c.year for c in group)
+        if years[-1] - years[0] <= YEAR_SLACK + 1:
+            continue
+        median = years[len(years) // 2]
+        for citation in group:
+            if abs(citation.year - median) > YEAR_SLACK:
+                issues.append(
+                    CitationIssue(
+                        citation,
+                        "volume-year-spread",
+                        f"volume {volume} mostly prints ~{median}; "
+                        f"{citation.year} is an outlier",
+                    )
+                )
+    return issues
+
+
+def monotone_volume_years(citations: Sequence[Citation]) -> bool:
+    """True when median years are non-decreasing in volume order.
+
+    This is the corpus-shape invariant the fidelity experiment asserts on
+    the reference data.
+    """
+    by_volume: dict[int, list[int]] = {}
+    for citation in citations:
+        by_volume.setdefault(citation.volume, []).append(citation.year)
+    medians = []
+    for volume in sorted(by_volume):
+        years = sorted(by_volume[volume])
+        medians.append(years[len(years) // 2])
+    return all(a <= b for a, b in zip(medians, medians[1:]))

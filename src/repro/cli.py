@@ -1,0 +1,309 @@
+"""Command-line interface: ``python -m repro`` / ``repro-index``.
+
+Subcommands
+-----------
+``build``
+    Build an author index from a JSON corpus (or the bundled reference
+    corpus) and render it to any registered format.
+``ingest``
+    Parse raw OCR'd index text into the JSON corpus format.
+``query``
+    Run a query against a corpus loaded into the embedded store.
+``stats``
+    Print corpus/index statistics.
+``formats``
+    List available render formats.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core import CollationOptions
+from repro.core.builder import AuthorIndexBuilder
+from repro.core.entry import PublicationRecord
+from repro.core.render import available_formats
+from repro.corpus import (
+    PUBLICATION_SCHEMA,
+    load_reference_records,
+    parse_index_text,
+    populate_store,
+)
+from repro.errors import ReproError
+from repro.query import QueryEngine
+from repro.storage import IndexKind, RecordStore
+
+
+def _load_corpus(path: str | None) -> list[PublicationRecord]:
+    """Records from a JSON corpus file, or the bundled reference corpus."""
+    if path is None:
+        return load_reference_records()
+    with open(path, encoding="utf-8") as fh:
+        raw = json.load(fh)
+    items = raw["records"] if isinstance(raw, dict) else raw
+    return [
+        PublicationRecord.create(
+            item.get("id", i + 1), item["title"], item["authors"], item["citation"]
+        )
+        for i, item in enumerate(items)
+    ]
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    records = _load_corpus(args.corpus)
+    options = CollationOptions(mc_as_mac=args.mc_as_mac)
+    builder = AuthorIndexBuilder(options=options, resolve_variants=args.resolve)
+    index = builder.add_records(records).build()
+    render_options: dict[str, object] = {}
+    if args.format == "text":
+        render_options["paginated"] = not args.no_pages
+    output = index.render(args.format, **render_options)
+    if args.output:
+        Path(args.output).write_text(output, encoding="utf-8")
+        print(f"wrote {len(output)} characters to {args.output}", file=sys.stderr)
+    else:
+        print(output, end="")
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    text = Path(args.input).read_text(encoding="utf-8")
+    report = parse_index_text(text)
+    corpus = {
+        "records": [
+            {
+                "id": r.record_id,
+                "title": r.title,
+                "authors": [
+                    a.inverted() + ("*" if r.is_student_work else "")
+                    for a in r.authors
+                ],
+                "citation": r.citation.columnar(),
+            }
+            for r in report.records
+        ]
+    }
+    output = json.dumps(corpus, indent=2, ensure_ascii=False)
+    if args.output:
+        Path(args.output).write_text(output, encoding="utf-8")
+    else:
+        print(output)
+    print(
+        f"parsed {report.record_count} records "
+        f"({report.furniture_lines} furniture lines dropped, "
+        f"{len(report.warnings)} warnings)",
+        file=sys.stderr,
+    )
+    if args.show_warnings:
+        for warning in report.warnings:
+            print(f"  warning: {warning}", file=sys.stderr)
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    records = _load_corpus(args.corpus)
+    store = RecordStore(PUBLICATION_SCHEMA)
+    populate_store(store, records)
+    store.create_index("surnames", IndexKind.HASH)
+    store.create_index("year", IndexKind.BTREE)
+    store.create_index("volume", IndexKind.BTREE)
+    engine = QueryEngine(store)
+    if args.explain:
+        print(engine.explain(args.query))
+        return 0
+    rows = engine.execute(args.query)
+    for row in rows:
+        authors = "; ".join(row["authors"])
+        print(f"{authors} | {row['title']} | {row['volume']}:{row['page']} ({row['year']})")
+    print(f"({len(rows)} rows)", file=sys.stderr)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    records = _load_corpus(args.corpus)
+    index = AuthorIndexBuilder().add_records(records).build()
+    print(index.statistics().summary())
+    return 0
+
+
+def _cmd_formats(_args: argparse.Namespace) -> int:
+    for name in available_formats():
+        print(name)
+    return 0
+
+
+def _cmd_bundle(args: argparse.Namespace) -> int:
+    from repro.core.kwic import build_kwic_index
+    from repro.core.titleindex import build_title_index
+    from repro.core.toc import build_toc
+
+    records = _load_corpus(args.corpus)
+    out_dir = Path(args.output_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    author_index = AuthorIndexBuilder().add_records(records).build()
+    (out_dir / "author_index.txt").write_text(
+        author_index.render("text"), encoding="utf-8"
+    )
+    (out_dir / "title_index.txt").write_text(
+        build_title_index(records).render_text(), encoding="utf-8"
+    )
+    (out_dir / "subject_index.txt").write_text(
+        build_kwic_index(records, min_group_size=2).render_text(), encoding="utf-8"
+    )
+    (out_dir / "contents.txt").write_text(
+        build_toc(records).render_text(), encoding="utf-8"
+    )
+    print(f"wrote 4 index files to {out_dir}/", file=sys.stderr)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.report import corpus_report
+
+    records = _load_corpus(args.corpus)
+    stopwords = set(args.suppress.split(",")) if args.suppress else set()
+    output = corpus_report(
+        records, title=args.title, keyword_stopwords=stopwords
+    )
+    if args.output:
+        Path(args.output).write_text(output, encoding="utf-8")
+        print(f"wrote report to {args.output}", file=sys.stderr)
+    else:
+        print(output, end="")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.search.engine import TitleSearchEngine
+
+    records = _load_corpus(args.corpus)
+    engine = TitleSearchEngine(records)
+    hits = engine.search(args.query, k=args.top)
+    by_id = {r.record_id: r for r in records}
+    for hit in hits:
+        record = by_id[hit.record_id]
+        authors = "; ".join(a.inverted() for a in record.authors)
+        print(f"{hit.score:6.2f}  {record.title}  — {authors}  "
+              f"[{record.citation.columnar()}]")
+    print(f"({len(hits)} hits)", file=sys.stderr)
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.core.lint import lint_index
+
+    records = _load_corpus(args.corpus)
+    index = AuthorIndexBuilder().add_records(records).build()
+    issues = lint_index(index)
+    for issue in issues:
+        print(issue)
+    print(f"({len(issues)} issues)", file=sys.stderr)
+    return 1 if issues and args.strict else 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.export import dumps_csv, format_bibtex
+
+    records = _load_corpus(args.corpus)
+    if args.to == "bibtex":
+        output = format_bibtex(records, journal=args.journal)
+    else:
+        output = dumps_csv(records)
+    if args.output:
+        Path(args.output).write_text(output, encoding="utf-8")
+        print(f"wrote {len(records)} records to {args.output}", file=sys.stderr)
+    else:
+        print(output, end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-index",
+        description="Build, query, and render author indexes.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_build = sub.add_parser("build", help="build and render an author index")
+    p_build.add_argument("--corpus", help="JSON corpus path (default: bundled reference)")
+    p_build.add_argument("--format", default="text", choices=available_formats())
+    p_build.add_argument("--output", help="write to file instead of stdout")
+    p_build.add_argument("--no-pages", action="store_true", help="continuous text output")
+    p_build.add_argument("--resolve", action="store_true", help="entity-resolve name variants")
+    p_build.add_argument("--mc-as-mac", action="store_true", help="file Mc as Mac")
+    p_build.set_defaults(func=_cmd_build)
+
+    p_ingest = sub.add_parser("ingest", help="parse raw OCR'd index text to JSON")
+    p_ingest.add_argument("input", help="raw text file")
+    p_ingest.add_argument("--output", help="JSON output path (default: stdout)")
+    p_ingest.add_argument("--show-warnings", action="store_true")
+    p_ingest.set_defaults(func=_cmd_ingest)
+
+    p_query = sub.add_parser("query", help="query a corpus")
+    p_query.add_argument("query", help='e.g. \'surnames:"McAteer" AND year >= 1980\'')
+    p_query.add_argument("--corpus", help="JSON corpus path (default: bundled reference)")
+    p_query.add_argument("--explain", action="store_true", help="print the plan only")
+    p_query.set_defaults(func=_cmd_query)
+
+    p_stats = sub.add_parser("stats", help="print index statistics")
+    p_stats.add_argument("--corpus", help="JSON corpus path (default: bundled reference)")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_formats = sub.add_parser("formats", help="list render formats")
+    p_formats.set_defaults(func=_cmd_formats)
+
+    p_bundle = sub.add_parser(
+        "bundle", help="write the full front-matter bundle (4 indexes)"
+    )
+    p_bundle.add_argument("output_dir", help="directory for the index files")
+    p_bundle.add_argument("--corpus", help="JSON corpus path (default: bundled reference)")
+    p_bundle.set_defaults(func=_cmd_bundle)
+
+    p_report = sub.add_parser("report", help="render the Markdown corpus report")
+    p_report.add_argument("--corpus", help="JSON corpus path (default: bundled reference)")
+    p_report.add_argument("--title", default="Corpus report")
+    p_report.add_argument("--suppress", help="comma-separated keyword stopwords")
+    p_report.add_argument("--output", help="write to file instead of stdout")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_search = sub.add_parser("search", help="full-text title search (TF-IDF)")
+    p_search.add_argument("query", help='words AND-ed; "quoted" = phrase')
+    p_search.add_argument("--corpus", help="JSON corpus path (default: bundled reference)")
+    p_search.add_argument("--top", type=int, default=10, help="max hits (default 10)")
+    p_search.set_defaults(func=_cmd_search)
+
+    p_lint = sub.add_parser("lint", help="editorial checks on the built index")
+    p_lint.add_argument("--corpus", help="JSON corpus path (default: bundled reference)")
+    p_lint.add_argument("--strict", action="store_true", help="exit 1 on any issue")
+    p_lint.set_defaults(func=_cmd_lint)
+
+    p_export = sub.add_parser("export", help="export records as BibTeX or CSV")
+    p_export.add_argument("--to", choices=("bibtex", "csv"), default="bibtex")
+    p_export.add_argument("--corpus", help="JSON corpus path (default: bundled reference)")
+    p_export.add_argument("--journal", default="", help="journal field for BibTeX")
+    p_export.add_argument("--output", help="write to file instead of stdout")
+    p_export.set_defaults(func=_cmd_export)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""The paper's artifact pipeline: records in, author index out.
+
+* :mod:`entry` — publication records and index rows
+* :mod:`collation` — the ordering rules the printed index obeys
+* :mod:`builder` — :class:`AuthorIndexBuilder`, the primary public API
+* :mod:`pagination` — page layout (running headers, volume footers)
+* :mod:`render` — text / markdown / HTML / LaTeX / JSON renderers
+* :mod:`statistics` — corpus and index statistics
+* :mod:`diffing` — structural index comparison for the fidelity experiment
+"""
+
+from repro.core.entry import IndexEntry, PublicationRecord
+from repro.core.collation import CollationOptions, collation_key, sort_entries
+from repro.core.builder import AuthorIndex, AuthorIndexBuilder, AuthorGroup, build_index
+from repro.core.pagination import Page, PageLayout, paginate
+from repro.core.statistics import IndexStatistics
+from repro.core.diffing import IndexDiff, diff_indexes
+from repro.core.incremental import IncrementalIndexer
+from repro.core.lint import LintIssue, lint_index
+from repro.core.titleindex import TitleIndex, TitleIndexBuilder, build_title_index
+from repro.core.kwic import KwicIndex, KwicIndexBuilder, build_kwic_index
+from repro.core.toc import TableOfContents, build_toc
+
+__all__ = [
+    "IndexEntry",
+    "PublicationRecord",
+    "CollationOptions",
+    "collation_key",
+    "sort_entries",
+    "AuthorIndex",
+    "AuthorIndexBuilder",
+    "AuthorGroup",
+    "build_index",
+    "Page",
+    "PageLayout",
+    "paginate",
+    "IndexStatistics",
+    "IndexDiff",
+    "diff_indexes",
+    "TitleIndex",
+    "TitleIndexBuilder",
+    "build_title_index",
+    "KwicIndex",
+    "KwicIndexBuilder",
+    "build_kwic_index",
+    "TableOfContents",
+    "build_toc",
+    "IncrementalIndexer",
+    "LintIssue",
+    "lint_index",
+]

@@ -1,0 +1,108 @@
+"""Structural comparison of two built indexes.
+
+The fidelity experiment needs more than "equal/not equal": it reports which
+rows are missing, which are spurious, and how far the common rows are from
+the reference ordering (normalized Kendall-tau-style inversion distance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.entry import IndexEntry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.builder import AuthorIndex
+
+
+@dataclass(frozen=True, slots=True)
+class IndexDiff:
+    """Differences between a candidate index and a reference index."""
+
+    missing: tuple[IndexEntry, ...]  # in reference, not in candidate
+    extra: tuple[IndexEntry, ...]  # in candidate, not in reference
+    common_count: int
+    inversion_distance: float  # 0.0 = same order, 1.0 = reversed
+
+    @property
+    def is_identical(self) -> bool:
+        return not self.missing and not self.extra and self.inversion_distance == 0.0
+
+    @property
+    def order_fidelity(self) -> float:
+        """1 - inversion distance: 1.0 means perfect ordering agreement."""
+        return 1.0 - self.inversion_distance
+
+    def summary(self) -> str:
+        return (
+            f"common={self.common_count} missing={len(self.missing)} "
+            f"extra={len(self.extra)} order_fidelity={self.order_fidelity:.4f}"
+        )
+
+
+def diff_indexes(candidate: "AuthorIndex", reference: "AuthorIndex") -> IndexDiff:
+    """Compare ``candidate`` against ``reference``.
+
+    Rows are matched by :meth:`IndexEntry.row_key`.  Ordering agreement is
+    measured on the common rows only: the candidate's ordering of those rows
+    is mapped to reference positions and the normalized inversion count of
+    that permutation is reported.
+    """
+    ref_positions: dict[tuple, int] = {}
+    for position, entry in enumerate(reference):
+        ref_positions.setdefault(entry.row_key(), position)
+    cand_keys = {e.row_key() for e in candidate}
+
+    missing = tuple(e for e in reference if e.row_key() not in cand_keys)
+    extra = tuple(e for e in candidate if e.row_key() not in ref_positions)
+
+    permutation = [
+        ref_positions[e.row_key()] for e in candidate if e.row_key() in ref_positions
+    ]
+    inversions = _count_inversions(permutation)
+    n = len(permutation)
+    max_inversions = n * (n - 1) // 2
+    distance = inversions / max_inversions if max_inversions else 0.0
+
+    return IndexDiff(
+        missing=missing,
+        extra=extra,
+        common_count=n,
+        inversion_distance=distance,
+    )
+
+
+def _count_inversions(sequence: Sequence[int]) -> int:
+    """Number of out-of-order pairs, counted by merge sort in O(n log n).
+
+    >>> _count_inversions([1, 2, 3])
+    0
+    >>> _count_inversions([3, 2, 1])
+    3
+    """
+    work = list(sequence)
+    _, total = _merge_count(work)
+    return total
+
+
+def _merge_count(seq: list[int]) -> tuple[list[int], int]:
+    if len(seq) <= 1:
+        return seq, 0
+    mid = len(seq) // 2
+    left, left_inv = _merge_count(seq[:mid])
+    right, right_inv = _merge_count(seq[mid:])
+    merged: list[int] = []
+    inversions = left_inv + right_inv
+    i = j = 0
+    while i < len(left) and j < len(right):
+        if left[i] <= right[j]:
+            merged.append(left[i])
+            i += 1
+        else:
+            merged.append(right[j])
+            j += 1
+            inversions += len(left) - i
+    merged.extend(left[i:])
+    merged.extend(right[j:])
+    return merged, inversions

@@ -1,0 +1,166 @@
+"""Publication records and author-index rows.
+
+A :class:`PublicationRecord` is one article as the publisher's database
+knows it: a title, one or more authors, and its citation.  The index
+builder explodes each record into one :class:`IndexEntry` per author — the
+paper's convention, where a three-author article appears three times, once
+under each surname.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.citation.model import Citation
+from repro.citation.parser import parse_citation
+from repro.errors import ValidationError
+from repro.names.model import PersonName
+from repro.names.parser import parse_name
+
+
+@dataclass(frozen=True, slots=True)
+class PublicationRecord:
+    """One article with its full author list.
+
+    Attributes
+    ----------
+    record_id:
+        Stable identifier (store primary key).
+    title:
+        Article title, already unwrapped (no hyphen line breaks).
+    authors:
+        Authors in byline order; at least one.
+    citation:
+        Where the article appears.
+    is_student_work:
+        The paper marks *student material* (notes, comments) with an
+        asterisk on the **author**; the flag lives on the record because it
+        is a property of the piece, applied to each of its authors.
+    """
+
+    record_id: int
+    title: str
+    authors: tuple[PersonName, ...]
+    citation: Citation
+    is_student_work: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.title or not self.title.strip():
+            raise ValidationError("title must be non-empty", field="title")
+        if not self.authors:
+            raise ValidationError("at least one author required", field="authors")
+
+    @classmethod
+    def create(
+        cls,
+        record_id: int,
+        title: str,
+        authors: Iterable[str | PersonName],
+        citation: str | Citation,
+        *,
+        is_student_work: bool | None = None,
+    ) -> "PublicationRecord":
+        """Build a record from loosely-typed inputs.
+
+        Author strings are parsed; a trailing ``*`` on any author string
+        marks the whole record as student work unless ``is_student_work``
+        is given explicitly.
+
+        >>> rec = PublicationRecord.create(
+        ...     1, "Habeas Corpus in West Virginia",
+        ...     ["Fox, Fred L., II*"], "69:293 (1967)")
+        >>> rec.is_student_work
+        True
+        >>> rec.authors[0].surname
+        'Fox'
+        """
+        parsed_authors = tuple(
+            a if isinstance(a, PersonName) else parse_name(a) for a in authors
+        )
+        student = is_student_work
+        if student is None:
+            student = any(a.is_student for a in parsed_authors)
+        parsed_citation = (
+            citation if isinstance(citation, Citation) else parse_citation(citation)
+        )
+        return cls(
+            record_id=record_id,
+            title=title.strip(),
+            authors=parsed_authors,
+            citation=parsed_citation,
+            is_student_work=student,
+        )
+
+    # -- store (de)serialization -------------------------------------------
+
+    def to_store_dict(self) -> dict[str, Any]:
+        """Flatten into the dict shape the record store validates."""
+        return {
+            "id": self.record_id,
+            "title": self.title,
+            "authors": [a.inverted() for a in self.authors],
+            "surnames": [a.surname for a in self.authors],
+            "volume": self.citation.volume,
+            "page": self.citation.page,
+            "year": self.citation.year,
+            "student": self.is_student_work,
+        }
+
+    @classmethod
+    def from_store_dict(cls, record: Mapping[str, Any]) -> "PublicationRecord":
+        """Inverse of :meth:`to_store_dict`."""
+        return cls(
+            record_id=record["id"],
+            title=record["title"],
+            authors=tuple(parse_name(a) for a in record["authors"]),
+            citation=Citation(
+                volume=record["volume"], page=record["page"], year=record["year"]
+            ),
+            is_student_work=record.get("student", False),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class IndexEntry:
+    """One printed row of the author index: author → article → citation."""
+
+    author: PersonName
+    title: str
+    citation: Citation
+    is_student_work: bool = False
+    record_id: int | None = None
+
+    def row_key(self) -> tuple[Any, ...]:
+        """Identity for dedup/diffing: who, what, where."""
+        return (
+            self.author.identity_key(),
+            self.title.casefold(),
+            self.citation,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        marker = "*" if self.is_student_work else ""
+        return f"{self.author.inverted()}{marker} | {self.title} | {self.citation.columnar()}"
+
+
+def explode(record: PublicationRecord) -> list[IndexEntry]:
+    """One index entry per author of ``record`` (byline order preserved).
+
+    >>> rec = PublicationRecord.create(
+    ...     7, "A Miner's Bill of Rights",
+    ...     ["Galloway, L. Thomas", "McAteer, J. Davitt", "Webb, Richard L."],
+    ...     "80:397 (1978)")
+    >>> [e.author.surname for e in explode(rec)]
+    ['Galloway', 'McAteer', 'Webb']
+    """
+    return [
+        IndexEntry(
+            author=author,
+            title=record.title,
+            citation=record.citation,
+            is_student_work=record.is_student_work,
+            record_id=record.record_id,
+        )
+        for author in record.authors
+    ]

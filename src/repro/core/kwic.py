@@ -1,0 +1,243 @@
+"""KWIC subject index: keyword-in-title entries for every significant word.
+
+Cumulative-index issues also carry a *Subject Index*.  Historically those
+are hand-classified; the automatable classic is the KWIC
+(keyword-in-context) index — every significant title word becomes a
+heading, with the title rotated so the keyword leads and its context
+follows.  This module builds one from publication records:
+
+    COAL
+        Fields Under the Clean Water Act | Potential Criminal
+        Liability in the ~                          95:691 (1993)
+
+Stopwords and filing follow the same conventions as the other indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.citation.model import Citation
+from repro.core.entry import PublicationRecord
+from repro.names.normalize import strip_diacritics
+
+#: Words never used as KWIC headings: articles, conjunctions, prepositions,
+#: auxiliaries, and the boilerplate of law-review titles.
+STOPWORDS = frozenset(
+    """
+    a an the and or nor but of in on at to for from by with under over
+    its it is are was were be been has have had do does did not no
+    as into upon after before between through during against toward
+    towards their his her this that these those there who whom whose
+    which what when where why how than then so such via per v vs
+    part one two i ii
+    """.split()
+)
+
+#: Minimum length for a heading word (single letters are never subjects).
+MIN_KEYWORD_LENGTH = 3
+
+
+def significant_words(title: str) -> list[str]:
+    """The KWIC heading words of ``title``, in order of appearance.
+
+    Case/diacritic-folded, punctuation-stripped, stopwords and short
+    tokens removed, duplicates dropped (first occurrence wins).
+
+    >>> significant_words("The Law of Coal, Oil and Gas in West Virginia")
+    ['law', 'coal', 'oil', 'gas', 'west', 'virginia']
+    """
+    folded = strip_diacritics(title).casefold()
+    seen: set[str] = set()
+    out: list[str] = []
+    for raw in folded.split():
+        word = raw.strip("\"'()[]{}.,;:!?*-—").replace("'", "")
+        if len(word) < MIN_KEYWORD_LENGTH:
+            continue
+        if word in STOPWORDS or not any(c.isalpha() for c in word):
+            continue
+        if word not in seen:
+            seen.add(word)
+            out.append(word)
+    return out
+
+
+@dataclass(frozen=True, slots=True)
+class KwicEntry:
+    """One rotated line under a keyword heading."""
+
+    keyword: str
+    title: str
+    rotation: str  #: title rotated so the keyword leads
+    citation: Citation
+    record_id: int | None = None
+
+
+def _rotate(title: str, keyword: str) -> str:
+    """Rotate ``title`` so the word matching ``keyword`` leads.
+
+    The part before the keyword is appended after a ``|`` separator, the
+    classic KWIC presentation.
+
+    >>> _rotate("The Law of Coal", "coal")
+    'Coal | The Law of'
+    """
+    words = title.split()
+    folded = [strip_diacritics(w).casefold().strip("\"'()[]{}.,;:!?*") for w in words]
+    for i, w in enumerate(folded):
+        if w.replace("'", "") == keyword:
+            head = " ".join(words[i:])
+            tail = " ".join(words[:i])
+            return f"{head} | {tail}" if tail else head
+    return title  # keyword not found verbatim (hyphen-compound): no rotation
+
+
+@dataclass(frozen=True, slots=True)
+class KwicGroup:
+    """All rotated lines under one keyword heading."""
+
+    keyword: str
+    entries: tuple[KwicEntry, ...]
+
+    @property
+    def heading(self) -> str:
+        return self.keyword.upper()
+
+
+class KwicIndex:
+    """A built KWIC index: keyword groups in alphabetical order."""
+
+    def __init__(self, groups: Sequence[KwicGroup]):
+        self._groups = tuple(groups)
+
+    def __len__(self) -> int:
+        """Total rotated lines across all headings."""
+        return sum(len(g.entries) for g in self._groups)
+
+    def __iter__(self) -> Iterator[KwicGroup]:
+        return iter(self._groups)
+
+    @property
+    def groups(self) -> tuple[KwicGroup, ...]:
+        return self._groups
+
+    def keywords(self) -> list[str]:
+        return [g.keyword for g in self._groups]
+
+    def group(self, keyword: str) -> KwicGroup | None:
+        """The group for ``keyword`` (folded), or None."""
+        wanted = keyword.casefold()
+        for g in self._groups:
+            if g.keyword == wanted:
+                return g
+        return None
+
+    def render_text(self, *, width: int = 78) -> str:
+        """Headed text rendering."""
+        import textwrap
+
+        lines: list[str] = []
+        body_width = width - 22
+        for group in self._groups:
+            lines.append(group.heading)
+            for entry in group.entries:
+                wrapped = textwrap.wrap(entry.rotation, body_width) or [""]
+                first, *rest = wrapped
+                lines.append(f"    {first:<{body_width}} {entry.citation.columnar():>16}")
+                lines.extend(f"    {cont}" for cont in rest)
+            lines.append("")
+        return "\n".join(lines).rstrip() + "\n"
+
+
+class KwicIndexBuilder:
+    """Accumulates records and builds :class:`KwicIndex` values.
+
+    Parameters
+    ----------
+    min_group_size:
+        Headings with fewer rotated lines are dropped (singletons rarely
+        help navigation; the artifact's subject indexes cluster too).
+    extra_stopwords:
+        Corpus-specific words to suppress in addition to :data:`STOPWORDS`
+        (e.g. ``{"west", "virginia"}`` for a single-state law review where
+        those words head half the corpus).
+    """
+
+    def __init__(
+        self,
+        *,
+        min_group_size: int = 1,
+        extra_stopwords: Iterable[str] = (),
+    ):
+        if min_group_size < 1:
+            raise ValueError("min_group_size must be >= 1")
+        self.min_group_size = min_group_size
+        self._stopwords = STOPWORDS | {w.casefold() for w in extra_stopwords}
+        self._records: list[PublicationRecord] = []
+
+    def add_record(self, record: PublicationRecord) -> "KwicIndexBuilder":
+        self._records.append(record)
+        return self
+
+    def add_records(self, records: Iterable[PublicationRecord]) -> "KwicIndexBuilder":
+        self._records.extend(records)
+        return self
+
+    def build(self) -> KwicIndex:
+        """Group every significant title word's rotations, alphabetized."""
+        by_keyword: dict[str, list[KwicEntry]] = {}
+        for record in self._records:
+            for keyword in significant_words(record.title):
+                if keyword in self._stopwords:
+                    continue
+                entry = KwicEntry(
+                    keyword=keyword,
+                    title=record.title,
+                    rotation=_rotate(record.title, keyword),
+                    citation=record.citation,
+                    record_id=record.record_id,
+                )
+                by_keyword.setdefault(keyword, []).append(entry)
+
+        groups = []
+        for keyword in sorted(by_keyword):
+            entries = by_keyword[keyword]
+            if len(entries) < self.min_group_size:
+                continue
+            entries.sort(key=lambda e: (e.citation.volume, e.citation.page, e.title))
+            # one line per (keyword, citation): co-listed duplicates collapse
+            deduped: list[KwicEntry] = []
+            seen: set[tuple] = set()
+            for entry in entries:
+                key = (entry.citation, entry.title.casefold())
+                if key not in seen:
+                    seen.add(key)
+                    deduped.append(entry)
+            groups.append(KwicGroup(keyword=keyword, entries=tuple(deduped)))
+        return KwicIndex(groups)
+
+
+def build_kwic_index(
+    records: Iterable[PublicationRecord],
+    *,
+    min_group_size: int = 1,
+    extra_stopwords: Iterable[str] = (),
+) -> KwicIndex:
+    """One-call convenience.
+
+    >>> from repro.core.entry import PublicationRecord
+    >>> idx = build_kwic_index([
+    ...     PublicationRecord.create(1, "The Law of Coal", ["A, B."], "74:283 (1972)"),
+    ...     PublicationRecord.create(2, "Coal and Energy", ["C, D."], "76:257 (1974)"),
+    ... ])
+    >>> idx.group("coal").heading
+    'COAL'
+    >>> len(idx.group("coal").entries)
+    2
+    """
+    return (
+        KwicIndexBuilder(min_group_size=min_group_size, extra_stopwords=extra_stopwords)
+        .add_records(records)
+        .build()
+    )

@@ -1,0 +1,137 @@
+"""Index linter: editorial checks an index editor runs before printing.
+
+Checks a built :class:`~repro.core.builder.AuthorIndex` for the defect
+classes the scanned artifact actually exhibits:
+
+* ``suspect-duplicate-heading`` — adjacent headings whose names are nearly
+  identical (OCR-split authors like *Herdon/Hemdon*);
+* ``volume-year-outlier`` — citations whose printed year disagrees with
+  the rest of their volume (OCR-damaged digits);
+* ``empty-given-name`` — headings with a bare surname (usually a parsing
+  casualty);
+* ``title-case-shouting`` — titles that are entirely upper case;
+* ``misordered`` — entries out of collation order (hand-edited data).
+
+The linter reports; it never mutates.  Fixes live elsewhere
+(:mod:`repro.names.resolution`, :mod:`repro.textproc.ocr`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.citation.validate import check_volume_year_consistency
+from repro.core.collation import collation_key
+from repro.names.similarity import name_similarity
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.builder import AuthorIndex
+
+
+@dataclass(frozen=True, slots=True)
+class LintIssue:
+    """One finding: a machine-usable code plus a human explanation."""
+
+    code: str
+    message: str
+    position: int | None = None  # entry index in the printed order
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        where = f" @{self.position}" if self.position is not None else ""
+        return f"[{self.code}{where}] {self.message}"
+
+
+#: Similarity above which two adjacent distinct headings look like one
+#: OCR-split person.
+SUSPECT_SIMILARITY = 0.90
+
+
+def lint_index(index: "AuthorIndex") -> list[LintIssue]:
+    """Run every check; returns findings ordered by position."""
+    issues: list[LintIssue] = []
+    issues.extend(_check_ordering(index))
+    issues.extend(_check_duplicate_headings(index))
+    issues.extend(_check_citations(index))
+    issues.extend(_check_names_and_titles(index))
+    issues.sort(key=lambda i: (i.position if i.position is not None else -1, i.code))
+    return issues
+
+
+def _check_ordering(index: "AuthorIndex") -> list[LintIssue]:
+    issues = []
+    previous_key = None
+    for position, entry in enumerate(index):
+        key = collation_key(entry, index.options)
+        if previous_key is not None and key < previous_key:
+            issues.append(
+                LintIssue(
+                    "misordered",
+                    f"{entry.author.inverted()!r} files before its predecessor",
+                    position,
+                )
+            )
+        previous_key = key
+    return issues
+
+
+def _check_duplicate_headings(index: "AuthorIndex") -> list[LintIssue]:
+    issues = []
+    groups = index.groups()
+    position = 0
+    for prev, current in zip(groups, groups[1:]):
+        position += len(prev.entries)
+        if prev.author.identity_key() == current.author.identity_key():
+            continue  # student/non-student split of the same person: fine
+        score = name_similarity(prev.author, current.author)
+        if score >= SUSPECT_SIMILARITY:
+            issues.append(
+                LintIssue(
+                    "suspect-duplicate-heading",
+                    f"{prev.heading!r} and {current.heading!r} look like one "
+                    f"person (similarity {score:.2f}); run entity resolution",
+                    position,
+                )
+            )
+    return issues
+
+
+def _check_citations(index: "AuthorIndex") -> list[LintIssue]:
+    citations = [entry.citation for entry in index]
+    by_citation: dict[object, int] = {}
+    for position, entry in enumerate(index):
+        by_citation.setdefault(entry.citation, position)
+    return [
+        LintIssue(
+            "volume-year-outlier",
+            str(problem),
+            by_citation.get(problem.citation),
+        )
+        for problem in check_volume_year_consistency(citations)
+    ]
+
+
+def _check_names_and_titles(index: "AuthorIndex") -> list[LintIssue]:
+    issues = []
+    seen_bare: set[str] = set()
+    for position, entry in enumerate(index):
+        author = entry.author
+        if not author.given and author.surname not in seen_bare:
+            seen_bare.add(author.surname)
+            issues.append(
+                LintIssue(
+                    "empty-given-name",
+                    f"heading {author.surname!r} has no given name",
+                    position,
+                )
+            )
+        alpha = [c for c in entry.title if c.isalpha()]
+        if alpha and all(c.isupper() for c in alpha):
+            issues.append(
+                LintIssue(
+                    "title-case-shouting",
+                    f"title is all upper case: {entry.title[:50]!r}",
+                    position,
+                )
+            )
+    return issues

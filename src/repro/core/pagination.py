@@ -1,0 +1,110 @@
+"""Page layout: how the index flows onto numbered journal pages.
+
+The reference artifact paginates at ~13 rows per page starting at page
+1365, with alternating running headers:
+
+* recto (odd) pages:  ``1993]                AUTHOR INDEX            1369``
+* verso (even) pages: ``1370        WEST VIRGINIA LAW REVIEW  [Vol. 95:1365``
+
+and a three-column table head (``AUTHOR / ARTICLE / W. VA. L. REV.``) on
+every page.  :func:`paginate` reproduces that flow; the text renderer uses
+it for facsimile output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.entry import IndexEntry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.builder import AuthorIndex
+
+
+@dataclass(frozen=True, slots=True)
+class PageLayout:
+    """Page-flow parameters of the printed artifact."""
+
+    first_page: int = 1365
+    entries_per_page: int = 13
+    volume: int = 95
+    year: int = 1993
+    index_title: str = "AUTHOR INDEX"
+    journal_name: str = "WEST VIRGINIA LAW REVIEW"
+    width: int = 78
+
+    def header_for(self, page_number: int) -> str:
+        """Running header for ``page_number`` (recto/verso alternation)."""
+        if page_number % 2 == 1:  # recto
+            left, center, right = f"{self.year}]", self.index_title, str(page_number)
+        else:  # verso
+            left = str(page_number)
+            center = self.journal_name
+            right = f"[Vol. {self.volume}:{self.first_page}"
+        return _spread(left, center, right, self.width)
+
+    def column_head(self) -> str:
+        """The three-column table head printed below the running header."""
+        reporter = "W. VA. L. REV."
+        return _spread("AUTHOR", "ARTICLE", reporter, self.width)
+
+
+def _spread(left: str, center: str, right: str, width: int) -> str:
+    """Left/center/right on one line of ``width`` columns."""
+    line = [" "] * width
+    line[: len(left)] = left
+    start = max((width - len(center)) // 2, len(left) + 1)
+    line[start : start + len(center)] = center
+    line[width - len(right) :] = right
+    return "".join(line).rstrip()
+
+
+@dataclass(frozen=True, slots=True)
+class Page:
+    """One laid-out page of the index."""
+
+    number: int
+    entries: tuple[IndexEntry, ...]
+    header: str
+    column_head: str
+
+    @property
+    def is_recto(self) -> bool:
+        return self.number % 2 == 1
+
+
+def paginate(
+    index: "AuthorIndex | Iterable[IndexEntry]",
+    layout: PageLayout = PageLayout(),
+) -> list[Page]:
+    """Flow the index onto pages under ``layout``.
+
+    >>> from repro.core.builder import build_index
+    >>> from repro.core.entry import PublicationRecord
+    >>> idx = build_index([
+    ...     PublicationRecord.create(i, f"T{i}", [f"Author{i:02d}, A."], f"90:{i+1} (1987)")
+    ...     for i in range(30)
+    ... ])
+    >>> pages = paginate(idx, PageLayout(first_page=100, entries_per_page=13))
+    >>> [p.number for p in pages]
+    [100, 101, 102]
+    >>> len(pages[0].entries), len(pages[-1].entries)
+    (13, 4)
+    """
+    entries = list(index)
+    pages: list[Page] = []
+    per_page = layout.entries_per_page
+    if per_page <= 0:
+        raise ValueError(f"entries_per_page must be positive, got {per_page}")
+    for offset in range(0, len(entries), per_page):
+        number = layout.first_page + len(pages)
+        pages.append(
+            Page(
+                number=number,
+                entries=tuple(entries[offset : offset + per_page]),
+                header=layout.header_for(number),
+                column_head=layout.column_head(),
+            )
+        )
+    return pages

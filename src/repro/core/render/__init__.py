@@ -1,0 +1,45 @@
+"""Renderer registry.
+
+Renderers share one interface (:class:`~repro.core.render.base.Renderer`)
+and register by format name; :meth:`AuthorIndex.render` dispatches here.
+"""
+
+from repro.core.render.base import Renderer
+from repro.core.render.text import TextRenderer
+from repro.core.render.markdown import MarkdownRenderer
+from repro.core.render.html import HtmlRenderer
+from repro.core.render.latex import LatexRenderer
+from repro.core.render.jsonr import JsonRenderer
+from repro.core.render.csvr import CsvRenderer
+
+_RENDERERS: dict[str, Renderer] = {
+    "text": TextRenderer(),
+    "markdown": MarkdownRenderer(),
+    "html": HtmlRenderer(),
+    "latex": LatexRenderer(),
+    "json": JsonRenderer(),
+    "csv": CsvRenderer(),
+}
+
+
+def get_renderer(fmt: str) -> Renderer:
+    """Renderer registered under ``fmt``; raises ``KeyError`` when unknown."""
+    return _RENDERERS[fmt]
+
+
+def available_formats() -> tuple[str, ...]:
+    """All registered format names."""
+    return tuple(sorted(_RENDERERS))
+
+
+__all__ = [
+    "Renderer",
+    "TextRenderer",
+    "MarkdownRenderer",
+    "HtmlRenderer",
+    "LatexRenderer",
+    "JsonRenderer",
+    "CsvRenderer",
+    "get_renderer",
+    "available_formats",
+]

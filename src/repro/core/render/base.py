@@ -1,0 +1,31 @@
+"""Renderer interface."""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.builder import AuthorIndex
+
+
+class Renderer(abc.ABC):
+    """Turns a built :class:`AuthorIndex` into one output document.
+
+    Renderers are stateless; per-call options arrive as keyword arguments
+    to :meth:`render` and unknown options must be rejected, not ignored,
+    so typos surface immediately.
+    """
+
+    #: Format name used for registration and error messages.
+    format_name: str = ""
+
+    @abc.abstractmethod
+    def render(self, index: "AuthorIndex", **options: object) -> str:
+        """Render ``index`` to a string document."""
+
+    @staticmethod
+    def _reject_unknown(options: dict[str, object], *known: str) -> None:
+        unknown = set(options) - set(known)
+        if unknown:
+            raise TypeError(f"unknown renderer options: {sorted(unknown)}")

@@ -1,0 +1,47 @@
+"""CSV renderer: one row per index entry, for spreadsheet-bound editors."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import TYPE_CHECKING
+
+from repro.core.render.base import Renderer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.builder import AuthorIndex
+
+#: Output column order.
+FIELDNAMES = ("author", "student", "title", "volume", "page", "year")
+
+
+class CsvRenderer(Renderer):
+    """RFC-4180 CSV output (header row included)."""
+
+    format_name = "csv"
+
+    def render(self, index: "AuthorIndex", **options: object) -> str:
+        """Render.
+
+        Options
+        -------
+        delimiter:
+            Field delimiter (default ``","``; pass ``"\\t"`` for TSV).
+        """
+        self._reject_unknown(options, "delimiter")
+        delimiter = str(options.get("delimiter", ","))
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=FIELDNAMES, delimiter=delimiter)
+        writer.writeheader()
+        for entry in index:
+            writer.writerow(
+                {
+                    "author": entry.author.inverted(),
+                    "student": "true" if entry.is_student_work else "false",
+                    "title": entry.title,
+                    "volume": entry.citation.volume,
+                    "page": entry.citation.page,
+                    "year": entry.citation.year,
+                }
+            )
+        return buffer.getvalue()

@@ -1,0 +1,73 @@
+"""HTML renderer: a semantic table with per-letter section anchors."""
+
+from __future__ import annotations
+
+import html
+from typing import TYPE_CHECKING
+
+from repro.core.render.base import Renderer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.builder import AuthorIndex
+
+
+class HtmlRenderer(Renderer):
+    """Standalone HTML document output."""
+
+    format_name = "html"
+
+    def render(self, index: "AuthorIndex", **options: object) -> str:
+        """Render.
+
+        Options
+        -------
+        title:
+            Document title (default ``"Author Index"``).
+        letter_anchors:
+            Emit an ``<h2 id="letter-X">`` before each new initial
+            (default True).
+        """
+        self._reject_unknown(options, "title", "letter_anchors")
+        title = str(options.get("title", "Author Index"))
+        anchors = bool(options.get("letter_anchors", True))
+
+        out: list[str] = [
+            "<!DOCTYPE html>",
+            '<html lang="en">',
+            "<head>",
+            '<meta charset="utf-8">',
+            f"<title>{html.escape(title)}</title>",
+            "</head>",
+            "<body>",
+            f"<h1>{html.escape(title)}</h1>",
+        ]
+        current_letter = ""
+        open_table = False
+        for group in index.groups():
+            letter = group.author.surname[:1].upper()
+            if anchors and letter != current_letter:
+                if open_table:
+                    out.append("</tbody></table>")
+                    open_table = False
+                current_letter = letter
+                out.append(f'<h2 id="letter-{html.escape(letter)}">{html.escape(letter)}</h2>')
+            if not open_table:
+                out.append(
+                    "<table><thead><tr><th>Author</th><th>Article</th>"
+                    "<th>Citation</th></tr></thead><tbody>"
+                )
+                open_table = True
+            heading = group.heading + ("*" if group.entries[0].is_student_work else "")
+            for i, entry in enumerate(group.entries):
+                author_cell = html.escape(heading) if i == 0 else ""
+                out.append(
+                    "<tr>"
+                    f"<td>{author_cell}</td>"
+                    f"<td>{html.escape(entry.title)}</td>"
+                    f"<td>{html.escape(entry.citation.columnar())}</td>"
+                    "</tr>"
+                )
+        if open_table:
+            out.append("</tbody></table>")
+        out += ["</body>", "</html>"]
+        return "\n".join(out) + "\n"

@@ -1,0 +1,43 @@
+"""JSON renderer: machine-readable index dump (stable field order)."""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from repro.core.render.base import Renderer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.builder import AuthorIndex
+
+
+class JsonRenderer(Renderer):
+    """JSON array of row objects; round-trips through the corpus loader."""
+
+    format_name = "json"
+
+    def render(self, index: "AuthorIndex", **options: object) -> str:
+        """Render.
+
+        Options
+        -------
+        indent:
+            JSON indentation (default 2; pass ``None`` for compact).
+        """
+        self._reject_unknown(options, "indent")
+        indent = options.get("indent", 2)
+        if indent is not None and not isinstance(indent, int):
+            raise TypeError("indent must be an int or None")
+        rows = [
+            {
+                "author": entry.author.inverted(),
+                "student": entry.is_student_work,
+                "title": entry.title,
+                "volume": entry.citation.volume,
+                "page": entry.citation.page,
+                "year": entry.citation.year,
+                "record_id": entry.record_id,
+            }
+            for entry in index
+        ]
+        return json.dumps(rows, indent=indent, ensure_ascii=False) + "\n"

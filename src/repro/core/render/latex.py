@@ -1,0 +1,77 @@
+"""LaTeX renderer: a ``longtable`` suitable for journal front matter."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.render.base import Renderer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.builder import AuthorIndex
+
+_SPECIALS = {
+    "\\": r"\textbackslash{}",
+    "&": r"\&",
+    "%": r"\%",
+    "$": r"\$",
+    "#": r"\#",
+    "_": r"\_",
+    "{": r"\{",
+    "}": r"\}",
+    "~": r"\textasciitilde{}",
+    "^": r"\textasciicircum{}",
+}
+
+
+def latex_escape(text: str) -> str:
+    """Escape LaTeX special characters.
+
+    >>> latex_escape("Tax & Estates: 50% _net_")
+    'Tax \\\\& Estates: 50\\\\% \\\\_net\\\\_'
+    """
+    return "".join(_SPECIALS.get(ch, ch) for ch in text)
+
+
+class LatexRenderer(Renderer):
+    """``longtable`` output (document body only unless ``standalone``)."""
+
+    format_name = "latex"
+
+    def render(self, index: "AuthorIndex", **options: object) -> str:
+        """Render.
+
+        Options
+        -------
+        standalone:
+            Wrap in a minimal compilable document (default False).
+        """
+        self._reject_unknown(options, "standalone")
+        standalone = bool(options.get("standalone", False))
+
+        body: list[str] = [
+            r"\begin{longtable}{p{0.28\textwidth}p{0.5\textwidth}r}",
+            r"\textbf{Author} & \textbf{Article} & \textbf{Citation} \\",
+            r"\hline",
+            r"\endhead",
+        ]
+        for group in index.groups():
+            heading = group.heading + ("*" if group.entries[0].is_student_work else "")
+            for i, entry in enumerate(group.entries):
+                author_cell = latex_escape(heading) if i == 0 else ""
+                body.append(
+                    f"{author_cell} & {latex_escape(entry.title)} & "
+                    f"{latex_escape(entry.citation.columnar())} \\\\"
+                )
+        body.append(r"\end{longtable}")
+
+        if not standalone:
+            return "\n".join(body) + "\n"
+        return "\n".join(
+            [
+                r"\documentclass{article}",
+                r"\usepackage{longtable}",
+                r"\begin{document}",
+                *body,
+                r"\end{document}",
+            ]
+        ) + "\n"

@@ -1,0 +1,49 @@
+"""Markdown renderer: one GFM table, author shown once per group."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.render.base import Renderer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.builder import AuthorIndex
+
+
+def _escape(text: str) -> str:
+    return text.replace("|", "\\|")
+
+
+class MarkdownRenderer(Renderer):
+    """GitHub-flavoured Markdown table output."""
+
+    format_name = "markdown"
+
+    def render(self, index: "AuthorIndex", **options: object) -> str:
+        """Render.
+
+        Options
+        -------
+        title:
+            Optional document heading (emitted as ``# title``).
+        repeat_author:
+            Print the author on every row instead of only the group's
+            first row (default False, matching the artifact's style).
+        """
+        self._reject_unknown(options, "title", "repeat_author")
+        title = options.get("title")
+        repeat_author = bool(options.get("repeat_author", False))
+
+        lines: list[str] = []
+        if title:
+            lines += [f"# {title}", ""]
+        lines += ["| Author | Article | Citation |", "| --- | --- | --- |"]
+        for group in index.groups():
+            heading = group.heading + ("*" if group.entries[0].is_student_work else "")
+            for i, entry in enumerate(group.entries):
+                author_cell = heading if (i == 0 or repeat_author) else ""
+                lines.append(
+                    f"| {_escape(author_cell)} | {_escape(entry.title)} "
+                    f"| {entry.citation.columnar()} |"
+                )
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,102 @@
+"""Index and corpus statistics.
+
+The fidelity experiment (E1) compares these numbers between the rebuilt
+index and the reference artifact: row counts, distinct headings, the
+student-material share, per-initial-letter distribution, per-volume counts,
+and the year span.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.builder import AuthorIndex
+
+
+@dataclass(frozen=True, slots=True)
+class IndexStatistics:
+    """Summary statistics of a built author index."""
+
+    entry_count: int
+    author_count: int
+    student_entry_count: int
+    entries_by_letter: Mapping[str, int]
+    entries_by_volume: Mapping[int, int]
+    year_min: int | None
+    year_max: int | None
+    multi_article_authors: int
+
+    @classmethod
+    def from_index(cls, index: "AuthorIndex") -> "IndexStatistics":
+        """Compute statistics for ``index``."""
+        by_letter: Counter[str] = Counter()
+        by_volume: Counter[int] = Counter()
+        students = 0
+        years: list[int] = []
+        for entry in index:
+            letter = entry.author.surname[:1].upper()
+            by_letter[letter] += 1
+            by_volume[entry.citation.volume] += 1
+            years.append(entry.citation.year)
+            if entry.is_student_work:
+                students += 1
+        groups = index.groups()
+        return cls(
+            entry_count=len(index),
+            author_count=len(groups),
+            student_entry_count=students,
+            entries_by_letter=dict(sorted(by_letter.items())),
+            entries_by_volume=dict(sorted(by_volume.items())),
+            year_min=min(years) if years else None,
+            year_max=max(years) if years else None,
+            multi_article_authors=sum(1 for g in groups if len(g.entries) > 1),
+        )
+
+    @property
+    def student_share(self) -> float:
+        """Fraction of rows carrying the student marker (0 when empty)."""
+        if self.entry_count == 0:
+            return 0.0
+        return self.student_entry_count / self.entry_count
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary."""
+        span = (
+            f"{self.year_min}-{self.year_max}"
+            if self.year_min is not None
+            else "n/a"
+        )
+        lines = [
+            f"entries:               {self.entry_count}",
+            f"author headings:       {self.author_count}",
+            f"student entries:       {self.student_entry_count}"
+            f" ({self.student_share:.1%})",
+            f"multi-article authors: {self.multi_article_authors}",
+            f"year span:             {span}",
+            f"volumes cited:         {len(self.entries_by_volume)}",
+        ]
+        return "\n".join(lines)
+
+    def compare(self, other: "IndexStatistics") -> dict[str, tuple[object, object]]:
+        """Fields that differ between ``self`` and ``other`` (E1 report)."""
+        deltas: dict[str, tuple[object, object]] = {}
+        for name in (
+            "entry_count",
+            "author_count",
+            "student_entry_count",
+            "year_min",
+            "year_max",
+            "multi_article_authors",
+        ):
+            mine, theirs = getattr(self, name), getattr(other, name)
+            if mine != theirs:
+                deltas[name] = (mine, theirs)
+        if self.entries_by_letter != other.entries_by_letter:
+            deltas["entries_by_letter"] = (
+                self.entries_by_letter,
+                other.entries_by_letter,
+            )
+        return deltas

@@ -1,0 +1,187 @@
+"""Title index — the author index's sibling front-matter artifact.
+
+Journal cumulative-index issues (the artifact's issue 5 among them) print a
+*Title Index* next to the author index: one row per article, alphabetized
+by title under the filing rule that skips leading articles ("A", "An",
+"The"), citing the same ``volume:page (year)`` column.
+
+The builder mirrors :class:`~repro.core.builder.AuthorIndexBuilder`:
+records in, ordered :class:`TitleEntry` rows out, with text/markdown
+rendering.  Authors are listed after the title the way the artifact's
+title indexes do.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.citation.model import Citation
+from repro.core.entry import PublicationRecord
+from repro.names.model import PersonName
+from repro.names.normalize import strip_diacritics
+
+#: Leading words skipped when filing a title ("The Law of Coal" files
+#: under L).  Only the *first* word is ever skipped, matching the
+#: artifact's convention.
+LEADING_ARTICLES = frozenset({"a", "an", "the"})
+
+
+_FILING_PUNCTUATION = str.maketrans("", "", "\"'’“”()[]{}*")
+
+
+def title_filing_key(title: str) -> str:
+    """Case/diacritic-folded filing key with the leading article skipped.
+
+    Quotes, brackets, and apostrophes are ignored for filing ("All My
+    Friends…" files under A, not under the quotation mark).
+
+    >>> title_filing_key("The Law of Coal")
+    'law of coal'
+    >>> title_filing_key("A Miner's Bill of Rights")
+    'miners bill of rights'
+    >>> title_filing_key("Theory of Law")
+    'theory of law'
+    >>> title_filing_key('"All My Friends" Essay')[0]
+    'a'
+    """
+    folded = strip_diacritics(title).casefold().translate(_FILING_PUNCTUATION)
+    words = folded.split()
+    if len(words) > 1 and words[0] in LEADING_ARTICLES:
+        words = words[1:]
+    return " ".join(words)
+
+
+@dataclass(frozen=True, slots=True)
+class TitleEntry:
+    """One printed row of the title index."""
+
+    title: str
+    authors: tuple[PersonName, ...]
+    citation: Citation
+    is_student_work: bool = False
+    record_id: int | None = None
+
+    def author_line(self) -> str:
+        """Authors joined the way the artifact prints them."""
+        names = [a.inverted() for a in self.authors]
+        return "; ".join(names)
+
+    def row_key(self) -> tuple:
+        return (title_filing_key(self.title), self.citation)
+
+
+class TitleIndex:
+    """A built title index: rows in filing order."""
+
+    def __init__(self, entries: Sequence[TitleEntry]):
+        self._entries = tuple(entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[TitleEntry]:
+        return iter(self._entries)
+
+    @property
+    def entries(self) -> tuple[TitleEntry, ...]:
+        return self._entries
+
+    def letters(self) -> list[str]:
+        """Distinct first filing letters, in order."""
+        seen: list[str] = []
+        for entry in self._entries:
+            letter = title_filing_key(entry.title)[:1].upper()
+            if not seen or seen[-1] != letter:
+                if letter not in seen:
+                    seen.append(letter)
+        return seen
+
+    def render_text(self, *, width: int = 78) -> str:
+        """Two-column text rendering: wrapped title+authors, citation."""
+        title_width = width - 18
+        lines: list[str] = []
+        for entry in self._entries:
+            marker = "*" if entry.is_student_work else ""
+            head = f"{entry.title}{marker}"
+            wrapped = textwrap.wrap(head, title_width) or [""]
+            cite = entry.citation.columnar()
+            first, *rest = wrapped
+            lines.append(f"{first:<{title_width}} {cite:>17}")
+            lines.extend(f"{cont:<{title_width}}" for cont in rest)
+            if entry.authors:
+                for cont in textwrap.wrap(entry.author_line(), title_width - 4):
+                    lines.append(f"    {cont}")
+        return "\n".join(lines) + "\n"
+
+    def render_markdown(self) -> str:
+        """GFM table rendering."""
+        lines = ["| Title | Authors | Citation |", "| --- | --- | --- |"]
+        for entry in self._entries:
+            marker = "\\*" if entry.is_student_work else ""
+            lines.append(
+                f"| {entry.title.replace('|', '∣')}{marker} "
+                f"| {entry.author_line().replace('|', '∣')} "
+                f"| {entry.citation.columnar()} |"
+            )
+        return "\n".join(lines) + "\n"
+
+
+class TitleIndexBuilder:
+    """Accumulates records and builds :class:`TitleIndex` values."""
+
+    def __init__(self) -> None:
+        self._records: list[PublicationRecord] = []
+
+    def add_record(self, record: PublicationRecord) -> "TitleIndexBuilder":
+        """Add one record; returns self for chaining."""
+        self._records.append(record)
+        return self
+
+    def add_records(self, records: Iterable[PublicationRecord]) -> "TitleIndexBuilder":
+        """Add many records; returns self for chaining."""
+        self._records.extend(records)
+        return self
+
+    def build(self) -> TitleIndex:
+        """One row per record, de-duplicated, in title filing order."""
+        entries = [
+            TitleEntry(
+                title=record.title,
+                authors=record.authors,
+                citation=record.citation,
+                is_student_work=record.is_student_work,
+                record_id=record.record_id,
+            )
+            for record in self._records
+        ]
+        seen: set[tuple] = set()
+        unique: list[TitleEntry] = []
+        for entry in entries:
+            key = entry.row_key()
+            if key not in seen:
+                seen.add(key)
+                unique.append(entry)
+        unique.sort(
+            key=lambda e: (
+                title_filing_key(e.title),
+                (e.citation.volume, e.citation.page),
+                e.title,
+            )
+        )
+        return TitleIndex(unique)
+
+
+def build_title_index(records: Iterable[PublicationRecord]) -> TitleIndex:
+    """One-call convenience mirroring :func:`repro.core.builder.build_index`.
+
+    >>> from repro.core.entry import PublicationRecord
+    >>> idx = build_title_index([
+    ...     PublicationRecord.create(1, "The Zebra Question", ["A, B."], "90:2 (1987)"),
+    ...     PublicationRecord.create(2, "Amicus Practice", ["C, D."], "90:1 (1987)"),
+    ... ])
+    >>> [e.title for e in idx]
+    ['Amicus Practice', 'The Zebra Question']
+    """
+    return TitleIndexBuilder().add_records(records).build()

@@ -1,0 +1,105 @@
+"""Per-volume tables of contents — the third front-matter artifact.
+
+A cumulative index issue opens with a volume-by-volume table of contents:
+articles in page order within each volume.  Trivial on top of the record
+model, but it completes the front-matter bundle the artifact's issue
+carries (author index, title index, contents) and gives the query engine a
+natural GROUP BY workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.entry import PublicationRecord
+
+
+@dataclass(frozen=True, slots=True)
+class VolumeContents:
+    """One volume's articles in page order."""
+
+    volume: int
+    year_min: int
+    year_max: int
+    records: tuple[PublicationRecord, ...]
+
+    @property
+    def article_count(self) -> int:
+        return len(self.records)
+
+    @property
+    def year_label(self) -> str:
+        if self.year_min == self.year_max:
+            return str(self.year_min)
+        return f"{self.year_min}-{self.year_max}"
+
+
+class TableOfContents:
+    """All volumes of a corpus, ascending."""
+
+    def __init__(self, volumes: Sequence[VolumeContents]):
+        self._volumes = tuple(volumes)
+
+    def __len__(self) -> int:
+        return len(self._volumes)
+
+    def __iter__(self) -> Iterator[VolumeContents]:
+        return iter(self._volumes)
+
+    def volume(self, number: int) -> VolumeContents | None:
+        """Contents of volume ``number``, or None."""
+        for vc in self._volumes:
+            if vc.volume == number:
+                return vc
+        return None
+
+    def render_text(self, *, width: int = 78) -> str:
+        """Headed text rendering, one block per volume."""
+        import textwrap
+
+        lines: list[str] = []
+        body = width - 8
+        for vc in self._volumes:
+            lines.append(f"VOLUME {vc.volume} ({vc.year_label})")
+            for record in vc.records:
+                marker = "*" if record.is_student_work else ""
+                authors = "; ".join(a.inverted() for a in record.authors)
+                head = f"{record.title}{marker} — {authors}"
+                wrapped = textwrap.wrap(head, body) or [""]
+                first, *rest = wrapped
+                lines.append(f"  {first:<{body}} {record.citation.page:>5}")
+                lines.extend(f"  {cont}" for cont in rest)
+            lines.append("")
+        return "\n".join(lines).rstrip() + "\n"
+
+
+def build_toc(records: Iterable[PublicationRecord]) -> TableOfContents:
+    """Group records by volume, pages ascending within each volume.
+
+    >>> from repro.core.entry import PublicationRecord
+    >>> toc = build_toc([
+    ...     PublicationRecord.create(1, "B", ["X, Y."], "70:163 (1967)"),
+    ...     PublicationRecord.create(2, "A", ["X, Y."], "70:20 (1967)"),
+    ...     PublicationRecord.create(3, "C", ["X, Y."], "69:1 (1966)"),
+    ... ])
+    >>> [(v.volume, [r.citation.page for r in v.records]) for v in toc]
+    [(69, [1]), (70, [20, 163])]
+    """
+    by_volume: dict[int, list[PublicationRecord]] = {}
+    for record in records:
+        by_volume.setdefault(record.citation.volume, []).append(record)
+
+    volumes = []
+    for number in sorted(by_volume):
+        group = sorted(by_volume[number], key=lambda r: (r.citation.page, r.title))
+        years = [r.citation.year for r in group]
+        volumes.append(
+            VolumeContents(
+                volume=number,
+                year_min=min(years),
+                year_max=max(years),
+                records=tuple(group),
+            )
+        )
+    return TableOfContents(volumes)

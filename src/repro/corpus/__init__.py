@@ -1,0 +1,40 @@
+"""Corpora: the WVLR reference data, raw-text ingest, synthetic generation.
+
+* :mod:`wvlr` — the curated machine-readable subset of the paper's own
+  index (the E1 ground truth), plus the store schema for publications.
+* :mod:`ingest` — parser for raw OCR'd index text shaped like the artifact.
+* :mod:`synthetic` — seeded generator of arbitrarily large corpora with a
+  configurable OCR-noise rate (E2–E8 workloads).
+"""
+
+from repro.corpus.wvlr import (
+    PUBLICATION_SCHEMA,
+    load_reference_records,
+    load_reference_reporter,
+    populate_store,
+)
+from repro.corpus.ingest import IngestReport, parse_index_text
+from repro.corpus.merge import (
+    ConflictPolicy,
+    MergeConflict,
+    MergeResult,
+    merge_corpora,
+    renumber,
+)
+from repro.corpus.synthetic import SyntheticCorpus, SyntheticCorpusConfig
+
+__all__ = [
+    "PUBLICATION_SCHEMA",
+    "load_reference_records",
+    "load_reference_reporter",
+    "populate_store",
+    "IngestReport",
+    "parse_index_text",
+    "ConflictPolicy",
+    "MergeConflict",
+    "MergeResult",
+    "merge_corpora",
+    "renumber",
+    "SyntheticCorpus",
+    "SyntheticCorpusConfig",
+]

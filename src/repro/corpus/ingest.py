@@ -1,0 +1,328 @@
+"""Ingest parser for raw OCR'd author-index text.
+
+Input is text shaped like the artifact itself: a stream of index rows
+interrupted by page furniture (running headers, repository boilerplate,
+bare page numbers), where each row starts with an inverted author name,
+continues with the title, ends with a ``volume:page (year)`` citation, and
+may wrap its title onto following lines::
+
+    Abramovsky, Deborah Confidentiality: The Future Crime- 85:929 (1983)
+    Contraband Dilemmas
+
+The parser:
+
+1. drops furniture lines by pattern;
+2. groups lines into entries — a line bearing a citation starts an entry,
+   citation-free lines continue the previous title (hyphen wraps repaired);
+3. splits author from title with a name-shape heuristic and parses both.
+
+Scanned text is ambiguous by nature (``Sharpe, Calvin William A Study…``
+cannot be split with certainty); unsure splits are recorded in
+:attr:`IngestReport.warnings` rather than silently guessed.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.citation.model import Citation
+from repro.citation.parser import find_citations
+from repro.core.entry import PublicationRecord
+from repro.names.model import canonical_honorific
+from repro.names.parser import try_parse_name
+from repro.textproc.hyphenation import join_hyphen_wraps
+
+_FURNITURE_PATTERNS = [
+    re.compile(r"^\d{1,4}$"),  # bare page / sequence numbers
+    re.compile(r"^\d{4}\]"),  # recto header: "1993] ..."
+    re.compile(r"^\d{4}1\s"),  # OCR'd recto header: "19931 1369"
+    re.compile(r"\[\s*Vol\b", re.IGNORECASE),
+    re.compile(r"\bAUTHOR\s+INDEX\b", re.IGNORECASE),
+    re.compile(r"^A\s?UTHOR\s+INDEX", re.IGNORECASE),
+    re.compile(r"WEST\s+VIRGINIA\s+LAW?\s*W?\s*REVIEW", re.IGNORECASE),
+    re.compile(r"Published by", re.IGNORECASE),
+    re.compile(r"et al\.?:", re.IGNORECASE),
+    re.compile(r"https?://|researchrepository", re.IGNORECASE),
+    re.compile(r"Recommended Citation|Available at:|Follow this", re.IGNORECASE),
+    re.compile(r"^Volume \d+|^Issue \d+|Cumulative Index", re.IGNORECASE),
+    re.compile(r"^\[?AUTHOR\b.*ARTICLE", re.IGNORECASE),  # column heads
+    re.compile(r"W\.?\s*VA\.?\s*L\.?\s*R[EV]+\.?\s*\]?$", re.IGNORECASE),
+    re.compile(r"^\d+\s+West Virginia Law Review", re.IGNORECASE),
+    re.compile(r"Student material is indicated", re.IGNORECASE),
+]
+
+_INITIALS = re.compile(r"^(?:[A-Z]\.)+,?\*?$")  # F.  W.T.,  F.*
+_PLAIN_NAME = re.compile(r"^[A-Z][A-Za-z'\-]+,?\*?$")
+_SUFFIX_TOKEN = re.compile(r"^(?:Jr\.?|Sr\.?|I{2,3}|IV|V|l{2}|1I|Il|lI|ll1?)[,.]?\*?$")
+
+
+@dataclass(slots=True)
+class IngestReport:
+    """Result of parsing raw index text."""
+
+    records: list[PublicationRecord] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    furniture_lines: int = 0
+    entry_lines: int = 0
+
+    @property
+    def record_count(self) -> int:
+        return len(self.records)
+
+
+#: Does a line open with an inverted name ("Surname, …")?
+_NAME_START = re.compile(r"^[A-Z][A-Za-z'’.\-]*(?: [A-Z][A-Za-z'’.\-]*)?,\s")
+
+
+def parse_index_text(
+    text: str, *, first_record_id: int = 1, layout: str = "auto"
+) -> IngestReport:
+    """Parse raw index text into publication records.
+
+    ``layout`` selects where each entry's citation sits:
+
+    * ``"citation-first"`` — the artifact's tabular layout: the citation
+      shares the entry's first line, wrapped title lines follow;
+    * ``"citation-last"`` — narrow-column layout: the entry wraps over
+      several lines and the citation ends it;
+    * ``"auto"`` (default) — detected from whether the lines *after*
+      citation-bearing lines look like new entries (start with an
+      inverted name).
+
+    >>> report = parse_index_text('''
+    ... AUTHOR ARTICLE W. VA. L. REV.
+    ... Abramovsky, Deborah Confidentiality: The Future Crime- 85:929 (1983)
+    ... Contraband Dilemmas
+    ... 1366
+    ... Areen, Judith Regulating Human Gene Therapy 88:153 (1985)
+    ... ''')
+    >>> report.record_count
+    2
+    >>> report.records[0].title
+    'Confidentiality: The Future Crime-Contraband Dilemmas'
+    >>> report.records[1].authors[0].surname
+    'Areen'
+
+    >>> narrow = parse_index_text('''
+    ... Adams, Nora Q. Coalbed Methane
+    ... After the Fire 96:101 (1993)
+    ... Brennan, Luis F. The UCC in the
+    ... Nineties 96:1 (1993)
+    ... ''')
+    >>> [r.authors[0].surname for r in narrow.records]
+    ['Adams', 'Brennan']
+    """
+    if layout not in ("auto", "citation-first", "citation-last"):
+        raise ValueError(f"unknown layout {layout!r}")
+    report = IngestReport()
+    content = [
+        line.strip() for line in text.splitlines() if not _is_furniture(line.strip())
+    ]
+    report.furniture_lines = sum(
+        1 for line in text.splitlines() if line.strip() and _is_furniture(line.strip())
+    )
+    report.entry_lines = len([l for l in content if l])
+    if layout == "auto":
+        layout = _detect_layout(content)
+    if layout == "citation-first":
+        blocks = _blocks_citation_first(content, report)
+    else:
+        blocks = _blocks_citation_last(content, report)
+    next_id = first_record_id
+    for first_line, continuations, citation in blocks:
+        entry = _parse_entry(first_line, continuations, citation, next_id, report)
+        if entry is not None:
+            report.records.append(entry)
+            next_id += 1
+    return report
+
+
+def _detect_layout(content: list[str]) -> str:
+    """Infer the citation position from line shapes.
+
+    In citation-first text, citation-bearing lines start entries, so they
+    begin with inverted names; in citation-last text the *following* line
+    does.  Majority vote, defaulting to citation-first (the artifact).
+    """
+    first_votes = 0
+    last_votes = 0
+    for i, line in enumerate(content):
+        if not find_citations(line):
+            continue
+        if _NAME_START.match(line):
+            first_votes += 1
+        follower = next((l for l in content[i + 1 :] if l), None)
+        if follower is not None and _NAME_START.match(follower) and not _NAME_START.match(line):
+            last_votes += 1
+    return "citation-last" if last_votes > first_votes else "citation-first"
+
+
+def _is_furniture(line: str) -> bool:
+    stripped = line.strip()
+    if not stripped:
+        return True
+    return any(p.search(stripped) for p in _FURNITURE_PATTERNS)
+
+
+def _blocks_citation_first(
+    content: list[str], report: IngestReport
+) -> list[tuple[str, list[str], Citation]]:
+    """Group lines into entries for the artifact's tabular layout: a
+    citation-bearing line starts an entry, citation-free lines continue
+    the previous title."""
+    blocks: list[tuple[str, list[str], Citation]] = []
+    current: tuple[str, list[str], Citation] | None = None
+    for line in content:
+        if not line:
+            continue
+        citations = find_citations(line)
+        if citations:
+            if current is not None:
+                blocks.append(current)
+            citation, span = citations[-1]
+            body = (line[: span[0]] + line[span[1] :]).strip()
+            current = (body, [], citation)
+        elif current is not None:
+            current[1].append(line)
+        else:
+            report.warnings.append(f"orphan continuation line: {line!r}")
+    if current is not None:
+        blocks.append(current)
+    return blocks
+
+
+def _blocks_citation_last(
+    content: list[str], report: IngestReport
+) -> list[tuple[str, list[str], Citation]]:
+    """Group lines for the narrow-column layout: lines accumulate until a
+    citation-bearing line closes the entry."""
+    blocks: list[tuple[str, list[str], Citation]] = []
+    pending: list[str] = []
+    for line in content:
+        if not line:
+            continue
+        citations = find_citations(line)
+        if not citations:
+            pending.append(line)
+            continue
+        citation, span = citations[-1]
+        body = (line[: span[0]] + line[span[1] :]).strip()
+        lines = pending + ([body] if body else [])
+        pending = []
+        if not lines:
+            report.warnings.append(f"citation with no entry text: {line!r}")
+            continue
+        blocks.append((lines[0], lines[1:], citation))
+    if pending:
+        report.warnings.append(
+            f"trailing lines without a citation: {' '.join(pending)!r}"
+        )
+    return blocks
+
+
+def _parse_entry(
+    first_line: str,
+    continuations: list[str],
+    citation: Citation,
+    record_id: int,
+    report: IngestReport,
+) -> PublicationRecord | None:
+    author_text, title_start, confident = _split_author(first_line)
+    if author_text is None:
+        report.warnings.append(f"cannot find an author in: {first_line!r}")
+        return None
+    if not confident:
+        report.warnings.append(
+            f"uncertain author/title split in: {first_line!r} "
+            f"(took author = {author_text!r})"
+        )
+    author = try_parse_name(author_text)
+    if author is None:
+        report.warnings.append(f"unparseable author {author_text!r}")
+        return None
+
+    title = title_start
+    for continuation in continuations:
+        title, _ = join_hyphen_wraps(title, continuation)
+    title = title.strip()
+    if not title:
+        report.warnings.append(f"entry for {author_text!r} has an empty title")
+        return None
+    return PublicationRecord(
+        record_id=record_id,
+        title=title,
+        authors=(author.with_student(False),),
+        citation=citation,
+        is_student_work=author.is_student,
+    )
+
+
+def _split_author(line: str) -> tuple[str | None, str, bool]:
+    """Split ``line`` into (author_text, title_text, confident).
+
+    The author is an inverted name: a surname segment ending with the first
+    comma, then given tokens consumed by name shape — honorifics, then
+    either initials (``F.``/``W.T.``) or one plain given name, optionally a
+    plain name *after* an initial (``L. Thomas``), then a generational
+    suffix.  Splits that end on a bare plain word followed by another
+    capitalized word are flagged unconfident.
+    """
+    tokens = line.split()
+    if not tokens:
+        return None, "", False
+    # surname segment: tokens up to and including the first comma-bearing one
+    try:
+        comma_at = next(i for i, t in enumerate(tokens) if t.endswith(","))
+    except StopIteration:
+        return None, "", False
+    consumed = comma_at + 1
+    # optional honorific
+    if consumed < len(tokens) and canonical_honorific(tokens[consumed].rstrip(",")):
+        consumed += 1
+
+    saw_initial = False
+    saw_plain = False
+    confident = True
+    while consumed < len(tokens):
+        token = tokens[consumed]
+        if _SUFFIX_TOKEN.match(token):
+            consumed += 1
+            break
+        if _INITIALS.match(token):
+            saw_initial = True
+            consumed += 1
+            if token.endswith((",", "*")) and not token.endswith(",*"):
+                # an initial ending the name outright ("F.*") — maybe a
+                # suffix follows, loop once more
+                if consumed < len(tokens) and _SUFFIX_TOKEN.match(tokens[consumed]):
+                    consumed += 1
+                break
+            continue
+        if _PLAIN_NAME.match(token) and not saw_plain:
+            # first plain given name; a second plain word is title unless it
+            # follows an initial ("L. Thomas")
+            saw_plain = True
+            consumed += 1
+            if token.endswith(","):
+                continue
+            if saw_initial:
+                break
+            # lone plain given name: a middle initial or suffix may follow
+            if consumed < len(tokens) and (
+                _INITIALS.match(tokens[consumed]) or _SUFFIX_TOKEN.match(tokens[consumed])
+            ):
+                continue
+            # a following plain word ("…, Judith Regulating…") is assumed to
+            # start the title, but the split is inherently ambiguous
+            if consumed < len(tokens) and _PLAIN_NAME.match(tokens[consumed]):
+                confident = False
+            break
+        break
+
+    if consumed == comma_at + 1:
+        # nothing after the comma looked like a name
+        return None, "", False
+    author_text = " ".join(tokens[:consumed]).rstrip(",")
+    title_text = " ".join(tokens[consumed:])
+    return author_text, title_text, confident

@@ -1,0 +1,144 @@
+"""Merging corpora: folding a new volume into the cumulative record set.
+
+Every year the cumulative index absorbs one more volume of records.  The
+merge must notice collisions — the same record id arriving with different
+content — and resolve them by explicit policy rather than silently keeping
+whichever came last.
+
+Two records with the same id and the same content are one record (an
+idempotent re-import); same id with different content is a conflict.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.entry import PublicationRecord
+from repro.errors import ValidationError
+
+
+class ConflictPolicy(enum.Enum):
+    """What to do when an incoming id collides with different content."""
+
+    ERROR = "error"  #: raise on the first conflict
+    KEEP_EXISTING = "keep-existing"  #: the base corpus wins
+    REPLACE = "replace"  #: the incoming record wins
+
+
+@dataclass(frozen=True, slots=True)
+class MergeConflict:
+    """One id that arrived with content differing from the base corpus."""
+
+    record_id: int
+    existing: PublicationRecord
+    incoming: PublicationRecord
+    resolution: str  #: "kept-existing" | "replaced"
+
+
+@dataclass(slots=True)
+class MergeResult:
+    """Outcome of a merge."""
+
+    records: list[PublicationRecord]
+    added: int = 0
+    unchanged: int = 0
+    conflicts: list[MergeConflict] = field(default_factory=list)
+
+    @property
+    def conflict_count(self) -> int:
+        return len(self.conflicts)
+
+    def summary(self) -> str:
+        return (
+            f"merged: {len(self.records)} total, {self.added} added, "
+            f"{self.unchanged} duplicates ignored, "
+            f"{self.conflict_count} conflicts"
+        )
+
+
+def _same_content(a: PublicationRecord, b: PublicationRecord) -> bool:
+    return (
+        a.title == b.title
+        and a.citation == b.citation
+        and a.is_student_work == b.is_student_work
+        and [x.identity_key() for x in a.authors] == [x.identity_key() for x in b.authors]
+    )
+
+
+def merge_corpora(
+    base: Sequence[PublicationRecord],
+    incoming: Iterable[PublicationRecord],
+    *,
+    on_conflict: ConflictPolicy = ConflictPolicy.ERROR,
+) -> MergeResult:
+    """Merge ``incoming`` records into ``base``.
+
+    Returns a :class:`MergeResult` whose ``records`` preserve base order
+    with additions appended in incoming order.  Under
+    :attr:`ConflictPolicy.ERROR` the first conflict raises
+    :class:`~repro.errors.ValidationError`.
+
+    >>> old = [PublicationRecord.create(1, "T1", ["A, B."], "69:1 (1966)")]
+    >>> new = [PublicationRecord.create(2, "T2", ["C, D."], "96:1 (1993)")]
+    >>> result = merge_corpora(old, new)
+    >>> [r.record_id for r in result.records]
+    [1, 2]
+    >>> result.added
+    1
+    """
+    by_id: dict[int, int] = {r.record_id: i for i, r in enumerate(base)}
+    merged = list(base)
+    result = MergeResult(records=merged)
+
+    for record in incoming:
+        at = by_id.get(record.record_id)
+        if at is None:
+            by_id[record.record_id] = len(merged)
+            merged.append(record)
+            result.added += 1
+            continue
+        existing = merged[at]
+        if _same_content(existing, record):
+            result.unchanged += 1
+            continue
+        if on_conflict is ConflictPolicy.ERROR:
+            raise ValidationError(
+                f"record id {record.record_id} arrives with different content "
+                f"({existing.title!r} vs {record.title!r})",
+                field="record_id",
+            )
+        if on_conflict is ConflictPolicy.REPLACE:
+            merged[at] = record
+            resolution = "replaced"
+        else:
+            resolution = "kept-existing"
+        result.conflicts.append(
+            MergeConflict(
+                record_id=record.record_id,
+                existing=existing,
+                incoming=record,
+                resolution=resolution,
+            )
+        )
+    return result
+
+
+def renumber(
+    records: Iterable[PublicationRecord], *, start: int = 1
+) -> list[PublicationRecord]:
+    """Reassign sequential record ids (used before merging corpora whose
+    id spaces overlap by construction, e.g. two independent ingests)."""
+    out = []
+    for i, record in enumerate(records, start=start):
+        out.append(
+            PublicationRecord(
+                record_id=i,
+                title=record.title,
+                authors=record.authors,
+                citation=record.citation,
+                is_student_work=record.is_student_work,
+            )
+        )
+    return out

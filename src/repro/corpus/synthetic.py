@@ -1,0 +1,300 @@
+"""Seeded synthetic corpora for the scale experiments.
+
+The reference corpus has 271 records; the benchmarks need thousands.  The
+generator produces publication records whose *distributions* mirror the
+artifact: a heavy-tailed author productivity curve (a few authors write
+many pieces), ~40% student material, 1–4 authors per piece, volume/year
+pairs that advance together, and titles built from the artifact's legal
+vocabulary.
+
+Everything is driven by one ``random.Random(seed)`` so corpora are exactly
+reproducible; :meth:`SyntheticCorpus.noisy_variants` additionally plants
+OCR damage with known ground truth for the E5 resolution experiment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.citation.model import Citation
+from repro.core.entry import PublicationRecord
+from repro.names.model import PersonName
+from repro.textproc.ocr import OCRNoiseModel
+
+_SURNAMES = [
+    "Abbott", "Adkins", "Alvarez", "Anderson", "Archer", "Atkinson",
+    "Bailey", "Barnes", "Bates-Smith", "Beasley", "Bell", "Bennett",
+    "Blake", "Bowman", "Brewer", "Brown", "Bryant", "Burke", "Byrd",
+    "Caldwell", "Campbell", "Cardi", "Carpenter", "Chambers", "Chapman",
+    "Clark", "Cleckley", "Cole", "Collins", "Conner", "Cooper", "Cox",
+    "Crain-Mountney", "Crawford", "Curry", "Dalton", "Daniels", "Davis",
+    "Dawson", "Deem", "Delgado", "Dennison", "Dickerson", "DiSalvo",
+    "Dixon", "Donley", "Dorsey", "Duffy", "Dunbar", "Eaton", "Elkins",
+    "Ellis", "Emerson", "Epstein", "Evans", "Farley", "Farrell",
+    "Ferguson", "Fisher", "FitzGerald", "Flannery", "Fleming", "Fox",
+    "Franklin", "Frazier", "Friedberg", "Fuller", "Galloway", "Garcia",
+    "Gibson", "Goodwin", "Graham", "Gray", "Greer", "Griffith", "Hagen",
+    "Hall", "Hamilton", "Harper", "Harris", "Hayes", "Henderson",
+    "Herndon", "Higginbotham", "Hill", "Hogg", "Holland", "Hooks",
+    "Horwitz", "Houston", "Hughes", "Hurney", "Ingram", "Jackson",
+    "Jaffe", "Jenkins", "Johnson", "Jones", "Jordan", "Kaplan", "Keeley",
+    "Keller", "Kennedy", "Kincaid", "King", "Kurland", "Lane", "Lapp",
+    "Lavender", "Lawrence", "Levine", "Lewin", "Lewis", "Lilly",
+    "Lorensen", "Lovell", "Lynd", "MacLeod", "Maddox", "Marshall",
+    "Martin", "Mason", "Matthews", "Maxwell", "McAteer", "McBride",
+    "McCauley", "McCune", "McDowell", "McGinley", "McGraw", "McLaughlin",
+    "Meadows", "Mercer", "Miller", "Minow", "Mitchell", "Mooney", "Moran",
+    "Morgan", "Morris", "Morse", "Murphy", "Neely", "Nichol", "Norman",
+    "O'Brien", "O'Hanlon", "Olson", "Ordman", "Osborne", "Palmer",
+    "Parker", "Parsons", "Patterson", "Perry", "Peterson", "Philipps",
+    "Porter", "Price", "Prunty", "Query", "Quick", "Ramsey", "Randolph",
+    "Reed", "Reynolds", "Rice", "Richards", "Riley", "Roberts",
+    "Robinson", "Rockefeller", "Rogers", "Ross", "Rowe", "Russell",
+    "Ryan", "Saunders", "Schauer", "Scott", "Sebok", "Shaffer", "Sharpe",
+    "Shepherd", "Simmons", "Slack", "Smith", "Snyder", "Solomons",
+    "Southworth", "Spieler", "Squillace", "Stanley", "Starcher", "Steele",
+    "Stephens", "Stewart", "Stone", "Strong", "Subotnik", "Sullivan",
+    "Summers", "Sutton", "Tarkenton", "Taylor", "Thomas", "Thompson",
+    "Tinney", "Trumka", "Tucker", "Turner", "Tushnet", "Udall",
+    "Van Damme", "Van Tol", "Vaughn", "Wagner", "Wald", "Walker",
+    "Wallace", "Ward", "Warner", "Watson", "Webb", "Webster-O'Keefe",
+    "Weller", "Wells", "West", "Whisker", "White", "Wilkinson",
+    "Williams", "Wilson", "Winter", "Wood", "Woodrum", "Wright", "Yost",
+    "Young", "Zimarowski", "Zlotnick",
+]
+
+_GIVEN = [
+    "Alice", "Amy", "Ann", "Anthony", "Barbara", "Benjamin", "Bruce",
+    "Carl", "Carol", "Charles", "Christopher", "Claire", "Daniel",
+    "David", "Deborah", "Dennis", "Diana", "Donald", "Dorothy", "Earl",
+    "Edward", "Elaine", "Elizabeth", "Ellen", "Emily", "Eric", "Frank",
+    "Gary", "George", "Gerald", "Grace", "Harold", "Harry", "Helen",
+    "Henry", "Irene", "James", "Jane", "Janet", "Jean", "Jeffrey",
+    "Jennifer", "Joan", "John", "Joseph", "Joshua", "Judith", "Karen",
+    "Katherine", "Keith", "Kenneth", "Kevin", "Larry", "Laura",
+    "Lawrence", "Linda", "Lloyd", "Louise", "Margaret", "Maria", "Mark",
+    "Martha", "Martin", "Mary", "Michael", "Nancy", "Patricia",
+    "Patrick", "Paul", "Peter", "Philip", "Rachel", "Ralph", "Raymond",
+    "Rebecca", "Richard", "Robert", "Roger", "Ronald", "Rosemary",
+    "Russell", "Ruth", "Samuel", "Sarah", "Scott", "Sharon", "Stephen",
+    "Steven", "Susan", "Thomas", "Timothy", "Vincent", "Walter",
+    "William",
+]
+
+_SUFFIXES = ["", "", "", "", "", "", "", "", "Jr.", "II", "III", "IV"]
+_HONORIFICS = ["", "", "", "", "", "", "", "", "", "Hon.", "Dr."]
+
+_TITLE_OPENERS = [
+    "A Critique of", "A Survey of", "An Analysis of", "The Future of",
+    "Reforming", "Rethinking", "The Law of", "Developments in",
+    "A Proposal for", "Judicial Review of", "The Limits of",
+    "Constitutional Dimensions of", "An Economic Analysis of",
+    "A Practitioner's Guide to", "Essay-On",
+]
+
+_TITLE_TOPICS = [
+    "Surface Mining Reclamation", "the Clean Water Act",
+    "Workers' Compensation", "Black Lung Benefits", "Coal Leasing",
+    "the Uniform Commercial Code", "Comparative Negligence",
+    "Habeas Corpus", "Mineral Rights", "Labor Arbitration",
+    "Strict Products Liability", "Ad Valorem Taxation",
+    "Double Jeopardy", "Equitable Distribution", "the Establishment Clause",
+    "Grievance Mediation", "Mine Safety Standards", "Secondary Boycotts",
+    "Intestate Succession", "Prejudgment Remedies", "Acid Rain Controls",
+    "Attorney Malpractice", "Jury Selection", "the Eleventh Amendment",
+]
+
+_TITLE_QUALIFIERS = [
+    "in West Virginia", "Under the 1977 Act", "After the Amendments",
+    "in the Coal Fields", "in the Federal Courts", "Revisited",
+    ": A Case Study", ": Problems and Proposals", ": An Overview",
+    ": The View from the Bench", "in the Appalachian Economy",
+    ": A Comparative Perspective", "", "", "",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SyntheticCorpusConfig:
+    """Generator parameters.
+
+    Attributes
+    ----------
+    size:
+        Number of publication records.
+    seed:
+        RNG seed; same config → byte-identical corpus.
+    author_pool:
+        Distinct authors to draw from; productivity is heavy-tailed, so a
+        pool smaller than ``size`` yields multi-article authors like the
+        artifact's.  Defaults to ``max(size // 2, 10)``.
+    student_share:
+        Probability a record is student material (the artifact: ~0.47).
+    coauthor_rate:
+        Probability of each additional author beyond the first (geometric,
+        capped at 4 authors).
+    first_volume / first_year:
+        Citation numbering anchors.
+    volumes:
+        Number of annual volumes the corpus spans.
+    """
+
+    size: int = 1000
+    seed: int = 0
+    author_pool: int | None = None
+    student_share: float = 0.47
+    coauthor_rate: float = 0.18
+    first_volume: int = 69
+    first_year: int = 1966
+    volumes: int = 27
+
+    def resolved_pool(self) -> int:
+        if self.author_pool is not None:
+            return self.author_pool
+        return max(self.size // 2, 10)
+
+
+class SyntheticCorpus:
+    """Deterministic corpus generator (see module docstring).
+
+    >>> corpus = SyntheticCorpus(SyntheticCorpusConfig(size=50, seed=7))
+    >>> records = corpus.records()
+    >>> len(records)
+    50
+    >>> records == SyntheticCorpus(SyntheticCorpusConfig(size=50, seed=7)).records()
+    True
+    """
+
+    def __init__(self, config: SyntheticCorpusConfig):
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._authors = self._make_author_pool()
+        self._records: list[PublicationRecord] | None = None
+
+    # -- authors ------------------------------------------------------------
+
+    def _make_author_pool(self) -> list[PersonName]:
+        """Distinct, *separable* authors.
+
+        Two different pool members must not be confusable with each other
+        (``Duffy, Diana`` vs ``Duffy, Diana, Jr.``): planted ground truth
+        that no resolver could distinguish would only measure the collision
+        rate of the generator, not resolution quality.  Candidates too
+        similar to an existing same-surname author are redrawn.
+        """
+        from repro.names.similarity import name_similarity
+
+        rng = self._rng
+        pool: list[PersonName] = []
+        by_surname: dict[str, list[PersonName]] = {}
+        seen: set[tuple] = set()
+        while len(pool) < self.config.resolved_pool():
+            surname = rng.choice(_SURNAMES)
+            given_first = rng.choice(_GIVEN)
+            style = rng.random()
+            if style < 0.45:
+                given = f"{given_first} {rng.choice(_GIVEN)[0]}."
+            elif style < 0.65:
+                given = f"{given_first[0]}. {rng.choice(_GIVEN)}"
+            else:
+                given = given_first
+            name = PersonName(
+                surname=surname,
+                given=given,
+                suffix=rng.choice(_SUFFIXES),
+                honorific=rng.choice(_HONORIFICS),
+            )
+            key = name.identity_key()
+            if key in seen:
+                continue
+            rivals = by_surname.get(surname.casefold(), [])
+            if any(name_similarity(name, rival) >= 0.80 for rival in rivals):
+                continue
+            seen.add(key)
+            by_surname.setdefault(surname.casefold(), []).append(name)
+            pool.append(name)
+        return pool
+
+    def _pick_author(self) -> PersonName:
+        # Heavy tail: squaring a uniform biases toward low indexes, so the
+        # pool's head authors accumulate many articles.
+        u = self._rng.random()
+        index = int((u * u) * len(self._authors))
+        return self._authors[min(index, len(self._authors) - 1)]
+
+    # -- records -------------------------------------------------------------
+
+    def records(self) -> list[PublicationRecord]:
+        """The corpus (generated once, cached)."""
+        if self._records is None:
+            self._records = [self._make_record(i) for i in range(self.config.size)]
+        return self._records
+
+    def _make_record(self, i: int) -> PublicationRecord:
+        rng = self._rng
+        cfg = self.config
+        authors = [self._pick_author()]
+        while len(authors) < 4 and rng.random() < cfg.coauthor_rate:
+            candidate = self._pick_author()
+            if all(c.identity_key() != candidate.identity_key() for c in authors):
+                authors.append(candidate)
+        volume_offset = rng.randrange(cfg.volumes)
+        volume = cfg.first_volume + volume_offset
+        year = cfg.first_year + volume_offset + rng.choice((0, 0, 0, 1))
+        citation = Citation(volume=volume, page=1 + rng.randrange(1400), year=year)
+        title = " ".join(
+            part
+            for part in (
+                rng.choice(_TITLE_OPENERS),
+                rng.choice(_TITLE_TOPICS),
+                rng.choice(_TITLE_QUALIFIERS),
+            )
+            if part
+        ).replace(" :", ":")
+        return PublicationRecord(
+            record_id=i + 1,
+            title=title,
+            authors=tuple(authors),
+            citation=citation,
+            is_student_work=rng.random() < cfg.student_share,
+        )
+
+    # -- planted OCR noise (E5 ground truth) -------------------------------------
+
+    def noisy_variants(
+        self, *, noise_rate: float = 2.0, variants_per_author: int = 3
+    ) -> tuple[list[PersonName], list[list[int]]]:
+        """OCR-damaged name variants with ground-truth clusters.
+
+        Returns ``(names, truth)`` where ``truth`` lists, per real author,
+        the indexes into ``names`` that denote that author.  The first
+        variant of each author is clean; the rest pass through
+        :class:`OCRNoiseModel` (surname only, the dominant damage channel
+        in the artifact).
+        """
+        model = OCRNoiseModel(rate=noise_rate, rng=random.Random(self.config.seed + 1))
+        names: list[PersonName] = []
+        truth: list[list[int]] = []
+        for author in self._authors:
+            group: list[int] = []
+            for v in range(variants_per_author):
+                surname = author.surname if v == 0 else model.corrupt(author.surname)
+                if not surname.strip():
+                    surname = author.surname
+                group.append(len(names))
+                names.append(
+                    PersonName(
+                        surname=surname,
+                        given=author.given,
+                        suffix=author.suffix,
+                        honorific=author.honorific,
+                    )
+                )
+            truth.append(group)
+        return names, truth
+
+
+def generate_records(size: int, seed: int = 0) -> Sequence[PublicationRecord]:
+    """Shorthand used by benchmarks: ``generate_records(5000, seed=1)``."""
+    return SyntheticCorpus(SyntheticCorpusConfig(size=size, seed=seed)).records()

@@ -1,0 +1,111 @@
+"""The WVLR reference corpus and the publication store schema.
+
+``data/wvlr_reference.json`` is a curated, machine-readable subset of the
+artifact (271 records, every behaviour class the printed index exhibits:
+generational suffixes, honorifics, student asterisks, hyphenated and
+particled surnames, co-authored pieces, and verbatim OCR damage).
+"""
+
+from __future__ import annotations
+
+import json
+from importlib import resources
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.citation.model import Reporter
+from repro.core.entry import PublicationRecord
+from repro.errors import CorpusError
+from repro.storage.schema import Field, FieldType, Schema
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.store import RecordStore
+
+#: Store schema for publication records (matches
+#: :meth:`repro.core.entry.PublicationRecord.to_store_dict`).
+PUBLICATION_SCHEMA = Schema(
+    [
+        Field("id", FieldType.INT),
+        Field("title", FieldType.STRING),
+        Field("authors", FieldType.STRING_LIST),
+        Field("surnames", FieldType.STRING_LIST),
+        Field("volume", FieldType.INT),
+        Field("page", FieldType.INT),
+        Field("year", FieldType.INT),
+        Field("student", FieldType.BOOL),
+    ],
+    primary_key="id",
+)
+
+_DATA_PACKAGE = "repro.corpus"
+_DATA_NAME = "data/wvlr_reference.json"
+
+
+def _load_raw() -> dict:
+    try:
+        text = (
+            resources.files(_DATA_PACKAGE).joinpath(_DATA_NAME).read_text("utf-8")
+        )
+    except (FileNotFoundError, ModuleNotFoundError) as exc:
+        raise CorpusError(f"reference corpus data missing: {exc}") from exc
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CorpusError(f"reference corpus is not valid JSON: {exc}") from exc
+
+
+def load_reference_records() -> list[PublicationRecord]:
+    """The curated WVLR records, parsed into :class:`PublicationRecord`.
+
+    >>> records = load_reference_records()
+    >>> len(records) > 250
+    True
+    >>> any(len(r.authors) > 1 for r in records)
+    True
+    """
+    raw = _load_raw()
+    records = []
+    for item in raw["records"]:
+        records.append(
+            PublicationRecord.create(
+                item["id"], item["title"], item["authors"], item["citation"]
+            )
+        )
+    return records
+
+
+def load_reference_reporter() -> Reporter:
+    """The reporter the reference corpus cites."""
+    raw = _load_raw()["reporter"]
+    return Reporter(name=raw["name"], abbreviation=raw["abbreviation"])
+
+
+def load_reference_metadata() -> dict:
+    """Volume/year/first-page metadata of the artifact."""
+    raw = _load_raw()["reporter"]
+    return {
+        "volume": raw["volume"],
+        "year": raw["year"],
+        "first_page": raw["first_page"],
+    }
+
+
+def populate_store(
+    store: "RecordStore", records: list[PublicationRecord] | None = None
+) -> int:
+    """Load records into ``store`` (defaults to the reference corpus).
+
+    Returns the number of records inserted.  The store must use
+    :data:`PUBLICATION_SCHEMA` (or a superset).
+    """
+    if records is None:
+        records = load_reference_records()
+    with store.transaction() as txn:
+        for record in records:
+            txn.insert(record.to_store_dict())
+    return len(records)
+
+
+def corpus_data_path() -> Path:
+    """Filesystem path of the bundled JSON (for tooling and docs)."""
+    return Path(str(resources.files(_DATA_PACKAGE).joinpath(_DATA_NAME)))

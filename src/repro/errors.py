@@ -1,0 +1,110 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by library code derives from :class:`ReproError` so that
+callers can catch the whole family with a single ``except`` clause while the
+subclasses keep error handling precise.  Errors carry enough structured
+context (offsets, field names, record ids) to be actionable without string
+parsing.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ParseError(ReproError):
+    """Raised when structured text cannot be parsed.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the problem.
+    text:
+        The offending input (may be truncated by the caller).
+    position:
+        Zero-based offset into ``text`` where the problem was detected, or
+        ``None`` when no single position applies.
+    """
+
+    def __init__(self, message: str, text: str = "", position: int | None = None):
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = super().__str__()
+        if self.position is not None:
+            return f"{base} (at offset {self.position} in {self.text!r})"
+        if self.text:
+            return f"{base} (in {self.text!r})"
+        return base
+
+
+class NameParseError(ParseError):
+    """Raised when an author name cannot be parsed."""
+
+
+class CitationParseError(ParseError):
+    """Raised when a citation string cannot be parsed."""
+
+
+class QueryError(ReproError):
+    """Base class for query-engine errors."""
+
+
+class QuerySyntaxError(QueryError, ParseError):
+    """Raised when a query string is syntactically invalid."""
+
+
+class QueryPlanError(QueryError):
+    """Raised when a valid query cannot be planned (e.g. unknown field)."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-engine errors."""
+
+
+class CorruptLogError(StorageError):
+    """Raised when the write-ahead log fails CRC or framing validation."""
+
+    def __init__(self, message: str, offset: int | None = None):
+        super().__init__(message)
+        self.offset = offset
+
+
+class DuplicateKeyError(StorageError):
+    """Raised when inserting a record whose primary key already exists."""
+
+    def __init__(self, key: object):
+        super().__init__(f"duplicate primary key: {key!r}")
+        self.key = key
+
+
+class RecordNotFoundError(StorageError):
+    """Raised when a record id does not exist in the store."""
+
+    def __init__(self, key: object):
+        super().__init__(f"no record with primary key: {key!r}")
+        self.key = key
+
+
+class TransactionError(StorageError):
+    """Raised on invalid transaction usage (nested begin, commit w/o begin)."""
+
+
+class ValidationError(ReproError):
+    """Raised when a record or entry violates a model invariant."""
+
+    def __init__(self, message: str, field: str | None = None):
+        super().__init__(message)
+        self.field = field
+
+
+class RenderError(ReproError):
+    """Raised when an index cannot be rendered to the requested format."""
+
+
+class CorpusError(ReproError):
+    """Raised when corpus data files are missing or malformed."""

@@ -1,0 +1,23 @@
+"""Interchange formats: BibTeX and CSV for publication records.
+
+Downstream users adopt an index engine only if records can flow in and
+out of their existing tooling; these modules give lossless round-trips
+between :class:`~repro.core.entry.PublicationRecord` and the two formats
+bibliographies actually live in.
+"""
+
+from repro.export.bibtex import (
+    format_bibtex,
+    parse_bibtex,
+    record_to_bibtex,
+)
+from repro.export.csvio import dumps_csv, read_csv, write_csv
+
+__all__ = [
+    "format_bibtex",
+    "parse_bibtex",
+    "record_to_bibtex",
+    "dumps_csv",
+    "read_csv",
+    "write_csv",
+]

@@ -1,0 +1,182 @@
+"""BibTeX interchange.
+
+Writes publication records as ``@article`` entries and parses them back.
+The parser is deliberately scoped to the dialect this module emits plus
+common hand-written variants: ``@article{key, field = {value}, ...}`` with
+brace- or quote-delimited values, case-insensitive field names, and
+``and``-separated author lists in either name order.
+
+It is not a general TeX parser — nested braces are handled, TeX macros in
+values are passed through verbatim.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from repro.citation.model import Citation
+from repro.core.entry import PublicationRecord
+from repro.errors import ParseError
+from repro.names.model import NameForm
+from repro.names.parser import parse_name
+
+
+def _cite_key(record: PublicationRecord) -> str:
+    surname = re.sub(r"[^a-z]", "", record.authors[0].surname.casefold())
+    return f"{surname or 'anon'}{record.citation.year}v{record.citation.volume}p{record.citation.page}"
+
+
+def record_to_bibtex(record: PublicationRecord, *, journal: str = "") -> str:
+    """One record as an ``@article`` entry.
+
+    >>> rec = PublicationRecord.create(
+    ...     1, "Thin Copyrights", ["Olson, Dale P."], "95:147 (1992)")
+    >>> print(record_to_bibtex(rec, journal="W. Va. L. Rev."))
+    @article{olson1992v95p147,
+      author  = {Olson, Dale P.},
+      title   = {Thin Copyrights},
+      journal = {W. Va. L. Rev.},
+      volume  = {95},
+      pages   = {147},
+      year    = {1992},
+      note    = {}
+    }
+    """
+    authors = " and ".join(a.inverted() for a in record.authors)
+    note = "student work" if record.is_student_work else ""
+    lines = [
+        f"@article{{{_cite_key(record)},",
+        f"  author  = {{{authors}}},",
+        f"  title   = {{{record.title}}},",
+        f"  journal = {{{journal}}},",
+        f"  volume  = {{{record.citation.volume}}},",
+        f"  pages   = {{{record.citation.page}}},",
+        f"  year    = {{{record.citation.year}}},",
+        f"  note    = {{{note}}}",
+        "}",
+    ]
+    return "\n".join(lines)
+
+
+def format_bibtex(
+    records: Iterable[PublicationRecord], *, journal: str = ""
+) -> str:
+    """A whole corpus as a BibTeX file."""
+    return "\n\n".join(record_to_bibtex(r, journal=journal) for r in records) + "\n"
+
+
+_ENTRY_RE = re.compile(r"@(\w+)\s*\{", re.IGNORECASE)
+
+
+def parse_bibtex(text: str, *, first_record_id: int = 1) -> list[PublicationRecord]:
+    """Parse ``@article`` entries out of ``text``.
+
+    Non-article entry types are skipped.  Raises
+    :class:`~repro.errors.ParseError` on structurally broken entries
+    (unbalanced braces, missing required fields).
+
+    >>> recs = parse_bibtex(record_to_bibtex(PublicationRecord.create(
+    ...     1, "Thin Copyrights", ["Olson, Dale P."], "95:147 (1992)")))
+    >>> recs[0].title
+    'Thin Copyrights'
+    >>> recs[0].authors[0].surname
+    'Olson'
+    """
+    records: list[PublicationRecord] = []
+    next_id = first_record_id
+    for match in _ENTRY_RE.finditer(text):
+        entry_type = match.group(1).casefold()
+        body, _end = _read_braced(text, match.end() - 1)
+        if entry_type != "article":
+            continue
+        fields = _parse_fields(body)
+        records.append(_record_from_fields(fields, next_id, body))
+        next_id += 1
+    return records
+
+
+def _read_braced(text: str, open_at: int) -> tuple[str, int]:
+    """Content of the brace group opening at ``open_at``; returns (body, end)."""
+    assert text[open_at] == "{"
+    depth = 0
+    for i in range(open_at, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return text[open_at + 1 : i], i
+    raise ParseError("unbalanced braces in BibTeX entry", text=text[open_at : open_at + 40])
+
+
+_FIELD_RE = re.compile(r"(\w+)\s*=\s*", re.IGNORECASE)
+
+
+def _parse_fields(body: str) -> dict[str, str]:
+    # drop the cite key (up to the first comma at depth 0)
+    depth = 0
+    start = 0
+    for i, ch in enumerate(body):
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            start = i + 1
+            break
+    fields: dict[str, str] = {}
+    i = start
+    while True:
+        match = _FIELD_RE.search(body, i)
+        if match is None:
+            break
+        name = match.group(1).casefold()
+        at = match.end()
+        if at >= len(body):
+            break
+        if body[at] == "{":
+            value, end = _read_braced(body, at)
+            i = end + 1
+        elif body[at] == '"':
+            closing = body.find('"', at + 1)
+            if closing == -1:
+                raise ParseError("unterminated quoted value", text=body[at : at + 40])
+            value = body[at + 1 : closing]
+            i = closing + 1
+        else:
+            # bare value (numbers): up to comma or end
+            comma = body.find(",", at)
+            value = body[at:comma] if comma != -1 else body[at:]
+            i = (comma + 1) if comma != -1 else len(body)
+        fields[name] = value.strip()
+    return fields
+
+
+def _record_from_fields(
+    fields: dict[str, str], record_id: int, context: str
+) -> PublicationRecord:
+    for required in ("author", "title", "volume", "pages", "year"):
+        if required not in fields or not fields[required]:
+            raise ParseError(f"BibTeX entry missing {required!r}", text=context[:60])
+    authors = []
+    for chunk in re.split(r"\s+and\s+", fields["author"]):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        form = NameForm.INVERTED if "," in chunk else NameForm.DIRECT
+        authors.append(parse_name(chunk, form=form))
+    try:
+        page = int(re.split(r"[-–]", fields["pages"])[0])
+        citation = Citation(
+            volume=int(fields["volume"]), page=page, year=int(fields["year"])
+        )
+    except ValueError as exc:
+        raise ParseError(f"non-numeric citation field: {exc}", text=context[:60]) from exc
+    return PublicationRecord(
+        record_id=record_id,
+        title=fields["title"],
+        authors=tuple(authors),
+        citation=citation,
+        is_student_work="student" in fields.get("note", "").casefold(),
+    )

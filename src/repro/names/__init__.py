@@ -1,0 +1,49 @@
+"""Author-name handling: parsing, normalization, similarity, resolution.
+
+The paper's artifact is keyed entirely by author names in inverted
+(`Surname, Given M., Suffix`) form, decorated with honorifics (``Hon.``,
+``Dr.``) and the student-material asterisk.  This package turns those raw
+strings into structured :class:`~repro.names.model.PersonName` values,
+provides the string-distance toolbox used for OCR-noise matching, and
+clusters name variants that denote the same person.
+"""
+
+from repro.names.model import NameForm, PersonName
+from repro.names.parser import parse_name, try_parse_name
+from repro.names.normalize import (
+    fold_case,
+    normalization_key,
+    strip_diacritics,
+    strip_ocr_artifacts,
+)
+from repro.names.similarity import (
+    damerau_levenshtein,
+    jaccard_ngrams,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    name_similarity,
+    soundex,
+)
+from repro.names.resolution import NameResolver, ResolutionReport, resolve_names
+
+__all__ = [
+    "NameForm",
+    "PersonName",
+    "parse_name",
+    "try_parse_name",
+    "fold_case",
+    "normalization_key",
+    "strip_diacritics",
+    "strip_ocr_artifacts",
+    "levenshtein",
+    "damerau_levenshtein",
+    "jaro",
+    "jaro_winkler",
+    "jaccard_ngrams",
+    "soundex",
+    "name_similarity",
+    "NameResolver",
+    "ResolutionReport",
+    "resolve_names",
+]

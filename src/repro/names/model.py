@@ -1,0 +1,189 @@
+"""Structured representation of person names.
+
+The model follows the inverted bibliographic form used by author indexes::
+
+    Surname, Given M., Suffix
+
+optionally preceded by an honorific (``Hon.``, ``Dr.``) and optionally
+followed by the student-material marker ``*`` (the paper's footnote 1:
+"Student material is indicated with an asterisk").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+#: Generational suffixes in their canonical spelling, mapped to a sort rank.
+#: Rank order follows bibliographic convention: the bare name sorts first,
+#: then Jr., Sr., then numerals in numeric order.
+SUFFIX_RANKS: dict[str, int] = {
+    "": 0,
+    "Jr.": 1,
+    "Sr.": 2,
+    "II": 3,
+    "III": 4,
+    "IV": 5,
+    "V": 6,
+}
+
+#: Accepted spellings for each canonical suffix, lower-cased.  The OCR'd
+#: paper text writes ``II`` as ``ll``/``1I``/``11`` and ``III`` as ``lII``
+#: etc.; those variants are handled by the parser's OCR pre-pass, not here.
+SUFFIX_SPELLINGS: dict[str, str] = {
+    "jr": "Jr.",
+    "jr.": "Jr.",
+    "junior": "Jr.",
+    "sr": "Sr.",
+    "sr.": "Sr.",
+    "senior": "Sr.",
+    "ii": "II",
+    "iii": "III",
+    "iv": "IV",
+    "v": "V",
+}
+
+#: Honorifics recognized in front of a given name, canonical spelling.
+HONORIFICS: dict[str, str] = {
+    "hon": "Hon.",
+    "hon.": "Hon.",
+    "dr": "Dr.",
+    "dr.": "Dr.",
+    "rev": "Rev.",
+    "rev.": "Rev.",
+    "prof": "Prof.",
+    "prof.": "Prof.",
+    "judge": "Judge",
+    "justice": "Justice",
+}
+
+
+class NameForm(enum.Enum):
+    """How a raw name string was written."""
+
+    INVERTED = "inverted"  #: ``Surname, Given``
+    DIRECT = "direct"  #: ``Given Surname``
+    SURNAME_ONLY = "surname_only"  #: a bare surname
+
+
+@dataclass(frozen=True, slots=True)
+class PersonName:
+    """A parsed person name.
+
+    Attributes
+    ----------
+    surname:
+        Family name, possibly hyphenated or multi-word (``Bates-Smith``,
+        ``Van Damme``).  Never empty.
+    given:
+        Given names and initials as written (``Tarek F.``), empty when the
+        source only had a surname.
+    suffix:
+        Canonical generational suffix (one of :data:`SUFFIX_RANKS`) or ``""``.
+    honorific:
+        Canonical honorific (``Hon.``) or ``""``.
+    is_student:
+        True when the source carried the student-material asterisk.
+    raw:
+        The original string, preserved verbatim for provenance.
+    form:
+        Which syntactic form the raw string used.
+    """
+
+    surname: str
+    given: str = ""
+    suffix: str = ""
+    honorific: str = ""
+    is_student: bool = False
+    raw: str = ""
+    form: NameForm = NameForm.INVERTED
+
+    def __post_init__(self) -> None:
+        if not self.surname or not self.surname.strip():
+            raise ValidationError("surname must be non-empty", field="surname")
+        if self.suffix not in SUFFIX_RANKS:
+            raise ValidationError(
+                f"suffix must be canonical, got {self.suffix!r}", field="suffix"
+            )
+
+    @property
+    def suffix_rank(self) -> int:
+        """Sort rank of the generational suffix (bare name first)."""
+        return SUFFIX_RANKS[self.suffix]
+
+    @property
+    def initials(self) -> str:
+        """Upper-case initials of the given names, e.g. ``"TF"``."""
+        parts = [p for p in self.given.replace(".", " ").split() if p]
+        return "".join(p[0].upper() for p in parts)
+
+    def inverted(self, *, student_marker: bool = False) -> str:
+        """Render in index form: ``Surname, Hon. Given M., Suffix*``.
+
+        ``student_marker`` appends the asterisk when :attr:`is_student` is
+        set, matching the paper's convention.
+        """
+        pieces = [self.surname]
+        given = f"{self.honorific} {self.given}".strip()
+        if given:
+            pieces.append(given)
+        if self.suffix:
+            pieces.append(self.suffix)
+        text = ", ".join(pieces)
+        if student_marker and self.is_student:
+            text += "*"
+        return text
+
+    def direct(self) -> str:
+        """Render in natural reading order: ``Hon. Given M. Surname, Suffix``."""
+        front = " ".join(p for p in (self.honorific, self.given, self.surname) if p)
+        if self.suffix:
+            return f"{front}, {self.suffix}"
+        return front
+
+    def with_student(self, is_student: bool) -> "PersonName":
+        """Return a copy with the student flag replaced."""
+        return PersonName(
+            surname=self.surname,
+            given=self.given,
+            suffix=self.suffix,
+            honorific=self.honorific,
+            is_student=is_student,
+            raw=self.raw,
+            form=self.form,
+        )
+
+    def identity_key(self) -> tuple[str, str, str]:
+        """Key identifying the same *person* across student/non-student rows.
+
+        Honorifics and the student marker are presentation, not identity; the
+        suffix is identity (``Jr.`` and ``III`` are different people).
+        """
+        return (self.surname.casefold(), self.given.casefold(), self.suffix)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.inverted(student_marker=True)
+
+
+def canonical_suffix(token: str) -> str | None:
+    """Map a raw suffix token to its canonical spelling.
+
+    Returns ``None`` when the token is not a recognized suffix.  Trailing
+    commas/periods are tolerated; Roman numerals are upper-cased.
+
+    >>> canonical_suffix("jr")
+    'Jr.'
+    >>> canonical_suffix("III")
+    'III'
+    >>> canonical_suffix("Esq") is None
+    True
+    """
+    cleaned = token.strip().strip(",").casefold()
+    return SUFFIX_SPELLINGS.get(cleaned)
+
+
+def canonical_honorific(token: str) -> str | None:
+    """Map a raw honorific token to its canonical spelling, or ``None``."""
+    return HONORIFICS.get(token.strip().casefold())

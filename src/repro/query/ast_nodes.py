@@ -1,0 +1,225 @@
+"""Query abstract syntax tree.
+
+Expressions are immutable dataclasses evaluated against plain record dicts.
+``field:value`` in the surface language means *matches*: equality for
+scalars, membership for list fields — the evaluator dispatches on the
+record value's runtime type.
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+import re
+from dataclasses import dataclass
+from typing import Any, Mapping, Union
+
+
+class Operator(enum.Enum):
+    """Comparison operators of the query language."""
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    MATCH = ":"  # equality for scalars, membership for lists
+
+    @property
+    def is_range(self) -> bool:
+        """True for operators a B-tree range scan can serve."""
+        return self in (Operator.LT, Operator.LE, Operator.GT, Operator.GE)
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    """``field <op> value``."""
+
+    field: str
+    op: Operator
+    value: Any
+
+    def evaluate(self, record: Mapping[str, Any]) -> bool:
+        actual = record.get(self.field)
+        if actual is None:
+            return False
+        if self.op is Operator.MATCH:
+            if isinstance(actual, list):
+                return self.value in actual
+            return _loose_eq(actual, self.value)
+        if self.op is Operator.EQ:
+            if isinstance(actual, list):
+                return self.value in actual
+            return _loose_eq(actual, self.value)
+        if self.op is Operator.NE:
+            if isinstance(actual, list):
+                return self.value not in actual
+            return not _loose_eq(actual, self.value)
+        if isinstance(actual, list):
+            return False  # ordered comparisons are undefined on lists
+        try:
+            if self.op is Operator.LT:
+                return actual < self.value
+            if self.op is Operator.LE:
+                return actual <= self.value
+            if self.op is Operator.GT:
+                return actual > self.value
+            if self.op is Operator.GE:
+                return actual >= self.value
+        except TypeError:
+            return False
+        raise AssertionError(f"unhandled operator {self.op}")  # pragma: no cover
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.field} {self.op.value} {self.value!r}"
+
+
+def _loose_eq(actual: Any, expected: Any) -> bool:
+    """Equality that lets int query literals match float fields and
+    case-folds nothing (string matching is exact)."""
+    if isinstance(actual, bool) or isinstance(expected, bool):
+        return actual is expected or actual == expected
+    return actual == expected
+
+
+@dataclass(frozen=True, slots=True)
+class Membership:
+    """``field IN (v1, v2, …)`` — equality against any of several values.
+
+    List fields match when any element is among the values.
+    """
+
+    field: str
+    values: tuple[Any, ...]
+
+    def evaluate(self, record: Mapping[str, Any]) -> bool:
+        actual = record.get(self.field)
+        if actual is None:
+            return False
+        if isinstance(actual, list):
+            return any(v in self.values for v in actual)
+        return any(_loose_eq(actual, v) for v in self.values)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(repr(v) for v in self.values)
+        return f"{self.field} IN ({inner})"
+
+
+@functools.lru_cache(maxsize=256)
+def _like_regex(pattern: str) -> re.Pattern[str]:
+    """Compile a SQL-style LIKE pattern (``%`` = any run) to a regex."""
+    parts = [re.escape(chunk) for chunk in pattern.split("%")]
+    return re.compile("^" + ".*".join(parts) + "$", re.DOTALL)
+
+
+@dataclass(frozen=True, slots=True)
+class Like:
+    """``field LIKE "Mc%"`` — SQL-style pattern match on string fields.
+
+    ``%`` matches any (possibly empty) run of characters; matching is
+    case-sensitive (so a pure-prefix pattern can be served by a B-tree
+    range over the stored strings).  List fields match when any element
+    matches.
+    """
+
+    field: str
+    pattern: str
+
+    def evaluate(self, record: Mapping[str, Any]) -> bool:
+        actual = record.get(self.field)
+        if actual is None:
+            return False
+        regex = _like_regex(self.pattern)
+        if isinstance(actual, list):
+            return any(isinstance(v, str) and regex.match(v) for v in actual)
+        return isinstance(actual, str) and bool(regex.match(actual))
+
+    @property
+    def prefix(self) -> str | None:
+        """The literal prefix when the pattern is ``prefix%`` (else None)."""
+        if self.pattern.endswith("%") and "%" not in self.pattern[:-1]:
+            return self.pattern[:-1]
+        return None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.field} LIKE {self.pattern!r}"
+
+
+@dataclass(frozen=True, slots=True)
+class And:
+    """Conjunction of two sub-expressions."""
+
+    left: "Expr"
+    right: "Expr"
+
+    def evaluate(self, record: Mapping[str, Any]) -> bool:
+        return self.left.evaluate(record) and self.right.evaluate(record)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.left} AND {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class Or:
+    """Disjunction of two sub-expressions."""
+
+    left: "Expr"
+    right: "Expr"
+
+    def evaluate(self, record: Mapping[str, Any]) -> bool:
+        return self.left.evaluate(record) or self.right.evaluate(record)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.left} OR {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class Not:
+    """Negation of a sub-expression."""
+
+    operand: "Expr"
+
+    def evaluate(self, record: Mapping[str, Any]) -> bool:
+        return not self.operand.evaluate(record)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"(NOT {self.operand})"
+
+
+Expr = Union[Comparison, Membership, Like, And, Or, Not]
+
+
+@dataclass(frozen=True, slots=True)
+class Query:
+    """A full query: filter expression plus output-shaping clauses.
+
+    ``where=None`` selects everything (``*`` in the surface language).
+    ``group_by`` turns the query into an aggregation: the result rows are
+    ``{group_by: value, "count": n}`` — list fields count each element —
+    and ``order_by`` may then name the group field or ``"count"``.
+    """
+
+    where: Expr | None = None
+    group_by: str | None = None
+    order_by: str | None = None
+    descending: bool = False
+    limit: int | None = None
+
+    def matches(self, record: Mapping[str, Any]) -> bool:
+        return self.where is None or self.where.evaluate(record)
+
+
+def conjuncts(expr: Expr | None) -> list[Expr]:
+    """Flatten a top-level AND chain into its conjunct list.
+
+    >>> from repro.query.parser import parse_query
+    >>> q = parse_query("a = 1 AND b = 2 AND c > 3")
+    >>> [str(c) for c in conjuncts(q.where)]
+    ['a = 1', 'b = 2', 'c > 3']
+    """
+    if expr is None:
+        return []
+    if isinstance(expr, And):
+        return conjuncts(expr.left) + conjuncts(expr.right)
+    return [expr]

@@ -1,0 +1,295 @@
+"""Query executor: run planned queries against a record store.
+
+The executor is deliberately small: the access path yields candidate
+records, the residual expression filters them, and ORDER BY / LIMIT shape
+the output.  Records coming from list-field index probes are de-duplicated
+by primary key (a list may contain the probe value twice).
+
+:class:`QueryEngine` is the public entry point::
+
+    engine = QueryEngine(store)
+    rows = engine.execute('author:"McAteer" AND year >= 1978')
+    print(engine.explain('year >= 1978'))
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.errors import QueryPlanError
+from repro.query.ast_nodes import Query
+from repro.query.parser import parse_query
+from repro.query.planner import (
+    CompositeLookup,
+    CompositeRange,
+    FullScan,
+    IndexLookup,
+    IndexMultiLookup,
+    IndexRange,
+    Plan,
+    plan_query,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.store import RecordStore
+
+
+@dataclass(frozen=True, slots=True)
+class Page:
+    """One page of a cursor-paginated result."""
+
+    rows: list[dict[str, Any]]
+    next_cursor: str | None  #: None when this is the last page
+
+    @property
+    def has_more(self) -> bool:
+        return self.next_cursor is not None
+
+
+def _encode_cursor(sort_value: Any, primary_key: Any) -> str:
+    payload = json.dumps([sort_value, primary_key], separators=(",", ":"))
+    return base64.urlsafe_b64encode(payload.encode("utf-8")).decode("ascii")
+
+
+def _decode_cursor(cursor: str) -> tuple[Any, Any]:
+    try:
+        payload = json.loads(base64.urlsafe_b64decode(cursor.encode("ascii")))
+        sort_value, primary_key = payload
+    except Exception as exc:
+        raise QueryPlanError(f"malformed cursor: {exc}") from exc
+    return sort_value, primary_key
+
+
+class QueryEngine:
+    """Plans and executes query strings (or pre-parsed :class:`Query`)."""
+
+    def __init__(self, store: "RecordStore"):
+        self.store = store
+
+    # -- public API ---------------------------------------------------------
+
+    def execute(self, query: str | Query) -> list[dict[str, Any]]:
+        """Run ``query`` and return the matching records."""
+        parsed = self._parse(query)
+        plan = plan_query(parsed, self.store)
+        return self.run_plan(plan)
+
+    def explain(self, query: str | Query) -> str:
+        """The plan that :meth:`execute` would use, as text."""
+        parsed = self._parse(query)
+        return plan_query(parsed, self.store).explain()
+
+    def execute_without_indexes(self, query: str | Query) -> list[dict[str, Any]]:
+        """Run ``query`` as a pure scan (the E3 baseline and test oracle)."""
+        parsed = self._parse(query)
+        plan = Plan(
+            access=FullScan(),
+            residual=parsed.where,
+            order_by=parsed.order_by,
+            descending=parsed.descending,
+            limit=parsed.limit,
+        )
+        return self.run_plan(plan)
+
+    # -- plan execution --------------------------------------------------------
+
+    def count(self, query: str | Query) -> int:
+        """Number of records matching ``query`` (ignores GROUP BY/LIMIT)."""
+        parsed = self._parse(query)
+        plan = plan_query(
+            Query(where=parsed.where), self.store
+        )
+        total = 0
+        rows: Any = self._candidates(plan)
+        if plan.residual is not None:
+            rows = (r for r in rows if plan.residual.evaluate(r))
+        for _ in rows:
+            total += 1
+        return total
+
+    def execute_paged(
+        self, query: str | Query, *, page_size: int, cursor: str | None = None
+    ) -> Page:
+        """Run ``query`` returning one stable page at a time.
+
+        Rows are ordered by the query's ORDER BY (primary key as the
+        implicit fallback and as the tiebreak), and the returned cursor
+        names the last row seen — so pages stay consistent even if rows
+        are inserted or deleted between calls (no offset drift; a row is
+        never skipped or repeated unless it itself changed).  GROUP BY and
+        LIMIT are rejected: pagination owns the output shape.
+        """
+        if page_size <= 0:
+            raise QueryPlanError(f"page_size must be positive, got {page_size}")
+        parsed = self._parse(query)
+        if parsed.group_by is not None or parsed.limit is not None:
+            raise QueryPlanError("paged queries must not use GROUP BY or LIMIT")
+
+        pk_field = self.store.schema.primary_key
+        order_field = parsed.order_by or pk_field
+        if not self.store.schema.has_field(order_field):
+            raise QueryPlanError(f"cannot ORDER BY unknown field {order_field!r}")
+        plan = plan_query(
+            Query(where=parsed.where), self.store
+        )
+        rows: Any = self._candidates(plan)
+        if plan.residual is not None:
+            rows = (r for r in rows if plan.residual.evaluate(r))
+
+        def row_key(record: dict[str, Any]) -> tuple:
+            return (
+                _sort_key(record.get(order_field)),
+                _sort_key(record.get(pk_field)),
+            )
+
+        ordered = sorted(rows, key=row_key, reverse=parsed.descending)
+        start = 0
+        if cursor is not None:
+            after_value, after_pk = _decode_cursor(cursor)
+            after_key = (_sort_key(after_value), _sort_key(after_pk))
+            for start, record in enumerate(ordered):
+                this_key = row_key(record)
+                if (this_key > after_key) != parsed.descending and this_key != after_key:
+                    break
+            else:
+                start = len(ordered)
+        page_rows = ordered[start : start + page_size]
+        next_cursor = None
+        if start + page_size < len(ordered) and page_rows:
+            last = page_rows[-1]
+            next_cursor = _encode_cursor(last.get(order_field), last.get(pk_field))
+        return Page(rows=page_rows, next_cursor=next_cursor)
+
+    def delete(self, query: str | Query) -> int:
+        """Atomically delete every record matching ``query``'s filter.
+
+        GROUP BY / ORDER BY / LIMIT clauses are rejected — a destructive
+        operation must not depend on presentation clauses.
+        """
+        parsed = self._parse(query)
+        if parsed.group_by or parsed.order_by or parsed.limit is not None:
+            raise QueryPlanError(
+                "DELETE accepts a bare filter (no GROUP BY/ORDER BY/LIMIT)"
+            )
+        return self.store.delete_where(parsed.matches)
+
+    def run_plan(self, plan: Plan) -> list[dict[str, Any]]:
+        """Execute a :class:`Plan` produced by the planner."""
+        rows = self._candidates(plan)
+        if plan.residual is not None:
+            residual = plan.residual
+            rows = (r for r in rows if residual.evaluate(r))
+        if plan.group_by is not None:
+            rows = iter(self._aggregate(rows, plan.group_by))
+        if plan.order_by is not None:
+            field = plan.order_by
+            known = self.store.schema.has_field(field)
+            if plan.group_by is not None:
+                known = field in (plan.group_by, "count")
+            if not known:
+                raise QueryPlanError(f"cannot ORDER BY unknown field {field!r}")
+            materialized = sorted(
+                rows,
+                key=lambda r: _sort_key(r.get(field)),
+                reverse=plan.descending,
+            )
+            rows = iter(materialized)
+        if plan.limit is not None:
+            limited: list[dict[str, Any]] = []
+            for record in rows:
+                if len(limited) == plan.limit:
+                    break
+                limited.append(record)
+            return limited
+        return list(rows)
+
+    def _aggregate(
+        self, rows: Iterator[dict[str, Any]], field: str
+    ) -> list[dict[str, Any]]:
+        """COUNT rows per distinct ``field`` value (list fields count each
+        element); output rows are ``{field: value, "count": n}`` sorted by
+        value for deterministic default order."""
+        if not self.store.schema.has_field(field):
+            raise QueryPlanError(f"cannot GROUP BY unknown field {field!r}")
+        counts: dict[Any, int] = {}
+        for row in rows:
+            value = row.get(field)
+            if value is None:
+                continue
+            values = value if isinstance(value, list) else [value]
+            for v in values:
+                counts[v] = counts.get(v, 0) + 1
+        return [
+            {field: value, "count": count}
+            for value, count in sorted(counts.items(), key=lambda kv: _sort_key(kv[0]))
+        ]
+
+    # -- candidates from the access path ------------------------------------------
+
+    def _candidates(self, plan: Plan) -> Iterator[dict[str, Any]]:
+        access = plan.access
+        if isinstance(access, FullScan):
+            yield from self.store.scan()
+            return
+        if isinstance(access, IndexLookup):
+            yield from self.store.find_by(access.field, access.value)
+            return
+        if isinstance(access, IndexMultiLookup):
+            seen: set[Any] = set()
+            for value in access.values:
+                for record in self.store.find_by(access.field, value):
+                    key = self.store.schema.primary_key_of(record)
+                    if key not in seen:
+                        seen.add(key)
+                        yield record
+            return
+        if isinstance(access, CompositeLookup):
+            yield from self.store.find_by_composite(access.fields, access.values)
+            return
+        if isinstance(access, CompositeRange):
+            yield from self.store.range_by_composite(
+                access.fields,
+                access.prefix,
+                access.low,
+                access.high,
+                include_low=access.include_low,
+                include_high=access.include_high,
+            )
+            return
+        if isinstance(access, IndexRange):
+            seen: set[Any] = set()
+            for record in self.store.range_by(
+                access.field,
+                access.low,
+                access.high,
+                include_low=access.include_low,
+                include_high=access.include_high,
+            ):
+                key = self.store.schema.primary_key_of(record)
+                if key not in seen:
+                    seen.add(key)
+                    yield record
+            return
+        raise QueryPlanError(f"unknown access path {access!r}")  # pragma: no cover
+
+    @staticmethod
+    def _parse(query: str | Query) -> Query:
+        if isinstance(query, Query):
+            return query
+        return parse_query(query)
+
+
+def _sort_key(value: Any) -> tuple[int, Any]:
+    """Total order over heterogeneous field values: None first, then by type."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (2, value)
+    if isinstance(value, str):
+        return (3, value)
+    return (4, str(value))

@@ -1,0 +1,130 @@
+"""Tokenizer for the query language.
+
+Token set: identifiers, integer/float literals, quoted strings, boolean
+literals, comparison operators (``= != < <= > >= :``), parentheses, the
+keywords ``AND OR NOT ORDER BY ASC DESC LIMIT`` (case-insensitive), and
+``*`` (select-all).
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.errors import QuerySyntaxError
+
+
+class TokenType(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    BOOL = "bool"
+    OP = "op"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    STAR = "*"
+    IN = "in"
+    LIKE = "like"
+    AND = "and"
+    OR = "or"
+    NOT = "not"
+    ORDER = "order"
+    GROUP = "group"
+    BY = "by"
+    ASC = "asc"
+    DESC = "desc"
+    LIMIT = "limit"
+    EOF = "eof"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token with its source position."""
+
+    type: TokenType
+    value: Any
+    position: int
+
+
+_KEYWORDS = {
+    "and": TokenType.AND,
+    "or": TokenType.OR,
+    "not": TokenType.NOT,
+    "order": TokenType.ORDER,
+    "group": TokenType.GROUP,
+    "by": TokenType.BY,
+    "in": TokenType.IN,
+    "like": TokenType.LIKE,
+    "asc": TokenType.ASC,
+    "desc": TokenType.DESC,
+    "limit": TokenType.LIMIT,
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<op><=|>=|!=|=|<|>|:)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<star>\*)
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<string>"(?:[^"\\]|\\.)*"|'(?:[^'\\]|\\.)*')
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.\-]*)
+    """,
+    re.VERBOSE,
+)
+
+_ESCAPE_RE = re.compile(r"\\(.)")
+
+
+def tokenize_query(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`QuerySyntaxError` on junk.
+
+    >>> [t.type.name for t in tokenize_query('year >= 1980 AND author:"Li"')]
+    ['IDENT', 'OP', 'NUMBER', 'AND', 'IDENT', 'OP', 'STRING', 'EOF']
+    """
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[Token]:
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise QuerySyntaxError(
+                f"unexpected character {text[position]!r}", text=text, position=position
+            )
+        kind = match.lastgroup
+        raw = match.group(0)
+        if kind == "ws":
+            pass
+        elif kind == "op":
+            yield Token(TokenType.OP, raw, position)
+        elif kind == "lparen":
+            yield Token(TokenType.LPAREN, raw, position)
+        elif kind == "rparen":
+            yield Token(TokenType.RPAREN, raw, position)
+        elif kind == "comma":
+            yield Token(TokenType.COMMA, raw, position)
+        elif kind == "star":
+            yield Token(TokenType.STAR, raw, position)
+        elif kind == "number":
+            value: Any = float(raw) if "." in raw else int(raw)
+            yield Token(TokenType.NUMBER, value, position)
+        elif kind == "string":
+            body = raw[1:-1]
+            yield Token(TokenType.STRING, _ESCAPE_RE.sub(r"\1", body), position)
+        elif kind == "ident":
+            lowered = raw.lower()
+            if lowered in _KEYWORDS:
+                yield Token(_KEYWORDS[lowered], raw, position)
+            elif lowered in ("true", "false"):
+                yield Token(TokenType.BOOL, lowered == "true", position)
+            else:
+                yield Token(TokenType.IDENT, raw, position)
+        position = match.end()
+    yield Token(TokenType.EOF, None, position)

@@ -1,0 +1,209 @@
+"""Recursive-descent parser for the query language.
+
+Grammar (EBNF)::
+
+    query      := ( "*" | or_expr ) [ group_clause ] [ order_clause ]
+                  [ limit_clause ] EOF
+    or_expr    := and_expr { OR and_expr }
+    and_expr   := unary { AND unary }
+    unary      := NOT unary | primary
+    primary    := "(" or_expr ")" | comparison
+    comparison := IDENT op value
+                | IDENT IN "(" value { "," value } ")"
+                | IDENT LIKE STRING
+    op         := "=" | "!=" | "<" | "<=" | ">" | ">=" | ":"
+    value      := NUMBER | STRING | BOOL | IDENT      (bare word = string)
+    group      := GROUP BY IDENT
+    order      := ORDER BY IDENT [ ASC | DESC ]
+    limit      := LIMIT NUMBER
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import QuerySyntaxError
+from repro.query.ast_nodes import (
+    And,
+    Comparison,
+    Expr,
+    Like,
+    Membership,
+    Not,
+    Operator,
+    Or,
+    Query,
+)
+from repro.query.lexer import Token, TokenType, tokenize_query
+
+_OPERATORS = {
+    "=": Operator.EQ,
+    "!=": Operator.NE,
+    "<": Operator.LT,
+    "<=": Operator.LE,
+    ">": Operator.GT,
+    ">=": Operator.GE,
+    ":": Operator.MATCH,
+}
+
+_VALUE_TYPES = (TokenType.NUMBER, TokenType.STRING, TokenType.BOOL, TokenType.IDENT)
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize_query(text)
+        self.position = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.position += 1
+        return token
+
+    def expect(self, token_type: TokenType) -> Token:
+        if self.current.type is not token_type:
+            raise QuerySyntaxError(
+                f"expected {token_type.name}, found {self.current.type.name}",
+                text=self.text,
+                position=self.current.position,
+            )
+        return self.advance()
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse(self) -> Query:
+        where: Expr | None
+        if self.current.type is TokenType.STAR:
+            self.advance()
+            where = None
+        else:
+            where = self.or_expr()
+        group_by = self.group_clause()
+        order_by, descending = self.order_clause()
+        limit = self.limit_clause()
+        self.expect(TokenType.EOF)
+        return Query(
+            where=where,
+            group_by=group_by,
+            order_by=order_by,
+            descending=descending,
+            limit=limit,
+        )
+
+    def group_clause(self) -> str | None:
+        if self.current.type is not TokenType.GROUP:
+            return None
+        self.advance()
+        self.expect(TokenType.BY)
+        field = self.expect(TokenType.IDENT)
+        return str(field.value)
+
+    def or_expr(self) -> Expr:
+        node = self.and_expr()
+        while self.current.type is TokenType.OR:
+            self.advance()
+            node = Or(node, self.and_expr())
+        return node
+
+    def and_expr(self) -> Expr:
+        node = self.unary()
+        while self.current.type is TokenType.AND:
+            self.advance()
+            node = And(node, self.unary())
+        return node
+
+    def unary(self) -> Expr:
+        if self.current.type is TokenType.NOT:
+            self.advance()
+            return Not(self.unary())
+        return self.primary()
+
+    def primary(self) -> Expr:
+        if self.current.type is TokenType.LPAREN:
+            self.advance()
+            node = self.or_expr()
+            self.expect(TokenType.RPAREN)
+            return node
+        return self.comparison()
+
+    def comparison(self) -> Comparison | Membership | Like:
+        field = self.expect(TokenType.IDENT)
+        if self.current.type is TokenType.IN:
+            self.advance()
+            return self.membership(str(field.value))
+        if self.current.type is TokenType.LIKE:
+            self.advance()
+            pattern = self.expect(TokenType.STRING)
+            return Like(field=str(field.value), pattern=str(pattern.value))
+        op_token = self.expect(TokenType.OP)
+        operator = _OPERATORS[op_token.value]
+        value = self.value()
+        return Comparison(field=str(field.value), op=operator, value=value)
+
+    def membership(self, field: str) -> Membership:
+        self.expect(TokenType.LPAREN)
+        values = [self.value()]
+        while self.current.type is TokenType.COMMA:
+            self.advance()
+            values.append(self.value())
+        self.expect(TokenType.RPAREN)
+        return Membership(field=field, values=tuple(values))
+
+    def value(self) -> Any:
+        if self.current.type not in _VALUE_TYPES:
+            raise QuerySyntaxError(
+                f"expected a value, found {self.current.type.name}",
+                text=self.text,
+                position=self.current.position,
+            )
+        token = self.advance()
+        if token.type is TokenType.IDENT:
+            return str(token.value)  # bare word literal
+        return token.value
+
+    def order_clause(self) -> tuple[str | None, bool]:
+        if self.current.type is not TokenType.ORDER:
+            return None, False
+        self.advance()
+        self.expect(TokenType.BY)
+        field = self.expect(TokenType.IDENT)
+        descending = False
+        if self.current.type is TokenType.ASC:
+            self.advance()
+        elif self.current.type is TokenType.DESC:
+            self.advance()
+            descending = True
+        return str(field.value), descending
+
+    def limit_clause(self) -> int | None:
+        if self.current.type is not TokenType.LIMIT:
+            return None
+        self.advance()
+        token = self.expect(TokenType.NUMBER)
+        if not isinstance(token.value, int) or token.value < 0:
+            raise QuerySyntaxError(
+                "LIMIT requires a non-negative integer",
+                text=self.text,
+                position=token.position,
+            )
+        return token.value
+
+
+def parse_query(text: str) -> Query:
+    """Parse a query string into a :class:`Query`.
+
+    >>> q = parse_query('year >= 1980 AND author:"Li" ORDER BY year DESC LIMIT 5')
+    >>> str(q.where)
+    "(year >= 1980 AND author : 'Li')"
+    >>> q.order_by, q.descending, q.limit
+    ('year', True, 5)
+    >>> parse_query("*").where is None
+    True
+    """
+    return _Parser(text).parse()

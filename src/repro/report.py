@@ -1,0 +1,109 @@
+"""Corpus report generator: one Markdown document answering "what is in
+this corpus?"
+
+Combines the statistics, linter, bibliometrics, and trend tooling into the
+report an editorial board reads once a year.  Pure function of the record
+set; rendering is deterministic so reports diff cleanly between years.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.coauthors import collaboration_stats
+from repro.analysis.productivity import gini_coefficient, head_share, productivity
+from repro.analysis.trends import top_keywords
+from repro.core.builder import build_index
+from repro.core.entry import PublicationRecord
+from repro.core.lint import lint_index
+from repro.core.toc import build_toc
+
+
+def corpus_report(
+    records: Sequence[PublicationRecord],
+    *,
+    title: str = "Corpus report",
+    keyword_stopwords: Iterable[str] = (),
+    top_authors: int = 10,
+    top_terms: int = 10,
+) -> str:
+    """Render the full corpus report as Markdown.
+
+    Sections: overview, volumes, authors (productivity + collaboration),
+    topics, and editorial issues (linter findings).  Empty corpora produce
+    a minimal valid report rather than an error.
+    """
+    lines: list[str] = [f"# {title}", ""]
+
+    index = build_index(records)
+    stats = index.statistics()
+    toc = build_toc(records)
+
+    # -- overview ------------------------------------------------------------
+    lines += ["## Overview", ""]
+    span = (
+        f"{stats.year_min}–{stats.year_max}" if stats.year_min is not None else "n/a"
+    )
+    lines += [
+        f"- records: **{len(records)}**",
+        f"- index rows: **{stats.entry_count}** under "
+        f"**{stats.author_count}** author headings",
+        f"- student material: **{stats.student_entry_count}** rows "
+        f"({stats.student_share:.1%})",
+        f"- span: **{span}** across **{len(toc)}** volumes",
+        "",
+    ]
+
+    # -- volumes --------------------------------------------------------------
+    if len(toc):
+        lines += ["## Volumes", "", "| volume | years | articles |", "| --- | --- | --- |"]
+        for volume in toc:
+            lines.append(
+                f"| {volume.volume} | {volume.year_label} | {volume.article_count} |"
+            )
+        lines.append("")
+
+    # -- authors ----------------------------------------------------------------
+    table = productivity(records)
+    if table:
+        counts = [p.total for p in table]
+        lines += ["## Authors", ""]
+        lines += [
+            f"- distinct authors: **{len(table)}**",
+            f"- output Gini coefficient: **{gini_coefficient(counts):.3f}**; "
+            f"top-10 share: **{head_share(counts, 10):.1%}**",
+        ]
+        collab = collaboration_stats(records)
+        lines.append(
+            f"- collaboration: **{collab.collaborations}** co-authoring pairs, "
+            f"**{collab.solo_authors}** solo authors, largest cluster "
+            f"**{collab.largest_component}**"
+        )
+        lines += ["", "| pieces | author | active |", "| --- | --- | --- |"]
+        for p in table[:top_authors]:
+            lines.append(
+                f"| {p.total} | {p.author.inverted()} | {p.first_year}–{p.last_year} |"
+            )
+        lines.append("")
+
+    # -- topics --------------------------------------------------------------------
+    terms = top_keywords(records, k=top_terms, stopwords=keyword_stopwords)
+    if terms:
+        lines += ["## Topics", ""]
+        lines.append(
+            "Top title keywords: "
+            + ", ".join(f"**{word}** ({count})" for word, count in terms)
+        )
+        lines.append("")
+
+    # -- editorial issues ---------------------------------------------------------------
+    issues = lint_index(index)
+    lines += ["## Editorial issues", ""]
+    if issues:
+        for issue in issues:
+            lines.append(f"- `{issue.code}` — {issue.message}")
+    else:
+        lines.append("No issues found.")
+    lines.append("")
+
+    return "\n".join(lines)

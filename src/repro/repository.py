@@ -1,0 +1,188 @@
+"""The high-level facade: a typed publication repository.
+
+:class:`PublicationRepository` wires the whole stack together — durable
+store, default indexes, query engine, and the index builders — behind an
+API that speaks :class:`~repro.core.entry.PublicationRecord`, so a
+downstream user never touches record dicts::
+
+    with PublicationRepository("indexdb/") as repo:
+        repo.add_all(load_reference_records())
+        for record in repo.by_surname("McAteer"):
+            print(record.title)
+        print(repo.author_index().render("text"))
+
+Everything the facade does is also reachable through the underlying
+layers (`repo.store`, `repo.engine`) for callers that need them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.core.builder import AuthorIndex, AuthorIndexBuilder
+from repro.core.collation import CollationOptions, DEFAULT_OPTIONS
+from repro.core.entry import PublicationRecord
+from repro.core.kwic import KwicIndex, KwicIndexBuilder
+from repro.core.titleindex import TitleIndex, TitleIndexBuilder
+from repro.core.toc import TableOfContents, build_toc
+from repro.corpus.wvlr import PUBLICATION_SCHEMA
+from repro.query.executor import QueryEngine
+from repro.storage.store import IndexKind, RecordStore
+
+
+class PublicationRepository:
+    """A publication database with the standard index workloads built in.
+
+    Parameters
+    ----------
+    directory:
+        Durable storage location; ``None`` keeps everything in memory.
+    sync:
+        fsync the WAL on every write (see :class:`RecordStore`).
+    create_default_indexes:
+        Declare the indexes the standard workloads use: hash on
+        ``surnames``, B-trees on ``year`` and ``volume``, and the
+        ``(volume, page)`` composite.  Disable for custom tuning.
+    """
+
+    def __init__(
+        self,
+        directory: Path | str | None = None,
+        *,
+        sync: bool = False,
+        create_default_indexes: bool = True,
+    ):
+        self.store = RecordStore(PUBLICATION_SCHEMA, directory, sync=sync)
+        self.engine = QueryEngine(self.store)
+        if create_default_indexes:
+            self.store.create_index("surnames", IndexKind.HASH)
+            self.store.create_index("year", IndexKind.BTREE)
+            self.store.create_index("volume", IndexKind.BTREE)
+            self.store.create_composite_index(("volume", "page"))
+
+    # -- record CRUD ---------------------------------------------------------
+
+    def add(self, record: PublicationRecord) -> None:
+        """Insert one record (its id must be new)."""
+        self.store.insert(record.to_store_dict())
+
+    def add_all(self, records: Iterable[PublicationRecord]) -> int:
+        """Insert many records atomically; returns how many."""
+        count = 0
+        with self.store.transaction() as txn:
+            for record in records:
+                txn.insert(record.to_store_dict())
+                count += 1
+        return count
+
+    def get(self, record_id: int) -> PublicationRecord:
+        """Record by id; raises :class:`~repro.errors.RecordNotFoundError`."""
+        return PublicationRecord.from_store_dict(self.store.get(record_id))
+
+    def remove(self, record_id: int) -> None:
+        """Delete by id; raises when absent."""
+        self.store.delete(record_id)
+
+    def replace(self, record: PublicationRecord) -> None:
+        """Insert-or-replace by the record's id."""
+        self.store.upsert(record.to_store_dict())
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    def __contains__(self, record_id: int) -> bool:
+        return record_id in self.store
+
+    def all(self) -> Iterator[PublicationRecord]:
+        """All records in insertion order."""
+        for row in self.store.scan():
+            yield PublicationRecord.from_store_dict(row)
+
+    # -- typed lookups ---------------------------------------------------------
+
+    def by_surname(self, surname: str) -> list[PublicationRecord]:
+        """Records with any author of this surname (hash probe)."""
+        rows = self.store.find_by("surnames", surname)
+        return [PublicationRecord.from_store_dict(r) for r in rows]
+
+    def by_volume(self, volume: int) -> list[PublicationRecord]:
+        """A volume's records in page order (composite prefix scan)."""
+        rows = self.store.range_by_composite(("volume", "page"), (volume,))
+        return [PublicationRecord.from_store_dict(r) for r in rows]
+
+    def between_years(self, first: int, last: int) -> list[PublicationRecord]:
+        """Records published in ``[first, last]`` (B-tree range)."""
+        rows = self.store.range_by("year", first, last)
+        return [PublicationRecord.from_store_dict(r) for r in rows]
+
+    def search(self, query: str) -> list[PublicationRecord]:
+        """Records matching a query-language string."""
+        rows = self.engine.execute(query)
+        return [PublicationRecord.from_store_dict(r) for r in rows]
+
+    def count(self, query: str = "*") -> int:
+        """Number of records matching ``query``."""
+        return self.engine.count(query)
+
+    def search_titles(self, query: str, *, k: int | None = 10):
+        """Full-text title search, TF-IDF ranked.
+
+        Bare words are AND-ed, ``"quoted spans"`` match as phrases.  The
+        inverted index is built lazily and rebuilt only after writes (the
+        store's mutation counter detects staleness).
+
+        Returns :class:`repro.search.SearchHit` rows.
+        """
+        from repro.search.engine import TitleSearchEngine
+
+        current = self.store.mutation_count
+        cached = getattr(self, "_search_cache", None)
+        if cached is None or cached[0] != current:
+            cached = (current, TitleSearchEngine(self.all()))
+            self._search_cache = cached
+        return cached[1].search(query, k=k)
+
+    # -- index products ----------------------------------------------------------
+
+    def author_index(
+        self,
+        *,
+        options: CollationOptions = DEFAULT_OPTIONS,
+        resolve_variants: bool = False,
+    ) -> AuthorIndex:
+        """Build the author index over the whole repository."""
+        builder = AuthorIndexBuilder(options=options, resolve_variants=resolve_variants)
+        return builder.add_records(self.all()).build()
+
+    def title_index(self) -> TitleIndex:
+        """Build the title index over the whole repository."""
+        return TitleIndexBuilder().add_records(self.all()).build()
+
+    def subject_index(
+        self, *, min_group_size: int = 2, extra_stopwords: Iterable[str] = ()
+    ) -> KwicIndex:
+        """Build the KWIC subject index over the whole repository."""
+        builder = KwicIndexBuilder(
+            min_group_size=min_group_size, extra_stopwords=extra_stopwords
+        )
+        return builder.add_records(self.all()).build()
+
+    def table_of_contents(self) -> TableOfContents:
+        """Build the per-volume table of contents."""
+        return build_toc(self.all())
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def snapshot(self) -> None:
+        """Persist the full state and truncate the WAL (durable mode only)."""
+        self.store.snapshot()
+
+    def close(self) -> None:
+        self.store.close()
+
+    def __enter__(self) -> "PublicationRepository":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

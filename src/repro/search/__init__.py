@@ -1,0 +1,26 @@
+"""Full-text title search.
+
+`LIKE "%coal%"` scans; an editor searching 30 volumes of titles wants an
+inverted index.  This package provides one, built from scratch:
+
+* :mod:`inverted` — positional inverted index (term → doc → positions)
+  with boolean AND/OR retrieval and exact phrase queries;
+* :mod:`engine` — :class:`TitleSearchEngine`: records in, TF-IDF-ranked
+  results out, with the same analyzer vocabulary as the KWIC subject
+  index so search and the printed index agree on terms.
+
+The repository facade exposes it as ``repo.search_titles(...)``.
+"""
+
+from repro.search.inverted import InvertedIndex, analyze
+from repro.search.engine import SearchHit, TitleSearchEngine
+from repro.search.similar import RelatedArticles, RelatedHit
+
+__all__ = [
+    "InvertedIndex",
+    "analyze",
+    "SearchHit",
+    "TitleSearchEngine",
+    "RelatedArticles",
+    "RelatedHit",
+]

@@ -1,0 +1,100 @@
+"""TF-IDF-ranked title search over publication records.
+
+Query syntax: bare words are AND-ed; a double-quoted span is an exact
+phrase.  Results are ranked by the standard smoothed TF-IDF sum with
+document-length normalization, so short on-point titles beat long ones
+that merely mention every term.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.entry import PublicationRecord
+from repro.search.inverted import InvertedIndex, analyze
+
+
+@dataclass(frozen=True, slots=True)
+class SearchHit:
+    """One ranked result."""
+
+    record_id: int
+    score: float
+    title: str
+
+
+_PHRASE = re.compile(r'"([^"]*)"')
+
+
+def _parse_query(query: str) -> tuple[list[str], list[list[str]]]:
+    """Split a query into loose terms and quoted phrases (analyzed)."""
+    phrases: list[list[str]] = []
+
+    def grab(match: re.Match[str]) -> str:
+        words = [term for term, _ in analyze(match.group(1))]
+        if words:
+            phrases.append(words)
+        return " "
+
+    rest = _PHRASE.sub(grab, query)
+    terms = [term for term, _ in analyze(rest)]
+    return terms, phrases
+
+
+class TitleSearchEngine:
+    """Searchable view over a fixed set of records.
+
+    >>> records = [
+    ...     PublicationRecord.create(1, "The Law of Coal", ["A, B."], "74:283 (1972)"),
+    ...     PublicationRecord.create(2, "Coal Mining Law", ["C, D."], "76:257 (1974)"),
+    ... ]
+    >>> engine = TitleSearchEngine(records)
+    >>> [hit.record_id for hit in engine.search("coal law")]
+    [1, 2]
+    >>> [hit.record_id for hit in engine.search('"coal mining"')]
+    [2]
+    """
+
+    def __init__(self, records: Iterable[PublicationRecord]):
+        self.index = InvertedIndex()
+        self._titles: dict[int, str] = {}
+        for record in records:
+            self.index.add(record.record_id, record.title)
+            self._titles[record.record_id] = record.title
+
+    def __len__(self) -> int:
+        return self.index.document_count
+
+    def search(self, query: str, *, k: int | None = None) -> list[SearchHit]:
+        """Ranked hits for ``query`` (AND semantics; quoted = phrase).
+
+        An empty or all-stopword query returns no hits.
+        """
+        terms, phrases = _parse_query(query)
+        all_terms = terms + [t for phrase in phrases for t in phrase]
+        if not all_terms:
+            return []
+
+        candidates = self.index.search_and(all_terms)
+        for phrase in phrases:
+            candidates &= set(self.index.search_phrase(phrase))
+            if not candidates:
+                return []
+
+        n = max(self.index.document_count, 1)
+        hits = []
+        for doc_id in candidates:
+            score = 0.0
+            for term in all_terms:
+                tf = self.index.term_frequency(term, doc_id)
+                df = self.index.document_frequency(term)
+                idf = math.log((n + 1) / (df + 1)) + 1.0
+                score += tf * idf
+            length = self.index.document_length(doc_id) or 1
+            score /= math.sqrt(length)
+            hits.append(SearchHit(record_id=doc_id, score=score, title=self._titles[doc_id]))
+        hits.sort(key=lambda h: (-h.score, h.record_id))
+        return hits[:k] if k is not None else hits

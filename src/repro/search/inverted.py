@@ -1,0 +1,179 @@
+"""A positional inverted index.
+
+Postings map ``term → {doc_id → [positions]}``.  Positions are token
+offsets within the analyzed document, which is what makes exact phrase
+queries possible: *"coal mining"* matches documents where the two terms
+occur at consecutive positions.
+
+The analyzer reuses the KWIC subject index's notion of a significant word
+(folded, stopword-free, length ≥ 3) but keeps *positions* from the full
+token stream, so phrases survive intervening stopwords exactly as typed:
+"law of coal" is the phrase [law, of→skipped, coal] with positions 0 and 2.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.kwic import MIN_KEYWORD_LENGTH, STOPWORDS
+from repro.names.normalize import strip_diacritics
+
+_STRIP = "\"'()[]{}.,;:!?*-—"
+
+
+def analyze(text: str) -> list[tuple[str, int]]:
+    """Tokenize ``text`` into ``(term, position)`` pairs.
+
+    Positions index the raw token stream (stopwords and short tokens hold
+    their slot but produce no term), so phrase adjacency reflects the
+    original text.
+
+    >>> analyze("The Law of Coal")
+    [('law', 1), ('coal', 3)]
+    """
+    folded = strip_diacritics(text).casefold()
+    out: list[tuple[str, int]] = []
+    for position, raw in enumerate(folded.split()):
+        word = raw.strip(_STRIP).replace("'", "")
+        if len(word) < MIN_KEYWORD_LENGTH or word in STOPWORDS:
+            continue
+        if not any(c.isalpha() for c in word):
+            continue
+        out.append((word, position))
+    return out
+
+
+class InvertedIndex:
+    """Positional inverted index over integer document ids.
+
+    >>> index = InvertedIndex()
+    >>> index.add(1, "The Law of Coal")
+    >>> index.add(2, "Coal Mining Law")
+    >>> sorted(index.search_and(["coal", "law"]))
+    [1, 2]
+    >>> index.search_phrase(["coal", "mining"])
+    [2]
+    """
+
+    def __init__(self) -> None:
+        self._postings: dict[str, dict[int, list[int]]] = {}
+        self._doc_lengths: dict[int, int] = {}  # terms per document
+
+    # -- maintenance ---------------------------------------------------------
+
+    def add(self, doc_id: int, text: str) -> None:
+        """Index ``text`` under ``doc_id`` (re-adding replaces)."""
+        if doc_id in self._doc_lengths:
+            self.remove(doc_id)
+        terms = analyze(text)
+        self._doc_lengths[doc_id] = len(terms)
+        for term, position in terms:
+            self._postings.setdefault(term, {}).setdefault(doc_id, []).append(position)
+
+    def remove(self, doc_id: int) -> bool:
+        """Drop a document; returns True when it was indexed."""
+        if doc_id not in self._doc_lengths:
+            return False
+        del self._doc_lengths[doc_id]
+        dead_terms = []
+        for term, postings in self._postings.items():
+            postings.pop(doc_id, None)
+            if not postings:
+                dead_terms.append(term)
+        for term in dead_terms:
+            del self._postings[term]
+        return True
+
+    # -- statistics -------------------------------------------------------------
+
+    @property
+    def document_count(self) -> int:
+        return len(self._doc_lengths)
+
+    def vocabulary(self) -> list[str]:
+        """All indexed terms, sorted."""
+        return sorted(self._postings)
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents containing ``term``."""
+        return len(self._postings.get(term.casefold(), ()))
+
+    def document_length(self, doc_id: int) -> int:
+        """Significant-term count of ``doc_id`` (0 when unknown)."""
+        return self._doc_lengths.get(doc_id, 0)
+
+    def term_frequency(self, term: str, doc_id: int) -> int:
+        """Occurrences of ``term`` in ``doc_id``."""
+        return len(self._postings.get(term.casefold(), {}).get(doc_id, ()))
+
+    def postings(self, term: str) -> Mapping[int, list[int]]:
+        """The raw postings of ``term`` (read-only view semantics)."""
+        return self._postings.get(term.casefold(), {})
+
+    # -- retrieval ------------------------------------------------------------------
+
+    def search_or(self, terms: Iterable[str]) -> set[int]:
+        """Documents containing *any* of ``terms``."""
+        out: set[int] = set()
+        for term in terms:
+            out.update(self._postings.get(term.casefold(), ()))
+        return out
+
+    def search_and(self, terms: Iterable[str]) -> set[int]:
+        """Documents containing *all* of ``terms``.
+
+        Intersects smallest-posting-first, the classic optimization.
+        """
+        posting_sets = []
+        for term in terms:
+            docs = self._postings.get(term.casefold())
+            if not docs:
+                return set()
+            posting_sets.append(docs)
+        posting_sets.sort(key=len)
+        result = set(posting_sets[0])
+        for docs in posting_sets[1:]:
+            result.intersection_update(docs)
+            if not result:
+                break
+        return result
+
+    def search_phrase(self, terms: list[str]) -> list[int]:
+        """Documents containing ``terms`` in order as a phrase.
+
+        ``terms`` are the phrase's *significant* words; each consecutive
+        pair may be separated by at most two stopword/short-token slots in
+        the original text, so ``["law", "coal"]`` matches "The Law of
+        Coal" but not "law … five words … coal".
+        """
+        if not terms:
+            return []
+        analyzed = [t.casefold() for t in terms]
+        candidates = self.search_and(analyzed)
+        hits = []
+        for doc_id in candidates:
+            first_positions = self._postings[analyzed[0]][doc_id]
+            for start in first_positions:
+                offset = start
+                ok = True
+                for term in analyzed[1:]:
+                    offset = _next_position(self._postings[term][doc_id], offset)
+                    if offset is None:
+                        ok = False
+                        break
+                if ok:
+                    hits.append(doc_id)
+                    break
+        return sorted(hits)
+
+
+def _next_position(positions: list[int], after: int) -> int | None:
+    """The position in ``positions`` that extends a phrase ending at
+    ``after`` — i.e. the smallest position > ``after`` within a stopword
+    gap of at most 2 slots."""
+    import bisect
+
+    i = bisect.bisect_right(positions, after)
+    if i < len(positions) and positions[i] - after <= 3:
+        return positions[i]
+    return None

@@ -1,0 +1,35 @@
+"""Embedded record store: WAL, indexes, snapshots, transactions.
+
+The publisher-side substrate: publication records live in a single-writer
+embedded store with
+
+* an append-only, CRC-framed write-ahead log (:mod:`repro.storage.wal`),
+* an order-configurable B-tree for range-scannable secondary indexes
+  (:mod:`repro.storage.btree`),
+* a hash index for point lookups (:mod:`repro.storage.hashindex`),
+* snapshot + log-compaction durability (:mod:`repro.storage.store`), and
+* buffered transactions with rollback (:mod:`repro.storage.transactions`).
+
+Records are plain ``dict`` values validated against a light
+:class:`~repro.storage.schema.Schema`.
+"""
+
+from repro.storage.schema import Field, FieldType, Schema
+from repro.storage.wal import LogEntry, WriteAheadLog
+from repro.storage.btree import BTree
+from repro.storage.hashindex import HashIndex
+from repro.storage.store import IndexKind, RecordStore
+from repro.storage.transactions import Transaction
+
+__all__ = [
+    "Field",
+    "FieldType",
+    "Schema",
+    "LogEntry",
+    "WriteAheadLog",
+    "BTree",
+    "HashIndex",
+    "IndexKind",
+    "RecordStore",
+    "Transaction",
+]

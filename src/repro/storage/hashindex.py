@@ -1,0 +1,80 @@
+"""Hash secondary index: point lookups only, O(1) expected.
+
+A thin, explicit wrapper over ``dict[key, list[value]]`` sharing the
+multimap interface of :class:`~repro.storage.btree.BTree` so the store and
+the query planner can treat both uniformly.  Range scans are intentionally
+unsupported — the planner must fall back to a B-tree index or a full scan,
+which is exactly the E4 crossover experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+
+class HashIndex:
+    """Unordered multimap with the secondary-index interface.
+
+    >>> idx = HashIndex()
+    >>> idx.insert("smith", 1)
+    >>> idx.insert("smith", 2)
+    >>> sorted(idx.search("smith"))
+    [1, 2]
+    >>> idx.remove("smith", 1)
+    True
+    >>> idx.search("smith")
+    [2]
+    """
+
+    supports_range = False
+
+    def __init__(self) -> None:
+        self._buckets: dict[Any, list[Any]] = {}
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    @property
+    def distinct_keys(self) -> int:
+        return len(self._buckets)
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert ``value`` under ``key``."""
+        self._buckets.setdefault(key, []).append(value)
+        self._len += 1
+
+    def search(self, key: Any) -> list[Any]:
+        """All values under ``key`` (empty list when absent)."""
+        return list(self._buckets.get(key, ()))
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._buckets
+
+    def remove(self, key: Any, value: Any | None = None) -> bool:
+        """Remove one ``value`` (or the whole key); True if removed."""
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return False
+        if value is None:
+            self._len -= len(bucket)
+            del self._buckets[key]
+            return True
+        try:
+            bucket.remove(value)
+        except ValueError:
+            return False
+        self._len -= 1
+        if not bucket:
+            del self._buckets[key]
+        return True
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """All (key, value) pairs in arbitrary key order."""
+        for key, bucket in self._buckets.items():
+            for value in bucket:
+                yield (key, value)
+
+    def keys(self) -> Iterator[Any]:
+        """Distinct keys in arbitrary order."""
+        return iter(self._buckets)

@@ -1,0 +1,683 @@
+"""The embedded record store.
+
+A :class:`RecordStore` owns one table of schema-validated ``dict`` records,
+durably backed (when given a directory) by a snapshot file plus a
+write-ahead log:
+
+* every mutation first lands in the WAL, then in memory — crash recovery is
+  "load snapshot, replay WAL";
+* :meth:`RecordStore.snapshot` writes the full state atomically
+  (tmp file + rename + fsync) and truncates the log;
+* secondary indexes (B-tree or hash) are maintained eagerly on every write
+  and can be declared over scalar fields or string-list fields (each list
+  element is indexed).
+
+The store is single-writer by design; concurrency control is out of scope
+for the artifact being reproduced.
+
+Durability contract: *records* are durable from the moment their WAL append
+returns; *index declarations* become durable at the next
+:meth:`RecordStore.snapshot` (they are schema-level metadata, cheap to
+re-declare, and keeping them out of the WAL keeps every log entry a pure
+data operation).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+from repro.errors import (
+    DuplicateKeyError,
+    RecordNotFoundError,
+    StorageError,
+    ValidationError,
+)
+from repro.storage.btree import BTree
+from repro.storage.hashindex import HashIndex
+from repro.storage.schema import FieldType, Schema
+from repro.storage.wal import WriteAheadLog
+
+_SNAPSHOT_VERSION = 1
+
+
+class IndexKind(enum.Enum):
+    """Secondary index implementations available to :meth:`create_index`."""
+
+    BTREE = "btree"
+    HASH = "hash"
+
+
+#: Separator joining the field names of a composite index into its name.
+COMPOSITE_SEPARATOR = "+"
+
+
+class _TailType:
+    """Sentinel comparing greater than every ordinary value.
+
+    Used to build upper bounds over composite-key tuples without knowing
+    the component types: ``(95, 600, _TAIL)`` sits just above every real
+    ``(95, 600, …)`` key.
+    """
+
+    __slots__ = ()
+
+    def __lt__(self, other: object) -> bool:
+        return False
+
+    def __le__(self, other: object) -> bool:
+        return self is other
+
+    def __gt__(self, other: object) -> bool:
+        return self is not other
+
+    def __ge__(self, other: object) -> bool:
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<tail>"
+
+
+_TAIL = _TailType()
+
+
+@dataclass
+class _SecondaryIndex:
+    field: str  #: single field name, or "a+b+…" for composites
+    kind: IndexKind
+    structure: BTree | HashIndex
+    fields: tuple[str, ...] = ()  #: non-empty only for composites
+
+    @property
+    def supports_range(self) -> bool:
+        return isinstance(self.structure, BTree)
+
+    @property
+    def is_composite(self) -> bool:
+        return len(self.fields) > 1
+
+
+def _index_keys(record: Mapping[str, Any], field: str) -> list[Any]:
+    """Index keys contributed by ``record`` for ``field``.
+
+    Scalars contribute themselves; string lists contribute each element;
+    missing/None contributes nothing.
+    """
+    value = record.get(field)
+    if value is None:
+        return []
+    if isinstance(value, list):
+        return list(value)
+    return [value]
+
+
+def _composite_keys(record: Mapping[str, Any], fields: tuple[str, ...]) -> list[tuple]:
+    """The (single) tuple key ``record`` contributes to a composite index.
+
+    A record missing any component contributes nothing; list fields are
+    rejected at index-creation time so each record yields at most one key.
+    """
+    values = []
+    for field in fields:
+        value = record.get(field)
+        if value is None:
+            return []
+        values.append(value)
+    return [tuple(values)]
+
+
+def _keys_for(record: Mapping[str, Any], index: _SecondaryIndex) -> list[Any]:
+    if index.is_composite:
+        return _composite_keys(record, index.fields)
+    return _index_keys(record, index.field)
+
+
+class RecordStore:
+    """One table of validated records with optional durability.
+
+    Parameters
+    ----------
+    schema:
+        Table schema; the primary-key field identifies records.
+    directory:
+        Where the snapshot and WAL live.  ``None`` means in-memory only.
+    sync:
+        fsync the WAL on every append (durable but slow); benchmarks
+        measure both settings.
+
+    >>> from repro.storage.schema import Field, FieldType, Schema
+    >>> schema = Schema([Field("id", FieldType.INT), Field("t", FieldType.STRING)],
+    ...                 primary_key="id")
+    >>> store = RecordStore(schema)
+    >>> store.insert({"id": 1, "t": "a"})
+    >>> store.get(1)["t"]
+    'a'
+    >>> store.create_index("t", IndexKind.HASH)
+    >>> [r["id"] for r in store.find_by("t", "a")]
+    [1]
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        directory: Path | str | None = None,
+        *,
+        sync: bool = False,
+    ):
+        self.schema = schema
+        self._records: dict[Any, dict[str, Any]] = {}
+        self._indexes: dict[str, _SecondaryIndex] = {}
+        #: Monotone counter bumped on every applied put/delete; lets
+        #: derived structures (caches, search engines) detect staleness.
+        self.mutation_count = 0
+        self._wal: WriteAheadLog | None = None
+        self._directory: Path | None = None
+        if directory is not None:
+            self._directory = Path(directory)
+            self._directory.mkdir(parents=True, exist_ok=True)
+            self._recover()
+            self._wal = WriteAheadLog(self._wal_path, sync=sync)
+
+    # -- paths -------------------------------------------------------------
+
+    @property
+    def _wal_path(self) -> Path:
+        assert self._directory is not None
+        return self._directory / "store.wal"
+
+    @property
+    def _snapshot_path(self) -> Path:
+        assert self._directory is not None
+        return self._directory / "snapshot.json"
+
+    # -- basic accessors -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._records
+
+    def get(self, key: Any) -> dict[str, Any]:
+        """Record with primary key ``key`` (a copy); raises when absent."""
+        try:
+            return dict(self._records[key])
+        except KeyError:
+            raise RecordNotFoundError(key) from None
+
+    def scan(self, predicate: Callable[[Mapping[str, Any]], bool] | None = None) -> Iterator[dict[str, Any]]:
+        """Iterate over (copies of) all records, optionally filtered."""
+        for record in self._records.values():
+            if predicate is None or predicate(record):
+                yield dict(record)
+
+    def keys(self) -> Iterator[Any]:
+        """All primary keys in insertion order."""
+        return iter(self._records)
+
+    # -- mutations -------------------------------------------------------------
+
+    def insert(self, record: Mapping[str, Any]) -> None:
+        """Insert a new record; raises :class:`DuplicateKeyError` if present."""
+        record = dict(record)
+        self.schema.validate(record)
+        key = self.schema.primary_key_of(record)
+        if key in self._records:
+            raise DuplicateKeyError(key)
+        self._log({"op": "put", "record": record})
+        self._apply_put(record)
+
+    def upsert(self, record: Mapping[str, Any]) -> bool:
+        """Insert or replace; returns True when a record was replaced."""
+        record = dict(record)
+        self.schema.validate(record)
+        key = self.schema.primary_key_of(record)
+        existed = key in self._records
+        self._log({"op": "put", "record": record})
+        if existed:
+            self._apply_delete(key)
+        self._apply_put(record)
+        return existed
+
+    def update(self, key: Any, changes: Mapping[str, Any]) -> dict[str, Any]:
+        """Apply field changes to an existing record; returns the new record."""
+        current = self.get(key)
+        current.update(changes)
+        self.schema.validate(current)
+        if self.schema.primary_key_of(current) != key:
+            raise ValidationError("update must not change the primary key")
+        self._log({"op": "put", "record": current})
+        self._apply_delete(key)
+        self._apply_put(current)
+        return dict(current)
+
+    def delete(self, key: Any) -> None:
+        """Delete by primary key; raises when absent."""
+        if key not in self._records:
+            raise RecordNotFoundError(key)
+        self._log({"op": "del", "key": key})
+        self._apply_delete(key)
+
+    def apply_batch(self, operations: list[dict[str, Any]]) -> None:
+        """Apply a pre-validated operation batch atomically (one WAL entry).
+
+        Each operation is ``{"op": "put", "record": …}`` or
+        ``{"op": "del", "key": …}``.  Validation happens before logging so a
+        bad batch leaves no trace.
+        """
+        for op in operations:
+            if op["op"] == "put":
+                self.schema.validate(op["record"])
+            elif op["op"] == "del":
+                pass  # deletes of absent keys are tolerated in batches
+            else:
+                raise StorageError(f"unknown batch op {op.get('op')!r}")
+        self._log({"op": "batch", "ops": operations})
+        for op in operations:
+            if op["op"] == "put":
+                record = dict(op["record"])
+                key = self.schema.primary_key_of(record)
+                if key in self._records:
+                    self._apply_delete(key)
+                self._apply_put(record)
+            else:
+                if op["key"] in self._records:
+                    self._apply_delete(op["key"])
+
+    def update_where(
+        self,
+        predicate: Callable[[Mapping[str, Any]], bool],
+        changes: Mapping[str, Any] | Callable[[Mapping[str, Any]], Mapping[str, Any]],
+    ) -> int:
+        """Atomically update every record matching ``predicate``.
+
+        ``changes`` is either a field dict applied to each match or a
+        callable mapping the old record to its field changes.  All updated
+        records are validated *before* anything is logged, then the whole
+        batch lands as one WAL entry.  The primary key cannot change.
+        Returns the number of records updated.
+        """
+        updated: list[dict[str, Any]] = []
+        for record in self._records.values():
+            if not predicate(record):
+                continue
+            new_record = dict(record)
+            delta = changes(record) if callable(changes) else changes
+            new_record.update(delta)
+            self.schema.validate(new_record)
+            if self.schema.primary_key_of(new_record) != self.schema.primary_key_of(record):
+                raise ValidationError("update_where must not change primary keys")
+            updated.append(new_record)
+        if updated:
+            self.apply_batch([{"op": "put", "record": r} for r in updated])
+        return len(updated)
+
+    def delete_where(self, predicate: Callable[[Mapping[str, Any]], bool]) -> int:
+        """Atomically delete every record matching ``predicate``.
+
+        Matching happens first over a stable scan, then all deletes land as
+        one WAL batch; returns the number of records deleted.
+        """
+        keys = [
+            self.schema.primary_key_of(record)
+            for record in self._records.values()
+            if predicate(record)
+        ]
+        if keys:
+            self.apply_batch([{"op": "del", "key": key} for key in keys])
+        return len(keys)
+
+    def transaction(self) -> "Transaction":
+        """Start a buffered transaction (see :class:`Transaction`)."""
+        from repro.storage.transactions import Transaction
+
+        return Transaction(self)
+
+    # -- secondary indexes --------------------------------------------------------
+
+    def create_index(
+        self, field: str, kind: IndexKind = IndexKind.BTREE, *, order: int = 32
+    ) -> None:
+        """Declare a secondary index over ``field`` and build it.
+
+        STRING_LIST fields index every element.  Re-declaring an existing
+        index with the same kind is a no-op; a different kind is an error.
+        """
+        self.schema.field(field)  # raises on unknown field
+        existing = self._indexes.get(field)
+        if existing is not None:
+            if existing.kind is kind:
+                return
+            raise StorageError(
+                f"index on {field!r} already exists with kind {existing.kind.value}"
+            )
+        structure: BTree | HashIndex
+        if kind is IndexKind.BTREE:
+            structure = self._bulk_build_btree(
+                lambda record: _index_keys(record, field), order
+            )
+        else:
+            structure = HashIndex()
+            for key, record in self._records.items():
+                for index_key in _index_keys(record, field):
+                    structure.insert(index_key, key)
+        index = _SecondaryIndex(field=field, kind=kind, structure=structure)
+        self._indexes[field] = index
+
+    def create_composite_index(
+        self, fields: Sequence[str], *, order: int = 32
+    ) -> str:
+        """Declare a B-tree index over a tuple of scalar fields.
+
+        Returns the index name (fields joined with ``+``), which
+        :meth:`find_by_composite` / :meth:`range_by_composite` and the
+        planner address it by.  List fields are rejected (a composite key
+        must be single-valued per record).
+        """
+        if len(fields) < 2:
+            raise StorageError("composite index needs at least two fields")
+        for field in fields:
+            declared = self.schema.field(field)  # raises on unknown
+            if declared.type is FieldType.STRING_LIST:
+                raise StorageError(
+                    f"list field {field!r} cannot join a composite index"
+                )
+        name = COMPOSITE_SEPARATOR.join(fields)
+        existing = self._indexes.get(name)
+        if existing is not None:
+            return name
+        fields_tuple = tuple(fields)
+        structure = self._bulk_build_btree(
+            lambda record: _composite_keys(record, fields_tuple), order
+        )
+        index = _SecondaryIndex(
+            field=name, kind=IndexKind.BTREE, structure=structure, fields=fields_tuple
+        )
+        self._indexes[name] = index
+        return name
+
+    def _bulk_build_btree(
+        self, key_extractor: Callable[[Mapping[str, Any]], list[Any]], order: int
+    ) -> BTree:
+        """Build a B-tree over existing records via sorted bulk load.
+
+        O(n log n) in the sort but with far better constants than n
+        individual inserts.  Keys must be mutually comparable — a B-tree
+        cannot hold an ordering-free key set at all, so mixed-type keys
+        raise :class:`~repro.errors.StorageError` here instead of failing
+        obscurely inside a later node split.
+        """
+        buckets: dict[Any, list[Any]] = {}
+        for primary_key, record in self._records.items():
+            for index_key in key_extractor(record):
+                buckets.setdefault(index_key, []).append(primary_key)
+        try:
+            ordered = sorted(buckets.items())
+        except TypeError as exc:
+            raise StorageError(
+                f"B-tree index keys must be mutually comparable: {exc}"
+            ) from exc
+        return BTree.from_sorted(ordered, order=order)
+
+    def composite_indexes(self) -> tuple[tuple[str, ...], ...]:
+        """Field tuples of all declared composite indexes."""
+        return tuple(
+            index.fields for index in self._indexes.values() if index.is_composite
+        )
+
+    def find_by_composite(
+        self, fields: Sequence[str], values: Sequence[Any]
+    ) -> list[dict[str, Any]]:
+        """Records whose ``fields`` equal ``values`` (via the composite index)."""
+        index = self._require_composite(fields)
+        if len(values) != len(fields):
+            raise StorageError("values must match the composite's fields")
+        return [
+            dict(self._records[pk]) for pk in index.structure.search(tuple(values))
+        ]
+
+    def range_by_composite(
+        self,
+        fields: Sequence[str],
+        prefix: Sequence[Any],
+        low: Any = None,
+        high: Any = None,
+        *,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> list[dict[str, Any]]:
+        """Prefix-equality + range scan over a composite index.
+
+        ``prefix`` fixes the leading fields; ``low``/``high`` bound the
+        next field.  ``range_by_composite(("volume","page"), (95,), 600)``
+        returns volume-95 records from page 600 up, in (volume, page)
+        order.
+        """
+        index = self._require_composite(fields)
+        if len(prefix) >= len(fields):
+            raise StorageError("prefix must leave at least one free field")
+        prefix_tuple = tuple(prefix)
+        # Bound the tuple space: fixed prefix, then the range component,
+        # then open tails.  _Tail sorts above every value, closing the
+        # upper bound without knowing the component type.
+        low_key: Any = (
+            prefix_tuple + (low,) if low is not None else prefix_tuple
+        )
+        if high is not None:
+            high_key: Any = prefix_tuple + (high, _TAIL)
+            include_high_effective = True  # _TAIL absorbs inclusivity below
+        else:
+            high_key = prefix_tuple + (_TAIL,)
+            include_high_effective = True
+        assert isinstance(index.structure, BTree)
+        out = []
+        for key_tuple, pk in index.structure.range(
+            low_key, high_key, include_low=True, include_high=include_high_effective
+        ):
+            if key_tuple[: len(prefix_tuple)] != prefix_tuple:
+                continue
+            component = key_tuple[len(prefix_tuple)]
+            if low is not None and (
+                component < low or (component == low and not include_low)
+            ):
+                continue
+            if high is not None and (
+                component > high or (component == high and not include_high)
+            ):
+                continue
+            out.append(dict(self._records[pk]))
+        return out
+
+    def _require_composite(self, fields: Sequence[str]) -> _SecondaryIndex:
+        name = COMPOSITE_SEPARATOR.join(fields)
+        index = self._indexes.get(name)
+        if index is None or not index.is_composite:
+            raise StorageError(f"no composite index on {tuple(fields)!r}")
+        return index
+
+    def drop_index(self, field: str) -> None:
+        """Remove the index on ``field`` (error when absent)."""
+        if field not in self._indexes:
+            raise StorageError(f"no index on field {field!r}")
+        del self._indexes[field]
+
+    def has_index(self, field: str) -> bool:
+        return field in self._indexes
+
+    def index_kind(self, field: str) -> IndexKind | None:
+        index = self._indexes.get(field)
+        return index.kind if index else None
+
+    @property
+    def indexed_fields(self) -> tuple[str, ...]:
+        return tuple(self._indexes)
+
+    def index_statistics(self, field: str) -> dict[str, int] | None:
+        """Cardinality statistics of the index on ``field`` (or ``None``).
+
+        ``distinct_keys`` / ``entries`` drive the planner's selectivity
+        estimate: more distinct keys ⇒ a typical equality probe returns
+        fewer records.
+        """
+        index = self._indexes.get(field)
+        if index is None:
+            return None
+        return {
+            "distinct_keys": index.structure.distinct_keys,
+            "entries": len(index.structure),
+        }
+
+    # -- index-backed reads -----------------------------------------------------
+
+    def find_by(self, field: str, value: Any) -> list[dict[str, Any]]:
+        """All records whose ``field`` equals (or contains) ``value``.
+
+        Uses the secondary index when one exists, otherwise scans.
+        """
+        index = self._indexes.get(field)
+        if index is not None:
+            # A list field may contain the value twice; keep first hits only.
+            seen: set[Any] = set()
+            out = []
+            for pk in index.structure.search(value):
+                if pk not in seen:
+                    seen.add(pk)
+                    out.append(dict(self._records[pk]))
+            return out
+        return [r for r in self.scan(lambda rec: value in _index_keys(rec, field))]
+
+    def range_by(
+        self,
+        field: str,
+        low: Any = None,
+        high: Any = None,
+        *,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> list[dict[str, Any]]:
+        """Records with ``field`` in the given range, in field order.
+
+        Uses a B-tree index when available; falls back to scan+sort.
+        """
+        index = self._indexes.get(field)
+        if index is not None and index.supports_range:
+            assert isinstance(index.structure, BTree)
+            pairs = index.structure.range(
+                low, high, include_low=include_low, include_high=include_high
+            )
+            return [dict(self._records[pk]) for _, pk in pairs]
+
+        def in_range(value: Any) -> bool:
+            if low is not None and (value < low or (value == low and not include_low)):
+                return False
+            if high is not None and (value > high or (value == high and not include_high)):
+                return False
+            return True
+
+        hits = [
+            (key_value, dict(record))
+            for record in self._records.values()
+            for key_value in _index_keys(record, field)
+            if in_range(key_value)
+        ]
+        hits.sort(key=lambda pair: pair[0])
+        return [record for _, record in hits]
+
+    # -- internal application ------------------------------------------------------
+
+    def _apply_put(self, record: dict[str, Any]) -> None:
+        self.mutation_count += 1
+        key = self.schema.primary_key_of(record)
+        self._records[key] = record
+        for index in self._indexes.values():
+            for index_key in _keys_for(record, index):
+                index.structure.insert(index_key, key)
+
+    def _apply_delete(self, key: Any) -> None:
+        self.mutation_count += 1
+        record = self._records.pop(key)
+        for index in self._indexes.values():
+            for index_key in _keys_for(record, index):
+                index.structure.remove(index_key, key)
+
+    def _log(self, payload: dict[str, Any]) -> None:
+        if self._wal is not None:
+            self._wal.append(payload)
+
+    # -- durability ---------------------------------------------------------------
+
+    def snapshot(self) -> None:
+        """Write the full state to disk atomically and truncate the WAL."""
+        if self._directory is None:
+            raise StorageError("in-memory store cannot snapshot")
+        index_defs = []
+        for idx in self._indexes.values():
+            if idx.is_composite:
+                index_defs.append({"fields": list(idx.fields), "kind": idx.kind.value})
+            else:
+                index_defs.append({"field": idx.field, "kind": idx.kind.value})
+        state = {
+            "version": _SNAPSHOT_VERSION,
+            "records": list(self._records.values()),
+            "indexes": index_defs,
+        }
+        tmp = self._snapshot_path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(state, fh, ensure_ascii=False)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self._snapshot_path)
+        if self._wal is not None:
+            self._wal.truncate()
+
+    def _recover(self) -> None:
+        if self._snapshot_path.exists():
+            with open(self._snapshot_path, encoding="utf-8") as fh:
+                state = json.load(fh)
+            if state.get("version") != _SNAPSHOT_VERSION:
+                raise StorageError(
+                    f"unsupported snapshot version {state.get('version')!r}"
+                )
+            for record in state["records"]:
+                self.schema.validate(record)
+                self._records[self.schema.primary_key_of(record)] = dict(record)
+            for index_def in state.get("indexes", []):
+                if "fields" in index_def:
+                    self.create_composite_index(index_def["fields"])
+                else:
+                    self.create_index(index_def["field"], IndexKind(index_def["kind"]))
+        for entry in WriteAheadLog.replay_path(self._wal_path):
+            self._replay_op(entry.payload)
+
+    def _replay_op(self, payload: dict[str, Any]) -> None:
+        op = payload.get("op")
+        if op == "put":
+            record = payload["record"]
+            key = self.schema.primary_key_of(record)
+            if key in self._records:
+                self._apply_delete(key)
+            self._apply_put(dict(record))
+        elif op == "del":
+            if payload["key"] in self._records:
+                self._apply_delete(payload["key"])
+        elif op == "batch":
+            for sub in payload["ops"]:
+                self._replay_op(sub)
+        else:
+            raise StorageError(f"unknown WAL op {op!r}")
+
+    def close(self) -> None:
+        """Release the WAL file handle (safe to call twice)."""
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+
+    def __enter__(self) -> "RecordStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,153 @@
+"""Buffered single-writer transactions.
+
+A :class:`Transaction` records puts and deletes against a shadow view of
+the store; nothing touches the store (or its WAL) until :meth:`commit`,
+which hands the buffered operations to
+:meth:`repro.storage.store.RecordStore.apply_batch` — one atomic WAL entry.
+Leaving the ``with`` block commits on success and rolls back (discards) on
+exception.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.errors import (
+    DuplicateKeyError,
+    RecordNotFoundError,
+    TransactionError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.store import RecordStore
+
+_DELETED = object()  # shadow marker
+
+
+class Transaction:
+    """One buffered transaction over a :class:`RecordStore`.
+
+    >>> from repro.storage.schema import Field, FieldType, Schema
+    >>> from repro.storage.store import RecordStore
+    >>> schema = Schema([Field("id", FieldType.INT), Field("t", FieldType.STRING)],
+    ...                 primary_key="id")
+    >>> store = RecordStore(schema)
+    >>> with store.transaction() as txn:
+    ...     txn.insert({"id": 1, "t": "a"})
+    ...     txn.insert({"id": 2, "t": "b"})
+    >>> len(store)
+    2
+    >>> try:
+    ...     with store.transaction() as txn:
+    ...         txn.delete(1)
+    ...         raise RuntimeError("boom")
+    ... except RuntimeError:
+    ...     pass
+    >>> 1 in store  # rollback left the record in place
+    True
+    """
+
+    def __init__(self, store: "RecordStore"):
+        self._store = store
+        self._shadow: dict[Any, Any] = {}  # key -> record dict or _DELETED
+        self._operations: list[dict[str, Any]] = []
+        self._state = "open"
+
+    # -- shadow view ---------------------------------------------------------
+
+    def _shadow_get(self, key: Any) -> dict[str, Any] | None:
+        """Record as this transaction sees it, or None when absent."""
+        if key in self._shadow:
+            value = self._shadow[key]
+            return None if value is _DELETED else value
+        try:
+            return self._store.get(key)
+        except RecordNotFoundError:
+            return None
+
+    def get(self, key: Any) -> dict[str, Any]:
+        """Read through the transaction (sees its own writes)."""
+        self._require_open()
+        record = self._shadow_get(key)
+        if record is None:
+            raise RecordNotFoundError(key)
+        return dict(record)
+
+    def __contains__(self, key: Any) -> bool:
+        return self._shadow_get(key) is not None
+
+    # -- buffered mutations -----------------------------------------------------
+
+    def insert(self, record: Mapping[str, Any]) -> None:
+        """Buffer an insert; duplicate keys fail immediately."""
+        self._require_open()
+        record = dict(record)
+        self._store.schema.validate(record)
+        key = self._store.schema.primary_key_of(record)
+        if self._shadow_get(key) is not None:
+            raise DuplicateKeyError(key)
+        self._shadow[key] = record
+        self._operations.append({"op": "put", "record": record})
+
+    def upsert(self, record: Mapping[str, Any]) -> None:
+        """Buffer an insert-or-replace."""
+        self._require_open()
+        record = dict(record)
+        self._store.schema.validate(record)
+        key = self._store.schema.primary_key_of(record)
+        self._shadow[key] = record
+        self._operations.append({"op": "put", "record": record})
+
+    def update(self, key: Any, changes: Mapping[str, Any]) -> dict[str, Any]:
+        """Buffer a field update against the transaction's view."""
+        record = self.get(key)
+        record.update(changes)
+        self._store.schema.validate(record)
+        if self._store.schema.primary_key_of(record) != key:
+            raise TransactionError("update must not change the primary key")
+        self._shadow[key] = record
+        self._operations.append({"op": "put", "record": record})
+        return dict(record)
+
+    def delete(self, key: Any) -> None:
+        """Buffer a delete; the key must exist in the transaction's view."""
+        self._require_open()
+        if self._shadow_get(key) is None:
+            raise RecordNotFoundError(key)
+        self._shadow[key] = _DELETED
+        self._operations.append({"op": "del", "key": key})
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def commit(self) -> None:
+        """Apply all buffered operations atomically."""
+        self._require_open()
+        if self._operations:
+            self._store.apply_batch(self._operations)
+        self._state = "committed"
+
+    def rollback(self) -> None:
+        """Discard all buffered operations."""
+        self._require_open()
+        self._operations.clear()
+        self._shadow.clear()
+        self._state = "rolled-back"
+
+    @property
+    def pending_operations(self) -> int:
+        return len(self._operations)
+
+    def _require_open(self) -> None:
+        if self._state != "open":
+            raise TransactionError(f"transaction already {self._state}")
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        if self._state != "open":
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()

@@ -1,0 +1,196 @@
+"""Append-only, CRC-framed write-ahead log.
+
+On-disk format (version 1), one entry per line::
+
+    W1 <crc32-hex-8> <length> <payload-json>\\n
+
+``crc32`` covers the UTF-8 payload bytes; ``length`` is the payload byte
+count.  Both are checked on replay.  A damaged or truncated *final* entry is
+treated as a torn write and dropped (normal crash behaviour); damage before
+the final entry raises :class:`~repro.errors.CorruptLogError` because it
+means silent data loss.
+
+The log stores opaque JSON payloads — the store layer defines the operation
+vocabulary (``put``/``delete``/``batch``).  ``fsync`` policy is the caller's
+choice per append; benchmarks (E7) measure the difference.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.errors import CorruptLogError
+
+_MAGIC = "W1"
+
+
+@dataclass(frozen=True, slots=True)
+class LogEntry:
+    """One replayed log entry with its byte offset (for diagnostics)."""
+
+    offset: int
+    payload: dict[str, Any]
+
+
+def _frame(payload: dict[str, Any]) -> bytes:
+    body = json.dumps(payload, separators=(",", ":"), ensure_ascii=False).encode("utf-8")
+    crc = zlib.crc32(body) & 0xFFFFFFFF
+    header = f"{_MAGIC} {crc:08x} {len(body)} ".encode("ascii")
+    return header + body + b"\n"
+
+
+class WriteAheadLog:
+    """Append-only log at ``path``.
+
+    The file handle stays open for the life of the object; call
+    :meth:`close` (or use as a context manager) to release it.
+
+    >>> import tempfile, pathlib
+    >>> with tempfile.TemporaryDirectory() as d:
+    ...     wal = WriteAheadLog(pathlib.Path(d) / "t.wal")
+    ...     _ = wal.append({"op": "put", "key": 1})
+    ...     _ = wal.append({"op": "del", "key": 1})
+    ...     wal.close()
+    ...     [e.payload["op"] for e in WriteAheadLog.replay_path(pathlib.Path(d) / "t.wal")]
+    ['put', 'del']
+    """
+
+    def __init__(self, path: Path | str, *, sync: bool = False):
+        self.path = Path(path)
+        self.sync = sync
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: io.BufferedWriter | None = open(self.path, "ab")
+        self.entries_written = 0
+
+    # -- writing ----------------------------------------------------------
+
+    def append(self, payload: dict[str, Any], *, sync: bool | None = None) -> int:
+        """Append one entry; returns the byte offset it was written at.
+
+        ``sync`` overrides the instance-wide fsync policy for this append.
+        """
+        fh = self._require_open()
+        offset = fh.tell()
+        fh.write(_frame(payload))
+        fh.flush()
+        if self.sync if sync is None else sync:
+            os.fsync(fh.fileno())
+        self.entries_written += 1
+        return offset
+
+    def append_many(self, payloads: list[dict[str, Any]], *, sync: bool | None = None) -> None:
+        """Append several entries with a single flush (and optional fsync)."""
+        fh = self._require_open()
+        for payload in payloads:
+            fh.write(_frame(payload))
+        fh.flush()
+        if self.sync if sync is None else sync:
+            os.fsync(fh.fileno())
+        self.entries_written += len(payloads)
+
+    def truncate(self) -> None:
+        """Erase the log (used after a snapshot makes it redundant)."""
+        fh = self._require_open()
+        fh.seek(0)
+        fh.truncate()
+        fh.flush()
+        os.fsync(fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _require_open(self) -> io.BufferedWriter:
+        if self._fh is None:
+            raise CorruptLogError("log is closed")
+        return self._fh
+
+    @property
+    def size_bytes(self) -> int:
+        """Current size of the log file in bytes."""
+        return self.path.stat().st_size if self.path.exists() else 0
+
+    # -- replay -----------------------------------------------------------
+
+    @classmethod
+    def replay_path(cls, path: Path | str) -> list[LogEntry]:
+        """Replay the log at ``path`` into a list of entries.
+
+        A torn final entry is dropped silently; earlier damage raises
+        :class:`CorruptLogError` with the offending byte offset.
+        """
+        path = Path(path)
+        if not path.exists():
+            return []
+        with open(path, "rb") as fh:
+            raw = fh.read()
+        entries: list[LogEntry] = []
+        for offset, line, is_torn_candidate in _lines_with_offsets(raw):
+            try:
+                entries.append(LogEntry(offset=offset, payload=_parse_line(line, offset)))
+            except CorruptLogError:
+                if is_torn_candidate:
+                    break  # torn tail: drop and stop
+                raise
+        return entries
+
+    def replay(self) -> list[LogEntry]:
+        """Replay this log's file (flushing buffered writes first)."""
+        if self._fh is not None:
+            self._fh.flush()
+        return self.replay_path(self.path)
+
+
+def _lines_with_offsets(raw: bytes) -> Iterator[tuple[int, bytes, bool]]:
+    """Yield ``(offset, line, is_torn_candidate)`` for each log line.
+
+    Only a final line with no trailing newline can be a torn write; every
+    newline-terminated line was fully written and must validate.
+    """
+    offset = 0
+    chunks = raw.split(b"\n")
+    ends_with_newline = raw.endswith(b"\n")
+    for i, chunk in enumerate(chunks):
+        if chunk:
+            is_torn_candidate = (i == len(chunks) - 1) and not ends_with_newline
+            yield offset, chunk, is_torn_candidate
+        offset += len(chunk) + 1
+
+
+def _parse_line(line: bytes, offset: int) -> dict[str, Any]:
+    parts = line.split(b" ", 3)
+    if len(parts) != 4 or parts[0] != _MAGIC.encode("ascii"):
+        raise CorruptLogError("bad frame header", offset=offset)
+    crc_hex, length_txt, body = parts[1], parts[2], parts[3]
+    try:
+        expected_crc = int(crc_hex, 16)
+        expected_len = int(length_txt)
+    except ValueError:
+        raise CorruptLogError("unparseable frame header", offset=offset) from None
+    if len(body) != expected_len:
+        raise CorruptLogError(
+            f"length mismatch: header says {expected_len}, body is {len(body)}",
+            offset=offset,
+        )
+    if zlib.crc32(body) & 0xFFFFFFFF != expected_crc:
+        raise CorruptLogError("CRC mismatch", offset=offset)
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CorruptLogError(f"bad JSON payload: {exc}", offset=offset) from exc
+    if not isinstance(payload, dict):
+        raise CorruptLogError("payload is not an object", offset=offset)
+    return payload

@@ -1,0 +1,34 @@
+"""Text processing substrate: tokenization, hyphenation repair, OCR model.
+
+The raw artifact is scanned text: article titles wrap across lines with
+hyphens (``Sur-\\nvive``), page furniture interrupts entries, and characters
+are confused (``rn``/``m``, ``l``/``1``).  This package provides the
+tokenizer used throughout the library, a hyphen-wrap repairer for ingest,
+and a seeded OCR noise model plus its inverse (a lexicon-guided repairer)
+for the synthetic-corpus experiments.
+"""
+
+from repro.textproc.tokenize import sentence_case, tokenize, word_shape
+from repro.textproc.hyphenation import join_hyphen_wraps, unwrap_lines
+from repro.textproc.ocr import (
+    OCRNoiseModel,
+    OCRRepairer,
+    default_confusions,
+    learn_confusions,
+)
+from repro.textproc.columns import ColumnSplit, detect_gutter, split_columns
+
+__all__ = [
+    "tokenize",
+    "word_shape",
+    "sentence_case",
+    "join_hyphen_wraps",
+    "unwrap_lines",
+    "OCRNoiseModel",
+    "OCRRepairer",
+    "default_confusions",
+    "learn_confusions",
+    "ColumnSplit",
+    "detect_gutter",
+    "split_columns",
+]

@@ -1,0 +1,135 @@
+"""Two-column page splitting for scanned index pages.
+
+Law-review indexes are typeset in one wide table, but many scans of
+multi-column front matter interleave two columns line by line::
+
+    Abdalla, Tarek F.*        |  Lorensen, Willard D.
+    Abramovsky, Deborah       |  Lynd, Alice
+
+OCR then emits each physical line with both columns' text separated by a
+run of spaces at a roughly constant offset (the gutter).  This module
+detects that gutter and splits the page back into two logical column
+streams (left column first, then right), after which the normal ingest
+parser applies.
+
+Detection is conservative: a gutter is accepted only when a single
+whitespace column is open on a clear majority of the non-blank lines —
+single-column text falls through untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Minimum width of the whitespace run accepted as a gutter.
+MIN_GUTTER_WIDTH = 3
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnSplit:
+    """Result of a split attempt."""
+
+    is_two_column: bool
+    gutter_start: int | None
+    left: list[str]
+    right: list[str]
+
+    def merged(self) -> str:
+        """Left column then right column, as one logical text."""
+        return "\n".join([*self.left, *self.right])
+
+
+def _occupancy(lines: list[str]) -> list[int]:
+    """How many lines have a non-space character at each column position."""
+    width = max((len(line) for line in lines), default=0)
+    counts = [0] * width
+    for line in lines:
+        for i, ch in enumerate(line):
+            if not ch.isspace():
+                counts[i] += 1
+    return counts
+
+
+def detect_gutter(text: str) -> int | None:
+    """Start offset of the inter-column gutter, or ``None``.
+
+    The gutter is the leftmost run of ``MIN_GUTTER_WIDTH``+ positions that
+    are blank on **every** non-blank line, with printable text on both
+    sides on a majority of lines (a wide right margin is not a gutter).
+    The strict blank requirement is deliberate: a lenient threshold would
+    let the splitter chop characters off unusually long left-column lines.
+
+    >>> detect_gutter("ab        cd\\nxy        zw\\npq        rs\\n")
+    2
+    >>> detect_gutter("just one column of text\\nwith several lines\\nof prose\\n") is None
+    True
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    if len(lines) < 3:
+        return None
+    counts = _occupancy(lines)
+
+    run_start = None
+    for i, count in enumerate(counts):
+        if count == 0:
+            if run_start is None:
+                run_start = i
+            continue
+        if run_start is not None and i - run_start >= MIN_GUTTER_WIDTH:
+            if _both_sides_used(lines, run_start, i):
+                return run_start
+        run_start = None
+    # a run reaching the right edge is a margin, not a gutter
+    return None
+
+
+def _both_sides_used(lines: list[str], gutter_start: int, gutter_end: int) -> bool:
+    both = 0
+    for line in lines:
+        left_used = bool(line[:gutter_start].strip())
+        right_used = bool(line[gutter_end:].strip())
+        if left_used and right_used:
+            both += 1
+    return both >= len(lines) * 0.5
+
+
+def split_columns(text: str) -> ColumnSplit:
+    """Split ``text`` into its two columns when a gutter is detected.
+
+    Single-column input comes back unchanged in ``left`` with
+    ``is_two_column=False``.
+
+    >>> split = split_columns("Abel, A.     Lorens, L.\\n"
+    ...                       "Brown, B.    Lynd, Q.\\n"
+    ...                       "Cole, C.     Moran, J.\\n")
+    >>> split.is_two_column
+    True
+    >>> split.left
+    ['Abel, A.', 'Brown, B.', 'Cole, C.']
+    >>> split.right
+    ['Lorens, L.', 'Lynd, Q.', 'Moran, J.']
+    """
+    lines = text.splitlines()
+    gutter = detect_gutter(text)
+    if gutter is None:
+        return ColumnSplit(
+            is_two_column=False,
+            gutter_start=None,
+            left=[line.rstrip() for line in lines],
+            right=[],
+        )
+    # The split point is the end of the all-blank run: the first position
+    # after the gutter where any line resumes text.
+    content = [line for line in lines if line.strip()]
+    counts = _occupancy(content)
+    end = gutter
+    while end < len(counts) and counts[end] == 0:
+        end += 1
+    left = [line[:gutter].rstrip() for line in lines]
+    right = [line[end:].rstrip() if len(line) > end else "" for line in lines]
+    return ColumnSplit(
+        is_two_column=True,
+        gutter_start=gutter,
+        left=left,
+        right=right,
+    )

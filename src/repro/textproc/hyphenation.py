@@ -1,0 +1,75 @@
+"""Repairing hyphenated line wraps in scanned text.
+
+Typeset columns break words with a trailing hyphen; OCR then yields::
+
+    The Federal Surface Mining Control and
+    Reclamation Act of 1977-First to Sur-
+    vive a Direct Tenth Amendment Attack
+
+Joining is not purely mechanical because real compounds also end lines
+(``Employer-\\nEmployee``).  The heuristic used here: join when the
+continuation starts lower-case (a broken word); keep the hyphen when the
+continuation starts upper-case (a compound split at its natural hyphen).
+This matches the conventions of the reference artifact.
+"""
+
+from __future__ import annotations
+
+import re
+
+_TRAILING_HYPHEN = re.compile(r"[-‐‑]\s*$")
+
+
+def join_hyphen_wraps(first: str, second: str) -> tuple[str, bool]:
+    """Join ``first`` (ending in a hyphen) with continuation ``second``.
+
+    Returns ``(joined_text, was_word_break)``.  When ``first`` does not end
+    with a hyphen the lines are joined with a space.
+
+    >>> join_hyphen_wraps("First to Sur-", "vive a Direct Attack")
+    ('First to Survive a Direct Attack', True)
+    >>> join_hyphen_wraps("the Employer-", "Employee Relationship")
+    ('the Employer-Employee Relationship', False)
+    >>> join_hyphen_wraps("no hyphen here", "next line")
+    ('no hyphen here next line', False)
+    """
+    first = first.rstrip()
+    second = second.lstrip()
+    if not _TRAILING_HYPHEN.search(first):
+        return (f"{first} {second}".strip(), False)
+    if not second:
+        return (_TRAILING_HYPHEN.sub("", first), False)
+
+    head = _TRAILING_HYPHEN.sub("", first)
+    if second[0].islower():
+        return (head + second, True)
+    return (f"{head}-{second}", False)
+
+
+def unwrap_lines(lines: list[str]) -> str:
+    """Collapse a wrapped multi-line block into one logical line.
+
+    Applies :func:`join_hyphen_wraps` pairwise, left to right.
+
+    >>> unwrap_lines(["The Federal Surface Mining Control and",
+    ...               "Reclamation Act of 1977-First to Sur-",
+    ...               "vive a Direct Tenth Amendment Attack"])
+    'The Federal Surface Mining Control and Reclamation Act of 1977-First to Survive a Direct Tenth Amendment Attack'
+    """
+    if not lines:
+        return ""
+    text = lines[0].strip()
+    for line in lines[1:]:
+        text, _ = join_hyphen_wraps(text, line)
+    return text
+
+
+def count_word_breaks(lines: list[str]) -> int:
+    """Number of hyphen wraps that would be repaired as word breaks."""
+    breaks = 0
+    for first, second in zip(lines, lines[1:]):
+        first = first.rstrip()
+        second = second.lstrip()
+        if _TRAILING_HYPHEN.search(first) and second and second[0].islower():
+            breaks += 1
+    return breaks

@@ -1,0 +1,120 @@
+"""Tokenization and small word-level utilities.
+
+The tokenizer is deliberately simple and deterministic: it splits on
+whitespace, peels leading/trailing punctuation into separate tokens, and
+keeps intra-word punctuation (hyphens, apostrophes, periods in
+abbreviations) attached.  That is the right granularity for titles and
+names; nothing here attempts linguistic analysis.
+"""
+
+from __future__ import annotations
+
+import re
+
+_LEADING_PUNCT = re.compile(r"^[\"'“”‘’(\[{<]+")
+_TRAILING_PUNCT = re.compile(r"[\"'“”‘’)\]}>.,;:!?]+$")
+_ABBREVIATION = re.compile(r"^(?:[A-Za-z]\.)+$")  # U.S., J.R., I.R.C.
+
+
+def tokenize(text: str) -> list[str]:
+    """Split ``text`` into word and punctuation tokens.
+
+    >>> tokenize('The "Due-on-Sale" Clause (1982)')
+    ['The', '"', 'Due-on-Sale', '"', 'Clause', '(', '1982', ')']
+    >>> tokenize("U.S. v. Smith")
+    ['U.S.', 'v.', 'Smith']
+    """
+    tokens: list[str] = []
+    for chunk in text.split():
+        lead = _LEADING_PUNCT.match(chunk)
+        if lead:
+            tokens.extend(lead.group(0))
+            chunk = chunk[lead.end():]
+        trail = _TRAILING_PUNCT.search(chunk)
+        trailing = ""
+        if trail and not _ABBREVIATION.match(chunk):
+            trailing = trail.group(0)
+            chunk = chunk[: trail.start()]
+            # keep a single trailing period on abbreviations like "v."
+            if len(chunk) <= 2 and trailing.startswith("."):
+                chunk += "."
+                trailing = trailing[1:]
+        if chunk:
+            tokens.append(chunk)
+        tokens.extend(trailing)
+    return tokens
+
+
+def word_shape(token: str) -> str:
+    """Compress a token into a shape signature: ``"McAteer"`` → ``"XxXx"``.
+
+    Runs of the same character class collapse; classes are ``X`` (upper),
+    ``x`` (lower), ``9`` (digit), and the character itself for punctuation.
+    Used by the ingest parser to recognize column furniture.
+
+    >>> word_shape("McAteer")
+    'XxXx'
+    >>> word_shape("95:1365")
+    '9:9'
+    """
+    out: list[str] = []
+    for ch in token:
+        if ch.isupper():
+            cls = "X"
+        elif ch.islower():
+            cls = "x"
+        elif ch.isdigit():
+            cls = "9"
+        else:
+            cls = ch
+        if not out or out[-1] != cls:
+            out.append(cls)
+    return "".join(out)
+
+
+#: Words kept lower-case inside title case (standard bibliographic list).
+_MINOR_WORDS = frozenset(
+    {
+        "a", "an", "and", "as", "at", "but", "by", "for", "in", "nor",
+        "of", "on", "or", "per", "the", "to", "v.", "vs.", "via",
+    }
+)
+
+
+def sentence_case(title: str) -> str:
+    """Normalize a SHOUTING or inconsistent title into bibliographic case.
+
+    First and last words are always capitalized; minor words stay lower.
+    When the title as a whole is shouting (mostly upper-case) every word is
+    re-cased; otherwise words with internal structure — mixed case, periods,
+    or all-caps acronyms — are preserved verbatim (``NLRB``, ``McAteer``,
+    ``I.R.C.``).
+
+    >>> sentence_case("THE LAW OF COAL")
+    'The Law of Coal'
+    >>> sentence_case("regulating human NLRB therapy")
+    'Regulating Human NLRB Therapy'
+    """
+    words = title.split()
+    if not words:
+        return title
+    alpha = [c for c in title if c.isalpha()]
+    shouting = bool(alpha) and sum(c.isupper() for c in alpha) / len(alpha) > 0.7
+
+    out: list[str] = []
+    last = len(words) - 1
+    for i, word in enumerate(words):
+        if not shouting and _has_internal_structure(word):
+            out.append(word)
+            continue
+        lower = word.lower()
+        if 0 < i < last and lower in _MINOR_WORDS:
+            out.append(lower)
+        else:
+            out.append(lower[:1].upper() + lower[1:])
+    return " ".join(out)
+
+
+def _has_internal_structure(word: str) -> bool:
+    body = word[1:]
+    return any(c.isupper() for c in body) or "." in word[:-1]

@@ -1,0 +1,102 @@
+"""Crash-recovery scenarios: torn writes, interleaved snapshots, batches."""
+
+import pytest
+
+from repro.errors import CorruptLogError
+from repro.storage.schema import Field, FieldType, Schema
+from repro.storage.store import IndexKind, RecordStore
+
+SCHEMA = Schema(
+    [Field("id", FieldType.INT), Field("v", FieldType.STRING)], primary_key="id"
+)
+
+
+def _fill(store: RecordStore, start: int, count: int) -> None:
+    for i in range(start, start + count):
+        store.insert({"id": i, "v": f"value-{i}"})
+
+
+class TestCrashScenarios:
+    def test_recovery_preserves_every_acknowledged_write(self, tmp_path):
+        with RecordStore(SCHEMA, tmp_path / "db") as store:
+            _fill(store, 0, 100)
+            for i in range(0, 100, 3):
+                store.delete(i)
+        with RecordStore(SCHEMA, tmp_path / "db") as store:
+            expected = {i for i in range(100) if i % 3 != 0}
+            assert set(store.keys()) == expected
+
+    def test_torn_write_loses_only_the_torn_entry(self, tmp_path):
+        with RecordStore(SCHEMA, tmp_path / "db") as store:
+            _fill(store, 0, 10)
+        wal = tmp_path / "db" / "store.wal"
+        wal.write_bytes(wal.read_bytes() + b'W1 0badc0de 25 {"op":"put","record"')
+        with RecordStore(SCHEMA, tmp_path / "db") as store:
+            assert len(store) == 10
+
+    def test_mid_log_corruption_refuses_to_open(self, tmp_path):
+        with RecordStore(SCHEMA, tmp_path / "db") as store:
+            _fill(store, 0, 10)
+        wal = tmp_path / "db" / "store.wal"
+        raw = bytearray(wal.read_bytes())
+        raw[20] ^= 0xFF
+        wal.write_bytes(bytes(raw))
+        with pytest.raises(CorruptLogError):
+            RecordStore(SCHEMA, tmp_path / "db")
+
+    def test_snapshot_then_crash_before_more_writes(self, tmp_path):
+        with RecordStore(SCHEMA, tmp_path / "db") as store:
+            _fill(store, 0, 20)
+            store.snapshot()
+        # WAL is empty; recovery must come entirely from the snapshot.
+        assert (tmp_path / "db" / "store.wal").stat().st_size == 0
+        with RecordStore(SCHEMA, tmp_path / "db") as store:
+            assert len(store) == 20
+
+    def test_repeated_snapshot_cycles(self, tmp_path):
+        for generation in range(5):
+            with RecordStore(SCHEMA, tmp_path / "db") as store:
+                _fill(store, generation * 10, 10)
+                store.snapshot()
+        with RecordStore(SCHEMA, tmp_path / "db") as store:
+            assert len(store) == 50
+
+    def test_uncommitted_transaction_invisible_after_crash(self, tmp_path):
+        with RecordStore(SCHEMA, tmp_path / "db") as store:
+            _fill(store, 0, 5)
+            txn = store.transaction()
+            txn.insert({"id": 100, "v": "buffered"})
+            # never committed: simulate the process dying here
+            store.close()
+        with RecordStore(SCHEMA, tmp_path / "db") as store:
+            assert 100 not in store
+            assert len(store) == 5
+
+    def test_committed_transaction_survives(self, tmp_path):
+        with RecordStore(SCHEMA, tmp_path / "db") as store:
+            with store.transaction() as txn:
+                for i in range(5):
+                    txn.insert({"id": i, "v": "x"})
+        with RecordStore(SCHEMA, tmp_path / "db") as store:
+            assert len(store) == 5
+
+    def test_indexes_rebuilt_correctly_after_recovery(self, tmp_path):
+        with RecordStore(SCHEMA, tmp_path / "db") as store:
+            store.create_index("v", IndexKind.HASH)
+            _fill(store, 0, 10)
+            store.update(3, {"v": "changed"})
+            store.snapshot()
+            store.delete(4)
+        with RecordStore(SCHEMA, tmp_path / "db") as store:
+            assert [r["id"] for r in store.find_by("v", "changed")] == [3]
+            assert store.find_by("v", "value-4") == []
+            assert [r["id"] for r in store.find_by("v", "value-5")] == [5]
+
+    def test_sync_mode_equivalent_content(self, tmp_path):
+        with RecordStore(SCHEMA, tmp_path / "a", sync=True) as store:
+            _fill(store, 0, 5)
+        with RecordStore(SCHEMA, tmp_path / "b", sync=False) as store:
+            _fill(store, 0, 5)
+        a = (tmp_path / "a" / "store.wal").read_bytes()
+        b = (tmp_path / "b" / "store.wal").read_bytes()
+        assert a == b

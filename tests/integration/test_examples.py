@@ -1,0 +1,61 @@
+"""Every example script must run clean — examples are executable docs."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, argv: list[str], capsys) -> str:
+    old_argv = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", [], capsys)
+        assert "Fox, Fred L., II*" in out
+        assert "multi-article author: McAteer" in out
+
+    def test_rebuild_wvlr_index(self, capsys):
+        out = run_example("rebuild_wvlr_index.py", [], capsys)
+        assert "loaded 271 publication records" in out
+        assert "entries:               343" in out
+        assert "ordering spot-checks passed" in out
+
+    def test_deduplicate_authors(self, capsys):
+        out = run_example("deduplicate_authors.py", [], capsys)
+        assert "Hemdon, Judith" in out
+        assert "precision=1.000" in out
+
+    def test_query_console_scripted(self, capsys):
+        out = run_example("query_console.py", ['surnames:"Lewin" ORDER BY year'], capsys)
+        assert "(4 rows)" in out
+
+    def test_front_matter_bundle(self, capsys, tmp_path):
+        out = run_example("front_matter_bundle.py", [str(tmp_path / "fm")], capsys)
+        assert "author_index.*     343 rows" in out
+        files = {p.name for p in (tmp_path / "fm").iterdir()}
+        assert {
+            "contents.txt", "author_index.txt", "author_index.html",
+            "title_index.txt", "subject_index.txt", "corpus.bib",
+        } <= files
+
+    def test_annual_update(self, capsys):
+        out = run_example("annual_update.py", [], capsys)
+        assert "ingested 6 rows" in out
+        assert "incremental snapshot == full rebuild" in out
+        assert "Mine Subsidence and the Insurance Gap" in out
+
+    def test_bibliometrics(self, capsys):
+        out = run_example("bibliometrics.py", [], capsys)
+        assert "McAteer, J. Davitt" in out
+        assert "coal" in out

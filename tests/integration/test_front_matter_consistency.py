@@ -1,0 +1,85 @@
+"""Cross-artifact consistency: the four front-matter products must agree.
+
+Every index is a different projection of the same record set; these tests
+pin the invariants that tie them together — on the reference corpus and on
+a synthetic one, so the properties are not artifacts of either dataset.
+"""
+
+import pytest
+
+from repro.core.builder import build_index
+from repro.core.kwic import build_kwic_index, significant_words
+from repro.core.titleindex import build_title_index
+from repro.core.toc import build_toc
+from repro.search.engine import TitleSearchEngine
+
+
+@pytest.fixture(scope="module", params=["reference", "synthetic"])
+def corpus(request, reference_records, synthetic_records):
+    return list(reference_records if request.param == "reference" else synthetic_records)
+
+
+class TestCrossArtifactInvariants:
+    def test_author_index_rows_equal_author_slots(self, corpus):
+        index = build_index(corpus)
+        distinct_rows = {
+            (a.identity_key(), r.title.casefold(), r.citation)
+            for r in corpus
+            for a in r.authors
+        }
+        assert len(index) == len(distinct_rows)
+
+    def test_title_index_covers_every_record_once(self, corpus):
+        title_index = build_title_index(corpus)
+        expected = {(r.title.casefold(), r.citation) for r in corpus}
+        got = {(e.title.casefold(), e.citation) for e in title_index}
+        assert got == expected
+
+    def test_toc_partitions_records(self, corpus):
+        toc = build_toc(corpus)
+        assert sum(v.article_count for v in toc) == len(corpus)
+        ids = [r.record_id for v in toc for r in v.records]
+        assert len(ids) == len(set(ids))
+
+    def test_toc_volumes_match_citations(self, corpus):
+        toc = build_toc(corpus)
+        for volume_contents in toc:
+            for record in volume_contents.records:
+                assert record.citation.volume == volume_contents.volume
+
+    def test_kwic_rotations_point_at_real_records(self, corpus):
+        kwic = build_kwic_index(corpus)
+        by_id = {r.record_id: r for r in corpus}
+        for group in kwic.groups:
+            for entry in group.entries:
+                record = by_id[entry.record_id]
+                assert entry.title == record.title
+                assert group.keyword in significant_words(record.title)
+
+    def test_search_agrees_with_kwic_vocabulary(self, corpus):
+        kwic = build_kwic_index(corpus)
+        engine = TitleSearchEngine(corpus)
+        # every KWIC heading is findable by search, and search returns
+        # exactly the records the heading groups
+        for group in list(kwic.groups)[:25]:
+            search_ids = {h.record_id for h in engine.search(group.keyword, k=None)}
+            kwic_ids = {e.record_id for e in group.entries}
+            assert kwic_ids <= search_ids
+
+    def test_student_share_consistent_across_artifacts(self, corpus):
+        author_index = build_index(corpus)
+        title_index = build_title_index(corpus)
+        record_students = {r.record_id for r in corpus if r.is_student_work}
+        title_students = {
+            e.record_id for e in title_index if e.is_student_work
+        }
+        assert title_students == record_students
+        index_student_ids = {
+            e.record_id for e in author_index if e.is_student_work
+        }
+        assert index_student_ids == record_students
+
+    def test_statistics_agree_with_toc(self, corpus):
+        stats = build_index(corpus).statistics()
+        toc = build_toc(corpus)
+        assert set(stats.entries_by_volume) == {v.volume for v in toc}

@@ -1,0 +1,89 @@
+"""End-to-end pipeline: ingest → store (durable) → query → build → render."""
+
+import json
+
+from repro.core.builder import AuthorIndexBuilder
+from repro.core.entry import PublicationRecord
+from repro.corpus.ingest import parse_index_text
+from repro.corpus.wvlr import PUBLICATION_SCHEMA, populate_store
+from repro.query.executor import QueryEngine
+from repro.storage.store import IndexKind, RecordStore
+
+RAW = """
+AUTHOR ARTICLE W. VA. L. REV.
+Abramovsky, Deborah Confidentiality: The Future Crime- 85:929 (1983)
+Contraband Dilemmas
+Bagge, Carl E. State Primacy Under the Office of 88:521 (1986)
+Surface Mining
+Cardi, Vincent P. The West Virginia Consumer Credit and 77:401 (1975)
+Protection Act
+Cardi, Vincent P. The Experience of Article 2 of the Uni- 93:735 (1991)
+form Commercial Code in West Virginia
+Deem, Patrick D.* The Fifth Amendment and Debarment 70:214 (1968)
+Proceedings
+1366 [Vol. 95:1365
+Farmer, Guy Transfer of NLRB Jurisdiction Over 88:1 (1985)
+Unfair Practices to Labor Courts
+"""
+
+
+def test_full_pipeline(tmp_path):
+    # 1. Ingest raw OCR'd text.
+    report = parse_index_text(RAW)
+    assert report.record_count == 6
+
+    # 2. Persist into a durable store.
+    with RecordStore(PUBLICATION_SCHEMA, tmp_path / "db") as store:
+        populate_store(store, report.records)
+        store.create_index("surnames", IndexKind.HASH)
+        store.create_index("year", IndexKind.BTREE)
+        store.snapshot()
+        store.insert(
+            PublicationRecord.create(
+                100, "Added After Snapshot", ["Zed, Amy Q."], "94:1 (1992)"
+            ).to_store_dict()
+        )
+
+    # 3. Reopen (snapshot + WAL replay) and query.
+    with RecordStore(PUBLICATION_SCHEMA, tmp_path / "db") as store:
+        assert len(store) == 7
+        engine = QueryEngine(store)
+
+        cardi = engine.execute('surnames:"Cardi"')
+        assert len(cardi) == 2
+        assert engine.explain('surnames:"Cardi"').startswith("INDEX LOOKUP")
+
+        eighties = engine.execute("year >= 1980 AND year < 1990 ORDER BY year")
+        assert [r["year"] for r in eighties] == [1983, 1985, 1986]
+
+        # 4. Build the index for a selected slice and render everywhere.
+        records = [PublicationRecord.from_store_dict(r) for r in engine.execute("*")]
+        index = AuthorIndexBuilder().add_records(records).build()
+        assert [g.heading for g in index.groups()][0] == "Abramovsky, Deborah"
+
+        text = index.render("text", paginated=False)
+        assert "Uniform Commercial Code" in text  # hyphen wrap repaired
+        assert "Deem, Patrick D.*" in text
+
+        rows = json.loads(index.render("json"))
+        assert len(rows) == 7
+
+        html = index.render("html")
+        assert "Zed, Amy Q." in html
+
+
+def test_reference_corpus_through_durable_store(tmp_path, reference_records):
+    with RecordStore(PUBLICATION_SCHEMA, tmp_path / "ref") as store:
+        populate_store(store, reference_records)
+        store.create_index("volume", IndexKind.BTREE)
+        store.snapshot()
+
+    with RecordStore(PUBLICATION_SCHEMA, tmp_path / "ref") as store:
+        engine = QueryEngine(store)
+        vol95 = engine.execute("volume = 95")
+        assert all(r["volume"] == 95 for r in vol95)
+        assert len(vol95) >= 10
+
+        records = [PublicationRecord.from_store_dict(r) for r in store.scan()]
+        index = AuthorIndexBuilder().add_records(records).build()
+        assert len(index) == 343  # identical to building straight from JSON

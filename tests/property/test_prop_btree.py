@@ -1,0 +1,98 @@
+"""Property-based tests for the B-tree: model-checked against dict/list."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.storage.btree import BTree
+
+keys = st.integers(min_value=-50, max_value=50)
+values = st.integers(min_value=0, max_value=9)
+orders = st.integers(min_value=3, max_value=12)
+
+
+@given(orders, st.lists(st.tuples(keys, values), max_size=200))
+def test_items_always_sorted(order, pairs):
+    tree = BTree(order=order)
+    for k, v in pairs:
+        tree.insert(k, v)
+    out_keys = [k for k, _ in tree.items()]
+    assert out_keys == sorted(out_keys)
+    tree.validate()
+
+
+@given(orders, st.lists(st.tuples(keys, values), max_size=200))
+def test_search_matches_model(order, pairs):
+    tree = BTree(order=order)
+    model: dict[int, list[int]] = {}
+    for k, v in pairs:
+        tree.insert(k, v)
+        model.setdefault(k, []).append(v)
+    for k, expected in model.items():
+        assert sorted(tree.search(k)) == sorted(expected)
+    assert len(tree) == sum(len(v) for v in model.values())
+
+
+@given(
+    orders,
+    st.lists(st.tuples(keys, values), max_size=150),
+    keys,
+    keys,
+    st.booleans(),
+    st.booleans(),
+)
+def test_range_matches_model(order, pairs, low, high, inc_low, inc_high):
+    tree = BTree(order=order)
+    model: list[tuple[int, int]] = []
+    for k, v in pairs:
+        tree.insert(k, v)
+        model.append((k, v))
+
+    got = [k for k, _ in tree.range(low, high, include_low=inc_low, include_high=inc_high)]
+    want = sorted(
+        k
+        for k, _ in model
+        if (k > low or (k == low and inc_low)) and (k < high or (k == high and inc_high))
+    )
+    assert got == want
+
+
+class BTreeMachine(RuleBasedStateMachine):
+    """Stateful test: arbitrary interleavings of insert/remove vs. a model."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = BTree(order=4)
+        self.model: dict[int, list[int]] = {}
+
+    @rule(key=keys, value=values)
+    def insert(self, key, value):
+        self.tree.insert(key, value)
+        self.model.setdefault(key, []).append(value)
+
+    @rule(key=keys, value=values)
+    def remove_value(self, key, value):
+        expected = value in self.model.get(key, [])
+        assert self.tree.remove(key, value) is expected
+        if expected:
+            self.model[key].remove(value)
+            if not self.model[key]:
+                del self.model[key]
+
+    @rule(key=keys)
+    def remove_key(self, key):
+        expected = key in self.model
+        assert self.tree.remove(key) is expected
+        self.model.pop(key, None)
+
+    @invariant()
+    def structure_valid(self):
+        self.tree.validate()
+
+    @invariant()
+    def contents_match(self):
+        assert list(self.tree.keys()) == sorted(self.model)
+
+
+TestBTreeMachine = BTreeMachine.TestCase
+TestBTreeMachine.settings = settings(max_examples=40, stateful_step_count=30)

@@ -1,0 +1,56 @@
+"""Property tests: bulk-loaded B-trees are indistinguishable from built ones."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.btree import BTree
+
+pair_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=-10_000, max_value=10_000),
+        st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=3),
+    ),
+    max_size=120,
+    unique_by=lambda kv: kv[0],
+).map(lambda pairs: sorted(pairs))
+
+orders = st.integers(min_value=3, max_value=40)
+
+
+@given(pair_lists, orders)
+@settings(max_examples=120, deadline=None)
+def test_bulk_load_valid_and_complete(pairs, order):
+    tree = BTree.from_sorted(pairs, order=order)
+    tree.validate()
+    assert list(tree.keys()) == [k for k, _ in pairs]
+    for key, values in pairs:
+        assert tree.search(key) == values
+
+
+@given(pair_lists, orders)
+@settings(max_examples=80, deadline=None)
+def test_bulk_load_equals_insert_build(pairs, order):
+    bulk = BTree.from_sorted(pairs, order=order)
+    manual = BTree(order=order)
+    for key, values in pairs:
+        for value in values:
+            manual.insert(key, value)
+    assert list(bulk.items()) == list(manual.items())
+    assert len(bulk) == len(manual)
+    assert bulk.distinct_keys == manual.distinct_keys
+
+
+@given(pair_lists, orders, st.lists(st.integers(-10_000, 10_000), max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_bulk_loaded_tree_survives_mutation(pairs, order, extra_keys):
+    tree = BTree.from_sorted(pairs, order=order)
+    model = {k: list(v) for k, v in pairs}
+    for key in extra_keys:
+        tree.insert(key, 42)
+        model.setdefault(key, []).append(42)
+    for key in extra_keys[: len(extra_keys) // 2]:
+        if key in model:
+            tree.remove(key)
+            del model[key]
+    tree.validate()
+    assert list(tree.keys()) == sorted(model)

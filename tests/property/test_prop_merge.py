@@ -1,0 +1,81 @@
+"""Property tests for corpus merging."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.citation.model import Citation
+from repro.core.entry import PublicationRecord
+from repro.corpus.merge import ConflictPolicy, merge_corpora, renumber
+from repro.names.model import PersonName
+
+
+@st.composite
+def records(draw):
+    return PublicationRecord(
+        record_id=draw(st.integers(min_value=1, max_value=30)),
+        title=draw(st.sampled_from(["Alpha", "Beta", "Gamma", "Delta"])),
+        authors=(PersonName(surname=draw(st.sampled_from(["Ash", "Birch", "Cedar"]))),),
+        citation=Citation(
+            volume=draw(st.integers(min_value=69, max_value=95)),
+            page=draw(st.integers(min_value=1, max_value=99)),
+            year=draw(st.integers(min_value=1966, max_value=1993)),
+        ),
+        is_student_work=draw(st.booleans()),
+    )
+
+
+def dedup_ids(items):
+    seen = {}
+    for record in items:
+        seen.setdefault(record.record_id, record)
+    return list(seen.values())
+
+
+corpora = st.lists(records(), max_size=15).map(dedup_ids)
+policies = st.sampled_from([ConflictPolicy.KEEP_EXISTING, ConflictPolicy.REPLACE])
+
+
+@given(corpora, corpora, policies)
+@settings(max_examples=150, deadline=None)
+def test_merge_ids_unique_and_complete(base, incoming, policy):
+    result = merge_corpora(base, incoming, on_conflict=policy)
+    ids = [r.record_id for r in result.records]
+    assert len(ids) == len(set(ids))
+    assert set(ids) == {r.record_id for r in base} | {r.record_id for r in incoming}
+
+
+@given(corpora, corpora, policies)
+@settings(max_examples=100, deadline=None)
+def test_merge_accounting_adds_up(base, incoming, policy):
+    result = merge_corpora(base, incoming, on_conflict=policy)
+    assert result.added + result.unchanged + result.conflict_count == len(incoming)
+    assert len(result.records) == len(base) + result.added
+
+
+@given(corpora, corpora)
+@settings(max_examples=100, deadline=None)
+def test_merge_idempotent_after_replace(base, incoming):
+    once = merge_corpora(base, incoming, on_conflict=ConflictPolicy.REPLACE)
+    twice = merge_corpora(once.records, incoming, on_conflict=ConflictPolicy.REPLACE)
+    assert twice.added == 0
+    assert twice.conflict_count == 0
+    assert twice.records == once.records
+
+
+@given(corpora, corpora)
+@settings(max_examples=100, deadline=None)
+def test_keep_existing_never_mutates_base_content(base, incoming):
+    result = merge_corpora(base, incoming, on_conflict=ConflictPolicy.KEEP_EXISTING)
+    by_id = {r.record_id: r for r in result.records}
+    for record in base:
+        assert by_id[record.record_id] == record
+
+
+@given(corpora, st.integers(min_value=1, max_value=1000))
+@settings(max_examples=80, deadline=None)
+def test_renumber_gives_sequential_ids_and_keeps_content(items, start):
+    renumbered = renumber(items, start=start)
+    assert [r.record_id for r in renumbered] == list(range(start, start + len(items)))
+    for before, after in zip(items, renumbered):
+        assert after.title == before.title
+        assert after.citation == before.citation

@@ -1,0 +1,145 @@
+"""Property-based round-trip tests: citations, names, records, renderers."""
+
+import string
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.citation.model import Citation
+from repro.citation.parser import parse_citation
+from repro.core.builder import build_index
+from repro.core.entry import PublicationRecord
+from repro.corpus.ingest import parse_index_text
+from repro.names.model import PersonName
+from repro.names.parser import parse_name
+
+citations = st.builds(
+    Citation,
+    volume=st.integers(min_value=1, max_value=999),
+    page=st.integers(min_value=1, max_value=9999),
+    year=st.integers(min_value=1850, max_value=2150),
+)
+
+
+class TestCitationRoundTrip:
+    @given(citations)
+    def test_columnar_roundtrip(self, citation):
+        assert parse_citation(citation.columnar()) == citation
+
+    @given(citations)
+    def test_bluebook_roundtrip(self, citation):
+        from repro.citation.model import WVLR
+
+        assert parse_citation(citation.bluebook(WVLR)) == citation
+
+
+_surname_alpha = string.ascii_uppercase + string.ascii_lowercase
+
+
+@st.composite
+def clean_names(draw):
+    """Names in the shape the artifact prints (parseable by construction).
+
+    Surnames spelled like generational suffixes ("Iv", "Jr") are excluded:
+    ``Aaa A. Iv`` is genuinely ambiguous in direct form and the parser
+    rightly reads the suffix.
+    """
+    from repro.names.model import SUFFIX_SPELLINGS
+
+    surname = draw(
+        st.text(alphabet=_surname_alpha, min_size=2, max_size=10).filter(
+            lambda s: s.casefold() not in SUFFIX_SPELLINGS
+        )
+    )
+    surname = surname[0].upper() + surname[1:].lower()
+    given_first = draw(st.text(alphabet=string.ascii_uppercase, min_size=1, max_size=1))
+    given_rest = draw(st.text(alphabet=string.ascii_lowercase, min_size=2, max_size=8))
+    initial = draw(st.sampled_from(string.ascii_uppercase))
+    given = f"{given_first}{given_rest} {initial}."
+    return PersonName(
+        surname=surname,
+        given=given,
+        suffix=draw(st.sampled_from(["", "Jr.", "Sr.", "II", "III", "IV"])),
+        honorific=draw(st.sampled_from(["", "Hon.", "Dr."])),
+        is_student=draw(st.booleans()),
+    )
+
+
+class TestNameRoundTrip:
+    @given(clean_names())
+    def test_inverted_reparse_preserves_identity(self, name):
+        reparsed = parse_name(name.inverted(student_marker=True))
+        assert reparsed.identity_key() == name.identity_key()
+        assert reparsed.is_student == name.is_student
+        assert reparsed.honorific == name.honorific
+
+    @given(clean_names())
+    def test_direct_reparse_preserves_identity(self, name):
+        # A direct-form rendering with a suffix contains a comma, so the
+        # caller must say which form it is; inference would read it as
+        # inverted.
+        from repro.names.model import NameForm
+
+        reparsed = parse_name(name.direct(), form=NameForm.DIRECT)
+        assert reparsed.surname.casefold() == name.surname.casefold()
+        assert reparsed.suffix == name.suffix
+
+
+@st.composite
+def records(draw):
+    title_words = draw(
+        st.lists(
+            st.text(alphabet=string.ascii_lowercase, min_size=2, max_size=9),
+            min_size=2,
+            max_size=8,
+        )
+    )
+    title = " ".join(w.capitalize() for w in title_words)
+    return PublicationRecord(
+        record_id=draw(st.integers(min_value=1, max_value=10**6)),
+        title=title,
+        authors=(draw(clean_names()),),
+        citation=draw(
+            st.builds(
+                Citation,
+                volume=st.integers(min_value=1, max_value=99),
+                page=st.integers(min_value=1, max_value=1499),
+                year=st.integers(min_value=1900, max_value=1999),
+            )
+        ),
+        is_student_work=draw(st.booleans()),
+    )
+
+
+class TestStoreDictRoundTrip:
+    @given(records())
+    def test_to_from_store_dict(self, record):
+        back = PublicationRecord.from_store_dict(record.to_store_dict())
+        assert back.title == record.title
+        assert back.citation == record.citation
+        assert back.is_student_work == record.is_student_work
+        assert back.authors[0].identity_key() == record.authors[0].identity_key()
+
+
+class TestRenderIngestRoundTrip:
+    @given(st.lists(records(), min_size=1, max_size=12, unique_by=lambda r: r.record_id))
+    @settings(max_examples=40, deadline=None)
+    def test_text_render_reingests_same_rows(self, recs):
+        index = build_index(recs)
+        assume(len(index) > 0)
+        text = index.render("text", paginated=False)
+        report = parse_index_text(text)
+        got = {
+            (r.authors[0].surname.casefold(), r.citation) for r in report.records
+        }
+        want = {(e.author.surname.casefold(), e.citation) for e in index}
+        assert got == want
+
+    @given(st.lists(records(), min_size=1, max_size=12, unique_by=lambda r: r.record_id))
+    @settings(max_examples=30, deadline=None)
+    def test_json_render_is_loadable_and_complete(self, recs):
+        import json
+
+        index = build_index(recs)
+        rows = json.loads(index.render("json"))
+        assert len(rows) == len(index)

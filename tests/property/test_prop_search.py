@@ -1,0 +1,85 @@
+"""Property tests for the inverted index and search engine."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.search.inverted import InvertedIndex, analyze
+
+words = st.sampled_from(
+    ["coal", "mining", "lawx", "water", "rights", "black", "lung", "taxes",
+     "the", "of", "reform", "appalachia"]
+)
+titles = st.lists(words, min_size=1, max_size=8).map(" ".join)
+corpora = st.lists(titles, max_size=25)
+
+
+def _build(docs):
+    index = InvertedIndex()
+    for i, title in enumerate(docs):
+        index.add(i, title)
+    return index
+
+
+@given(corpora, st.lists(words, min_size=1, max_size=3))
+@settings(max_examples=150, deadline=None)
+def test_and_results_contain_every_term(docs, terms):
+    index = _build(docs)
+    significant = [t for t in terms if analyze(t)]
+    hits = index.search_and(terms)
+    for doc_id in hits:
+        doc_terms = {term for term, _ in analyze(docs[doc_id])}
+        for term in significant:
+            assert term in doc_terms
+
+
+@given(corpora, st.lists(words, min_size=1, max_size=3))
+@settings(max_examples=150, deadline=None)
+def test_and_subset_of_or(docs, terms):
+    index = _build(docs)
+    assert index.search_and(terms) <= index.search_or(terms)
+
+
+@given(corpora, words)
+@settings(max_examples=100, deadline=None)
+def test_or_matches_bruteforce(docs, term):
+    index = _build(docs)
+    expected = {
+        i for i, title in enumerate(docs)
+        if term in {t for t, _ in analyze(title)}
+    }
+    assert index.search_or([term]) == expected
+
+
+@given(corpora, st.data())
+@settings(max_examples=80, deadline=None)
+def test_remove_makes_document_unfindable(docs, data):
+    index = _build(docs)
+    if not docs:
+        return
+    victim = data.draw(st.integers(min_value=0, max_value=len(docs) - 1))
+    index.remove(victim)
+    for term, _ in analyze(docs[victim]):
+        assert victim not in index.search_or([term])
+    assert index.document_count == len(docs) - 1
+
+
+@given(corpora)
+@settings(max_examples=60, deadline=None)
+def test_phrase_hits_are_and_hits(docs):
+    index = _build(docs)
+    phrase = ["coal", "mining"]
+    assert set(index.search_phrase(phrase)) <= index.search_and(phrase)
+
+
+@given(corpora)
+@settings(max_examples=60, deadline=None)
+def test_frequencies_consistent(docs):
+    index = _build(docs)
+    for term in index.vocabulary():
+        postings = index.postings(term)
+        assert index.document_frequency(term) == len(postings)
+        for doc_id, positions in postings.items():
+            assert index.term_frequency(term, doc_id) == len(positions)
+            assert positions == sorted(positions)

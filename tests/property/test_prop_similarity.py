@@ -1,0 +1,115 @@
+"""Property-based tests for the string-distance toolbox."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.names.similarity import (
+    damerau_levenshtein,
+    jaccard_ngrams,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    soundex,
+)
+
+short_text = st.text(alphabet=st.characters(codec="ascii"), max_size=20)
+words = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=0, max_size=15)
+
+
+class TestLevenshteinProperties:
+    @given(short_text)
+    def test_identity(self, s):
+        assert levenshtein(s, s) == 0
+
+    @given(short_text, short_text)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(short_text, short_text)
+    def test_bounded_by_longer_length(self, a, b):
+        assert levenshtein(a, b) <= max(len(a), len(b))
+
+    @given(short_text, short_text)
+    def test_at_least_length_difference(self, a, b):
+        assert levenshtein(a, b) >= abs(len(a) - len(b))
+
+    @given(short_text, short_text, short_text)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(short_text, short_text, st.integers(min_value=0, max_value=10))
+    def test_banded_agrees_within_bound(self, a, b, bound):
+        exact = levenshtein(a, b)
+        banded = levenshtein(a, b, max_distance=bound)
+        if exact <= bound:
+            assert banded == exact
+        else:
+            assert banded == bound + 1
+
+    @given(short_text, short_text)
+    def test_zero_iff_equal(self, a, b):
+        assert (levenshtein(a, b) == 0) == (a == b)
+
+
+class TestDamerauProperties:
+    @given(short_text, short_text)
+    def test_never_exceeds_levenshtein(self, a, b):
+        assert damerau_levenshtein(a, b) <= levenshtein(a, b)
+
+    @given(short_text, short_text)
+    def test_symmetry(self, a, b):
+        assert damerau_levenshtein(a, b) == damerau_levenshtein(b, a)
+
+    @given(short_text)
+    def test_identity(self, s):
+        assert damerau_levenshtein(s, s) == 0
+
+
+class TestJaroProperties:
+    @given(short_text, short_text)
+    def test_range(self, a, b):
+        assert 0.0 <= jaro(a, b) <= 1.0
+
+    @given(short_text, short_text)
+    def test_symmetry(self, a, b):
+        assert jaro(a, b) == jaro(b, a)
+
+    @given(short_text)
+    def test_identity(self, s):
+        assert jaro(s, s) == 1.0
+
+    @given(short_text, short_text)
+    def test_winkler_dominates_jaro(self, a, b):
+        assert jaro_winkler(a, b) >= jaro(a, b) - 1e-12
+
+    @given(short_text, short_text)
+    def test_winkler_range(self, a, b):
+        assert 0.0 <= jaro_winkler(a, b) <= 1.0
+
+
+class TestJaccardProperties:
+    @given(words, words)
+    def test_range(self, a, b):
+        assert 0.0 <= jaccard_ngrams(a, b) <= 1.0
+
+    @given(words)
+    def test_identity(self, s):
+        assert jaccard_ngrams(s, s) == 1.0
+
+    @given(words, words)
+    def test_symmetry(self, a, b):
+        assert jaccard_ngrams(a, b) == jaccard_ngrams(b, a)
+
+
+class TestSoundexProperties:
+    @given(words)
+    def test_shape(self, s):
+        code = soundex(s)
+        assert len(code) == 4
+        if s:
+            assert code[0] == s[0].upper()
+            assert all(c.isdigit() or c == "0" for c in code[1:])
+
+    @given(words)
+    def test_case_insensitive(self, s):
+        assert soundex(s) == soundex(s.upper())

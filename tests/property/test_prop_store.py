@@ -1,0 +1,119 @@
+"""Stateful property test: the record store against a dict model.
+
+Hypothesis drives arbitrary interleavings of insert/upsert/update/delete/
+index creation/snapshot, checking after every step that the store agrees
+with a plain-dict model — including after a simulated restart (close and
+reopen from disk), which exercises WAL replay and snapshot recovery.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.storage.schema import Field, FieldType, Schema
+from repro.storage.store import IndexKind, RecordStore
+
+SCHEMA = Schema(
+    [
+        Field("id", FieldType.INT),
+        Field("name", FieldType.STRING),
+        Field("year", FieldType.INT),
+    ],
+    primary_key="id",
+)
+
+keys = st.integers(min_value=0, max_value=20)
+names = st.sampled_from(["a", "b", "c", "d"])
+years = st.integers(min_value=1960, max_value=2000)
+
+
+class StoreMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        import tempfile
+
+        self._dir = tempfile.mkdtemp(prefix="repro-store-prop-")
+        self.store = RecordStore(SCHEMA, self._dir)
+        self.model: dict[int, dict] = {}
+
+    def teardown(self):
+        import shutil
+
+        self.store.close()
+        shutil.rmtree(self._dir, ignore_errors=True)
+
+    @initialize()
+    def create_indexes(self):
+        self.store.create_index("name", IndexKind.HASH)
+        self.store.create_index("year", IndexKind.BTREE)
+
+    @rule(key=keys, name=names, year=years)
+    def upsert(self, key, name, year):
+        record = {"id": key, "name": name, "year": year}
+        self.store.upsert(record)
+        self.model[key] = record
+
+    @rule(key=keys)
+    def delete(self, key):
+        if key in self.model:
+            self.store.delete(key)
+            del self.model[key]
+        else:
+            from repro.errors import RecordNotFoundError
+            import pytest
+
+            with pytest.raises(RecordNotFoundError):
+                self.store.delete(key)
+
+    @rule(key=keys, year=years)
+    def update_year(self, key, year):
+        if key in self.model:
+            self.store.update(key, {"year": year})
+            self.model[key]["year"] = year
+
+    @rule()
+    def snapshot(self):
+        self.store.snapshot()
+
+    @rule()
+    def restart(self):
+        self.store.close()
+        self.store = RecordStore(SCHEMA, self._dir)
+
+    @invariant()
+    def contents_match(self):
+        assert len(self.store) == len(self.model)
+        for key, record in self.model.items():
+            assert self.store.get(key) == record
+
+    @invariant()
+    def hash_index_consistent(self):
+        if not self.store.has_index("name"):
+            return  # before initialize or right after a restart rebuilds
+        for name in ("a", "b", "c", "d"):
+            got = sorted(r["id"] for r in self.store.find_by("name", name))
+            want = sorted(k for k, r in self.model.items() if r["name"] == name)
+            assert got == want
+
+    @invariant()
+    def btree_range_consistent(self):
+        if not self.store.has_index("year"):
+            return
+        got = [r["id"] for r in self.store.range_by("year", 1970, 1990)]
+        want = sorted(
+            (r["year"], k) for k, r in self.model.items() if 1970 <= r["year"] <= 1990
+        )
+        assert sorted(got) == sorted(k for _, k in want)
+        years_out = [r["year"] for r in self.store.range_by("year", 1970, 1990)]
+        assert years_out == sorted(years_out)
+
+
+TestStoreMachine = StoreMachine.TestCase
+TestStoreMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,144 @@
+"""Unit tests for the repro.analysis package."""
+
+import pytest
+
+from repro.analysis.coauthors import collaboration_graph, collaboration_stats
+from repro.analysis.productivity import (
+    gini_coefficient,
+    head_share,
+    productivity,
+)
+from repro.analysis.trends import emerging_keywords, keyword_trend, top_keywords
+from repro.core.entry import PublicationRecord
+
+
+def rec(i, title, authors, citation):
+    return PublicationRecord.create(i, title, authors, citation)
+
+
+@pytest.fixture()
+def corpus():
+    return [
+        rec(1, "Coal Mining Law", ["Abel, Ann"], "70:1 (1967)"),
+        rec(2, "More Coal", ["Abel, Ann"], "72:1 (1969)"),
+        rec(3, "Tax Reform", ["Abel, Ann", "Burns, Bo"], "75:1 (1972)"),
+        rec(4, "Water Rights", ["Burns, Bo", "Cole, Cy"], "80:1 (1977)"),
+        rec(5, "Coal Again", ["Cole, Cy"], "90:1 (1987)"),
+        rec(6, "Solo Piece", ["Dale, Di"], "91:1 (1988)"),
+    ]
+
+
+class TestProductivity:
+    def test_counts_and_order(self, corpus):
+        table = productivity(corpus)
+        assert table[0].author.surname == "Abel"
+        assert table[0].total == 3
+        assert [p.total for p in table] == [3, 2, 2, 1]
+
+    def test_ties_break_by_name(self, corpus):
+        table = productivity(corpus)
+        assert [p.author.surname for p in table[1:3]] == ["Burns", "Cole"]
+
+    def test_year_span(self, corpus):
+        abel = productivity(corpus)[0]
+        assert (abel.first_year, abel.last_year) == (1967, 1972)
+        assert abel.span_years == 6
+
+    def test_student_pieces_counted(self):
+        table = productivity([
+            rec(1, "Note", ["Abel, Ann*"], "70:1 (1967)"),
+            rec(2, "Article", ["Abel, Ann"], "71:1 (1968)"),
+        ])
+        assert table[0].total == 2
+        assert table[0].student_pieces == 1
+
+    def test_empty(self):
+        assert productivity([]) == []
+
+
+class TestConcentration:
+    def test_gini_bounds(self):
+        assert gini_coefficient([3, 3, 3]) == pytest.approx(0.0)
+        assert 0 < gini_coefficient([1, 2, 3, 10]) < 1
+
+    def test_gini_monotone_in_inequality(self):
+        assert gini_coefficient([1, 1, 8]) > gini_coefficient([3, 3, 4])
+
+    def test_head_share(self):
+        assert head_share([5, 3, 1, 1], 2) == 0.8
+        assert head_share([1], 5) == 1.0
+
+
+class TestCollaboration:
+    def test_graph_shape(self, corpus):
+        graph = collaboration_graph(corpus)
+        assert graph.number_of_nodes() == 4
+        assert graph.number_of_edges() == 2  # Abel-Burns, Burns-Cole
+
+    def test_node_attributes(self, corpus):
+        graph = collaboration_graph(corpus)
+        abel = next(n for n, d in graph.nodes(data=True) if d["label"].startswith("Abel"))
+        assert graph.nodes[abel]["pieces"] == 3
+
+    def test_edge_weights_accumulate(self):
+        graph = collaboration_graph([
+            rec(1, "One", ["Abel, Ann", "Burns, Bo"], "70:1 (1967)"),
+            rec(2, "Two", ["Abel, Ann", "Burns, Bo"], "71:1 (1968)"),
+        ])
+        [(a, b, data)] = graph.edges(data=True)
+        assert data["weight"] == 2
+
+    def test_stats(self, corpus):
+        stats = collaboration_stats(corpus)
+        assert stats.authors == 4
+        assert stats.collaborations == 2
+        assert stats.solo_authors == 1  # Dale
+        assert stats.components == 1  # Abel-Burns-Cole chain
+        assert stats.largest_component == 3
+        assert stats.most_collaborative[0].startswith("Burns")
+
+    def test_stats_empty(self):
+        stats = collaboration_stats([])
+        assert stats.authors == 0
+        assert stats.most_collaborative is None
+        assert stats.strongest_pair is None
+
+    def test_duplicate_author_in_byline_no_self_edge(self):
+        record = PublicationRecord.create(
+            1, "T", ["Abel, Ann", "abel, ann"], "70:1 (1967)"
+        )
+        graph = collaboration_graph([record])
+        assert graph.number_of_edges() == 0  # same identity key: no self-loop
+
+
+class TestTrends:
+    def test_keyword_trend(self, corpus):
+        trend = keyword_trend(corpus, "coal")
+        assert trend.by_year == {1967: 1, 1969: 1, 1987: 1}
+        assert trend.total == 3
+        assert trend.in_span(1960, 1970) == 2
+
+    def test_keyword_case_insensitive(self, corpus):
+        assert keyword_trend(corpus, "COAL").total == 3
+
+    def test_top_keywords(self, corpus):
+        top = top_keywords(corpus, k=1)
+        assert top == [("coal", 3)]
+
+    def test_top_keywords_span(self, corpus):
+        top = top_keywords(corpus, first=1975, last=1990, k=3)
+        assert ("coal", 1) in top
+
+    def test_top_keywords_stopwords(self, corpus):
+        top = top_keywords(corpus, k=5, stopwords={"coal"})
+        assert all(word != "coal" for word, _ in top)
+
+    def test_emerging(self, corpus):
+        rows = emerging_keywords(corpus, split_year=1980, min_late_count=1, k=5)
+        words = [w for w, _, _ in rows]
+        assert "coal" in words or "again" in words
+
+    def test_reference_corpus_is_about_coal(self, reference_records):
+        top = top_keywords(reference_records, k=3, stopwords={"west", "virginia", "law"})
+        assert top[0][0] == "coal"
+        assert top[0][1] >= 20

@@ -1,0 +1,47 @@
+"""Unit tests for repro.baselines.naive."""
+
+from repro.baselines.naive import NaiveIndexBuilder, naive_build
+from repro.core.builder import build_index
+from repro.core.diffing import diff_indexes
+from repro.core.entry import PublicationRecord
+
+
+class TestNaiveBuilder:
+    def test_explodes_like_real_builder(self, sample_records):
+        naive = naive_build(sample_records)
+        proper = build_index(sample_records)
+        assert {e.row_key() for e in naive} == {e.row_key() for e in proper}
+
+    def test_no_dedup(self):
+        dup = [
+            PublicationRecord.create(1, "T", ["A, X."], "70:1 (1968)"),
+            PublicationRecord.create(2, "T", ["A, X."], "70:1 (1968)"),
+        ]
+        assert len(naive_build(dup)) == 2
+        assert len(build_index(dup)) == 1
+
+    def test_raw_sort_misorders_apostrophes(self):
+        recs = [
+            PublicationRecord.create(1, "A", ["O'Brien, A."], "70:1 (1968)"),
+            PublicationRecord.create(2, "B", ["Oakes, B."], "70:2 (1968)"),
+        ]
+        naive = naive_build(recs)
+        proper = build_index(recs)
+        assert [e.author.surname for e in naive] == ["O'Brien", "Oakes"]
+        assert [e.author.surname for e in proper] == ["Oakes", "O'Brien"]
+
+    def test_measurable_gap_on_reference_corpus(self, reference_records):
+        naive = naive_build(reference_records)
+        proper = build_index(reference_records)
+        diff = diff_indexes(naive, proper)
+        # Same universe of rows modulo the duplicates naive keeps...
+        assert len(diff.missing) == 0
+        # ...but the ordering disagrees somewhere (case folding,
+        # apostrophes, honorifics).
+        assert diff.inversion_distance > 0
+
+    def test_chaining_interface(self, sample_records):
+        builder = NaiveIndexBuilder()
+        assert builder.add_record(sample_records[0]) is builder
+        assert builder.add_records(sample_records[1:]) is builder
+        assert len(builder.build()) > 0

@@ -1,0 +1,171 @@
+"""Unit tests for the repro.citation package."""
+
+import pytest
+
+from repro.citation.model import Citation, PROCEEDINGS, Reporter, WVLR
+from repro.citation.parser import find_citations, parse_citation, try_parse_citation
+from repro.citation.validate import (
+    check_volume_year_consistency,
+    monotone_volume_years,
+    validate_citation,
+)
+from repro.errors import CitationParseError, ValidationError
+
+
+class TestCitationModel:
+    def test_fields(self):
+        c = Citation(volume=95, page=691, year=1993)
+        assert (c.volume, c.page, c.year) == (95, 691, 1993)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(volume=0, page=1, year=1990),
+        dict(volume=-1, page=1, year=1990),
+        dict(volume=1, page=0, year=1990),
+        dict(volume=1, page=1, year=1500),
+        dict(volume=1, page=1, year=2500),
+    ])
+    def test_invariants(self, kwargs):
+        with pytest.raises(ValidationError):
+            Citation(**kwargs)
+
+    def test_columnar_format(self):
+        assert Citation(volume=95, page=691, year=1993).columnar() == "95:691 (1993)"
+
+    def test_bluebook_format(self):
+        c = Citation(volume=95, page=691, year=1993)
+        assert c.bluebook(WVLR) == "95 W. Va. L. Rev. 691 (1993)"
+
+    def test_ordering_by_volume_then_page(self):
+        a = Citation(volume=69, page=900, year=1967)
+        b = Citation(volume=70, page=1, year=1967)
+        c = Citation(volume=70, page=2, year=1967)
+        assert a < b < c
+
+    def test_equality_and_hash(self):
+        a = Citation(volume=1, page=2, year=1990)
+        b = Citation(volume=1, page=2, year=1990)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestReporter:
+    def test_expected_year(self):
+        assert WVLR.expected_year(95) == 1992
+
+    def test_expected_year_unknown(self):
+        assert PROCEEDINGS.expected_year(10) is None
+
+    def test_custom_reporter(self):
+        r = Reporter(name="X Law Journal", abbreviation="X L.J.", first_volume_year=2000)
+        assert r.expected_year(3) == 2002
+
+
+class TestParser:
+    @pytest.mark.parametrize("text,vol,page,year", [
+        ("95:691 (1993)", 95, 691, 1993),
+        ("69:1 (1966)", 69, 1, 1966),
+        ("82:1241 (1980)", 82, 1241, 1980),
+        (" 95:691 (1993) ", 95, 691, 1993),
+        ("95 : 691 (1993)", 95, 691, 1993),
+        ("95:691 (1993", 95, 691, 1993),          # missing close paren
+        ("9l:973 (1989)", 91, 973, 1989),          # OCR l for 1
+        ("95:69I (1993)", 95, 691, 1993),          # OCR I for 1
+        ("9O:1 (199O)", 90, 1, 1990),              # OCR O for 0
+    ])
+    def test_columnar(self, text, vol, page, year):
+        c = parse_citation(text)
+        assert (c.volume, c.page, c.year) == (vol, page, year)
+
+    @pytest.mark.parametrize("text,vol,page,year", [
+        ("95 W. Va. L. Rev. 691 (1993)", 95, 691, 1993),
+        ("82 W. Va. L. Rev. 1241 (1980)", 82, 1241, 1980),
+        ("12 Harv. L. Rev. 5 (1899)", 12, 5, 1899),
+    ])
+    def test_bluebook(self, text, vol, page, year):
+        c = parse_citation(text)
+        assert (c.volume, c.page, c.year) == (vol, page, year)
+
+    @pytest.mark.parametrize("text", [
+        "", "no citation", "95:691", "(1993)", "95:691 1993", ":1 (1990)",
+        "95:691 (19)", "vol 95 page 691",
+    ])
+    def test_rejects(self, text):
+        with pytest.raises(CitationParseError):
+            parse_citation(text)
+
+    def test_try_parse(self):
+        assert try_parse_citation("junk") is None
+        assert try_parse_citation("95:691 (1993)") is not None
+
+    def test_implausible_year_is_parse_error(self):
+        with pytest.raises(CitationParseError):
+            parse_citation("95:691 (1291)")
+
+
+class TestFindCitations:
+    def test_finds_all_in_order(self):
+        text = "Smith, A. Title One 95:1 (1992) ignore 95:663 (1993)"
+        found = [c.columnar() for c, _ in find_citations(text)]
+        assert found == ["95:1 (1992)", "95:663 (1993)"]
+
+    def test_spans_are_correct(self):
+        text = "abc 95:1 (1992) xyz"
+        [(citation, (start, end))] = find_citations(text)
+        assert text[start:end] == "95:1 (1992)"
+
+    def test_none_found(self):
+        assert find_citations("Act of 1977 reformed (1980) law") == []
+
+
+class TestValidate:
+    def test_clean_citation(self):
+        assert validate_citation(Citation(volume=95, page=691, year=1993), WVLR) == []
+
+    def test_page_range_issue(self):
+        issues = validate_citation(Citation(volume=95, page=4999, year=1993))
+        assert issues == []
+        issues = validate_citation(Citation(volume=95, page=5001, year=1993))
+        assert [i.code for i in issues] == ["page-range"]
+
+    def test_volume_year_issue(self):
+        issues = validate_citation(Citation(volume=95, page=1, year=1890), WVLR)
+        assert "volume-year" in [i.code for i in issues]
+
+    def test_no_reporter_skips_year_check(self):
+        assert validate_citation(Citation(volume=95, page=1, year=1890)) == []
+
+    def test_spread_detection(self):
+        citations = [
+            Citation(volume=70, page=1, year=1967),
+            Citation(volume=70, page=2, year=1968),
+            Citation(volume=70, page=3, year=1999),  # OCR-damaged year
+        ]
+        issues = check_volume_year_consistency(citations)
+        assert len(issues) == 1
+        assert issues[0].citation.year == 1999
+
+    def test_no_spread_when_tight(self):
+        citations = [
+            Citation(volume=70, page=1, year=1967),
+            Citation(volume=70, page=2, year=1968),
+        ]
+        assert check_volume_year_consistency(citations) == []
+
+    def test_monotone_volume_years(self):
+        good = [
+            Citation(volume=69, page=1, year=1966),
+            Citation(volume=70, page=1, year=1967),
+            Citation(volume=71, page=1, year=1969),
+        ]
+        assert monotone_volume_years(good)
+
+    def test_non_monotone_detected(self):
+        bad = [
+            Citation(volume=69, page=1, year=1980),
+            Citation(volume=70, page=1, year=1967),
+        ]
+        assert not monotone_volume_years(bad)
+
+    def test_reference_corpus_is_monotone(self, reference_records):
+        citations = [r.citation for r in reference_records]
+        assert monotone_volume_years(citations)

@@ -1,0 +1,55 @@
+"""Unit tests for repro.citation.reporters."""
+
+import pytest
+
+from repro.citation.model import Reporter, WVLR
+from repro.citation.reporters import ReporterRegistry
+
+
+class TestRegistry:
+    def test_defaults_resolve_wvlr(self):
+        registry = ReporterRegistry.with_defaults()
+        assert registry.resolve("W. Va. L. Rev.") == WVLR
+
+    @pytest.mark.parametrize("spelling", [
+        "W. VA. L. REV.",
+        "w va l rev",
+        "W  Va  L  Rev",
+        "West Virginia Law Review",
+    ])
+    def test_spelling_variants(self, spelling):
+        registry = ReporterRegistry.with_defaults()
+        assert registry.resolve(spelling) == WVLR
+
+    def test_unknown_returns_none(self):
+        registry = ReporterRegistry.with_defaults()
+        assert registry.resolve("Harv. L. Rev.") is None
+
+    def test_contains(self):
+        registry = ReporterRegistry.with_defaults()
+        assert "W. Va. L. Rev." in registry
+        assert "Nope" not in registry
+
+    def test_register_new(self):
+        registry = ReporterRegistry()
+        harv = Reporter(name="Harvard Law Review", abbreviation="Harv. L. Rev.")
+        registry.register(harv, aliases=("HLR",))
+        assert registry.resolve("harv l rev") == harv
+        assert registry.resolve("hlr") == harv
+        assert len(registry) == 1
+
+    def test_reregister_same_reporter_ok(self):
+        registry = ReporterRegistry.with_defaults()
+        registry.register(WVLR)  # no error
+        assert len(registry) == 2  # WVLR + PROCEEDINGS
+
+    def test_conflicting_abbreviation_rejected(self):
+        registry = ReporterRegistry.with_defaults()
+        impostor = Reporter(name="Wrong Review", abbreviation="W. Va. L. Rev.")
+        with pytest.raises(ValueError):
+            registry.register(impostor)
+
+    def test_iter_lists_reporters(self):
+        registry = ReporterRegistry.with_defaults()
+        names = {r.name for r in registry}
+        assert "West Virginia Law Review" in names

@@ -1,0 +1,169 @@
+"""Unit tests for the CLI (invoked in-process via repro.cli.main)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestFormats:
+    def test_lists_formats(self, capsys):
+        code, out, _ = run(capsys, "formats")
+        assert code == 0
+        assert set(out.split()) == {"text", "markdown", "html", "latex", "json", "csv"}
+
+
+class TestStats:
+    def test_reference_stats(self, capsys):
+        code, out, _ = run(capsys, "stats")
+        assert code == 0
+        assert "entries:               343" in out
+
+    def test_custom_corpus(self, capsys, tmp_path):
+        corpus = {
+            "records": [
+                {"id": 1, "title": "T", "authors": ["A, B."], "citation": "70:1 (1968)"}
+            ]
+        }
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps(corpus))
+        code, out, _ = run(capsys, "stats", "--corpus", str(path))
+        assert code == 0
+        assert "entries:               1" in out
+
+
+class TestBuild:
+    def test_build_text_to_stdout(self, capsys):
+        code, out, _ = run(capsys, "build", "--no-pages")
+        assert code == 0
+        assert "Abdalla, Tarek F.*" in out
+
+    def test_build_json_to_file(self, capsys, tmp_path):
+        target = tmp_path / "out.json"
+        code, _, err = run(capsys, "build", "--format", "json", "--output", str(target))
+        assert code == 0
+        rows = json.loads(target.read_text())
+        assert len(rows) == 343
+        assert "wrote" in err
+
+    def test_build_markdown(self, capsys):
+        code, out, _ = run(capsys, "build", "--format", "markdown")
+        assert code == 0
+        assert out.startswith("| Author | Article | Citation |")
+
+    def test_build_resolve_merges_variants(self, capsys):
+        code, plain, _ = run(capsys, "build", "--format", "json")
+        code2, resolved, _ = run(capsys, "build", "--format", "json", "--resolve")
+        assert code == code2 == 0
+        plain_authors = {r["author"] for r in json.loads(plain)}
+        resolved_authors = {r["author"] for r in json.loads(resolved)}
+        assert "Hemdon, Judith" in plain_authors
+        assert "Hemdon, Judith" not in resolved_authors
+
+
+class TestQuery:
+    def test_query_rows(self, capsys):
+        code, out, err = run(capsys, "query", 'surnames:"Cardi"')
+        assert code == 0
+        assert out.count("Cardi") == 4
+        assert "(4 rows)" in err
+
+    def test_query_explain(self, capsys):
+        code, out, _ = run(capsys, "query", "--explain", 'surnames:"Cardi"')
+        assert code == 0
+        assert out.startswith("INDEX LOOKUP (hash)")
+
+    def test_query_syntax_error_exit_code(self, capsys):
+        code, _, err = run(capsys, "query", "year >=")
+        assert code == 1
+        assert "error:" in err
+
+
+class TestBundle:
+    def test_bundle_writes_four_files(self, capsys, tmp_path):
+        code, _, err = run(capsys, "bundle", str(tmp_path / "fm"))
+        assert code == 0
+        names = {p.name for p in (tmp_path / "fm").iterdir()}
+        assert names == {
+            "author_index.txt", "title_index.txt", "subject_index.txt", "contents.txt",
+        }
+        assert "wrote 4 index files" in err
+
+
+class TestExport:
+    def test_export_bibtex(self, capsys):
+        code, out, _ = run(capsys, "export", "--to", "bibtex", "--journal", "W. Va. L. Rev.")
+        assert code == 0
+        assert out.count("@article{") == 271
+        assert "journal = {W. Va. L. Rev.}" in out
+
+    def test_export_csv_roundtrips(self, capsys, tmp_path):
+        target = tmp_path / "c.csv"
+        code, _, err = run(capsys, "export", "--to", "csv", "--output", str(target))
+        assert code == 0
+        from repro.export import read_csv
+
+        assert len(read_csv(target)) == 271
+        assert "271 records" in err
+
+
+class TestSearch:
+    def test_search_ranked_hits(self, capsys):
+        code, out, err = run(capsys, "search", '"black lung"', "--top", "3")
+        assert code == 0
+        assert out.count("Lung") >= 3
+        assert "(3 hits)" in err
+
+    def test_search_no_hits(self, capsys):
+        code, out, err = run(capsys, "search", "zymurgy")
+        assert code == 0
+        assert out == ""
+        assert "(0 hits)" in err
+
+
+class TestLint:
+    def test_lint_reports_known_issues(self, capsys):
+        code, out, err = run(capsys, "lint")
+        assert code == 0
+        assert "suspect-duplicate-heading" in out
+        assert "(5 issues)" in err
+
+    def test_lint_strict_exit_code(self, capsys):
+        code, _, _ = run(capsys, "lint", "--strict")
+        assert code == 1
+
+
+class TestIngest:
+    def test_ingest_roundtrip(self, capsys, tmp_path):
+        raw = tmp_path / "raw.txt"
+        raw.write_text(
+            "Areen, Judith M. Regulating Human Gene Therapy 88:153 (1985)\n"
+            "1366\n"
+            "Farmer, Guy Transfer of NLRB Jurisdiction Over 88:1 (1985)\n"
+            "Unfair Practices to Labor Courts\n"
+        )
+        out_path = tmp_path / "corpus.json"
+        code, _, err = run(capsys, "ingest", str(raw), "--output", str(out_path))
+        assert code == 0
+        corpus = json.loads(out_path.read_text())
+        assert len(corpus["records"]) == 2
+        assert "parsed 2 records" in err
+
+    def test_ingest_missing_file(self, capsys, tmp_path):
+        code, _, err = run(capsys, "ingest", str(tmp_path / "nope.txt"))
+        assert code == 1
+        assert "error:" in err
+
+    def test_ingest_show_warnings(self, capsys, tmp_path):
+        raw = tmp_path / "raw.txt"
+        raw.write_text("Areen, Judith Regulating Human Gene Therapy 88:153 (1985)\n")
+        code, _, err = run(capsys, "ingest", str(raw), "--show-warnings")
+        assert code == 0
+        assert "warning:" in err

@@ -1,0 +1,125 @@
+"""Unit tests for repro.core.builder."""
+
+import pytest
+
+from repro.core.builder import AuthorIndexBuilder, build_index
+from repro.core.collation import CollationOptions
+from repro.core.entry import PublicationRecord
+from repro.errors import RenderError
+from repro.names.resolution import NameResolver
+
+
+class TestBuilder:
+    def test_empty_build(self):
+        index = AuthorIndexBuilder().build()
+        assert len(index) == 0
+        assert index.groups() == []
+
+    def test_add_record_chaining(self, sample_records):
+        builder = AuthorIndexBuilder()
+        assert builder.add_record(sample_records[0]) is builder
+        assert builder.record_count == 1
+
+    def test_add_records(self, sample_records):
+        builder = AuthorIndexBuilder().add_records(sample_records)
+        assert builder.record_count == len(sample_records)
+
+    def test_explodes_coauthors(self, sample_records):
+        index = build_index(sample_records)
+        surnames = [e.author.surname for e in index]
+        assert surnames.count("Galloway") == 1
+        assert surnames.count("McAteer") == 1
+        assert surnames.count("Webb") == 1
+
+    def test_entries_sorted(self, sample_records):
+        from repro.core.collation import collation_key
+
+        index = build_index(sample_records)
+        keys = [collation_key(e) for e in index]
+        assert keys == sorted(keys)
+
+    def test_duplicate_rows_deduped(self):
+        record = PublicationRecord.create(1, "T", ["A, X."], "70:1 (1968)")
+        same_again = PublicationRecord.create(2, "T", ["A, X."], "70:1 (1968)")
+        index = build_index([record, same_again])
+        assert len(index) == 1
+
+    def test_same_title_different_citation_kept(self):
+        a = PublicationRecord.create(1, "T", ["A, X."], "70:1 (1968)")
+        b = PublicationRecord.create(2, "T", ["A, X."], "71:1 (1969)")
+        assert len(build_index([a, b])) == 2
+
+    def test_build_is_repeatable(self, sample_records):
+        builder = AuthorIndexBuilder().add_records(sample_records)
+        first = builder.build()
+        second = builder.build()
+        assert list(first) == list(second)
+
+    def test_options_respected(self, sample_records):
+        default = build_index(sample_records)
+        mc_as_mac = build_index(
+            sample_records, options=CollationOptions(mc_as_mac=True)
+        )
+        default_names = [e.author.surname for e in default]
+        mac_names = [e.author.surname for e in mc_as_mac]
+        assert default_names != mac_names  # McAteer moves before Maxwell
+
+
+class TestGroups:
+    def test_groups_consecutive_same_author(self):
+        records = [
+            PublicationRecord.create(1, "One", ["Cardi, Vincent P."], "75:319 (1973)"),
+            PublicationRecord.create(2, "Two", ["Cardi, Vincent P."], "77:401 (1975)"),
+            PublicationRecord.create(3, "Other", ["Adler, Mortimer J."], "84:1 (1981)"),
+        ]
+        groups = build_index(records).groups()
+        assert [g.heading for g in groups] == ["Adler, Mortimer J.", "Cardi, Vincent P."]
+        assert [len(g.entries) for g in groups] == [1, 2]
+
+    def test_student_and_nonstudent_separate_headings(self):
+        records = [
+            PublicationRecord.create(1, "Note", ["Bryant, S. Benjamin*"], "79:610 (1977)"),
+            PublicationRecord.create(2, "Article", ["Bryant, S. Benjamin"], "95:663 (1993)"),
+        ]
+        groups = build_index(records).groups()
+        assert len(groups) == 2
+        assert groups[0].entries[0].is_student_work is False
+        assert groups[1].entries[0].is_student_work is True
+
+    def test_authors_listing(self, sample_records):
+        index = build_index(sample_records)
+        authors = index.authors()
+        assert len(authors) == len(index.groups())
+
+
+class TestResolution:
+    def test_variants_merge_into_one_heading(self):
+        records = [
+            PublicationRecord.create(1, "One", ["Herdon, Judith*"], "69:302 (1967)"),
+            PublicationRecord.create(2, "Two", ["Hemdon, Judith*"], "69:239 (1967)"),
+        ]
+        plain = build_index(records)
+        resolved = build_index(records, resolve_variants=True)
+        assert len(plain.groups()) == 2
+        assert len(resolved.groups()) == 1
+
+    def test_custom_resolver(self):
+        records = [
+            PublicationRecord.create(1, "One", ["Herdon, Judith"], "69:302 (1967)"),
+            PublicationRecord.create(2, "Two", ["Hemdon, Judith"], "69:239 (1967)"),
+        ]
+        strict = AuthorIndexBuilder(resolver=NameResolver(threshold=0.999))
+        index = strict.add_records(records).build()
+        assert len(index.groups()) == 2  # threshold too strict to merge
+
+
+class TestRenderDispatch:
+    def test_unknown_format(self, sample_records):
+        index = build_index(sample_records)
+        with pytest.raises(RenderError):
+            index.render("docx")
+
+    @pytest.mark.parametrize("fmt", ["text", "markdown", "html", "latex", "json"])
+    def test_all_formats_render(self, sample_records, fmt):
+        output = build_index(sample_records).render(fmt)
+        assert "McAteer" in output

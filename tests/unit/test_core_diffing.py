@@ -1,0 +1,91 @@
+"""Unit tests for repro.core.diffing."""
+
+from repro.baselines.naive import naive_build
+from repro.core.builder import build_index
+from repro.core.diffing import _count_inversions, diff_indexes
+from repro.core.entry import PublicationRecord
+
+
+def records(n=6):
+    return [
+        PublicationRecord.create(i + 1, f"Title {i}", [f"Author{i:02d}, A."], f"90:{i+1} (1987)")
+        for i in range(n)
+    ]
+
+
+class TestCountInversions:
+    def test_sorted(self):
+        assert _count_inversions([1, 2, 3, 4]) == 0
+
+    def test_reversed(self):
+        assert _count_inversions([4, 3, 2, 1]) == 6
+
+    def test_single_swap(self):
+        assert _count_inversions([1, 3, 2]) == 1
+
+    def test_empty_and_single(self):
+        assert _count_inversions([]) == 0
+        assert _count_inversions([7]) == 0
+
+    def test_matches_bruteforce(self):
+        import random
+
+        rng = random.Random(9)
+        for _ in range(20):
+            seq = [rng.randrange(50) for _ in range(30)]
+            brute = sum(
+                1
+                for i in range(len(seq))
+                for j in range(i + 1, len(seq))
+                if seq[i] > seq[j]
+            )
+            assert _count_inversions(seq) == brute
+
+
+class TestDiffIndexes:
+    def test_identical(self):
+        a = build_index(records())
+        b = build_index(records())
+        diff = diff_indexes(a, b)
+        assert diff.is_identical
+        assert diff.order_fidelity == 1.0
+        assert diff.common_count == 6
+
+    def test_missing_entries(self):
+        full = build_index(records(6))
+        partial = build_index(records(4))
+        diff = diff_indexes(partial, full)
+        assert len(diff.missing) == 2
+        assert len(diff.extra) == 0
+        assert not diff.is_identical
+
+    def test_extra_entries(self):
+        full = build_index(records(6))
+        partial = build_index(records(4))
+        diff = diff_indexes(full, partial)
+        assert len(diff.extra) == 2
+        assert len(diff.missing) == 0
+
+    def test_order_disagreement_measured(self):
+        # The naive baseline mis-handles apostrophes, producing inversions
+        # relative to proper collation.
+        recs = [
+            PublicationRecord.create(1, "A", ["O'Brien, A."], "70:1 (1968)"),
+            PublicationRecord.create(2, "B", ["Oakes, B."], "70:2 (1968)"),
+            PublicationRecord.create(3, "C", ["Osborne, C."], "70:3 (1968)"),
+        ]
+        proper = build_index(recs)
+        naive = naive_build(recs)
+        diff = diff_indexes(naive, proper)
+        assert diff.common_count == 3
+        assert diff.inversion_distance > 0
+        assert diff.order_fidelity < 1.0
+
+    def test_summary_text(self):
+        diff = diff_indexes(build_index(records()), build_index(records()))
+        assert "common=6" in diff.summary()
+        assert "order_fidelity=1.0000" in diff.summary()
+
+    def test_empty_indexes(self):
+        diff = diff_indexes(build_index([]), build_index([]))
+        assert diff.is_identical

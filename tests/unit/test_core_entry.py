@@ -1,0 +1,115 @@
+"""Unit tests for repro.core.entry."""
+
+import pytest
+
+from repro.citation.model import Citation
+from repro.core.entry import IndexEntry, PublicationRecord, explode
+from repro.errors import ValidationError
+from repro.names.parser import parse_name
+
+
+class TestPublicationRecord:
+    def test_create_parses_everything(self):
+        rec = PublicationRecord.create(
+            1, "Some Title", ["Fox, Fred L., II*"], "69:293 (1967)"
+        )
+        assert rec.authors[0].surname == "Fox"
+        assert rec.citation == Citation(volume=69, page=293, year=1967)
+        assert rec.is_student_work is True
+
+    def test_student_flag_explicit_overrides(self):
+        rec = PublicationRecord.create(
+            1, "T", ["Fox, Fred L.*"], "69:1 (1967)", is_student_work=False
+        )
+        assert rec.is_student_work is False
+
+    def test_student_from_any_author(self):
+        rec = PublicationRecord.create(
+            1, "T", ["Clean, A.", "Marked, B.*"], "69:1 (1967)"
+        )
+        assert rec.is_student_work is True
+
+    def test_accepts_preparsed_values(self):
+        name = parse_name("Areen, Judith")
+        citation = Citation(volume=88, page=153, year=1985)
+        rec = PublicationRecord.create(1, "T", [name], citation)
+        assert rec.authors == (name,)
+        assert rec.citation is citation
+
+    def test_title_required(self):
+        with pytest.raises(ValidationError):
+            PublicationRecord.create(1, "   ", ["A, B."], "69:1 (1967)")
+
+    def test_authors_required(self):
+        with pytest.raises(ValidationError):
+            PublicationRecord.create(1, "T", [], "69:1 (1967)")
+
+    def test_title_stripped(self):
+        rec = PublicationRecord.create(1, "  T  ", ["A, B."], "69:1 (1967)")
+        assert rec.title == "T"
+
+
+class TestStoreRoundTrip:
+    def test_roundtrip(self, sample_records):
+        for rec in sample_records:
+            back = PublicationRecord.from_store_dict(rec.to_store_dict())
+            assert back.record_id == rec.record_id
+            assert back.title == rec.title
+            assert back.citation == rec.citation
+            assert back.is_student_work == rec.is_student_work
+            assert [a.identity_key() for a in back.authors] == [
+                a.identity_key() for a in rec.authors
+            ]
+
+    def test_store_dict_shape(self):
+        rec = PublicationRecord.create(
+            7, "T", ["Galloway, L. Thomas", "Webb, Richard L."], "80:397 (1978)"
+        )
+        d = rec.to_store_dict()
+        assert d["id"] == 7
+        assert d["surnames"] == ["Galloway", "Webb"]
+        assert (d["volume"], d["page"], d["year"]) == (80, 397, 1978)
+
+    def test_store_dict_validates_against_schema(self, sample_records):
+        from repro.corpus.wvlr import PUBLICATION_SCHEMA
+
+        for rec in sample_records:
+            PUBLICATION_SCHEMA.validate(rec.to_store_dict())
+
+
+class TestExplode:
+    def test_one_entry_per_author(self):
+        rec = PublicationRecord.create(
+            1, "T", ["A, X.", "B, Y.", "C, Z."], "80:1 (1978)"
+        )
+        entries = explode(rec)
+        assert [e.author.surname for e in entries] == ["A", "B", "C"]
+
+    def test_entries_share_record_fields(self):
+        rec = PublicationRecord.create(1, "T", ["A, X.", "B, Y."], "80:1 (1978)")
+        for entry in explode(rec):
+            assert entry.title == "T"
+            assert entry.citation == rec.citation
+            assert entry.record_id == 1
+
+    def test_student_flag_propagates(self):
+        rec = PublicationRecord.create(1, "T", ["A, X.*", "B, Y."], "80:1 (1978)")
+        assert all(e.is_student_work for e in explode(rec))
+
+
+class TestIndexEntry:
+    def test_row_key_identity(self):
+        a = IndexEntry(parse_name("Smith, A."), "T", Citation(69, 1, 1967))
+        b = IndexEntry(parse_name("smith, a."), "t", Citation(69, 1, 1967))
+        assert a.row_key() == b.row_key()
+
+    def test_row_key_differs_on_citation(self):
+        a = IndexEntry(parse_name("Smith, A."), "T", Citation(69, 1, 1967))
+        b = IndexEntry(parse_name("Smith, A."), "T", Citation(69, 2, 1967))
+        assert a.row_key() != b.row_key()
+
+    def test_str_contains_marker(self):
+        entry = IndexEntry(
+            parse_name("Smith, A."), "T", Citation(69, 1, 1967), is_student_work=True
+        )
+        assert "*" in str(entry)

@@ -1,0 +1,128 @@
+"""Unit tests for repro.core.incremental."""
+
+import pytest
+
+from repro.core.builder import build_index
+from repro.core.collation import CollationOptions
+from repro.core.entry import PublicationRecord
+from repro.core.incremental import IncrementalIndexer
+from repro.errors import RecordNotFoundError, ValidationError
+
+
+def rec(i, title="T", author="Zed, A.", citation="90:1 (1987)"):
+    return PublicationRecord.create(i, title, [author], citation)
+
+
+def rows(index):
+    return [e.row_key() for e in index]
+
+
+class TestAdd:
+    def test_insert_keeps_order(self, sample_records):
+        indexer = IncrementalIndexer()
+        for record in sample_records:
+            indexer.add(record)
+        assert rows(indexer.snapshot()) == rows(build_index(sample_records))
+
+    def test_equivalent_regardless_of_insertion_order(self, sample_records):
+        forward = IncrementalIndexer()
+        forward.add_all(sample_records)
+        backward = IncrementalIndexer()
+        backward.add_all(reversed(sample_records))
+        assert rows(forward.snapshot()) == rows(backward.snapshot())
+
+    def test_duplicate_record_id_rejected(self):
+        indexer = IncrementalIndexer()
+        indexer.add(rec(1))
+        with pytest.raises(ValidationError):
+            indexer.add(rec(1, title="Other"))
+
+    def test_duplicate_rows_shown_once(self):
+        indexer = IncrementalIndexer()
+        indexer.add(rec(1, title="Same"))
+        indexer.add(rec(2, title="Same"))
+        assert len(indexer) == 1
+        assert indexer.record_count == 2
+
+    def test_coauthors_exploded(self):
+        indexer = IncrementalIndexer()
+        indexer.add(
+            PublicationRecord.create(1, "T", ["A, X.", "B, Y."], "90:1 (1987)")
+        )
+        assert len(indexer) == 2
+
+
+class TestRemove:
+    def test_remove_restores_previous_state(self, sample_records):
+        indexer = IncrementalIndexer()
+        indexer.add_all(sample_records[:3])
+        before = rows(indexer.snapshot())
+        indexer.add(sample_records[3])
+        indexer.remove(sample_records[3].record_id)
+        assert rows(indexer.snapshot()) == before
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(RecordNotFoundError):
+            IncrementalIndexer().remove(42)
+
+    def test_remove_keeps_shared_duplicate_row(self):
+        indexer = IncrementalIndexer()
+        indexer.add(rec(1, title="Same"))
+        indexer.add(rec(2, title="Same"))
+        indexer.remove(1)
+        assert len(indexer) == 1  # record 2 still contributes the row
+        indexer.remove(2)
+        assert len(indexer) == 0
+
+    def test_contains(self):
+        indexer = IncrementalIndexer()
+        indexer.add(rec(1))
+        assert 1 in indexer
+        indexer.remove(1)
+        assert 1 not in indexer
+
+
+class TestReplace:
+    def test_replace_swaps_content(self):
+        indexer = IncrementalIndexer()
+        indexer.add(rec(1, author="Zed, A."))
+        indexer.replace(rec(1, author="Abel, B."))
+        assert [e.author.surname for e in indexer.snapshot()] == ["Abel"]
+
+    def test_replace_absent_acts_as_add(self):
+        indexer = IncrementalIndexer()
+        indexer.replace(rec(1))
+        assert len(indexer) == 1
+
+
+class TestEquivalenceUnderChurn:
+    def test_random_churn_matches_rebuild(self, synthetic_records):
+        import random
+
+        rng = random.Random(99)
+        pool = list(synthetic_records[:150])
+        indexer = IncrementalIndexer()
+        live: dict[int, PublicationRecord] = {}
+        for step in range(300):
+            if live and rng.random() < 0.35:
+                victim = rng.choice(list(live))
+                indexer.remove(victim)
+                del live[victim]
+            else:
+                candidates = [r for r in pool if r.record_id not in live]
+                if not candidates:
+                    continue
+                record = rng.choice(candidates)
+                indexer.add(record)
+                live[record.record_id] = record
+            if step % 60 == 0:
+                assert rows(indexer.snapshot()) == rows(build_index(live.values()))
+        assert rows(indexer.snapshot()) == rows(build_index(live.values()))
+
+    def test_custom_options(self, sample_records):
+        options = CollationOptions(mc_as_mac=True)
+        indexer = IncrementalIndexer(options=options)
+        indexer.add_all(sample_records)
+        assert rows(indexer.snapshot()) == rows(
+            build_index(sample_records, options=options)
+        )

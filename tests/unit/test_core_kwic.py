@@ -1,0 +1,127 @@
+"""Unit tests for repro.core.kwic."""
+
+import pytest
+
+from repro.core.entry import PublicationRecord
+from repro.core.kwic import (
+    KwicIndexBuilder,
+    build_kwic_index,
+    significant_words,
+    _rotate,
+)
+
+
+def rec(i, title, citation="90:1 (1987)"):
+    return PublicationRecord.create(i, title, ["A, B."], citation)
+
+
+class TestSignificantWords:
+    def test_stopwords_removed(self):
+        assert significant_words("The Law of Coal in West Virginia") == [
+            "law", "coal", "west", "virginia",
+        ]
+
+    def test_short_tokens_removed(self):
+        assert "ad" not in significant_words("Ad Valorem Taxation")
+        assert significant_words("Ad Valorem Taxation") == ["valorem", "taxation"]
+
+    def test_punctuation_stripped(self):
+        assert significant_words('"Takes" Private Property?') == [
+            "takes", "private", "property",
+        ]
+
+    def test_duplicates_dropped(self):
+        assert significant_words("Coal and Coal Again") == ["coal", "again"]
+
+    def test_case_folded(self):
+        assert significant_words("COAL Mining") == ["coal", "mining"]
+
+    def test_numeric_only_tokens_dropped(self):
+        assert "1977" not in significant_words("The Act of 1977")
+
+    def test_empty_title(self):
+        assert significant_words("") == []
+
+
+class TestRotate:
+    def test_leading_keyword_unrotated(self):
+        assert _rotate("Coal Mining Law", "coal") == "Coal Mining Law"
+
+    def test_mid_keyword_rotates(self):
+        assert _rotate("The Law of Coal", "coal") == "Coal | The Law of"
+
+    def test_keyword_with_punctuation(self):
+        assert _rotate("Strip Mining, Reclamation", "mining") == (
+            "Mining, Reclamation | Strip"
+        )
+
+    def test_missing_keyword_returns_title(self):
+        assert _rotate("Hyphen-Compound Title", "compound") == "Hyphen-Compound Title"
+
+
+class TestBuilder:
+    def test_groups_alphabetical(self):
+        idx = build_kwic_index([rec(1, "Zebra Law"), rec(2, "Apple Law")])
+        assert idx.keywords() == ["apple", "law", "zebra"]
+
+    def test_group_contains_all_titles(self):
+        idx = build_kwic_index([
+            rec(1, "The Law of Coal"),
+            rec(2, "Coal and Energy", "91:5 (1988)"),
+        ])
+        group = idx.group("coal")
+        assert group is not None
+        assert len(group.entries) == 2
+        assert group.heading == "COAL"
+
+    def test_group_lookup_missing(self):
+        idx = build_kwic_index([rec(1, "Coal")])
+        assert idx.group("uranium") is None
+
+    def test_entries_in_citation_order(self):
+        idx = build_kwic_index([
+            rec(1, "Coal Late", "92:5 (1989)"),
+            rec(2, "Coal Early", "70:5 (1967)"),
+        ])
+        volumes = [e.citation.volume for e in idx.group("coal").entries]
+        assert volumes == [70, 92]
+
+    def test_min_group_size_filters(self):
+        records = [rec(1, "Coal Alpha"), rec(2, "Coal Beta", "91:1 (1988)")]
+        all_groups = build_kwic_index(records)
+        filtered = build_kwic_index(records, min_group_size=2)
+        assert "alpha" in all_groups.keywords()
+        assert filtered.keywords() == ["coal"]
+
+    def test_min_group_size_validation(self):
+        with pytest.raises(ValueError):
+            KwicIndexBuilder(min_group_size=0)
+
+    def test_extra_stopwords(self):
+        idx = build_kwic_index(
+            [rec(1, "West Virginia Coal")], extra_stopwords={"west", "virginia"}
+        )
+        assert idx.keywords() == ["coal"]
+
+    def test_len_counts_lines(self):
+        idx = build_kwic_index([rec(1, "Coal Mining Law")])
+        assert len(idx) == 3  # coal, mining, law
+
+    def test_duplicate_citation_title_collapses(self):
+        idx = build_kwic_index([rec(1, "Coal Coal Mining")])
+        assert len(idx.group("coal").entries) == 1
+
+
+class TestRendering:
+    def test_text_has_headings_and_citations(self):
+        idx = build_kwic_index([rec(1, "The Law of Coal")])
+        out = idx.render_text()
+        assert "COAL" in out
+        assert "90:1 (1987)" in out
+        assert "Coal | The Law of" in out
+
+    def test_reference_corpus_coal_heading(self, reference_records):
+        idx = build_kwic_index(reference_records, min_group_size=2)
+        coal = idx.group("coal")
+        assert coal is not None
+        assert len(coal.entries) >= 20  # it is a coal-heavy corpus

@@ -1,0 +1,107 @@
+"""Unit tests for repro.core.lint."""
+
+import pytest
+
+from repro.core.builder import AuthorIndex, build_index
+from repro.core.collation import DEFAULT_OPTIONS
+from repro.core.entry import PublicationRecord
+from repro.core.lint import lint_index
+
+
+def rec(i, title="Reasonable Title", author="Zed, Amy Q.", citation="90:1 (1987)"):
+    return PublicationRecord.create(i, title, [author], citation)
+
+
+def codes(index):
+    return [issue.code for issue in lint_index(index)]
+
+
+class TestCleanIndex:
+    def test_clean_index_no_issues(self):
+        index = build_index([
+            rec(1, author="Abel, Bo R.", citation="90:1 (1987)"),
+            rec(2, author="Zed, Amy Q.", citation="91:5 (1988)"),
+        ])
+        assert lint_index(index) == []
+
+
+class TestSuspectDuplicates:
+    def test_ocr_split_heading_flagged(self):
+        index = build_index([
+            rec(1, author="Herdon, Judith", citation="69:302 (1967)"),
+            rec(2, author="Hemdon, Judith", citation="69:239 (1967)"),
+        ])
+        issues = lint_index(index)
+        assert [i.code for i in issues] == ["suspect-duplicate-heading"]
+        assert "Hemdon" in issues[0].message
+
+    def test_student_split_not_flagged(self):
+        index = build_index([
+            rec(1, author="Bryant, S. Benjamin", citation="95:663 (1993)"),
+            rec(2, author="Bryant, S. Benjamin*", citation="79:610 (1977)"),
+        ])
+        assert "suspect-duplicate-heading" not in codes(index)
+
+    def test_distinct_people_not_flagged(self):
+        index = build_index([
+            rec(1, author="Johnson, Earl, Jr.", citation="70:350 (1968)"),
+            rec(2, author="Johnson, Edward P.", citation="69:104 (1967)"),
+        ])
+        assert "suspect-duplicate-heading" not in codes(index)
+
+    def test_reference_corpus_finds_known_splits(self, reference_records):
+        issues = lint_index(build_index(reference_records))
+        dupes = [i for i in issues if i.code == "suspect-duplicate-heading"]
+        text = " ".join(i.message for i in dupes)
+        for surname in ("Hemdon", "Johson", "Cumutte", "Crittendon", "Philipps"):
+            assert surname in text
+        # and nothing beyond the known OCR splits
+        assert len(dupes) == 5
+
+
+class TestCitationOutliers:
+    def test_year_outlier_flagged(self):
+        index = build_index([
+            rec(1, citation="70:1 (1967)", author="Abel, Bo"),
+            rec(2, citation="70:2 (1968)", author="Cole, Di"),
+            rec(3, citation="70:3 (1999)", author="Zed, Amy"),  # damaged year
+        ])
+        issues = [i for i in lint_index(index) if i.code == "volume-year-outlier"]
+        assert len(issues) == 1
+        assert "1999" in issues[0].message
+
+
+class TestNameAndTitleChecks:
+    def test_bare_surname_flagged_once(self):
+        index = build_index([
+            rec(1, author="Bobango", citation="90:211 (1987)"),
+            rec(2, title="Second Piece", author="Bobango", citation="91:5 (1988)"),
+        ])
+        issues = [i for i in lint_index(index) if i.code == "empty-given-name"]
+        assert len(issues) == 1
+
+    def test_shouting_title_flagged(self):
+        index = build_index([rec(1, title="THE LAW OF COAL")])
+        assert "title-case-shouting" in codes(index)
+
+    def test_normal_title_not_flagged(self):
+        index = build_index([rec(1, title="The Law of Coal")])
+        assert "title-case-shouting" not in codes(index)
+
+
+class TestMisordered:
+    def test_hand_shuffled_index_flagged(self, sample_records):
+        proper = build_index(sample_records)
+        shuffled = AuthorIndex(list(reversed(proper.entries)), DEFAULT_OPTIONS)
+        assert "misordered" in [i.code for i in lint_index(shuffled)]
+
+    def test_properly_built_index_never_misordered(self, reference_records):
+        issues = lint_index(build_index(reference_records))
+        assert "misordered" not in [i.code for i in issues]
+
+
+class TestOrdering:
+    def test_issues_sorted_by_position(self, reference_records):
+        issues = lint_index(build_index(reference_records))
+        positions = [i.position for i in issues if i.position is not None]
+        assert positions == sorted(positions)

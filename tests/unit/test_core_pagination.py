@@ -1,0 +1,84 @@
+"""Unit tests for repro.core.pagination."""
+
+import pytest
+
+from repro.core.builder import build_index
+from repro.core.entry import PublicationRecord
+from repro.core.pagination import Page, PageLayout, paginate
+
+
+def make_index(n: int):
+    return build_index([
+        PublicationRecord.create(i + 1, f"Title {i}", [f"Author{i:03d}, A."], f"90:{i+1} (1987)")
+        for i in range(n)
+    ])
+
+
+class TestPaginate:
+    def test_empty_index(self):
+        assert paginate(make_index(0)) == []
+
+    def test_exact_multiple(self):
+        pages = paginate(make_index(26), PageLayout(first_page=1, entries_per_page=13))
+        assert [len(p.entries) for p in pages] == [13, 13]
+
+    def test_remainder_page(self):
+        pages = paginate(make_index(30), PageLayout(first_page=1, entries_per_page=13))
+        assert [len(p.entries) for p in pages] == [13, 13, 4]
+
+    def test_page_numbers_sequential(self):
+        pages = paginate(make_index(30), PageLayout(first_page=1365, entries_per_page=13))
+        assert [p.number for p in pages] == [1365, 1366, 1367]
+
+    def test_entries_preserved_in_order(self):
+        index = make_index(30)
+        pages = paginate(index, PageLayout(entries_per_page=7))
+        flattened = [e for p in pages for e in p.entries]
+        assert flattened == list(index.entries)
+
+    def test_invalid_entries_per_page(self):
+        with pytest.raises(ValueError):
+            paginate(make_index(5), PageLayout(entries_per_page=0))
+
+    def test_accepts_plain_iterable(self):
+        index = make_index(5)
+        pages = paginate(list(index), PageLayout(entries_per_page=2))
+        assert len(pages) == 3
+
+
+class TestHeaders:
+    def test_recto_header(self):
+        layout = PageLayout(volume=95, year=1993, first_page=1365)
+        header = layout.header_for(1367)
+        assert header.startswith("1993]")
+        assert "AUTHOR INDEX" in header
+        assert header.endswith("1367")
+
+    def test_verso_header(self):
+        layout = PageLayout(volume=95, year=1993, first_page=1365)
+        header = layout.header_for(1366)
+        assert header.startswith("1366")
+        assert "WEST VIRGINIA LAW REVIEW" in header
+        assert header.endswith("[Vol. 95:1365")
+
+    def test_is_recto(self):
+        page = Page(number=1367, entries=(), header="", column_head="")
+        assert page.is_recto is True
+        page = Page(number=1366, entries=(), header="", column_head="")
+        assert page.is_recto is False
+
+    def test_column_head(self):
+        head = PageLayout().column_head()
+        assert "AUTHOR" in head
+        assert "ARTICLE" in head
+        assert "W. VA. L. REV." in head
+
+    def test_headers_attached_to_pages(self):
+        pages = paginate(make_index(3), PageLayout(first_page=1365, entries_per_page=2))
+        assert "AUTHOR INDEX" in pages[0].header  # 1365 is recto
+        assert "WEST VIRGINIA LAW REVIEW" in pages[1].header
+
+    def test_header_fits_width(self):
+        layout = PageLayout(width=78)
+        assert len(layout.header_for(1365)) <= 78
+        assert len(layout.header_for(1366)) <= 78

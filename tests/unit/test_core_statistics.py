@@ -1,0 +1,75 @@
+"""Unit tests for repro.core.statistics."""
+
+from repro.core.builder import build_index
+from repro.core.entry import PublicationRecord
+from repro.core.statistics import IndexStatistics
+
+
+def make_index():
+    return build_index([
+        PublicationRecord.create(1, "One", ["Adler, Mortimer J."], "84:1 (1981)"),
+        PublicationRecord.create(2, "Two", ["Adler, Mortimer J."], "86:2 (1984)"),
+        PublicationRecord.create(3, "Note", ["Bailey, John P.*"], "78:522 (1976)"),
+        PublicationRecord.create(4, "Joint", ["Adams, Alayne B.", "Zlotnick, David"], "84:789 (1982)"),
+    ])
+
+
+class TestStatistics:
+    def test_entry_and_author_counts(self):
+        stats = make_index().statistics()
+        assert stats.entry_count == 5  # joint record explodes to 2
+        assert stats.author_count == 4
+
+    def test_student_share(self):
+        stats = make_index().statistics()
+        assert stats.student_entry_count == 1
+        assert stats.student_share == 1 / 5
+
+    def test_by_letter(self):
+        stats = make_index().statistics()
+        assert stats.entries_by_letter == {"A": 3, "B": 1, "Z": 1}
+
+    def test_by_volume(self):
+        stats = make_index().statistics()
+        assert stats.entries_by_volume == {78: 1, 84: 3, 86: 1}
+
+    def test_year_span(self):
+        stats = make_index().statistics()
+        assert (stats.year_min, stats.year_max) == (1976, 1984)
+
+    def test_multi_article_authors(self):
+        assert make_index().statistics().multi_article_authors == 1
+
+    def test_empty_index(self):
+        stats = build_index([]).statistics()
+        assert stats.entry_count == 0
+        assert stats.student_share == 0.0
+        assert stats.year_min is None
+
+    def test_summary_is_text(self):
+        summary = make_index().statistics().summary()
+        assert "entries:" in summary
+        assert "1976-1984" in summary
+
+    def test_compare_equal(self):
+        a = make_index().statistics()
+        b = make_index().statistics()
+        assert a.compare(b) == {}
+
+    def test_compare_differs(self):
+        a = make_index().statistics()
+        b = build_index([
+            PublicationRecord.create(1, "One", ["Adler, Mortimer J."], "84:1 (1981)"),
+        ]).statistics()
+        deltas = a.compare(b)
+        assert "entry_count" in deltas
+        assert deltas["entry_count"] == (5, 1)
+
+    def test_reference_corpus_statistics(self, reference_records):
+        stats = build_index(reference_records).statistics()
+        # Anchors from the curated transcription of the artifact.
+        assert stats.entry_count == 343
+        assert stats.author_count == 257
+        assert stats.year_min == 1966
+        assert stats.year_max == 1993
+        assert len(stats.entries_by_volume) == 27

@@ -1,0 +1,114 @@
+"""Unit tests for repro.core.titleindex."""
+
+import pytest
+
+from repro.core.entry import PublicationRecord
+from repro.core.titleindex import (
+    TitleIndexBuilder,
+    build_title_index,
+    title_filing_key,
+)
+
+
+def rec(i, title, citation="90:1 (1987)", authors=("A, B.",)):
+    return PublicationRecord.create(i, title, list(authors), citation)
+
+
+class TestFilingKey:
+    @pytest.mark.parametrize("title,key", [
+        ("The Law of Coal", "law of coal"),
+        ("A Miner's Bill of Rights", "miners bill of rights"),
+        ("An Economic Analysis", "economic analysis"),
+        ("Theory of Law", "theory of law"),     # "The" only as a whole word
+        ("Anatomy of a Case", "anatomy of a case"),
+        ("The", "the"),                          # lone article is not skipped
+    ])
+    def test_leading_article_rule(self, title, key):
+        assert title_filing_key(title) == key
+
+    def test_quotes_ignored(self):
+        assert title_filing_key('"All My Friends" Essay').startswith("all")
+
+    def test_diacritics_fold(self):
+        assert title_filing_key("Études Juridiques") == "etudes juridiques"
+
+    def test_only_first_article_skipped(self):
+        assert title_filing_key("The A Team") == "a team"
+
+
+class TestBuilder:
+    def test_orders_by_filing_key(self):
+        idx = build_title_index([
+            rec(1, "The Zebra Question"),
+            rec(2, "Amicus Practice"),
+            rec(3, "A Beacon Case"),
+        ])
+        assert [e.title for e in idx] == [
+            "Amicus Practice", "A Beacon Case", "The Zebra Question",
+        ]
+
+    def test_one_row_per_record_not_per_author(self):
+        idx = build_title_index([
+            rec(1, "Joint Work", authors=("A, B.", "C, D.", "E, F.")),
+        ])
+        assert len(idx) == 1
+        assert len(idx.entries[0].authors) == 3
+
+    def test_dedup_identical(self):
+        idx = build_title_index([rec(1, "Same"), rec(2, "Same")])
+        assert len(idx) == 1
+
+    def test_same_title_different_citation_kept(self):
+        idx = build_title_index([
+            rec(1, "Same", "90:1 (1987)"),
+            rec(2, "Same", "91:1 (1988)"),
+        ])
+        assert len(idx) == 2
+
+    def test_chaining(self):
+        builder = TitleIndexBuilder()
+        assert builder.add_record(rec(1, "T")) is builder
+        assert builder.add_records([rec(2, "U")]) is builder
+        assert len(builder.build()) == 2
+
+    def test_letters(self):
+        idx = build_title_index([rec(1, "The Zebra"), rec(2, "Amicus")])
+        assert idx.letters() == ["A", "Z"]
+
+    def test_student_marker_preserved(self):
+        idx = build_title_index([
+            PublicationRecord.create(1, "Note", ["A, B.*"], "90:1 (1987)"),
+        ])
+        assert idx.entries[0].is_student_work is True
+
+
+class TestRendering:
+    @pytest.fixture()
+    def index(self):
+        return build_title_index([
+            rec(1, "The Zebra Question Which Has Quite A Long Title Indeed For Wrapping"),
+            rec(2, "Amicus Practice", authors=("Smith, Jo A.", "Lee, Bo R.")),
+        ])
+
+    def test_text_contains_citation(self, index):
+        out = index.render_text()
+        assert "90:1 (1987)" in out
+
+    def test_text_lists_authors_indented(self, index):
+        out = index.render_text()
+        assert "    Smith, Jo A.; Lee, Bo R." in out
+
+    def test_text_wraps_long_titles(self, index):
+        out = index.render_text(width=60)
+        assert any(line.startswith("Indeed") or "Wrapping" in line for line in out.splitlines())
+
+    def test_markdown_table(self, index):
+        out = index.render_markdown()
+        assert out.splitlines()[0] == "| Title | Authors | Citation |"
+        assert "| Amicus Practice " in out
+
+    def test_reference_corpus_builds(self, reference_records):
+        idx = build_title_index(reference_records)
+        assert len(idx) == len(reference_records)
+        keys = [title_filing_key(e.title) for e in idx]
+        assert keys == sorted(keys)

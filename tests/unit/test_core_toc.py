@@ -1,0 +1,66 @@
+"""Unit tests for repro.core.toc."""
+
+from repro.core.entry import PublicationRecord
+from repro.core.toc import build_toc
+
+
+def rec(i, title, citation, authors=("A, B.",)):
+    return PublicationRecord.create(i, title, list(authors), citation)
+
+
+class TestBuildToc:
+    def test_volumes_ascending(self):
+        toc = build_toc([
+            rec(1, "C", "71:1 (1969)"),
+            rec(2, "A", "69:1 (1966)"),
+            rec(3, "B", "70:1 (1967)"),
+        ])
+        assert [v.volume for v in toc] == [69, 70, 71]
+
+    def test_pages_ascending_within_volume(self):
+        toc = build_toc([
+            rec(1, "Late", "70:163 (1967)"),
+            rec(2, "Early", "70:20 (1967)"),
+        ])
+        assert [r.citation.page for r in toc.volume(70).records] == [20, 163]
+
+    def test_year_label_single(self):
+        toc = build_toc([rec(1, "A", "70:1 (1967)")])
+        assert toc.volume(70).year_label == "1967"
+
+    def test_year_label_span(self):
+        toc = build_toc([
+            rec(1, "A", "70:1 (1967)"),
+            rec(2, "B", "70:400 (1968)"),
+        ])
+        assert toc.volume(70).year_label == "1967-1968"
+
+    def test_volume_lookup_missing(self):
+        toc = build_toc([rec(1, "A", "70:1 (1967)")])
+        assert toc.volume(99) is None
+
+    def test_article_count(self):
+        toc = build_toc([rec(1, "A", "70:1 (1967)"), rec(2, "B", "70:2 (1967)")])
+        assert toc.volume(70).article_count == 2
+
+    def test_empty(self):
+        toc = build_toc([])
+        assert len(toc) == 0
+        assert list(toc) == []
+
+    def test_render_text(self):
+        toc = build_toc([
+            rec(1, "Criminal Venue in West Virginia", "70:163 (1967)",
+                authors=("Lorensen, Willard D.",)),
+        ])
+        out = toc.render_text()
+        assert "VOLUME 70 (1967)" in out
+        assert "Lorensen, Willard D." in out
+        assert "163" in out
+
+    def test_reference_corpus(self, reference_records):
+        toc = build_toc(reference_records)
+        assert len(toc) == 27
+        assert toc.volume(69).year_label in ("1966-1967", "1966-1968")
+        total = sum(v.article_count for v in toc)
+        assert total == len(reference_records)

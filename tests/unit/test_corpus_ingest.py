@@ -1,0 +1,204 @@
+"""Unit tests for repro.corpus.ingest — the raw OCR-text parser."""
+
+import pytest
+
+from repro.corpus.ingest import parse_index_text
+
+
+SAMPLE = """
+AUTHOR INDEX
+AUTHOR ARTICLE W. VA. L. REV.
+Abdalla, Tarek F.* Allegheny-Pittsburgh Coal Co. v. County 91:973 (1989)
+Commission of Webster County
+Abrams, Dennis M. The Federal Surface Mining Control and 84:1069 (1982)
+Reclamation Act of 1977-First to Sur-
+vive a Direct Tenth Amendment Attack
+1366 [Vol. 95:1365
+2
+West Virginia Law Review, Vol. 95, Iss. 5 [1993], Art. 5
+https://researchrepository.wvu.edu/wvlr/vol95/iss5/5
+Arceneaux, Webster J., III Potential Criminal Liability in the Coal 95:691 (1993)
+Fields Under the Clean Water Act: A
+Defense Perspective
+1993] 1367
+Byrd, Hon. Robert C. The Future of the Coal Industry and the 90:727 (1988)
+Role of the Legal Profession
+Galloway, L. Thomas A Miner's Bill of Rights 80:397 (1978)
+Published by The Research Repository @ WVU, 1993
+"""
+
+
+class TestFurniture:
+    def test_furniture_dropped(self):
+        report = parse_index_text(SAMPLE)
+        assert report.furniture_lines >= 6
+        assert report.record_count == 5
+
+    @pytest.mark.parametrize("line", [
+        "1365",
+        "1993] 1367",
+        "1366 [Vol. 95:1365",
+        "WEST VIRGINIA LAW REVIEW",
+        "AUTHOR ARTICLE W. VA. L. REV.",
+        "et al.: Author Index",
+        "Published by The Research Repository @ WVU, 1993",
+        "https://researchrepository.wvu.edu/wvlr/vol95/iss5/5",
+        "1. Student material is indicated with an asterisk (*).",
+    ])
+    def test_furniture_patterns(self, line):
+        report = parse_index_text(line)
+        assert report.record_count == 0
+
+
+class TestEntries:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return parse_index_text(SAMPLE)
+
+    def test_student_marker(self, report):
+        assert report.records[0].is_student_work is True
+        assert report.records[1].is_student_work is False
+
+    def test_author_parsing(self, report):
+        assert report.records[0].authors[0].surname == "Abdalla"
+        assert report.records[0].authors[0].given == "Tarek F."
+
+    def test_suffix_parsed(self, report):
+        arceneaux = report.records[2].authors[0]
+        assert arceneaux.suffix == "III"
+
+    def test_honorific_parsed(self, report):
+        byrd = report.records[3].authors[0]
+        assert byrd.honorific == "Hon."
+        assert byrd.given == "Robert C."
+
+    def test_initial_then_given(self, report):
+        galloway = report.records[4].authors[0]
+        assert galloway.given == "L. Thomas"
+
+    def test_citation_extracted(self, report):
+        assert report.records[0].citation.columnar() == "91:973 (1989)"
+
+    def test_title_continuation_joined(self, report):
+        assert report.records[0].title == (
+            "Allegheny-Pittsburgh Coal Co. v. County Commission of Webster County"
+        )
+
+    def test_hyphen_wrap_repaired(self, report):
+        assert "First to Survive" in report.records[1].title
+
+    def test_compound_hyphen_preserved(self, report):
+        assert "Allegheny-Pittsburgh" in report.records[0].title
+
+    def test_record_ids_sequential(self, report):
+        assert [r.record_id for r in report.records] == [1, 2, 3, 4, 5]
+
+    def test_first_record_id_option(self):
+        report = parse_index_text(
+            "Areen, Judith Regulating Human Gene Therapy 88:153 (1985)",
+            first_record_id=100,
+        )
+        assert report.records[0].record_id == 100
+
+    def test_entry_line_counter(self, report):
+        assert report.entry_lines >= 10
+
+
+class TestWarnings:
+    def test_orphan_continuation_warned(self):
+        report = parse_index_text("orphan continuation without citation\n")
+        assert report.record_count == 0
+        assert any("orphan" in w for w in report.warnings)
+
+    def test_ambiguous_split_warned(self):
+        report = parse_index_text(
+            "Areen, Judith Regulating Human Gene Therapy 88:153 (1985)"
+        )
+        # "Judith Regulating" is inherently ambiguous: parsed, but flagged.
+        assert report.record_count == 1
+        assert report.records[0].authors[0].given == "Judith"
+        assert any("uncertain" in w for w in report.warnings)
+
+    def test_no_comma_line_warned(self):
+        report = parse_index_text("No Author Here Just Title Words 88:153 (1985)")
+        assert report.record_count == 0
+        assert any("author" in w.lower() for w in report.warnings)
+
+    def test_empty_input(self):
+        report = parse_index_text("")
+        assert report.record_count == 0
+        assert report.warnings == []
+
+
+CITATION_LAST = """
+Adams, Nora Q. Coalbed Methane After
+Unlocking the Fire 96:101 (1993)
+Brennan, Luis F. The UCC in the
+Nineties: Article 2 Revisited
+96:1 (1993)
+Chen, Grace H.* Water Quality
+Standards in the Coal Fields
+96:155 (1993)
+"""
+
+
+class TestCitationLastLayout:
+    def test_explicit_layout(self):
+        report = parse_index_text(CITATION_LAST, layout="citation-last")
+        assert report.record_count == 3
+        assert report.records[0].title == "Coalbed Methane After Unlocking the Fire"
+
+    def test_auto_detects_citation_last(self):
+        report = parse_index_text(CITATION_LAST)
+        assert report.record_count == 3
+        assert [r.authors[0].surname for r in report.records] == [
+            "Adams", "Brennan", "Chen",
+        ]
+
+    def test_auto_detects_citation_first(self):
+        report = parse_index_text(SAMPLE)
+        assert report.record_count == 5
+
+    def test_student_marker_survives(self):
+        report = parse_index_text(CITATION_LAST)
+        assert report.records[2].is_student_work is True
+
+    def test_citation_alone_on_line(self):
+        report = parse_index_text(
+            "Zed, Amy Q. A Very Long Title That Wraps\n96:400 (1993)\n",
+            layout="citation-last",
+        )
+        assert report.record_count == 1
+        assert report.records[0].citation.page == 400
+
+    def test_trailing_lines_warned(self):
+        report = parse_index_text(
+            "Zed, Amy Q. Dangling Entry With No\nCitation Anywhere\n",
+            layout="citation-last",
+        )
+        assert report.record_count == 0
+        assert any("trailing" in w for w in report.warnings)
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(ValueError):
+            parse_index_text("x", layout="sideways")
+
+    def test_furniture_dropped_in_both_layouts(self):
+        text = "1366 [Vol. 95:1365\n" + CITATION_LAST
+        report = parse_index_text(text, layout="citation-last")
+        assert report.record_count == 3
+        assert report.furniture_lines == 1
+
+
+class TestRoundTripAgainstRenderer:
+    def test_rendered_index_reingests(self, sample_records):
+        """text-render an index, then parse it back: same rows."""
+        from repro.core.builder import build_index
+
+        index = build_index(sample_records)
+        text = index.render("text", paginated=False)
+        report = parse_index_text(text)
+        assert report.record_count == len(index)
+        got = {(r.authors[0].surname, r.citation.columnar()) for r in report.records}
+        want = {(e.author.surname, e.citation.columnar()) for e in index}
+        assert got == want

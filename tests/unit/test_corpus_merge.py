@@ -1,0 +1,102 @@
+"""Unit tests for repro.corpus.merge."""
+
+import pytest
+
+from repro.core.entry import PublicationRecord
+from repro.corpus.merge import (
+    ConflictPolicy,
+    merge_corpora,
+    renumber,
+)
+from repro.errors import ValidationError
+
+
+def rec(i, title="T", citation="69:1 (1966)"):
+    return PublicationRecord.create(i, title, ["A, B."], citation)
+
+
+class TestMerge:
+    def test_disjoint_ids_append(self):
+        result = merge_corpora([rec(1)], [rec(2, "U"), rec(3, "V")])
+        assert [r.record_id for r in result.records] == [1, 2, 3]
+        assert result.added == 2
+        assert result.conflict_count == 0
+
+    def test_identical_reimport_is_noop(self):
+        result = merge_corpora([rec(1)], [rec(1)])
+        assert len(result.records) == 1
+        assert result.unchanged == 1
+        assert result.added == 0
+
+    def test_conflict_error_policy(self):
+        with pytest.raises(ValidationError):
+            merge_corpora([rec(1, "Old")], [rec(1, "New")])
+
+    def test_conflict_keep_existing(self):
+        result = merge_corpora(
+            [rec(1, "Old")], [rec(1, "New")],
+            on_conflict=ConflictPolicy.KEEP_EXISTING,
+        )
+        assert result.records[0].title == "Old"
+        assert result.conflicts[0].resolution == "kept-existing"
+
+    def test_conflict_replace(self):
+        result = merge_corpora(
+            [rec(1, "Old")], [rec(1, "New")],
+            on_conflict=ConflictPolicy.REPLACE,
+        )
+        assert result.records[0].title == "New"
+        assert result.conflicts[0].resolution == "replaced"
+
+    def test_order_preserved_on_replace(self):
+        result = merge_corpora(
+            [rec(1, "Old"), rec(2, "Keep")],
+            [rec(1, "New")],
+            on_conflict=ConflictPolicy.REPLACE,
+        )
+        assert [r.record_id for r in result.records] == [1, 2]
+
+    def test_base_not_mutated(self):
+        base = [rec(1)]
+        merge_corpora(base, [rec(2)])
+        assert len(base) == 1
+
+    def test_summary(self):
+        result = merge_corpora([rec(1)], [rec(2)])
+        assert "1 added" in result.summary()
+
+    def test_volume_addition_scenario(self, reference_records):
+        """The real workflow: add a synthetic 'volume 96' to the corpus."""
+        new_volume = [
+            PublicationRecord.create(
+                1000 + i, f"New Piece {i}", ["Author, New Q."], f"96:{i * 40 + 1} (1993)"
+            )
+            for i in range(10)
+        ]
+        result = merge_corpora(reference_records, new_volume)
+        assert result.added == 10
+        from repro.core import build_index, build_toc
+
+        toc = build_toc(result.records)
+        assert toc.volume(96).article_count == 10
+        index = build_index(result.records)
+        assert len(index) == 343 + 10
+
+
+class TestRenumber:
+    def test_sequential_ids(self):
+        records = renumber([rec(99), rec(42)], start=5)
+        assert [r.record_id for r in records] == [5, 6]
+
+    def test_content_preserved(self):
+        [renumbered] = renumber([rec(99, "Kept Title")])
+        assert renumbered.title == "Kept Title"
+        assert renumbered.record_id == 1
+
+    def test_enables_conflict_free_merge(self):
+        a = [rec(1, "From A")]
+        b = [rec(1, "From B")]
+        b2 = renumber(b, start=2)
+        result = merge_corpora(a, b2)
+        assert result.added == 1
+        assert result.conflict_count == 0

@@ -1,0 +1,111 @@
+"""Unit tests for repro.corpus.synthetic."""
+
+import pytest
+
+from repro.corpus.synthetic import (
+    SyntheticCorpus,
+    SyntheticCorpusConfig,
+    generate_records,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_corpus(self):
+        a = SyntheticCorpus(SyntheticCorpusConfig(size=100, seed=42)).records()
+        b = SyntheticCorpus(SyntheticCorpusConfig(size=100, seed=42)).records()
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = SyntheticCorpus(SyntheticCorpusConfig(size=100, seed=1)).records()
+        b = SyntheticCorpus(SyntheticCorpusConfig(size=100, seed=2)).records()
+        assert a != b
+
+    def test_records_cached(self):
+        corpus = SyntheticCorpus(SyntheticCorpusConfig(size=10, seed=0))
+        assert corpus.records() is corpus.records()
+
+    def test_generate_records_shorthand(self):
+        assert len(generate_records(25, seed=3)) == 25
+
+
+class TestShape:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return SyntheticCorpus(SyntheticCorpusConfig(size=1000, seed=7))
+
+    def test_size(self, corpus):
+        assert len(corpus.records()) == 1000
+
+    def test_ids_sequential(self, corpus):
+        assert [r.record_id for r in corpus.records()] == list(range(1, 1001))
+
+    def test_student_share_near_config(self, corpus):
+        share = sum(r.is_student_work for r in corpus.records()) / 1000
+        assert 0.40 < share < 0.55
+
+    def test_coauthor_distribution(self, corpus):
+        counts = [len(r.authors) for r in corpus.records()]
+        assert max(counts) <= 4
+        assert min(counts) == 1
+        assert sum(1 for c in counts if c > 1) > 50
+
+    def test_no_duplicate_author_within_record(self, corpus):
+        for record in corpus.records():
+            keys = [a.identity_key() for a in record.authors]
+            assert len(set(keys)) == len(keys)
+
+    def test_volume_year_coherent(self, corpus):
+        cfg = corpus.config
+        for record in corpus.records():
+            offset = record.citation.volume - cfg.first_volume
+            assert 0 <= offset < cfg.volumes
+            assert record.citation.year in (
+                cfg.first_year + offset,
+                cfg.first_year + offset + 1,
+            )
+
+    def test_heavy_tail_productivity(self, corpus):
+        from collections import Counter
+
+        author_counts = Counter(
+            a.identity_key() for r in corpus.records() for a in r.authors
+        )
+        counts = sorted(author_counts.values(), reverse=True)
+        # the most productive author writes many times the median
+        assert counts[0] >= 5 * max(1, counts[len(counts) // 2])
+
+    def test_titles_non_empty_and_varied(self, corpus):
+        titles = {r.title for r in corpus.records()}
+        assert all(titles)
+        assert len(titles) > 300
+
+
+class TestNoisyVariants:
+    def test_ground_truth_covers_all(self):
+        corpus = SyntheticCorpus(SyntheticCorpusConfig(size=50, seed=3, author_pool=20))
+        names, truth = corpus.noisy_variants(variants_per_author=3)
+        assert len(names) == 60
+        flattened = sorted(i for group in truth for i in group)
+        assert flattened == list(range(60))
+
+    def test_first_variant_is_clean(self):
+        corpus = SyntheticCorpus(SyntheticCorpusConfig(size=50, seed=3, author_pool=20))
+        names, truth = corpus.noisy_variants(noise_rate=8.0)
+        clean_surnames = {n.surname for n in corpus._authors}
+        for group in truth:
+            assert names[group[0]].surname in clean_surnames
+
+    def test_deterministic(self):
+        def run():
+            corpus = SyntheticCorpus(SyntheticCorpusConfig(size=30, seed=5, author_pool=10))
+            names, _ = corpus.noisy_variants()
+            return [n.surname for n in names]
+
+        assert run() == run()
+
+    def test_noise_rate_zero_all_clean(self):
+        corpus = SyntheticCorpus(SyntheticCorpusConfig(size=30, seed=5, author_pool=10))
+        names, truth = corpus.noisy_variants(noise_rate=0.0)
+        for group in truth:
+            surnames = {names[i].surname for i in group}
+            assert len(surnames) == 1

@@ -1,0 +1,81 @@
+"""Unit tests for repro.corpus.wvlr — the reference corpus."""
+
+import pytest
+
+from repro.corpus.wvlr import (
+    PUBLICATION_SCHEMA,
+    corpus_data_path,
+    load_reference_metadata,
+    load_reference_records,
+    load_reference_reporter,
+    populate_store,
+)
+from repro.storage.store import RecordStore
+
+
+class TestLoad:
+    def test_record_count(self, reference_records):
+        assert len(reference_records) == 271
+
+    def test_ids_unique(self, reference_records):
+        ids = [r.record_id for r in reference_records]
+        assert len(set(ids)) == len(ids)
+
+    def test_all_have_authors_and_citations(self, reference_records):
+        for record in reference_records:
+            assert record.authors
+            assert record.citation.volume >= 69
+            assert 1966 <= record.citation.year <= 1993
+
+    def test_coauthored_records_present(self, reference_records):
+        multi = [r for r in reference_records if len(r.authors) > 1]
+        assert len(multi) >= 30
+
+    def test_student_share_substantial(self, reference_records):
+        students = sum(1 for r in reference_records if r.is_student_work)
+        assert 0.15 < students / len(reference_records) < 0.6
+
+    def test_edge_case_names_present(self, reference_records):
+        surnames = {a.surname for r in reference_records for a in r.authors}
+        assert "McAteer" in surnames
+        assert "Webster-O'Keefe" in surnames
+        assert "Van Tol" in surnames
+        suffixes = {a.suffix for r in reference_records for a in r.authors}
+        assert {"Jr.", "II", "III", "IV"} <= suffixes
+        honorifics = {a.honorific for r in reference_records for a in r.authors}
+        assert "Hon." in honorifics
+
+    def test_ocr_variant_pairs_present(self, reference_records):
+        surnames = {a.surname for r in reference_records for a in r.authors}
+        assert {"Herdon", "Hemdon"} <= surnames
+        assert {"Johnson", "Johson"} <= surnames
+
+    def test_reporter(self):
+        reporter = load_reference_reporter()
+        assert reporter.abbreviation == "W. Va. L. Rev."
+
+    def test_metadata(self):
+        meta = load_reference_metadata()
+        assert meta == {"volume": 95, "year": 1993, "first_page": 1365}
+
+    def test_data_file_exists(self):
+        assert corpus_data_path().exists()
+
+
+class TestPopulateStore:
+    def test_populates(self, reference_records):
+        store = RecordStore(PUBLICATION_SCHEMA)
+        count = populate_store(store, reference_records)
+        assert count == len(reference_records) == len(store)
+
+    def test_default_is_reference(self):
+        store = RecordStore(PUBLICATION_SCHEMA)
+        assert populate_store(store) == 271
+
+    def test_roundtrip_through_store(self, reference_records):
+        from repro.core.entry import PublicationRecord
+
+        store = RecordStore(PUBLICATION_SCHEMA)
+        populate_store(store, reference_records)
+        back = [PublicationRecord.from_store_dict(r) for r in store.scan()]
+        assert {r.record_id for r in back} == {r.record_id for r in reference_records}

@@ -1,0 +1,153 @@
+"""Unit tests for repro.export (BibTeX and CSV interchange)."""
+
+import pytest
+
+from repro.core.entry import PublicationRecord
+from repro.errors import ParseError
+from repro.export.bibtex import format_bibtex, parse_bibtex, record_to_bibtex
+from repro.export.csvio import dumps_csv, read_csv, write_csv
+
+
+class TestBibtexWrite:
+    def test_entry_shape(self, sample_records):
+        out = record_to_bibtex(sample_records[0], journal="W. Va. L. Rev.")
+        assert out.startswith("@article{fox1967v69p293,")
+        assert "title   = {Habeas Corpus in West Virginia}" in out
+        assert "year    = {1967}" in out
+
+    def test_student_note_field(self, sample_records):
+        out = record_to_bibtex(sample_records[0])
+        assert "note    = {student work}" in out
+
+    def test_multiple_authors_joined_with_and(self, sample_records):
+        out = record_to_bibtex(sample_records[1])
+        assert "Galloway, L. Thomas and McAteer, J. Davitt and Webb, Richard L." in out
+
+    def test_format_many(self, sample_records):
+        out = format_bibtex(sample_records)
+        assert out.count("@article{") == len(sample_records)
+
+
+class TestBibtexRoundTrip:
+    def test_roundtrip_preserves_content(self, sample_records):
+        parsed = parse_bibtex(format_bibtex(sample_records))
+        assert len(parsed) == len(sample_records)
+        for original, back in zip(sample_records, parsed):
+            assert back.title == original.title
+            assert back.citation == original.citation
+            assert back.is_student_work == original.is_student_work
+            assert [a.identity_key() for a in back.authors] == [
+                a.identity_key() for a in original.authors
+            ]
+
+    def test_reference_corpus_roundtrip(self, reference_records):
+        parsed = parse_bibtex(format_bibtex(reference_records))
+        assert len(parsed) == len(reference_records)
+        assert [r.citation for r in parsed] == [r.citation for r in reference_records]
+
+
+class TestBibtexParse:
+    def test_quoted_values(self):
+        text = '@article{k, author = "Olson, Dale P.", title = "Thin Copyrights", ' \
+               'volume = "95", pages = "147", year = "1992"}'
+        [record] = parse_bibtex(text)
+        assert record.title == "Thin Copyrights"
+
+    def test_bare_numeric_values(self):
+        text = "@article{k, author = {A, B.}, title = {T}, volume = 95, pages = 147, year = 1992}"
+        [record] = parse_bibtex(text)
+        assert record.citation.volume == 95
+
+    def test_direct_form_authors(self):
+        text = "@article{k, author = {Dale Olson and Jane Moran}, title = {T}, " \
+               "volume = {95}, pages = {1}, year = {1992}}"
+        [record] = parse_bibtex(text)
+        assert [a.surname for a in record.authors] == ["Olson", "Moran"]
+
+    def test_nested_braces_in_title(self):
+        text = "@article{k, author = {A, B.}, title = {The {UCC} Revisited}, " \
+               "volume = {95}, pages = {1}, year = {1992}}"
+        [record] = parse_bibtex(text)
+        assert "{UCC}" in record.title
+
+    def test_non_article_entries_skipped(self):
+        text = "@book{k, title = {Ignored}}\n" \
+               "@article{j, author = {A, B.}, title = {Kept}, volume = {1}, pages = {1}, year = {1990}}"
+        records = parse_bibtex(text)
+        assert [r.title for r in records] == ["Kept"]
+
+    def test_page_ranges_take_first(self):
+        text = "@article{k, author = {A, B.}, title = {T}, volume = {95}, " \
+               "pages = {147--210}, year = {1992}}"
+        [record] = parse_bibtex(text)
+        assert record.citation.page == 147
+
+    def test_missing_required_field_raises(self):
+        with pytest.raises(ParseError):
+            parse_bibtex("@article{k, title = {T}, volume = {1}, pages = {1}, year = {1990}}")
+
+    def test_unbalanced_braces_raise(self):
+        with pytest.raises(ParseError):
+            parse_bibtex("@article{k, author = {A, B.")
+
+    def test_record_ids_sequential(self):
+        text = "\n".join(
+            f"@article{{k{i}, author = {{A, B.}}, title = {{T{i}}}, "
+            f"volume = {{1}}, pages = {{{i+1}}}, year = {{1990}}}}"
+            for i in range(3)
+        )
+        records = parse_bibtex(text, first_record_id=10)
+        assert [r.record_id for r in records] == [10, 11, 12]
+
+
+class TestCsv:
+    def test_roundtrip_string(self, sample_records):
+        import io
+
+        back = read_csv(io.StringIO(dumps_csv(sample_records)))
+        assert len(back) == len(sample_records)
+        for original, parsed in zip(sample_records, back):
+            assert parsed.record_id == original.record_id
+            assert parsed.title == original.title
+            assert parsed.citation == original.citation
+            assert parsed.is_student_work == original.is_student_work
+
+    def test_roundtrip_file(self, sample_records, tmp_path):
+        path = tmp_path / "corpus.csv"
+        assert write_csv(sample_records, path) == len(sample_records)
+        assert len(read_csv(path)) == len(sample_records)
+
+    def test_titles_with_commas_and_quotes(self, tmp_path):
+        record = PublicationRecord.create(
+            1, 'Bankruptcy, "Takes", and Property', ["A, B."], "84:687 (1982)"
+        )
+        path = tmp_path / "c.csv"
+        write_csv([record], path)
+        [back] = read_csv(path)
+        assert back.title == 'Bankruptcy, "Takes", and Property'
+
+    def test_missing_columns_raise(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("id,title\n1,x\n")
+        with pytest.raises(ParseError):
+            read_csv(path)
+
+    def test_bad_row_raises_with_row_number(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "id,title,authors,volume,page,year,student\n"
+            "1,T,\"A, B.\",95,1,1992,true\n"
+            "oops,T,\"A, B.\",95,1,1992,true\n"
+        )
+        with pytest.raises(ParseError) as excinfo:
+            read_csv(path)
+        assert "row 3" in str(excinfo.value)
+
+    def test_reference_corpus_roundtrip(self, reference_records, tmp_path):
+        path = tmp_path / "ref.csv"
+        write_csv(reference_records, path)
+        back = read_csv(path)
+        assert [r.citation for r in back] == [r.citation for r in reference_records]
+        assert sum(r.is_student_work for r in back) == sum(
+            r.is_student_work for r in reference_records
+        )

@@ -1,0 +1,170 @@
+"""Unit tests for repro.names.model."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.names.model import (
+    NameForm,
+    PersonName,
+    SUFFIX_RANKS,
+    canonical_honorific,
+    canonical_suffix,
+)
+
+
+class TestPersonNameInvariants:
+    def test_empty_surname_rejected(self):
+        with pytest.raises(ValidationError):
+            PersonName(surname="")
+
+    def test_whitespace_surname_rejected(self):
+        with pytest.raises(ValidationError):
+            PersonName(surname="   ")
+
+    def test_non_canonical_suffix_rejected(self):
+        with pytest.raises(ValidationError):
+            PersonName(surname="Smith", suffix="Junior")
+
+    def test_all_canonical_suffixes_accepted(self):
+        for suffix in SUFFIX_RANKS:
+            name = PersonName(surname="Smith", suffix=suffix)
+            assert name.suffix == suffix
+
+
+class TestSuffixRanks:
+    def test_bare_name_ranks_first(self):
+        assert SUFFIX_RANKS[""] == 0
+
+    def test_jr_before_sr(self):
+        assert SUFFIX_RANKS["Jr."] < SUFFIX_RANKS["Sr."]
+
+    def test_numerals_in_order(self):
+        assert SUFFIX_RANKS["II"] < SUFFIX_RANKS["III"] < SUFFIX_RANKS["IV"] < SUFFIX_RANKS["V"]
+
+    def test_rank_property(self):
+        assert PersonName(surname="Smith", suffix="III").suffix_rank == SUFFIX_RANKS["III"]
+
+
+class TestRendering:
+    def test_inverted_plain(self):
+        name = PersonName(surname="Abdalla", given="Tarek F.")
+        assert name.inverted() == "Abdalla, Tarek F."
+
+    def test_inverted_with_suffix(self):
+        name = PersonName(surname="Arceneaux", given="Webster J.", suffix="III")
+        assert name.inverted() == "Arceneaux, Webster J., III"
+
+    def test_inverted_with_honorific(self):
+        name = PersonName(surname="Byrd", given="Robert C.", honorific="Hon.")
+        assert name.inverted() == "Byrd, Hon. Robert C."
+
+    def test_inverted_student_marker(self):
+        name = PersonName(surname="Albert", given="Michael C.", is_student=True)
+        assert name.inverted(student_marker=True) == "Albert, Michael C.*"
+        assert name.inverted(student_marker=False) == "Albert, Michael C."
+
+    def test_inverted_surname_only(self):
+        assert PersonName(surname="Bobango").inverted() == "Bobango"
+
+    def test_direct_full(self):
+        name = PersonName(
+            surname="Brotherton", given="W.T.", suffix="Jr.", honorific="Hon."
+        )
+        assert name.direct() == "Hon. W.T. Brotherton, Jr."
+
+    def test_direct_without_suffix(self):
+        name = PersonName(surname="Areen", given="Judith")
+        assert name.direct() == "Judith Areen"
+
+    def test_str_includes_student_marker(self):
+        name = PersonName(surname="Albert", given="M.", is_student=True)
+        assert str(name).endswith("*")
+
+
+class TestInitials:
+    def test_initials_from_full_names(self):
+        assert PersonName(surname="X", given="Tarek Fouad").initials == "TF"
+
+    def test_initials_from_dotted(self):
+        assert PersonName(surname="X", given="W.T.").initials == "WT"
+
+    def test_initials_mixed(self):
+        assert PersonName(surname="X", given="J. Davitt").initials == "JD"
+
+    def test_initials_empty_given(self):
+        assert PersonName(surname="X").initials == ""
+
+
+class TestIdentityKey:
+    def test_case_insensitive(self):
+        a = PersonName(surname="McAteer", given="J. Davitt")
+        b = PersonName(surname="MCATEER", given="j. davitt")
+        assert a.identity_key() == b.identity_key()
+
+    def test_student_flag_not_identity(self):
+        a = PersonName(surname="Albert", given="M.", is_student=True)
+        b = PersonName(surname="Albert", given="M.", is_student=False)
+        assert a.identity_key() == b.identity_key()
+
+    def test_honorific_not_identity(self):
+        a = PersonName(surname="Byrd", given="Robert C.", honorific="Hon.")
+        b = PersonName(surname="Byrd", given="Robert C.")
+        assert a.identity_key() == b.identity_key()
+
+    def test_suffix_is_identity(self):
+        jr = PersonName(surname="Smith", given="John", suffix="Jr.")
+        iii = PersonName(surname="Smith", given="John", suffix="III")
+        assert jr.identity_key() != iii.identity_key()
+
+
+class TestWithStudent:
+    def test_sets_flag(self):
+        name = PersonName(surname="Smith", given="A.")
+        assert name.with_student(True).is_student is True
+
+    def test_preserves_other_fields(self):
+        name = PersonName(
+            surname="Smith", given="A.", suffix="Jr.", honorific="Dr.", raw="x"
+        )
+        copy = name.with_student(True)
+        assert (copy.surname, copy.given, copy.suffix, copy.honorific, copy.raw) == (
+            "Smith", "A.", "Jr.", "Dr.", "x"
+        )
+
+
+class TestCanonicalTokens:
+    @pytest.mark.parametrize(
+        "token,expected",
+        [
+            ("jr", "Jr."), ("Jr.", "Jr."), ("JR", "Jr."), ("junior", "Jr."),
+            ("sr", "Sr."), ("Senior", "Sr."),
+            ("ii", "II"), ("III", "III"), ("iv", "IV"), ("v", "V"),
+            ("Jr.,", "Jr."), ("III,", "III"),
+        ],
+    )
+    def test_canonical_suffix_accepts(self, token, expected):
+        assert canonical_suffix(token) == expected
+
+    @pytest.mark.parametrize("token", ["Esq", "PhD", "", "Smith", "VI" "I" * 20])
+    def test_canonical_suffix_rejects(self, token):
+        assert canonical_suffix(token) is None
+
+    @pytest.mark.parametrize(
+        "token,expected",
+        [
+            ("hon", "Hon."), ("Hon.", "Hon."), ("HON", "Hon."),
+            ("dr", "Dr."), ("Dr.", "Dr."), ("rev.", "Rev."),
+            ("prof", "Prof."), ("judge", "Judge"), ("Justice", "Justice"),
+        ],
+    )
+    def test_canonical_honorific_accepts(self, token, expected):
+        assert canonical_honorific(token) == expected
+
+    @pytest.mark.parametrize("token", ["Mister", "", "Smith"])
+    def test_canonical_honorific_rejects(self, token):
+        assert canonical_honorific(token) is None
+
+
+class TestNameForm:
+    def test_forms_distinct(self):
+        assert len({NameForm.INVERTED, NameForm.DIRECT, NameForm.SURNAME_ONLY}) == 3

@@ -1,0 +1,179 @@
+"""Unit tests for repro.names.similarity."""
+
+import pytest
+
+from repro.names.parser import parse_name
+from repro.names.similarity import (
+    damerau_levenshtein,
+    jaccard_ngrams,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    name_similarity,
+    soundex,
+)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize("a,b,d", [
+        ("", "", 0),
+        ("a", "", 1),
+        ("", "abc", 3),
+        ("kitten", "sitting", 3),
+        ("flaw", "lawn", 2),
+        ("same", "same", 0),
+        ("johnson", "johson", 1),
+    ])
+    def test_known_distances(self, a, b, d):
+        assert levenshtein(a, b) == d
+
+    def test_symmetry(self):
+        assert levenshtein("abcde", "xbcdz") == levenshtein("xbcdz", "abcde")
+
+    def test_banded_early_exit(self):
+        assert levenshtein("aaaaaa", "zzzzzz", max_distance=2) == 3
+
+    def test_banded_exact_within_bound(self):
+        assert levenshtein("kitten", "sitting", max_distance=5) == 3
+
+    def test_banded_length_gap(self):
+        assert levenshtein("ab", "abcdefgh", max_distance=3) == 4
+
+
+class TestDamerauLevenshtein:
+    def test_transposition_is_one(self):
+        assert damerau_levenshtein("ab", "ba") == 1
+
+    def test_plain_levenshtein_would_be_two(self):
+        assert levenshtein("ab", "ba") == 2
+
+    def test_ocr_case(self):
+        assert damerau_levenshtein("herdon", "hemdon") == 1
+
+    def test_identical(self):
+        assert damerau_levenshtein("x", "x") == 0
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro("martha", "martha") == 1.0
+
+    def test_known_value(self):
+        assert jaro("martha", "marhta") == pytest.approx(0.9444, abs=1e-4)
+
+    def test_dwayne(self):
+        assert jaro("dwayne", "duane") == pytest.approx(0.8222, abs=1e-4)
+
+    def test_disjoint(self):
+        assert jaro("abc", "xyz") == 0.0
+
+    def test_empty_vs_nonempty(self):
+        assert jaro("", "abc") == 0.0
+
+    def test_symmetry(self):
+        assert jaro("dixon", "dicksonx") == jaro("dicksonx", "dixon")
+
+
+class TestJaroWinkler:
+    def test_prefix_boost(self):
+        assert jaro_winkler("dixon", "dicksonx") > jaro("dixon", "dicksonx")
+
+    def test_no_boost_without_prefix(self):
+        assert jaro_winkler("abc", "xbc") == jaro("abc", "xbc")
+
+    def test_bounded_by_one(self):
+        assert jaro_winkler("aaaa", "aaaa") == 1.0
+
+    def test_prefix_capped_at_four(self):
+        # identical 4-prefix vs identical 6-prefix with same jaro: cap keeps
+        # the boost equal
+        a = jaro_winkler("abcdXY", "abcdZW")
+        b = jaro_winkler("abcdeX", "abcdeY")
+        assert 0 < a <= 1 and 0 < b <= 1
+
+
+class TestJaccardNgrams:
+    def test_identical(self):
+        assert jaccard_ngrams("night", "night") == 1.0
+
+    def test_empty_both(self):
+        assert jaccard_ngrams("", "") == 1.0
+
+    def test_disjoint(self):
+        assert jaccard_ngrams("aa", "bb") == 0.0
+
+    def test_short_strings(self):
+        assert jaccard_ngrams("a", "a") == 1.0
+
+    def test_ordering(self):
+        assert jaccard_ngrams("night", "nacht") < jaccard_ngrams("night", "nights")
+
+
+class TestSoundex:
+    @pytest.mark.parametrize("name,code", [
+        ("Robert", "R163"),
+        ("Rupert", "R163"),
+        ("Ashcraft", "A261"),
+        ("Ashcroft", "A261"),
+        ("Tymczak", "T522"),
+        ("Pfister", "P236"),
+        ("Honeyman", "H555"),
+    ])
+    def test_classic_vectors(self, name, code):
+        assert soundex(name) == code
+
+    def test_empty(self):
+        assert soundex("") == "0000"
+
+    def test_non_alpha_ignored(self):
+        assert soundex("O'Brien") == soundex("OBrien")
+
+    def test_padding(self):
+        assert soundex("Lee") == "L000"
+
+
+class TestNameSimilarity:
+    def test_identical_names(self):
+        a = parse_name("McAteer, J. Davitt")
+        assert name_similarity(a, a) == pytest.approx(1.0)
+
+    def test_ocr_variant_high(self):
+        a = parse_name("Herdon, Judith")
+        b = parse_name("Hemdon, Judith")
+        assert name_similarity(a, b) > 0.9
+
+    def test_different_suffixes_zero(self):
+        a = parse_name("Smith, John, Jr.")
+        b = parse_name("Smith, John, III")
+        assert name_similarity(a, b) == 0.0
+
+    def test_one_sided_suffix_allowed(self):
+        a = parse_name("Smith, John, Jr.")
+        b = parse_name("Smith, John")
+        assert name_similarity(a, b) > 0.9
+
+    def test_different_full_given_names_zero(self):
+        a = parse_name("Johnson, Earl")
+        b = parse_name("Johnson, Edward")
+        assert name_similarity(a, b) == 0.0
+
+    def test_initial_expansion_compatible(self):
+        a = parse_name("Phillips, J. Timothy")
+        b = parse_name("Phillips, John Timothy")
+        assert name_similarity(a, b) >= 0.85
+
+    def test_distant_surnames_zero(self):
+        a = parse_name("Whisker, James B.")
+        b = parse_name("White, James B.")
+        assert name_similarity(a, b) == 0.0
+
+    def test_close_surname_typo(self):
+        a = parse_name("Phillips, J. Timothy")
+        b = parse_name("Philipps, J. Timothy")
+        assert name_similarity(a, b) > 0.9
+
+    def test_missing_given_weak_evidence(self):
+        a = parse_name("Bobango, Gerald")
+        b = parse_name("Bobango")
+        score = name_similarity(a, b)
+        assert 0.5 < score < 0.95

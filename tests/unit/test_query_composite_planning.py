@@ -1,0 +1,151 @@
+"""Unit tests for composite-index planning in the query engine."""
+
+import pytest
+
+from repro.query.executor import QueryEngine
+from repro.query.parser import parse_query
+from repro.query.planner import (
+    CompositeLookup,
+    CompositeRange,
+    FullScan,
+    IndexLookup,
+    plan_query,
+)
+from repro.storage.schema import Field, FieldType, Schema
+from repro.storage.store import IndexKind, RecordStore
+
+
+@pytest.fixture()
+def store():
+    schema = Schema(
+        [
+            Field("id", FieldType.INT),
+            Field("volume", FieldType.INT),
+            Field("page", FieldType.INT),
+            Field("year", FieldType.INT),
+        ],
+        primary_key="id",
+    )
+    s = RecordStore(schema)
+    i = 0
+    for volume in range(69, 96):
+        for page in range(1, 40):
+            s.insert({"id": i, "volume": volume, "page": page, "year": 1897 + volume})
+            i += 1
+    s.create_composite_index(("volume", "page"))
+    return s
+
+
+def plan(store, text):
+    return plan_query(parse_query(text), store)
+
+
+class TestPlanChoice:
+    def test_full_equality_uses_composite_lookup(self, store):
+        p = plan(store, "volume = 95 AND page = 10")
+        assert p.access == CompositeLookup(fields=("volume", "page"), values=(95, 10))
+        assert p.residual is None
+
+    def test_prefix_plus_range_uses_composite_range(self, store):
+        p = plan(store, "volume = 95 AND page >= 10 AND page < 20")
+        assert p.access == CompositeRange(
+            fields=("volume", "page"),
+            prefix=(95,),
+            low=10,
+            high=20,
+            include_low=True,
+            include_high=False,
+        )
+        assert p.residual is None
+
+    def test_prefix_only_equality_falls_to_scan_without_other_index(self, store):
+        # one equality on the leading field alone: rule 1 has no index and
+        # the composite prefix rule requires >= 2 fixed fields
+        p = plan(store, "volume = 95")
+        assert isinstance(p.access, FullScan)
+
+    def test_range_on_leading_field_not_served(self, store):
+        p = plan(store, "volume >= 90 AND page = 3")
+        assert isinstance(p.access, FullScan)
+
+    def test_equality_on_trailing_field_only_not_served(self, store):
+        p = plan(store, "page = 3")
+        assert isinstance(p.access, FullScan)
+
+    def test_composite_beats_single_field_index(self, store):
+        store.create_index("volume", IndexKind.HASH)
+        p = plan(store, "volume = 95 AND page = 10")
+        assert isinstance(p.access, CompositeLookup)
+
+    def test_single_index_used_when_composite_inapplicable(self, store):
+        store.create_index("year", IndexKind.HASH)
+        p = plan(store, "year = 1992 AND page >= 30")
+        assert isinstance(p.access, IndexLookup)
+        assert "page" in str(p.residual)
+
+    def test_residual_keeps_other_clauses(self, store):
+        p = plan(store, "volume = 95 AND page = 10 AND year = 1992")
+        assert isinstance(p.access, CompositeLookup)
+        assert "year" in str(p.residual)
+
+    def test_explain_output(self, store):
+        engine = QueryEngine(store)
+        assert engine.explain("volume = 95 AND page = 10").startswith(
+            "COMPOSITE LOOKUP (volume+page)"
+        )
+        assert engine.explain("volume = 95 AND page > 5").startswith(
+            "COMPOSITE RANGE (volume+page)"
+        )
+
+
+class TestExecutionEquivalence:
+    QUERIES = [
+        "volume = 95 AND page = 10",
+        "volume = 95 AND page >= 10 AND page < 20",
+        "volume = 95 AND page > 38",
+        "volume = 69 AND page <= 3 ORDER BY page",
+        "volume = 95 AND page = 10 AND year = 1992",
+        "volume = 95 AND page = 10 AND year = 1800",  # residual kills all
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_matches_scan(self, store, query):
+        engine = QueryEngine(store)
+        planned = sorted(r["id"] for r in engine.execute(query))
+        scanned = sorted(r["id"] for r in engine.execute_without_indexes(query))
+        assert planned == scanned
+
+    def test_three_field_composite(self):
+        schema = Schema(
+            [
+                Field("id", FieldType.INT),
+                Field("a", FieldType.INT),
+                Field("b", FieldType.INT),
+                Field("c", FieldType.INT),
+            ],
+            primary_key="id",
+        )
+        store = RecordStore(schema)
+        i = 0
+        for a in range(3):
+            for b in range(3):
+                for c in range(3):
+                    store.insert({"id": i, "a": a, "b": b, "c": c})
+                    i += 1
+        store.create_composite_index(("a", "b", "c"))
+        engine = QueryEngine(store)
+
+        p = plan_query(parse_query("a = 1 AND b = 2 AND c = 0"), store)
+        assert isinstance(p.access, CompositeLookup)
+
+        p = plan_query(parse_query("a = 1 AND b = 2 AND c >= 1"), store)
+        assert isinstance(p.access, CompositeRange)
+        assert p.access.prefix == (1, 2)
+
+        p = plan_query(parse_query("a = 1 AND b = 2"), store)
+        assert isinstance(p.access, CompositeRange)  # bare 2-field prefix scan
+
+        for query in ("a = 1 AND b = 2 AND c = 0", "a = 1 AND b = 2 AND c >= 1", "a = 1 AND b = 2"):
+            planned = sorted(r["id"] for r in engine.execute(query))
+            scanned = sorted(r["id"] for r in engine.execute_without_indexes(query))
+            assert planned == scanned

@@ -1,0 +1,132 @@
+"""Unit tests for repro.query.executor."""
+
+import pytest
+
+from repro.errors import QueryPlanError, QuerySyntaxError
+from repro.query.executor import QueryEngine
+from repro.query.parser import parse_query
+from repro.storage.store import IndexKind
+
+
+@pytest.fixture()
+def engine(memory_store):
+    rows = [
+        {"id": 1, "name": "smith", "year": 1980, "tags": ["coal"], "active": True},
+        {"id": 2, "name": "jones", "year": 1985, "tags": ["coal", "tax"], "active": False},
+        {"id": 3, "name": "smith", "year": 1990, "tags": [], "active": True},
+        {"id": 4, "name": "li", "year": 1975, "tags": ["tort"], "active": False},
+        {"id": 5, "name": "garcia", "year": 1990, "tags": ["tax"], "active": True},
+    ]
+    for row in rows:
+        memory_store.insert(row)
+    memory_store.create_index("name", IndexKind.HASH)
+    memory_store.create_index("year", IndexKind.BTREE)
+    memory_store.create_index("tags", IndexKind.BTREE)
+    return QueryEngine(memory_store)
+
+
+def ids(rows):
+    return sorted(r["id"] for r in rows)
+
+
+class TestExecute:
+    def test_equality(self, engine):
+        assert ids(engine.execute('name = "smith"')) == [1, 3]
+
+    def test_range(self, engine):
+        assert ids(engine.execute("year >= 1985")) == [2, 3, 5]
+
+    def test_conjunction(self, engine):
+        assert ids(engine.execute('name = "smith" AND year >= 1985')) == [3]
+
+    def test_disjunction(self, engine):
+        assert ids(engine.execute('name = "li" OR name = "garcia"')) == [4, 5]
+
+    def test_negation(self, engine):
+        assert ids(engine.execute('NOT name = "smith"')) == [2, 4, 5]
+
+    def test_list_membership(self, engine):
+        assert ids(engine.execute('tags:"tax"')) == [2, 5]
+
+    def test_select_all(self, engine):
+        assert ids(engine.execute("*")) == [1, 2, 3, 4, 5]
+
+    def test_no_matches(self, engine):
+        assert engine.execute('name = "nobody"') == []
+
+    def test_bool_field(self, engine):
+        assert ids(engine.execute("active = true")) == [1, 3, 5]
+
+    def test_accepts_parsed_query(self, engine):
+        q = parse_query("year < 1980")
+        assert ids(engine.execute(q)) == [4]
+
+    def test_syntax_error_propagates(self, engine):
+        with pytest.raises(QuerySyntaxError):
+            engine.execute("year >=")
+
+
+class TestOrderLimit:
+    def test_order_by_asc(self, engine):
+        rows = engine.execute("* ORDER BY year")
+        assert [r["year"] for r in rows] == [1975, 1980, 1985, 1990, 1990]
+
+    def test_order_by_desc(self, engine):
+        rows = engine.execute("* ORDER BY year DESC")
+        assert rows[0]["year"] == 1990
+
+    def test_order_by_string_field(self, engine):
+        rows = engine.execute("* ORDER BY name")
+        assert [r["name"] for r in rows][:2] == ["garcia", "jones"]
+
+    def test_limit(self, engine):
+        assert len(engine.execute("* LIMIT 2")) == 2
+
+    def test_limit_zero(self, engine):
+        assert engine.execute("* LIMIT 0") == []
+
+    def test_limit_larger_than_result(self, engine):
+        assert len(engine.execute("* LIMIT 100")) == 5
+
+    def test_order_by_unknown_field(self, engine):
+        with pytest.raises(QueryPlanError):
+            engine.execute("* ORDER BY bogus")
+
+
+class TestEquivalence:
+    QUERIES = [
+        'name = "smith"',
+        "year >= 1980 AND year < 1990",
+        'tags:"coal" AND active = true',
+        'NOT (name = "li") AND year <= 1990',
+        '(name = "jones" OR name = "li") AND year > 1970',
+        "* ORDER BY year DESC LIMIT 3",
+        'name != "smith" ORDER BY id',
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_planned_equals_scan(self, engine, query):
+        planned = engine.execute(query)
+        scanned = engine.execute_without_indexes(query)
+        assert ids(planned) == ids(scanned)
+
+    def test_explain_matches_execution_path(self, engine):
+        assert engine.explain('name = "smith"').startswith("INDEX LOOKUP")
+        assert engine.explain("* ").startswith("FULL SCAN")
+
+
+class TestListFieldDedup:
+    def test_duplicate_list_elements_single_row(self, memory_store):
+        memory_store.create_index("tags", IndexKind.BTREE)
+        memory_store.insert(
+            {"id": 1, "name": "x", "year": 1990, "tags": ["coal", "coal"]}
+        )
+        engine = QueryEngine(memory_store)
+        assert len(engine.execute('tags:"coal"')) == 1
+
+    def test_range_over_list_field_dedups(self, memory_store):
+        memory_store.create_index("tags", IndexKind.BTREE)
+        memory_store.insert({"id": 1, "name": "x", "year": 1990, "tags": ["a", "b"]})
+        engine = QueryEngine(memory_store)
+        rows = engine.execute('tags >= "a" AND tags <= "z"')
+        assert len(rows) == 1

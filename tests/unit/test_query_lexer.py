@@ -1,0 +1,77 @@
+"""Unit tests for repro.query.lexer."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.query.lexer import TokenType, tokenize_query
+
+
+def types(text: str) -> list[str]:
+    return [t.type.name for t in tokenize_query(text)]
+
+
+def values(text: str) -> list:
+    return [t.value for t in tokenize_query(text)][:-1]  # drop EOF
+
+
+class TestTokens:
+    def test_empty(self):
+        assert types("") == ["EOF"]
+
+    def test_whitespace_only(self):
+        assert types("   \t ") == ["EOF"]
+
+    def test_identifiers(self):
+        assert types("author surname_x a.b c-d") == ["IDENT"] * 4 + ["EOF"]
+
+    def test_numbers(self):
+        assert values("1980 3.5 -7") == [1980, 3.5, -7]
+
+    def test_number_types(self):
+        v = values("1980 3.5")
+        assert isinstance(v[0], int)
+        assert isinstance(v[1], float)
+
+    @pytest.mark.parametrize("op", ["=", "!=", "<", "<=", ">", ">=", ":"])
+    def test_operators(self, op):
+        tokens = tokenize_query(f"a {op} 1")
+        assert tokens[1].type is TokenType.OP
+        assert tokens[1].value == op
+
+    def test_le_not_split(self):
+        tokens = tokenize_query("a<=1")
+        assert tokens[1].value == "<="
+
+    def test_double_quoted_string(self):
+        assert values('"hello world"') == ["hello world"]
+
+    def test_single_quoted_string(self):
+        assert values("'hello'") == ["hello"]
+
+    def test_escaped_quote(self):
+        assert values(r'"a \" b"') == ['a " b']
+
+    def test_booleans(self):
+        assert values("true FALSE") == [True, False]
+
+    def test_keywords_case_insensitive(self):
+        assert types("AND and Or NOT order BY LIMIT asc DESC") == [
+            "AND", "AND", "OR", "NOT", "ORDER", "BY", "LIMIT", "ASC", "DESC", "EOF",
+        ]
+
+    def test_parens_and_star(self):
+        assert types("( * )") == ["LPAREN", "STAR", "RPAREN", "EOF"]
+
+    def test_positions(self):
+        tokens = tokenize_query("ab = 12")
+        assert [t.position for t in tokens] == [0, 3, 5, 7]
+
+    @pytest.mark.parametrize("bad", ["@", "#", "a & b", "£"])
+    def test_junk_raises(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            tokenize_query(bad)
+
+    def test_error_carries_position(self):
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            tokenize_query("abc @")
+        assert excinfo.value.position == 4

@@ -1,0 +1,118 @@
+"""Unit tests for the LIKE operator."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.query.ast_nodes import Like
+from repro.query.executor import QueryEngine
+from repro.query.parser import parse_query
+from repro.query.planner import FullScan, IndexRange, plan_query
+from repro.storage.store import IndexKind
+
+
+@pytest.fixture()
+def engine(memory_store):
+    rows = [
+        {"id": 1, "name": "McAteer", "year": 1978, "tags": ["coal mining"]},
+        {"id": 2, "name": "McBride", "year": 1988, "tags": []},
+        {"id": 3, "name": "Maxwell", "year": 1968, "tags": ["mining"]},
+        {"id": 4, "name": "Meadows", "year": 1983, "tags": []},
+        {"id": 5, "name": "macleod", "year": 1986, "tags": []},
+    ]
+    for row in rows:
+        memory_store.insert(row)
+    memory_store.create_index("name", IndexKind.BTREE)
+    return QueryEngine(memory_store)
+
+
+def ids(rows):
+    return sorted(r["id"] for r in rows)
+
+
+class TestParsing:
+    def test_like_parsed(self):
+        q = parse_query('name LIKE "Mc%"')
+        assert q.where == Like("name", "Mc%")
+
+    def test_like_requires_string(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("name LIKE 42")
+
+    def test_like_composes(self):
+        q = parse_query('name LIKE "Mc%" AND year >= 1980')
+        assert "LIKE" in str(q.where)
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize("pattern,value,matches", [
+        ("Mc%", "McAteer", True),
+        ("Mc%", "Maxwell", False),
+        ("%ing", "coal mining", True),
+        ("%ing", "mine", False),
+        ("%oa%", "coal", True),
+        ("McAteer", "McAteer", True),     # no wildcard = exact
+        ("McAteer", "McAteers", False),
+        ("%", "anything", True),
+        ("mc%", "McAteer", False),         # case-sensitive
+    ])
+    def test_patterns(self, pattern, value, matches):
+        assert Like("f", pattern).evaluate({"f": value}) is matches
+
+    def test_missing_field_false(self):
+        assert not Like("f", "%").evaluate({})
+
+    def test_non_string_false(self):
+        assert not Like("f", "%").evaluate({"f": 42})
+
+    def test_list_field_any_element(self):
+        assert Like("f", "coal%").evaluate({"f": ["tax", "coal mining"]})
+
+    def test_regex_specials_are_literal(self):
+        assert Like("f", "a.c%").evaluate({"f": "a.cd"})
+        assert not Like("f", "a.c%").evaluate({"f": "abcd"})
+
+    def test_prefix_property(self):
+        assert Like("f", "Mc%").prefix == "Mc"
+        assert Like("f", "%Mc").prefix is None
+        assert Like("f", "M%c%").prefix is None
+        assert Like("f", "exact").prefix is None
+
+
+class TestPlanning:
+    def test_prefix_like_becomes_range(self, engine):
+        plan = plan_query(parse_query('name LIKE "Mc%"'), engine.store)
+        assert isinstance(plan.access, IndexRange)
+        assert plan.access.low == "Mc"
+        assert plan.residual is not None  # pattern re-checked exactly
+
+    def test_non_prefix_like_scans(self, engine):
+        plan = plan_query(parse_query('name LIKE "%teer"'), engine.store)
+        assert isinstance(plan.access, FullScan)
+
+    def test_unindexed_field_scans(self, engine):
+        plan = plan_query(parse_query('tags LIKE "coal%"'), engine.store)
+        assert isinstance(plan.access, FullScan)
+
+    def test_bare_percent_scans(self, engine):
+        plan = plan_query(parse_query('name LIKE "%"'), engine.store)
+        assert isinstance(plan.access, FullScan)
+
+
+class TestExecution:
+    def test_prefix_results(self, engine):
+        assert ids(engine.execute('name LIKE "Mc%"')) == [1, 2]
+
+    def test_case_sensitivity_respected_via_range(self, engine):
+        # "macleod" must not surface from the Mc range.
+        rows = engine.execute('name LIKE "Mc%"')
+        assert all(r["name"].startswith("Mc") for r in rows)
+
+    def test_equivalence_with_scan(self, engine):
+        for query in ('name LIKE "Mc%"', 'name LIKE "%e%"', 'name LIKE "M%l"'):
+            assert ids(engine.execute(query)) == ids(
+                engine.execute_without_indexes(query)
+            )
+
+    def test_combined_with_range(self, engine):
+        rows = engine.execute('name LIKE "M%" AND year >= 1980')
+        assert ids(rows) == [2, 4]

@@ -1,0 +1,152 @@
+"""Unit tests for the IN operator and query-driven deletes."""
+
+import pytest
+
+from repro.errors import QueryPlanError, QuerySyntaxError
+from repro.query.ast_nodes import Membership
+from repro.query.executor import QueryEngine
+from repro.query.parser import parse_query
+from repro.query.planner import IndexMultiLookup, plan_query
+from repro.storage.store import IndexKind
+
+
+@pytest.fixture()
+def engine(memory_store):
+    rows = [
+        {"id": 1, "name": "smith", "year": 1980, "tags": ["coal"]},
+        {"id": 2, "name": "jones", "year": 1985, "tags": ["tax"]},
+        {"id": 3, "name": "li", "year": 1990, "tags": ["coal", "tort"]},
+        {"id": 4, "name": "garcia", "year": 1995, "tags": []},
+    ]
+    for row in rows:
+        memory_store.insert(row)
+    memory_store.create_index("name", IndexKind.HASH)
+    return QueryEngine(memory_store)
+
+
+def ids(rows):
+    return sorted(r["id"] for r in rows)
+
+
+class TestParsing:
+    def test_in_list_parsed(self):
+        q = parse_query('name IN ("a", "b", "c")')
+        assert q.where == Membership("name", ("a", "b", "c"))
+
+    def test_single_value_list(self):
+        q = parse_query("year IN (1980)")
+        assert q.where == Membership("year", (1980,))
+
+    def test_mixed_with_and(self):
+        q = parse_query('name IN ("a", "b") AND year >= 1980')
+        assert "IN" in str(q.where)
+
+    @pytest.mark.parametrize("bad", [
+        "name IN ()",
+        "name IN (1,)",
+        "name IN 1, 2",
+        "name IN (1 2)",
+        "IN (1)",
+    ])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(bad)
+
+
+class TestEvaluation:
+    def test_scalar_membership(self):
+        q = parse_query("year IN (1980, 1990)")
+        assert q.matches({"year": 1980})
+        assert q.matches({"year": 1990})
+        assert not q.matches({"year": 1985})
+        assert not q.matches({})
+
+    def test_list_field_membership(self):
+        q = parse_query('tags IN ("coal", "tax")')
+        assert q.matches({"tags": ["tort", "tax"]})
+        assert not q.matches({"tags": ["tort"]})
+
+    def test_negated(self):
+        q = parse_query("NOT year IN (1980)")
+        assert q.matches({"year": 1990})
+
+
+class TestPlanning:
+    def test_multi_lookup_chosen(self, engine):
+        plan = plan_query(parse_query('name IN ("smith", "li")'), engine.store)
+        assert plan.access == IndexMultiLookup(
+            field="name", values=("smith", "li"), kind="hash"
+        )
+        assert plan.residual is None
+
+    def test_single_equality_preferred_over_in(self, engine):
+        plan = plan_query(
+            parse_query('name = "smith" AND name IN ("smith", "li")'), engine.store
+        )
+        assert plan.access.__class__.__name__ == "IndexLookup"
+
+    def test_unindexed_in_scans(self, engine):
+        plan = plan_query(parse_query("year IN (1980, 1990)"), engine.store)
+        assert plan.access.__class__.__name__ == "FullScan"
+
+    def test_explain(self, engine):
+        assert engine.explain('name IN ("smith", "li")').startswith(
+            "INDEX MULTI-LOOKUP (hash)"
+        )
+
+
+class TestExecution:
+    def test_multi_probe_results(self, engine):
+        assert ids(engine.execute('name IN ("smith", "li")')) == [1, 3]
+
+    def test_no_duplicates_across_probes(self, engine):
+        rows = engine.execute('name IN ("smith", "smith")')
+        assert ids(rows) == [1]
+
+    def test_equivalence_with_scan(self, engine):
+        query = 'name IN ("smith", "li", "nobody") AND year >= 1985'
+        assert ids(engine.execute(query)) == ids(engine.execute_without_indexes(query))
+
+    def test_in_over_list_field(self, engine):
+        assert ids(engine.execute('tags IN ("coal")')) == [1, 3]
+
+
+class TestDelete:
+    def test_delete_matching(self, engine):
+        deleted = engine.delete("year >= 1990")
+        assert deleted == 2
+        assert ids(engine.execute("*")) == [1, 2]
+
+    def test_delete_none(self, engine):
+        assert engine.delete('name = "nobody"') == 0
+        assert len(engine.execute("*")) == 4
+
+    def test_delete_all(self, engine):
+        assert engine.delete("*") == 4
+        assert engine.execute("*") == []
+
+    def test_delete_rejects_presentation_clauses(self, engine):
+        with pytest.raises(QueryPlanError):
+            engine.delete("year >= 1980 LIMIT 1")
+        with pytest.raises(QueryPlanError):
+            engine.delete("* ORDER BY year")
+        with pytest.raises(QueryPlanError):
+            engine.delete("* GROUP BY name")
+
+    def test_delete_updates_indexes(self, engine):
+        engine.delete('name = "smith"')
+        assert engine.execute('name IN ("smith")') == []
+
+    def test_delete_is_atomic_in_wal(self, simple_schema, tmp_path):
+        from repro.storage.store import RecordStore
+        from repro.storage.wal import WriteAheadLog
+
+        with RecordStore(simple_schema, tmp_path / "db") as store:
+            for i in range(4):
+                store.insert({"id": i, "name": "x", "year": 1990 + i})
+            engine = QueryEngine(store)
+            assert engine.delete("year >= 1992") == 2
+        entries = WriteAheadLog.replay_path(tmp_path / "db" / "store.wal")
+        assert entries[-1].payload["op"] == "batch"
+        with RecordStore(simple_schema, tmp_path / "db") as store:
+            assert sorted(store.keys()) == [0, 1]

@@ -1,0 +1,113 @@
+"""Unit tests for cursor pagination."""
+
+import pytest
+
+from repro.errors import QueryPlanError
+from repro.query.executor import QueryEngine
+from repro.storage.store import IndexKind
+
+
+@pytest.fixture()
+def engine(memory_store):
+    for i in range(25):
+        memory_store.insert(
+            {"id": i, "name": f"n{i % 5}", "year": 1970 + (i % 7)}
+        )
+    memory_store.create_index("year", IndexKind.BTREE)
+    return QueryEngine(memory_store)
+
+
+def drain(engine, query, page_size):
+    pages = []
+    cursor = None
+    while True:
+        page = engine.execute_paged(query, page_size=page_size, cursor=cursor)
+        pages.append(page)
+        if not page.has_more:
+            return pages
+        cursor = page.next_cursor
+
+
+class TestPaging:
+    def test_pages_cover_everything_once(self, engine):
+        pages = drain(engine, "*", 7)
+        ids = [r["id"] for p in pages for r in p.rows]
+        assert sorted(ids) == list(range(25))
+        assert len(ids) == len(set(ids))
+
+    def test_page_sizes(self, engine):
+        pages = drain(engine, "*", 7)
+        assert [len(p.rows) for p in pages] == [7, 7, 7, 4]
+
+    def test_last_page_has_no_cursor(self, engine):
+        pages = drain(engine, "*", 7)
+        assert pages[-1].next_cursor is None
+        assert all(p.next_cursor for p in pages[:-1])
+
+    def test_default_order_is_primary_key(self, engine):
+        page = engine.execute_paged("*", page_size=5)
+        assert [r["id"] for r in page.rows] == [0, 1, 2, 3, 4]
+
+    def test_explicit_order_with_tiebreak(self, engine):
+        pages = drain(engine, "* ORDER BY year", 6)
+        rows = [r for p in pages for r in p.rows]
+        keys = [(r["year"], r["id"]) for r in rows]
+        assert keys == sorted(keys)
+
+    def test_descending_order(self, engine):
+        pages = drain(engine, "* ORDER BY year DESC", 6)
+        rows = [r for p in pages for r in p.rows]
+        years = [r["year"] for r in rows]
+        assert years == sorted(years, reverse=True)
+        assert sorted(r["id"] for r in rows) == list(range(25))
+
+    def test_filter_applies(self, engine):
+        pages = drain(engine, "year >= 1975", 4)
+        rows = [r for p in pages for r in p.rows]
+        assert all(r["year"] >= 1975 for r in rows)
+
+    def test_exact_multiple_of_page_size(self, engine):
+        pages = drain(engine, "*", 5)
+        assert [len(p.rows) for p in pages] == [5, 5, 5, 5, 5]
+        assert pages[-1].next_cursor is None
+
+    def test_no_skip_when_row_deleted_between_pages(self, engine):
+        first = engine.execute_paged("*", page_size=10)
+        engine.store.delete(first.rows[-1]["id"])  # delete the cursor row
+        second = engine.execute_paged("*", page_size=10, cursor=first.next_cursor)
+        assert [r["id"] for r in second.rows] == list(range(10, 20))
+
+    def test_insert_between_pages_does_not_duplicate(self, engine):
+        first = engine.execute_paged("*", page_size=10)
+        engine.store.insert({"id": 100, "name": "new", "year": 1999})
+        remaining = drain_ids = []
+        cursor = first.next_cursor
+        while cursor is not None:
+            page = engine.execute_paged("*", page_size=10, cursor=cursor)
+            drain_ids.extend(r["id"] for r in page.rows)
+            cursor = page.next_cursor
+        ids = [r["id"] for r in first.rows] + drain_ids
+        assert len(ids) == len(set(ids))
+        assert 100 in ids  # inserted beyond the cursor: seen exactly once
+
+
+class TestValidation:
+    def test_page_size_positive(self, engine):
+        with pytest.raises(QueryPlanError):
+            engine.execute_paged("*", page_size=0)
+
+    def test_limit_rejected(self, engine):
+        with pytest.raises(QueryPlanError):
+            engine.execute_paged("* LIMIT 5", page_size=5)
+
+    def test_group_by_rejected(self, engine):
+        with pytest.raises(QueryPlanError):
+            engine.execute_paged("* GROUP BY name", page_size=5)
+
+    def test_malformed_cursor(self, engine):
+        with pytest.raises(QueryPlanError):
+            engine.execute_paged("*", page_size=5, cursor="not-a-cursor")
+
+    def test_unknown_order_field(self, engine):
+        with pytest.raises(QueryPlanError):
+            engine.execute_paged("* ORDER BY bogus", page_size=5)

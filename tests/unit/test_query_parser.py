@@ -1,0 +1,148 @@
+"""Unit tests for repro.query.parser."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.query.ast_nodes import And, Comparison, Not, Operator, Or, conjuncts
+from repro.query.parser import parse_query
+
+
+class TestComparisons:
+    def test_equality(self):
+        q = parse_query('name = "x"')
+        assert q.where == Comparison("name", Operator.EQ, "x")
+
+    def test_match(self):
+        q = parse_query('tags:"coal"')
+        assert q.where == Comparison("tags", Operator.MATCH, "coal")
+
+    @pytest.mark.parametrize("op,operator", [
+        ("!=", Operator.NE), ("<", Operator.LT), ("<=", Operator.LE),
+        (">", Operator.GT), (">=", Operator.GE),
+    ])
+    def test_all_operators(self, op, operator):
+        q = parse_query(f"year {op} 1980")
+        assert q.where == Comparison("year", operator, 1980)
+
+    def test_bareword_value_is_string(self):
+        q = parse_query("name = smith")
+        assert q.where == Comparison("name", Operator.EQ, "smith")
+
+    def test_bool_value(self):
+        q = parse_query("student = true")
+        assert q.where == Comparison("student", Operator.EQ, True)
+
+    def test_float_value(self):
+        q = parse_query("score >= 0.5")
+        assert q.where == Comparison("score", Operator.GE, 0.5)
+
+
+class TestBooleanStructure:
+    def test_and_left_assoc(self):
+        q = parse_query("a = 1 AND b = 2 AND c = 3")
+        assert isinstance(q.where, And)
+        assert len(conjuncts(q.where)) == 3
+
+    def test_or_binds_looser_than_and(self):
+        q = parse_query("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(q.where, Or)
+        assert isinstance(q.where.right, And)
+
+    def test_parens_override(self):
+        q = parse_query("(a = 1 OR b = 2) AND c = 3")
+        assert isinstance(q.where, And)
+        assert isinstance(q.where.left, Or)
+
+    def test_not(self):
+        q = parse_query("NOT a = 1")
+        assert isinstance(q.where, Not)
+
+    def test_double_not(self):
+        q = parse_query("NOT NOT a = 1")
+        assert isinstance(q.where, Not)
+        assert isinstance(q.where.operand, Not)
+
+    def test_star_selects_all(self):
+        assert parse_query("*").where is None
+
+
+class TestClauses:
+    def test_order_by(self):
+        q = parse_query("* ORDER BY year")
+        assert q.order_by == "year"
+        assert q.descending is False
+
+    def test_order_by_desc(self):
+        q = parse_query("* ORDER BY year DESC")
+        assert q.descending is True
+
+    def test_order_by_asc_explicit(self):
+        q = parse_query("* ORDER BY year ASC")
+        assert q.descending is False
+
+    def test_limit(self):
+        assert parse_query("* LIMIT 10").limit == 10
+
+    def test_limit_zero(self):
+        assert parse_query("* LIMIT 0").limit == 0
+
+    def test_order_and_limit(self):
+        q = parse_query('a = 1 ORDER BY b DESC LIMIT 3')
+        assert (q.order_by, q.descending, q.limit) == ("b", True, 3)
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("* LIMIT -1")
+
+    def test_float_limit_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("* LIMIT 1.5")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "", "AND", "a =", "= 1", "a = 1 AND", "(a = 1", "a = 1)",
+        "a = 1 extra", "ORDER BY x", "* ORDER x", "a == 1",
+        "* LIMIT", "NOT", "a : ", "a 1",
+    ])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(bad)
+
+
+class TestEvaluate:
+    def test_comparison_semantics(self):
+        q = parse_query("year >= 1980")
+        assert q.matches({"year": 1985})
+        assert not q.matches({"year": 1975})
+        assert not q.matches({})  # missing field never matches
+
+    def test_match_on_list(self):
+        q = parse_query('tags:"coal"')
+        assert q.matches({"tags": ["coal", "tax"]})
+        assert not q.matches({"tags": ["tax"]})
+
+    def test_eq_on_list_means_membership(self):
+        q = parse_query('tags = "coal"')
+        assert q.matches({"tags": ["coal"]})
+
+    def test_ne_on_list(self):
+        q = parse_query('tags != "coal"')
+        assert q.matches({"tags": ["tax"]})
+        assert not q.matches({"tags": ["coal"]})
+
+    def test_ordered_comparison_on_list_false(self):
+        q = parse_query("tags > 1")
+        assert not q.matches({"tags": ["a"]})
+
+    def test_type_mismatch_is_false_not_error(self):
+        q = parse_query("year > 1980")
+        assert not q.matches({"year": "nineteen"})
+
+    def test_not_and_or(self):
+        q = parse_query("NOT (a = 1 OR b = 2)")
+        assert q.matches({"a": 0, "b": 0})
+        assert not q.matches({"a": 1, "b": 0})
+
+    def test_select_all_matches_everything(self):
+        assert parse_query("*").matches({})

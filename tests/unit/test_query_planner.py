@@ -1,0 +1,122 @@
+"""Unit tests for repro.query.planner."""
+
+import pytest
+
+from repro.query.parser import parse_query
+from repro.query.planner import FullScan, IndexLookup, IndexRange, plan_query
+from repro.storage.store import IndexKind
+
+
+@pytest.fixture()
+def store(memory_store):
+    memory_store.create_index("name", IndexKind.HASH)
+    memory_store.create_index("year", IndexKind.BTREE)
+    return memory_store
+
+
+def plan(store, text: str):
+    return plan_query(parse_query(text), store)
+
+
+class TestAccessPathChoice:
+    def test_equality_on_hash_index(self, store):
+        p = plan(store, 'name = "a"')
+        assert p.access == IndexLookup(field="name", value="a", kind="hash")
+        assert p.residual is None
+
+    def test_match_uses_index(self, store):
+        p = plan(store, 'name:"a"')
+        assert isinstance(p.access, IndexLookup)
+
+    def test_equality_on_btree_index(self, store):
+        p = plan(store, "year = 1980")
+        assert p.access == IndexLookup(field="year", value=1980, kind="btree")
+
+    def test_hash_preferred_over_btree_equality(self, store):
+        p = plan(store, 'year = 1980 AND name = "a"')
+        assert isinstance(p.access, IndexLookup)
+        assert p.access.kind == "hash"
+        assert p.residual is not None  # the year conjunct remains
+
+    def test_unindexed_equality_scans(self, store):
+        p = plan(store, "active = true")
+        assert isinstance(p.access, FullScan)
+        assert p.residual is not None
+
+    def test_range_on_btree(self, store):
+        p = plan(store, "year >= 1980")
+        assert p.access == IndexRange(field="year", low=1980, include_low=True)
+        assert p.residual is None
+
+    def test_merged_range(self, store):
+        p = plan(store, "year >= 1980 AND year < 1990")
+        assert p.access == IndexRange(
+            field="year", low=1980, high=1990, include_low=True, include_high=False
+        )
+        assert p.residual is None
+
+    def test_tightest_bounds_win(self, store):
+        p = plan(store, "year >= 1980 AND year > 1982 AND year <= 1990 AND year <= 1988")
+        assert p.access == IndexRange(
+            field="year", low=1982, high=1988, include_low=False, include_high=True
+        )
+
+    def test_equal_bound_exclusive_wins(self, store):
+        p = plan(store, "year >= 1980 AND year > 1980")
+        assert p.access.include_low is False
+        assert p.access.low == 1980
+
+    def test_equality_preferred_over_range(self, store):
+        p = plan(store, 'name = "a" AND year >= 1980')
+        assert isinstance(p.access, IndexLookup)
+
+    def test_or_query_scans(self, store):
+        p = plan(store, 'name = "a" OR year = 1980')
+        assert isinstance(p.access, FullScan)
+        assert p.residual is not None
+
+    def test_not_query_scans(self, store):
+        p = plan(store, 'NOT name = "a"')
+        assert isinstance(p.access, FullScan)
+
+    def test_select_all_scans(self, store):
+        p = plan(store, "*")
+        assert isinstance(p.access, FullScan)
+        assert p.residual is None
+
+    def test_ne_never_uses_index(self, store):
+        p = plan(store, 'name != "a"')
+        assert isinstance(p.access, FullScan)
+
+    def test_range_on_unindexed_field_scans(self, store):
+        p = plan(store, "score >= 0.5")
+        assert isinstance(p.access, FullScan)
+
+    def test_residual_keeps_unserved_conjuncts(self, store):
+        p = plan(store, 'name = "a" AND active = true AND score >= 0.1')
+        assert isinstance(p.access, IndexLookup)
+        residual_text = str(p.residual)
+        assert "active" in residual_text and "score" in residual_text
+        assert "name" not in residual_text
+
+    def test_clauses_carried(self, store):
+        p = plan(store, "year >= 1980 ORDER BY name DESC LIMIT 5")
+        assert (p.order_by, p.descending, p.limit) == ("name", True, 5)
+
+
+class TestExplain:
+    def test_explain_lookup(self, store):
+        text = plan(store, 'name = "a"').explain()
+        assert "INDEX LOOKUP (hash)" in text
+
+    def test_explain_range(self, store):
+        text = plan(store, "year > 1980 AND year <= 1990").explain()
+        assert "INDEX RANGE (btree)" in text
+        assert "(1980" in text and "1990]" in text
+
+    def test_explain_scan_with_filter(self, store):
+        text = plan(store, "active = true ORDER BY year LIMIT 2").explain()
+        assert text.splitlines()[0] == "FULL SCAN"
+        assert "FILTER" in text
+        assert "ORDER BY year ASC" in text
+        assert "LIMIT 2" in text

@@ -1,0 +1,90 @@
+"""Unit tests for the OR→IN planner rewrite."""
+
+import pytest
+
+from repro.query.ast_nodes import Membership
+from repro.query.executor import QueryEngine
+from repro.query.parser import parse_query
+from repro.query.planner import (
+    FullScan,
+    IndexMultiLookup,
+    _rewrite_or_of_equalities,
+    plan_query,
+)
+from repro.storage.store import IndexKind
+
+
+@pytest.fixture()
+def engine(memory_store):
+    for i, name in enumerate(["a", "b", "c", "a", "b"]):
+        memory_store.insert({"id": i, "name": name, "year": 1980 + i})
+    memory_store.create_index("name", IndexKind.HASH)
+    return QueryEngine(memory_store)
+
+
+class TestRewrite:
+    def test_two_way_or(self):
+        expr = parse_query('name = "a" OR name = "b"').where
+        rewritten = _rewrite_or_of_equalities(expr)
+        assert isinstance(rewritten, Membership)
+        assert set(rewritten.values) == {"a", "b"}
+
+    def test_nested_or_chain(self):
+        expr = parse_query('name = "a" OR name = "b" OR name = "c"').where
+        rewritten = _rewrite_or_of_equalities(expr)
+        assert isinstance(rewritten, Membership)
+        assert len(rewritten.values) == 3
+
+    def test_or_with_in_merges(self):
+        expr = parse_query('name = "a" OR name IN ("b", "c")').where
+        rewritten = _rewrite_or_of_equalities(expr)
+        assert isinstance(rewritten, Membership)
+        assert set(rewritten.values) == {"a", "b", "c"}
+
+    def test_duplicates_collapsed(self):
+        expr = parse_query('name = "a" OR name = "a"').where
+        rewritten = _rewrite_or_of_equalities(expr)
+        assert rewritten.values == ("a",)
+
+    def test_mixed_fields_untouched(self):
+        expr = parse_query('name = "a" OR year = 1980').where
+        assert _rewrite_or_of_equalities(expr) is expr
+
+    def test_non_equality_untouched(self):
+        expr = parse_query('name = "a" OR year >= 1980').where
+        assert _rewrite_or_of_equalities(expr) is expr
+
+    def test_nested_and_untouched(self):
+        expr = parse_query('name = "a" OR (name = "b" AND year = 1)').where
+        assert _rewrite_or_of_equalities(expr) is expr
+
+
+class TestPlanning:
+    def test_or_plans_as_multi_lookup(self, engine):
+        plan = plan_query(parse_query('name = "a" OR name = "b"'), engine.store)
+        assert isinstance(plan.access, IndexMultiLookup)
+        assert plan.residual is None
+
+    def test_or_on_unindexed_field_scans(self, engine):
+        plan = plan_query(parse_query("year = 1980 OR year = 1981"), engine.store)
+        assert isinstance(plan.access, FullScan)
+
+    def test_conjunct_level_rewrite(self, engine):
+        plan = plan_query(
+            parse_query('(name = "a" OR name = "b") AND year >= 1982'), engine.store
+        )
+        assert isinstance(plan.access, IndexMultiLookup)
+        assert "year" in str(plan.residual)
+
+
+class TestExecution:
+    def test_results_match_scan(self, engine):
+        for query in (
+            'name = "a" OR name = "b"',
+            'name = "a" OR name = "a"',
+            '(name = "a" OR name = "c") AND year >= 1981',
+            'NOT (name = "a" OR name = "b")',
+        ):
+            planned = sorted(r["id"] for r in engine.execute(query))
+            scanned = sorted(r["id"] for r in engine.execute_without_indexes(query))
+            assert planned == scanned, query

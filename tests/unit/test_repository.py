@@ -1,0 +1,129 @@
+"""Unit tests for the PublicationRepository facade."""
+
+import pytest
+
+from repro.core.entry import PublicationRecord
+from repro.errors import DuplicateKeyError, RecordNotFoundError
+from repro.repository import PublicationRepository
+
+
+@pytest.fixture()
+def repo(sample_records):
+    repository = PublicationRepository()
+    repository.add_all(sample_records)
+    return repository
+
+
+class TestCrud:
+    def test_add_get_roundtrip(self, repo, sample_records):
+        record = repo.get(1)
+        assert isinstance(record, PublicationRecord)
+        assert record.title == sample_records[0].title
+
+    def test_len_and_contains(self, repo, sample_records):
+        assert len(repo) == len(sample_records)
+        assert 1 in repo
+        assert 999 not in repo
+
+    def test_add_duplicate_rejected(self, repo, sample_records):
+        with pytest.raises(DuplicateKeyError):
+            repo.add(sample_records[0])
+
+    def test_remove(self, repo):
+        repo.remove(1)
+        assert 1 not in repo
+        with pytest.raises(RecordNotFoundError):
+            repo.get(1)
+
+    def test_replace(self, repo):
+        updated = PublicationRecord.create(
+            1, "Replaced Title", ["Fox, Fred L., II*"], "69:293 (1967)"
+        )
+        repo.replace(updated)
+        assert repo.get(1).title == "Replaced Title"
+
+    def test_all_yields_records(self, repo, sample_records):
+        assert sum(1 for _ in repo.all()) == len(sample_records)
+
+    def test_add_all_atomic(self, sample_records):
+        repo = PublicationRepository()
+        repo.add(sample_records[0])
+        with pytest.raises(DuplicateKeyError):
+            repo.add_all(sample_records)  # record 1 collides mid-batch
+        assert len(repo) == 1  # nothing from the failed batch landed
+
+
+class TestTypedLookups:
+    def test_by_surname(self, repo):
+        records = repo.by_surname("McAteer")
+        assert len(records) == 1
+        assert records[0].title == "A Miner's Bill of Rights"
+
+    def test_by_volume_in_page_order(self, repo):
+        records = repo.by_volume(69)
+        assert [r.citation.page for r in records] == [293]
+
+    def test_between_years(self, repo):
+        records = repo.between_years(1978, 1983)
+        assert {r.citation.year for r in records} <= set(range(1978, 1984))
+        assert len(records) == 3
+
+    def test_search_language(self, repo):
+        records = repo.search('student = true ORDER BY year')
+        assert all(r.is_student_work for r in records)
+
+    def test_count(self, repo, sample_records):
+        assert repo.count() == len(sample_records)
+        assert repo.count("volume = 69") == 1
+
+    def test_lookups_use_indexes(self, repo):
+        assert repo.engine.explain('surnames:"McAteer"').startswith("INDEX LOOKUP")
+        assert repo.engine.explain("volume = 80 AND page = 397").startswith(
+            "COMPOSITE LOOKUP"
+        )
+
+
+class TestIndexProducts:
+    def test_author_index(self, repo, sample_records):
+        index = repo.author_index()
+        assert len(index) == 8  # 6 records, one with 3 authors
+        assert index.groups()[0].heading == "Brotherton, Hon. W.T., Jr."
+
+    def test_title_index(self, repo, sample_records):
+        title_index = repo.title_index()
+        assert len(title_index) == len(sample_records)
+
+    def test_subject_index(self, repo):
+        kwic = repo.subject_index(min_group_size=1)
+        assert kwic.group("habeas") is not None
+
+    def test_table_of_contents(self, repo):
+        toc = repo.table_of_contents()
+        assert toc.volume(80).article_count == 1
+
+    def test_resolution_option(self):
+        repo = PublicationRepository()
+        repo.add_all([
+            PublicationRecord.create(1, "A", ["Herdon, Judith"], "69:302 (1967)"),
+            PublicationRecord.create(2, "B", ["Hemdon, Judith"], "69:239 (1967)"),
+        ])
+        assert len(repo.author_index().groups()) == 2
+        assert len(repo.author_index(resolve_variants=True).groups()) == 1
+
+
+class TestDurability:
+    def test_durable_roundtrip(self, tmp_path, sample_records):
+        with PublicationRepository(tmp_path / "db") as repo:
+            repo.add_all(sample_records)
+            repo.snapshot()
+        with PublicationRepository(tmp_path / "db") as reopened:
+            assert len(reopened) == len(sample_records)
+            assert reopened.by_surname("McAteer")
+
+    def test_reference_corpus_workload(self, reference_records):
+        repo = PublicationRepository()
+        assert repo.add_all(reference_records) == 271
+        assert len(repo.by_surname("Cardi")) == 4
+        assert repo.count("year >= 1990") > 30
+        assert len(repo.author_index()) == 343
+        assert repo.by_volume(95)[0].citation.page == 1

@@ -1,0 +1,182 @@
+"""Unit tests for the full-text search subsystem."""
+
+import pytest
+
+from repro.core.entry import PublicationRecord
+from repro.search.engine import TitleSearchEngine, _parse_query
+from repro.search.inverted import InvertedIndex, analyze
+
+
+def rec(i, title, citation="90:1 (1987)"):
+    return PublicationRecord.create(i, title, ["A, B."], citation)
+
+
+class TestAnalyze:
+    def test_stopwords_hold_positions(self):
+        assert analyze("The Law of Coal") == [("law", 1), ("coal", 3)]
+
+    def test_folding(self):
+        assert analyze("COAL Mining") == [("coal", 0), ("mining", 1)]
+
+    def test_punctuation_stripped(self):
+        assert analyze('"Takes" Private!') == [("takes", 0), ("private", 1)]
+
+    def test_empty(self):
+        assert analyze("") == []
+
+    def test_all_stopwords(self):
+        assert analyze("the of and") == []
+
+
+class TestInvertedIndex:
+    @pytest.fixture()
+    def index(self):
+        idx = InvertedIndex()
+        idx.add(1, "The Law of Coal")
+        idx.add(2, "Coal Mining Law")
+        idx.add(3, "Water Rights in Appalachia")
+        return idx
+
+    def test_search_or(self, index):
+        assert index.search_or(["coal", "water"]) == {1, 2, 3}
+
+    def test_search_and(self, index):
+        assert index.search_and(["coal", "law"]) == {1, 2}
+        assert index.search_and(["coal", "water"]) == set()
+
+    def test_search_and_missing_term(self, index):
+        assert index.search_and(["coal", "uranium"]) == set()
+
+    def test_case_insensitive_queries(self, index):
+        assert index.search_and(["COAL"]) == {1, 2}
+
+    def test_phrase_adjacent(self, index):
+        assert index.search_phrase(["coal", "mining"]) == [2]
+
+    def test_phrase_spanning_stopword(self, index):
+        # "Law of Coal": law@1, coal@3 — one stopword between.
+        assert index.search_phrase(["law", "coal"]) == [1]
+
+    def test_phrase_wrong_order(self, index):
+        assert index.search_phrase(["mining", "coal"]) == []
+
+    def test_phrase_too_far_apart(self):
+        idx = InvertedIndex()
+        idx.add(1, "coal one two three four five mining")
+        assert idx.search_phrase(["coal", "mining"]) == []
+
+    def test_frequencies(self, index):
+        assert index.document_frequency("coal") == 2
+        assert index.document_frequency("uranium") == 0
+        assert index.term_frequency("coal", 1) == 1
+
+    def test_repeated_term_frequency(self):
+        idx = InvertedIndex()
+        idx.add(1, "coal coal coal")
+        assert idx.term_frequency("coal", 1) == 3
+
+    def test_remove(self, index):
+        assert index.remove(2) is True
+        assert index.search_and(["mining"]) == set()
+        assert index.document_count == 2
+        assert index.remove(2) is False
+
+    def test_readd_replaces(self, index):
+        index.add(1, "Entirely New Topic")
+        assert 1 not in index.search_or(["coal"])
+        assert index.search_and(["topic"]) == {1}
+
+    def test_vocabulary(self, index):
+        assert "coal" in index.vocabulary()
+        assert index.vocabulary() == sorted(index.vocabulary())
+
+    def test_document_length(self, index):
+        assert index.document_length(1) == 2  # law, coal
+        assert index.document_length(99) == 0
+
+
+class TestQueryParsing:
+    def test_terms_and_phrases_split(self):
+        terms, phrases = _parse_query('water "black lung" benefits')
+        assert terms == ["water", "benefits"]
+        assert phrases == [["black", "lung"]]
+
+    def test_empty_phrase_ignored(self):
+        terms, phrases = _parse_query('coal ""')
+        assert terms == ["coal"]
+        assert phrases == []
+
+    def test_stopword_only_query(self):
+        assert _parse_query("the of") == ([], [])
+
+
+class TestEngine:
+    @pytest.fixture()
+    def engine(self):
+        return TitleSearchEngine([
+            rec(1, "The Law of Coal"),
+            rec(2, "Coal Mining Law and More Coal"),
+            rec(3, "Black Lung Benefits Reform"),
+            rec(4, "A Very Long Title About Coal Among Many Many Other Topics Entirely"),
+        ])
+
+    def test_and_semantics(self, engine):
+        assert {h.record_id for h in engine.search("coal law")} == {1, 2}
+
+    def test_phrase_filters(self, engine):
+        assert [h.record_id for h in engine.search('"coal mining"')] == [2]
+
+    def test_ranking_prefers_higher_tf(self, engine):
+        hits = engine.search("coal")
+        assert hits[0].record_id == 2  # two "coal" occurrences
+
+    def test_length_normalization(self, engine):
+        hits = engine.search("coal")
+        ids = [h.record_id for h in hits]
+        assert ids.index(1) < ids.index(4)  # short title beats long one
+
+    def test_rare_term_scores_higher(self, engine):
+        lung = engine.search("lung")[0].score
+        coal = max(h.score for h in engine.search("coal"))
+        assert lung > 0 and coal > 0
+
+    def test_k_limits(self, engine):
+        assert len(engine.search("coal", k=1)) == 1
+
+    def test_empty_query(self, engine):
+        assert engine.search("") == []
+        assert engine.search("the of") == []
+
+    def test_no_hits(self, engine):
+        assert engine.search("uranium") == []
+
+
+class TestRepositoryIntegration:
+    def test_search_titles(self, reference_records):
+        from repro.repository import PublicationRepository
+
+        repo = PublicationRepository()
+        repo.add_all(reference_records)
+        hits = repo.search_titles('"black lung"', k=5)
+        assert hits
+        assert all("Lung" in h.title for h in hits)
+
+    def test_cache_invalidated_on_write(self, reference_records):
+        from repro.repository import PublicationRepository
+
+        repo = PublicationRepository()
+        repo.add_all(reference_records[:10])
+        assert repo.search_titles("zymurgy") == []
+        repo.add(rec(999, "Advanced Zymurgy Law", "95:1400 (1993)"))
+        hits = repo.search_titles("zymurgy")
+        assert [h.record_id for h in hits] == [999]
+
+    def test_cache_reused_when_clean(self, reference_records):
+        from repro.repository import PublicationRepository
+
+        repo = PublicationRepository()
+        repo.add_all(reference_records[:10])
+        repo.search_titles("coal")
+        engine_one = repo._search_cache[1]
+        repo.search_titles("water")
+        assert repo._search_cache[1] is engine_one

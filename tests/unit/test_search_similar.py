@@ -1,0 +1,116 @@
+"""Unit tests for related-article recommendations."""
+
+import pytest
+
+from repro.core.entry import PublicationRecord
+from repro.errors import RecordNotFoundError
+from repro.search.similar import RelatedArticles
+
+
+def rec(i, title, citation="90:1 (1987)"):
+    return PublicationRecord.create(i, title, ["A, B."], citation)
+
+
+@pytest.fixture()
+def related():
+    return RelatedArticles([
+        rec(1, "Black Lung Benefits Reform"),
+        rec(2, "The Federal Black Lung Program"),
+        rec(3, "Black Lung Litigation Guide"),
+        rec(4, "Zoning Ordinance Use Restrictions"),
+        rec(5, "Zoning and Land Use Planning"),
+    ])
+
+
+class TestSimilarity:
+    def test_self_similarity_is_one(self, related):
+        assert related.similarity(1, 1) == pytest.approx(1.0)
+
+    def test_symmetry(self, related):
+        assert related.similarity(1, 2) == pytest.approx(related.similarity(2, 1))
+
+    def test_range(self, related):
+        for a in range(1, 6):
+            for b in range(1, 6):
+                assert 0.0 <= related.similarity(a, b) <= 1.0 + 1e-9
+
+    def test_disjoint_vocabulary_zero(self, related):
+        assert related.similarity(1, 4) == 0.0
+
+    def test_same_topic_scores_higher(self, related):
+        assert related.similarity(1, 2) > related.similarity(1, 5)
+
+    def test_unknown_record(self, related):
+        with pytest.raises(RecordNotFoundError):
+            related.similarity(1, 999)
+
+
+class TestRelatedTo:
+    def test_excludes_self(self, related):
+        assert all(h.record_id != 1 for h in related.related_to(1))
+
+    def test_excludes_zero_similarity(self, related):
+        ids = {h.record_id for h in related.related_to(1, k=10)}
+        assert 4 not in ids and 5 not in ids
+
+    def test_sorted_descending(self, related):
+        hits = related.related_to(1, k=10)
+        scores = [h.similarity for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_limits(self, related):
+        assert len(related.related_to(1, k=1)) == 1
+
+    def test_topical_cluster(self, related):
+        ids = [h.record_id for h in related.related_to(5, k=2)]
+        assert ids == [4]  # the other zoning piece, nothing else
+
+    def test_reference_corpus_black_lung_cluster(self, reference_records):
+        rel = RelatedArticles(reference_records)
+        anchor = next(
+            r for r in reference_records
+            if r.title == "The Federal Black Lung Program: A 1983 Primer"
+        )
+        top = rel.related_to(anchor.record_id, k=3)
+        assert all("Lung" in h.title for h in top)
+
+
+class TestReport:
+    def test_report_sections(self, reference_records):
+        from repro.report import corpus_report
+
+        report = corpus_report(reference_records, title="WVLR 95 report")
+        assert report.startswith("# WVLR 95 report")
+        for section in ("## Overview", "## Volumes", "## Authors",
+                        "## Topics", "## Editorial issues"):
+            assert section in report
+        assert "records: **271**" in report
+        assert "suspect-duplicate-heading" in report
+
+    def test_report_deterministic(self, reference_records):
+        from repro.report import corpus_report
+
+        assert corpus_report(reference_records) == corpus_report(reference_records)
+
+    def test_report_empty_corpus(self):
+        from repro.report import corpus_report
+
+        report = corpus_report([])
+        assert "records: **0**" in report
+        assert "No issues found." in report
+
+    def test_report_stopwords(self, reference_records):
+        from repro.report import corpus_report
+
+        with_west = corpus_report(reference_records)
+        without = corpus_report(reference_records, keyword_stopwords={"west", "virginia"})
+        assert "**west**" in with_west
+        assert "**west**" not in without
+
+    def test_cli_report(self, capsys, tmp_path):
+        from repro.cli import main
+
+        target = tmp_path / "report.md"
+        code = main(["report", "--output", str(target), "--title", "T"])
+        assert code == 0
+        assert target.read_text().startswith("# T")

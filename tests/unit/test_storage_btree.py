@@ -1,0 +1,200 @@
+"""Unit tests for repro.storage.btree."""
+
+import random
+
+import pytest
+
+from repro.storage.btree import BTree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = BTree()
+        assert len(tree) == 0
+        assert tree.search(1) == []
+        assert 1 not in tree
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            BTree(order=2)
+
+    def test_insert_search(self):
+        tree = BTree(order=4)
+        tree.insert(5, "a")
+        assert tree.search(5) == ["a"]
+        assert 5 in tree
+
+    def test_duplicate_key_values(self):
+        tree = BTree(order=4)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.search(1) == ["a", "b"]
+        assert len(tree) == 2
+        assert tree.distinct_keys == 1
+
+    def test_min_max(self):
+        tree = BTree(order=4)
+        for k in [5, 2, 8, 1, 9]:
+            tree.insert(k, k)
+        assert tree.min_key() == 1
+        assert tree.max_key() == 9
+
+    def test_min_max_empty_raise(self):
+        with pytest.raises(KeyError):
+            BTree().min_key()
+        with pytest.raises(KeyError):
+            BTree().max_key()
+
+    def test_items_sorted(self):
+        tree = BTree(order=4)
+        keys = list(range(100))
+        random.Random(1).shuffle(keys)
+        for k in keys:
+            tree.insert(k, f"v{k}")
+        assert [k for k, _ in tree.items()] == list(range(100))
+
+    def test_keys_distinct_sorted(self):
+        tree = BTree(order=4)
+        for k in [3, 1, 3, 2, 1]:
+            tree.insert(k, k)
+        assert list(tree.keys()) == [1, 2, 3]
+
+    def test_height_grows(self):
+        tree = BTree(order=4)
+        assert tree.height == 1
+        for k in range(100):
+            tree.insert(k, k)
+        assert tree.height > 1
+        tree.validate()
+
+
+class TestRange:
+    @pytest.fixture()
+    def tree(self) -> BTree:
+        t = BTree(order=4)
+        for k in range(0, 100, 2):  # evens 0..98
+            t.insert(k, f"v{k}")
+        return t
+
+    def test_inclusive_range(self, tree):
+        assert [k for k, _ in tree.range(10, 20)] == [10, 12, 14, 16, 18, 20]
+
+    def test_exclusive_bounds(self, tree):
+        got = [k for k, _ in tree.range(10, 20, include_low=False, include_high=False)]
+        assert got == [12, 14, 16, 18]
+
+    def test_open_low(self, tree):
+        assert [k for k, _ in tree.range(None, 6)] == [0, 2, 4, 6]
+
+    def test_open_high(self, tree):
+        assert [k for k, _ in tree.range(94, None)] == [94, 96, 98]
+
+    def test_full_range(self, tree):
+        assert len(list(tree.range())) == 50
+
+    def test_bounds_between_keys(self, tree):
+        assert [k for k, _ in tree.range(11, 15)] == [12, 14]
+
+    def test_empty_range(self, tree):
+        assert list(tree.range(11, 11)) == []
+
+    def test_single_key_range(self, tree):
+        assert [k for k, _ in tree.range(10, 10)] == [10]
+
+    def test_inverted_range(self, tree):
+        assert list(tree.range(20, 10)) == []
+
+    def test_duplicates_in_range(self):
+        tree = BTree(order=4)
+        tree.insert(5, "a")
+        tree.insert(5, "b")
+        tree.insert(6, "c")
+        assert [(k, v) for k, v in tree.range(5, 6)] == [(5, "a"), (5, "b"), (6, "c")]
+
+
+class TestRemove:
+    def test_remove_missing(self):
+        tree = BTree(order=4)
+        assert tree.remove(1) is False
+
+    def test_remove_one_value(self):
+        tree = BTree(order=4)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.remove(1, "a") is True
+        assert tree.search(1) == ["b"]
+        assert len(tree) == 1
+
+    def test_remove_missing_value(self):
+        tree = BTree(order=4)
+        tree.insert(1, "a")
+        assert tree.remove(1, "zzz") is False
+        assert len(tree) == 1
+
+    def test_remove_last_value_removes_key(self):
+        tree = BTree(order=4)
+        tree.insert(1, "a")
+        assert tree.remove(1, "a") is True
+        assert 1 not in tree
+        assert tree.distinct_keys == 0
+
+    def test_remove_whole_key(self):
+        tree = BTree(order=4)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.remove(1) is True
+        assert len(tree) == 0
+
+    def test_remove_all_descending(self):
+        tree = BTree(order=4)
+        for k in range(64):
+            tree.insert(k, k)
+        for k in reversed(range(64)):
+            assert tree.remove(k) is True
+            tree.validate()
+        assert len(tree) == 0
+        assert tree.height == 1
+
+    def test_remove_all_ascending(self):
+        tree = BTree(order=5)
+        for k in range(64):
+            tree.insert(k, k)
+        for k in range(64):
+            assert tree.remove(k)
+        tree.validate()
+        assert list(tree.items()) == []
+
+    @pytest.mark.parametrize("order", [3, 4, 5, 8, 32])
+    def test_mixed_workload_validates(self, order):
+        rng = random.Random(order)
+        tree = BTree(order=order)
+        reference: dict[int, list[int]] = {}
+        for _ in range(800):
+            key = rng.randrange(80)
+            if rng.random() < 0.6:
+                value = rng.randrange(1000)
+                tree.insert(key, value)
+                reference.setdefault(key, []).append(value)
+            elif reference:
+                key = rng.choice(list(reference))
+                tree.remove(key)
+                del reference[key]
+        tree.validate()
+        assert list(tree.keys()) == sorted(reference)
+        for key, values in reference.items():
+            assert sorted(tree.search(key)) == sorted(values)
+
+
+class TestNonIntegerKeys:
+    def test_string_keys(self):
+        tree = BTree(order=4)
+        for name in ["mcateer", "maxwell", "meadows", "abdalla"]:
+            tree.insert(name, name)
+        assert list(tree.keys()) == ["abdalla", "maxwell", "mcateer", "meadows"]
+
+    def test_tuple_keys(self):
+        tree = BTree(order=4)
+        tree.insert((95, 691), "a")
+        tree.insert((95, 1), "b")
+        tree.insert((69, 293), "c")
+        assert [k for k, _ in tree.items()] == [(69, 293), (95, 1), (95, 691)]

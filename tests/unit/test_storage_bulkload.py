@@ -1,0 +1,90 @@
+"""Unit tests for BTree.from_sorted bulk loading."""
+
+import pytest
+
+from repro.storage.btree import BTree
+
+
+class TestFromSorted:
+    def test_empty(self):
+        tree = BTree.from_sorted([], order=4)
+        tree.validate()
+        assert len(tree) == 0
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 8, 15, 16, 17, 100, 1000])
+    @pytest.mark.parametrize("order", [3, 4, 8, 32])
+    def test_sizes_and_orders(self, n, order):
+        pairs = [(k, [f"v{k}"]) for k in range(n)]
+        tree = BTree.from_sorted(pairs, order=order)
+        tree.validate()
+        assert list(tree.keys()) == list(range(n))
+        assert len(tree) == n
+
+    def test_multi_values_preserved(self):
+        tree = BTree.from_sorted([(1, ["a", "b"]), (2, ["c"])], order=4)
+        assert tree.search(1) == ["a", "b"]
+        assert len(tree) == 3
+
+    def test_non_increasing_keys_rejected(self):
+        with pytest.raises(ValueError):
+            BTree.from_sorted([(2, [1]), (1, [1])], order=4)
+        with pytest.raises(ValueError):
+            BTree.from_sorted([(1, [1]), (1, [2])], order=4)
+
+    def test_equivalent_to_inserts(self):
+        pairs = [(k, [k * 10, k * 10 + 1]) for k in range(200)]
+        bulk = BTree.from_sorted(pairs, order=5)
+        manual = BTree(order=5)
+        for key, values in pairs:
+            for value in values:
+                manual.insert(key, value)
+        assert list(bulk.items()) == list(manual.items())
+
+    def test_mutable_after_bulk_load(self):
+        tree = BTree.from_sorted([(k, [k]) for k in range(50)], order=4)
+        tree.insert(25, 999)
+        assert tree.search(25) == [25, 999]
+        assert tree.remove(10)
+        tree.validate()
+
+    def test_values_copied_not_aliased(self):
+        source = [(1, ["a"])]
+        tree = BTree.from_sorted(source, order=4)
+        source[0][1].append("mutated")
+        assert tree.search(1) == ["a"]
+
+    def test_string_keys(self):
+        names = sorted(["abel", "brown", "cole", "mcateer", "zed"])
+        tree = BTree.from_sorted([(n, [n]) for n in names], order=3)
+        tree.validate()
+        assert [k for k, _ in tree.range("b", "n")] == ["brown", "cole", "mcateer"]
+
+    def test_height_near_optimal(self):
+        bulk = BTree.from_sorted([(k, [k]) for k in range(10_000)], order=32)
+        assert bulk.height <= 3
+        bulk.validate()
+
+
+class TestStoreUsesBulkLoad:
+    def test_index_over_existing_data_correct(self, memory_store):
+        for i in range(500):
+            memory_store.insert({"id": i, "name": f"n{i % 7}", "year": 1900 + i % 50})
+        memory_store.create_index("year")
+        got = [r["year"] for r in memory_store.range_by("year", 1910, 1915)]
+        assert got == sorted(got)
+        assert all(1910 <= y <= 1915 for y in got)
+        assert len(got) == sum(1 for i in range(500) if 1910 <= 1900 + i % 50 <= 1915)
+
+    def test_mixed_type_keys_rejected_clearly(self, simple_schema):
+        # A B-tree cannot hold mutually incomparable keys; the build must
+        # fail with a clear StorageError, not a deep TypeError later.
+        from repro.errors import StorageError
+        from repro.storage.store import RecordStore
+
+        store = RecordStore(simple_schema)
+        store.insert({"id": 1, "name": "a", "year": 1990})
+        with pytest.raises(StorageError):
+            store._bulk_build_btree(
+                lambda r: [r["name"], r["year"]],  # str and int: unsortable
+                32,
+            )

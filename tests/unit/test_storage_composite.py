@@ -1,0 +1,147 @@
+"""Unit tests for composite (multi-field) indexes."""
+
+import pytest
+
+from repro.errors import StorageError, ValidationError
+from repro.storage.schema import Field, FieldType, Schema
+from repro.storage.store import RecordStore
+
+
+@pytest.fixture()
+def store():
+    schema = Schema(
+        [
+            Field("id", FieldType.INT),
+            Field("volume", FieldType.INT),
+            Field("page", FieldType.INT),
+            Field("year", FieldType.INT, required=False),
+            Field("tags", FieldType.STRING_LIST, required=False),
+        ],
+        primary_key="id",
+    )
+    s = RecordStore(schema)
+    rows = [
+        (1, 69, 293), (2, 69, 1), (3, 70, 20), (4, 70, 163),
+        (5, 95, 1), (6, 95, 691), (7, 95, 1365),
+    ]
+    for i, volume, page in rows:
+        s.insert({"id": i, "volume": volume, "page": page, "year": 1900 + volume})
+    return s
+
+
+class TestCreate:
+    def test_name_is_joined_fields(self, store):
+        assert store.create_composite_index(("volume", "page")) == "volume+page"
+        assert store.has_index("volume+page")
+
+    def test_needs_two_fields(self, store):
+        with pytest.raises(StorageError):
+            store.create_composite_index(("volume",))
+
+    def test_unknown_field_rejected(self, store):
+        with pytest.raises(ValidationError):
+            store.create_composite_index(("volume", "bogus"))
+
+    def test_list_field_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.create_composite_index(("volume", "tags"))
+
+    def test_redeclare_is_noop(self, store):
+        store.create_composite_index(("volume", "page"))
+        store.create_composite_index(("volume", "page"))
+        assert store.composite_indexes() == (("volume", "page"),)
+
+    def test_listed_separately_from_scalars(self, store):
+        store.create_composite_index(("volume", "page"))
+        store.create_index("year")
+        assert store.composite_indexes() == (("volume", "page"),)
+
+
+class TestLookup:
+    def test_exact_lookup(self, store):
+        store.create_composite_index(("volume", "page"))
+        rows = store.find_by_composite(("volume", "page"), (69, 293))
+        assert [r["id"] for r in rows] == [1]
+
+    def test_lookup_miss(self, store):
+        store.create_composite_index(("volume", "page"))
+        assert store.find_by_composite(("volume", "page"), (69, 9999)) == []
+
+    def test_wrong_arity_rejected(self, store):
+        store.create_composite_index(("volume", "page"))
+        with pytest.raises(StorageError):
+            store.find_by_composite(("volume", "page"), (69,))
+
+    def test_undeclared_composite_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.find_by_composite(("volume", "page"), (69, 1))
+
+
+class TestPrefixRange:
+    @pytest.fixture()
+    def indexed(self, store):
+        store.create_composite_index(("volume", "page"))
+        return store
+
+    def test_prefix_selects_whole_volume(self, indexed):
+        rows = indexed.range_by_composite(("volume", "page"), (95,))
+        assert [r["page"] for r in rows] == [1, 691, 1365]
+
+    def test_prefix_plus_bounds(self, indexed):
+        rows = indexed.range_by_composite(("volume", "page"), (95,), 100, 1000)
+        assert [r["page"] for r in rows] == [691]
+
+    def test_exclusive_bounds(self, indexed):
+        rows = indexed.range_by_composite(
+            ("volume", "page"), (95,), 1, 691, include_low=False, include_high=False
+        )
+        assert rows == []
+        rows = indexed.range_by_composite(
+            ("volume", "page"), (95,), 1, 691, include_low=True, include_high=True
+        )
+        assert [r["page"] for r in rows] == [1, 691]
+
+    def test_results_in_key_order(self, indexed):
+        rows = indexed.range_by_composite(("volume", "page"), (69,))
+        assert [r["page"] for r in rows] == [1, 293]
+
+    def test_prefix_must_leave_free_field(self, indexed):
+        with pytest.raises(StorageError):
+            indexed.range_by_composite(("volume", "page"), (95, 691))
+
+    def test_no_bleed_into_next_volume(self, indexed):
+        rows = indexed.range_by_composite(("volume", "page"), (69,), 200)
+        assert [(r["volume"], r["page"]) for r in rows] == [(69, 293)]
+
+
+class TestMaintenance:
+    def test_updates_maintained(self, store):
+        store.create_composite_index(("volume", "page"))
+        store.update(1, {"page": 500})
+        assert store.find_by_composite(("volume", "page"), (69, 293)) == []
+        assert [r["id"] for r in store.find_by_composite(("volume", "page"), (69, 500))] == [1]
+
+    def test_deletes_maintained(self, store):
+        store.create_composite_index(("volume", "page"))
+        store.delete(6)
+        assert store.find_by_composite(("volume", "page"), (95, 691)) == []
+
+    def test_missing_component_contributes_nothing(self, store):
+        store.create_composite_index(("volume", "year"))
+        store.insert({"id": 99, "volume": 96, "page": 1})  # year absent
+        assert store.find_by_composite(("volume", "year"), (96, 1996)) == []
+
+    def test_survives_snapshot_recovery(self, tmp_path):
+        schema = Schema(
+            [Field("id", FieldType.INT), Field("a", FieldType.INT), Field("b", FieldType.INT)],
+            primary_key="id",
+        )
+        with RecordStore(schema, tmp_path / "db") as store:
+            store.create_composite_index(("a", "b"))
+            store.insert({"id": 1, "a": 10, "b": 20})
+            store.snapshot()
+            store.insert({"id": 2, "a": 10, "b": 30})
+        with RecordStore(schema, tmp_path / "db") as reopened:
+            assert reopened.composite_indexes() == (("a", "b"),)
+            rows = reopened.range_by_composite(("a", "b"), (10,))
+            assert [r["b"] for r in rows] == [20, 30]

@@ -1,0 +1,65 @@
+"""Unit tests for repro.storage.hashindex."""
+
+from repro.storage.hashindex import HashIndex
+
+
+class TestHashIndex:
+    def test_empty(self):
+        idx = HashIndex()
+        assert len(idx) == 0
+        assert idx.search("x") == []
+        assert "x" not in idx
+
+    def test_insert_search(self):
+        idx = HashIndex()
+        idx.insert("smith", 1)
+        idx.insert("smith", 2)
+        assert idx.search("smith") == [1, 2]
+        assert len(idx) == 2
+        assert idx.distinct_keys == 1
+
+    def test_search_returns_copy(self):
+        idx = HashIndex()
+        idx.insert("a", 1)
+        result = idx.search("a")
+        result.append(99)
+        assert idx.search("a") == [1]
+
+    def test_remove_value(self):
+        idx = HashIndex()
+        idx.insert("a", 1)
+        idx.insert("a", 2)
+        assert idx.remove("a", 1) is True
+        assert idx.search("a") == [2]
+        assert len(idx) == 1
+
+    def test_remove_last_value_drops_key(self):
+        idx = HashIndex()
+        idx.insert("a", 1)
+        idx.remove("a", 1)
+        assert "a" not in idx
+        assert idx.distinct_keys == 0
+
+    def test_remove_whole_key(self):
+        idx = HashIndex()
+        idx.insert("a", 1)
+        idx.insert("a", 2)
+        assert idx.remove("a") is True
+        assert len(idx) == 0
+
+    def test_remove_missing(self):
+        idx = HashIndex()
+        assert idx.remove("a") is False
+        idx.insert("a", 1)
+        assert idx.remove("a", 42) is False
+
+    def test_items_and_keys(self):
+        idx = HashIndex()
+        idx.insert("a", 1)
+        idx.insert("b", 2)
+        idx.insert("a", 3)
+        assert sorted(idx.items()) == [("a", 1), ("a", 3), ("b", 2)]
+        assert sorted(idx.keys()) == ["a", "b"]
+
+    def test_no_range_support_flag(self):
+        assert HashIndex.supports_range is False

@@ -1,0 +1,101 @@
+"""Unit tests for repro.storage.schema."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.storage.schema import Field, FieldType, Schema
+
+
+class TestFieldType:
+    @pytest.mark.parametrize("ft,value", [
+        (FieldType.STRING, "x"),
+        (FieldType.INT, 3),
+        (FieldType.FLOAT, 3.5),
+        (FieldType.FLOAT, 3),           # ints are acceptable floats
+        (FieldType.BOOL, True),
+        (FieldType.STRING_LIST, ["a", "b"]),
+        (FieldType.STRING_LIST, []),
+    ])
+    def test_accepts(self, ft, value):
+        assert ft.check(value)
+
+    @pytest.mark.parametrize("ft,value", [
+        (FieldType.STRING, 3),
+        (FieldType.INT, "3"),
+        (FieldType.INT, True),          # bools are not ints
+        (FieldType.FLOAT, "3.5"),
+        (FieldType.FLOAT, True),
+        (FieldType.BOOL, 1),
+        (FieldType.STRING_LIST, "abc"),
+        (FieldType.STRING_LIST, [1, 2]),
+    ])
+    def test_rejects(self, ft, value):
+        assert not ft.check(value)
+
+
+class TestField:
+    def test_required_missing(self):
+        field = Field("x", FieldType.INT)
+        with pytest.raises(ValidationError) as excinfo:
+            field.validate({})
+        assert excinfo.value.field == "x"
+
+    def test_optional_missing_ok(self):
+        Field("x", FieldType.INT, required=False).validate({})
+
+    def test_none_counts_as_missing(self):
+        Field("x", FieldType.INT, required=False).validate({"x": None})
+        with pytest.raises(ValidationError):
+            Field("x", FieldType.INT).validate({"x": None})
+
+    def test_wrong_type(self):
+        with pytest.raises(ValidationError):
+            Field("x", FieldType.INT).validate({"x": "3"})
+
+
+class TestSchema:
+    def make(self) -> Schema:
+        return Schema(
+            [Field("id", FieldType.INT), Field("name", FieldType.STRING, required=False)],
+            primary_key="id",
+        )
+
+    def test_validate_ok(self):
+        self.make().validate({"id": 1, "name": "a"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValidationError):
+            self.make().validate({"id": 1, "bogus": 2})
+
+    def test_primary_key_of(self):
+        assert self.make().primary_key_of({"id": 7}) == 7
+
+    def test_primary_key_missing(self):
+        with pytest.raises(ValidationError):
+            self.make().primary_key_of({"name": "x"})
+
+    def test_duplicate_field_names(self):
+        with pytest.raises(ValidationError):
+            Schema([Field("a", FieldType.INT), Field("a", FieldType.INT)], primary_key="a")
+
+    def test_unknown_primary_key(self):
+        with pytest.raises(ValidationError):
+            Schema([Field("a", FieldType.INT)], primary_key="b")
+
+    def test_optional_primary_key_rejected(self):
+        with pytest.raises(ValidationError):
+            Schema([Field("a", FieldType.INT, required=False)], primary_key="a")
+
+    def test_field_lookup(self):
+        schema = self.make()
+        assert schema.field("id").type is FieldType.INT
+        with pytest.raises(ValidationError):
+            schema.field("nope")
+
+    def test_has_field(self):
+        schema = self.make()
+        assert schema.has_field("name")
+        assert not schema.has_field("nope")
+
+    def test_field_names_ordered(self):
+        assert self.make().field_names == ("id", "name")

@@ -1,0 +1,161 @@
+"""Unit tests for repro.storage.transactions."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateKeyError,
+    RecordNotFoundError,
+    TransactionError,
+)
+from repro.storage.store import RecordStore
+from repro.storage.wal import WriteAheadLog
+
+
+def _record(i: int, name: str = "x") -> dict:
+    return {"id": i, "name": name, "year": 1990}
+
+
+class TestCommitRollback:
+    def test_commit_applies(self, memory_store):
+        with memory_store.transaction() as txn:
+            txn.insert(_record(1))
+            txn.insert(_record(2))
+        assert len(memory_store) == 2
+
+    def test_nothing_visible_before_commit(self, memory_store):
+        txn = memory_store.transaction()
+        txn.insert(_record(1))
+        assert len(memory_store) == 0
+        txn.commit()
+        assert len(memory_store) == 1
+
+    def test_exception_rolls_back(self, memory_store):
+        memory_store.insert(_record(1))
+        with pytest.raises(RuntimeError):
+            with memory_store.transaction() as txn:
+                txn.delete(1)
+                txn.insert(_record(2))
+                raise RuntimeError("boom")
+        assert 1 in memory_store
+        assert 2 not in memory_store
+
+    def test_explicit_rollback(self, memory_store):
+        txn = memory_store.transaction()
+        txn.insert(_record(1))
+        txn.rollback()
+        assert len(memory_store) == 0
+
+    def test_commit_twice_rejected(self, memory_store):
+        txn = memory_store.transaction()
+        txn.insert(_record(1))
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_use_after_rollback_rejected(self, memory_store):
+        txn = memory_store.transaction()
+        txn.rollback()
+        with pytest.raises(TransactionError):
+            txn.insert(_record(1))
+
+    def test_empty_commit_ok(self, memory_store):
+        with memory_store.transaction():
+            pass
+        assert len(memory_store) == 0
+
+    def test_exit_after_manual_commit_is_noop(self, memory_store):
+        with memory_store.transaction() as txn:
+            txn.insert(_record(1))
+            txn.commit()
+        assert len(memory_store) == 1
+
+
+class TestShadowView:
+    def test_reads_own_writes(self, memory_store):
+        with memory_store.transaction() as txn:
+            txn.insert(_record(1, "a"))
+            assert txn.get(1)["name"] == "a"
+            assert 1 in txn
+
+    def test_reads_through_to_store(self, memory_store):
+        memory_store.insert(_record(1, "a"))
+        with memory_store.transaction() as txn:
+            assert txn.get(1)["name"] == "a"
+
+    def test_sees_own_deletes(self, memory_store):
+        memory_store.insert(_record(1))
+        with memory_store.transaction() as txn:
+            txn.delete(1)
+            assert 1 not in txn
+            with pytest.raises(RecordNotFoundError):
+                txn.get(1)
+        assert 1 not in memory_store
+
+    def test_duplicate_within_txn(self, memory_store):
+        with memory_store.transaction() as txn:
+            txn.insert(_record(1))
+            with pytest.raises(DuplicateKeyError):
+                txn.insert(_record(1))
+
+    def test_duplicate_against_store(self, memory_store):
+        memory_store.insert(_record(1))
+        txn = memory_store.transaction()
+        with pytest.raises(DuplicateKeyError):
+            txn.insert(_record(1))
+
+    def test_delete_then_insert_same_key(self, memory_store):
+        memory_store.insert(_record(1, "old"))
+        with memory_store.transaction() as txn:
+            txn.delete(1)
+            txn.insert(_record(1, "new"))
+        assert memory_store.get(1)["name"] == "new"
+
+    def test_update_in_txn(self, memory_store):
+        memory_store.insert(_record(1, "a"))
+        with memory_store.transaction() as txn:
+            txn.update(1, {"name": "b"})
+            assert txn.get(1)["name"] == "b"
+            assert memory_store.get(1)["name"] == "a"
+        assert memory_store.get(1)["name"] == "b"
+
+    def test_update_cannot_change_pk(self, memory_store):
+        memory_store.insert(_record(1))
+        with pytest.raises(TransactionError):
+            with memory_store.transaction() as txn:
+                txn.update(1, {"id": 9})
+
+    def test_upsert(self, memory_store):
+        memory_store.insert(_record(1, "a"))
+        with memory_store.transaction() as txn:
+            txn.upsert(_record(1, "b"))
+            txn.upsert(_record(2, "c"))
+        assert memory_store.get(1)["name"] == "b"
+        assert memory_store.get(2)["name"] == "c"
+
+    def test_pending_operations_counter(self, memory_store):
+        txn = memory_store.transaction()
+        assert txn.pending_operations == 0
+        txn.insert(_record(1))
+        txn.insert(_record(2))
+        assert txn.pending_operations == 2
+        txn.rollback()
+
+
+class TestAtomicity:
+    def test_batch_is_single_wal_entry(self, simple_schema, tmp_path):
+        with RecordStore(simple_schema, tmp_path / "db") as store:
+            with store.transaction() as txn:
+                for i in range(5):
+                    txn.insert(_record(i))
+        entries = WriteAheadLog.replay_path(tmp_path / "db" / "store.wal")
+        assert len(entries) == 1
+        assert entries[0].payload["op"] == "batch"
+        assert len(entries[0].payload["ops"]) == 5
+
+    def test_batch_replays_atomically(self, simple_schema, tmp_path):
+        with RecordStore(simple_schema, tmp_path / "db") as store:
+            with store.transaction() as txn:
+                txn.insert(_record(1))
+                txn.insert(_record(2))
+        with RecordStore(simple_schema, tmp_path / "db") as reopened:
+            assert sorted(reopened.keys()) == [1, 2]

@@ -1,0 +1,111 @@
+"""Unit tests for RecordStore.update_where and learn_confusions."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.storage.store import IndexKind, RecordStore
+from repro.storage.wal import WriteAheadLog
+from repro.textproc.ocr import OCRNoiseModel, OCRRepairer, learn_confusions
+
+
+def _fill(store, n=6):
+    for i in range(n):
+        store.insert({"id": i, "name": "old", "year": 1980 + i})
+
+
+class TestUpdateWhere:
+    def test_dict_changes(self, memory_store):
+        _fill(memory_store)
+        count = memory_store.update_where(lambda r: r["year"] >= 1983, {"name": "new"})
+        assert count == 3
+        assert [r["id"] for r in memory_store.find_by("name", "new")] == [3, 4, 5]
+
+    def test_callable_changes(self, memory_store):
+        _fill(memory_store)
+        memory_store.update_where(
+            lambda r: True, lambda r: {"year": r["year"] + 100}
+        )
+        assert all(r["year"] >= 2080 for r in memory_store.scan())
+
+    def test_no_matches(self, memory_store):
+        _fill(memory_store)
+        assert memory_store.update_where(lambda r: False, {"name": "x"}) == 0
+
+    def test_pk_change_rejected_before_logging(self, simple_schema, tmp_path):
+        with RecordStore(simple_schema, tmp_path / "db") as store:
+            _fill(store, 3)
+            with pytest.raises(ValidationError):
+                store.update_where(lambda r: True, {"id": 999})
+            # nothing landed: 3 puts only
+            assert len(store) == 3
+        entries = WriteAheadLog.replay_path(tmp_path / "db" / "store.wal")
+        assert all(e.payload["op"] == "put" for e in entries)
+
+    def test_validation_failure_atomic(self, memory_store):
+        _fill(memory_store)
+        with pytest.raises(ValidationError):
+            memory_store.update_where(lambda r: True, {"year": "not-an-int"})
+        assert all(isinstance(r["year"], int) for r in memory_store.scan())
+
+    def test_single_wal_batch(self, simple_schema, tmp_path):
+        with RecordStore(simple_schema, tmp_path / "db") as store:
+            _fill(store, 4)
+            store.update_where(lambda r: True, {"name": "batched"})
+        entries = WriteAheadLog.replay_path(tmp_path / "db" / "store.wal")
+        assert entries[-1].payload["op"] == "batch"
+        assert len(entries[-1].payload["ops"]) == 4
+
+    def test_indexes_maintained(self, memory_store):
+        memory_store.create_index("year", IndexKind.BTREE)
+        _fill(memory_store)
+        memory_store.update_where(lambda r: r["id"] == 0, {"year": 1999})
+        assert [r["id"] for r in memory_store.range_by("year", 1999, None)] == [0]
+        assert memory_store.range_by("year", 1980, 1980) == []
+
+
+class TestLearnConfusions:
+    def test_learns_substitution(self):
+        table = learn_confusions(
+            [("Herndon", "Hemdon"), ("Barnden", "Bamden")], min_count=2
+        )
+        assert ("rn", "m") in table
+
+    def test_learns_deletion(self):
+        table = learn_confusions(
+            [("Johnson", "Johson"), ("Monson", "Moson")], min_count=2
+        )
+        assert ("n", "") in table
+
+    def test_min_count_filters(self):
+        table = learn_confusions([("Herndon", "Hemdon")], min_count=2)
+        assert table == ()
+
+    def test_identical_pairs_ignored(self):
+        assert learn_confusions([("same", "same")], min_count=1) == ()
+
+    def test_non_local_difference_skipped(self):
+        table = learn_confusions([("abcdef", "azcdyf")], min_count=1)
+        assert table == ()  # two separated edits: not a single substitution
+
+    def test_ordered_by_frequency(self):
+        table = learn_confusions(
+            [("rna", "ma"), ("rnb", "mb"), ("rnc", "mc"), ("x1", "xl")],
+            min_count=1,
+        )
+        assert table[0] == ("rn", "m")
+
+    def test_learned_table_drives_repairer(self):
+        corrections = [("Herndon", "Hemdon"), ("Warner", "Wamer")]
+        table = learn_confusions(corrections, min_count=2)
+        repairer = OCRRepairer(["Herndon", "Warner", "Turner"], confusions=table)
+        assert repairer.repair("Hemdon") == "Herndon"
+        assert repairer.repair("Tumer") == "Turner"
+
+    def test_learned_table_drives_noise_model(self):
+        import random
+
+        table = learn_confusions([("rna", "ma"), ("rnb", "mb")], min_count=2)
+        # ~1 expected edit per word: most corruptions are single confusions
+        model = OCRNoiseModel(rate=25.0, rng=random.Random(1), confusions=table)
+        noisy = [model.corrupt("barn") for _ in range(40)]
+        assert any("bam" in n for n in noisy)

@@ -1,0 +1,160 @@
+"""Unit tests for repro.storage.wal — framing, CRC, torn-write semantics."""
+
+import pytest
+
+from repro.errors import CorruptLogError
+from repro.storage.wal import WriteAheadLog
+
+
+@pytest.fixture()
+def wal_path(tmp_path):
+    return tmp_path / "test.wal"
+
+
+class TestAppendReplay:
+    def test_empty_log(self, wal_path):
+        assert WriteAheadLog.replay_path(wal_path) == []
+
+    def test_roundtrip_single(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append({"op": "put", "key": 1})
+        entries = WriteAheadLog.replay_path(wal_path)
+        assert [e.payload for e in entries] == [{"op": "put", "key": 1}]
+
+    def test_roundtrip_many(self, wal_path):
+        payloads = [{"op": "put", "key": i, "v": f"x{i}"} for i in range(50)]
+        with WriteAheadLog(wal_path) as wal:
+            for p in payloads:
+                wal.append(p)
+        assert [e.payload for e in WriteAheadLog.replay_path(wal_path)] == payloads
+
+    def test_append_many_batched(self, wal_path):
+        payloads = [{"i": i} for i in range(10)]
+        with WriteAheadLog(wal_path) as wal:
+            wal.append_many(payloads)
+        assert [e.payload for e in WriteAheadLog.replay_path(wal_path)] == payloads
+
+    def test_unicode_payload(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append({"name": "Müller-Lüdenscheidt, José"})
+        [entry] = WriteAheadLog.replay_path(wal_path)
+        assert entry.payload["name"] == "Müller-Lüdenscheidt, José"
+
+    def test_offsets_monotone(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            offsets = [wal.append({"i": i}) for i in range(5)]
+        assert offsets == sorted(offsets)
+        replayed = WriteAheadLog.replay_path(wal_path)
+        assert [e.offset for e in replayed] == offsets
+
+    def test_reopen_appends(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append({"i": 1})
+        with WriteAheadLog(wal_path) as wal:
+            wal.append({"i": 2})
+        assert len(WriteAheadLog.replay_path(wal_path)) == 2
+
+    def test_replay_on_live_log(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append({"i": 1})
+            assert [e.payload for e in wal.replay()] == [{"i": 1}]
+
+    def test_truncate(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append({"i": 1})
+            wal.truncate()
+            wal.append({"i": 2})
+        assert [e.payload["i"] for e in WriteAheadLog.replay_path(wal_path)] == [2]
+
+    def test_size_bytes(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            assert wal.size_bytes == 0
+            wal.append({"i": 1})
+            assert wal.size_bytes > 0
+
+    def test_entries_written_counter(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append({"i": 1})
+            wal.append_many([{"i": 2}, {"i": 3}])
+            assert wal.entries_written == 3
+
+    def test_sync_flag_roundtrip(self, wal_path):
+        with WriteAheadLog(wal_path, sync=True) as wal:
+            wal.append({"i": 1})
+            wal.append({"i": 2}, sync=False)
+        assert len(WriteAheadLog.replay_path(wal_path)) == 2
+
+    def test_closed_log_rejects_writes(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.close()
+        with pytest.raises(CorruptLogError):
+            wal.append({"i": 1})
+
+
+class TestCorruption:
+    def _write(self, wal_path, n=3):
+        with WriteAheadLog(wal_path) as wal:
+            for i in range(n):
+                wal.append({"i": i})
+
+    def test_torn_tail_dropped(self, wal_path):
+        self._write(wal_path)
+        raw = wal_path.read_bytes()
+        # Simulate a crash mid-write: half of a new entry, no newline.
+        wal_path.write_bytes(raw + b"W1 deadbeef 42 {\"i\":")
+        entries = WriteAheadLog.replay_path(wal_path)
+        assert [e.payload["i"] for e in entries] == [0, 1, 2]
+
+    def test_truncated_final_entry_dropped(self, wal_path):
+        self._write(wal_path)
+        raw = wal_path.read_bytes()
+        wal_path.write_bytes(raw[:-5])  # cut into the last entry + newline
+        entries = WriteAheadLog.replay_path(wal_path)
+        assert [e.payload["i"] for e in entries] == [0, 1]
+
+    def test_mid_log_corruption_raises(self, wal_path):
+        self._write(wal_path)
+        raw = bytearray(wal_path.read_bytes())
+        # Flip a byte inside the first entry's JSON body.
+        first_newline = raw.index(b"\n")
+        raw[first_newline - 2] ^= 0xFF
+        wal_path.write_bytes(bytes(raw))
+        with pytest.raises(CorruptLogError) as excinfo:
+            WriteAheadLog.replay_path(wal_path)
+        assert excinfo.value.offset == 0
+
+    def test_bad_magic_raises(self, wal_path):
+        wal_path.write_bytes(b"XX 00000000 2 {}\n")
+        with pytest.raises(CorruptLogError):
+            WriteAheadLog.replay_path(wal_path)
+
+    def test_length_mismatch_raises(self, wal_path):
+        import zlib
+        body = b'{"i":1}'
+        crc = zlib.crc32(body) & 0xFFFFFFFF
+        wal_path.write_bytes(f"W1 {crc:08x} 99 ".encode() + body + b"\n")
+        with pytest.raises(CorruptLogError):
+            WriteAheadLog.replay_path(wal_path)
+
+    def test_non_object_payload_raises(self, wal_path):
+        import zlib
+        body = b"[1,2]"
+        crc = zlib.crc32(body) & 0xFFFFFFFF
+        wal_path.write_bytes(f"W1 {crc:08x} {len(body)} ".encode() + body + b"\n")
+        with pytest.raises(CorruptLogError):
+            WriteAheadLog.replay_path(wal_path)
+
+    def test_garbage_header_raises(self, wal_path):
+        wal_path.write_bytes(b"W1 zz zz {}\n")
+        with pytest.raises(CorruptLogError):
+            WriteAheadLog.replay_path(wal_path)
+
+    def test_corrupt_last_complete_line_raises(self, wal_path):
+        # Damage inside a newline-terminated final entry is NOT a torn
+        # write — the entry was acknowledged, so data was lost.
+        self._write(wal_path, n=2)
+        raw = bytearray(wal_path.read_bytes())
+        raw[-3] ^= 0xFF  # inside final entry body, newline intact
+        wal_path.write_bytes(bytes(raw))
+        with pytest.raises(CorruptLogError):
+            WriteAheadLog.replay_path(wal_path)

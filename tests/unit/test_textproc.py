@@ -1,0 +1,186 @@
+"""Unit tests for the repro.textproc package."""
+
+import random
+
+import pytest
+
+from repro.textproc.hyphenation import count_word_breaks, join_hyphen_wraps, unwrap_lines
+from repro.textproc.ocr import OCRNoiseModel, OCRRepairer
+from repro.textproc.tokenize import sentence_case, tokenize, word_shape
+
+
+class TestTokenize:
+    def test_simple_words(self):
+        assert tokenize("The Law of Coal") == ["The", "Law", "of", "Coal"]
+
+    def test_quotes_peeled(self):
+        assert tokenize('"Takes" Private') == ['"', "Takes", '"', "Private"]
+
+    def test_parens(self):
+        assert tokenize("(1982)") == ["(", "1982", ")"]
+
+    def test_abbreviations_keep_periods(self):
+        assert tokenize("U.S. v. Smith") == ["U.S.", "v.", "Smith"]
+
+    def test_hyphenated_kept_whole(self):
+        assert "Due-on-Sale" in tokenize('The "Due-on-Sale" Clause')
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+    def test_trailing_punctuation(self):
+        assert tokenize("reform?") == ["reform", "?"]
+
+
+class TestWordShape:
+    @pytest.mark.parametrize("token,shape", [
+        ("McAteer", "XxXx"),
+        ("AUTHOR", "X"),
+        ("95:1365", "9:9"),
+        ("abc", "x"),
+        ("A.", "X."),
+        ("", ""),
+    ])
+    def test_shapes(self, token, shape):
+        assert word_shape(token) == shape
+
+
+class TestSentenceCase:
+    def test_shouting_normalized(self):
+        assert sentence_case("THE LAW OF COAL") == "The Law of Coal"
+
+    def test_minor_words_lowered(self):
+        assert sentence_case("the future of the coal industry") == (
+            "The Future of the Coal Industry"
+        )
+
+    def test_acronym_preserved_in_mixed_case(self):
+        assert sentence_case("fifty years of the NLRB") == "Fifty Years of the NLRB"
+
+    def test_mixed_case_word_preserved(self):
+        assert "McAteer" in sentence_case("a tribute to McAteer today")
+
+    def test_first_and_last_always_capitalized(self):
+        out = sentence_case("of mice and of")
+        assert out.startswith("Of")
+        assert out.endswith("Of")
+
+    def test_empty(self):
+        assert sentence_case("") == ""
+
+
+class TestHyphenation:
+    def test_word_break_joined(self):
+        joined, was_break = join_hyphen_wraps("First to Sur-", "vive an Attack")
+        assert joined == "First to Survive an Attack"
+        assert was_break is True
+
+    def test_compound_kept(self):
+        joined, was_break = join_hyphen_wraps("the Employer-", "Employee Relationship")
+        assert joined == "the Employer-Employee Relationship"
+        assert was_break is False
+
+    def test_no_hyphen_space_join(self):
+        joined, was_break = join_hyphen_wraps("line one", "line two")
+        assert joined == "line one line two"
+        assert was_break is False
+
+    def test_empty_continuation(self):
+        joined, _ = join_hyphen_wraps("word-", "")
+        assert joined == "word"
+
+    def test_unicode_hyphen(self):
+        joined, was_break = join_hyphen_wraps("Sur‐", "vive")
+        assert joined == "Survive"
+        assert was_break is True
+
+    def test_unwrap_lines_full_title(self):
+        lines = [
+            "The Federal Surface Mining Control and",
+            "Reclamation Act of 1977-First to Sur-",
+            "vive a Direct Tenth Amendment Attack",
+        ]
+        assert unwrap_lines(lines) == (
+            "The Federal Surface Mining Control and Reclamation Act of "
+            "1977-First to Survive a Direct Tenth Amendment Attack"
+        )
+
+    def test_unwrap_empty(self):
+        assert unwrap_lines([]) == ""
+
+    def test_unwrap_single(self):
+        assert unwrap_lines(["only line"]) == "only line"
+
+    def test_count_word_breaks(self):
+        lines = ["a Sur-", "vive b", "Employer-", "Employee"]
+        assert count_word_breaks(lines) == 1
+
+
+class TestOCRNoiseModel:
+    def test_deterministic_given_seed(self):
+        a = OCRNoiseModel(rate=10.0, rng=random.Random(3)).corrupt("Johnson, Edward")
+        b = OCRNoiseModel(rate=10.0, rng=random.Random(3)).corrupt("Johnson, Edward")
+        assert a == b
+
+    def test_zero_rate_no_change_mostly(self):
+        model = OCRNoiseModel(rate=0.0, rng=random.Random(1))
+        assert model.corrupt("Johnson") == "Johnson"
+
+    def test_high_rate_changes_text(self):
+        model = OCRNoiseModel(rate=50.0, rng=random.Random(1))
+        texts = ["Johnson, Edward P." for _ in range(5)]
+        assert any(model.corrupt(t) != t for t in texts)
+
+    def test_empty_text(self):
+        model = OCRNoiseModel(rate=50.0, rng=random.Random(1))
+        assert model.corrupt("") == ""
+
+    def test_damage_is_small_edits(self):
+        from repro.names.similarity import damerau_levenshtein
+
+        model = OCRNoiseModel(rate=2.0, rng=random.Random(7))
+        original = "Herndon, Judith Raymond"
+        for _ in range(20):
+            noisy = model.corrupt(original)
+            assert damerau_levenshtein(original, noisy) <= 4
+
+
+class TestOCRRepairer:
+    def test_clean_token_unchanged(self):
+        repairer = OCRRepairer(["Johnson"])
+        assert repairer.repair("Johnson") == "Johnson"
+
+    def test_confusion_reversed(self):
+        repairer = OCRRepairer(["Johnson", "Herndon"])
+        assert repairer.repair("Johson") == "Johnson"
+        assert repairer.repair("Hemdon") == "Herndon"
+
+    def test_dropped_char_restored(self):
+        repairer = OCRRepairer(["Maxwell"])
+        assert repairer.repair("Maxwll") == "Maxwell"
+
+    def test_swap_undone(self):
+        repairer = OCRRepairer(["Maxwell"])
+        assert repairer.repair("Mawxell") == "Maxwell"
+
+    def test_unknown_token_left_alone(self):
+        repairer = OCRRepairer(["Johnson"])
+        assert repairer.repair("Zebra") == "Zebra"
+
+    def test_ambiguity_leaves_unchanged(self):
+        # "Smth" could be Smith or Smyth: ambiguous, so unchanged.
+        repairer = OCRRepairer(["Smith", "Smyth"])
+        assert repairer.repair("Smth") == "Smth"
+
+    def test_case_folded_lookup(self):
+        repairer = OCRRepairer(["Johnson"])
+        assert repairer.repair("johnson") == "Johnson"
+
+    def test_repair_text_tokenwise(self):
+        repairer = OCRRepairer(["Johnson", "Edward"])
+        assert repairer.repair_text("Johson Edwad") == "Johnson Edward"
+
+    def test_contains(self):
+        repairer = OCRRepairer(["Johnson"])
+        assert "Johnson" in repairer
+        assert "Nope" not in repairer

@@ -1,0 +1,107 @@
+"""Unit tests for repro.textproc.columns."""
+
+import pytest
+
+from repro.textproc.columns import detect_gutter, split_columns
+
+TWO_COLUMN = (
+    "Abdalla, Tarek F.*        Lorensen, Willard D.\n"
+    "Abramovsky, Deborah       Lynd, Alice\n"
+    "Adler, Mortimer J.        Lynd, Staughton\n"
+    "Areen, Judith             MacLeod, John A.\n"
+)
+
+ONE_COLUMN = (
+    "Abdalla, Tarek F.* Allegheny-Pittsburgh Coal Co. 91:973 (1989)\n"
+    "Abramovsky, Deborah Confidentiality Dilemmas 85:929 (1983)\n"
+    "Adler, Mortimer J. Ideas of Relevance to Law 84:1 (1981)\n"
+)
+
+
+class TestDetectGutter:
+    def test_detects_two_columns(self):
+        gutter = detect_gutter(TWO_COLUMN)
+        assert gutter is not None
+        assert 18 <= gutter <= 26
+
+    def test_single_column_none(self):
+        assert detect_gutter(ONE_COLUMN) is None
+
+    def test_too_few_lines_none(self):
+        assert detect_gutter("ab    cd\nxy    zw\n") is None
+
+    def test_right_margin_is_not_gutter(self):
+        text = "short line      \nanother one     \na third line    \n"
+        assert detect_gutter(text) is None
+
+    def test_one_long_line_blocks_gutter(self):
+        # A single line crossing the would-be gutter must veto the split
+        # (strict occupancy) so no characters are ever chopped.
+        text = TWO_COLUMN + "An Extremely Long Left Entry Crossing Everything Here Fully\n"
+        assert detect_gutter(text) is None
+
+    def test_narrow_gap_not_gutter(self):
+        text = "ab cd\nxy zw\npq rs\n"
+        assert detect_gutter(text) is None
+
+
+class TestSplitColumns:
+    def test_two_column_split(self):
+        split = split_columns(TWO_COLUMN)
+        assert split.is_two_column
+        assert split.left == [
+            "Abdalla, Tarek F.*",
+            "Abramovsky, Deborah",
+            "Adler, Mortimer J.",
+            "Areen, Judith",
+        ]
+        assert split.right == [
+            "Lorensen, Willard D.",
+            "Lynd, Alice",
+            "Lynd, Staughton",
+            "MacLeod, John A.",
+        ]
+
+    def test_single_column_untouched(self):
+        split = split_columns(ONE_COLUMN)
+        assert not split.is_two_column
+        assert split.right == []
+        assert len(split.left) == 3
+
+    def test_merged_preserves_reading_order(self):
+        split = split_columns(TWO_COLUMN)
+        merged = split.merged().splitlines()
+        assert merged[0].startswith("Abdalla")
+        assert merged[4].startswith("Lorensen")
+
+    def test_blank_lines_survive(self):
+        text = TWO_COLUMN.replace(
+            "Adler, Mortimer J.        Lynd, Staughton\n",
+            "\nAdler, Mortimer J.        Lynd, Staughton\n",
+        )
+        split = split_columns(text)
+        assert split.is_two_column
+        assert "" in split.left
+
+    def test_empty_input(self):
+        split = split_columns("")
+        assert not split.is_two_column
+        assert split.left == []
+
+
+class TestEndToEndWithIngest:
+    def test_split_then_ingest(self):
+        two_col = (
+            "Areen, Judith Gene Therapy 88:153 (1985)      Olson, Dale P. Thin Copyrights 95:147 (1992)\n"
+            "Farmer, Guy NLRB Overview 88:1 (1985)         Tushnet, Mark The State 86:1077 (1984)\n"
+            "Gelb, Harvey Rule 10b-5 Facts 87:189 (1984)   Wald, Hon. Patricia M. Thoughts 87:1 (1984)\n"
+        )
+        from repro.corpus.ingest import parse_index_text
+        from repro.textproc.columns import split_columns
+
+        split = split_columns(two_col)
+        assert split.is_two_column
+        report = parse_index_text(split.merged())
+        assert report.record_count == 6
+        surnames = [r.authors[0].surname for r in report.records]
+        assert surnames == ["Areen", "Farmer", "Gelb", "Olson", "Tushnet", "Wald"]
