@@ -29,8 +29,12 @@ corpus
     synthetic corpus generator.
 baselines
     Naive comparison implementations used by the benchmarks.
+obs
+    Zero-dependency observability: metrics registry, span tracing, and
+    snapshot exporters (see ``docs/observability.md``).
 """
 
+from repro import obs
 from repro.citation import Citation, parse_citation
 from repro.core import (
     AuthorIndex,
@@ -49,6 +53,7 @@ from repro.storage import Field, FieldType, IndexKind, RecordStore, Schema
 __version__ = "1.0.0"
 
 __all__ = [
+    "obs",
     "Citation",
     "parse_citation",
     "AuthorIndex",

@@ -9,8 +9,13 @@ Subcommands
     Parse raw OCR'd index text into the JSON corpus format.
 ``query``
     Run a query against a corpus loaded into the embedded store.
+    ``--explain`` prints the plan; ``--profile`` executes with
+    EXPLAIN ANALYZE-style per-operator timings and row counts
+    (``--json`` for the machine-readable form).
 ``stats``
-    Print corpus/index statistics.
+    Print corpus/index statistics, or — with ``--metrics`` — run the
+    full pipeline (storage, build, query, search) against the corpus and
+    dump the observability registry snapshot (JSON by default).
 ``formats``
     List available render formats.
 """
@@ -20,6 +25,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 from pathlib import Path
 
 from repro.core import CollationOptions
@@ -103,6 +109,13 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_rows(rows: list[dict]) -> None:
+    for row in rows:
+        authors = "; ".join(row["authors"])
+        print(f"{authors} | {row['title']} | {row['volume']}:{row['page']} ({row['year']})")
+    print(f"({len(rows)} rows)", file=sys.stderr)
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     records = _load_corpus(args.corpus)
     store = RecordStore(PUBLICATION_SCHEMA)
@@ -114,18 +127,65 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.explain:
         print(engine.explain(args.query))
         return 0
-    rows = engine.execute(args.query)
-    for row in rows:
-        authors = "; ".join(row["authors"])
-        print(f"{authors} | {row['title']} | {row['volume']}:{row['page']} ({row['year']})")
-    print(f"({len(rows)} rows)", file=sys.stderr)
+    if args.profile:
+        profile = engine.execute(args.query, profile=True)
+        if args.json:
+            print(json.dumps(
+                {"rows": profile.rows, "profile": profile.to_dict()},
+                indent=2, ensure_ascii=False,
+            ))
+        else:
+            print(profile.render())
+            print()
+            _print_rows(profile.rows)
+        return 0
+    _print_rows(engine.execute(args.query))
     return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    if args.metrics:
+        return _cmd_stats_metrics(args)
     records = _load_corpus(args.corpus)
     index = AuthorIndexBuilder().add_records(records).build()
     print(index.statistics().summary())
+    return 0
+
+
+def _cmd_stats_metrics(args: argparse.Namespace) -> int:
+    """Exercise every pipeline over the corpus, dump the metrics registry.
+
+    The snapshot therefore always contains the four metric families
+    (``storage.*``, ``build.*``, ``query.*``, ``search.*``) for one
+    complete, reproducible workload — the baseline ``repro stats
+    --metrics`` runs are diffable across revisions via the jsonl format.
+    """
+    from repro import obs
+    from repro.search.engine import TitleSearchEngine
+
+    registry = obs.get_default_registry()
+    registry.reset()
+    records = _load_corpus(args.corpus)
+    # A disk-backed store so the WAL append/flush metrics move too.
+    with tempfile.TemporaryDirectory(prefix="repro-stats-") as tmp:
+        with RecordStore(PUBLICATION_SCHEMA, directory=tmp) as store:
+            populate_store(store, records)
+            store.create_index("surnames", IndexKind.HASH)
+            store.create_index("year", IndexKind.BTREE)
+            store.create_index("volume", IndexKind.BTREE)
+            AuthorIndexBuilder().add_records(records).build()
+            engine = QueryEngine(store)
+            engine.execute("year >= 1900 ORDER BY year LIMIT 25")
+            TitleSearchEngine(records).search("law")
+        # Snapshot after the store closes: the WAL flushes its locally
+        # batched append counters to the registry on close.
+        snapshot = registry.snapshot()
+    if args.metrics_format == "text":
+        print(obs.export.render_text(snapshot))
+    elif args.metrics_format == "jsonl":
+        print(obs.export.render_jsonl(snapshot))
+    else:
+        print(obs.export.render_json(snapshot))
     return 0
 
 
@@ -248,10 +308,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("query", help='e.g. \'surnames:"McAteer" AND year >= 1980\'')
     p_query.add_argument("--corpus", help="JSON corpus path (default: bundled reference)")
     p_query.add_argument("--explain", action="store_true", help="print the plan only")
+    p_query.add_argument(
+        "--profile",
+        action="store_true",
+        help="EXPLAIN ANALYZE: run the query and print the per-operator "
+             "tree with timings and rows examined/returned",
+    )
+    p_query.add_argument(
+        "--json",
+        action="store_true",
+        help="with --profile: emit rows and profile as one JSON document",
+    )
     p_query.set_defaults(func=_cmd_query)
 
     p_stats = sub.add_parser("stats", help="print index statistics")
     p_stats.add_argument("--corpus", help="JSON corpus path (default: bundled reference)")
+    p_stats.add_argument(
+        "--metrics",
+        action="store_true",
+        help="run the storage/build/query/search pipelines over the corpus "
+             "and dump the observability metrics snapshot instead",
+    )
+    p_stats.add_argument(
+        "--metrics-format",
+        choices=("json", "jsonl", "text"),
+        default="json",
+        help="snapshot format for --metrics (default: json)",
+    )
     p_stats.set_defaults(func=_cmd_stats)
 
     p_formats = sub.add_parser("formats", help="list render formats")

@@ -22,6 +22,14 @@ from repro.core.entry import IndexEntry, PublicationRecord, explode
 from repro.errors import RenderError
 from repro.names.model import PersonName
 from repro.names.resolution import NameResolver
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
+
+_BUILD_COUNT = _metrics.counter("build.count")
+_BUILD_RECORDS = _metrics.counter("build.records")
+_ENTRIES_COLLATED = _metrics.counter("build.entries.collated")
+_ENTRIES_DEDUPED = _metrics.counter("build.entries.deduped")
+_BUILD_SECONDS = _metrics.histogram("build.seconds")
 
 
 @dataclass(frozen=True, slots=True)
@@ -144,13 +152,34 @@ class AuthorIndexBuilder:
     # -- build ------------------------------------------------------------------
 
     def build(self) -> AuthorIndex:
-        """Explode, (optionally) resolve, de-duplicate, and collate."""
-        entries = [entry for record in self._records for entry in explode(record)]
-        if self._resolver is not None:
-            entries = self._canonicalize(entries)
-        entries = _dedupe(entries)
-        entries.sort(key=lambda e: collation_key(e, self.options))
-        return AuthorIndex(entries, self.options)
+        """Explode, (optionally) resolve, de-duplicate, and collate.
+
+        Emits a ``build.index`` span with one child per phase
+        (``build.explode``, ``build.resolve`` when resolution is on,
+        ``build.dedupe``, ``build.collate``) plus the ``build.*`` metric
+        family (see ``docs/observability.md``).
+        """
+        with _BUILD_SECONDS.time(), _tracing.span(
+            "build.index", records=len(self._records)
+        ) as build_span:
+            with _tracing.span("build.explode"):
+                entries = [
+                    entry for record in self._records for entry in explode(record)
+                ]
+            exploded = len(entries)
+            if self._resolver is not None:
+                with _tracing.span("build.resolve", entries=len(entries)):
+                    entries = self._canonicalize(entries)
+            with _tracing.span("build.dedupe", entries=len(entries)):
+                entries = _dedupe(entries)
+            with _tracing.span("build.collate", entries=len(entries)):
+                entries.sort(key=lambda e: collation_key(e, self.options))
+            _BUILD_COUNT.inc()
+            _BUILD_RECORDS.inc(len(self._records))
+            _ENTRIES_COLLATED.inc(len(entries))
+            _ENTRIES_DEDUPED.inc(exploded - len(entries))
+            build_span.set_attribute("entries", len(entries))
+            return AuthorIndex(entries, self.options)
 
     def _canonicalize(self, entries: list[IndexEntry]) -> list[IndexEntry]:
         assert self._resolver is not None

@@ -22,6 +22,14 @@ from repro.core.builder import AuthorIndex
 from repro.core.collation import CollationOptions, DEFAULT_OPTIONS, collation_key
 from repro.core.entry import IndexEntry, PublicationRecord, explode
 from repro.errors import RecordNotFoundError, ValidationError
+from repro.obs import metrics as _metrics
+
+_RECORDS_ADDED = _metrics.counter("incremental.records.added")
+_RECORDS_REMOVED = _metrics.counter("incremental.records.removed")
+_ENTRIES_INSERTED = _metrics.counter("incremental.entries.inserted")
+#: Rows whose sorted position was already occupied by an identical row —
+#: the incremental rebuild's "cache hit": no insertion work needed.
+_DEDUPE_HITS = _metrics.counter("incremental.dedupe.hits")
 
 
 class IncrementalIndexer:
@@ -75,12 +83,15 @@ class IncrementalIndexer:
             self._row_keys[row_key] = count + 1
             added.append(entry)
             if count:
+                _DEDUPE_HITS.inc()
                 continue  # duplicate row (e.g. identical record content)
             key = collation_key(entry, self.options)
             at = bisect.bisect_left(self._keys, key)
             self._keys.insert(at, key)
             self._entries.insert(at, entry)
+            _ENTRIES_INSERTED.inc()
         self._by_record[record.record_id] = added
+        _RECORDS_ADDED.inc()
 
     def add_all(self, records: Iterable[PublicationRecord]) -> None:
         """Insert many records."""
@@ -94,6 +105,7 @@ class IncrementalIndexer:
             entries = self._by_record.pop(record_id)
         except KeyError:
             raise RecordNotFoundError(record_id) from None
+        _RECORDS_REMOVED.inc()
         for entry in entries:
             row_key = entry.row_key()
             remaining = self._row_keys[row_key] - 1

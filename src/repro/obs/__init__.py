@@ -1,0 +1,94 @@
+"""repro.obs — zero-dependency observability: metrics, spans, exports.
+
+The measurement substrate for every hot path in the engine.  Three parts:
+
+``metrics``
+    :class:`MetricsRegistry` of counters / gauges / fixed-bucket
+    histograms, a process-global default registry, and a ``@timed``
+    decorator.  Instrumented modules cache series handles at import time;
+    a disabled registry reduces every hook to one flag check.
+``tracing``
+    Nestable :class:`Span` context managers collected by a
+    :class:`Tracer` with ring-buffer retention of finished root spans.
+``export``
+    Snapshot renderers: plain text, JSON, and JSON-lines (for diffing
+    metric dumps across runs).
+
+Quick use::
+
+    from repro import obs
+
+    obs.counter("my.counter").inc()
+    with obs.span("my.phase", items=10):
+        ...
+    print(obs.export.render_text(obs.metrics_snapshot()))
+
+``obs.set_enabled(False)`` turns both metrics and tracing off process-wide
+(each can also be toggled individually via its own module).  The full
+metric-name and span catalogue — a public contract — is documented in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs import export, metrics, tracing
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    get_default_registry,
+    histogram,
+    timed,
+)
+from repro.obs.tracing import Span, Tracer, finished_spans, get_default_tracer, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "counter",
+    "gauge",
+    "histogram",
+    "timed",
+    "span",
+    "get_default_registry",
+    "get_default_tracer",
+    "finished_spans",
+    "metrics_snapshot",
+    "set_enabled",
+    "is_enabled",
+    "reset",
+    "export",
+    "metrics",
+    "tracing",
+]
+
+
+def metrics_snapshot() -> dict[str, Any]:
+    """Snapshot of the default metrics registry."""
+    return metrics.snapshot()
+
+
+def set_enabled(flag: bool) -> None:
+    """Enable/disable both default metrics registry and default tracer."""
+    metrics.set_enabled(flag)
+    tracing.set_enabled(flag)
+
+
+def is_enabled() -> bool:
+    """True when either the default registry or tracer is enabled."""
+    return metrics.is_enabled() or tracing.is_enabled()
+
+
+def reset() -> None:
+    """Zero all default-registry series and drop retained spans."""
+    metrics.reset()
+    tracing.reset()

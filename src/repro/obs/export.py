@@ -1,0 +1,111 @@
+"""Render metric snapshots and span trees for humans and tooling.
+
+Three formats over the same :meth:`MetricsRegistry.snapshot` dict:
+
+* ``render_text`` — aligned plain text for terminals;
+* ``render_json`` — one JSON document (the ``repro stats --metrics``
+  output; its shape is a public contract, see ``docs/observability.md``);
+* ``render_jsonl`` — one JSON object per series per line, convenient for
+  diffing two runs with line-oriented tools (``diff``, ``grep``, ``jq``).
+
+Span trees export via :func:`spans_to_dicts` / :meth:`Span.tree`.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Iterable
+
+from repro.obs.tracing import Span
+
+__all__ = [
+    "render_text",
+    "render_json",
+    "render_jsonl",
+    "parse_series_name",
+    "spans_to_dicts",
+]
+
+_SERIES = re.compile(r"^(?P<name>[^{]+)(?:\{(?P<labels>.*)\})?$")
+
+
+def parse_series_name(flat: str) -> tuple[str, dict[str, str]]:
+    """Split a flat series key ``name{k=v,…}`` back into (name, labels)."""
+    match = _SERIES.match(flat)
+    if match is None:  # pragma: no cover - snapshot keys are well-formed
+        return flat, {}
+    raw = match.group("labels")
+    labels: dict[str, str] = {}
+    if raw:
+        for part in raw.split(","):
+            key, _, value = part.partition("=")
+            labels[key] = value
+    return match.group("name"), labels
+
+
+def render_text(snapshot: dict[str, Any]) -> str:
+    """Aligned, sectioned plain-text rendering of a metrics snapshot."""
+    lines: list[str] = []
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    width = max(
+        (len(name) for name in [*counters, *gauges, *histograms]), default=0
+    )
+    if counters:
+        lines.append("# counters")
+        for name in sorted(counters):
+            lines.append(f"{name:<{width}}  {counters[name]}")
+    if gauges:
+        lines.append("# gauges")
+        for name in sorted(gauges):
+            lines.append(f"{name:<{width}}  {gauges[name]}")
+    if histograms:
+        lines.append("# histograms")
+        for name in sorted(histograms):
+            h = histograms[name]
+            mean = (h["sum"] / h["count"]) if h["count"] else 0.0
+            lines.append(
+                f"{name:<{width}}  count={h['count']} sum={h['sum']:.6f} "
+                f"min={h['min'] if h['min'] is not None else '-'} "
+                f"max={h['max'] if h['max'] is not None else '-'} "
+                f"mean={mean:.6f}"
+            )
+    return "\n".join(lines)
+
+
+def render_json(snapshot: dict[str, Any], *, indent: int | None = 2) -> str:
+    """The snapshot as one JSON document (stable key order)."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True, ensure_ascii=False)
+
+
+def render_jsonl(snapshot: dict[str, Any]) -> str:
+    """One JSON object per series per line, sorted by (type, name).
+
+    Each line is ``{"type": ..., "name": ..., "labels": {...}, ...}`` —
+    value fields differ by type (``value`` for counters/gauges, the
+    histogram summary fields for histograms).  Line-stable across runs of
+    the same workload, so two dumps diff cleanly.
+    """
+    lines: list[str] = []
+    for kind in ("counters", "gauges", "histograms"):
+        for flat in sorted(snapshot.get(kind, {})):
+            name, labels = parse_series_name(flat)
+            row: dict[str, Any] = {
+                "type": kind[:-1],
+                "name": name,
+                "labels": labels,
+            }
+            payload = snapshot[kind][flat]
+            if kind == "histograms":
+                row.update(payload)
+            else:
+                row["value"] = payload
+            lines.append(json.dumps(row, sort_keys=True, ensure_ascii=False))
+    return "\n".join(lines)
+
+
+def spans_to_dicts(spans: Iterable[Span]) -> list[dict[str, Any]]:
+    """JSON-friendly view of a collection of span trees."""
+    return [span.to_dict() for span in spans]

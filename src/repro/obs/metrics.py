@@ -1,0 +1,506 @@
+"""Thread-safe, zero-dependency metrics: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` owns a set of named metric series.  Each series
+is identified by a metric *name* plus an optional, sorted *label* set, so
+``registry.counter("query.plan.chosen", access="seq-scan")`` and the same
+name with ``access="index-lookup"`` are two independent series.
+
+Design constraints (enforced by CI lint):
+
+* standard library only — the registry is importable from every layer,
+  including ``storage``, without dependency cycles or third-party code;
+* monotonic clocks only — all timings use :func:`time.perf_counter`,
+  never ``time.time`` (wall clocks step under NTP and DST);
+* near-zero cost when disabled — every mutator starts with a single
+  ``enabled`` flag check and returns immediately, so instrumented hot
+  paths pay one attribute load and one branch;
+* cheap when enabled — ``Counter.inc`` and ``Histogram.observe`` never
+  take a lock on the hot path: they push onto a :class:`collections.deque`
+  (whose ``append`` is a single atomic C call under the GIL) and the
+  pending values are folded into the aggregate lazily, on read or when
+  the backlog reaches a fixed threshold.  Folding pops each pending
+  value exactly once under the series lock, so totals stay exact even
+  under the thread-hammer tests;
+* thread safety — each series carries its own small lock for folds and
+  resets; hot paths never contend on a registry-wide lock.
+
+Instrumented modules fetch their series once at import time::
+
+    from repro.obs import metrics as _metrics
+    _GETS = _metrics.counter("storage.store.get.count")
+
+and call ``_GETS.inc()`` in the hot path.  Handles stay valid across
+:meth:`MetricsRegistry.reset`, which zeroes series in place (it never
+discards the objects), so cached module-level handles are safe.
+
+Metric names form a public contract; the full catalogue lives in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from bisect import bisect_left
+from collections import deque
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_TIMING_BUCKETS",
+    "get_default_registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "timed",
+    "set_enabled",
+    "is_enabled",
+    "reset",
+    "snapshot",
+]
+
+#: Default histogram buckets for durations in seconds: 10 µs .. 10 s.
+DEFAULT_TIMING_BUCKETS: tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+#: Fold the pending deque into the aggregate once it reaches this many
+#: entries, bounding memory between reads without a lock per mutation.
+_FOLD_THRESHOLD = 1024
+
+
+class _Enabled:
+    """Shared mutable on/off flag; one per registry, referenced by every
+    series so a single toggle flips all of them without a registry walk."""
+
+    __slots__ = ("flag",)
+
+    def __init__(self, flag: bool):
+        self.flag = flag
+
+
+class Counter:
+    """Monotonically increasing counter.
+
+    ``inc`` is lock-free: it appends to a pending deque (atomic under the
+    GIL) and the backlog is folded into ``_base`` lazily — on read, or
+    inline once it reaches :data:`_FOLD_THRESHOLD` entries.
+    """
+
+    __slots__ = ("name", "labels", "_base", "_pending", "_append", "_lock", "_enabled")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...], enabled: _Enabled):
+        self.name = name
+        self.labels = labels
+        self._base: int | float = 0
+        self._pending: deque[int | float] = deque()
+        self._append = self._pending.append
+        self._lock = threading.Lock()
+        self._enabled = enabled
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (>= 0) to the counter; no-op when disabled."""
+        if not self._enabled.flag:
+            return
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self._append(amount)
+        if len(self._pending) >= _FOLD_THRESHOLD:
+            self._fold()
+
+    def _fold(self) -> None:
+        with self._lock:
+            pending = self._pending
+            base = self._base
+            while pending:
+                base += pending.popleft()
+            self._base = base
+
+    @property
+    def value(self) -> int | float:
+        self._fold()
+        return self._base
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._pending.clear()
+            self._base = 0
+
+    def _render(self) -> int | float:
+        return self.value
+
+
+class Gauge:
+    """A value that can go up and down (sizes, depths, in-flight counts)."""
+
+    __slots__ = ("name", "labels", "_value", "_lock", "_enabled")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...], enabled: _Enabled):
+        self.name = name
+        self.labels = labels
+        self._value: int | float = 0
+        self._lock = threading.Lock()
+        self._enabled = enabled
+
+    def set(self, value: int | float) -> None:
+        if not self._enabled.flag:
+            return
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        if not self._enabled.flag:
+            return
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: int | float = 1) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+    def _render(self) -> int | float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max.
+
+    Buckets are upper bounds (le semantics) plus an implicit ``+Inf``
+    bucket, cumulative like Prometheus renders them.
+
+    Like :class:`Counter`, ``observe`` is lock-free: observations land in
+    a pending deque and are folded into the bucket/count/sum/min/max
+    aggregate lazily, on read or at :data:`_FOLD_THRESHOLD` backlog.
+    """
+
+    __slots__ = (
+        "name", "labels", "buckets", "_bucket_counts", "_count", "_sum",
+        "_min", "_max", "_pending", "_append", "_lock", "_enabled",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        labels: tuple[tuple[str, str], ...],
+        enabled: _Enabled,
+        buckets: tuple[float, ...] = DEFAULT_TIMING_BUCKETS,
+    ):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be a sorted, non-empty sequence")
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(buckets)
+        self._bucket_counts = [0] * (len(self.buckets) + 1)  # +1 for +Inf
+        self._count = 0
+        self._sum = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+        self._pending: deque[float] = deque()
+        self._append = self._pending.append
+        self._lock = threading.Lock()
+        self._enabled = enabled
+
+    def observe(self, value: float) -> None:
+        """Record one observation; no-op when disabled."""
+        if not self._enabled.flag:
+            return
+        self._append(value)
+        if len(self._pending) >= _FOLD_THRESHOLD:
+            self._fold()
+
+    def _fold(self) -> None:
+        with self._lock:
+            pending = self._pending
+            buckets = self.buckets
+            counts = self._bucket_counts
+            while pending:
+                value = pending.popleft()
+                counts[bisect_left(buckets, value)] += 1
+                self._count += 1
+                self._sum += value
+                if self._min is None or value < self._min:
+                    self._min = value
+                if self._max is None or value > self._max:
+                    self._max = value
+
+    def time(self) -> "_HistogramTimer":
+        """Context manager observing the elapsed monotonic seconds."""
+        return _HistogramTimer(self)
+
+    @property
+    def count(self) -> int:
+        self._fold()
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        self._fold()
+        return self._sum
+
+    def bucket_counts(self) -> dict[str, int]:
+        """Cumulative per-bucket counts keyed by upper bound (le)."""
+        self._fold()
+        out: dict[str, int] = {}
+        running = 0
+        with self._lock:
+            raw = list(self._bucket_counts)
+        for bound, n in zip(self.buckets, raw):
+            running += n
+            out[repr(bound)] = running
+        out["+Inf"] = running + raw[-1]
+        return out
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._pending.clear()
+            self._bucket_counts = [0] * (len(self.buckets) + 1)
+            self._count = 0
+            self._sum = 0.0
+            self._min = None
+            self._max = None
+
+    def _render(self) -> dict[str, Any]:
+        self._fold()
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "buckets": self.bucket_counts(),
+        }
+
+
+class _HistogramTimer:
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: Histogram):
+        self._histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> "_HistogramTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._histogram.observe(time.perf_counter() - self._start)
+
+
+Metric = Counter | Gauge | Histogram
+
+
+def series_key(name: str, labels: dict[str, Any]) -> tuple[str, tuple[tuple[str, str], ...]]:
+    """Canonical (name, sorted-label-items) identity of a series."""
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def render_series_name(name: str, labels: tuple[tuple[str, str], ...]) -> str:
+    """``name{k=v,…}`` — the flat series key used in snapshots."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """A set of named metric series with snapshot/reset/enable controls.
+
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("requests").inc()
+    >>> registry.counter("requests").value
+    1
+    >>> registry.disable()
+    >>> registry.counter("requests").inc()   # near-no-op while disabled
+    >>> registry.counter("requests").value
+    1
+    """
+
+    def __init__(self, *, enabled: bool = True):
+        self._enabled = _Enabled(enabled)
+        self._series: dict[tuple[str, tuple[tuple[str, str], ...]], Metric] = {}
+        self._lock = threading.Lock()
+
+    # -- enable / disable ---------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled.flag
+
+    def enable(self) -> None:
+        self._enabled.flag = True
+
+    def disable(self) -> None:
+        self._enabled.flag = False
+
+    # -- series access ------------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """The counter series for ``name`` + ``labels`` (created on first use)."""
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        buckets: tuple[float, ...] = DEFAULT_TIMING_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        key = series_key(name, labels)
+        with self._lock:
+            existing = self._series.get(key)
+            if existing is not None:
+                if not isinstance(existing, Histogram):
+                    raise ValueError(
+                        f"series {render_series_name(*key)!r} already registered "
+                        f"as {type(existing).__name__}"
+                    )
+                return existing
+            metric = Histogram(name, key[1], self._enabled, buckets=tuple(buckets))
+            self._series[key] = metric
+            return metric
+
+    def _get_or_create(self, cls: type, name: str, labels: dict[str, Any]) -> Any:
+        key = series_key(name, labels)
+        with self._lock:
+            existing = self._series.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"series {render_series_name(*key)!r} already registered "
+                        f"as {type(existing).__name__}"
+                    )
+                return existing
+            metric = cls(name, key[1], self._enabled)
+            self._series[key] = metric
+            return metric
+
+    def series(self) -> Iterator[Metric]:
+        """All registered series (stable registration order)."""
+        with self._lock:
+            return iter(list(self._series.values()))
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every series in place.
+
+        Registrations (and therefore handles cached by instrumented
+        modules) survive; only the recorded values are cleared.
+        """
+        for metric in self.series():
+            metric._reset()
+
+    def snapshot(self) -> dict[str, Any]:
+        """Point-in-time dump: ``{"counters": {...}, "gauges": {...},
+        "histograms": {...}}`` keyed by flat series name."""
+        out: dict[str, dict[str, Any]] = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        for metric in self.series():
+            flat = render_series_name(metric.name, metric.labels)
+            if isinstance(metric, Counter):
+                out["counters"][flat] = metric._render()
+            elif isinstance(metric, Gauge):
+                out["gauges"][flat] = metric._render()
+            else:
+                out["histograms"][flat] = metric._render()
+        return out
+
+    # -- decorators ---------------------------------------------------------
+
+    def timed(
+        self,
+        name: str,
+        *,
+        buckets: tuple[float, ...] = DEFAULT_TIMING_BUCKETS,
+        **labels: Any,
+    ) -> Callable:
+        """Decorator observing the wrapped function's duration (seconds,
+        monotonic) into the histogram series ``name`` + ``labels``."""
+        series = self.histogram(name, buckets=buckets, **labels)
+
+        def decorate(fn: Callable) -> Callable:
+            @functools.wraps(fn)
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                if not series._enabled.flag:
+                    return fn(*args, **kwargs)
+                start = time.perf_counter()
+                try:
+                    return fn(*args, **kwargs)
+                finally:
+                    series.observe(time.perf_counter() - start)
+
+            return wrapper
+
+        return decorate
+
+
+# -- process-global default registry ---------------------------------------
+
+_DEFAULT_REGISTRY = MetricsRegistry(enabled=True)
+
+
+def get_default_registry() -> MetricsRegistry:
+    """The process-global registry all built-in instrumentation reports to."""
+    return _DEFAULT_REGISTRY
+
+
+def counter(name: str, **labels: Any) -> Counter:
+    """Counter series in the default registry."""
+    return _DEFAULT_REGISTRY.counter(name, **labels)
+
+
+def gauge(name: str, **labels: Any) -> Gauge:
+    """Gauge series in the default registry."""
+    return _DEFAULT_REGISTRY.gauge(name, **labels)
+
+
+def histogram(
+    name: str, *, buckets: tuple[float, ...] = DEFAULT_TIMING_BUCKETS, **labels: Any
+) -> Histogram:
+    """Histogram series in the default registry."""
+    return _DEFAULT_REGISTRY.histogram(name, buckets=buckets, **labels)
+
+
+def timed(
+    name: str, *, buckets: tuple[float, ...] = DEFAULT_TIMING_BUCKETS, **labels: Any
+) -> Callable:
+    """``@timed`` against the default registry."""
+    return _DEFAULT_REGISTRY.timed(name, buckets=buckets, **labels)
+
+
+def set_enabled(flag: bool) -> None:
+    """Enable or disable the default registry."""
+    if flag:
+        _DEFAULT_REGISTRY.enable()
+    else:
+        _DEFAULT_REGISTRY.disable()
+
+
+def is_enabled() -> bool:
+    return _DEFAULT_REGISTRY.enabled
+
+
+def reset() -> None:
+    """Zero every series in the default registry."""
+    _DEFAULT_REGISTRY.reset()
+
+
+def snapshot() -> dict[str, Any]:
+    """Snapshot of the default registry."""
+    return _DEFAULT_REGISTRY.snapshot()

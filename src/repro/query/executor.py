@@ -10,16 +10,28 @@ by primary key (a list may contain the probe value twice).
     engine = QueryEngine(store)
     rows = engine.execute('author:"McAteer" AND year >= 1978')
     print(engine.explain('year >= 1978'))
+
+``execute(..., profile=True)`` is the ``EXPLAIN ANALYZE`` surface: instead
+of a bare row list it returns a :class:`QueryProfile` whose operator tree
+annotates every node (seq-scan, index lookups/ranges, filter, aggregate,
+sort, limit) with wall time and rows-examined/rows-returned counts.
+Profiled execution materializes stage by stage so each node's cost is
+attributable; the unprofiled path stays streaming and is instrumented only
+with bulk counters (``query.executions``, ``query.rows.returned``) and a
+latency histogram (``query.seconds``).
 """
 
 from __future__ import annotations
 
 import base64
 import json
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.errors import QueryPlanError
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
 from repro.query.ast_nodes import Query
 from repro.query.parser import parse_query
 from repro.query.planner import (
@@ -35,6 +47,83 @@ from repro.query.planner import (
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.storage.store import RecordStore
+
+_EXECUTIONS = _metrics.counter("query.executions")
+_ROWS_EXAMINED = _metrics.counter("query.rows.examined")
+_ROWS_RETURNED = _metrics.counter("query.rows.returned")
+_QUERY_SECONDS = _metrics.histogram("query.seconds")
+_PROFILED = _metrics.counter("query.profiled.count")
+
+
+@dataclass(frozen=True, slots=True)
+class OpProfile:
+    """One node of a profiled operator tree (``EXPLAIN ANALYZE`` output).
+
+    ``rows_examined`` counts the rows the operator looked at (its input,
+    or for a seq-scan the whole table); ``rows_returned`` counts the rows
+    it passed upward.  ``seconds`` is the node's own wall time, measured
+    over the materialization of its output (children excluded).
+    """
+
+    op: str  #: "seq-scan" | "index-lookup" | … | "filter" | "sort" | "limit"
+    detail: str
+    rows_examined: int
+    rows_returned: int
+    seconds: float
+    children: tuple["OpProfile", ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "op": self.op,
+            "detail": self.detail,
+            "rows_examined": self.rows_examined,
+            "rows_returned": self.rows_returned,
+            "seconds": self.seconds,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def render(self) -> str:
+        """Indented tree, root first (the outermost operator on top)."""
+        lines: list[str] = []
+        self._render_into(lines, "", "")
+        return "\n".join(lines)
+
+    def _render_into(self, lines: list[str], prefix: str, child_prefix: str) -> None:
+        lines.append(
+            f"{prefix}{self.op} ({self.detail})  "
+            f"examined={self.rows_examined} returned={self.rows_returned}  "
+            f"{self.seconds * 1e3:.3f}ms"
+        )
+        for child in self.children:
+            child._render_into(lines, child_prefix + "└─ ", child_prefix + "   ")
+
+    def iter_nodes(self) -> Iterator["OpProfile"]:
+        """This node and every descendant, root first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_nodes()
+
+
+@dataclass(frozen=True, slots=True)
+class QueryProfile:
+    """Rows plus the annotated operator tree of one profiled execution."""
+
+    rows: list[dict[str, Any]]
+    root: OpProfile
+    plan_text: str
+    seconds: float
+
+    def render(self) -> str:
+        """The operator tree plus a total-time footer."""
+        return f"{self.root.render()}\ntotal: {self.seconds * 1e3:.3f}ms"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "plan": self.plan_text,
+            "seconds": self.seconds,
+            "row_count": len(self.rows),
+            "tree": self.root.to_dict(),
+        }
 
 
 @dataclass(frozen=True, slots=True)
@@ -71,10 +160,19 @@ class QueryEngine:
 
     # -- public API ---------------------------------------------------------
 
-    def execute(self, query: str | Query) -> list[dict[str, Any]]:
-        """Run ``query`` and return the matching records."""
+    def execute(
+        self, query: str | Query, *, profile: bool = False
+    ) -> list[dict[str, Any]] | QueryProfile:
+        """Run ``query`` and return the matching records.
+
+        With ``profile=True``, returns a :class:`QueryProfile` instead:
+        the rows plus the annotated operator tree with per-node timings
+        and rows-examined/rows-returned counts (``EXPLAIN ANALYZE``).
+        """
         parsed = self._parse(query)
         plan = plan_query(parsed, self.store)
+        if profile:
+            return self.run_plan_profiled(plan)
         return self.run_plan(plan)
 
     def explain(self, query: str | Query) -> str:
@@ -178,6 +276,7 @@ class QueryEngine:
 
     def run_plan(self, plan: Plan) -> list[dict[str, Any]]:
         """Execute a :class:`Plan` produced by the planner."""
+        start = time.perf_counter()
         rows = self._candidates(plan)
         if plan.residual is not None:
             residual = plan.residual
@@ -185,12 +284,8 @@ class QueryEngine:
         if plan.group_by is not None:
             rows = iter(self._aggregate(rows, plan.group_by))
         if plan.order_by is not None:
+            self._check_order_field(plan)
             field = plan.order_by
-            known = self.store.schema.has_field(field)
-            if plan.group_by is not None:
-                known = field in (plan.group_by, "count")
-            if not known:
-                raise QueryPlanError(f"cannot ORDER BY unknown field {field!r}")
             materialized = sorted(
                 rows,
                 key=lambda r: _sort_key(r.get(field)),
@@ -198,13 +293,109 @@ class QueryEngine:
             )
             rows = iter(materialized)
         if plan.limit is not None:
-            limited: list[dict[str, Any]] = []
+            out: list[dict[str, Any]] = []
             for record in rows:
-                if len(limited) == plan.limit:
+                if len(out) == plan.limit:
                     break
-                limited.append(record)
-            return limited
-        return list(rows)
+                out.append(record)
+        else:
+            out = list(rows)
+        _EXECUTIONS.inc()
+        _ROWS_RETURNED.inc(len(out))
+        _QUERY_SECONDS.observe(time.perf_counter() - start)
+        return out
+
+    def run_plan_profiled(self, plan: Plan) -> QueryProfile:
+        """Execute ``plan`` stage by stage, timing and counting each node.
+
+        Unlike :meth:`run_plan` this materializes every stage so each
+        operator's cost is attributable; results are identical.
+        """
+        total_start = time.perf_counter()
+        with _tracing.span("query.execute", access=plan.access.op, profiled=True) as qspan:
+            start = time.perf_counter()
+            candidates = list(self._candidates(plan))
+            examined = len(self.store) if isinstance(plan.access, FullScan) else len(candidates)
+            node = OpProfile(
+                op=plan.access.op,
+                detail=plan.access.describe(),
+                rows_examined=examined,
+                rows_returned=len(candidates),
+                seconds=time.perf_counter() - start,
+            )
+            rows = candidates
+            if plan.residual is not None:
+                residual = plan.residual
+                start = time.perf_counter()
+                filtered = [r for r in rows if residual.evaluate(r)]
+                node = OpProfile(
+                    op="filter",
+                    detail=str(residual),
+                    rows_examined=len(rows),
+                    rows_returned=len(filtered),
+                    seconds=time.perf_counter() - start,
+                    children=(node,),
+                )
+                rows = filtered
+            if plan.group_by is not None:
+                start = time.perf_counter()
+                grouped = self._aggregate(iter(rows), plan.group_by)
+                node = OpProfile(
+                    op="aggregate",
+                    detail=f"GROUP BY {plan.group_by} (COUNT)",
+                    rows_examined=len(rows),
+                    rows_returned=len(grouped),
+                    seconds=time.perf_counter() - start,
+                    children=(node,),
+                )
+                rows = grouped
+            if plan.order_by is not None:
+                self._check_order_field(plan)
+                order_field = plan.order_by
+                start = time.perf_counter()
+                rows = sorted(
+                    rows,
+                    key=lambda r: _sort_key(r.get(order_field)),
+                    reverse=plan.descending,
+                )
+                node = OpProfile(
+                    op="sort",
+                    detail=f"ORDER BY {order_field} {'DESC' if plan.descending else 'ASC'}",
+                    rows_examined=len(rows),
+                    rows_returned=len(rows),
+                    seconds=time.perf_counter() - start,
+                    children=(node,),
+                )
+            if plan.limit is not None:
+                start = time.perf_counter()
+                limited = rows[: plan.limit]
+                node = OpProfile(
+                    op="limit",
+                    detail=f"LIMIT {plan.limit}",
+                    rows_examined=len(rows),
+                    rows_returned=len(limited),
+                    seconds=time.perf_counter() - start,
+                    children=(node,),
+                )
+                rows = limited
+            _EXECUTIONS.inc()
+            _PROFILED.inc()
+            _ROWS_EXAMINED.inc(examined)  # base-table rows touched by the access path
+            _ROWS_RETURNED.inc(len(rows))
+            seconds = time.perf_counter() - total_start
+            _QUERY_SECONDS.observe(seconds)
+            qspan.set_attribute("rows", len(rows))
+            return QueryProfile(
+                rows=rows, root=node, plan_text=plan.explain(), seconds=seconds
+            )
+
+    def _check_order_field(self, plan: Plan) -> None:
+        field = plan.order_by
+        known = self.store.schema.has_field(field)
+        if plan.group_by is not None:
+            known = field in (plan.group_by, "count")
+        if not known:
+            raise QueryPlanError(f"cannot ORDER BY unknown field {field!r}")
 
     def _aggregate(
         self, rows: Iterator[dict[str, Any]], field: str

@@ -18,12 +18,19 @@ Planning is rule-based, in decreasing preference:
 Whatever access path is chosen, all conjuncts that the path does not fully
 answer stay in the residual filter, so plans are always *correct* and at
 worst *unhelpful* — the property the planner/scan equivalence tests assert.
+
+Observability: every :func:`plan_query` call bumps
+``query.plans.considered`` and the labelled ``query.plan.chosen{access=…}``
+counter for its winning access path, so the index-vs-scan mix of a
+workload can be read straight off a metrics snapshot.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
+
+from repro.obs import metrics as _planner_metrics
 
 from repro.query.ast_nodes import (
     And,
@@ -48,6 +55,8 @@ if TYPE_CHECKING:  # pragma: no cover
 class FullScan:
     """Scan every record."""
 
+    op = "seq-scan"  #: operator name in profiles and metric labels
+
     def describe(self) -> str:
         return "FULL SCAN"
 
@@ -60,6 +69,8 @@ class IndexLookup:
     value: Any
     kind: str  # "hash" | "btree"
 
+    op = "index-lookup"
+
     def describe(self) -> str:
         return f"INDEX LOOKUP ({self.kind}) {self.field} = {self.value!r}"
 
@@ -70,6 +81,8 @@ class CompositeLookup:
 
     fields: tuple[str, ...]
     values: tuple[Any, ...]
+
+    op = "composite-lookup"
 
     def describe(self) -> str:
         parts = ", ".join(f"{f} = {v!r}" for f, v in zip(self.fields, self.values))
@@ -86,6 +99,8 @@ class CompositeRange:
     high: Any = None
     include_low: bool = True
     include_high: bool = True
+
+    op = "composite-range"
 
     def describe(self) -> str:
         fixed = ", ".join(
@@ -108,6 +123,8 @@ class IndexMultiLookup:
     values: tuple[Any, ...]
     kind: str  # "hash" | "btree"
 
+    op = "index-multi-lookup"
+
     def describe(self) -> str:
         return (
             f"INDEX MULTI-LOOKUP ({self.kind}) {self.field} IN "
@@ -124,6 +141,8 @@ class IndexRange:
     high: Any = None
     include_low: bool = True
     include_high: bool = True
+
+    op = "index-range"
 
     def describe(self) -> str:
         lo = "(-inf" if self.low is None else ("[" if self.include_low else "(") + repr(self.low)
@@ -166,11 +185,29 @@ class Plan:
         return "\n".join(lines)
 
 
+_PLANS_CONSIDERED = _planner_metrics.counter("query.plans.considered")
+#: One labelled counter per access path; pre-registered so handles are
+#: cached and a snapshot always shows the full label set.
+_PLAN_CHOSEN = {
+    cls.op: _planner_metrics.counter("query.plan.chosen", access=cls.op)
+    for cls in (
+        FullScan,
+        IndexLookup,
+        IndexMultiLookup,
+        IndexRange,
+        CompositeLookup,
+        CompositeRange,
+    )
+}
+
+
 def plan_query(query: Query, store: "RecordStore") -> Plan:
     """Plan ``query`` against ``store``'s declared indexes."""
     clauses = [_rewrite_or_of_equalities(c) for c in conjuncts(query.where)]
 
     access, used = _choose_access(clauses, store)
+    _PLANS_CONSIDERED.inc()
+    _PLAN_CHOSEN[access.op].inc()
     residual = _combine([c for i, c in enumerate(clauses) if i not in used])
     return Plan(
         access=access,

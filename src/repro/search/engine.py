@@ -14,7 +14,12 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from repro.core.entry import PublicationRecord
+from repro.obs import metrics as _metrics
 from repro.search.inverted import InvertedIndex, analyze
+
+_QUERIES = _metrics.counter("search.queries")
+_POSTINGS_SCANNED = _metrics.counter("search.postings.scanned")
+_CANDIDATES_SCORED = _metrics.counter("search.candidates.scored")
 
 
 @dataclass(frozen=True, slots=True)
@@ -73,17 +78,24 @@ class TitleSearchEngine:
 
         An empty or all-stopword query returns no hits.
         """
+        _QUERIES.inc()
         terms, phrases = _parse_query(query)
         all_terms = terms + [t for phrase in phrases for t in phrase]
         if not all_terms:
             return []
 
+        # Postings scanned = total posting-list length across probed
+        # terms (the work AND-intersection walks through).
+        _POSTINGS_SCANNED.inc(
+            sum(self.index.document_frequency(term) for term in all_terms)
+        )
         candidates = self.index.search_and(all_terms)
         for phrase in phrases:
             candidates &= set(self.index.search_phrase(phrase))
             if not candidates:
                 return []
 
+        _CANDIDATES_SCORED.inc(len(candidates))
         n = max(self.index.document_count, 1)
         hits = []
         for doc_id in candidates:

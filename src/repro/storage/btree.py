@@ -20,6 +20,11 @@ from __future__ import annotations
 import bisect
 from typing import Any, Iterator
 
+from repro.obs import metrics as _metrics
+
+_SPLITS = _metrics.counter("storage.btree.node_splits")
+_SEARCHES = _metrics.counter("storage.btree.searches")
+
 
 class _Node:
     __slots__ = ("keys", "values", "children")
@@ -178,6 +183,7 @@ class BTree:
 
     def search(self, key: Any) -> list[Any]:
         """All values stored under ``key`` (empty list when absent)."""
+        _SEARCHES.inc()
         node = self._root
         while True:
             i = bisect.bisect_left(node.keys, key)
@@ -283,6 +289,7 @@ class BTree:
         self._len += 1
 
     def _split_child(self, parent: _Node, index: int) -> None:
+        _SPLITS.inc()
         full = parent.children[index]
         mid = len(full.keys) // 2
         sibling = _Node()

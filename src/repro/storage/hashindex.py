@@ -11,6 +11,10 @@ from __future__ import annotations
 
 from typing import Any, Iterator
 
+from repro.obs import metrics as _metrics
+
+_PROBES = _metrics.counter("storage.hash.probes")
+
 
 class HashIndex:
     """Unordered multimap with the secondary-index interface.
@@ -46,6 +50,7 @@ class HashIndex:
 
     def search(self, key: Any) -> list[Any]:
         """All values under ``key`` (empty list when absent)."""
+        _PROBES.inc()
         return list(self._buckets.get(key, ()))
 
     def __contains__(self, key: Any) -> bool:

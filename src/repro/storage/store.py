@@ -20,6 +20,15 @@ returns; *index declarations* become durable at the next
 :meth:`RecordStore.snapshot` (they are schema-level metadata, cheap to
 re-declare, and keeping them out of the WAL keeps every log entry a pure
 data operation).
+
+Observability: reads and writes report to the default metrics registry
+(``storage.store.get.count``, ``storage.store.put.count``,
+``storage.store.delete.count``, ``storage.store.scan.count`` /
+``storage.store.scan.records``, ``storage.store.find_by.count``,
+``storage.store.range_by.count``); snapshot and recovery latencies land in
+``storage.store.snapshot.seconds`` / ``storage.store.recover.seconds``.
+WAL-level metrics (append count/bytes, flush latency) are reported by
+:mod:`repro.storage.wal` itself.  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -37,12 +46,21 @@ from repro.errors import (
     StorageError,
     ValidationError,
 )
+from repro.obs import metrics as _metrics
 from repro.storage.btree import BTree
 from repro.storage.hashindex import HashIndex
 from repro.storage.schema import FieldType, Schema
 from repro.storage.wal import WriteAheadLog
 
 _SNAPSHOT_VERSION = 1
+
+_GET_COUNT = _metrics.counter("storage.store.get.count")
+_PUT_COUNT = _metrics.counter("storage.store.put.count")
+_DELETE_COUNT = _metrics.counter("storage.store.delete.count")
+_SCAN_COUNT = _metrics.counter("storage.store.scan.count")
+_SCAN_RECORDS = _metrics.counter("storage.store.scan.records")
+_FIND_BY_COUNT = _metrics.counter("storage.store.find_by.count")
+_RANGE_BY_COUNT = _metrics.counter("storage.store.range_by.count")
 
 
 class IndexKind(enum.Enum):
@@ -204,6 +222,7 @@ class RecordStore:
 
     def get(self, key: Any) -> dict[str, Any]:
         """Record with primary key ``key`` (a copy); raises when absent."""
+        _GET_COUNT.inc()
         try:
             return dict(self._records[key])
         except KeyError:
@@ -211,9 +230,17 @@ class RecordStore:
 
     def scan(self, predicate: Callable[[Mapping[str, Any]], bool] | None = None) -> Iterator[dict[str, Any]]:
         """Iterate over (copies of) all records, optionally filtered."""
-        for record in self._records.values():
-            if predicate is None or predicate(record):
-                yield dict(record)
+        _SCAN_COUNT.inc()
+        examined = 0
+        try:
+            for record in self._records.values():
+                examined += 1
+                if predicate is None or predicate(record):
+                    yield dict(record)
+        finally:
+            # One bulk increment per scan (not per record) keeps the hot
+            # loop free of metric calls even on abandoned iterations.
+            _SCAN_RECORDS.inc(examined)
 
     def keys(self) -> Iterator[Any]:
         """All primary keys in insertion order."""
@@ -230,6 +257,7 @@ class RecordStore:
             raise DuplicateKeyError(key)
         self._log({"op": "put", "record": record})
         self._apply_put(record)
+        _PUT_COUNT.inc()
 
     def upsert(self, record: Mapping[str, Any]) -> bool:
         """Insert or replace; returns True when a record was replaced."""
@@ -241,6 +269,7 @@ class RecordStore:
         if existed:
             self._apply_delete(key)
         self._apply_put(record)
+        _PUT_COUNT.inc()
         return existed
 
     def update(self, key: Any, changes: Mapping[str, Any]) -> dict[str, Any]:
@@ -253,6 +282,7 @@ class RecordStore:
         self._log({"op": "put", "record": current})
         self._apply_delete(key)
         self._apply_put(current)
+        _PUT_COUNT.inc()
         return dict(current)
 
     def delete(self, key: Any) -> None:
@@ -261,13 +291,20 @@ class RecordStore:
             raise RecordNotFoundError(key)
         self._log({"op": "del", "key": key})
         self._apply_delete(key)
+        _DELETE_COUNT.inc()
 
     def apply_batch(self, operations: list[dict[str, Any]]) -> None:
         """Apply a pre-validated operation batch atomically (one WAL entry).
 
         Each operation is ``{"op": "put", "record": …}`` or
-        ``{"op": "del", "key": …}``.  Validation happens before logging so a
-        bad batch leaves no trace.
+        ``{"op": "del", "key": …}``.  Every operation is validated *before*
+        the batch is logged: a bad batch aborts prior to its WAL append, so
+        neither the log nor the in-memory state is touched (and none of the
+        WAL metrics below move).  Once validation passes, the whole batch
+        lands as a single WAL entry — one ``storage.wal.append.count``
+        increment whose framed size feeds ``storage.wal.append.bytes``
+        (and, when the log fsyncs, one ``storage.wal.flush.seconds``
+        observation).
         """
         for op in operations:
             if op["op"] == "put":
@@ -277,6 +314,7 @@ class RecordStore:
             else:
                 raise StorageError(f"unknown batch op {op.get('op')!r}")
         self._log({"op": "batch", "ops": operations})
+        puts = deletes = 0
         for op in operations:
             if op["op"] == "put":
                 record = dict(op["record"])
@@ -284,9 +322,16 @@ class RecordStore:
                 if key in self._records:
                     self._apply_delete(key)
                 self._apply_put(record)
+                puts += 1
             else:
                 if op["key"] in self._records:
                     self._apply_delete(op["key"])
+                    deletes += 1
+        # Bulk increments per batch (not per record) keep the apply loop
+        # free of metric calls; recovery replay is likewise uncounted here
+        # and shows up in storage.wal.replay.entries instead.
+        _PUT_COUNT.inc(puts)
+        _DELETE_COUNT.inc(deletes)
 
     def update_where(
         self,
@@ -538,6 +583,7 @@ class RecordStore:
 
         Uses the secondary index when one exists, otherwise scans.
         """
+        _FIND_BY_COUNT.inc()
         index = self._indexes.get(field)
         if index is not None:
             # A list field may contain the value twice; keep first hits only.
@@ -563,6 +609,7 @@ class RecordStore:
 
         Uses a B-tree index when available; falls back to scan+sort.
         """
+        _RANGE_BY_COUNT.inc()
         index = self._indexes.get(field)
         if index is not None and index.supports_range:
             assert isinstance(index.structure, BTree)
@@ -610,6 +657,7 @@ class RecordStore:
 
     # -- durability ---------------------------------------------------------------
 
+    @_metrics.get_default_registry().timed("storage.store.snapshot.seconds")
     def snapshot(self) -> None:
         """Write the full state to disk atomically and truncate the WAL."""
         if self._directory is None:
@@ -634,6 +682,7 @@ class RecordStore:
         if self._wal is not None:
             self._wal.truncate()
 
+    @_metrics.get_default_registry().timed("storage.store.recover.seconds")
     def _recover(self) -> None:
         if self._snapshot_path.exists():
             with open(self._snapshot_path, encoding="utf-8") as fh:

@@ -13,6 +13,16 @@ means silent data loss.
 The log stores opaque JSON payloads — the store layer defines the operation
 vocabulary (``put``/``delete``/``batch``).  ``fsync`` policy is the caller's
 choice per append; benchmarks (E7) measure the difference.
+
+Observability: appends report ``storage.wal.append.count`` /
+``storage.wal.append.bytes`` (batched locally and flushed to the registry
+every ``_METRIC_BATCH`` appends and on sync/truncate/close, so a live log
+lags by at most that many buffered appends); synced appends additionally bump
+``storage.wal.fsync.count`` and land their flush+fsync latency in the
+``storage.wal.flush.seconds`` histogram (buffered flushes are not timed —
+they cost nanoseconds and timing them would dominate the hot path);
+replay reports ``storage.wal.replay.entries``.  Full catalogue in
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -20,14 +30,22 @@ from __future__ import annotations
 import io
 import json
 import os
+import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator
 
 from repro.errors import CorruptLogError
+from repro.obs import metrics as _metrics
 
 _MAGIC = "W1"
+
+_APPEND_COUNT = _metrics.counter("storage.wal.append.count")
+_APPEND_BYTES = _metrics.counter("storage.wal.append.bytes")
+_FLUSH_SECONDS = _metrics.histogram("storage.wal.flush.seconds")
+_FSYNC_COUNT = _metrics.counter("storage.wal.fsync.count")
+_REPLAY_ENTRIES = _metrics.counter("storage.wal.replay.entries")
 
 
 @dataclass(frozen=True, slots=True)
@@ -61,12 +79,19 @@ class WriteAheadLog:
     ['put', 'del']
     """
 
+    #: Flush locally-batched append count/bytes to the registry at this
+    #: many appends; also flushed on sync, truncate, and close, so the
+    #: registry lags a live log by at most this many buffered appends.
+    _METRIC_BATCH = 64
+
     def __init__(self, path: Path | str, *, sync: bool = False):
         self.path = Path(path)
         self.sync = sync
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh: io.BufferedWriter | None = open(self.path, "ab")
         self.entries_written = 0
+        self._unreported_count = 0
+        self._unreported_bytes = 0
 
     # -- writing ----------------------------------------------------------
 
@@ -77,22 +102,51 @@ class WriteAheadLog:
         """
         fh = self._require_open()
         offset = fh.tell()
-        fh.write(_frame(payload))
-        fh.flush()
-        if self.sync if sync is None else sync:
-            os.fsync(fh.fileno())
+        frame = _frame(payload)
+        fh.write(frame)
         self.entries_written += 1
+        self._unreported_count += 1
+        self._unreported_bytes += len(frame)
+        if self.sync if sync is None else sync:
+            start = time.perf_counter()
+            fh.flush()
+            os.fsync(fh.fileno())
+            _FLUSH_SECONDS.observe(time.perf_counter() - start)
+            _FSYNC_COUNT.inc()
+            self._report_appends()
+        else:
+            fh.flush()
+            if self._unreported_count >= self._METRIC_BATCH:
+                self._report_appends()
         return offset
 
     def append_many(self, payloads: list[dict[str, Any]], *, sync: bool | None = None) -> None:
         """Append several entries with a single flush (and optional fsync)."""
         fh = self._require_open()
+        total_bytes = 0
         for payload in payloads:
-            fh.write(_frame(payload))
-        fh.flush()
+            frame = _frame(payload)
+            total_bytes += len(frame)
+            fh.write(frame)
         if self.sync if sync is None else sync:
+            start = time.perf_counter()
+            fh.flush()
             os.fsync(fh.fileno())
+            _FLUSH_SECONDS.observe(time.perf_counter() - start)
+            _FSYNC_COUNT.inc()
+        else:
+            fh.flush()
         self.entries_written += len(payloads)
+        self._unreported_count += len(payloads)
+        self._unreported_bytes += total_bytes
+        self._report_appends()
+
+    def _report_appends(self) -> None:
+        if self._unreported_count:
+            _APPEND_COUNT.inc(self._unreported_count)
+            _APPEND_BYTES.inc(self._unreported_bytes)
+            self._unreported_count = 0
+            self._unreported_bytes = 0
 
     def truncate(self) -> None:
         """Erase the log (used after a snapshot makes it redundant)."""
@@ -101,9 +155,11 @@ class WriteAheadLog:
         fh.truncate()
         fh.flush()
         os.fsync(fh.fileno())
+        self._report_appends()
 
     def close(self) -> None:
         if self._fh is not None:
+            self._report_appends()
             self._fh.close()
             self._fh = None
 
@@ -145,6 +201,7 @@ class WriteAheadLog:
                 if is_torn_candidate:
                     break  # torn tail: drop and stop
                 raise
+        _REPLAY_ENTRIES.inc(len(entries))
         return entries
 
     def replay(self) -> list[LogEntry]:

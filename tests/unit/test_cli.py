@@ -68,6 +68,103 @@ class TestBuild:
         assert "Hemdon, Judith" not in resolved_authors
 
 
+class TestStatsMetrics:
+    FAMILIES = ("storage.", "query.", "search.", "build.")
+
+    def test_metrics_snapshot_json_shape(self, capsys):
+        code, out, _ = run(capsys, "stats", "--metrics")
+        assert code == 0
+        snap = json.loads(out)
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        for family in self.FAMILIES:
+            assert any(name.startswith(family) for name in snap["counters"]), family
+        # the workload moved every family, not just registered it
+        assert snap["counters"]["storage.store.put.count"] > 0
+        assert snap["counters"]["storage.wal.append.count"] > 0
+        assert snap["counters"]["query.executions"] > 0
+        assert snap["counters"]["search.queries"] > 0
+        assert snap["counters"]["build.entries.collated"] > 0
+        assert snap["histograms"]["query.seconds"]["count"] > 0
+
+    def test_metrics_jsonl_lines_are_json_objects(self, capsys):
+        code, out, _ = run(capsys, "stats", "--metrics", "--metrics-format", "jsonl")
+        assert code == 0
+        rows = [json.loads(line) for line in out.strip().splitlines()]
+        assert all({"type", "name", "labels"} <= set(row) for row in rows)
+        assert {"counter", "histogram"} <= {row["type"] for row in rows}
+        chosen = [r for r in rows if r["name"] == "query.plan.chosen"]
+        assert {r["labels"]["access"] for r in chosen} >= {"seq-scan", "index-lookup"}
+
+    def test_metrics_text_format(self, capsys):
+        code, out, _ = run(capsys, "stats", "--metrics", "--metrics-format", "text")
+        assert code == 0
+        assert "# counters" in out
+        assert "storage.store.put.count" in out
+
+    def test_default_stats_unchanged(self, capsys):
+        code, out, _ = run(capsys, "stats")
+        assert code == 0
+        assert "entries:" in out
+
+
+class TestQueryProfile:
+    def test_profile_prints_operator_tree(self, capsys):
+        code, out, err = run(
+            capsys, "query", "--profile", "year >= 1985 ORDER BY page LIMIT 5"
+        )
+        assert code == 0
+        for op in ("limit", "sort", "index-range"):
+            assert op in out
+        assert "examined=" in out and "returned=" in out
+        assert "total:" in out
+        assert "(5 rows)" in err
+
+    def test_profile_seq_scan_and_filter_nodes(self, capsys):
+        code, out, _ = run(capsys, "query", "--profile", "page >= 100")
+        assert code == 0
+        assert "seq-scan" in out
+        assert "filter" in out
+
+    def test_profile_index_lookup_node(self, capsys):
+        code, out, _ = run(capsys, "query", "--profile", 'surnames:"Cardi"')
+        assert code == 0
+        assert "index-lookup" in out
+
+    def test_profile_json_shape(self, capsys):
+        code, out, _ = run(
+            capsys, "query", "--profile", "--json",
+            "year >= 1985 ORDER BY page LIMIT 5",
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert set(doc) == {"rows", "profile"}
+        assert len(doc["rows"]) == 5
+        profile = doc["profile"]
+        assert set(profile) == {"plan", "seconds", "row_count", "tree"}
+        assert profile["row_count"] == 5
+        node = profile["tree"]
+        ops = []
+        while True:
+            assert set(node) == {
+                "op", "detail", "rows_examined", "rows_returned",
+                "seconds", "children",
+            }
+            assert node["rows_examined"] >= node["rows_returned"] >= 0
+            assert node["seconds"] >= 0
+            ops.append(node["op"])
+            if not node["children"]:
+                break
+            node = node["children"][0]
+        assert ops == ["limit", "sort", "index-range"]
+
+    def test_profile_rows_match_unprofiled_rows(self, capsys):
+        query = "year >= 1985 ORDER BY page LIMIT 5"
+        code, plain, _ = run(capsys, "query", query)
+        code2, profiled, _ = run(capsys, "query", "--profile", query)
+        assert code == code2 == 0
+        assert plain in profiled  # profile output = tree + blank line + rows
+
+
 class TestQuery:
     def test_query_rows(self, capsys):
         code, out, err = run(capsys, "query", 'surnames:"Cardi"')

@@ -1,0 +1,258 @@
+"""Unit tests for repro.obs.metrics: counters, gauges, histograms,
+registry lifecycle, thread safety, and the disabled-registry no-op path."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import export, metrics
+from repro.obs.metrics import DEFAULT_TIMING_BUCKETS, MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self, registry):
+        c = registry.counter("c")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_same_name_same_series(self, registry):
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_labels_make_distinct_series(self, registry):
+        a = registry.counter("chosen", access="seq-scan")
+        b = registry.counter("chosen", access="index-lookup")
+        assert a is not b
+        a.inc()
+        assert (a.value, b.value) == (1, 0)
+
+    def test_label_order_is_canonical(self, registry):
+        a = registry.counter("c", x="1", y="2")
+        b = registry.counter("c", y="2", x="1")
+        assert a is b
+
+    def test_negative_increment_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("c").inc(-1)
+
+    def test_type_mismatch_rejected(self, registry):
+        registry.counter("series")
+        with pytest.raises(ValueError):
+            registry.gauge("series")
+        with pytest.raises(ValueError):
+            registry.histogram("series")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("g")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_count_sum_min_max(self, registry):
+        h = registry.histogram("h")
+        for v in (0.002, 0.004, 0.2):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(0.206)
+        rendered = h._render()
+        assert rendered["min"] == pytest.approx(0.002)
+        assert rendered["max"] == pytest.approx(0.2)
+
+    def test_bucket_counts_are_cumulative(self, registry):
+        h = registry.histogram("h", buckets=(0.01, 0.1, 1.0))
+        for v in (0.005, 0.05, 0.5, 5.0):
+            h.observe(v)
+        buckets = h.bucket_counts()
+        assert buckets == {"0.01": 1, "0.1": 2, "1.0": 3, "+Inf": 4}
+
+    def test_unsorted_buckets_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=(1.0, 0.1))
+
+    def test_timer_context_manager_observes(self, registry):
+        h = registry.histogram("h")
+        with h.time():
+            pass
+        assert h.count == 1
+        assert h.sum >= 0
+
+    def test_default_buckets_are_timing_scale(self, registry):
+        h = registry.histogram("h")
+        assert h.buckets == DEFAULT_TIMING_BUCKETS
+
+
+class TestDisabled:
+    def test_disabled_registry_is_a_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        c = registry.counter("c")
+        g = registry.gauge("g")
+        h = registry.histogram("h")
+        c.inc(10)
+        g.set(5)
+        h.observe(1.0)
+        assert c.value == 0
+        assert g.value == 0
+        assert h.count == 0
+
+    def test_reenable_resumes_cached_handles(self, registry):
+        c = registry.counter("c")
+        registry.disable()
+        c.inc()
+        assert c.value == 0
+        registry.enable()
+        c.inc()
+        assert c.value == 1
+
+    def test_toggle_covers_all_series_without_rebinding(self, registry):
+        a = registry.counter("a")
+        b = registry.histogram("b")
+        registry.disable()
+        a.inc()
+        b.observe(1)
+        assert a.value == 0 and b.count == 0
+
+
+class TestLifecycle:
+    def test_reset_zeroes_in_place(self, registry):
+        c = registry.counter("c")
+        h = registry.histogram("h")
+        c.inc(3)
+        h.observe(0.5)
+        registry.reset()
+        assert c.value == 0
+        assert h.count == 0
+        # the handle is still the registered series
+        c.inc()
+        assert registry.snapshot()["counters"]["c"] == 1
+
+    def test_snapshot_shape(self, registry):
+        registry.counter("c", kind="x").inc(2)
+        registry.gauge("g").set(7)
+        registry.histogram("h").observe(0.02)
+        snap = registry.snapshot()
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        assert snap["counters"] == {"c{kind=x}": 2}
+        assert snap["gauges"] == {"g": 7}
+        h = snap["histograms"]["h"]
+        assert h["count"] == 1
+        assert "+Inf" in h["buckets"]
+
+    def test_snapshot_round_trips_through_exporters(self, registry):
+        registry.counter("c", kind="x").inc(2)
+        registry.histogram("h").observe(0.02)
+        snap = registry.snapshot()
+        assert json.loads(export.render_json(snap)) == snap
+        lines = [json.loads(line) for line in export.render_jsonl(snap).splitlines()]
+        assert {row["type"] for row in lines} == {"counter", "histogram"}
+        counter_row = next(row for row in lines if row["type"] == "counter")
+        assert counter_row == {
+            "type": "counter", "name": "c", "labels": {"kind": "x"}, "value": 2,
+        }
+        assert "c{kind=x}" in export.render_text(snap)
+
+
+class TestTimed:
+    def test_timed_decorator_observes_each_call(self, registry):
+        @registry.timed("fn.seconds")
+        def fn(x):
+            return x * 2
+
+        assert fn(21) == 42
+        assert fn(1) == 2
+        series = registry.histogram("fn.seconds")
+        assert series.count == 2
+
+    def test_timed_observes_even_on_exception(self, registry):
+        @registry.timed("fn.seconds")
+        def boom():
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            boom()
+        assert registry.histogram("fn.seconds").count == 1
+
+    def test_default_registry_timed(self):
+        calls = metrics.histogram("test.obs.timed.seconds").count
+
+        @metrics.timed("test.obs.timed.seconds")
+        def fn():
+            return 1
+
+        fn()
+        assert metrics.histogram("test.obs.timed.seconds").count == calls + 1
+
+
+class TestThreadSafety:
+    def test_counter_hammer(self, registry):
+        c = registry.counter("hammer")
+        threads_n, per_thread = 8, 5_000
+
+        def work():
+            for _ in range(per_thread):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == threads_n * per_thread
+
+    def test_histogram_hammer(self, registry):
+        h = registry.histogram("hammer", buckets=(0.5, 1.0))
+        threads_n, per_thread = 8, 2_000
+
+        def work():
+            for i in range(per_thread):
+                h.observe((i % 3) * 0.4)
+
+        threads = [threading.Thread(target=work) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.count == threads_n * per_thread
+        assert h.bucket_counts()["+Inf"] == threads_n * per_thread
+
+    def test_concurrent_series_creation_yields_one_series(self, registry):
+        results = []
+
+        def work():
+            results.append(registry.counter("shared"))
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(c is results[0] for c in results)
+
+
+class TestDefaultRegistry:
+    def test_module_helpers_hit_the_default_registry(self):
+        registry = metrics.get_default_registry()
+        before = metrics.counter("test.obs.default.count").value
+        metrics.counter("test.obs.default.count").inc()
+        assert registry.counter("test.obs.default.count").value == before + 1
+
+    def test_set_enabled_round_trip(self):
+        assert metrics.is_enabled()
+        metrics.set_enabled(False)
+        try:
+            before = metrics.counter("test.obs.toggle").value
+            metrics.counter("test.obs.toggle").inc()
+            assert metrics.counter("test.obs.toggle").value == before
+        finally:
+            metrics.set_enabled(True)

@@ -1,0 +1,170 @@
+"""Unit tests for repro.obs.tracing: span nesting, attribute capture,
+ring-buffer retention, disabled-tracer no-ops, and thread isolation."""
+
+import threading
+
+import pytest
+
+from repro.obs.tracing import Span, Tracer
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(capacity=16)
+
+
+class TestNesting:
+    def test_children_attach_to_the_enclosing_span(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("middle"):
+                with tracer.span("inner"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        root = tracer.finished_spans()[-1]
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["middle", "sibling"]
+        assert [c.name for c in root.children[0].children] == ["inner"]
+
+    def test_only_roots_land_in_the_buffer(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = [s.name for s in tracer.finished_spans()]
+        assert names == ["outer"]
+
+    def test_current_span_tracks_the_stack(self, tracer):
+        assert tracer.current_span() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current_span() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current_span() is inner
+            assert tracer.current_span() is outer
+        assert tracer.current_span() is None
+
+    def test_exception_still_finishes_and_records(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        root = tracer.finished_spans()[-1]
+        assert root.name == "outer"
+        assert root.finished
+        assert root.children[0].finished
+
+
+class TestAttributes:
+    def test_creation_kwargs_and_set_attribute(self, tracer):
+        with tracer.span("op", records=42) as span:
+            span.set_attribute("rows", 7)
+        root = tracer.finished_spans()[-1]
+        assert root.attributes == {"records": 42, "rows": 7}
+
+    def test_duration_is_positive_and_monotonic(self, tracer):
+        with tracer.span("op"):
+            pass
+        root = tracer.finished_spans()[-1]
+        assert root.duration_s >= 0
+
+    def test_to_dict_shape(self, tracer):
+        with tracer.span("outer", n=1):
+            with tracer.span("inner"):
+                pass
+        d = tracer.finished_spans()[-1].to_dict()
+        assert set(d) == {"name", "duration_s", "attributes", "children"}
+        assert d["name"] == "outer"
+        assert d["attributes"] == {"n": 1}
+        assert d["children"][0]["name"] == "inner"
+
+    def test_tree_rendering(self, tracer):
+        with tracer.span("outer", n=1):
+            with tracer.span("inner"):
+                pass
+        text = tracer.finished_spans()[-1].tree()
+        lines = text.splitlines()
+        assert lines[0].startswith("outer")
+        assert "n=1" in lines[0]
+        assert lines[1].startswith("  inner")
+
+    def test_iter_spans_is_depth_first(self, tracer):
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        root = tracer.finished_spans()[-1]
+        assert [s.name for s in root.iter_spans()] == ["a", "b", "c", "d"]
+
+
+class TestRingBuffer:
+    def test_eviction_keeps_most_recent(self):
+        tracer = Tracer(capacity=3)
+        for i in range(7):
+            with tracer.span(f"span-{i}"):
+                pass
+        names = [s.name for s in tracer.finished_spans()]
+        assert names == ["span-4", "span-5", "span-6"]
+
+    def test_last_root(self, tracer):
+        assert tracer.last_root() is None
+        with tracer.span("only"):
+            pass
+        assert tracer.last_root().name == "only"
+
+    def test_reset_drops_retained_spans(self, tracer):
+        with tracer.span("x"):
+            pass
+        tracer.reset()
+        assert tracer.finished_spans() == []
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestDisabled:
+    def test_disabled_tracer_returns_noop_span(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("op", k=1) as span:
+            span.set_attribute("ignored", True)
+        assert tracer.finished_spans() == []
+
+    def test_disable_then_enable(self, tracer):
+        tracer.disable()
+        with tracer.span("invisible"):
+            pass
+        tracer.enable()
+        with tracer.span("visible"):
+            pass
+        assert [s.name for s in tracer.finished_spans()] == ["visible"]
+
+
+class TestThreads:
+    def test_threads_get_independent_stacks(self, tracer):
+        barrier = threading.Barrier(2)
+
+        def work(name):
+            with tracer.span(name):
+                barrier.wait()  # both spans open simultaneously
+                with tracer.span(f"{name}.child"):
+                    pass
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{i}",)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        roots = {s.name: s for s in tracer.finished_spans()}
+        assert set(roots) == {"t0", "t1"}
+        for name, root in roots.items():
+            assert [c.name for c in root.children] == [f"{name}.child"]
+
+
+class TestSpanStandalone:
+    def test_span_records_wall_time(self):
+        span = Span("manual", {})
+        assert not span.finished
+        assert span.duration_s >= 0
