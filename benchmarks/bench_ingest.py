@@ -1,0 +1,242 @@
+"""INGEST — throughput of the batched write path and the plan cache.
+
+Three experiments, written to ``BENCH_ingest.json``:
+
+* **ingest** — per-record ``insert()`` vs ``put_many()`` on a durable
+  (WAL-backed, ``sync=True``) store carrying the repository's four
+  default indexes, at 1k / 10k / 100k records.  Durable per-record
+  writes pay one fsync per record; ``put_many`` group-commits the whole
+  batch behind one fsync and maintains each index with one sorted bulk
+  update, so the speedup target is ≥ 5x at 100k.
+* **plan_cache** — cold ``plan_query`` cost vs a warm
+  ``PlanCache.get_or_plan`` hit (target: a hit costs < 10% of a cold
+  plan), plus the hit rate over a mixed 200-query workload.
+* **obs_overhead** — ``put_many`` with the metrics registry enabled vs
+  disabled (same < 5% bar as ``BENCH_obs.json``).
+
+Standalone-runnable (pytest not required)::
+
+    PYTHONPATH=src python benchmarks/bench_ingest.py             # print JSON
+    PYTHONPATH=src python benchmarks/bench_ingest.py --quick     # CI smoke
+    PYTHONPATH=src python benchmarks/bench_ingest.py --output BENCH_ingest.json
+
+``--quick`` shrinks the sizes (1k/5k, fewer repeats) so CI can smoke-test
+the harness in seconds; the checked-in baseline comes from a full run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+from time import perf_counter
+
+from repro import obs
+from repro.corpus.synthetic import SyntheticCorpus, SyntheticCorpusConfig
+from repro.corpus.wvlr import PUBLICATION_SCHEMA
+from repro.query.executor import QueryEngine
+from repro.query.parser import parse_query
+from repro.query.planner import PlanCache, plan_query
+from repro.storage.store import IndexKind, RecordStore
+
+FULL_SIZES = (1_000, 10_000, 100_000)
+QUICK_SIZES = (1_000, 5_000)
+
+PLAN_QUERIES = [
+    'surnames:"McAteer" AND year >= 1978',
+    "year >= 1985 ORDER BY page LIMIT 10",
+    "volume = 80 AND page >= 100",
+    'surnames IN ("Fox", "Webb") AND year < 1990',
+    "year >= 1960 AND year < 1970",
+]
+
+
+_RECORD_CACHE: dict[int, list[dict]] = {}
+
+
+def _records(size: int) -> list[dict]:
+    # The generator's default author pool is size // 2, and its
+    # rejection-sampling distinctness check is quadratic in the pool —
+    # fine at the 5k the other benchmarks use, minutes at 100k.  Cap the
+    # pool: 2k heavy-tailed authors is plenty of key skew for the
+    # storage arms, which only care about record volume.
+    if size not in _RECORD_CACHE:
+        config = SyntheticCorpusConfig(
+            size=size, seed=1729, author_pool=min(size // 2, 2_000)
+        )
+        corpus = SyntheticCorpus(config)
+        _RECORD_CACHE[size] = [record.to_store_dict() for record in corpus.records()]
+    return _RECORD_CACHE[size]
+
+
+def _new_store(directory: Path) -> RecordStore:
+    """A durable store with the repository's default index set."""
+    store = RecordStore(PUBLICATION_SCHEMA, directory, sync=True)
+    store.create_index("surnames", IndexKind.HASH)
+    store.create_index("year", IndexKind.BTREE)
+    store.create_index("volume", IndexKind.BTREE)
+    store.create_composite_index(("volume", "page"))
+    return store
+
+
+def bench_ingest(sizes, scratch: Path) -> dict:
+    results = {}
+    for size in sizes:
+        rows = _records(size)
+        with _new_store(scratch / f"serial-{size}") as store:
+            start = perf_counter()
+            for row in rows:
+                store.insert(row)
+            per_record_s = perf_counter() - start
+            assert len(store) == size
+        with _new_store(scratch / f"batched-{size}") as store:
+            start = perf_counter()
+            store.put_many(rows)
+            put_many_s = perf_counter() - start
+            assert len(store) == size
+        results[str(size)] = {
+            "per_record_s": round(per_record_s, 4),
+            "put_many_s": round(put_many_s, 4),
+            "per_record_rps": round(size / per_record_s),
+            "put_many_rps": round(size / put_many_s),
+            "speedup": round(per_record_s / put_many_s, 2),
+        }
+        print(
+            f"  ingest {size:>7}: insert {per_record_s:.3f}s, "
+            f"put_many {put_many_s:.3f}s "
+            f"({results[str(size)]['speedup']}x)",
+            file=sys.stderr,
+        )
+    return results
+
+
+def bench_plan_cache(scratch: Path, repeats: int) -> dict:
+    with RecordStore(PUBLICATION_SCHEMA, scratch / "plans") as store:
+        store.put_many(_records(5_000))
+        store.create_index("surnames", IndexKind.HASH)
+        store.create_index("year", IndexKind.BTREE)
+        store.create_index("volume", IndexKind.BTREE)
+        store.create_composite_index(("volume", "page"))
+        parsed = [parse_query(q) for q in PLAN_QUERIES]
+
+        # Cold: a fresh rule search per call.  Warm: pure cache hits.
+        n = 200
+        cold_s = warm_s = float("inf")
+        for _ in range(repeats):
+            start = perf_counter()
+            for _ in range(n):
+                for query in parsed:
+                    plan_query(query, store)
+            cold_s = min(cold_s, (perf_counter() - start) / (n * len(parsed)))
+            cache = PlanCache()
+            for query in parsed:  # prime
+                cache.get_or_plan(query, store)
+            start = perf_counter()
+            for _ in range(n):
+                for query in parsed:
+                    cache.get_or_plan(query, store)
+            warm_s = min(warm_s, (perf_counter() - start) / (n * len(parsed)))
+
+        # Hit rate over a mixed workload on a fresh engine: 200 queries
+        # drawn round-robin from the five templates — everything after
+        # the first pass hits.
+        obs.reset()
+        engine = QueryEngine(store)
+        for i in range(200):
+            engine.execute(PLAN_QUERIES[i % len(PLAN_QUERIES)])
+        counters = obs.metrics.snapshot()["counters"]
+        hits = counters["query.planner.cache.hit"]
+        misses = counters["query.planner.cache.miss"]
+    ratio_pct = warm_s / cold_s * 100
+    print(
+        f"  plan cache: cold {cold_s * 1e6:.1f}us, warm {warm_s * 1e6:.1f}us "
+        f"({ratio_pct:.1f}% of cold), hit rate {hits / (hits + misses):.2%}",
+        file=sys.stderr,
+    )
+    return {
+        "cold_plan_s": round(cold_s, 9),
+        "warm_hit_s": round(warm_s, 9),
+        "warm_pct_of_cold": round(ratio_pct, 2),
+        "workload_hits": hits,
+        "workload_misses": misses,
+        "workload_hit_rate": round(hits / (hits + misses), 4),
+    }
+
+
+def bench_obs_overhead(scratch: Path, size: int, repeats: int) -> dict:
+    """put_many with metrics enabled vs disabled (same store shape)."""
+    rows = _records(size)
+    samples: dict[bool, list[float]] = {True: [], False: []}
+    seq = 0
+    for round_no in range(repeats + 1):  # +1 warmup round
+        arms = (True, False) if round_no % 2 == 0 else (False, True)
+        for arm in arms:
+            seq += 1
+            with _new_store(scratch / f"obs-{seq}") as store:
+                obs.set_enabled(arm)
+                try:
+                    start = perf_counter()
+                    store.put_many(rows)
+                    elapsed = perf_counter() - start
+                finally:
+                    obs.set_enabled(True)
+            if round_no > 0:
+                samples[arm].append(elapsed)
+    enabled = min(samples[True])
+    disabled = min(samples[False])
+    ratios = sorted(e / d for e, d in zip(samples[True], samples[False]))
+    paired = ratios[len(ratios) // 2]
+    overhead = (min(enabled / disabled, paired) - 1.0) * 100
+    print(
+        f"  obs overhead on put_many({size}): {overhead:+.2f}%", file=sys.stderr
+    )
+    return {
+        "records": size,
+        "enabled_s": round(enabled, 4),
+        "disabled_s": round(disabled, 4),
+        "overhead_pct": round(overhead, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", help="write JSON here instead of stdout")
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes / few repeats (CI smoke)"
+    )
+    args = parser.parse_args(argv)
+
+    sizes = QUICK_SIZES if args.quick else FULL_SIZES
+    repeats = 3 if args.quick else 7
+    obs.reset()
+    with tempfile.TemporaryDirectory(prefix="bench-ingest-") as tmp:
+        scratch = Path(tmp)
+        ingest = bench_ingest(sizes, scratch)
+        plan_cache = bench_plan_cache(scratch, repeats)
+        overhead = bench_obs_overhead(scratch, sizes[-1], repeats)
+    doc = {
+        "benchmark": "bench_ingest",
+        "python": sys.version.split()[0],
+        "quick": args.quick,
+        "targets": {
+            "ingest_speedup_at_largest": 5.0,
+            "plan_cache_warm_pct_of_cold": 10.0,
+            "obs_overhead_pct": 5.0,
+        },
+        "ingest": ingest,
+        "plan_cache": plan_cache,
+        "obs_overhead": overhead,
+    }
+    text = json.dumps(doc, indent=2)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -175,6 +175,10 @@ def _cmd_stats_metrics(args: argparse.Namespace) -> int:
             store.create_index("volume", IndexKind.BTREE)
             AuthorIndexBuilder().add_records(records).build()
             engine = QueryEngine(store)
+            # Run the same query twice: the first planning is a
+            # query.planner.cache.miss, the repeat a cache.hit, so the
+            # snapshot always shows the plan cache moving.
+            engine.execute("year >= 1900 ORDER BY year LIMIT 25")
             engine.execute("year >= 1900 ORDER BY year LIMIT 25")
             TitleSearchEngine(records).search("law")
         # Snapshot after the store closes: the WAL flushes its locally

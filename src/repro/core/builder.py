@@ -141,7 +141,16 @@ class AuthorIndexBuilder:
         return self
 
     def add_records(self, records: Iterable[PublicationRecord]) -> "AuthorIndexBuilder":
-        """Add many records; returns self for chaining."""
+        """Add many records; returns self for chaining.
+
+        This is the batched ingestion entry point: records accumulate in
+        one extend and :meth:`build` processes the whole corpus in single
+        explode/dedupe/collate passes, so feeding a full volume here costs
+        the same as the sum of its rows — there is no per-record overhead
+        to amortize.  Pair with :meth:`RecordStore.put_many` (via
+        ``PublicationRepository.add_all``) to keep the storage side
+        batched too.
+        """
         self._records.extend(records)
         return self
 

@@ -94,9 +94,72 @@ class IncrementalIndexer:
         _RECORDS_ADDED.inc()
 
     def add_all(self, records: Iterable[PublicationRecord]) -> None:
-        """Insert many records."""
+        """Insert many records in one sorted merge.
+
+        Equivalent to repeated :meth:`add` — same entries, same metrics —
+        but collects every new row into one sorted run and merges it with
+        the entry list in a single O(n + k) pass instead of k binary
+        insertions (each of which shifts the tail).  A duplicate record
+        id — already indexed, or repeated within the batch — raises
+        before anything mutates.
+        """
+        records = list(records)
+        if not records:
+            return
+        batch_ids: set[int] = set()
         for record in records:
-            self.add(record)
+            if record.record_id in self._by_record or record.record_id in batch_ids:
+                raise ValidationError(
+                    f"record {record.record_id} already indexed", field="record_id"
+                )
+            batch_ids.add(record.record_id)
+        fresh: list[tuple[tuple, IndexEntry]] = []
+        pending: dict[tuple, int] = {}
+        by_record: dict[int, list[IndexEntry]] = {}
+        dedupe_hits = 0
+        for record in records:
+            added: list[IndexEntry] = []
+            for entry in explode(record):
+                row_key = entry.row_key()
+                count = self._row_keys.get(row_key, 0) + pending.get(row_key, 0)
+                pending[row_key] = pending.get(row_key, 0) + 1
+                added.append(entry)
+                if count:
+                    dedupe_hits += 1
+                    continue
+                fresh.append((collation_key(entry, self.options), entry))
+            by_record[record.record_id] = added
+        if fresh:
+            # collation_key totally orders distinct rows, so the merge has
+            # no ties to break and the result matches repeated bisection.
+            fresh.sort(key=lambda pair: pair[0])
+            merged_keys: list[tuple] = []
+            merged_entries: list[IndexEntry] = []
+            old_i = new_i = 0
+            while old_i < len(self._keys) and new_i < len(fresh):
+                if fresh[new_i][0] < self._keys[old_i]:
+                    key, entry = fresh[new_i]
+                    merged_keys.append(key)
+                    merged_entries.append(entry)
+                    new_i += 1
+                else:
+                    merged_keys.append(self._keys[old_i])
+                    merged_entries.append(self._entries[old_i])
+                    old_i += 1
+            merged_keys.extend(self._keys[old_i:])
+            merged_entries.extend(self._entries[old_i:])
+            for key, entry in fresh[new_i:]:
+                merged_keys.append(key)
+                merged_entries.append(entry)
+            self._keys = merged_keys
+            self._entries = merged_entries
+        for row_key, count in pending.items():
+            self._row_keys[row_key] = self._row_keys.get(row_key, 0) + count
+        self._by_record.update(by_record)
+        _RECORDS_ADDED.inc(len(records))
+        _ENTRIES_INSERTED.inc(len(fresh))
+        if dedupe_hits:
+            _DEDUPE_HITS.inc(dedupe_hits)
 
     def remove(self, record_id: int) -> None:
         """Remove a record's rows (duplicates only vanish when the last

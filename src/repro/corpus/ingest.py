@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.citation.model import Citation
 from repro.citation.parser import find_citations
@@ -32,6 +33,9 @@ from repro.core.entry import PublicationRecord
 from repro.names.model import canonical_honorific
 from repro.names.parser import try_parse_name
 from repro.textproc.hyphenation import join_hyphen_wraps
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.store import RecordStore
 
 _FURNITURE_PATTERNS = [
     re.compile(r"^\d{1,4}$"),  # bare page / sequence numbers
@@ -69,6 +73,15 @@ class IngestReport:
     @property
     def record_count(self) -> int:
         return len(self.records)
+
+    def load_into(self, store: "RecordStore") -> int:
+        """Load the parsed records into ``store`` via the batched path.
+
+        One group-committed WAL batch and one sorted bulk update per
+        index (see :meth:`RecordStore.put_many`); returns how many
+        records were written.
+        """
+        return store.put_many(record.to_store_dict() for record in self.records)
 
 
 #: Does a line open with an inverted name ("Surname, …")?

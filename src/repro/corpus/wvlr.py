@@ -100,10 +100,7 @@ def populate_store(
     """
     if records is None:
         records = load_reference_records()
-    with store.transaction() as txn:
-        for record in records:
-            txn.insert(record.to_store_dict())
-    return len(records)
+    return store.put_many(record.to_store_dict() for record in records)
 
 
 def corpus_data_path() -> Path:

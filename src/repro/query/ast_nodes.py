@@ -11,7 +11,7 @@ from __future__ import annotations
 import enum
 import functools
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Mapping, Union
 
 
@@ -205,6 +205,18 @@ class Query:
     order_by: str | None = None
     descending: bool = False
     limit: int | None = None
+    #: Memoized hash — hashing recurses over the whole expression tree,
+    #: and plan-cache lookups hash the same query repeatedly.
+    _hash: int | None = field(default=None, init=False, repr=False, compare=False)
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached is None:
+            cached = hash(
+                (self.where, self.group_by, self.order_by, self.descending, self.limit)
+            )
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def matches(self, record: Mapping[str, Any]) -> bool:
         return self.where is None or self.where.evaluate(record)

@@ -42,7 +42,7 @@ from repro.query.planner import (
     IndexMultiLookup,
     IndexRange,
     Plan,
-    plan_query,
+    PlanCache,
 )
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -112,14 +112,17 @@ class QueryProfile:
     root: OpProfile
     plan_text: str
     seconds: float
+    plan_cached: bool = False  #: plan came from the engine's PlanCache
 
     def render(self) -> str:
         """The operator tree plus a total-time footer."""
-        return f"{self.root.render()}\ntotal: {self.seconds * 1e3:.3f}ms"
+        cached = "  (plan: cached)" if self.plan_cached else ""
+        return f"{self.root.render()}\ntotal: {self.seconds * 1e3:.3f}ms{cached}"
 
     def to_dict(self) -> dict[str, Any]:
         return {
             "plan": self.plan_text,
+            "plan_cached": self.plan_cached,
             "seconds": self.seconds,
             "row_count": len(self.rows),
             "tree": self.root.to_dict(),
@@ -153,10 +156,18 @@ def _decode_cursor(cursor: str) -> tuple[Any, Any]:
 
 
 class QueryEngine:
-    """Plans and executes query strings (or pre-parsed :class:`Query`)."""
+    """Plans and executes query strings (or pre-parsed :class:`Query`).
 
-    def __init__(self, store: "RecordStore"):
+    Plans are memoized in a per-engine :class:`PlanCache` (LRU of
+    ``plan_cache_size`` entries, keyed on the parsed AST plus the store's
+    ``index_epoch``) — a repeated query skips the planner's rule search
+    entirely, and any index create/drop or bulk write retires every
+    cached plan by bumping the epoch.
+    """
+
+    def __init__(self, store: "RecordStore", *, plan_cache_size: int = 256):
         self.store = store
+        self.plan_cache = PlanCache(maxsize=plan_cache_size)
 
     # -- public API ---------------------------------------------------------
 
@@ -170,15 +181,19 @@ class QueryEngine:
         and rows-examined/rows-returned counts (``EXPLAIN ANALYZE``).
         """
         parsed = self._parse(query)
-        plan = plan_query(parsed, self.store)
+        plan, cached = self._plan(parsed)
         if profile:
-            return self.run_plan_profiled(plan)
+            return self.run_plan_profiled(plan, plan_cached=cached)
         return self.run_plan(plan)
 
     def explain(self, query: str | Query) -> str:
         """The plan that :meth:`execute` would use, as text."""
         parsed = self._parse(query)
-        return plan_query(parsed, self.store).explain()
+        plan, _ = self._plan(parsed)
+        return plan.explain()
+
+    def _plan(self, parsed: Query) -> tuple[Plan, bool]:
+        return self.plan_cache.get_or_plan(parsed, self.store)
 
     def execute_without_indexes(self, query: str | Query) -> list[dict[str, Any]]:
         """Run ``query`` as a pure scan (the E3 baseline and test oracle)."""
@@ -197,9 +212,7 @@ class QueryEngine:
     def count(self, query: str | Query) -> int:
         """Number of records matching ``query`` (ignores GROUP BY/LIMIT)."""
         parsed = self._parse(query)
-        plan = plan_query(
-            Query(where=parsed.where), self.store
-        )
+        plan, _ = self._plan(Query(where=parsed.where))
         total = 0
         rows: Any = self._candidates(plan)
         if plan.residual is not None:
@@ -230,9 +243,7 @@ class QueryEngine:
         order_field = parsed.order_by or pk_field
         if not self.store.schema.has_field(order_field):
             raise QueryPlanError(f"cannot ORDER BY unknown field {order_field!r}")
-        plan = plan_query(
-            Query(where=parsed.where), self.store
-        )
+        plan, _ = self._plan(Query(where=parsed.where))
         rows: Any = self._candidates(plan)
         if plan.residual is not None:
             rows = (r for r in rows if plan.residual.evaluate(r))
@@ -305,11 +316,13 @@ class QueryEngine:
         _QUERY_SECONDS.observe(time.perf_counter() - start)
         return out
 
-    def run_plan_profiled(self, plan: Plan) -> QueryProfile:
+    def run_plan_profiled(self, plan: Plan, *, plan_cached: bool = False) -> QueryProfile:
         """Execute ``plan`` stage by stage, timing and counting each node.
 
         Unlike :meth:`run_plan` this materializes every stage so each
         operator's cost is attributable; results are identical.
+        ``plan_cached`` is recorded in the profile so EXPLAIN ANALYZE
+        shows whether the plan came from the cache.
         """
         total_start = time.perf_counter()
         with _tracing.span("query.execute", access=plan.access.op, profiled=True) as qspan:
@@ -386,7 +399,11 @@ class QueryEngine:
             _QUERY_SECONDS.observe(seconds)
             qspan.set_attribute("rows", len(rows))
             return QueryProfile(
-                rows=rows, root=node, plan_text=plan.explain(), seconds=seconds
+                rows=rows,
+                root=node,
+                plan_text=plan.explain(),
+                seconds=seconds,
+                plan_cached=plan_cached,
             )
 
     def _check_order_field(self, plan: Plan) -> None:

@@ -19,14 +19,22 @@ Whatever access path is chosen, all conjuncts that the path does not fully
 answer stay in the residual filter, so plans are always *correct* and at
 worst *unhelpful* — the property the planner/scan equivalence tests assert.
 
+Repeated queries skip the rule search entirely via :class:`PlanCache`, an
+LRU keyed on the (hashable, normalized) query AST plus the store's
+``index_epoch`` — the epoch bumps on index create/drop and bulk writes, so
+a structural change silently retires every cached plan without an explicit
+invalidation hook, and stale epochs simply age out of the LRU.
+
 Observability: every :func:`plan_query` call bumps
 ``query.plans.considered`` and the labelled ``query.plan.chosen{access=…}``
 counter for its winning access path, so the index-vs-scan mix of a
-workload can be read straight off a metrics snapshot.
+workload can be read straight off a metrics snapshot; cache lookups bump
+``query.planner.cache.hit`` / ``query.planner.cache.miss``.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
@@ -199,6 +207,62 @@ _PLAN_CHOSEN = {
         CompositeRange,
     )
 }
+
+
+_CACHE_HIT = _planner_metrics.counter("query.planner.cache.hit")
+_CACHE_MISS = _planner_metrics.counter("query.planner.cache.miss")
+
+
+class PlanCache:
+    """LRU cache of compiled plans, keyed on query AST + index epoch.
+
+    The query AST is frozen dataclasses all the way down, so a normalized
+    query hashes and compares structurally.  Keys also carry the store's
+    ``index_epoch``; since the epoch only moves forward, plans built
+    against a dropped or newly-created index can never be returned — the
+    stale keys just stop matching and eventually fall off the LRU tail.
+    Queries with unhashable literal values (e.g. a list) are planned
+    fresh every time and counted as misses.
+
+    >>> cache = PlanCache(maxsize=2)
+    >>> len(cache)
+    0
+    """
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._plans: OrderedDict[tuple[Query, int], Plan] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def get_or_plan(self, query: Query, store: "RecordStore") -> tuple[Plan, bool]:
+        """Return ``(plan, was_cached)``, planning on a miss."""
+        key = (query, store.index_epoch)
+        try:
+            plan = self._plans[key]
+        except KeyError:
+            pass
+        except TypeError:
+            # Unhashable literal somewhere in the AST: plan fresh, skip
+            # caching entirely.
+            _CACHE_MISS.inc()
+            return plan_query(query, store), False
+        else:
+            self._plans.move_to_end(key)
+            _CACHE_HIT.inc()
+            return plan, True
+        plan = plan_query(query, store)
+        self._plans[key] = plan
+        if len(self._plans) > self.maxsize:
+            self._plans.popitem(last=False)
+        _CACHE_MISS.inc()
+        return plan, False
+
+    def clear(self) -> None:
+        self._plans.clear()
 
 
 def plan_query(query: Query, store: "RecordStore") -> Plan:

@@ -68,13 +68,14 @@ class PublicationRepository:
         self.store.insert(record.to_store_dict())
 
     def add_all(self, records: Iterable[PublicationRecord]) -> int:
-        """Insert many records atomically; returns how many."""
-        count = 0
-        with self.store.transaction() as txn:
-            for record in records:
-                txn.insert(record.to_store_dict())
-                count += 1
-        return count
+        """Insert many records atomically; returns how many.
+
+        Uses the store's batched fast path: every record validates (and
+        any duplicate id raises, with nothing written) before the whole
+        batch group-commits to the WAL and lands in each index as one
+        sorted bulk update.
+        """
+        return self.store.put_many(record.to_store_dict() for record in records)
 
     def get(self, record_id: int) -> PublicationRecord:
         """Record by id; raises :class:`~repro.errors.RecordNotFoundError`."""

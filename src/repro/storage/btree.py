@@ -18,12 +18,15 @@ the property-based tests.
 from __future__ import annotations
 
 import bisect
-from typing import Any, Iterator
+import heapq
+from typing import Any, Iterable, Iterator
 
 from repro.obs import metrics as _metrics
 
 _SPLITS = _metrics.counter("storage.btree.node_splits")
 _SEARCHES = _metrics.counter("storage.btree.searches")
+_BULK_LOADS = _metrics.counter("storage.btree.bulk_loads")
+_BULK_PAIRS = _metrics.counter("storage.btree.bulk_load.pairs")
 
 
 class _Node:
@@ -37,6 +40,17 @@ class _Node:
     @property
     def is_leaf(self) -> bool:
         return not self.children
+
+
+def _group_sorted(pairs: Iterable[tuple[Any, Any]]) -> list[tuple[Any, list[Any]]]:
+    """Group key-ordered ``(key, value)`` pairs into ``(key, values)`` runs."""
+    grouped: list[tuple[Any, list[Any]]] = []
+    for key, value in pairs:
+        if grouped and grouped[-1][0] == key:
+            grouped[-1][1].append(value)
+        else:
+            grouped.append((key, [value]))
+    return grouped
 
 
 class BTree:
@@ -90,6 +104,8 @@ class BTree:
         """
         tree = cls(order=order)
         pairs = list(items)
+        _BULK_LOADS.inc()
+        _BULK_PAIRS.inc(sum(len(v) for _, v in pairs))
         if not pairs:
             return tree
         for (a, _), (b, _) in zip(pairs, pairs[1:]):
@@ -151,6 +167,48 @@ class BTree:
         tree._len = sum(len(v) for _, v in pairs)
         tree._key_count = total
         return tree
+
+    @classmethod
+    def bulk_load(
+        cls, pairs: "Iterable[tuple[Any, Any]]", *, order: int = 32
+    ) -> "BTree":
+        """Bulk-load a tree from ``(key, value)`` pairs sorted by key.
+
+        The streaming entry point for batched index builds: duplicate
+        keys are allowed (values keep their arrival order) and the tree
+        is constructed bottom-up with no per-insert node splits.
+
+        >>> tree = BTree.bulk_load([(1, "a"), (1, "b"), (2, "c")], order=4)
+        >>> tree.search(1)
+        ['a', 'b']
+        """
+        return cls.from_sorted(_group_sorted(pairs), order=order)
+
+    def insert_many(self, pairs: list[tuple[Any, Any]]) -> None:
+        """Insert many ``(key, value)`` pairs, sorted by key, in one batch.
+
+        A batch that fills an empty tree — or is at least a quarter of the
+        tree's current size — is merged with the existing items and the
+        tree rebuilt bottom-up: O(n + m) with zero node splits.  Smaller
+        batches fall back to ordinary inserts (sorted order still helps:
+        consecutive inserts descend mostly-warm paths).
+        """
+        if not pairs:
+            return
+        if self._key_count and len(pairs) * 4 < self._len:
+            for key, value in pairs:
+                self.insert(key, value)
+            return
+        # Merge-rebuild: items() and pairs are both key-ordered; heapq.merge
+        # keeps existing values ahead of new ones under equal keys, matching
+        # what sequential insert() calls would have produced.
+        merged = _group_sorted(
+            heapq.merge(self.items(), pairs, key=lambda kv: kv[0])
+        )
+        rebuilt = BTree.from_sorted(merged, order=self.order)
+        self._root = rebuilt._root
+        self._len = rebuilt._len
+        self._key_count = rebuilt._key_count
 
     # -- capacity rules ----------------------------------------------------
 

@@ -5,15 +5,23 @@ multimap interface of :class:`~repro.storage.btree.BTree` so the store and
 the query planner can treat both uniformly.  Range scans are intentionally
 unsupported — the planner must fall back to a B-tree index or a full scan,
 which is exactly the E4 crossover experiment.
+
+Observability: probes bump ``storage.hash.probes``; writes bump
+``storage.hash.insert.count`` (entries inserted, bulk paths included) and
+``storage.hash.remove.count`` (entries actually removed); bulk builds bump
+``storage.hash.bulk_loads``.  Catalogue in ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 from repro.obs import metrics as _metrics
 
 _PROBES = _metrics.counter("storage.hash.probes")
+_INSERTS = _metrics.counter("storage.hash.insert.count")
+_REMOVES = _metrics.counter("storage.hash.remove.count")
+_BULK_LOADS = _metrics.counter("storage.hash.bulk_loads")
 
 
 class HashIndex:
@@ -43,10 +51,46 @@ class HashIndex:
     def distinct_keys(self) -> int:
         return len(self._buckets)
 
+    @classmethod
+    def bulk_load(cls, pairs: Iterable[tuple[Any, Any]]) -> "HashIndex":
+        """Build an index from ``(key, value)`` pairs in one pass.
+
+        Pairs may arrive in any order; values keep their arrival order
+        within a key.  One metrics update covers the whole build.
+
+        >>> idx = HashIndex.bulk_load([("a", 1), ("b", 2), ("a", 3)])
+        >>> idx.search("a")
+        [1, 3]
+        """
+        index = cls()
+        index.insert_many(pairs)
+        _BULK_LOADS.inc()
+        return index
+
+    def insert_many(self, pairs: Iterable[tuple[Any, Any]]) -> int:
+        """Insert many ``(key, value)`` pairs; returns how many.
+
+        Equivalent to repeated :meth:`insert` but with a single metrics
+        update for the whole batch.
+        """
+        buckets = self._buckets
+        inserted = 0
+        for key, value in pairs:
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [value]
+            else:
+                bucket.append(value)
+            inserted += 1
+        self._len += inserted
+        _INSERTS.inc(inserted)
+        return inserted
+
     def insert(self, key: Any, value: Any) -> None:
         """Insert ``value`` under ``key``."""
         self._buckets.setdefault(key, []).append(value)
         self._len += 1
+        _INSERTS.inc()
 
     def search(self, key: Any) -> list[Any]:
         """All values under ``key`` (empty list when absent)."""
@@ -63,6 +107,7 @@ class HashIndex:
             return False
         if value is None:
             self._len -= len(bucket)
+            _REMOVES.inc(len(bucket))
             del self._buckets[key]
             return True
         try:
@@ -70,6 +115,7 @@ class HashIndex:
         except ValueError:
             return False
         self._len -= 1
+        _REMOVES.inc()
         if not bucket:
             del self._buckets[key]
         return True

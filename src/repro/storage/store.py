@@ -21,14 +21,23 @@ returns; *index declarations* become durable at the next
 re-declare, and keeping them out of the WAL keeps every log entry a pure
 data operation).
 
+Bulk ingestion takes a fast path: :meth:`RecordStore.put_many` validates
+every record up front, group-commits the whole batch to the WAL (one
+buffered write, one fsync when syncing), and then maintains each secondary
+index with one sorted batched update instead of per-record top-down
+inserts.  :meth:`RecordStore.apply_batch` and recovery replay route pure
+put runs through the same path.
+
 Observability: reads and writes report to the default metrics registry
 (``storage.store.get.count``, ``storage.store.put.count``,
 ``storage.store.delete.count``, ``storage.store.scan.count`` /
 ``storage.store.scan.records``, ``storage.store.find_by.count``,
-``storage.store.range_by.count``); snapshot and recovery latencies land in
+``storage.store.range_by.count``); bulk writes additionally report
+``storage.store.put_many.count`` / ``storage.store.put_many.records``;
+snapshot and recovery latencies land in
 ``storage.store.snapshot.seconds`` / ``storage.store.recover.seconds``.
-WAL-level metrics (append count/bytes, flush latency) are reported by
-:mod:`repro.storage.wal` itself.  See ``docs/observability.md``.
+WAL-level metrics (append count/bytes, flush latency, group commits) are
+reported by :mod:`repro.storage.wal` itself.  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -38,7 +47,7 @@ import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Iterator, Mapping, Sequence
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import (
     DuplicateKeyError,
@@ -61,6 +70,8 @@ _SCAN_COUNT = _metrics.counter("storage.store.scan.count")
 _SCAN_RECORDS = _metrics.counter("storage.store.scan.records")
 _FIND_BY_COUNT = _metrics.counter("storage.store.find_by.count")
 _RANGE_BY_COUNT = _metrics.counter("storage.store.range_by.count")
+_PUT_MANY_COUNT = _metrics.counter("storage.store.put_many.count")
+_PUT_MANY_RECORDS = _metrics.counter("storage.store.put_many.records")
 
 
 class IndexKind(enum.Enum):
@@ -192,6 +203,12 @@ class RecordStore:
         #: Monotone counter bumped on every applied put/delete; lets
         #: derived structures (caches, search engines) detect staleness.
         self.mutation_count = 0
+        #: Monotone counter bumped on index create/drop and on bulk
+        #: writes (``put_many`` / ``apply_batch``).  Plan caches key on it
+        #: so a schema or bulk-statistics change simply misses instead of
+        #: needing explicit invalidation.  Per-record writes do not bump
+        #: it: they only drift selectivity estimates, never correctness.
+        self.index_epoch = 0
         self._wal: WriteAheadLog | None = None
         self._directory: Path | None = None
         if directory is not None:
@@ -293,6 +310,91 @@ class RecordStore:
         self._apply_delete(key)
         _DELETE_COUNT.inc()
 
+    def put_many(
+        self,
+        records: Iterable[Mapping[str, Any]],
+        *,
+        on_conflict: str = "error",
+        sync: bool | None = None,
+        sync_every: int | None = None,
+    ) -> int:
+        """Bulk-write ``records`` through the batched fast path.
+
+        Every record is validated *before* anything is logged; the whole
+        batch then lands in the WAL as one group commit (one buffered
+        write and, when syncing, one fsync — bounded by ``sync_every``,
+        see :meth:`WriteAheadLog.append_many`), and each secondary index
+        is maintained with a single sorted batched update instead of one
+        top-down insert per key.  Returns the number of records written.
+
+        ``on_conflict`` chooses what a primary key that already exists
+        (in the store or earlier in the batch) means: ``"error"`` (the
+        default) raises :class:`DuplicateKeyError` before any state is
+        touched — the whole batch is atomic, matching ``insert()`` — and
+        ``"replace"`` upserts, matching ``upsert()``.
+        """
+        if on_conflict not in ("error", "replace"):
+            raise StorageError(f"unknown on_conflict mode {on_conflict!r}")
+        materialized = [dict(record) for record in records]
+        if not materialized:
+            return 0
+        batch_keys: set[Any] = set()
+        for record in materialized:
+            self.schema.validate(record)
+            if on_conflict == "error":
+                key = self.schema.primary_key_of(record)
+                if key in self._records or key in batch_keys:
+                    raise DuplicateKeyError(key)
+                batch_keys.add(key)
+        if self._wal is not None:
+            self._wal.append_many(
+                ({"op": "put", "record": record} for record in materialized),
+                sync=sync,
+                sync_every=sync_every,
+            )
+        self._apply_put_batch(materialized)
+        _PUT_COUNT.inc(len(materialized))
+        _PUT_MANY_COUNT.inc()
+        _PUT_MANY_RECORDS.inc(len(materialized))
+        self.index_epoch += 1
+        return len(materialized)
+
+    def _apply_put_batch(self, records: list[dict[str, Any]]) -> None:
+        """Apply validated puts with sorted batched index maintenance.
+
+        Takes ownership of the record dicts.  Later records win when a
+        primary key repeats within the batch (replay semantics).  All
+        index additions are computed — and B-tree ones sorted — *before*
+        any state mutates, so an unsortable key set aborts cleanly.
+        """
+        by_key: dict[Any, dict[str, Any]] = {}
+        for record in records:
+            by_key[self.schema.primary_key_of(record)] = record
+        additions: list[tuple[_SecondaryIndex, list[tuple[Any, Any]]]] = []
+        for index in self._indexes.values():
+            pairs = [
+                (index_key, key)
+                for key, record in by_key.items()
+                for index_key in _keys_for(record, index)
+            ]
+            if not pairs:
+                continue
+            if isinstance(index.structure, BTree):
+                try:
+                    pairs.sort(key=lambda pair: pair[0])
+                except TypeError as exc:
+                    raise StorageError(
+                        f"B-tree index keys must be mutually comparable: {exc}"
+                    ) from exc
+            additions.append((index, pairs))
+        for key in by_key:
+            if key in self._records:
+                self._apply_delete(key)
+        self.mutation_count += len(by_key)
+        self._records.update(by_key)
+        for index, pairs in additions:
+            index.structure.insert_many(pairs)
+
     def apply_batch(self, operations: list[dict[str, Any]]) -> None:
         """Apply a pre-validated operation batch atomically (one WAL entry).
 
@@ -304,34 +406,41 @@ class RecordStore:
         lands as a single WAL entry — one ``storage.wal.append.count``
         increment whose framed size feeds ``storage.wal.append.bytes``
         (and, when the log fsyncs, one ``storage.wal.flush.seconds``
-        observation).
+        observation).  A batch of nothing but puts is applied through the
+        same sorted batched index maintenance as :meth:`put_many`.
         """
+        all_puts = True
         for op in operations:
             if op["op"] == "put":
                 self.schema.validate(op["record"])
             elif op["op"] == "del":
-                pass  # deletes of absent keys are tolerated in batches
+                all_puts = False  # deletes of absent keys are tolerated
             else:
                 raise StorageError(f"unknown batch op {op.get('op')!r}")
         self._log({"op": "batch", "ops": operations})
         puts = deletes = 0
-        for op in operations:
-            if op["op"] == "put":
-                record = dict(op["record"])
-                key = self.schema.primary_key_of(record)
-                if key in self._records:
-                    self._apply_delete(key)
-                self._apply_put(record)
-                puts += 1
-            else:
-                if op["key"] in self._records:
-                    self._apply_delete(op["key"])
-                    deletes += 1
+        if all_puts:
+            self._apply_put_batch([dict(op["record"]) for op in operations])
+            puts = len(operations)
+        else:
+            for op in operations:
+                if op["op"] == "put":
+                    record = dict(op["record"])
+                    key = self.schema.primary_key_of(record)
+                    if key in self._records:
+                        self._apply_delete(key)
+                    self._apply_put(record)
+                    puts += 1
+                else:
+                    if op["key"] in self._records:
+                        self._apply_delete(op["key"])
+                        deletes += 1
         # Bulk increments per batch (not per record) keep the apply loop
         # free of metric calls; recovery replay is likewise uncounted here
         # and shows up in storage.wal.replay.entries instead.
         _PUT_COUNT.inc(puts)
         _DELETE_COUNT.inc(deletes)
+        self.index_epoch += 1
 
     def update_where(
         self,
@@ -406,12 +515,14 @@ class RecordStore:
                 lambda record: _index_keys(record, field), order
             )
         else:
-            structure = HashIndex()
-            for key, record in self._records.items():
-                for index_key in _index_keys(record, field):
-                    structure.insert(index_key, key)
+            structure = HashIndex.bulk_load(
+                (index_key, key)
+                for key, record in self._records.items()
+                for index_key in _index_keys(record, field)
+            )
         index = _SecondaryIndex(field=field, kind=kind, structure=structure)
         self._indexes[field] = index
+        self.index_epoch += 1
 
     def create_composite_index(
         self, fields: Sequence[str], *, order: int = 32
@@ -443,6 +554,7 @@ class RecordStore:
             field=name, kind=IndexKind.BTREE, structure=structure, fields=fields_tuple
         )
         self._indexes[name] = index
+        self.index_epoch += 1
         return name
 
     def _bulk_build_btree(
@@ -549,6 +661,7 @@ class RecordStore:
         if field not in self._indexes:
             raise StorageError(f"no index on field {field!r}")
         del self._indexes[field]
+        self.index_epoch += 1
 
     def has_index(self, field: str) -> bool:
         return field in self._indexes
@@ -674,11 +787,22 @@ class RecordStore:
             "indexes": index_defs,
         }
         tmp = self._snapshot_path.with_suffix(".json.tmp")
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(state, fh, ensure_ascii=False)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, self._snapshot_path)
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(state, fh, ensure_ascii=False)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self._snapshot_path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        # fsync the directory so the rename itself survives a crash —
+        # os.replace only orders the data, not the directory entry.
+        dir_fd = os.open(self._directory, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
         if self._wal is not None:
             self._wal.truncate()
 
@@ -699,23 +823,33 @@ class RecordStore:
                     self.create_composite_index(index_def["fields"])
                 else:
                     self.create_index(index_def["field"], IndexKind(index_def["kind"]))
+        # Buffer runs of consecutive puts so replay of a bulk ingest goes
+        # through the same sorted batched index maintenance that wrote it.
+        pending: list[dict[str, Any]] = []
         for entry in WriteAheadLog.replay_path(self._wal_path):
-            self._replay_op(entry.payload)
+            self._replay_op(entry.payload, pending)
+        if pending:
+            self._apply_put_batch(pending)
 
-    def _replay_op(self, payload: dict[str, Any]) -> None:
+    def _replay_op(
+        self, payload: dict[str, Any], pending: list[dict[str, Any]]
+    ) -> None:
         op = payload.get("op")
         if op == "put":
-            record = payload["record"]
-            key = self.schema.primary_key_of(record)
-            if key in self._records:
-                self._apply_delete(key)
-            self._apply_put(dict(record))
-        elif op == "del":
+            pending.append(dict(payload["record"]))
+            return
+        if pending:
+            self._apply_put_batch(pending)
+            pending.clear()
+        if op == "del":
             if payload["key"] in self._records:
                 self._apply_delete(payload["key"])
         elif op == "batch":
             for sub in payload["ops"]:
-                self._replay_op(sub)
+                self._replay_op(sub, pending)
+            if pending:
+                self._apply_put_batch(pending)
+                pending.clear()
         else:
             raise StorageError(f"unknown WAL op {op!r}")
 

@@ -140,7 +140,7 @@ class TestQueryProfile:
         assert set(doc) == {"rows", "profile"}
         assert len(doc["rows"]) == 5
         profile = doc["profile"]
-        assert set(profile) == {"plan", "seconds", "row_count", "tree"}
+        assert set(profile) == {"plan", "plan_cached", "seconds", "row_count", "tree"}
         assert profile["row_count"] == 5
         node = profile["tree"]
         ops = []

@@ -126,3 +126,49 @@ class TestEquivalenceUnderChurn:
         assert rows(indexer.snapshot()) == rows(
             build_index(sample_records, options=options)
         )
+
+
+class TestBatchedAddAll:
+    def test_add_all_equals_repeated_add(self, synthetic_records):
+        pool = synthetic_records[:150]
+        batched = IncrementalIndexer()
+        batched.add_all(pool)
+        serial = IncrementalIndexer()
+        for record in pool:
+            serial.add(record)
+        assert rows(batched.snapshot()) == rows(serial.snapshot())
+        assert len(batched) == len(serial)
+        assert batched.record_count == serial.record_count
+
+    def test_add_all_accepts_any_iterable(self, sample_records):
+        indexer = IncrementalIndexer()
+        indexer.add_all(reversed(sample_records))
+        assert rows(indexer.snapshot()) == rows(build_index(sample_records))
+
+    def test_duplicate_in_batch_aborts_cleanly(self, sample_records):
+        indexer = IncrementalIndexer()
+        with pytest.raises(ValidationError):
+            indexer.add_all(list(sample_records) + [sample_records[0]])
+        assert len(indexer) == 0
+        assert indexer.record_count == 0
+        # a clean retry still works
+        indexer.add_all(sample_records)
+        assert rows(indexer.snapshot()) == rows(build_index(sample_records))
+
+    def test_already_indexed_aborts_cleanly(self, sample_records):
+        indexer = IncrementalIndexer()
+        indexer.add(sample_records[0])
+        before = rows(indexer.snapshot())
+        with pytest.raises(ValidationError):
+            indexer.add_all(sample_records)
+        assert rows(indexer.snapshot()) == before
+
+    def test_batched_then_incremental_mutation(self, synthetic_records):
+        pool = synthetic_records[:80]
+        indexer = IncrementalIndexer()
+        indexer.add_all(pool[:60])
+        for record in pool[60:]:
+            indexer.add(record)
+        indexer.remove(pool[10].record_id)
+        live = [r for r in pool if r.record_id != pool[10].record_id]
+        assert rows(indexer.snapshot()) == rows(build_index(live))

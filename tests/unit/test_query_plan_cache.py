@@ -1,0 +1,158 @@
+"""Unit tests for the planner's LRU plan cache and its epoch invalidation."""
+
+import pytest
+
+from repro.obs import metrics
+from repro.query.executor import QueryEngine, QueryProfile
+from repro.query.parser import parse_query
+from repro.query.planner import PlanCache, plan_query
+from repro.storage.store import IndexKind, RecordStore
+
+
+@pytest.fixture()
+def populated(simple_schema):
+    store = RecordStore(simple_schema)
+    store.put_many(
+        [{"id": i, "name": f"n{i % 5}", "year": 1990 + i % 20} for i in range(100)]
+    )
+    store.create_index("name", IndexKind.HASH)
+    store.create_index("year", IndexKind.BTREE)
+    return store
+
+
+class TestPlanCache:
+    def test_hit_returns_identical_plan(self, populated):
+        cache = PlanCache()
+        query = parse_query('name = "n2" AND year >= 2000')
+        plan1, cached1 = cache.get_or_plan(query, populated)
+        plan2, cached2 = cache.get_or_plan(query, populated)
+        assert not cached1 and cached2
+        assert plan1 is plan2
+        assert plan1.explain() == plan_query(query, populated).explain()
+
+    def test_hit_and_miss_counters(self, populated):
+        cache = PlanCache()
+        query = parse_query("year >= 2000")
+        metrics.reset()
+        cache.get_or_plan(query, populated)
+        cache.get_or_plan(query, populated)
+        cache.get_or_plan(query, populated)
+        counters = metrics.snapshot()["counters"]
+        assert counters["query.planner.cache.miss"] == 1
+        assert counters["query.planner.cache.hit"] == 2
+
+    def test_create_index_invalidates(self, populated):
+        cache = PlanCache()
+        query = parse_query("id >= 50")
+        plan1, _ = cache.get_or_plan(query, populated)
+        assert plan1.access.op == "seq-scan"
+        populated.create_index("id", IndexKind.BTREE)
+        plan2, cached = cache.get_or_plan(query, populated)
+        assert not cached
+        assert plan2.access.op == "index-range"
+
+    def test_drop_index_invalidates(self, populated):
+        cache = PlanCache()
+        query = parse_query("year >= 2000")
+        plan1, _ = cache.get_or_plan(query, populated)
+        assert plan1.access.op == "index-range"
+        populated.drop_index("year")
+        plan2, cached = cache.get_or_plan(query, populated)
+        assert not cached
+        assert plan2.access.op == "seq-scan"
+
+    def test_put_many_invalidates(self, populated):
+        cache = PlanCache()
+        query = parse_query('name = "n1"')
+        cache.get_or_plan(query, populated)
+        populated.put_many([{"id": 1000, "name": "n1", "year": 2001}])
+        _, cached = cache.get_or_plan(query, populated)
+        assert not cached
+
+    def test_per_record_writes_do_not_invalidate(self, populated):
+        cache = PlanCache()
+        query = parse_query('name = "n1"')
+        cache.get_or_plan(query, populated)
+        populated.insert({"id": 1000, "name": "n1", "year": 2001})
+        _, cached = cache.get_or_plan(query, populated)
+        assert cached
+
+    def test_lru_eviction(self, populated):
+        cache = PlanCache(maxsize=2)
+        q1 = parse_query("year >= 1991")
+        q2 = parse_query("year >= 1992")
+        q3 = parse_query("year >= 1993")
+        cache.get_or_plan(q1, populated)
+        cache.get_or_plan(q2, populated)
+        cache.get_or_plan(q3, populated)  # evicts q1
+        assert len(cache) == 2
+        _, cached = cache.get_or_plan(q1, populated)
+        assert not cached
+
+    def test_invalid_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache(maxsize=0)
+
+    def test_clear(self, populated):
+        cache = PlanCache()
+        query = parse_query("year >= 2000")
+        cache.get_or_plan(query, populated)
+        cache.clear()
+        assert len(cache) == 0
+        _, cached = cache.get_or_plan(query, populated)
+        assert not cached
+
+
+class TestEngineIntegration:
+    def test_repeat_execution_hits_cache(self, populated):
+        engine = QueryEngine(populated)
+        metrics.reset()
+        r1 = engine.execute('name = "n2" AND year >= 2000')
+        r2 = engine.execute('name = "n2" AND year >= 2000')
+        assert r1 == r2
+        counters = metrics.snapshot()["counters"]
+        assert counters["query.planner.cache.hit"] == 1
+        # The rule search ran only once despite two executions.
+        assert counters["query.plans.considered"] == 1
+
+    def test_profile_reports_plan_cached(self, populated):
+        engine = QueryEngine(populated)
+        cold = engine.execute("year >= 2000", profile=True)
+        warm = engine.execute("year >= 2000", profile=True)
+        assert isinstance(cold, QueryProfile)
+        assert not cold.plan_cached
+        assert warm.plan_cached
+        assert warm.to_dict()["plan_cached"] is True
+        assert "(plan: cached)" in warm.render()
+
+    def test_explain_uses_cache(self, populated):
+        engine = QueryEngine(populated)
+        metrics.reset()
+        text1 = engine.explain("year >= 2000")
+        text2 = engine.explain("year >= 2000")
+        assert text1 == text2
+        assert metrics.snapshot()["counters"]["query.planner.cache.hit"] == 1
+
+    def test_count_and_paged_share_the_cache(self, populated):
+        engine = QueryEngine(populated)
+        metrics.reset()
+        engine.count("year >= 2000")
+        engine.count("year >= 2000")
+        engine.execute_paged("year >= 2000", page_size=10)
+        counters = metrics.snapshot()["counters"]
+        # count strips presentation clauses, so all three share one key.
+        assert counters["query.planner.cache.hit"] == 2
+
+    def test_results_stay_correct_across_invalidation(self, populated):
+        engine = QueryEngine(populated)
+        before = engine.execute('name = "n1"')
+        populated.put_many([{"id": 1000, "name": "n1", "year": 2001}])
+        after = engine.execute('name = "n1"')
+        assert len(after) == len(before) + 1
+
+    def test_membership_values_are_cacheable(self, populated):
+        engine = QueryEngine(populated)
+        metrics.reset()
+        engine.execute('name IN ("n1", "n2")')
+        engine.execute('name IN ("n1", "n2")')
+        assert metrics.snapshot()["counters"]["query.planner.cache.hit"] == 1

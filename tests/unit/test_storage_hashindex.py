@@ -63,3 +63,57 @@ class TestHashIndex:
 
     def test_no_range_support_flag(self):
         assert HashIndex.supports_range is False
+
+
+class TestMutationCounters:
+    def test_insert_and_remove_counters(self):
+        from repro.obs import metrics
+
+        metrics.reset()
+        idx = HashIndex()
+        idx.insert("a", 1)
+        idx.insert("a", 2)
+        idx.insert("b", 3)
+        idx.remove("a", 1)       # one entry
+        idx.remove("b")          # whole key: one entry
+        idx.remove("missing")    # miss: uncounted
+        counters = metrics.snapshot()["counters"]
+        assert counters["storage.hash.insert.count"] == 3
+        assert counters["storage.hash.remove.count"] == 2
+
+    def test_whole_key_removal_counts_every_entry(self):
+        from repro.obs import metrics
+
+        metrics.reset()
+        idx = HashIndex()
+        for value in range(5):
+            idx.insert("a", value)
+        idx.remove("a")
+        assert metrics.snapshot()["counters"]["storage.hash.remove.count"] == 5
+
+
+class TestBulkLoad:
+    def test_bulk_load_matches_inserts(self):
+        pairs = [(f"k{i % 4}", i) for i in range(20)]
+        bulk = HashIndex.bulk_load(pairs)
+        serial = HashIndex()
+        for key, value in pairs:
+            serial.insert(key, value)
+        assert sorted(bulk.items()) == sorted(serial.items())
+        assert len(bulk) == len(serial)
+        assert bulk.distinct_keys == serial.distinct_keys
+
+    def test_bulk_load_counts_once(self):
+        from repro.obs import metrics
+
+        metrics.reset()
+        HashIndex.bulk_load([("a", 1), ("b", 2), ("a", 3)])
+        counters = metrics.snapshot()["counters"]
+        assert counters["storage.hash.bulk_loads"] == 1
+        assert counters["storage.hash.insert.count"] == 3
+
+    def test_insert_many_returns_count(self):
+        idx = HashIndex()
+        assert idx.insert_many([("a", 1), ("b", 2)]) == 2
+        assert idx.insert_many([]) == 0
+        assert len(idx) == 2
