@@ -18,6 +18,14 @@ Subcommands
     dump the observability registry snapshot (JSON by default).
 ``formats``
     List available render formats.
+``fsck``
+    Check (and with ``--repair``, repair) the integrity of a store
+    directory: snapshot manifest, WAL segment chain, CRC frames, crash
+    artifacts.  Exit code 0 = clean/repaired, 1 = repairable damage
+    found (run again with ``--repair``), 2 = fatal damage.
+``checkpoint``
+    Open a store directory, replay its WAL, and checkpoint it: write a
+    verified snapshot and delete the WAL segments it covers.
 """
 
 from __future__ import annotations
@@ -181,6 +189,9 @@ def _cmd_stats_metrics(args: argparse.Namespace) -> int:
             engine.execute("year >= 1900 ORDER BY year LIMIT 25")
             engine.execute("year >= 1900 ORDER BY year LIMIT 25")
             TitleSearchEngine(records).search("law")
+            # Checkpoint last so the storage.checkpoint.* family (and a
+            # WAL rotation) always moves in the baseline snapshot.
+            store.checkpoint()
         # Snapshot after the store closes: the WAL flushes its locally
         # batched append counters to the registry on close.
         snapshot = registry.snapshot()
@@ -267,6 +278,29 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(issue)
     print(f"({len(issues)} issues)", file=sys.stderr)
     return 1 if issues and args.strict else 0
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.storage.fsck import fsck
+
+    report = fsck(args.directory, repair=args.repair)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, ensure_ascii=False))
+    else:
+        print(report.render())
+    return report.exit_code()
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    with RecordStore(PUBLICATION_SCHEMA, directory=args.directory) as store:
+        before = store._wal.total_size_bytes
+        store.checkpoint()
+        after = store._wal.total_size_bytes
+        print(
+            f"checkpointed {len(store)} records; WAL {before} -> {after} bytes",
+            file=sys.stderr,
+        )
+    return 0
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
@@ -375,6 +409,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_export.add_argument("--journal", default="", help="journal field for BibTeX")
     p_export.add_argument("--output", help="write to file instead of stdout")
     p_export.set_defaults(func=_cmd_export)
+
+    p_fsck = sub.add_parser(
+        "fsck", help="check/repair the integrity of a store directory"
+    )
+    p_fsck.add_argument("directory", help="store directory (WAL + snapshot)")
+    p_fsck.add_argument(
+        "--repair",
+        action="store_true",
+        help="repair what is safely repairable (truncate torn tails, "
+             "remove crash artifacts)",
+    )
+    p_fsck.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    p_fsck.set_defaults(func=_cmd_fsck)
+
+    p_checkpoint = sub.add_parser(
+        "checkpoint",
+        help="snapshot a store directory and truncate its covered WAL segments",
+    )
+    p_checkpoint.add_argument("directory", help="store directory (WAL + snapshot)")
+    p_checkpoint.set_defaults(func=_cmd_checkpoint)
     return parser
 
 

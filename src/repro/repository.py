@@ -175,9 +175,14 @@ class PublicationRepository:
 
     # -- lifecycle -------------------------------------------------------------------
 
+    def checkpoint(self) -> None:
+        """Write a verified snapshot and reclaim the WAL segments it
+        covers (durable mode only); bounds WAL disk usage."""
+        self.store.checkpoint()
+
     def snapshot(self) -> None:
-        """Persist the full state and truncate the WAL (durable mode only)."""
-        self.store.snapshot()
+        """Compatibility alias for :meth:`checkpoint`."""
+        self.store.checkpoint()
 
     def close(self) -> None:
         self.store.close()

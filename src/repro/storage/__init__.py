@@ -7,29 +7,45 @@ embedded store with
 * an order-configurable B-tree for range-scannable secondary indexes
   (:mod:`repro.storage.btree`),
 * a hash index for point lookups (:mod:`repro.storage.hashindex`),
-* snapshot + log-compaction durability (:mod:`repro.storage.store`), and
-* buffered transactions with rollback (:mod:`repro.storage.transactions`).
+* checkpoint/rotation durability with verified snapshots
+  (:mod:`repro.storage.store`),
+* buffered transactions with rollback (:mod:`repro.storage.transactions`),
+* offline integrity checking and repair (:mod:`repro.storage.fsck`), and
+* a fault-injecting filesystem shim for crash testing
+  (:mod:`repro.storage.faultfs`).
 
 Records are plain ``dict`` values validated against a light
 :class:`~repro.storage.schema.Schema`.
 """
 
 from repro.storage.schema import Field, FieldType, Schema
-from repro.storage.wal import LogEntry, WriteAheadLog
+from repro.storage.wal import ChainScan, LogEntry, SegmentScan, WriteAheadLog
 from repro.storage.btree import BTree
 from repro.storage.hashindex import HashIndex
-from repro.storage.store import IndexKind, RecordStore
+from repro.storage.store import IndexKind, RecordStore, records_checksum
 from repro.storage.transactions import Transaction
+from repro.storage.faultfs import REAL_FS, FaultFS, FileSystem, InjectedFault
+from repro.storage.fsck import FsckIssue, FsckReport, fsck
 
 __all__ = [
     "Field",
     "FieldType",
     "Schema",
     "LogEntry",
+    "SegmentScan",
+    "ChainScan",
     "WriteAheadLog",
     "BTree",
     "HashIndex",
     "IndexKind",
     "RecordStore",
+    "records_checksum",
     "Transaction",
+    "FileSystem",
+    "FaultFS",
+    "REAL_FS",
+    "InjectedFault",
+    "fsck",
+    "FsckIssue",
+    "FsckReport",
 ]

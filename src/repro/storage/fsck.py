@@ -1,0 +1,323 @@
+"""Offline integrity checking and repair for a store directory.
+
+``fsck`` is the explicit, human-invoked counterpart to the strict
+recovery that runs when a :class:`~repro.storage.store.RecordStore`
+opens: recovery *refuses* to open damaged data; ``fsck`` walks the whole
+directory — snapshot manifest, every WAL segment, every frame — and
+reports exactly what it finds, optionally repairing what is safely
+repairable.  CLI surface: ``repro fsck DIR [--repair] [--json]``.
+
+What it checks
+--------------
+
+* **Snapshot** (``snapshot.json``): parses, has a supported version, and
+  (version ≥ 2) its manifest agrees with its content — ``record_count``
+  matches the records array and ``checksum`` matches the CRC-32 of the
+  canonical records JSON.
+* **Segment chain**: sealed segment numbering has no gaps above the
+  snapshot's ``wal_seal``; every frame in every live segment passes the
+  ``W1`` grammar, length, and CRC checks; tail damage appears only where
+  a crash can legally put it — the final file of the chain.
+* **Crash artifacts**: stale sealed segments (at or below ``wal_seal``,
+  left by a crash mid-checkpoint) and stray snapshot temp files.
+
+Repair policy
+-------------
+
+Repair never invents data and never touches anything mid-chain:
+
+* a **torn tail** (unterminated final line of the last file) is truncated
+  — that write was never acknowledged, so nothing is lost;
+* a **corrupt tail** (CRC/grammar failure inside the last file) is
+  truncated to the longest valid prefix — this *does* drop acknowledged
+  entries and is reported as data loss, but it is the only way to make
+  the store openable again;
+* **stale segments** and **stray temp files** are deleted;
+* mid-chain damage (a bad sealed segment with later segments after it)
+  is **fatal**: repairing it would silently drop an unbounded amount of
+  acknowledged data, so fsck reports and refuses.
+
+Exit codes (see :meth:`FsckReport.exit_code`): 0 — clean (or everything
+found was repaired); 1 — repairable issues found but ``repair`` was off;
+2 — fatal damage.
+
+Observability: each run bumps ``storage.fsck.runs`` and reports
+``storage.fsck.issues`` / ``storage.fsck.repairs``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import CorruptLogError
+from repro.obs import metrics as _metrics
+from repro.storage.store import _SUPPORTED_SNAPSHOT_VERSIONS, records_checksum
+from repro.storage.wal import SegmentScan, WriteAheadLog, sealed_segment_paths
+
+_FSCK_RUNS = _metrics.counter("storage.fsck.runs")
+_FSCK_ISSUES = _metrics.counter("storage.fsck.issues")
+_FSCK_REPAIRS = _metrics.counter("storage.fsck.repairs")
+
+#: Issue severities, in escalating order.
+INFO = "info"  #: observation only; never affects the exit code
+REPAIRABLE = "repairable"  #: fsck can fix it; exit 1 until repaired
+REPAIRED = "repaired"  #: was repairable, and ``repair=True`` fixed it
+FATAL = "fatal"  #: unrepairable damage; exit 2
+
+
+@dataclass(slots=True)
+class FsckIssue:
+    """One finding: a severity, a message, and the file it concerns."""
+
+    severity: str
+    message: str
+    path: str | None = None
+
+    def render(self) -> str:
+        where = f" [{self.path}]" if self.path else ""
+        return f"{self.severity.upper():10s} {self.message}{where}"
+
+
+@dataclass(slots=True)
+class FsckReport:
+    """Everything one ``fsck`` run found, plus summary counts."""
+
+    directory: str
+    repair: bool
+    issues: list[FsckIssue] = field(default_factory=list)
+    segments_checked: int = 0
+    entries_checked: int = 0
+    snapshot_records: int | None = None  #: ``None`` when no snapshot exists
+
+    def add(self, severity: str, message: str, path: Path | str | None = None) -> None:
+        self.issues.append(
+            FsckIssue(severity=severity, message=message,
+                      path=str(path) if path is not None else None)
+        )
+
+    @property
+    def clean(self) -> bool:
+        """No findings beyond informational ones (repaired counts as a finding)."""
+        return all(issue.severity == INFO for issue in self.issues)
+
+    @property
+    def ok(self) -> bool:
+        """Nothing left that would impair recovery (repaired issues are ok)."""
+        return all(issue.severity in (INFO, REPAIRED) for issue in self.issues)
+
+    def exit_code(self) -> int:
+        if any(issue.severity == FATAL for issue in self.issues):
+            return 2
+        if any(issue.severity == REPAIRABLE for issue in self.issues):
+            return 1
+        return 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "directory": self.directory,
+            "repair": self.repair,
+            "ok": self.ok,
+            "exit_code": self.exit_code(),
+            "segments_checked": self.segments_checked,
+            "entries_checked": self.entries_checked,
+            "snapshot_records": self.snapshot_records,
+            "issues": [
+                {"severity": i.severity, "message": i.message, "path": i.path}
+                for i in self.issues
+            ],
+        }
+
+    def render(self) -> str:
+        lines = [f"fsck {self.directory}"]
+        lines += [f"  {issue.render()}" for issue in self.issues]
+        snapshot = (
+            "no snapshot"
+            if self.snapshot_records is None
+            else f"{self.snapshot_records} snapshot records"
+        )
+        lines.append(
+            f"  checked {self.segments_checked} segment(s), "
+            f"{self.entries_checked} WAL entries, {snapshot}"
+        )
+        lines.append(f"  status: {'clean' if self.ok else 'DAMAGED'}")
+        return "\n".join(lines)
+
+
+def fsck(
+    directory: Path | str,
+    *,
+    repair: bool = False,
+    wal_name: str = "store.wal",
+    snapshot_name: str = "snapshot.json",
+) -> FsckReport:
+    """Check (and with ``repair=True``, repair) the store at ``directory``.
+
+    Schema-agnostic: works frame-by-frame against the on-disk format, so
+    it runs on any store directory regardless of what the records mean.
+    See the module docstring for the check list and the repair policy.
+    """
+    directory = Path(directory)
+    report = FsckReport(directory=str(directory), repair=repair)
+    _FSCK_RUNS.inc()
+    try:
+        if not directory.is_dir():
+            report.add(FATAL, "store directory does not exist", directory)
+            return report
+        snapshot_path = directory / snapshot_name
+        wal_base = directory / wal_name
+        _check_stray_tmp(report, snapshot_path, repair)
+        wal_seal = _check_snapshot(report, snapshot_path)
+        _check_chain(report, wal_base, wal_seal, repair)
+        return report
+    finally:
+        _FSCK_ISSUES.inc(sum(1 for i in report.issues if i.severity != INFO))
+        _FSCK_REPAIRS.inc(sum(1 for i in report.issues if i.severity == REPAIRED))
+
+
+def _check_stray_tmp(report: FsckReport, snapshot_path: Path, repair: bool) -> None:
+    tmp = snapshot_path.with_suffix(".json.tmp")
+    if not tmp.exists():
+        return
+    if repair:
+        tmp.unlink()
+        report.add(REPAIRED, "removed stray snapshot temp file (crash artifact)", tmp)
+    else:
+        report.add(REPAIRABLE, "stray snapshot temp file (crash artifact)", tmp)
+
+
+def _check_snapshot(report: FsckReport, snapshot_path: Path) -> int:
+    """Validate the snapshot manifest; returns its ``wal_seal`` (0 if none)."""
+    if not snapshot_path.exists():
+        report.add(INFO, "no snapshot (recovery is WAL-only)")
+        return 0
+    try:
+        state = json.loads(snapshot_path.read_bytes().decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        report.add(FATAL, f"snapshot is not valid JSON: {exc}", snapshot_path)
+        return 0
+    version = state.get("version")
+    if version not in _SUPPORTED_SNAPSHOT_VERSIONS:
+        report.add(FATAL, f"unsupported snapshot version {version!r}", snapshot_path)
+        return 0
+    records = state.get("records")
+    if not isinstance(records, list):
+        report.add(FATAL, "snapshot has no records array", snapshot_path)
+        return 0
+    report.snapshot_records = len(records)
+    if version >= 2:
+        if state.get("record_count") != len(records):
+            report.add(
+                FATAL,
+                f"snapshot manifest says {state.get('record_count')} records, "
+                f"found {len(records)}",
+                snapshot_path,
+            )
+        expected = state.get("checksum")
+        actual = records_checksum(records)
+        if expected != actual:
+            report.add(
+                FATAL,
+                f"snapshot checksum mismatch: manifest {expected}, content {actual}",
+                snapshot_path,
+            )
+    else:
+        report.add(INFO, "version-1 snapshot (no manifest; count/checksum unchecked)")
+    return int(state.get("wal_seal", 0))
+
+
+def _check_chain(
+    report: FsckReport, wal_base: Path, wal_seal: int, repair: bool
+) -> None:
+    stale: list[tuple[int, Path]] = []
+    live: list[tuple[int, Path]] = []
+    for seal, path in sealed_segment_paths(wal_base):
+        (stale if seal <= wal_seal else live).append((seal, path))
+    for seal, path in stale:
+        if repair:
+            path.unlink()
+            report.add(
+                REPAIRED,
+                f"removed stale segment {seal:06d} (covered by snapshot, "
+                "left by a crash mid-checkpoint)",
+                path,
+            )
+        else:
+            report.add(
+                REPAIRABLE, f"stale segment {seal:06d} (covered by snapshot)", path
+            )
+    expected = None
+    for seal, path in live:
+        if expected is not None and seal != expected:
+            report.add(
+                FATAL,
+                f"segment chain gap: expected segment {expected:06d}, "
+                f"found {seal:06d} — acknowledged data is missing",
+                path,
+            )
+        expected = seal + 1
+    chain_files = [path for _, path in live]
+    if wal_base.exists():
+        chain_files.append(wal_base)
+    report.segments_checked = len(chain_files)
+    for position, path in enumerate(chain_files):
+        scan = WriteAheadLog.scan_file(path, strict=False)
+        report.entries_checked += len(scan.entries)
+        is_last = position == len(chain_files) - 1
+        if scan.clean:
+            continue
+        if not is_last:
+            # Sealed segments are fsynced before sealing; damage here with
+            # later segments after it means acknowledged data vanished
+            # mid-chain — truncating would drop everything downstream too.
+            report.add(
+                FATAL,
+                "damage in a sealed mid-chain segment "
+                f"(valid prefix: {len(scan.entries)} entries, "
+                f"{scan.valid_bytes} bytes) — not safely repairable",
+                path,
+            )
+            continue
+        _handle_tail_damage(report, path, scan, repair)
+
+
+def _handle_tail_damage(
+    report: FsckReport, path: Path, scan: SegmentScan, repair: bool
+) -> None:
+    size = path.stat().st_size
+    if scan.error is not None:
+        lost = size - scan.valid_bytes
+        message = (
+            f"corrupt tail ({scan.error}): {lost} bytes beyond the last valid "
+            f"entry are unreadable — truncating LOSES acknowledged data"
+        )
+        cut_to = scan.valid_bytes
+    else:
+        message = (
+            f"torn tail: {scan.torn_bytes} trailing bytes of an unacknowledged "
+            "write (normal crash artifact)"
+        )
+        cut_to = size - scan.torn_bytes
+    if repair:
+        with open(path, "rb+") as fh:
+            fh.truncate(cut_to)
+            fh.flush()
+            os.fsync(fh.fileno())
+        report.add(REPAIRED, f"{message}; truncated to {cut_to} bytes", path)
+    else:
+        report.add(REPAIRABLE, message, path)
+
+
+__all__ = [
+    "FsckIssue",
+    "FsckReport",
+    "fsck",
+    "INFO",
+    "REPAIRABLE",
+    "REPAIRED",
+    "FATAL",
+    "CorruptLogError",
+]

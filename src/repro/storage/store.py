@@ -5,9 +5,11 @@ durably backed (when given a directory) by a snapshot file plus a
 write-ahead log:
 
 * every mutation first lands in the WAL, then in memory — crash recovery is
-  "load snapshot, replay WAL";
-* :meth:`RecordStore.snapshot` writes the full state atomically
-  (tmp file + rename + fsync) and truncates the log;
+  "load snapshot, replay surviving WAL segments in order";
+* :meth:`RecordStore.checkpoint` writes the full state atomically (tmp
+  file + read-back verification + rename + fsync), records which WAL
+  segments it covers, and deletes them — bounding WAL disk usage
+  (:meth:`RecordStore.snapshot` is a compatibility alias);
 * secondary indexes (B-tree or hash) are maintained eagerly on every write
   and can be declared over scalar fields or string-list fields (each list
   element is indexed).
@@ -17,9 +19,17 @@ for the artifact being reproduced.
 
 Durability contract: *records* are durable from the moment their WAL append
 returns; *index declarations* become durable at the next
-:meth:`RecordStore.snapshot` (they are schema-level metadata, cheap to
+:meth:`RecordStore.checkpoint` (they are schema-level metadata, cheap to
 re-declare, and keeping them out of the WAL keeps every log entry a pure
 data operation).
+
+Crash safety is testable, not asserted: all durability-relevant file I/O
+routes through a :mod:`repro.storage.faultfs` facade, ``tests/crash/``
+drives a failpoint × operation crash matrix through it, and
+:mod:`repro.storage.fsck` (CLI: ``repro fsck``) verifies a store
+directory offline — CRCs, segment chains, snapshot manifests — and can
+repair recoverable tail damage.  The on-disk format and the recovery
+procedure are specified in ``docs/storage_format.md``.
 
 Bulk ingestion takes a fast path: :meth:`RecordStore.put_many` validates
 every record up front, group-commits the whole batch to the WAL (one
@@ -33,18 +43,25 @@ Observability: reads and writes report to the default metrics registry
 ``storage.store.delete.count``, ``storage.store.scan.count`` /
 ``storage.store.scan.records``, ``storage.store.find_by.count``,
 ``storage.store.range_by.count``); bulk writes additionally report
-``storage.store.put_many.count`` / ``storage.store.put_many.records``;
-snapshot and recovery latencies land in
-``storage.store.snapshot.seconds`` / ``storage.store.recover.seconds``.
-WAL-level metrics (append count/bytes, flush latency, group commits) are
-reported by :mod:`repro.storage.wal` itself.  See ``docs/observability.md``.
+``storage.store.put_many.count`` / ``storage.store.put_many.records``.
+Checkpoints report ``storage.checkpoint.count`` /
+``storage.checkpoint.segments_removed`` /
+``storage.checkpoint.bytes_reclaimed`` and land their latency in
+``storage.checkpoint.seconds``; open-time recovery reports
+``storage.recovery.count`` / ``storage.recovery.segments_replayed`` /
+``storage.recovery.entries_replayed`` /
+``storage.recovery.torn_bytes_dropped`` /
+``storage.recovery.stale_segments_skipped`` and times itself in
+``storage.recovery.seconds``.  WAL-level metrics (append count/bytes,
+flush latency, group commits, rotations) are reported by
+:mod:`repro.storage.wal` itself.  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import enum
 import json
-import os
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
@@ -56,12 +73,17 @@ from repro.errors import (
     ValidationError,
 )
 from repro.obs import metrics as _metrics
+from repro.storage import faultfs as _faultfs
 from repro.storage.btree import BTree
 from repro.storage.hashindex import HashIndex
 from repro.storage.schema import FieldType, Schema
 from repro.storage.wal import WriteAheadLog
 
-_SNAPSHOT_VERSION = 1
+#: Current snapshot format.  Version 2 added the manifest fields
+#: (``wal_seal``, ``record_count``, ``checksum``); version-1 snapshots
+#: (no manifest, single-file WAL) still load.
+_SNAPSHOT_VERSION = 2
+_SUPPORTED_SNAPSHOT_VERSIONS = (1, 2)
 
 _GET_COUNT = _metrics.counter("storage.store.get.count")
 _PUT_COUNT = _metrics.counter("storage.store.put.count")
@@ -72,6 +94,27 @@ _FIND_BY_COUNT = _metrics.counter("storage.store.find_by.count")
 _RANGE_BY_COUNT = _metrics.counter("storage.store.range_by.count")
 _PUT_MANY_COUNT = _metrics.counter("storage.store.put_many.count")
 _PUT_MANY_RECORDS = _metrics.counter("storage.store.put_many.records")
+_CHECKPOINT_COUNT = _metrics.counter("storage.checkpoint.count")
+_CHECKPOINT_SEGMENTS_REMOVED = _metrics.counter("storage.checkpoint.segments_removed")
+_CHECKPOINT_BYTES_RECLAIMED = _metrics.counter("storage.checkpoint.bytes_reclaimed")
+_RECOVERY_COUNT = _metrics.counter("storage.recovery.count")
+_RECOVERY_SEGMENTS = _metrics.counter("storage.recovery.segments_replayed")
+_RECOVERY_ENTRIES = _metrics.counter("storage.recovery.entries_replayed")
+_RECOVERY_TORN_BYTES = _metrics.counter("storage.recovery.torn_bytes_dropped")
+_RECOVERY_STALE_SEGMENTS = _metrics.counter("storage.recovery.stale_segments_skipped")
+
+
+def records_checksum(records: Sequence[Mapping[str, Any]]) -> str:
+    """CRC-32 (hex) over the canonical JSON of ``records``.
+
+    Canonical = sorted keys, compact separators, no ASCII escaping — the
+    same bytes whoever computes it, so the snapshot writer, recovery, and
+    ``repro fsck`` all agree.
+    """
+    canonical = json.dumps(
+        list(records), sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    ).encode("utf-8")
+    return f"{zlib.crc32(canonical) & 0xFFFFFFFF:08x}"
 
 
 class IndexKind(enum.Enum):
@@ -196,8 +239,12 @@ class RecordStore:
         directory: Path | str | None = None,
         *,
         sync: bool = False,
+        fs: _faultfs.FileSystem | None = None,
     ):
         self.schema = schema
+        #: Filesystem facade for all durability-relevant I/O; tests pass a
+        #: :class:`repro.storage.faultfs.FaultFS` to inject crashes.
+        self._fs = fs if fs is not None else _faultfs.REAL_FS
         self._records: dict[Any, dict[str, Any]] = {}
         self._indexes: dict[str, _SecondaryIndex] = {}
         #: Monotone counter bumped on every applied put/delete; lets
@@ -211,11 +258,17 @@ class RecordStore:
         self.index_epoch = 0
         self._wal: WriteAheadLog | None = None
         self._directory: Path | None = None
+        #: Highest WAL segment number covered by the on-disk snapshot (0
+        #: when no snapshot or a pre-segmentation one); recovery replays
+        #: only segments above it.
+        self._snapshot_seal = 0
         if directory is not None:
             self._directory = Path(directory)
             self._directory.mkdir(parents=True, exist_ok=True)
             self._recover()
-            self._wal = WriteAheadLog(self._wal_path, sync=sync)
+            self._wal = WriteAheadLog(
+                self._wal_path, sync=sync, fs=self._fs, seal_floor=self._snapshot_seal
+            )
 
     # -- paths -------------------------------------------------------------
 
@@ -770,52 +823,134 @@ class RecordStore:
 
     # -- durability ---------------------------------------------------------------
 
-    @_metrics.get_default_registry().timed("storage.store.snapshot.seconds")
-    def snapshot(self) -> None:
-        """Write the full state to disk atomically and truncate the WAL."""
-        if self._directory is None:
-            raise StorageError("in-memory store cannot snapshot")
+    def _snapshot_state(self) -> dict[str, Any]:
+        """The full-state snapshot document, manifest fields included."""
         index_defs = []
         for idx in self._indexes.values():
             if idx.is_composite:
                 index_defs.append({"fields": list(idx.fields), "kind": idx.kind.value})
             else:
                 index_defs.append({"field": idx.field, "kind": idx.kind.value})
-        state = {
+        records = list(self._records.values())
+        assert self._wal is not None
+        return {
             "version": _SNAPSHOT_VERSION,
-            "records": list(self._records.values()),
+            "wal_seal": self._wal.highest_seal,
+            "record_count": len(records),
+            "checksum": records_checksum(records),
+            "records": records,
             "indexes": index_defs,
         }
+
+    @_metrics.get_default_registry().timed("storage.checkpoint.seconds")
+    def checkpoint(self) -> None:
+        """Snapshot the full state and reclaim the WAL segments it covers.
+
+        Four crash-ordered steps:
+
+        1. **Rotate** — the active WAL file is sealed as the next numbered
+           segment, so everything the snapshot will cover is immutable.
+        2. **Write** — the snapshot document (records, index declarations,
+           and a manifest: the covered segment number ``wal_seal``, the
+           record count, and a CRC-32 over the canonical records JSON)
+           goes to a temp file, is fsynced, and is **verified by reading
+           it back** — a snapshot corrupted in flight must never replace
+           a good one, because step 4 deletes the data that could rebuild
+           it.
+        3. **Publish** — atomic rename over ``snapshot.json`` plus a
+           directory fsync.
+        4. **Reclaim** — sealed segments at or below ``wal_seal`` are
+           deleted.  A crash between 3 and 4 leaves *stale* segments:
+           recovery skips them (``repro fsck`` removes them).
+
+        A crash at any point recovers to the full pre-checkpoint state —
+        the crash matrix in ``tests/crash/`` drives every step.
+        """
+        if self._directory is None:
+            raise StorageError("in-memory store cannot checkpoint")
+        assert self._wal is not None
+        self._wal.rotate()
+        covered = self._wal.highest_seal
+        state = self._snapshot_state()
+        payload = json.dumps(state, ensure_ascii=False).encode("utf-8")
         tmp = self._snapshot_path.with_suffix(".json.tmp")
         try:
-            with open(tmp, "w", encoding="utf-8") as fh:
-                json.dump(state, fh, ensure_ascii=False)
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, self._snapshot_path)
+            fh = self._fs.open(tmp, "wb")
+            try:
+                fh.write(payload)
+                self._fs.fsync(fh)
+            finally:
+                fh.close()
+            self._verify_snapshot_file(tmp, state)
+            self._fs.replace(tmp, self._snapshot_path)
         except BaseException:
             tmp.unlink(missing_ok=True)
             raise
         # fsync the directory so the rename itself survives a crash —
         # os.replace only orders the data, not the directory entry.
-        dir_fd = os.open(self._directory, os.O_RDONLY)
-        try:
-            os.fsync(dir_fd)
-        finally:
-            os.close(dir_fd)
-        if self._wal is not None:
-            self._wal.truncate()
+        self._fs.fsync_dir(self._directory)
+        removed = 0
+        reclaimed = 0
+        for seal, sealed in self._wal.sealed_segments():
+            if seal <= covered:
+                reclaimed += sealed.stat().st_size
+                self._fs.remove(sealed)
+                removed += 1
+        if removed:
+            self._fs.fsync_dir(self._directory)
+        self._snapshot_seal = covered
+        _CHECKPOINT_COUNT.inc()
+        _CHECKPOINT_SEGMENTS_REMOVED.inc(removed)
+        _CHECKPOINT_BYTES_RECLAIMED.inc(reclaimed)
 
-    @_metrics.get_default_registry().timed("storage.store.recover.seconds")
+    def snapshot(self) -> None:
+        """Compatibility alias for :meth:`checkpoint`."""
+        self.checkpoint()
+
+    def _verify_snapshot_file(self, path: Path, expected: dict[str, Any]) -> None:
+        """Read a just-written snapshot back and verify its manifest.
+
+        Catches in-flight corruption (a bad disk, a flipped bit in the
+        write path) *before* the rename publishes the snapshot and the
+        checkpoint deletes the WAL segments that could rebuild it.
+        """
+        try:
+            with open(path, "rb") as fh:
+                state = json.loads(fh.read().decode("utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise StorageError(f"checkpoint verification failed: {exc}") from exc
+        if state.get("record_count") != expected["record_count"]:
+            raise StorageError(
+                "checkpoint verification failed: record count mismatch"
+            )
+        if state.get("checksum") != expected["checksum"] or state.get(
+            "checksum"
+        ) != records_checksum(state.get("records", [])):
+            raise StorageError("checkpoint verification failed: checksum mismatch")
+
+    @_metrics.get_default_registry().timed("storage.recovery.seconds")
     def _recover(self) -> None:
+        """Rebuild in-memory state: snapshot, then surviving WAL segments.
+
+        Strict by design — mid-chain damage raises
+        :class:`~repro.errors.CorruptLogError` rather than silently
+        dropping acknowledged data; ``repro fsck`` is the explicit tool
+        for diagnosing and repairing a damaged directory.
+        """
+        _RECOVERY_COUNT.inc()
         if self._snapshot_path.exists():
             with open(self._snapshot_path, encoding="utf-8") as fh:
                 state = json.load(fh)
-            if state.get("version") != _SNAPSHOT_VERSION:
+            version = state.get("version")
+            if version not in _SUPPORTED_SNAPSHOT_VERSIONS:
+                raise StorageError(f"unsupported snapshot version {version!r}")
+            records = state["records"]
+            if version >= 2 and state.get("record_count") != len(records):
                 raise StorageError(
-                    f"unsupported snapshot version {state.get('version')!r}"
+                    "snapshot record count disagrees with its manifest "
+                    "(corrupt snapshot; run `repro fsck` for details)"
                 )
-            for record in state["records"]:
+            for record in records:
                 self.schema.validate(record)
                 self._records[self.schema.primary_key_of(record)] = dict(record)
             for index_def in state.get("indexes", []):
@@ -823,13 +958,22 @@ class RecordStore:
                     self.create_composite_index(index_def["fields"])
                 else:
                     self.create_index(index_def["field"], IndexKind(index_def["kind"]))
+            self._snapshot_seal = int(state.get("wal_seal", 0))
+        chain = WriteAheadLog.scan_chain(self._wal_path, min_seal=self._snapshot_seal)
         # Buffer runs of consecutive puts so replay of a bulk ingest goes
         # through the same sorted batched index maintenance that wrote it.
         pending: list[dict[str, Any]] = []
-        for entry in WriteAheadLog.replay_path(self._wal_path):
-            self._replay_op(entry.payload, pending)
+        entries = 0
+        for scan in chain.segments:
+            entries += len(scan.entries)
+            _RECOVERY_TORN_BYTES.inc(scan.torn_bytes)
+            for entry in scan.entries:
+                self._replay_op(entry.payload, pending)
         if pending:
             self._apply_put_batch(pending)
+        _RECOVERY_SEGMENTS.inc(len(chain.segments))
+        _RECOVERY_ENTRIES.inc(entries)
+        _RECOVERY_STALE_SEGMENTS.inc(len(chain.stale))
 
     def _replay_op(
         self, payload: dict[str, Any], pending: list[dict[str, Any]]

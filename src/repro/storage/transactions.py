@@ -6,6 +6,18 @@ which hands the buffered operations to
 :meth:`repro.storage.store.RecordStore.apply_batch` — one atomic WAL entry.
 Leaving the ``with`` block commits on success and rolls back (discards) on
 exception.
+
+Crash semantics follow directly from the single-entry commit: a crash
+*before* the commit's WAL append returns loses the whole transaction (the
+buffered operations only ever lived in memory); a crash *after* it keeps
+the whole transaction (recovery replays the one ``batch`` entry
+atomically).  There is no window in which a prefix of a transaction is
+durable — the crash suite in ``tests/crash/`` exercises both sides of
+the boundary.
+
+Isolation is the store's single-writer model: a transaction sees its own
+buffered writes (read-your-writes via the shadow view) over the live
+store state; there are no concurrent writers to isolate against.
 """
 
 from __future__ import annotations

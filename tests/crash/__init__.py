@@ -1,0 +1,1 @@
+"""Crash-safety suite: fault injection, crash matrix, fsck."""

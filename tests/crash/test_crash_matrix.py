@@ -1,0 +1,223 @@
+"""The crash matrix: every failpoint × every durability-relevant operation.
+
+Each cell follows the same script:
+
+1. **Baseline** — a store with records 0..9, checkpointed (snapshot on
+   disk, WAL empty), reopened with a :class:`FaultFS`.
+2. **Crash** — arm one failpoint at the operation's fault site, run the
+   operation, catch the injected failure.  The store object is then
+   *abandoned* — never closed — simulating a process that died there.
+3. **Recover** — ``fsck --repair`` the directory, reopen it with a clean
+   filesystem, and assert the recovered keys are exactly the committed
+   prefix the crash semantics promise.  A final fsck must come back
+   clean (exit code 0).
+
+The point of the matrix is the *expected keys* column: it pins down, per
+crash point, precisely which acknowledged writes survive — and that
+nothing unacknowledged ever does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import FaultFS, InjectedFault, RecordStore, fsck
+from repro.storage.schema import Field, FieldType, Schema
+
+SCHEMA = Schema(
+    [Field("id", FieldType.INT), Field("name", FieldType.STRING)],
+    primary_key="id",
+)
+
+BASE_KEYS = frozenset(range(10))
+WRITE_FAULTS = ("fail_before_fsync", "partial_write", "torn_tail", "bit_flip")
+
+
+def _rec(i: int) -> dict:
+    return {"id": i, "name": f"rec-{i}"}
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One crash-matrix cell and its expected post-recovery state."""
+
+    failpoint: str
+    op: str
+    site: str  # path-substring the fault targets
+    skip: int  # matching events to let through before firing
+    raises: type[BaseException] | None  # what the op should raise, if anything
+    fires: bool  # whether the failpoint can fire during this op at all
+    expected_keys: frozenset  # exactly the committed prefix
+    index_survives: bool = False  # only meaningful for op="index_create"
+
+
+def _cells() -> list[Cell]:
+    cells = []
+    # -- single synced put: the frame either commits whole or not at all.
+    for fp in WRITE_FAULTS:
+        cells.append(Cell(
+            failpoint=fp, op="put", site=".wal", skip=0,
+            # bit_flip "succeeds"; the damage only surfaces at recovery.
+            raises=None if fp == "bit_flip" else InjectedFault,
+            fires=True, expected_keys=BASE_KEYS,
+        ))
+    # A put performs no rename, so fail_after_rename cannot fire: the op
+    # must complete untouched with the failpoint still armed.
+    cells.append(Cell(
+        failpoint="fail_after_rename", op="put", site=".wal", skip=0,
+        raises=None, fires=False, expected_keys=BASE_KEYS | {100},
+    ))
+
+    # -- put_many (group commit of 100..104), fault on the 3rd frame:
+    # recovery keeps the longest valid prefix of the batch.
+    prefix_2 = BASE_KEYS | {100, 101}
+    cells.append(Cell(  # fsync faults → everything since the last sync is gone
+        failpoint="fail_before_fsync", op="put_many", site=".wal", skip=0,
+        raises=InjectedFault, fires=True, expected_keys=BASE_KEYS,
+    ))
+    for fp in ("partial_write", "torn_tail"):
+        cells.append(Cell(
+            failpoint=fp, op="put_many", site=".wal", skip=2,
+            raises=InjectedFault, fires=True, expected_keys=prefix_2,
+        ))
+    cells.append(Cell(  # silent corruption mid-batch; fsck truncates there
+        failpoint="bit_flip", op="put_many", site=".wal", skip=2,
+        raises=None, fires=True, expected_keys=prefix_2,
+    ))
+    cells.append(Cell(
+        failpoint="fail_after_rename", op="put_many", site=".wal", skip=0,
+        raises=None, fires=False,
+        expected_keys=BASE_KEYS | {100, 101, 102, 103, 104},
+    ))
+
+    # -- checkpoint with a committed record 100 in the WAL: every crash
+    # point must recover to the full pre-checkpoint state.
+    ckpt_keys = BASE_KEYS | {100}
+    for fp in ("fail_before_fsync", "partial_write", "torn_tail"):
+        cells.append(Cell(
+            failpoint=fp, op="checkpoint", site="snapshot", skip=0,
+            raises=InjectedFault, fires=True, expected_keys=ckpt_keys,
+        ))
+    cells.append(Cell(  # read-back verification catches the corrupt snapshot
+        failpoint="bit_flip", op="checkpoint", site="snapshot", skip=0,
+        raises=StorageError, fires=True, expected_keys=ckpt_keys,
+    ))
+    cells.append(Cell(  # snapshot published, reclaim skipped → stale segments
+        failpoint="fail_after_rename", op="checkpoint", site="snapshot", skip=0,
+        raises=InjectedFault, fires=True, expected_keys=ckpt_keys,
+    ))
+
+    # -- index create + checkpoint: records always survive; the index
+    # declaration survives only once a snapshot containing it publishes.
+    for fp in ("fail_before_fsync", "partial_write", "torn_tail"):
+        cells.append(Cell(
+            failpoint=fp, op="index_create", site="snapshot", skip=0,
+            raises=InjectedFault, fires=True, expected_keys=BASE_KEYS,
+        ))
+    cells.append(Cell(
+        failpoint="bit_flip", op="index_create", site="snapshot", skip=0,
+        raises=StorageError, fires=True, expected_keys=BASE_KEYS,
+    ))
+    cells.append(Cell(
+        failpoint="fail_after_rename", op="index_create", site="snapshot",
+        skip=0, raises=InjectedFault, fires=True, expected_keys=BASE_KEYS,
+        index_survives=True,
+    ))
+    return cells
+
+
+def _run_op(store: RecordStore, op: str) -> None:
+    if op == "put":
+        store.insert(_rec(100))
+    elif op == "put_many":
+        store.put_many([_rec(i) for i in range(100, 105)])
+    elif op == "checkpoint":
+        store.insert(_rec(100))  # committed before the faulty checkpoint
+        store.checkpoint()
+    elif op == "index_create":
+        store.create_index("name")
+        store.checkpoint()
+    else:  # pragma: no cover - matrix definition error
+        raise AssertionError(op)
+
+
+@pytest.mark.parametrize(
+    "cell", _cells(), ids=lambda c: f"{c.failpoint}-{c.op}"
+)
+def test_crash_matrix(cell: Cell, tmp_path):
+    directory = tmp_path / "db"
+    # Baseline: 10 committed records, checkpointed, cleanly closed.
+    with RecordStore(SCHEMA, directory, sync=True) as store:
+        store.put_many([_rec(i) for i in range(10)])
+        store.checkpoint()
+
+    # Crash: reopen under fault injection, arm, run, abandon the store.
+    fs = FaultFS()
+    store = RecordStore(SCHEMA, directory, sync=True, fs=fs)
+    fs.arm(cell.failpoint, path=cell.site, skip=cell.skip)
+    if cell.raises is None:
+        _run_op(store, cell.op)
+    else:
+        with pytest.raises(cell.raises):
+            _run_op(store, cell.op)
+    assert fs.fired(cell.failpoint) == (1 if cell.fires else 0)
+    del store  # simulated crash: the handle is never closed
+
+    # Recover: repair crash artifacts, reopen clean, check the prefix.
+    fsck(directory, repair=True)
+    with RecordStore(SCHEMA, directory, sync=True) as recovered:
+        assert set(recovered.keys()) == set(cell.expected_keys)
+        for key in cell.expected_keys:
+            assert recovered.get(key) == _rec(key)
+        if cell.op == "index_create":
+            assert recovered.has_index("name") == cell.index_survives
+
+    report = fsck(directory)
+    assert report.exit_code() == 0, report.render()
+
+
+def test_recovered_store_stays_writable(tmp_path):
+    """After a crash + repair, the store must accept and keep new writes."""
+    directory = tmp_path / "db"
+    fs = FaultFS()
+    store = RecordStore(SCHEMA, directory, sync=True, fs=fs)
+    store.put_many([_rec(i) for i in range(5)])
+    fs.arm("torn_tail", path=".wal", drop_bytes=3)
+    with pytest.raises(InjectedFault):
+        store.insert(_rec(5))
+    del store
+
+    fsck(directory, repair=True)
+    with RecordStore(SCHEMA, directory, sync=True) as store:
+        assert set(store.keys()) == set(range(5))
+        store.insert(_rec(5))
+    with RecordStore(SCHEMA, directory) as store:
+        assert set(store.keys()) == set(range(6))
+    assert fsck(directory).exit_code() == 0
+
+
+def test_transaction_commit_is_all_or_nothing(tmp_path):
+    """A crash during a transaction's single-entry commit loses the whole
+    transaction; a crash after it keeps the whole transaction."""
+    directory = tmp_path / "db"
+    fs = FaultFS()
+    store = RecordStore(SCHEMA, directory, sync=True, fs=fs)
+    store.put_many([_rec(i) for i in range(3)])
+    fs.arm("fail_before_fsync", path=".wal")
+    with pytest.raises(InjectedFault):
+        with store.transaction() as txn:
+            txn.insert(_rec(10))
+            txn.insert(_rec(11))
+    del store
+
+    fsck(directory, repair=True)
+    with RecordStore(SCHEMA, directory, sync=True) as store:
+        assert set(store.keys()) == set(range(3))  # nothing partial
+        with store.transaction() as txn:
+            txn.insert(_rec(10))
+            txn.insert(_rec(11))
+    with RecordStore(SCHEMA, directory) as store:
+        assert set(store.keys()) == {0, 1, 2, 10, 11}

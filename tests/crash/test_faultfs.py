@@ -1,0 +1,228 @@
+"""Unit tests for the fault-injecting filesystem shim itself.
+
+The crash matrix (``test_crash_matrix.py``) only means something if the
+injector is trustworthy: each failpoint must fire exactly as armed —
+once, at the right call, on the right path — and a :class:`FaultFS` with
+nothing armed must behave exactly like the real filesystem.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.storage.faultfs import (
+    FAILPOINTS,
+    REAL_FS,
+    FaultFS,
+    FileSystem,
+    InjectedFault,
+    flip_bit,
+    flip_bit_on_disk,
+)
+
+
+class TestArming:
+    def test_unknown_failpoint_rejected(self):
+        fs = FaultFS()
+        with pytest.raises(ValueError, match="unknown failpoint"):
+            fs.arm("fail_sometimes")
+
+    def test_bad_skip_and_times_rejected(self):
+        fs = FaultFS()
+        with pytest.raises(ValueError):
+            fs.arm("partial_write", skip=-1)
+        with pytest.raises(ValueError):
+            fs.arm("partial_write", times=0)
+
+    def test_armed_and_disarm(self):
+        fs = FaultFS()
+        fs.arm("torn_tail")
+        assert fs.armed("torn_tail")
+        assert not fs.armed("partial_write")
+        fs.disarm("torn_tail")
+        assert not fs.armed("torn_tail")
+        fs.disarm("torn_tail")  # disarming nothing is a no-op
+
+    def test_reset_clears_arms_and_counters(self, tmp_path):
+        fs = FaultFS()
+        fs.arm("partial_write", keep_bytes=0)
+        fh = fs.open(tmp_path / "f.bin", "wb")
+        with pytest.raises(InjectedFault):
+            fh.write(b"hello")
+        fh.close()
+        assert fs.fired("partial_write") == 1
+        fs.reset()
+        assert fs.fired("partial_write") == 0
+        assert not fs.armed("partial_write")
+
+
+class TestFiresExactlyOnce:
+    """Every failpoint fires exactly once by default, then self-disarms."""
+
+    def test_partial_write(self, tmp_path):
+        fs = FaultFS()
+        fs.arm("partial_write", keep_bytes=3)
+        fh = fs.open(tmp_path / "f.bin", "wb")
+        with pytest.raises(InjectedFault) as exc:
+            fh.write(b"0123456789")
+        assert exc.value.name == "partial_write"
+        assert fh.write(b"abc") == 3  # second write passes through
+        fh.close()
+        assert fs.fired("partial_write") == 1
+        assert not fs.armed("partial_write")
+        assert (tmp_path / "f.bin").read_bytes() == b"012abc"
+
+    def test_torn_tail(self, tmp_path):
+        fs = FaultFS()
+        fs.arm("torn_tail", drop_bytes=4)
+        fh = fs.open(tmp_path / "f.bin", "wb")
+        with pytest.raises(InjectedFault):
+            fh.write(b"0123456789")
+        fh.write(b"!")
+        fh.close()
+        assert fs.fired("torn_tail") == 1
+        assert (tmp_path / "f.bin").read_bytes() == b"012345!"
+
+    def test_fail_before_fsync_rolls_back_to_synced_size(self, tmp_path):
+        fs = FaultFS()
+        fh = fs.open(tmp_path / "f.bin", "wb")
+        fh.write(b"durable")
+        fs.fsync(fh)  # synced_size is now 7
+        fs.arm("fail_before_fsync")
+        fh.write(b" and lost")
+        with pytest.raises(InjectedFault):
+            fs.fsync(fh)
+        fh.close()
+        assert fs.fired("fail_before_fsync") == 1
+        assert (tmp_path / "f.bin").read_bytes() == b"durable"
+
+    def test_fail_after_rename_performs_the_rename(self, tmp_path):
+        fs = FaultFS()
+        src = tmp_path / "a"
+        dst = tmp_path / "b"
+        src.write_bytes(b"payload")
+        fs.arm("fail_after_rename")
+        with pytest.raises(InjectedFault):
+            fs.replace(src, dst)
+        assert not src.exists()
+        assert dst.read_bytes() == b"payload"
+        assert fs.fired("fail_after_rename") == 1
+        # disarmed: the next replace succeeds silently
+        dst2 = tmp_path / "c"
+        fs.replace(dst, dst2)
+        assert dst2.exists()
+
+    def test_bit_flip_succeeds_silently(self, tmp_path):
+        fs = FaultFS()
+        fs.arm("bit_flip", byte=0, bit=0)
+        fh = fs.open(tmp_path / "f.bin", "wb")
+        assert fh.write(b"\x00\x00") == 2  # reports full success
+        fh.close()
+        assert fs.fired("bit_flip") == 1
+        assert (tmp_path / "f.bin").read_bytes() == b"\x01\x00"
+
+
+class TestTargeting:
+    def test_path_filter(self, tmp_path):
+        fs = FaultFS()
+        fs.arm("partial_write", path=".wal", keep_bytes=0)
+        other = fs.open(tmp_path / "snapshot.json.tmp", "wb")
+        other.write(b"unaffected")  # does not match the filter
+        other.close()
+        wal = fs.open(tmp_path / "store.wal", "ab")
+        with pytest.raises(InjectedFault):
+            wal.write(b"frame")
+        wal.close()
+        assert fs.fired("partial_write") == 1
+        assert (tmp_path / "snapshot.json.tmp").read_bytes() == b"unaffected"
+
+    def test_skip_lets_events_through(self, tmp_path):
+        fs = FaultFS()
+        fs.arm("torn_tail", skip=2, drop_bytes=1)
+        fh = fs.open(tmp_path / "f.bin", "wb")
+        fh.write(b"aa")
+        fh.write(b"bb")
+        with pytest.raises(InjectedFault):
+            fh.write(b"cc")
+        fh.close()
+        assert (tmp_path / "f.bin").read_bytes() == b"aabbc"
+
+    def test_times_bounds_repeat_fires(self, tmp_path):
+        fs = FaultFS()
+        fs.arm("bit_flip", times=2, byte=0)
+        fh = fs.open(tmp_path / "f.bin", "wb")
+        fh.write(b"\x00")
+        fh.write(b"\x00")
+        fh.write(b"\x00")  # third write is untouched
+        fh.close()
+        assert fs.fired("bit_flip") == 2
+        assert (tmp_path / "f.bin").read_bytes() == b"\x01\x01\x00"
+
+
+class TestPassThrough:
+    """With nothing armed, FaultFS is byte-for-byte the real filesystem."""
+
+    @pytest.mark.parametrize("fs", [REAL_FS, FaultFS()], ids=["real", "fault"])
+    def test_write_fsync_replace_remove(self, fs: FileSystem, tmp_path):
+        path = tmp_path / "f.bin"
+        fh = fs.open(path, "wb")
+        fh.write(b"hello ")
+        fh.write(b"world")
+        fs.fsync(fh)
+        fh.close()
+        assert path.read_bytes() == b"hello world"
+        moved = tmp_path / "g.bin"
+        fs.replace(path, moved)
+        fs.fsync_dir(tmp_path)
+        assert moved.read_bytes() == b"hello world"
+        fs.remove(moved)
+        assert not moved.exists()
+
+    def test_open_is_binary_only(self, tmp_path):
+        with pytest.raises(ValueError, match="binary-only"):
+            FaultFS().open(tmp_path / "f", "w")
+        with pytest.raises(ValueError, match="binary-only"):
+            REAL_FS.open(tmp_path / "f", "w")
+
+    def test_fault_file_surface(self, tmp_path):
+        fs = FaultFS()
+        fh = fs.open(tmp_path / "f.bin", "wb")
+        fh.write(b"0123456789")
+        fh.flush()
+        assert fh.tell() == 10
+        fh.truncate(4)
+        fh.seek(0, os.SEEK_END)
+        assert fh.tell() == 4
+        assert isinstance(fh.fileno(), int)
+        assert not fh.closed
+        fh.close()
+        assert fh.closed
+
+
+class TestFlipBit:
+    def test_flip_bit_round_trips(self):
+        data = b"\x10\x20\x30"
+        flipped = flip_bit(data, 1, 3)
+        assert flipped == b"\x10\x28\x30"
+        assert flip_bit(flipped, 1, 3) == data
+
+    def test_flip_bit_clamps_index(self):
+        assert flip_bit(b"\x00", 99) == b"\x01"
+        assert flip_bit(b"", 0) == b""
+
+    def test_flip_bit_on_disk(self, tmp_path):
+        path = tmp_path / "f.bin"
+        path.write_bytes(b"\x00\x00")
+        flip_bit_on_disk(path, 1, 7)
+        assert path.read_bytes() == b"\x00\x80"
+
+
+def test_every_failpoint_name_is_armable():
+    fs = FaultFS()
+    for name in FAILPOINTS:
+        fs.arm(name)
+        assert fs.armed(name)
+    fs.disarm_all()
+    assert not any(fs.armed(name) for name in FAILPOINTS)

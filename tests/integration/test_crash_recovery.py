@@ -100,3 +100,77 @@ class TestCrashScenarios:
         a = (tmp_path / "a" / "store.wal").read_bytes()
         b = (tmp_path / "b" / "store.wal").read_bytes()
         assert a == b
+
+
+class TestCheckpointCycle:
+    """Checkpoint bounds WAL disk usage and survives repeated cycles."""
+
+    def test_checkpoint_truncates_wal_chain(self, tmp_path):
+        with RecordStore(SCHEMA, tmp_path / "db") as store:
+            _fill(store, 0, 50)
+            assert store._wal.total_size_bytes > 0
+            store.checkpoint()
+            assert store._wal.total_size_bytes == 0
+        with RecordStore(SCHEMA, tmp_path / "db") as store:
+            assert len(store) == 50
+
+    def test_wal_stays_bounded_across_cycles(self, tmp_path):
+        # Disk usage after each checkpoint must not grow with history:
+        # every cycle ends with an empty chain, not an ever-longer one.
+        with RecordStore(SCHEMA, tmp_path / "db") as store:
+            for cycle in range(5):
+                _fill(store, cycle * 20, 20)
+                store.checkpoint()
+                assert store._wal.total_size_bytes == 0
+                leftover = list((tmp_path / "db").glob("store.wal.0*"))
+                assert leftover == []
+        with RecordStore(SCHEMA, tmp_path / "db") as store:
+            assert len(store) == 100
+
+    def test_writes_after_checkpoint_replay_on_top_of_snapshot(self, tmp_path):
+        with RecordStore(SCHEMA, tmp_path / "db") as store:
+            _fill(store, 0, 10)
+            store.checkpoint()
+            _fill(store, 10, 5)
+            store.delete(0)
+        with RecordStore(SCHEMA, tmp_path / "db") as store:
+            assert set(store.keys()) == set(range(1, 15))
+
+    def test_checkpoint_preserves_indexes_and_numbering(self, tmp_path):
+        with RecordStore(SCHEMA, tmp_path / "db") as store:
+            store.create_index("v", IndexKind.HASH)
+            _fill(store, 0, 10)
+            store.checkpoint()
+            first_seal = store._wal.highest_seal
+            _fill(store, 10, 10)
+            store.checkpoint()
+            assert store._wal.highest_seal > first_seal  # numbers never reuse
+        with RecordStore(SCHEMA, tmp_path / "db") as store:
+            assert store.has_index("v")
+            assert [r["id"] for r in store.find_by("v", "value-15")] == [15]
+
+    def test_snapshot_alias_still_works(self, tmp_path):
+        with RecordStore(SCHEMA, tmp_path / "db") as store:
+            _fill(store, 0, 5)
+            store.snapshot()  # pre-checkpoint API name
+            assert store._wal.size_bytes == 0
+        with RecordStore(SCHEMA, tmp_path / "db") as store:
+            assert len(store) == 5
+
+    def test_v1_snapshot_directory_still_recovers(self, tmp_path):
+        # A directory written before segmentation: version-1 snapshot
+        # (no manifest, no wal_seal) plus a plain single-file WAL.
+        import json
+
+        directory = tmp_path / "db"
+        directory.mkdir()
+        records = [{"id": i, "v": f"value-{i}"} for i in range(3)]
+        (directory / "snapshot.json").write_text(
+            json.dumps({"version": 1, "records": records, "indexes": []})
+        )
+        with RecordStore(SCHEMA, directory) as store:
+            assert set(store.keys()) == {0, 1, 2}
+            store.insert({"id": 3, "v": "value-3"})
+            store.checkpoint()
+        with RecordStore(SCHEMA, directory) as store:
+            assert set(store.keys()) == {0, 1, 2, 3}

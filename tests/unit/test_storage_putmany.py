@@ -232,7 +232,7 @@ class TestSnapshotDurability:
             def boom(*args, **kwargs):
                 raise OSError("disk full")
 
-            monkeypatch.setattr(json, "dump", boom)
+            monkeypatch.setattr(json, "dumps", boom)
             with pytest.raises(OSError):
                 store.snapshot()
             leftovers = list((tmp_path / "db").glob("*.json.tmp"))

@@ -158,3 +158,115 @@ class TestCorruption:
         wal_path.write_bytes(bytes(raw))
         with pytest.raises(CorruptLogError):
             WriteAheadLog.replay_path(wal_path)
+
+
+class TestSegmentation:
+    """Rotation, sealed-segment naming, chain replay, seal_floor."""
+
+    def test_rotate_seals_and_replays_in_order(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append({"seq": 1})
+            assert wal.rotate() == 1
+            wal.append({"seq": 2})
+            wal.append({"seq": 3})
+            assert wal.rotate() == 2
+            wal.append({"seq": 4})
+        sealed = [p.name for _, p in
+                  __import__("repro.storage.wal", fromlist=["sealed_segment_paths"])
+                  .sealed_segment_paths(wal_path)]
+        assert sealed == ["test.wal.000001", "test.wal.000002"]
+        entries = WriteAheadLog.replay_path(wal_path)
+        assert [e.payload["seq"] for e in entries] == [1, 2, 3, 4]
+
+    def test_empty_rotation_creates_no_segment(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            assert wal.rotate() is None
+            wal.append({"seq": 1})
+            assert wal.rotate() == 1
+            assert wal.rotate() is None  # freshly rotated active is empty
+        assert not wal_path.with_name("test.wal.000002").exists()
+
+    def test_reopen_continues_numbering(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append({"seq": 1})
+            wal.rotate()
+        with WriteAheadLog(wal_path) as wal:
+            assert wal.highest_seal == 1
+            wal.append({"seq": 2})
+            assert wal.rotate() == 2
+
+    def test_seal_floor_prevents_number_reuse(self, wal_path):
+        # After a checkpoint deletes segments 1..N, numbering must still
+        # continue above N, or new segments would look stale.
+        with WriteAheadLog(wal_path, seal_floor=5) as wal:
+            wal.append({"seq": 1})
+            assert wal.rotate() == 6
+
+    def test_chain_skips_stale_segments(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append({"seq": 1})
+            wal.rotate()
+            wal.append({"seq": 2})
+            wal.rotate()
+            wal.append({"seq": 3})
+        chain = WriteAheadLog.scan_chain(wal_path, min_seal=1)
+        assert [p.name for p in chain.stale] == ["test.wal.000001"]
+        assert [e.payload["seq"] for e in chain.entries()] == [2, 3]
+
+    def test_missing_segment_raises_on_strict_scan(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            for seq in range(3):
+                wal.append({"seq": seq})
+                wal.rotate()
+        wal_path.with_name("test.wal.000002").unlink()
+        with pytest.raises(CorruptLogError, match="missing WAL segment"):
+            WriteAheadLog.replay_path(wal_path)
+
+    def test_damage_in_sealed_segment_raises(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append({"seq": 1})
+            wal.rotate()
+            wal.append({"seq": 2})
+        sealed = wal_path.with_name("test.wal.000001")
+        raw = bytearray(sealed.read_bytes())
+        raw[-3] ^= 0xFF
+        sealed.write_bytes(bytes(raw))
+        with pytest.raises(CorruptLogError, match="sealed WAL segment"):
+            WriteAheadLog.replay_path(wal_path)
+
+    def test_truncate_erases_whole_chain(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append({"seq": 1})
+            wal.rotate()
+            wal.append({"seq": 2})
+            assert wal.total_size_bytes > 0
+            wal.truncate()
+            assert wal.total_size_bytes == 0
+        assert WriteAheadLog.replay_path(wal_path) == []
+
+    def test_torn_tail_physically_truncated_on_open(self, wal_path):
+        # Appending after a torn tail must not fuse two frames into one
+        # corrupt line: open() truncates the torn bytes first.
+        with WriteAheadLog(wal_path) as wal:
+            wal.append({"seq": 1})
+        clean_size = wal_path.stat().st_size
+        with open(wal_path, "ab") as fh:
+            fh.write(b"W1 0bad0bad 17 {\"torn")
+        with WriteAheadLog(wal_path) as wal:
+            assert wal_path.stat().st_size == clean_size
+            wal.append({"seq": 2})
+        entries = WriteAheadLog.replay_path(wal_path)
+        assert [e.payload["seq"] for e in entries] == [1, 2]
+
+    def test_scan_file_lenient_records_error(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append({"seq": 1})
+            wal.append({"seq": 2})
+        raw = bytearray(wal_path.read_bytes())
+        raw[-3] ^= 0xFF  # corrupt the second (newline-terminated) entry
+        wal_path.write_bytes(bytes(raw))
+        scan = WriteAheadLog.scan_file(wal_path, strict=False)
+        assert not scan.clean
+        assert scan.error is not None
+        assert [e.payload["seq"] for e in scan.entries] == [1]
+        assert 0 < scan.valid_bytes < wal_path.stat().st_size
