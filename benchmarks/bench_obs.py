@@ -5,9 +5,14 @@ the default registry + tracer enabled and disabled, interleaving repeats
 so clock drift hits both arms equally.  The contract being verified (see
 ``docs/observability.md``):
 
-* enabled instrumentation costs < 5% on the bench hot paths, and
+* enabled instrumentation costs < 5% on the bench hot paths (which
+  now carry the structured-logging call sites at the default ``info``
+  level),
 * a disabled registry reduces every hook to a near-no-op (reported as
-  nanoseconds per disabled ``Counter.inc``).
+  nanoseconds per disabled ``Counter.inc``), and
+* one structured-log call is cheap in every regime — emitted,
+  level-filtered, rate-limited, disabled — reported as nanoseconds
+  per call under ``log_event_ns``.
 
 Standalone-runnable (pytest not required)::
 
@@ -155,6 +160,48 @@ def _bench(workloads) -> dict:
     return results
 
 
+def _log_event_ns() -> dict:
+    """Per-event cost of the structured logger's four fast paths.
+
+    The hot-path workloads above already carry the instrumentation's
+    ``debug(...)`` call sites at the default ``info`` level, so their
+    overhead numbers cover logging in its default configuration.  This
+    micro isolates what one log call costs in each regime an operator
+    can configure: fully emitted (ring append), filtered by level,
+    dropped by the rate limiter, and globally disabled.
+    """
+    logger = obs.logging.get_default_logger()
+    n = 100_000
+    saved_limit = logger.rate_limit_per_s
+    saved_level = logger.level
+
+    def _time(fn) -> float:
+        start = perf_counter()
+        for i in range(n):
+            fn(i)
+        return (perf_counter() - start) / n * 1e9
+
+    try:
+        logger.set_level("info")
+        logger.rate_limit_per_s = 0.0
+        emitted = _time(lambda i: obs.logging.info("bench.obs.log", i=i))
+        filtered = _time(lambda i: obs.logging.debug("bench.obs.log", i=i))
+        logger.rate_limit_per_s = 1.0  # budget exhausted after one event
+        dropped = _time(lambda i: obs.logging.info("bench.obs.log", i=i))
+        obs.set_enabled(False)
+        disabled = _time(lambda i: obs.logging.info("bench.obs.log", i=i))
+    finally:
+        obs.set_enabled(True)
+        logger.rate_limit_per_s = saved_limit
+        logger.set_level(saved_level)
+    return {
+        "emitted": round(emitted, 1),
+        "filtered_by_level": round(filtered, 1),
+        "dropped_by_rate_limit": round(dropped, 1),
+        "disabled": round(disabled, 1),
+    }
+
+
 def _counter_inc_ns(enabled: bool) -> float:
     """Cost of one Counter.inc() with the registry enabled/disabled."""
     counter = obs.metrics.counter("bench.obs.inc.micro")
@@ -191,6 +238,7 @@ def main(argv=None) -> int:
             "enabled": round(_counter_inc_ns(True), 1),
             "disabled": round(_counter_inc_ns(False), 1),
         },
+        "log_event_ns": _log_event_ns(),
         "workloads": results,
     }
     text = json.dumps(doc, indent=2)

@@ -26,6 +26,13 @@ Subcommands
 ``checkpoint``
     Open a store directory, replay its WAL, and checkpoint it: write a
     verified snapshot and delete the WAL segments it covers.
+``serve-telemetry``
+    Run the stdlib HTTP telemetry daemon: ``/metrics`` (Prometheus),
+    ``/healthz`` (fsck-backed store health), ``/varz``, ``/tracez``,
+    ``/logz``.  See ``docs/operations.md``.
+``logs``
+    Tail structured log events: from a JSONL file (``--file``), or from
+    an in-process run of the standard pipeline workload at debug level.
 """
 
 from __future__ import annotations
@@ -131,7 +138,15 @@ def _cmd_query(args: argparse.Namespace) -> int:
     store.create_index("surnames", IndexKind.HASH)
     store.create_index("year", IndexKind.BTREE)
     store.create_index("volume", IndexKind.BTREE)
-    engine = QueryEngine(store)
+    slow_log = None
+    if args.slow_log or args.slow_ms is not None:
+        from repro.obs.slowlog import DEFAULT_THRESHOLD_S, SlowQueryLog
+
+        threshold = (
+            args.slow_ms / 1000.0 if args.slow_ms is not None else DEFAULT_THRESHOLD_S
+        )
+        slow_log = SlowQueryLog(args.slow_log, threshold_s=threshold)
+    engine = QueryEngine(store, slow_log=slow_log)
     if args.explain:
         print(engine.explain(args.query))
         return 0
@@ -160,8 +175,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_stats_metrics(args: argparse.Namespace) -> int:
-    """Exercise every pipeline over the corpus, dump the metrics registry.
+def _run_standard_workload(corpus: str | None) -> dict:
+    """Exercise every pipeline over the corpus; returns the registry snapshot.
 
     The snapshot therefore always contains the four metric families
     (``storage.*``, ``build.*``, ``query.*``, ``search.*``) for one
@@ -173,7 +188,7 @@ def _cmd_stats_metrics(args: argparse.Namespace) -> int:
 
     registry = obs.get_default_registry()
     registry.reset()
-    records = _load_corpus(args.corpus)
+    records = _load_corpus(corpus)
     # A disk-backed store so the WAL append/flush metrics move too.
     with tempfile.TemporaryDirectory(prefix="repro-stats-") as tmp:
         with RecordStore(PUBLICATION_SCHEMA, directory=tmp) as store:
@@ -194,13 +209,54 @@ def _cmd_stats_metrics(args: argparse.Namespace) -> int:
             store.checkpoint()
         # Snapshot after the store closes: the WAL flushes its locally
         # batched append counters to the registry on close.
-        snapshot = registry.snapshot()
+        return registry.snapshot()
+
+
+def _cmd_stats_metrics(args: argparse.Namespace) -> int:
+    """``stats --metrics``: run the standard workload, dump the registry."""
+    from repro import obs
+
+    if args.since is not None:
+        return _cmd_stats_rates(args)
+    snapshot = _run_standard_workload(args.corpus)
     if args.metrics_format == "text":
         print(obs.export.render_text(snapshot))
     elif args.metrics_format == "jsonl":
         print(obs.export.render_jsonl(snapshot))
+    elif args.metrics_format == "prom":
+        # Same renderer the telemetry daemon's /metrics endpoint uses.
+        print(obs.render_prometheus(snapshot), end="")
     else:
         print(obs.export.render_json(snapshot))
+    return 0
+
+
+def _cmd_stats_rates(args: argparse.Namespace) -> int:
+    """``stats --metrics --since N``: windowed counter rates.
+
+    With ``--timeseries FILE``, rates come from the on-disk sample ring
+    a telemetry daemon (or earlier run) recorded there.  Without it, the
+    standard workload runs bracketed by two samples, so the rates
+    describe that workload.
+    """
+    from repro.obs.timeseries import TimeSeriesLog
+
+    if args.timeseries:
+        ts = TimeSeriesLog(args.timeseries)
+    else:
+        from repro import obs
+
+        # The workload resets the registry before running; reset before
+        # the first sample too, so the pair brackets exactly one
+        # workload even when an earlier command already ran one
+        # in-process.
+        obs.get_default_registry().reset()
+        ts = TimeSeriesLog()
+        ts.sample()
+        _run_standard_workload(args.corpus)
+        ts.sample()
+    rates = ts.rates(args.since)
+    print(json.dumps(rates, indent=2, sort_keys=True))
     return 0
 
 
@@ -319,6 +375,81 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_telemetry(args: argparse.Namespace) -> int:
+    from repro.obs.server import TelemetryServer
+    from repro.obs.timeseries import TimeSeriesLog, TimeSeriesRecorder
+
+    if args.store is not None and args.seed_corpus:
+        # Seed the store directory with the corpus (for smoke tests and
+        # demos) so /healthz has a real snapshot + WAL chain to walk.
+        records = _load_corpus(args.corpus)
+        with RecordStore(PUBLICATION_SCHEMA, directory=args.store) as store:
+            if len(store) == 0:
+                populate_store(store, records)
+            store.checkpoint()
+    recorder = None
+    if args.timeseries:
+        recorder = TimeSeriesRecorder(
+            TimeSeriesLog(args.timeseries), interval_s=args.interval
+        ).start()
+    server = TelemetryServer(host=args.host, port=args.port, store_dir=args.store)
+    print(f"telemetry: listening on {server.url}", file=sys.stderr)
+    print(
+        "endpoints: /metrics /healthz /varz /tracez /logz",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    finally:
+        if recorder is not None:
+            recorder.stop()
+    return 0
+
+
+def _cmd_logs(args: argparse.Namespace) -> int:
+    from repro.obs import logging as obs_logging
+
+    if args.file:
+        records = obs_logging.read_jsonl(args.file)
+        if args.level:
+            minimum = obs_logging.LEVELS[args.level]
+            records = [
+                r for r in records
+                if obs_logging.LEVELS.get(r.get("level", "info"), 20) >= minimum
+            ]
+        if args.event:
+            prefix = args.event.rstrip(".")
+            records = [
+                r for r in records
+                if r.get("event") == prefix
+                or str(r.get("event", "")).startswith(prefix + ".")
+            ]
+        if args.trace:
+            records = [r for r in records if r.get("trace_id") == args.trace]
+        if args.tail is not None:
+            records = records[-args.tail:]
+    else:
+        # No file: run the standard workload at debug level and tail the
+        # in-process ring — a self-contained demo of the event stream.
+        logger = obs_logging.get_default_logger()
+        previous = logger.level
+        logger.set_level("debug")
+        try:
+            _run_standard_workload(args.corpus)
+        finally:
+            logger.set_level(previous)
+        records = obs_logging.tail(
+            args.tail, level=args.level, event=args.event, trace_id=args.trace
+        )
+    for record in records:
+        if args.json:
+            print(json.dumps(record, ensure_ascii=False, sort_keys=True))
+        else:
+            print(obs_logging.format_event(record))
+    print(f"({len(records)} events)", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -357,6 +488,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --profile: emit rows and profile as one JSON document",
     )
+    p_query.add_argument(
+        "--slow-log",
+        metavar="FILE",
+        help="record queries over the slow threshold to this JSONL file",
+    )
+    p_query.add_argument(
+        "--slow-ms",
+        type=float,
+        metavar="MS",
+        help="slow-query threshold in milliseconds (default 100; implies "
+             "slow-query capture even without --slow-log)",
+    )
     p_query.set_defaults(func=_cmd_query)
 
     p_stats = sub.add_parser("stats", help="print index statistics")
@@ -369,9 +512,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_stats.add_argument(
         "--metrics-format",
-        choices=("json", "jsonl", "text"),
+        "--format",
+        dest="metrics_format",
+        choices=("json", "jsonl", "text", "prom"),
         default="json",
-        help="snapshot format for --metrics (default: json)",
+        help="snapshot format for --metrics (default: json); prom = "
+             "Prometheus text exposition, identical to the /metrics endpoint",
+    )
+    p_stats.add_argument(
+        "--since",
+        type=float,
+        metavar="SECONDS",
+        help="with --metrics: print windowed counter rates instead of "
+             "lifetime totals (see --timeseries)",
+    )
+    p_stats.add_argument(
+        "--timeseries",
+        metavar="FILE",
+        help="with --since: read samples from this JSONL ring (as written "
+             "by serve-telemetry --timeseries) instead of sampling around "
+             "a fresh workload run",
     )
     p_stats.set_defaults(func=_cmd_stats)
 
@@ -431,6 +591,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_checkpoint.add_argument("directory", help="store directory (WAL + snapshot)")
     p_checkpoint.set_defaults(func=_cmd_checkpoint)
+
+    p_serve = sub.add_parser(
+        "serve-telemetry",
+        help="HTTP telemetry daemon: /metrics /healthz /varz /tracez /logz",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=9179, help="TCP port (default: 9179; 0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--store",
+        metavar="DIR",
+        help="store directory /healthz walks with fsck (liveness-only otherwise)",
+    )
+    p_serve.add_argument(
+        "--seed-corpus",
+        action="store_true",
+        help="with --store: seed an empty store from the corpus and "
+             "checkpoint it before serving (for smoke tests and demos)",
+    )
+    p_serve.add_argument("--corpus", help="JSON corpus path (default: bundled reference)")
+    p_serve.add_argument(
+        "--timeseries",
+        metavar="FILE",
+        help="record periodic metric samples to this JSONL ring while serving",
+    )
+    p_serve.add_argument(
+        "--interval",
+        type=float,
+        default=10.0,
+        help="sampling interval in seconds for --timeseries (default: 10)",
+    )
+    p_serve.set_defaults(func=_cmd_serve_telemetry)
+
+    p_logs = sub.add_parser(
+        "logs", help="tail structured log events (file or in-process demo run)"
+    )
+    p_logs.add_argument(
+        "--file", metavar="FILE", help="read events from this JSONL file"
+    )
+    p_logs.add_argument(
+        "--corpus",
+        help="without --file: corpus for the demo workload (default: bundled)",
+    )
+    p_logs.add_argument(
+        "--tail", type=int, metavar="N", help="show only the last N events"
+    )
+    p_logs.add_argument(
+        "--level",
+        choices=("debug", "info", "warn", "error"),
+        help="minimum severity to show",
+    )
+    p_logs.add_argument("--event", help="event name (exact or dotted prefix)")
+    p_logs.add_argument("--trace", metavar="ID", help="only events with this trace ID")
+    p_logs.add_argument(
+        "--json", action="store_true", help="emit raw JSON lines instead of text"
+    )
+    p_logs.set_defaults(func=_cmd_logs)
     return parser
 
 

@@ -1,6 +1,7 @@
-"""repro.obs — zero-dependency observability: metrics, spans, exports.
+"""repro.obs — zero-dependency observability: metrics, spans, logs, serving.
 
-The measurement substrate for every hot path in the engine.  Three parts:
+The measurement substrate for every hot path in the engine, plus the
+serving layer that makes it operable from outside the process:
 
 ``metrics``
     :class:`MetricsRegistry` of counters / gauges / fixed-bucket
@@ -10,30 +11,47 @@ The measurement substrate for every hot path in the engine.  Three parts:
 ``tracing``
     Nestable :class:`Span` context managers collected by a
     :class:`Tracer` with ring-buffer retention of finished root spans.
-``export``
-    Snapshot renderers: plain text, JSON, and JSON-lines (for diffing
-    metric dumps across runs).
+``logging``
+    Structured JSON log events with severity levels, per-event rate
+    limiting, and thread-local trace-ID correlation (``obs.trace()``)
+    joining log lines to spans and slow-log entries.
+``slowlog``
+    JSONL slow-query log (query text, plan, ``plan_cached``, rows,
+    EXPLAIN ANALYZE profile) with size-based rotation.
+``export`` / ``promexport``
+    Snapshot renderers: plain text, JSON, JSON-lines, and Prometheus
+    text exposition (one renderer behind both the CLI and ``/metrics``).
+``server``
+    Stdlib HTTP telemetry daemon (``repro serve-telemetry``) serving
+    ``/metrics``, ``/healthz``, ``/varz``, ``/tracez``, ``/logz``.
+``timeseries``
+    Fixed-interval on-disk metric snapshots for windowed rates
+    (``repro stats --metrics --since``).
 
 Quick use::
 
     from repro import obs
 
     obs.counter("my.counter").inc()
-    with obs.span("my.phase", items=10):
-        ...
+    with obs.trace() as trace_id:
+        with obs.span("my.phase", items=10):
+            obs.log_event("my.event", items=10)
     print(obs.export.render_text(obs.metrics_snapshot()))
 
-``obs.set_enabled(False)`` turns both metrics and tracing off process-wide
-(each can also be toggled individually via its own module).  The full
-metric-name and span catalogue — a public contract — is documented in
-``docs/observability.md``.
+``obs.set_enabled(False)`` turns metrics, tracing, and logging off
+process-wide (each can also be toggled individually via its own module).
+The full metric-name and span catalogue — a public contract — is
+documented in ``docs/observability.md``; operating the serving layer is
+covered in ``docs/operations.md``.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
-from repro.obs import export, metrics, tracing
+from repro.obs import export, logging, metrics, promexport, slowlog, timeseries, tracing
+from repro.obs.logging import JsonLogger, current_trace_id, new_trace_id, trace
+from repro.obs.logging import log as log_event
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -45,6 +63,9 @@ from repro.obs.metrics import (
     histogram,
     timed,
 )
+from repro.obs.promexport import render_prometheus
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.timeseries import TimeSeriesLog, TimeSeriesRecorder
 from repro.obs.tracing import Span, Tracer, finished_spans, get_default_tracer, span
 
 __all__ = [
@@ -54,11 +75,20 @@ __all__ = [
     "MetricsRegistry",
     "Span",
     "Tracer",
+    "JsonLogger",
+    "SlowQueryLog",
+    "TimeSeriesLog",
+    "TimeSeriesRecorder",
     "counter",
     "gauge",
     "histogram",
     "timed",
     "span",
+    "trace",
+    "log_event",
+    "new_trace_id",
+    "current_trace_id",
+    "render_prometheus",
     "get_default_registry",
     "get_default_tracer",
     "finished_spans",
@@ -69,6 +99,10 @@ __all__ = [
     "export",
     "metrics",
     "tracing",
+    "logging",
+    "slowlog",
+    "promexport",
+    "timeseries",
 ]
 
 
@@ -78,17 +112,19 @@ def metrics_snapshot() -> dict[str, Any]:
 
 
 def set_enabled(flag: bool) -> None:
-    """Enable/disable both default metrics registry and default tracer."""
+    """Enable/disable default metrics registry, tracer, and logger."""
     metrics.set_enabled(flag)
     tracing.set_enabled(flag)
+    logging.set_enabled(flag)
 
 
 def is_enabled() -> bool:
-    """True when either the default registry or tracer is enabled."""
-    return metrics.is_enabled() or tracing.is_enabled()
+    """True when any of the default registry / tracer / logger is enabled."""
+    return metrics.is_enabled() or tracing.is_enabled() or logging.is_enabled()
 
 
 def reset() -> None:
-    """Zero all default-registry series and drop retained spans."""
+    """Zero default-registry series, drop retained spans and log records."""
     metrics.reset()
     tracing.reset()
+    logging.reset()

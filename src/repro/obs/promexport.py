@@ -1,0 +1,140 @@
+"""Prometheus text-exposition rendering of a metrics snapshot.
+
+One function, :func:`render_prometheus`, turns the
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` dict into the
+`Prometheus text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ (version
+0.0.4) — the same renderer backs the telemetry server's ``/metrics``
+endpoint and ``repro stats --metrics --metrics-format prom``, so the CLI
+and HTTP surfaces can never drift apart.
+
+Mapping rules:
+
+* dotted names sanitize to underscores under a ``repro_`` namespace
+  (``storage.wal.fsync.count`` → ``repro_storage_wal_fsync_count``);
+* counters gain the conventional ``_total`` suffix;
+* gauges render as-is;
+* histograms render as cumulative ``_bucket{le="…"}`` series plus
+  ``_sum`` and ``_count`` (the snapshot's buckets are already cumulative
+  with an explicit ``+Inf``);
+* labels are sorted, values escaped per the exposition spec
+  (backslash, double-quote, newline).
+
+Every series carries one ``# HELP``/``# TYPE`` header per metric name,
+series of the same name (different label sets) grouped under it, names
+sorted — so two renders of the same snapshot are byte-identical.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.obs.export import parse_series_name
+
+__all__ = ["render_prometheus", "prometheus_name", "escape_label_value"]
+
+#: Default metric-name namespace prefixed to every series.
+NAMESPACE = "repro"
+
+_INVALID_NAME_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_INVALID_LABEL_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def prometheus_name(name: str, *, namespace: str = NAMESPACE) -> str:
+    """Sanitize a dotted series name into a legal Prometheus metric name."""
+    flat = _INVALID_NAME_CHARS.sub("_", name)
+    if namespace:
+        flat = f"{namespace}_{flat}"
+    if flat and flat[0].isdigit():
+        flat = f"_{flat}"
+    return flat
+
+
+def _label_name(name: str) -> str:
+    clean = _INVALID_LABEL_CHARS.sub("_", name)
+    if clean and clean[0].isdigit():
+        clean = f"_{clean}"
+    return clean
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: dict[str, str], extra: tuple[tuple[str, str], ...] = ()) -> str:
+    items = sorted(labels.items()) + list(extra)
+    if not items:
+        return ""
+    inner = ",".join(
+        f'{_label_name(key)}="{escape_label_value(str(value))}"' for key, value in items
+    )
+    return f"{{{inner}}}"
+
+
+def _format_value(value: Any) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _group_by_name(
+    flat_series: dict[str, Any],
+) -> dict[str, list[tuple[dict[str, str], Any]]]:
+    """Group a snapshot section by base metric name, names sorted."""
+    grouped: dict[str, list[tuple[dict[str, str], Any]]] = {}
+    for flat in sorted(flat_series):
+        name, labels = parse_series_name(flat)
+        grouped.setdefault(name, []).append((labels, flat_series[flat]))
+    return grouped
+
+
+def render_prometheus(
+    snapshot: dict[str, Any], *, namespace: str = NAMESPACE
+) -> str:
+    """Render a metrics snapshot as Prometheus text exposition format.
+
+    The output ends with a trailing newline, as the format requires.
+    """
+    lines: list[str] = []
+
+    for name, series in _group_by_name(snapshot.get("counters", {})).items():
+        metric = prometheus_name(name, namespace=namespace) + "_total"
+        lines.append(f"# HELP {metric} Counter {name} (repro.obs)")
+        lines.append(f"# TYPE {metric} counter")
+        for labels, value in series:
+            lines.append(f"{metric}{_render_labels(labels)} {_format_value(value)}")
+
+    for name, series in _group_by_name(snapshot.get("gauges", {})).items():
+        metric = prometheus_name(name, namespace=namespace)
+        lines.append(f"# HELP {metric} Gauge {name} (repro.obs)")
+        lines.append(f"# TYPE {metric} gauge")
+        for labels, value in series:
+            lines.append(f"{metric}{_render_labels(labels)} {_format_value(value)}")
+
+    for name, series in _group_by_name(snapshot.get("histograms", {})).items():
+        metric = prometheus_name(name, namespace=namespace)
+        lines.append(f"# HELP {metric} Histogram {name} (repro.obs)")
+        lines.append(f"# TYPE {metric} histogram")
+        for labels, payload in series:
+            buckets: dict[str, int] = payload.get("buckets", {})
+            for bound, cumulative in buckets.items():
+                le = "+Inf" if bound == "+Inf" else _format_value(float(bound))
+                lines.append(
+                    f"{metric}_bucket{_render_labels(labels, (('le', le),))} "
+                    f"{cumulative}"
+                )
+            lines.append(
+                f"{metric}_sum{_render_labels(labels)} "
+                f"{_format_value(payload.get('sum', 0.0))}"
+            )
+            lines.append(
+                f"{metric}_count{_render_labels(labels)} {payload.get('count', 0)}"
+            )
+
+    return "\n".join(lines) + "\n" if lines else ""

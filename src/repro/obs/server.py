@@ -1,0 +1,224 @@
+"""Stdlib telemetry daemon: /metrics, /healthz, /varz, /tracez, /logz.
+
+:class:`TelemetryServer` wraps a :class:`http.server.ThreadingHTTPServer`
+exposing the process's observability state over HTTP — the backend of
+``repro serve-telemetry``.  Routes:
+
+``/metrics``
+    Prometheus text exposition of the default metrics registry
+    (:func:`repro.obs.promexport.render_prometheus` — the exact renderer
+    ``repro stats --metrics --metrics-format prom`` uses).
+``/healthz``
+    Store health.  When the server was given a ``store_dir``, runs the
+    :func:`repro.storage.fsck.fsck` walker (read-only) over the snapshot
+    and WAL chain and maps its exit code: 0 → ``ok`` (HTTP 200),
+    1 → ``degraded`` (HTTP 200 — recoverable damage, the store still
+    serves), 2 → ``fail`` (HTTP 503).  Without a store the endpoint
+    reports process liveness only.
+``/varz``
+    Raw JSON metrics snapshot (counters / gauges / histograms).
+``/tracez``
+    Recent finished span trees from the default tracer, JSON.
+``/logz``
+    Tail of the in-process structured log ring, JSON
+    (``?n=``, ``?level=``, ``?event=``, ``?trace=`` filters).
+
+The server binds before :meth:`TelemetryServer.serve_forever` returns
+control, so ``port=0`` (ephemeral) works for tests: construct, read
+``.port``, then drive requests.  Every handled request increments
+``obs.server.requests{path=…}``.
+
+The fsck walker is imported lazily inside the health check —
+``repro.storage`` itself instruments through ``repro.obs``, and a
+module-level import here would complete that cycle.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlparse
+
+from repro.obs import logging as _logging
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
+from repro.obs.promexport import render_prometheus
+
+__all__ = ["TelemetryServer", "DEFAULT_PORT"]
+
+#: Default TCP port for ``repro serve-telemetry``.
+DEFAULT_PORT = 9179
+
+def _count_request(path: str) -> None:
+    _metrics.counter("obs.server.requests", path=path).inc()
+
+
+def _health_payload(store_dir: str | None) -> tuple[int, dict[str, Any]]:
+    """(http_status, body) for /healthz."""
+    if store_dir is None:
+        return 200, {"status": "ok", "store": None}
+    from repro.storage.fsck import fsck  # lazy: storage instruments via obs
+
+    report = fsck(store_dir)
+    code = report.exit_code()
+    status = {0: "ok", 1: "degraded", 2: "fail"}[code]
+    body = {"status": status, "store": report.to_dict()}
+    return (503 if code == 2 else 200), body
+
+
+class _TelemetryHandler(BaseHTTPRequestHandler):
+    """Routes one request; server state lives on ``self.server``."""
+
+    server: "TelemetryServer"  # type: ignore[assignment]
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -----------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # Route access logs through the structured logger instead of stderr.
+        _logging.debug("obs.server.request", detail=format % args)
+
+    def _send(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_json(self, status: int, body: Any) -> None:
+        self._send(
+            status,
+            "application/json; charset=utf-8",
+            json.dumps(body, indent=2, sort_keys=True, default=str) + "\n",
+        )
+
+    # -- routes -------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        path = parsed.path.rstrip("/") or "/"
+        _count_request(path)
+        try:
+            if path == "/metrics":
+                self._send(
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    render_prometheus(_metrics.snapshot()),
+                )
+            elif path == "/healthz":
+                status, body = _health_payload(self.server.store_dir)
+                self._send_json(status, body)
+            elif path == "/varz":
+                self._send_json(200, _metrics.snapshot())
+            elif path == "/tracez":
+                roots = _tracing.finished_spans()
+                self._send_json(
+                    200, {"spans": [root.to_dict() for root in roots]}
+                )
+            elif path == "/logz":
+                self._send_json(200, self._logz(parse_qs(parsed.query)))
+            elif path == "/":
+                self._send_json(
+                    200,
+                    {
+                        "service": "repro-telemetry",
+                        "endpoints": ["/metrics", "/healthz", "/varz", "/tracez", "/logz"],
+                    },
+                )
+            else:
+                self._send_json(404, {"error": f"no such endpoint: {path}"})
+        except Exception as exc:  # pragma: no cover - defensive
+            _logging.error("obs.server.error", path=path, error=repr(exc))
+            self._send_json(500, {"error": repr(exc)})
+
+    @staticmethod
+    def _logz(query: dict[str, list[str]]) -> dict[str, Any]:
+        def first(key: str) -> str | None:
+            values = query.get(key)
+            return values[0] if values else None
+
+        n_raw = first("n")
+        records = _logging.tail(
+            int(n_raw) if n_raw else None,
+            level=first("level"),
+            event=first("event"),
+            trace_id=first("trace"),
+        )
+        return {"records": records}
+
+
+class TelemetryServer:
+    """Owns the HTTP server; optionally serves on a background thread.
+
+    >>> server = TelemetryServer(port=0)      # ephemeral port
+    >>> server.start()                        # background thread
+    >>> server.port > 0
+    True
+    >>> server.stop()
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        store_dir: str | None = None,
+    ):
+        self.store_dir = str(store_dir) if store_dir is not None else None
+        self._httpd = ThreadingHTTPServer((host, port), _TelemetryHandler)
+        self._httpd.daemon_threads = True
+        # Handlers reach server state through ``self.server``.
+        self._httpd.store_dir = self.store_dir  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+        _logging.info(
+            "obs.server.start", host=self.host, port=self.port, store=self.store_dir
+        )
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolved even when constructed with ``port=0``)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "TelemetryServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-telemetry", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        try:
+            self._httpd.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+        finally:
+            self._httpd.server_close()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+        _logging.info("obs.server.stop", host=self.host, port=self.port)
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

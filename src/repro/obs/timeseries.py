@@ -1,0 +1,247 @@
+"""On-disk metric time series: fixed-interval snapshots, windowed rates.
+
+The metrics registry only knows lifetime totals; answering "how many
+queries per second *over the last minute*" needs history.  A
+:class:`TimeSeriesLog` keeps that history as a bounded ring of snapshot
+*samples* — each sample is the flat counter/gauge state at one instant —
+persisted as JSONL so the history survives the process and can be read
+by a later ``repro stats --metrics --since 60``.
+
+Rates come from differencing: :meth:`TimeSeriesLog.rates` picks the
+oldest sample inside the window and the newest overall, and reports
+``(newest - oldest) / elapsed`` per counter.  A negative delta means the
+counter restarted with the process (registries are in-memory); the delta
+is then taken from zero, the same reset rule Prometheus applies.
+
+:class:`TimeSeriesRecorder` drives sampling on a daemon thread at a
+fixed interval — the telemetry daemon starts one so ``/metrics`` scrapes
+and on-disk history stay in lockstep.
+
+Wall-clock timestamps (``epoch``) are sampling metadata, not measured
+durations — elapsed time *between* samples is the quantity rates are
+defined over, exactly as in any scrape-based system.
+
+Metric names (catalogued in ``docs/observability.md``):
+``obs.timeseries.samples``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import deque
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any
+
+from repro.obs import metrics as _metrics
+
+__all__ = [
+    "TimeSeriesLog",
+    "TimeSeriesRecorder",
+    "DEFAULT_INTERVAL_S",
+    "DEFAULT_CAPACITY",
+]
+
+#: Default sampling interval (seconds) and retained sample count.
+#: 10 s × 360 samples = one hour of history.
+DEFAULT_INTERVAL_S = 10.0
+DEFAULT_CAPACITY = 360
+
+_SAMPLES = _metrics.counter("obs.timeseries.samples")
+
+
+def _now() -> tuple[str, float]:
+    """(ISO-8601 string, epoch seconds) for one sampling instant."""
+    now = datetime.now(timezone.utc)
+    iso = now.isoformat(timespec="milliseconds").replace("+00:00", "Z")
+    return iso, now.timestamp()
+
+
+class TimeSeriesLog:
+    """Bounded ring of metric snapshots with optional JSONL persistence.
+
+    Parameters
+    ----------
+    path:
+        JSONL file for samples; ``None`` keeps the ring in memory only.
+        An existing file is loaded on construction (last ``capacity``
+        samples), so history accumulates across runs.
+    capacity:
+        Samples retained.  The file is compacted back down to
+        ``capacity`` lines whenever it grows past twice that.
+    """
+
+    def __init__(
+        self,
+        path: Path | str | None = None,
+        *,
+        capacity: int = DEFAULT_CAPACITY,
+    ):
+        if capacity < 2:
+            raise ValueError(f"capacity must be >= 2, got {capacity}")
+        self.path = Path(path) if path is not None else None
+        self.capacity = int(capacity)
+        self._ring: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._file_lines = 0
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._load()
+
+    def _load(self) -> None:
+        assert self.path is not None
+        if not self.path.exists():
+            return
+        lines = 0
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for raw in fh:
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    self._ring.append(json.loads(raw))
+                except (json.JSONDecodeError, ValueError):
+                    continue  # torn tail line
+                lines += 1
+        self._file_lines = lines
+
+    # -- sampling -----------------------------------------------------------
+
+    def sample(self, snapshot: dict[str, Any] | None = None) -> dict[str, Any]:
+        """Record one sample (of ``snapshot`` or the default registry)."""
+        if snapshot is None:
+            snapshot = _metrics.snapshot()
+        iso, epoch = _now()
+        record = {
+            "ts": iso,
+            "epoch": epoch,
+            "counters": dict(snapshot.get("counters", {})),
+            "gauges": dict(snapshot.get("gauges", {})),
+        }
+        with self._lock:
+            self._ring.append(record)
+            if self.path is not None:
+                self._append(record)
+        _SAMPLES.inc()
+        return record
+
+    def _append(self, record: dict[str, Any]) -> None:
+        assert self.path is not None
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, ensure_ascii=False) + "\n")
+        self._file_lines += 1
+        if self._file_lines > 2 * self.capacity:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rewrite the file down to the retained ring (atomic replace)."""
+        assert self.path is not None
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for record in self._ring:
+                fh.write(json.dumps(record, ensure_ascii=False) + "\n")
+        os.replace(tmp, self.path)
+        self._file_lines = len(self._ring)
+
+    # -- reads --------------------------------------------------------------
+
+    def samples(self) -> list[dict[str, Any]]:
+        """Retained samples, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def window(self, since_s: float, *, now_epoch: float | None = None) -> list[dict[str, Any]]:
+        """Samples whose epoch falls within the last ``since_s`` seconds."""
+        if now_epoch is None:
+            now_epoch = _now()[1]
+        cutoff = now_epoch - float(since_s)
+        return [s for s in self.samples() if s.get("epoch", 0.0) >= cutoff]
+
+    def rates(
+        self, since_s: float, *, now_epoch: float | None = None
+    ) -> dict[str, Any]:
+        """Per-counter rates over the last ``since_s`` seconds.
+
+        Returns ``{"window_s", "samples", "rates": {flat_name: per_s},
+        "deltas": {flat_name: delta}}``.  Needs at least two samples in
+        the window; returns zero-sample metadata otherwise.
+        """
+        window = self.window(since_s, now_epoch=now_epoch)
+        if len(window) < 2:
+            return {"window_s": float(since_s), "samples": len(window), "rates": {}, "deltas": {}}
+        first, last = window[0], window[-1]
+        elapsed = float(last["epoch"]) - float(first["epoch"])
+        if elapsed <= 0:
+            return {"window_s": float(since_s), "samples": len(window), "rates": {}, "deltas": {}}
+        deltas: dict[str, float] = {}
+        for name, end_value in last.get("counters", {}).items():
+            start_value = first.get("counters", {}).get(name, 0)
+            delta = end_value - start_value
+            if delta < 0:  # counter reset mid-window: count from zero
+                delta = end_value
+            deltas[name] = delta
+        return {
+            "window_s": float(since_s),
+            "samples": len(window),
+            "elapsed_s": round(elapsed, 3),
+            "deltas": deltas,
+            "rates": {name: round(delta / elapsed, 6) for name, delta in deltas.items()},
+        }
+
+    def reset(self) -> None:
+        """Drop retained samples (the on-disk file is untouched)."""
+        with self._lock:
+            self._ring.clear()
+
+
+class TimeSeriesRecorder:
+    """Samples a :class:`TimeSeriesLog` on a daemon thread.
+
+    >>> log = TimeSeriesLog()
+    >>> recorder = TimeSeriesRecorder(log, interval_s=0.05)
+    >>> recorder.start()
+    >>> # ... workload ...
+    >>> recorder.stop()
+    """
+
+    def __init__(self, log: TimeSeriesLog, *, interval_s: float = DEFAULT_INTERVAL_S):
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        self.log = log
+        self.interval_s = float(interval_s)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "TimeSeriesRecorder":
+        if self._thread is not None:
+            raise RuntimeError("recorder already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-timeseries", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        # Sample immediately so even a short-lived recorder leaves a mark,
+        # then on every interval tick until stopped.
+        self.log.sample()
+        while not self._stop.wait(self.interval_s):
+            self.log.sample()
+
+    def stop(self) -> None:
+        """Stop the thread, taking one final sample to close the window."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=self.interval_s + 5.0)
+        self._thread = None
+        self.log.sample()
+
+    def __enter__(self) -> "TimeSeriesRecorder":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -30,8 +30,10 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.errors import QueryPlanError
+from repro.obs import logging as _logging
 from repro.obs import metrics as _metrics
 from repro.obs import tracing as _tracing
+from repro.obs.slowlog import SlowQueryLog
 from repro.query.ast_nodes import Query
 from repro.query.parser import parse_query
 from repro.query.planner import (
@@ -163,11 +165,26 @@ class QueryEngine:
     ``index_epoch``) — a repeated query skips the planner's rule search
     entirely, and any index create/drop or bulk write retires every
     cached plan by bumping the epoch.
+
+    Every :meth:`execute` runs under a trace ID (see
+    :func:`repro.obs.logging.trace`): its log events, its spans, and —
+    when a :class:`~repro.obs.slowlog.SlowQueryLog` is attached and the
+    query crosses the threshold — its slow-log entry all carry that one
+    ID.  A slow query that ran unprofiled is re-executed with profiling
+    (still under the same trace ID) so the slow-log entry gets an
+    EXPLAIN ANALYZE tree; the extra cost is paid only past the threshold.
     """
 
-    def __init__(self, store: "RecordStore", *, plan_cache_size: int = 256):
+    def __init__(
+        self,
+        store: "RecordStore",
+        *,
+        plan_cache_size: int = 256,
+        slow_log: SlowQueryLog | None = None,
+    ):
         self.store = store
         self.plan_cache = PlanCache(maxsize=plan_cache_size)
+        self.slow_log = slow_log
 
     # -- public API ---------------------------------------------------------
 
@@ -180,11 +197,32 @@ class QueryEngine:
         the rows plus the annotated operator tree with per-node timings
         and rows-examined/rows-returned counts (``EXPLAIN ANALYZE``).
         """
-        parsed = self._parse(query)
-        plan, cached = self._plan(parsed)
-        if profile:
-            return self.run_plan_profiled(plan, plan_cached=cached)
-        return self.run_plan(plan)
+        with _logging.trace() as trace_id:
+            parsed = self._parse(query)
+            plan, cached = self._plan(parsed)
+            query_text = query if isinstance(query, str) else str(query)
+            if profile:
+                result: QueryProfile = self.run_plan_profiled(plan, plan_cached=cached)
+                rows, seconds = len(result.rows), result.seconds
+                ran_profile: QueryProfile | None = result
+            else:
+                start = time.perf_counter()
+                plain = self.run_plan(plan)
+                rows, seconds = len(plain), time.perf_counter() - start
+                ran_profile = None
+            _logging.debug(
+                "query.execute",
+                query=query_text,
+                access=plan.access.op,
+                plan_cached=cached,
+                rows=rows,
+                seconds=round(seconds, 6),
+                profiled=profile,
+            )
+            self._maybe_slow_log(
+                query_text, plan, cached, rows, seconds, ran_profile, trace_id
+            )
+            return result if profile else plain
 
     def explain(self, query: str | Query) -> str:
         """The plan that :meth:`execute` would use, as text."""
@@ -194,6 +232,36 @@ class QueryEngine:
 
     def _plan(self, parsed: Query) -> tuple[Plan, bool]:
         return self.plan_cache.get_or_plan(parsed, self.store)
+
+    def _maybe_slow_log(
+        self,
+        query_text: str,
+        plan: Plan,
+        plan_cached: bool,
+        rows: int,
+        seconds: float,
+        profile: QueryProfile | None,
+        trace_id: str,
+    ) -> None:
+        slow = self.slow_log
+        if slow is None or seconds < slow.threshold_s:
+            return
+        reexecuted = False
+        if profile is None and slow.profile_on_slow:
+            # Re-run profiled (same plan, same trace ID) so the entry has
+            # an operator tree; only queries already past the threshold pay.
+            profile = self.run_plan_profiled(plan, plan_cached=plan_cached)
+            reexecuted = True
+        slow.record(
+            query=query_text,
+            plan=plan.explain(),
+            plan_cached=plan_cached,
+            rows=rows,
+            seconds=seconds,
+            profile=profile,
+            reexecuted=reexecuted,
+            trace_id=trace_id,
+        )
 
     def execute_without_indexes(self, query: str | Query) -> list[dict[str, Any]]:
         """Run ``query`` as a pure scan (the E3 baseline and test oracle)."""
@@ -326,6 +394,9 @@ class QueryEngine:
         """
         total_start = time.perf_counter()
         with _tracing.span("query.execute", access=plan.access.op, profiled=True) as qspan:
+            trace_id = _logging.current_trace_id()
+            if trace_id is not None:
+                qspan.set_attribute("trace_id", trace_id)
             start = time.perf_counter()
             candidates = list(self._candidates(plan))
             examined = len(self.store) if isinstance(plan.access, FullScan) else len(candidates)

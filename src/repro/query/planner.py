@@ -38,6 +38,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
+from repro.obs import logging as _planner_logging
 from repro.obs import metrics as _planner_metrics
 
 from repro.query.ast_nodes import (
@@ -273,6 +274,13 @@ def plan_query(query: Query, store: "RecordStore") -> Plan:
     _PLANS_CONSIDERED.inc()
     _PLAN_CHOSEN[access.op].inc()
     residual = _combine([c for i, c in enumerate(clauses) if i not in used])
+    _planner_logging.debug(
+        "query.plan",
+        access=access.op,
+        detail=access.describe(),
+        residual=residual is not None,
+        clauses=len(clauses),
+    )
     return Plan(
         access=access,
         residual=residual,

@@ -27,6 +27,8 @@ from repro.core.kwic import KwicIndex, KwicIndexBuilder
 from repro.core.titleindex import TitleIndex, TitleIndexBuilder
 from repro.core.toc import TableOfContents, build_toc
 from repro.corpus.wvlr import PUBLICATION_SCHEMA
+from repro.obs import logging as _logging
+from repro.obs.slowlog import SlowQueryLog
 from repro.query.executor import QueryEngine
 from repro.storage.store import IndexKind, RecordStore
 
@@ -44,6 +46,9 @@ class PublicationRepository:
         Declare the indexes the standard workloads use: hash on
         ``surnames``, B-trees on ``year`` and ``volume``, and the
         ``(volume, page)`` composite.  Disable for custom tuning.
+    slow_log:
+        Optional :class:`~repro.obs.slowlog.SlowQueryLog` attached to
+        the query engine (see ``docs/operations.md``).
     """
 
     def __init__(
@@ -52,9 +57,10 @@ class PublicationRepository:
         *,
         sync: bool = False,
         create_default_indexes: bool = True,
+        slow_log: "SlowQueryLog | None" = None,
     ):
         self.store = RecordStore(PUBLICATION_SCHEMA, directory, sync=sync)
-        self.engine = QueryEngine(self.store)
+        self.engine = QueryEngine(self.store, slow_log=slow_log)
         if create_default_indexes:
             self.store.create_index("surnames", IndexKind.HASH)
             self.store.create_index("year", IndexKind.BTREE)
@@ -75,7 +81,9 @@ class PublicationRepository:
         batch group-commits to the WAL and lands in each index as one
         sorted bulk update.
         """
-        return self.store.put_many(record.to_store_dict() for record in records)
+        count = self.store.put_many(record.to_store_dict() for record in records)
+        _logging.info("repository.ingest", records=count, total=len(self.store))
+        return count
 
     def get(self, record_id: int) -> PublicationRecord:
         """Record by id; raises :class:`~repro.errors.RecordNotFoundError`."""

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from repro.core.entry import PublicationRecord
+from repro.obs import logging as _logging
 from repro.obs import metrics as _metrics
 from repro.search.inverted import InvertedIndex, analyze
 
@@ -109,4 +110,12 @@ class TitleSearchEngine:
             score /= math.sqrt(length)
             hits.append(SearchHit(record_id=doc_id, score=score, title=self._titles[doc_id]))
         hits.sort(key=lambda h: (-h.score, h.record_id))
-        return hits[:k] if k is not None else hits
+        out = hits[:k] if k is not None else hits
+        _logging.debug(
+            "search.query",
+            query=query,
+            terms=len(all_terms),
+            candidates=len(candidates),
+            hits=len(out),
+        )
+        return out

@@ -53,6 +53,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, BinaryIO
 
+from repro.obs import metrics as _metrics
+
 #: Every failpoint name :meth:`FaultFS.arm` accepts.
 FAILPOINTS = (
     "fail_before_fsync",
@@ -278,6 +280,9 @@ class FaultFS(FileSystem):
                     return None
                 armed.times -= 1
                 self._fired[armed.name] = self._fired.get(armed.name, 0) + 1
+                _metrics.counter(
+                    "storage.faultfs.failpoint.fired", failpoint=armed.name
+                ).inc()
                 return armed
         return None
 

@@ -54,6 +54,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import CorruptLogError
+from repro.obs import logging as _logging
 from repro.obs import metrics as _metrics
 from repro.storage.store import _SUPPORTED_SNAPSHOT_VERSIONS, records_checksum
 from repro.storage.wal import SegmentScan, WriteAheadLog, sealed_segment_paths
@@ -176,6 +177,17 @@ def fsck(
     finally:
         _FSCK_ISSUES.inc(sum(1 for i in report.issues if i.severity != INFO))
         _FSCK_REPAIRS.inc(sum(1 for i in report.issues if i.severity == REPAIRED))
+        code = report.exit_code()
+        _logging.log(
+            "storage.fsck",
+            level="info" if code == 0 else ("warn" if code == 1 else "error"),
+            directory=report.directory,
+            exit_code=code,
+            repair=repair,
+            segments_checked=report.segments_checked,
+            entries_checked=report.entries_checked,
+            issues=len(report.issues),
+        )
 
 
 def _check_stray_tmp(report: FsckReport, snapshot_path: Path, repair: bool) -> None:

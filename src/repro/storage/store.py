@@ -72,6 +72,7 @@ from repro.errors import (
     StorageError,
     ValidationError,
 )
+from repro.obs import logging as _logging
 from repro.obs import metrics as _metrics
 from repro.storage import faultfs as _faultfs
 from repro.storage.btree import BTree
@@ -902,6 +903,13 @@ class RecordStore:
         _CHECKPOINT_COUNT.inc()
         _CHECKPOINT_SEGMENTS_REMOVED.inc(removed)
         _CHECKPOINT_BYTES_RECLAIMED.inc(reclaimed)
+        _logging.info(
+            "storage.checkpoint",
+            wal_seal=covered,
+            records=len(self._records),
+            segments_removed=removed,
+            bytes_reclaimed=reclaimed,
+        )
 
     def snapshot(self) -> None:
         """Compatibility alias for :meth:`checkpoint`."""
@@ -974,6 +982,14 @@ class RecordStore:
         _RECOVERY_SEGMENTS.inc(len(chain.segments))
         _RECOVERY_ENTRIES.inc(entries)
         _RECOVERY_STALE_SEGMENTS.inc(len(chain.stale))
+        _logging.info(
+            "storage.recovery",
+            records=len(self._records),
+            segments_replayed=len(chain.segments),
+            entries_replayed=entries,
+            stale_segments=len(chain.stale),
+            snapshot_seal=self._snapshot_seal,
+        )
 
     def _replay_op(
         self, payload: dict[str, Any], pending: list[dict[str, Any]]

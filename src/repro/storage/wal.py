@@ -55,6 +55,7 @@ from pathlib import Path
 from typing import Any, BinaryIO, Iterable, Iterator
 
 from repro.errors import CorruptLogError
+from repro.obs import logging as _logging
 from repro.obs import metrics as _metrics
 from repro.storage import faultfs as _faultfs
 
@@ -288,7 +289,8 @@ class WriteAheadLog:
         fh = self._require_open()
         self._report_appends()
         fh.flush()
-        if os.fstat(fh.fileno()).st_size == 0:
+        sealed_bytes = os.fstat(fh.fileno()).st_size
+        if sealed_bytes == 0:
             return None
         self._fs.fsync(fh)
         fh.close()
@@ -300,6 +302,12 @@ class WriteAheadLog:
         self._next_seal += 1
         self._fh = self._fs.open(self.path, "ab")
         _ROTATE_COUNT.inc()
+        _logging.debug(
+            "storage.wal.rotate",
+            seal=seal,
+            segment=sealed_path.name,
+            bytes=sealed_bytes,
+        )
         return seal
 
     def sealed_path(self, seal: int) -> Path:

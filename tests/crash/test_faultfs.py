@@ -226,3 +226,36 @@ def test_every_failpoint_name_is_armable():
         assert fs.armed(name)
     fs.disarm_all()
     assert not any(fs.armed(name) for name in FAILPOINTS)
+
+
+class TestFiredMetric:
+    def test_fired_failpoints_increment_labeled_counter(self, tmp_path):
+        from repro.obs import metrics as obs_metrics
+
+        counter = obs_metrics.counter(
+            "storage.faultfs.failpoint.fired", failpoint="partial_write"
+        )
+        before = counter.value
+        fs = FaultFS()
+        fs.arm("partial_write", keep_bytes=0, times=2)
+        for name in ("a.bin", "b.bin"):
+            fh = fs.open(tmp_path / name, "wb")
+            with pytest.raises(InjectedFault):
+                fh.write(b"hello")
+            fh.close()
+        assert counter.value == before + 2
+
+    def test_unfired_failpoint_moves_no_counter(self, tmp_path):
+        from repro.obs import metrics as obs_metrics
+
+        counter = obs_metrics.counter(
+            "storage.faultfs.failpoint.fired", failpoint="torn_tail"
+        )
+        before = counter.value
+        fs = FaultFS()
+        fs.arm("torn_tail", path="other.bin")
+        # A write to a non-matching path never trips the armed failpoint.
+        fh = fs.open(tmp_path / "f.bin", "wb")
+        fh.write(b"data")
+        fh.close()
+        assert counter.value == before

@@ -1,0 +1,206 @@
+"""Telemetry serving layer end-to-end.
+
+Covers the PR's acceptance criteria directly:
+
+* ``/metrics`` serves **valid** Prometheus text exposition — asserted by
+  the strict parser from ``tests.unit.test_obs_promexport``, not by
+  substring checks;
+* a slow query produces a slow-log JSONL entry whose trace id matches
+  its span tree and its log lines (one id, three surfaces);
+* ``/healthz`` maps the fsck walker's exit codes to HTTP statuses.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.corpus.wvlr import PUBLICATION_SCHEMA, populate_store
+from repro.obs import logging as obs_logging
+from repro.obs import metrics, tracing
+from repro.obs.server import TelemetryServer
+from repro.obs.slowlog import SlowQueryLog, read_slow_log
+from repro.query.executor import QueryEngine
+from repro.storage.store import IndexKind, RecordStore
+from tests.unit.test_obs_promexport import parse_exposition
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    metrics.reset()
+    tracing.reset()
+    obs_logging.reset()
+    yield
+    metrics.reset()
+    tracing.reset()
+    obs_logging.reset()
+
+
+@pytest.fixture()
+def server():
+    srv = TelemetryServer(port=0)
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+def _get(url: str) -> tuple[int, dict[str, str], bytes]:
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+class TestMetricsEndpoint:
+    def test_metrics_is_valid_prometheus_exposition(self, server):
+        metrics.counter("itest.requests", path="/metrics").inc(3)
+        metrics.histogram("itest.seconds").observe(0.02)
+        status, headers, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        parsed = parse_exposition(body.decode("utf-8"))
+        samples = parsed["repro_itest_requests_total"]["samples"]
+        assert samples == [
+            ("repro_itest_requests_total", {"path": "/metrics"}, 3.0)
+        ]
+        hist = parsed["repro_itest_seconds"]
+        assert hist["type"] == "histogram"
+        assert any(name.endswith("_count") for name, _, _ in hist["samples"])
+
+    def test_requests_counter_moves_per_path(self, server):
+        _get(server.url + "/varz")
+        _get(server.url + "/varz")
+        snap = metrics.snapshot()["counters"]
+        assert snap["obs.server.requests{path=/varz}"] == 2
+
+
+class TestHealthz:
+    def test_no_store_is_liveness_only(self, server):
+        status, _, body = _get(server.url + "/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload == {"status": "ok", "store": None}
+
+    def test_clean_store_reports_ok(self, tmp_path):
+        with RecordStore(PUBLICATION_SCHEMA, tmp_path / "db") as store:
+            store.checkpoint()
+        with TelemetryServer(port=0, store_dir=str(tmp_path / "db")) as srv:
+            status, _, body = _get(srv.url + "/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["store"]["exit_code"] == 0
+
+    def test_missing_store_reports_fail_503(self, tmp_path):
+        with TelemetryServer(port=0, store_dir=str(tmp_path / "absent")) as srv:
+            status, _, body = _get(srv.url + "/healthz")
+        assert status == 503
+        assert json.loads(body)["status"] == "fail"
+
+
+class TestJsonEndpoints:
+    def test_varz_is_the_snapshot(self, server):
+        metrics.counter("itest.varz").inc()
+        _, _, body = _get(server.url + "/varz")
+        assert json.loads(body)["counters"]["itest.varz"] == 1
+
+    def test_tracez_serves_span_trees(self, server):
+        with tracing.span("itest.root", kind="demo"):
+            with tracing.span("itest.child"):
+                pass
+        _, _, body = _get(server.url + "/tracez")
+        spans = json.loads(body)["spans"]
+        root = next(s for s in spans if s["name"] == "itest.root")
+        assert root["attributes"] == {"kind": "demo"}
+        assert [c["name"] for c in root["children"]] == ["itest.child"]
+
+    def test_logz_filters(self, server):
+        obs_logging.info("itest.alpha", n=1)
+        obs_logging.warn("itest.beta", n=2)
+        _, _, body = _get(server.url + "/logz?event=itest.beta")
+        records = json.loads(body)["records"]
+        assert [r["event"] for r in records] == ["itest.beta"]
+        _, _, body = _get(server.url + "/logz?level=warn&n=1")
+        records = json.loads(body)["records"]
+        assert records and records[-1]["event"] == "itest.beta"
+
+    def test_unknown_path_404(self, server):
+        status, _, _ = _get(server.url + "/nope")
+        assert status == 404
+
+    def test_index_lists_endpoints(self, server):
+        status, _, body = _get(server.url + "/")
+        assert status == 200
+        assert "/metrics" in json.loads(body)["endpoints"]
+
+
+class TestSlowQueryCorrelation:
+    """Acceptance: one trace id across slow-log entry, spans, and logs."""
+
+    def _seeded_engine(self, records, slow_log):
+        store = RecordStore(PUBLICATION_SCHEMA)
+        populate_store(store, records)
+        store.create_index("year", IndexKind.BTREE)
+        return QueryEngine(store, slow_log=slow_log)
+
+    def test_slow_query_joins_entry_spans_and_logs(
+        self, tmp_path, reference_records
+    ):
+        logger = obs_logging.get_default_logger()
+        previous = logger.level
+        logger.set_level("debug")
+        try:
+            path = tmp_path / "slow.jsonl"
+            slow_log = SlowQueryLog(path, threshold_s=0.0)  # everything is slow
+            engine = self._seeded_engine(reference_records, slow_log)
+            engine.execute("year >= 1900 ORDER BY year")
+        finally:
+            logger.set_level(previous)
+
+        (entry,) = read_slow_log(path)
+        trace_id = entry["trace_id"]
+        assert trace_id
+
+        # The entry carries the re-executed EXPLAIN ANALYZE tree.
+        assert entry["profile_reexecuted"] is True
+        assert entry["profile"]["tree"]["op"] in ("sort", "limit", "filter")
+        assert entry["rows"] > 0
+
+        # The span tree from the profiled re-execution shares the id.
+        root = tracing.last_root()
+        assert root.name == "query.execute"
+        assert root.attributes["trace_id"] == trace_id
+
+        # The execution's log lines share it too.
+        lines = obs_logging.tail(trace_id=trace_id)
+        events = {r["event"] for r in lines}
+        assert "query.execute" in events
+        assert "query.slow" in events
+
+    def test_profiled_slow_query_is_not_reexecuted(
+        self, tmp_path, reference_records
+    ):
+        slow_log = SlowQueryLog(tmp_path / "slow.jsonl", threshold_s=0.0)
+        engine = self._seeded_engine(reference_records, slow_log)
+        profile = engine.execute("year >= 1900", profile=True)
+        (entry,) = slow_log.entries()
+        assert "profile_reexecuted" not in entry
+        assert entry["profile"]["row_count"] == len(profile.rows)
+        assert entry["trace_id"] == tracing.last_root().attributes["trace_id"]
+
+    def test_fast_query_is_not_recorded(self, reference_records):
+        slow_log = SlowQueryLog(threshold_s=30.0)
+        engine = self._seeded_engine(reference_records, slow_log)
+        engine.execute("year >= 1900 LIMIT 5")
+        assert slow_log.entries() == []
+
+    def test_profile_on_slow_false_skips_reexecution(self, reference_records):
+        slow_log = SlowQueryLog(threshold_s=0.0, profile_on_slow=False)
+        engine = self._seeded_engine(reference_records, slow_log)
+        engine.execute("year >= 1900 LIMIT 5")
+        (entry,) = slow_log.entries()
+        assert "profile" not in entry
+        # No re-execution: no profiled span was opened.
+        assert tracing.last_root() is None

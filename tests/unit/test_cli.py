@@ -264,3 +264,109 @@ class TestIngest:
         code, _, err = run(capsys, "ingest", str(raw), "--show-warnings")
         assert code == 0
         assert "warning:" in err
+
+
+class TestStatsMetricsProm:
+    def test_prom_format_is_valid_exposition(self, capsys):
+        from tests.unit.test_obs_promexport import parse_exposition
+
+        code, out, _ = run(capsys, "stats", "--metrics", "--format", "prom")
+        assert code == 0
+        parsed = parse_exposition(out)
+        counters = parsed["repro_query_executions_total"]["samples"]
+        assert counters[0][2] > 0
+
+    def test_prom_matches_http_renderer(self, capsys):
+        # One code path: the CLI output is render_prometheus() verbatim.
+        from repro import obs
+
+        code, out, _ = run(capsys, "stats", "--metrics", "--format", "prom")
+        assert code == 0
+        assert out == obs.render_prometheus(obs.metrics.snapshot())
+
+    def test_since_reports_windowed_rates(self, capsys):
+        code, out, _ = run(capsys, "stats", "--metrics", "--since", "3600")
+        assert code == 0
+        rates = json.loads(out)
+        assert rates["samples"] >= 2
+        assert rates["deltas"]["query.executions"] > 0
+        assert rates["rates"]["query.executions"] >= 0
+
+    def test_since_with_timeseries_file(self, capsys, tmp_path):
+        from repro.obs.timeseries import TimeSeriesLog
+
+        path = tmp_path / "ts.jsonl"
+        ts = TimeSeriesLog(path)
+        for epoch, value in ((1000.0, 10), (1010.0, 70)):
+            record = ts.sample(
+                {"counters": {"q.count": value}, "gauges": {}, "histograms": {}}
+            )
+            record["epoch"] = epoch
+        # Rewrite with pinned epochs so the window math is deterministic.
+        path.write_text(
+            "".join(json.dumps(s) + "\n" for s in ts.samples()), encoding="utf-8"
+        )
+        code, out, _ = run(
+            capsys, "stats", "--metrics", "--since", "1e18",
+            "--timeseries", str(path),
+        )
+        assert code == 0
+        rates = json.loads(out)
+        assert rates["deltas"]["q.count"] == 60
+        assert rates["rates"]["q.count"] == 6.0
+
+
+class TestQuerySlowLog:
+    def test_slow_log_written_for_slow_query(self, capsys, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        code, out, _ = run(
+            capsys, "query", "year >= 1980", "--slow-log", str(path), "--slow-ms", "0"
+        )
+        assert code == 0
+        lines = [json.loads(l) for l in path.read_text().strip().splitlines()]
+        assert len(lines) == 1
+        entry = lines[0]
+        assert entry["query"] == "year >= 1980"
+        assert entry["rows"] > 0
+        assert len(entry["trace_id"]) == 16
+        assert entry["profile"]["tree"]["op"] in (
+            "filter", "index-lookup", "index-range", "seq-scan"
+        )
+
+    def test_high_threshold_writes_nothing(self, capsys, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        code, _, _ = run(
+            capsys, "query", "year >= 1980", "--slow-log", str(path),
+            "--slow-ms", "60000",
+        )
+        assert code == 0
+        assert not path.exists() or path.read_text() == ""
+
+
+class TestLogs:
+    def test_logs_runs_workload_and_prints_events(self, capsys):
+        code, out, err = run(capsys, "logs")
+        assert code == 0
+        assert "query.execute" in out
+        assert "events)" in err
+
+    def test_logs_json_lines(self, capsys):
+        code, out, _ = run(capsys, "logs", "--json", "--event", "query.execute")
+        assert code == 0
+        rows = [json.loads(line) for line in out.strip().splitlines()]
+        assert rows and all(r["event"] == "query.execute" for r in rows)
+        assert all(len(r["trace_id"]) == 16 for r in rows if "trace_id" in r)
+
+    def test_logs_from_file(self, capsys, tmp_path):
+        from repro.obs.logging import JsonLogger
+
+        path = tmp_path / "app.jsonl"
+        logger = JsonLogger(level="debug")
+        logger.attach_file(path)
+        logger.log("alpha.one", level="info", n=1)
+        logger.log("beta.two", level="warn", n=2)
+        logger.detach_file()
+        code, out, _ = run(capsys, "logs", "--file", str(path), "--level", "warn")
+        assert code == 0
+        assert "beta.two" in out
+        assert "alpha.one" not in out

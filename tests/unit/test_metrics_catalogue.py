@@ -1,0 +1,65 @@
+"""Catalogue drift guard: code metrics <-> docs/observability.md.
+
+The metric catalogue is a public contract.  This test extracts every
+metric name registered in ``src/repro/`` (counter/gauge/histogram/timed
+call sites) and every series documented in the catalogue tables, and
+asserts the two sets match exactly — a metric added in code without a
+doc row fails, and so does a documented metric that no code emits.
+"""
+
+import re
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+DOC = REPO_ROOT / "docs" / "observability.md"
+
+#: Metric-like names that appear in docstring examples, not real series.
+DOCSTRING_EXAMPLES = {"my.counter", "requests", "smoke.counter"}
+
+#: counter("name"...) / gauge(...) / histogram(...) / timed(...) call
+#: sites; DOTALL-style whitespace after the paren covers wrapped calls.
+_CALL_RE = re.compile(
+    r'\b(?:counter|gauge|histogram|timed)\(\s*"([a-z0-9_.]+)"'
+)
+
+#: A catalogue table row's series cell: `name` or `name{label=…}`.
+_DOC_ROW_RE = re.compile(r"^\| `([a-z0-9_.]+)(?:\{[^}]*\})?` \|", re.M)
+
+
+def emitted_metric_names() -> set[str]:
+    names: set[str] = set()
+    for path in sorted(SRC.rglob("*.py")):
+        names.update(_CALL_RE.findall(path.read_text(encoding="utf-8")))
+    return names - DOCSTRING_EXAMPLES
+
+
+def documented_metric_names() -> set[str]:
+    text = DOC.read_text(encoding="utf-8")
+    # Only the "## Metric catalogue" section — the span and log-event
+    # tables further down use the same row format for non-metric names.
+    start = text.index("## Metric catalogue")
+    end = text.index("\n## ", start)
+    return set(_DOC_ROW_RE.findall(text[start:end]))
+
+
+def test_inventories_are_nonempty():
+    # Guard against a silently broken regex making the drift test vacuous.
+    assert len(emitted_metric_names()) > 40
+    assert len(documented_metric_names()) > 40
+
+
+def test_every_emitted_metric_is_documented():
+    undocumented = emitted_metric_names() - documented_metric_names()
+    assert not undocumented, (
+        "metrics emitted in src/repro/ but missing from the "
+        f"docs/observability.md catalogue: {sorted(undocumented)}"
+    )
+
+
+def test_every_documented_metric_is_emitted():
+    stale = documented_metric_names() - emitted_metric_names()
+    assert not stale, (
+        "metrics documented in docs/observability.md but never emitted "
+        f"in src/repro/: {sorted(stale)}"
+    )

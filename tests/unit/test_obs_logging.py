@@ -1,0 +1,259 @@
+"""Structured logging: levels, ring tail, rate limiting, trace context."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs import logging as obs_logging
+from repro.obs.logging import (
+    JsonLogger,
+    current_trace_id,
+    format_event,
+    new_trace_id,
+    read_jsonl,
+    trace,
+)
+
+
+class TestEmission:
+    def test_record_shape(self):
+        logger = JsonLogger()
+        logger.info("unit.event", rows=3, cached=True)
+        (record,) = logger.tail()
+        assert record["event"] == "unit.event"
+        assert record["level"] == "info"
+        assert record["rows"] == 3
+        assert record["cached"] is True
+        # ISO-8601 UTC with milliseconds and a Z suffix.
+        assert record["ts"].endswith("Z")
+        assert "T" in record["ts"]
+
+    def test_level_filtering(self):
+        logger = JsonLogger(level="warn")
+        logger.debug("unit.debug")
+        logger.info("unit.info")
+        logger.warn("unit.warn")
+        logger.error("unit.error")
+        assert [r["event"] for r in logger.tail()] == ["unit.warn", "unit.error"]
+
+    def test_set_level(self):
+        logger = JsonLogger(level="info")
+        logger.debug("unit.before")
+        logger.set_level("debug")
+        logger.debug("unit.after")
+        assert [r["event"] for r in logger.tail()] == ["unit.after"]
+        assert logger.level == "debug"
+
+    def test_unknown_level_rejected(self):
+        logger = JsonLogger()
+        with pytest.raises(ValueError, match="unknown level"):
+            logger.log("unit.event", level="loud")
+        with pytest.raises(ValueError, match="unknown level"):
+            JsonLogger(level="loud")
+        with pytest.raises(ValueError, match="unknown level"):
+            logger.set_level("loud")
+
+    def test_disabled_logger_emits_nothing(self):
+        logger = JsonLogger(enabled=False)
+        logger.error("unit.event")
+        assert logger.tail() == []
+        logger.enable()
+        logger.error("unit.event")
+        assert len(logger.tail()) == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            JsonLogger(capacity=0)
+
+
+class TestRingBuffer:
+    def test_ring_evicts_oldest(self):
+        logger = JsonLogger(capacity=3)
+        for i in range(10):
+            logger.info("unit.event", i=i)
+        assert [r["i"] for r in logger.tail()] == [7, 8, 9]
+
+    def test_tail_filters(self):
+        logger = JsonLogger(level="debug")
+        logger.debug("storage.wal.rotate", seal=1)
+        logger.info("storage.checkpoint")
+        logger.warn("query.slow")
+        assert [r["event"] for r in logger.tail(event="storage")] == [
+            "storage.wal.rotate",
+            "storage.checkpoint",
+        ]
+        assert [r["event"] for r in logger.tail(level="info")] == [
+            "storage.checkpoint",
+            "query.slow",
+        ]
+        assert [r["event"] for r in logger.tail(1)] == ["query.slow"]
+
+    def test_tail_event_prefix_is_dotted(self):
+        logger = JsonLogger()
+        logger.info("storage.checkpoint")
+        logger.info("storagex.other")
+        assert [r["event"] for r in logger.tail(event="storage")] == [
+            "storage.checkpoint"
+        ]
+        # A trailing dot means the same prefix, not a literal match.
+        assert [r["event"] for r in logger.tail(event="storage.")] == [
+            "storage.checkpoint"
+        ]
+
+    def test_tail_by_trace_id(self):
+        logger = JsonLogger()
+        with trace() as tid_a:
+            logger.info("unit.a")
+        with trace() as tid_b:
+            logger.info("unit.b")
+        assert [r["event"] for r in logger.tail(trace_id=tid_a)] == ["unit.a"]
+        assert [r["event"] for r in logger.tail(trace_id=tid_b)] == ["unit.b"]
+
+    def test_reset_clears_ring(self):
+        logger = JsonLogger()
+        logger.info("unit.event")
+        logger.reset()
+        assert logger.tail() == []
+
+
+class TestRateLimit:
+    def test_hot_event_is_dropped_past_budget(self):
+        logger = JsonLogger(rate_limit_per_s=5.0)
+        for _ in range(100):
+            logger.info("unit.hot")
+        emitted = len(logger.tail(event="unit.hot"))
+        assert emitted < 100
+        assert emitted >= 5
+
+    def test_rate_limit_is_per_event_name(self):
+        logger = JsonLogger(rate_limit_per_s=1.0)
+        logger.info("unit.a")
+        logger.info("unit.a")  # second one dropped
+        logger.info("unit.b")  # separate bucket: emitted
+        events = [r["event"] for r in logger.tail()]
+        assert events == ["unit.a", "unit.b"]
+
+    def test_zero_limit_means_unlimited(self):
+        logger = JsonLogger(rate_limit_per_s=0)
+        for _ in range(500):
+            logger.info("unit.hot")
+        assert len(logger.tail()) == 500
+
+
+class TestTraceContext:
+    def test_new_trace_ids_are_unique(self):
+        ids = {new_trace_id() for _ in range(1000)}
+        assert len(ids) == 1000
+        assert all(len(tid) == 16 for tid in ids)
+
+    def test_trace_binds_and_unbinds(self):
+        assert current_trace_id() is None
+        with trace() as tid:
+            assert current_trace_id() == tid
+        assert current_trace_id() is None
+
+    def test_nested_trace_inherits(self):
+        with trace() as outer:
+            with trace() as inner:
+                assert inner == outer
+            assert current_trace_id() == outer
+
+    def test_explicit_trace_id_wins(self):
+        with trace("feedfacedeadbeef") as tid:
+            assert tid == "feedfacedeadbeef"
+
+    def test_trace_is_thread_local(self):
+        seen: dict[str, str | None] = {}
+
+        def worker() -> None:
+            seen["other"] = current_trace_id()
+
+        with trace():
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["other"] is None
+
+    def test_events_carry_the_bound_trace_id(self):
+        logger = JsonLogger()
+        with trace() as tid:
+            logger.info("unit.inside")
+        logger.info("unit.outside")
+        inside, outside = logger.tail()
+        assert inside["trace_id"] == tid
+        assert "trace_id" not in outside
+
+
+class TestSinks:
+    def test_stream_sink_mirrors_json_lines(self):
+        stream = io.StringIO()
+        logger = JsonLogger(stream=stream)
+        logger.info("unit.event", n=1)
+        record = json.loads(stream.getvalue())
+        assert record["event"] == "unit.event"
+        assert record["n"] == 1
+
+    def test_file_sink_round_trips(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        logger = JsonLogger()
+        logger.attach_file(path)
+        assert logger.file_path == str(path)
+        logger.info("unit.one", i=1)
+        logger.info("unit.two", i=2)
+        logger.detach_file()
+        events = read_jsonl(path)
+        assert [e["event"] for e in events] == ["unit.one", "unit.two"]
+        assert logger.file_path is None
+
+    def test_read_jsonl_skips_torn_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            '{"event": "ok", "level": "info"}\n'
+            '{"event": "torn", "lev\n'
+            "\n"
+            "[1, 2, 3]\n"
+            '{"event": "also-ok"}\n',
+            encoding="utf-8",
+        )
+        assert [e["event"] for e in read_jsonl(path)] == ["ok", "also-ok"]
+
+
+class TestFormatting:
+    def test_format_event_layout(self):
+        line = format_event(
+            {
+                "ts": "2026-08-06T12:00:00.000Z",
+                "level": "warn",
+                "event": "query.slow",
+                "trace_id": "abc123",
+                "seconds": 0.5,
+                "query": "year >= 1900",
+            }
+        )
+        assert line.startswith("2026-08-06T12:00:00.000Z  WARN   query.slow")
+        assert "trace=abc123" in line
+        assert "seconds=0.5" in line
+        assert "query='year >= 1900'" in line
+
+
+class TestModuleLevel:
+    def test_default_logger_helpers(self):
+        obs_logging.reset()
+        try:
+            obs_logging.info("unit.module.event", n=7)
+            (record,) = obs_logging.tail(event="unit.module.event")
+            assert record["n"] == 7
+        finally:
+            obs_logging.reset()
+
+    def test_set_enabled_round_trip(self):
+        assert obs_logging.is_enabled()
+        obs_logging.set_enabled(False)
+        try:
+            obs_logging.info("unit.disabled.event")
+            assert obs_logging.tail(event="unit.disabled.event") == []
+        finally:
+            obs_logging.set_enabled(True)
+            obs_logging.reset()

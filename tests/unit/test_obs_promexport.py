@@ -1,0 +1,174 @@
+"""Prometheus exposition rendering, validated with a small format parser.
+
+``parse_exposition`` is a strict-enough parser for the text exposition
+format (0.0.4) that the integration telemetry-server test reuses to
+assert ``/metrics`` output is well-formed — the acceptance criterion is
+parser-based, not substring-based.
+"""
+
+import math
+import re
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promexport import (
+    escape_label_value,
+    prometheus_name,
+    render_prometheus,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$')
+
+
+def parse_exposition(text: str):
+    """Parse Prometheus text exposition; raises ValueError on malformed
+    input.  Returns ``{metric_name: {"type": ..., "samples": [(name,
+    labels, value), ...]}}``."""
+    metrics: dict[str, dict] = {}
+    current: str | None = None
+    if text and not text.endswith("\n"):
+        raise ValueError("exposition must end with a newline")
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            if not _NAME_RE.match(name):
+                raise ValueError(f"line {lineno}: bad metric name {name!r}")
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"line {lineno}: bad type {kind!r}")
+            if name in metrics:
+                raise ValueError(f"line {lineno}: duplicate TYPE for {name}")
+            metrics[name] = {"type": kind, "samples": []}
+            current = name
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        sample_name = match.group("name")
+        labels: dict[str, str] = {}
+        if match.group("labels"):
+            for pair in re.split(r",(?=[a-zA-Z_])", match.group("labels")):
+                label_match = _LABEL_RE.match(pair)
+                if not label_match:
+                    raise ValueError(f"line {lineno}: malformed label {pair!r}")
+                labels[label_match.group("key")] = label_match.group("value")
+        value = float(match.group("value"))
+        if current is None or not (
+            sample_name == current or sample_name.startswith(current + "_")
+        ):
+            raise ValueError(
+                f"line {lineno}: sample {sample_name!r} outside its TYPE block"
+            )
+        metrics[current]["samples"].append((sample_name, labels, value))
+    return metrics
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestNameSanitization:
+    def test_dots_become_underscores_with_namespace(self):
+        assert (
+            prometheus_name("storage.wal.fsync.count")
+            == "repro_storage_wal_fsync_count"
+        )
+
+    def test_invalid_chars_replaced(self):
+        assert prometheus_name("a-b c/d") == "repro_a_b_c_d"
+
+    def test_no_namespace(self):
+        assert prometheus_name("x.y", namespace="") == "x_y"
+
+    def test_escape_label_value(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+
+class TestRendering:
+    def test_counter_gets_total_suffix(self, registry):
+        registry.counter("query.executions").inc(3)
+        parsed = parse_exposition(render_prometheus(registry.snapshot()))
+        metric = parsed["repro_query_executions_total"]
+        assert metric["type"] == "counter"
+        assert metric["samples"] == [("repro_query_executions_total", {}, 3.0)]
+
+    def test_gauge_rendered_plain(self, registry):
+        registry.gauge("store.records").set(271)
+        parsed = parse_exposition(render_prometheus(registry.snapshot()))
+        metric = parsed["repro_store_records"]
+        assert metric["type"] == "gauge"
+        assert metric["samples"][0][2] == 271.0
+
+    def test_labeled_series_grouped_under_one_type_line(self, registry):
+        registry.counter("plan.chosen", access="full-scan").inc()
+        registry.counter("plan.chosen", access="index-range").inc(2)
+        text = render_prometheus(registry.snapshot())
+        assert text.count("# TYPE repro_plan_chosen_total counter") == 1
+        parsed = parse_exposition(text)
+        samples = parsed["repro_plan_chosen_total"]["samples"]
+        assert sorted((s[1]["access"], s[2]) for s in samples) == [
+            ("full-scan", 1.0),
+            ("index-range", 2.0),
+        ]
+
+    def test_histogram_buckets_sum_count(self, registry):
+        hist = registry.histogram("query.seconds", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        parsed = parse_exposition(render_prometheus(registry.snapshot()))
+        metric = parsed["repro_query_seconds"]
+        assert metric["type"] == "histogram"
+        by_name: dict[str, list] = {}
+        for name, labels, value in metric["samples"]:
+            by_name.setdefault(name, []).append((labels, value))
+        buckets = {
+            labels["le"]: value
+            for labels, value in by_name["repro_query_seconds_bucket"]
+        }
+        # Buckets are cumulative and end with +Inf == count.
+        assert buckets["0.1"] == 1.0
+        assert buckets["1.0"] == 2.0
+        assert buckets["+Inf"] == 3.0
+        assert by_name["repro_query_seconds_count"][0][1] == 3.0
+        assert math.isclose(by_name["repro_query_seconds_sum"][0][1], 5.55)
+
+    def test_label_values_escaped(self, registry):
+        registry.counter("odd.labels", detail='say "hi"\\now').inc()
+        text = render_prometheus(registry.snapshot())
+        parsed = parse_exposition(text)
+        ((_, labels, _),) = parsed["repro_odd_labels_total"]["samples"]
+        assert labels["detail"] == 'say \\"hi\\"\\\\now'
+
+    def test_empty_snapshot_renders_empty(self, registry):
+        assert render_prometheus(registry.snapshot()) == ""
+
+    def test_output_is_deterministic(self, registry):
+        registry.counter("b.second").inc()
+        registry.counter("a.first").inc()
+        registry.gauge("z.gauge").set(1)
+        snap = registry.snapshot()
+        assert render_prometheus(snap) == render_prometheus(snap)
+        # Names sorted within each section.
+        text = render_prometheus(snap)
+        assert text.index("repro_a_first_total") < text.index("repro_b_second_total")
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_exposition("not a metric line\n")
+        with pytest.raises(ValueError):
+            parse_exposition("# TYPE x bogus-kind\n")

@@ -1,0 +1,137 @@
+"""Time-series sampling: ring retention, persistence, windowed rates."""
+
+import json
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesLog, TimeSeriesRecorder
+
+
+def _sample(ts: TimeSeriesLog, counters: dict, epoch: float | None = None):
+    record = ts.sample({"counters": counters, "gauges": {}, "histograms": {}})
+    if epoch is not None:
+        record["epoch"] = epoch
+    return record
+
+
+class TestSampling:
+    def test_sample_shape(self):
+        ts = TimeSeriesLog()
+        record = _sample(ts, {"a.count": 3})
+        assert record["counters"] == {"a.count": 3}
+        assert record["ts"].endswith("Z")
+        assert isinstance(record["epoch"], float)
+
+    def test_samples_from_default_registry(self):
+        ts = TimeSeriesLog()
+        record = ts.sample()
+        assert "counters" in record and "gauges" in record
+
+    def test_ring_bounded(self):
+        ts = TimeSeriesLog(capacity=3)
+        for i in range(6):
+            _sample(ts, {"i": i})
+        assert [s["counters"]["i"] for s in ts.samples()] == [3, 4, 5]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            TimeSeriesLog(capacity=1)
+
+
+class TestRates:
+    def test_rates_difference_counters(self):
+        ts = TimeSeriesLog()
+        _sample(ts, {"q.count": 100}, epoch=1000.0)
+        _sample(ts, {"q.count": 160, "new.count": 5}, epoch=1010.0)
+        rates = ts.rates(3600, now_epoch=1010.0)
+        assert rates["samples"] == 2
+        assert rates["deltas"]["q.count"] == 60
+        assert rates["rates"]["q.count"] == 6.0
+        # A counter absent from the first sample counts from zero.
+        assert rates["deltas"]["new.count"] == 5
+
+    def test_window_excludes_old_samples(self):
+        ts = TimeSeriesLog()
+        _sample(ts, {"q.count": 0}, epoch=0.0)
+        _sample(ts, {"q.count": 50}, epoch=1000.0)
+        _sample(ts, {"q.count": 60}, epoch=1010.0)
+        rates = ts.rates(60, now_epoch=1010.0)
+        assert rates["samples"] == 2
+        assert rates["deltas"]["q.count"] == 10
+
+    def test_counter_reset_counts_from_zero(self):
+        ts = TimeSeriesLog()
+        _sample(ts, {"q.count": 500}, epoch=1000.0)
+        _sample(ts, {"q.count": 20}, epoch=1010.0)  # process restarted
+        rates = ts.rates(3600, now_epoch=1010.0)
+        assert rates["deltas"]["q.count"] == 20
+
+    def test_too_few_samples_yields_empty_rates(self):
+        ts = TimeSeriesLog()
+        _sample(ts, {"q.count": 1}, epoch=1000.0)
+        rates = ts.rates(60, now_epoch=1000.0)
+        assert rates["samples"] == 1
+        assert rates["rates"] == {}
+
+
+class TestPersistence:
+    def test_round_trip_across_instances(self, tmp_path):
+        path = tmp_path / "ts.jsonl"
+        first = TimeSeriesLog(path)
+        _sample(first, {"a": 1})
+        _sample(first, {"a": 2})
+        second = TimeSeriesLog(path)
+        assert [s["counters"]["a"] for s in second.samples()] == [1, 2]
+
+    def test_file_compaction_bounds_growth(self, tmp_path):
+        path = tmp_path / "ts.jsonl"
+        ts = TimeSeriesLog(path, capacity=4)
+        for i in range(30):
+            _sample(ts, {"i": i})
+        lines = [l for l in path.read_text(encoding="utf-8").splitlines() if l]
+        assert len(lines) <= 2 * 4
+        # Reload sees exactly the retained ring tail.
+        reloaded = TimeSeriesLog(path, capacity=4)
+        assert [s["counters"]["i"] for s in reloaded.samples()][-1] == 29
+
+    def test_torn_tail_line_skipped_on_load(self, tmp_path):
+        path = tmp_path / "ts.jsonl"
+        ts = TimeSeriesLog(path)
+        _sample(ts, {"a": 1})
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"ts": "torn...')
+        reloaded = TimeSeriesLog(path)
+        assert len(reloaded.samples()) == 1
+
+
+class TestRecorder:
+    def test_recorder_samples_periodically(self):
+        registry = MetricsRegistry()
+        registry.counter("r.count").inc()
+        ts = TimeSeriesLog()
+        recorder = TimeSeriesRecorder(ts, interval_s=0.02)
+        with recorder:
+            time.sleep(0.1)
+        # Initial sample + >=1 interval tick + final stop() sample.
+        assert len(ts.samples()) >= 3
+
+    def test_recorder_interval_validation(self):
+        with pytest.raises(ValueError):
+            TimeSeriesRecorder(TimeSeriesLog(), interval_s=0)
+
+    def test_double_start_rejected(self):
+        recorder = TimeSeriesRecorder(TimeSeriesLog(), interval_s=10)
+        recorder.start()
+        try:
+            with pytest.raises(RuntimeError):
+                recorder.start()
+        finally:
+            recorder.stop()
+
+    def test_stop_is_idempotent(self):
+        recorder = TimeSeriesRecorder(TimeSeriesLog(), interval_s=10)
+        recorder.start()
+        recorder.stop()
+        recorder.stop()

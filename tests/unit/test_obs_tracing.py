@@ -168,3 +168,84 @@ class TestSpanStandalone:
         span = Span("manual", {})
         assert not span.finished
         assert span.duration_s >= 0
+
+
+class TestRingBufferStress:
+    """Eviction and ordering guarantees under concurrent writers."""
+
+    def test_eviction_keeps_newest_roots(self):
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            with tracer.span(f"root-{i}"):
+                pass
+        names = [s.name for s in tracer.finished_spans()]
+        assert names == ["root-6", "root-7", "root-8", "root-9"]
+        assert tracer.last_root().name == "root-9"
+
+    def test_finished_spans_ordering_under_concurrent_writers(self):
+        tracer = Tracer(capacity=64)
+        threads_n, spans_per_thread = 8, 50
+        start = threading.Barrier(threads_n)
+
+        def work(tid: int) -> None:
+            start.wait()
+            for i in range(spans_per_thread):
+                with tracer.span(f"t{tid}", i=i):
+                    with tracer.span(f"t{tid}.child"):
+                        pass
+
+        threads = [
+            threading.Thread(target=work, args=(t,)) for t in range(threads_n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        finished = tracer.finished_spans()
+        # Ring holds exactly its capacity once more roots finished than fit.
+        assert len(finished) == 64
+        # Every retained root is intact: finished, timed, one child.
+        for root in finished:
+            assert root.finished
+            assert root.duration_s >= 0
+            assert [c.name for c in root.children] == [f"{root.name}.child"]
+        # Oldest-first within each producer thread: the sequence numbers a
+        # single thread contributed must appear in increasing order.
+        per_thread: dict[str, list[int]] = {}
+        for root in finished:
+            per_thread.setdefault(root.name, []).append(root.attributes["i"])
+        assert per_thread  # at least one thread's tail survived
+        for name, seq in per_thread.items():
+            assert seq == sorted(seq), f"{name} out of order: {seq}"
+        # The very newest retained spans are the tail of some thread's run.
+        assert finished[-1].attributes["i"] == spans_per_thread - 1
+
+    def test_eviction_while_reading(self):
+        tracer = Tracer(capacity=8)
+        stop = threading.Event()
+
+        def writer() -> None:
+            while not stop.is_set():
+                with tracer.span("w"):
+                    pass
+
+        reader_errors: list[Exception] = []
+
+        def reader() -> None:
+            try:
+                for _ in range(200):
+                    spans = tracer.finished_spans()
+                    assert len(spans) <= 8
+                    assert all(s.finished for s in spans)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                reader_errors.append(exc)
+
+        writer_thread = threading.Thread(target=writer)
+        reader_thread = threading.Thread(target=reader)
+        writer_thread.start()
+        reader_thread.start()
+        reader_thread.join()
+        stop.set()
+        writer_thread.join()
+        assert reader_errors == []
