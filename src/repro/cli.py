@@ -11,7 +11,10 @@ Subcommands
     Run a query against a corpus loaded into the embedded store.
     ``--explain`` prints the plan; ``--profile`` executes with
     EXPLAIN ANALYZE-style per-operator timings and row counts
-    (``--json`` for the machine-readable form).
+    (``--json`` for the machine-readable form).  ``--timeout-ms`` /
+    ``--max-rows`` bound the execution: a violated bound prints a
+    one-line JSON error to stderr and exits 3 (deadline/cancel) or
+    4 (budget).
 ``stats``
     Print corpus/index statistics, or — with ``--metrics`` — run the
     full pipeline (storage, build, query, search) against the corpus and
@@ -30,6 +33,11 @@ Subcommands
     Run the stdlib HTTP telemetry daemon: ``/metrics`` (Prometheus),
     ``/healthz`` (fsck-backed store health), ``/varz``, ``/tracez``,
     ``/logz``.  See ``docs/operations.md``.
+``serve-query``
+    The telemetry daemon plus a resilient ``/query`` endpoint: admission
+    control with load shedding (429 + ``Retry-After``), per-query
+    deadlines and row budgets, and a circuit breaker feeding
+    ``/healthz``.  See ``docs/resilience.md``.
 ``logs``
     Tail structured log events: from a JSONL file (``--file``), or from
     an in-process run of the standard pipeline workload at debug level.
@@ -53,9 +61,18 @@ from repro.corpus import (
     parse_index_text,
     populate_store,
 )
-from repro.errors import ReproError
+from repro.errors import (
+    BudgetExceeded,
+    QueryInterrupted,
+    ReproError,
+)
 from repro.query import QueryEngine
 from repro.storage import IndexKind, RecordStore
+
+#: Exit code for a query stopped by its deadline or a cancellation.
+EXIT_QUERY_INTERRUPTED = 3
+#: Exit code for a query stopped by its row/byte budget.
+EXIT_BUDGET_EXCEEDED = 4
 
 
 def _load_corpus(path: str | None) -> list[PublicationRecord]:
@@ -150,8 +167,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.explain:
         print(engine.explain(args.query))
         return 0
+    bounds: dict = {}
+    if args.timeout_ms is not None:
+        bounds["timeout_s"] = args.timeout_ms / 1000.0
+    if args.max_rows is not None:
+        bounds["max_rows"] = args.max_rows
     if args.profile:
-        profile = engine.execute(args.query, profile=True)
+        profile = engine.execute(args.query, profile=True, **bounds)
         if args.json:
             print(json.dumps(
                 {"rows": profile.rows, "profile": profile.to_dict()},
@@ -162,7 +184,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             print()
             _print_rows(profile.rows)
         return 0
-    _print_rows(engine.execute(args.query))
+    _print_rows(engine.execute(args.query, **bounds))
     return 0
 
 
@@ -406,6 +428,49 @@ def _cmd_serve_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_query(args: argparse.Namespace) -> int:
+    from repro.obs.server import TelemetryServer
+    from repro.resilience import AdmissionController, CircuitBreaker, QueryService
+
+    records = _load_corpus(args.corpus)
+    store = RecordStore(PUBLICATION_SCHEMA, directory=args.store)
+    try:
+        if len(store) == 0:
+            populate_store(store, records)
+            if args.store is not None:
+                store.checkpoint()
+        store.create_index("surnames", IndexKind.HASH)
+        store.create_index("year", IndexKind.BTREE)
+        store.create_index("volume", IndexKind.BTREE)
+        admission = AdmissionController(
+            max_concurrent=args.max_concurrent,
+            max_queue=args.max_queue,
+            queue_timeout_s=args.queue_timeout_ms / 1000.0,
+            breaker=CircuitBreaker(),
+        )
+        service = QueryService(
+            QueryEngine(store),
+            admission=admission,
+            default_timeout_s=args.default_timeout_ms / 1000.0,
+            default_max_rows=args.default_max_rows,
+        )
+        server = TelemetryServer(
+            host=args.host,
+            port=args.port,
+            store_dir=args.store,
+            query_service=service,
+        )
+        print(f"query service: listening on {server.url}", file=sys.stderr)
+        print(
+            "endpoints: /query /metrics /healthz /varz /tracez /logz",
+            file=sys.stderr,
+        )
+        server.serve_forever()
+    finally:
+        store.close()
+    return 0
+
+
 def _cmd_logs(args: argparse.Namespace) -> int:
     from repro.obs import logging as obs_logging
 
@@ -499,6 +564,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="MS",
         help="slow-query threshold in milliseconds (default 100; implies "
              "slow-query capture even without --slow-log)",
+    )
+    p_query.add_argument(
+        "--timeout-ms",
+        type=float,
+        metavar="MS",
+        help=f"wall-clock deadline for the query; exceeding it exits "
+             f"{EXIT_QUERY_INTERRUPTED} with a one-line JSON error",
+    )
+    p_query.add_argument(
+        "--max-rows",
+        type=int,
+        metavar="N",
+        help=f"row-examination budget for the query; exceeding it exits "
+             f"{EXIT_BUDGET_EXCEEDED} with a one-line JSON error",
     )
     p_query.set_defaults(func=_cmd_query)
 
@@ -627,6 +706,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.set_defaults(func=_cmd_serve_telemetry)
 
+    p_serve_query = sub.add_parser(
+        "serve-query",
+        help="HTTP query service with admission control and deadlines "
+             "(telemetry endpoints included)",
+    )
+    p_serve_query.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    p_serve_query.add_argument(
+        "--port", type=int, default=9179, help="TCP port (default: 9179; 0 = ephemeral)"
+    )
+    p_serve_query.add_argument(
+        "--corpus", help="JSON corpus path (default: bundled reference)"
+    )
+    p_serve_query.add_argument(
+        "--store",
+        metavar="DIR",
+        help="serve from a durable store directory (seeded from the corpus "
+             "when empty); /healthz then fsck-walks it.  Default: in-memory",
+    )
+    p_serve_query.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=8,
+        help="admission slots: queries executing at once (default: 8)",
+    )
+    p_serve_query.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        help="admission queue depth before shedding with 429 (default: 16)",
+    )
+    p_serve_query.add_argument(
+        "--queue-timeout-ms",
+        type=float,
+        default=500.0,
+        help="max milliseconds a query may wait for a slot (default: 500)",
+    )
+    p_serve_query.add_argument(
+        "--default-timeout-ms",
+        type=float,
+        default=5000.0,
+        help="per-query deadline when the request names none (default: 5000)",
+    )
+    p_serve_query.add_argument(
+        "--default-max-rows",
+        type=int,
+        default=100_000,
+        help="per-query row budget when the request names none "
+             "(default: 100000)",
+    )
+    p_serve_query.set_defaults(func=_cmd_serve_query)
+
     p_logs = sub.add_parser(
         "logs", help="tail structured log events (file or in-process demo run)"
     )
@@ -660,6 +792,34 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except BudgetExceeded as exc:
+        # One structured line on stderr; distinct exit code for scripts.
+        print(
+            json.dumps(
+                {
+                    "error": "budget-exceeded",
+                    "budget": exc.budget,
+                    "limit": exc.limit,
+                    "used": exc.used,
+                    "rows_examined": exc.rows_examined,
+                }
+            ),
+            file=sys.stderr,
+        )
+        return EXIT_BUDGET_EXCEEDED
+    except QueryInterrupted as exc:
+        print(
+            json.dumps(
+                {
+                    "error": type(exc).__name__,
+                    "detail": str(exc),
+                    "rows_examined": exc.rows_examined,
+                    "elapsed_s": round(exc.elapsed_s, 6),
+                }
+            ),
+            file=sys.stderr,
+        )
+        return EXIT_QUERY_INTERRUPTED
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -62,6 +62,87 @@ class QueryPlanError(QueryError):
     """Raised when a valid query cannot be planned (e.g. unknown field)."""
 
 
+class QueryInterrupted(QueryError):
+    """Base class for executions stopped before completing normally.
+
+    Carries partial-progress context so callers (and EXPLAIN ANALYZE)
+    can report how far the query got: ``rows_examined`` counts rows the
+    access path had touched, ``elapsed_s`` is wall time since the guard
+    was armed.  ``partial`` optionally holds a partial
+    :class:`~repro.query.executor.QueryProfile` when the interruption
+    happened under ``profile=True``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        rows_examined: int = 0,
+        elapsed_s: float = 0.0,
+    ):
+        super().__init__(message)
+        self.rows_examined = rows_examined
+        self.elapsed_s = elapsed_s
+        self.partial: object | None = None
+
+
+class QueryTimeout(QueryInterrupted):
+    """Raised when a query's deadline expires mid-execution."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        timeout_s: float | None = None,
+        rows_examined: int = 0,
+        elapsed_s: float = 0.0,
+    ):
+        super().__init__(message, rows_examined=rows_examined, elapsed_s=elapsed_s)
+        self.timeout_s = timeout_s
+
+
+class QueryCancelled(QueryInterrupted):
+    """Raised when a query's :class:`~repro.resilience.CancelToken` fires."""
+
+
+class BudgetExceeded(QueryInterrupted):
+    """Raised when a query exhausts its row or byte budget.
+
+    ``budget`` names the exhausted dimension (``"rows"`` or ``"bytes"``),
+    ``limit`` its configured bound, ``used`` the amount consumed when the
+    guard tripped.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        budget: str = "rows",
+        limit: int = 0,
+        used: int = 0,
+        rows_examined: int = 0,
+        elapsed_s: float = 0.0,
+    ):
+        super().__init__(message, rows_examined=rows_examined, elapsed_s=elapsed_s)
+        self.budget = budget
+        self.limit = limit
+        self.used = used
+
+
+class AdmissionRejected(ReproError):
+    """Raised when the admission gate sheds a request (queue full/timed out).
+
+    ``retry_after_s`` is the backoff hint surfaced to clients (the HTTP
+    layer maps it to a 429 response with a ``Retry-After`` header);
+    ``reason`` is ``"queue-full"`` or ``"queue-timeout"``.
+    """
+
+    def __init__(self, message: str, *, retry_after_s: float = 1.0, reason: str = "queue-full"):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+        self.reason = reason
+
+
 class StorageError(ReproError):
     """Base class for storage-engine errors."""
 

@@ -1,8 +1,8 @@
-"""Stdlib telemetry daemon: /metrics, /healthz, /varz, /tracez, /logz.
+"""Stdlib telemetry daemon: /metrics, /healthz, /varz, /tracez, /logz, /query.
 
 :class:`TelemetryServer` wraps a :class:`http.server.ThreadingHTTPServer`
 exposing the process's observability state over HTTP — the backend of
-``repro serve-telemetry``.  Routes:
+``repro serve-telemetry`` and ``repro serve-query``.  Routes:
 
 ``/metrics``
     Prometheus text exposition of the default metrics registry
@@ -13,8 +13,10 @@ exposing the process's observability state over HTTP — the backend of
     :func:`repro.storage.fsck.fsck` walker (read-only) over the snapshot
     and WAL chain and maps its exit code: 0 → ``ok`` (HTTP 200),
     1 → ``degraded`` (HTTP 200 — recoverable damage, the store still
-    serves), 2 → ``fail`` (HTTP 503).  Without a store the endpoint
-    reports process liveness only.
+    serves), 2 → ``fail`` (HTTP 503).  When a query service is attached
+    and its circuit breaker is open (shed/timeout rate over threshold),
+    ``ok`` downgrades to ``degraded`` and the breaker state is included.
+    Without a store the endpoint reports process liveness only.
 ``/varz``
     Raw JSON metrics snapshot (counters / gauges / histograms).
 ``/tracez``
@@ -22,6 +24,13 @@ exposing the process's observability state over HTTP — the backend of
 ``/logz``
     Tail of the in-process structured log ring, JSON
     (``?n=``, ``?level=``, ``?event=``, ``?trace=`` filters).
+``/query``
+    Present when the server was given a ``query_service``
+    (:class:`repro.resilience.QueryService`): runs ``?q=`` through
+    admission control and a deadline/budget guard (``?timeout_ms=``,
+    ``?max_rows=``, ``?profile=1``).  Typed failures map to HTTP codes:
+    shed → 429 with a ``Retry-After`` header, deadline → 504, budget →
+    422, bad query → 400.
 
 The server binds before :meth:`TelemetryServer.serve_forever` returns
 control, so ``port=0`` (ephemeral) works for tests: construct, read
@@ -41,6 +50,13 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import parse_qs, urlparse
 
+from repro.errors import (
+    AdmissionRejected,
+    BudgetExceeded,
+    QueryCancelled,
+    QueryError,
+    QueryTimeout,
+)
 from repro.obs import logging as _logging
 from repro.obs import metrics as _metrics
 from repro.obs import tracing as _tracing
@@ -51,21 +67,36 @@ __all__ = ["TelemetryServer", "DEFAULT_PORT"]
 #: Default TCP port for ``repro serve-telemetry``.
 DEFAULT_PORT = 9179
 
+#: Seconds :meth:`TelemetryServer.stop` waits for the serving thread.
+_STOP_JOIN_TIMEOUT_S = 5.0
+
 def _count_request(path: str) -> None:
     _metrics.counter("obs.server.requests", path=path).inc()
 
 
-def _health_payload(store_dir: str | None) -> tuple[int, dict[str, Any]]:
+def _health_payload(
+    store_dir: str | None, query_service: Any = None
+) -> tuple[int, dict[str, Any]]:
     """(http_status, body) for /healthz."""
     if store_dir is None:
-        return 200, {"status": "ok", "store": None}
-    from repro.storage.fsck import fsck  # lazy: storage instruments via obs
+        body: dict[str, Any] = {"status": "ok", "store": None}
+        http_status = 200
+    else:
+        from repro.storage.fsck import fsck  # lazy: storage instruments via obs
 
-    report = fsck(store_dir)
-    code = report.exit_code()
-    status = {0: "ok", 1: "degraded", 2: "fail"}[code]
-    body = {"status": status, "store": report.to_dict()}
-    return (503 if code == 2 else 200), body
+        report = fsck(store_dir)
+        code = report.exit_code()
+        status = {0: "ok", 1: "degraded", 2: "fail"}[code]
+        body = {"status": status, "store": report.to_dict()}
+        http_status = 503 if code == 2 else 200
+    if query_service is not None:
+        breaker_state = query_service.breaker.state()
+        body["breaker"] = breaker_state
+        if breaker_state["open"] and body["status"] == "ok":
+            # Overloaded but intact: still HTTP 200, status degraded —
+            # a hint to load balancers, not a liveness failure.
+            body["status"] = "degraded"
+    return http_status, body
 
 
 class _TelemetryHandler(BaseHTTPRequestHandler):
@@ -109,8 +140,12 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
                     render_prometheus(_metrics.snapshot()),
                 )
             elif path == "/healthz":
-                status, body = _health_payload(self.server.store_dir)
+                status, body = _health_payload(
+                    self.server.store_dir, self.server.query_service
+                )
                 self._send_json(status, body)
+            elif path == "/query":
+                self._query(parse_qs(parsed.query))
             elif path == "/varz":
                 self._send_json(200, _metrics.snapshot())
             elif path == "/tracez":
@@ -121,18 +156,92 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
             elif path == "/logz":
                 self._send_json(200, self._logz(parse_qs(parsed.query)))
             elif path == "/":
+                endpoints = ["/metrics", "/healthz", "/varz", "/tracez", "/logz"]
+                if self.server.query_service is not None:
+                    endpoints.append("/query")
                 self._send_json(
                     200,
-                    {
-                        "service": "repro-telemetry",
-                        "endpoints": ["/metrics", "/healthz", "/varz", "/tracez", "/logz"],
-                    },
+                    {"service": "repro-telemetry", "endpoints": endpoints},
                 )
             else:
                 self._send_json(404, {"error": f"no such endpoint: {path}"})
         except Exception as exc:  # pragma: no cover - defensive
             _logging.error("obs.server.error", path=path, error=repr(exc))
             self._send_json(500, {"error": repr(exc)})
+
+    def _query(self, params: dict[str, list[str]]) -> None:
+        """Run ``?q=`` through the attached query service; map typed errors."""
+        service = self.server.query_service
+        if service is None:
+            self._send_json(
+                404, {"error": "no query service attached (use repro serve-query)"}
+            )
+            return
+
+        def first(key: str) -> str | None:
+            values = params.get(key)
+            return values[0] if values else None
+
+        q = first("q")
+        if not q:
+            self._send_json(400, {"error": "missing required parameter: q"})
+            return
+        try:
+            timeout_ms = float(t) if (t := first("timeout_ms")) else None
+            max_rows = int(m) if (m := first("max_rows")) else None
+        except ValueError as exc:
+            self._send_json(400, {"error": f"bad parameter: {exc}"})
+            return
+        profile = first("profile") in ("1", "true", "yes")
+        try:
+            body = service.execute_request(
+                q, timeout_ms=timeout_ms, max_rows=max_rows, profile=profile
+            )
+        except AdmissionRejected as exc:
+            payload = json.dumps(
+                {
+                    "error": "admission-rejected",
+                    "reason": exc.reason,
+                    "retry_after_s": exc.retry_after_s,
+                },
+                indent=2,
+                sort_keys=True,
+            ).encode("utf-8")
+            self.send_response(429)
+            self.send_header("Content-Type", "application/json; charset=utf-8")
+            self.send_header("Retry-After", str(max(1, round(exc.retry_after_s))))
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+        except QueryTimeout as exc:
+            self._send_json(
+                504,
+                {
+                    "error": "query-timeout",
+                    "timeout_s": exc.timeout_s,
+                    "rows_examined": exc.rows_examined,
+                    "elapsed_s": round(exc.elapsed_s, 6),
+                },
+            )
+        except QueryCancelled as exc:
+            self._send_json(
+                499,  # client closed request (nginx convention)
+                {"error": "query-cancelled", "rows_examined": exc.rows_examined},
+            )
+        except BudgetExceeded as exc:
+            self._send_json(
+                422,
+                {
+                    "error": "budget-exceeded",
+                    "budget": exc.budget,
+                    "limit": exc.limit,
+                    "used": exc.used,
+                },
+            )
+        except QueryError as exc:
+            self._send_json(400, {"error": "bad-query", "detail": str(exc)})
+        else:
+            self._send_json(200, body)
 
     @staticmethod
     def _logz(query: dict[str, list[str]]) -> dict[str, Any]:
@@ -158,6 +267,7 @@ class TelemetryServer:
     >>> server.port > 0
     True
     >>> server.stop()
+    True
     """
 
     def __init__(
@@ -166,12 +276,17 @@ class TelemetryServer:
         host: str = "127.0.0.1",
         port: int = DEFAULT_PORT,
         store_dir: str | None = None,
+        query_service: Any = None,
     ):
         self.store_dir = str(store_dir) if store_dir is not None else None
+        #: Optional :class:`repro.resilience.QueryService` behind /query
+        #: (duck-typed here so the obs layer stays dependency-light).
+        self.query_service = query_service
         self._httpd = ThreadingHTTPServer((host, port), _TelemetryHandler)
         self._httpd.daemon_threads = True
         # Handlers reach server state through ``self.server``.
         self._httpd.store_dir = self.store_dir  # type: ignore[attr-defined]
+        self._httpd.query_service = query_service  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
         _logging.info(
             "obs.server.start", host=self.host, port=self.port, store=self.store_dir
@@ -209,13 +324,31 @@ class TelemetryServer:
         finally:
             self._httpd.server_close()
 
-    def stop(self) -> None:
+    def stop(self) -> bool:
+        """Shut down and join the serving thread.
+
+        Returns ``True`` on a clean stop.  A thread that outlives the
+        join timeout is propagated instead of silently leaked: a warning
+        event (``obs.server.stop_timeout``) and
+        ``obs.shutdown.join_timeout{component=server}`` record it, and
+        ``False`` is returned so callers can fail loudly.
+        """
         self._httpd.shutdown()
+        leaked = False
         if self._thread is not None:
-            self._thread.join(timeout=5.0)
+            self._thread.join(timeout=_STOP_JOIN_TIMEOUT_S)
+            leaked = self._thread.is_alive()
+            if leaked:
+                _logging.warn(
+                    "obs.server.stop_timeout",
+                    thread=self._thread.name,
+                    timeout_s=_STOP_JOIN_TIMEOUT_S,
+                )
+                _metrics.counter("obs.shutdown.join_timeout", component="server").inc()
             self._thread = None
         self._httpd.server_close()
-        _logging.info("obs.server.stop", host=self.host, port=self.port)
+        _logging.info("obs.server.stop", host=self.host, port=self.port, clean=not leaked)
+        return not leaked
 
     def __enter__(self) -> "TelemetryServer":
         return self.start()

@@ -35,6 +35,7 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any
 
+from repro.obs import logging as _logging
 from repro.obs import metrics as _metrics
 
 __all__ = [
@@ -204,6 +205,7 @@ class TimeSeriesRecorder:
     >>> recorder.start()
     >>> # ... workload ...
     >>> recorder.stop()
+    True
     """
 
     def __init__(self, log: TimeSeriesLog, *, interval_s: float = DEFAULT_INTERVAL_S):
@@ -231,14 +233,31 @@ class TimeSeriesRecorder:
         while not self._stop.wait(self.interval_s):
             self.log.sample()
 
-    def stop(self) -> None:
-        """Stop the thread, taking one final sample to close the window."""
+    def stop(self) -> bool:
+        """Stop the thread, taking one final sample to close the window.
+
+        Returns ``True`` on a clean stop.  A sampler thread that outlives
+        the join timeout is propagated instead of silently leaked: a
+        warning event (``obs.timeseries.stop_timeout``) and
+        ``obs.shutdown.join_timeout{component=timeseries}`` record it,
+        and ``False`` is returned so callers can fail loudly.
+        """
         if self._thread is None:
-            return
+            return True
         self._stop.set()
-        self._thread.join(timeout=self.interval_s + 5.0)
+        timeout_s = self.interval_s + 5.0
+        self._thread.join(timeout=timeout_s)
+        leaked = self._thread.is_alive()
+        if leaked:
+            _logging.warn(
+                "obs.timeseries.stop_timeout",
+                thread=self._thread.name,
+                timeout_s=timeout_s,
+            )
+            _metrics.counter("obs.shutdown.join_timeout", component="timeseries").inc()
         self._thread = None
         self.log.sample()
+        return not leaked
 
     def __enter__(self) -> "TimeSeriesRecorder":
         return self.start()

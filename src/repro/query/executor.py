@@ -27,13 +27,15 @@ import base64
 import json
 import time
 from dataclasses import dataclass
+from itertools import islice
 from typing import TYPE_CHECKING, Any, Iterator
 
-from repro.errors import QueryPlanError
+from repro.errors import QueryInterrupted, QueryPlanError
 from repro.obs import logging as _logging
 from repro.obs import metrics as _metrics
 from repro.obs import tracing as _tracing
 from repro.obs.slowlog import SlowQueryLog
+from repro.resilience.deadline import CancelToken, Deadline, Guard
 from repro.query.ast_nodes import Query
 from repro.query.parser import parse_query
 from repro.query.planner import (
@@ -189,25 +191,51 @@ class QueryEngine:
     # -- public API ---------------------------------------------------------
 
     def execute(
-        self, query: str | Query, *, profile: bool = False
+        self,
+        query: str | Query,
+        *,
+        profile: bool = False,
+        guard: Guard | None = None,
+        timeout_s: float | None = None,
+        cancel: CancelToken | None = None,
+        max_rows: int | None = None,
     ) -> list[dict[str, Any]] | QueryProfile:
         """Run ``query`` and return the matching records.
 
         With ``profile=True``, returns a :class:`QueryProfile` instead:
         the rows plus the annotated operator tree with per-node timings
         and rows-examined/rows-returned counts (``EXPLAIN ANALYZE``).
+
+        Execution can be bounded: pass a pre-built
+        :class:`~repro.resilience.Guard`, or let the convenience knobs
+        (``timeout_s`` wall clock, ``cancel`` token, ``max_rows`` row
+        budget) build one.  A violated bound unwinds with the matching
+        :class:`~repro.errors.QueryInterrupted` subclass carrying
+        partial-progress stats; a profiled run additionally attaches the
+        partial EXPLAIN ANALYZE tree as ``exc.partial``.  An explicit
+        ``guard`` takes precedence over the knobs.
         """
+        if guard is None and (
+            timeout_s is not None or cancel is not None or max_rows is not None
+        ):
+            guard = Guard(
+                deadline=Deadline.after(timeout_s) if timeout_s is not None else None,
+                cancel=cancel,
+                max_rows=max_rows,
+            )
         with _logging.trace() as trace_id:
             parsed = self._parse(query)
             plan, cached = self._plan(parsed)
             query_text = query if isinstance(query, str) else str(query)
             if profile:
-                result: QueryProfile = self.run_plan_profiled(plan, plan_cached=cached)
+                result: QueryProfile = self.run_plan_profiled(
+                    plan, plan_cached=cached, guard=guard
+                )
                 rows, seconds = len(result.rows), result.seconds
                 ran_profile: QueryProfile | None = result
             else:
                 start = time.perf_counter()
-                plain = self.run_plan(plan)
+                plain = self.run_plan(plan, guard=guard)
                 rows, seconds = len(plain), time.perf_counter() - start
                 ran_profile = None
             _logging.debug(
@@ -353,10 +381,18 @@ class QueryEngine:
             )
         return self.store.delete_where(parsed.matches)
 
-    def run_plan(self, plan: Plan) -> list[dict[str, Any]]:
-        """Execute a :class:`Plan` produced by the planner."""
+    def run_plan(self, plan: Plan, *, guard: Guard | None = None) -> list[dict[str, Any]]:
+        """Execute a :class:`Plan` produced by the planner.
+
+        ``guard`` bounds the execution (deadline / cancellation / row
+        budget), ticked once per candidate row the access path examines.
+        """
         start = time.perf_counter()
-        rows = self._candidates(plan)
+        if guard is not None:
+            # Fail fast on a pre-expired deadline or pre-cancelled token
+            # instead of after the first check stride.
+            guard.check()
+        rows = self._candidates(plan, guard)
         if plan.residual is not None:
             residual = plan.residual
             rows = (r for r in rows if residual.evaluate(r))
@@ -384,21 +420,58 @@ class QueryEngine:
         _QUERY_SECONDS.observe(time.perf_counter() - start)
         return out
 
-    def run_plan_profiled(self, plan: Plan, *, plan_cached: bool = False) -> QueryProfile:
+    def run_plan_profiled(
+        self, plan: Plan, *, plan_cached: bool = False, guard: Guard | None = None
+    ) -> QueryProfile:
         """Execute ``plan`` stage by stage, timing and counting each node.
 
         Unlike :meth:`run_plan` this materializes every stage so each
         operator's cost is attributable; results are identical.
         ``plan_cached`` is recorded in the profile so EXPLAIN ANALYZE
-        shows whether the plan came from the cache.
+        shows whether the plan came from the cache.  When a ``guard``
+        interrupts the run, the partial operator tree built so far is
+        attached to the raised error as ``exc.partial`` before it
+        propagates.
         """
         total_start = time.perf_counter()
+        try:
+            return self._run_plan_profiled(
+                plan, plan_cached=plan_cached, guard=guard, total_start=total_start
+            )
+        except QueryInterrupted as exc:
+            seconds = time.perf_counter() - total_start
+            root = OpProfile(
+                op=plan.access.op,
+                detail=f"{plan.access.describe()} [interrupted: {type(exc).__name__}]",
+                rows_examined=exc.rows_examined,
+                rows_returned=0,
+                seconds=seconds,
+            )
+            exc.partial = QueryProfile(
+                rows=[],
+                root=root,
+                plan_text=plan.explain(),
+                seconds=seconds,
+                plan_cached=plan_cached,
+            )
+            raise
+
+    def _run_plan_profiled(
+        self,
+        plan: Plan,
+        *,
+        plan_cached: bool,
+        guard: Guard | None,
+        total_start: float,
+    ) -> QueryProfile:
         with _tracing.span("query.execute", access=plan.access.op, profiled=True) as qspan:
             trace_id = _logging.current_trace_id()
             if trace_id is not None:
                 qspan.set_attribute("trace_id", trace_id)
+            if guard is not None:
+                guard.check()
             start = time.perf_counter()
-            candidates = list(self._candidates(plan))
+            candidates = list(self._candidates(plan, guard))
             examined = len(self.store) if isinstance(plan.access, FullScan) else len(candidates)
             node = OpProfile(
                 op=plan.access.op,
@@ -508,44 +581,88 @@ class QueryEngine:
 
     # -- candidates from the access path ------------------------------------------
 
-    def _candidates(self, plan: Plan) -> Iterator[dict[str, Any]]:
+    @staticmethod
+    def _ticked(
+        rows: Iterator[dict[str, Any]], guard: Guard | None
+    ) -> Iterator[dict[str, Any]]:
+        """``rows`` with every record examined charged to ``guard``.
+
+        Rows are charged in blocks of up to ``guard.stride``, clipped to
+        the remaining row budget so a violation still reports
+        ``used == limit + 1`` exactly, keeping the per-row cost of an
+        armed guard to a few nanoseconds.
+        """
+        if guard is None:
+            yield from rows
+            return
+        rows = iter(rows)
+        stride = guard.stride
+        while True:
+            budget = guard.max_rows
+            size = (
+                stride
+                if budget is None
+                else min(stride, budget - guard.rows_examined + 1)
+            )
+            chunk = tuple(islice(rows, size if size > 0 else 1))
+            if not chunk:
+                return
+            guard.tick(len(chunk))
+            yield from chunk
+
+    def _candidates(
+        self, plan: Plan, guard: Guard | None = None
+    ) -> Iterator[dict[str, Any]]:
         access = plan.access
         if isinstance(access, FullScan):
-            yield from self.store.scan()
+            # The store's scan loop charges every record examined
+            # (predicate-filtered ones included) to the guard so huge
+            # scans stay interruptible.
+            yield from self.store.scan(guard=guard)
             return
         if isinstance(access, IndexLookup):
-            yield from self.store.find_by(access.field, access.value)
+            yield from self._ticked(self.store.find_by(access.field, access.value), guard)
             return
         if isinstance(access, IndexMultiLookup):
             seen: set[Any] = set()
             for value in access.values:
-                for record in self.store.find_by(access.field, value):
+                for record in self._ticked(
+                    self.store.find_by(access.field, value), guard
+                ):
                     key = self.store.schema.primary_key_of(record)
                     if key not in seen:
                         seen.add(key)
                         yield record
             return
         if isinstance(access, CompositeLookup):
-            yield from self.store.find_by_composite(access.fields, access.values)
+            yield from self._ticked(
+                self.store.find_by_composite(access.fields, access.values), guard
+            )
             return
         if isinstance(access, CompositeRange):
-            yield from self.store.range_by_composite(
-                access.fields,
-                access.prefix,
-                access.low,
-                access.high,
-                include_low=access.include_low,
-                include_high=access.include_high,
+            yield from self._ticked(
+                self.store.range_by_composite(
+                    access.fields,
+                    access.prefix,
+                    access.low,
+                    access.high,
+                    include_low=access.include_low,
+                    include_high=access.include_high,
+                ),
+                guard,
             )
             return
         if isinstance(access, IndexRange):
             seen: set[Any] = set()
-            for record in self.store.range_by(
-                access.field,
-                access.low,
-                access.high,
-                include_low=access.include_low,
-                include_high=access.include_high,
+            for record in self._ticked(
+                self.store.range_by(
+                    access.field,
+                    access.low,
+                    access.high,
+                    include_low=access.include_low,
+                    include_high=access.include_high,
+                ),
+                guard,
             ):
                 key = self.store.schema.primary_key_of(record)
                 if key not in seen:

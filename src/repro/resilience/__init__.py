@@ -1,0 +1,55 @@
+"""Resilience substrate: deadlines, admission control, retries.
+
+Keeps the engine responsive when a query is pathological, traffic spikes,
+or the disk hiccups:
+
+* :mod:`repro.resilience.deadline` — :class:`Deadline` /
+  :class:`CancelToken` / :class:`Guard`: cheap amortized per-row checks
+  threaded through the query executor, title search, and storage scans,
+  unwinding with typed :class:`~repro.errors.QueryTimeout` /
+  :class:`~repro.errors.QueryCancelled` /
+  :class:`~repro.errors.BudgetExceeded` errors that carry
+  partial-progress stats;
+* :mod:`repro.resilience.admission` — :class:`AdmissionController`
+  (bounded concurrency + bounded queue, load shedding with retry hints)
+  and :class:`CircuitBreaker` (shed/timeout-rate health signal);
+* :mod:`repro.resilience.retry` — :class:`RetryPolicy` /
+  :class:`RetryBudget`: exponential backoff with decorrelated jitter
+  around transient storage faults (``EINTR``/``EAGAIN``/injected),
+  wrapped around WAL and snapshot I/O;
+* :mod:`repro.resilience.service` — :class:`QueryService`, the composed
+  serving facade behind ``repro serve-query``.
+
+Semantics, tuning knobs, and the failure-mode table live in
+``docs/resilience.md``.
+"""
+
+from repro.errors import (
+    AdmissionRejected,
+    BudgetExceeded,
+    QueryCancelled,
+    QueryInterrupted,
+    QueryTimeout,
+)
+from repro.resilience.admission import AdmissionController, CircuitBreaker
+from repro.resilience.deadline import DEFAULT_CHECK_STRIDE, CancelToken, Deadline, Guard
+from repro.resilience.retry import RetryBudget, RetryPolicy, is_transient
+from repro.resilience.service import QueryService
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
+    "BudgetExceeded",
+    "CancelToken",
+    "CircuitBreaker",
+    "Deadline",
+    "DEFAULT_CHECK_STRIDE",
+    "Guard",
+    "QueryCancelled",
+    "QueryInterrupted",
+    "QueryService",
+    "QueryTimeout",
+    "RetryBudget",
+    "RetryPolicy",
+    "is_transient",
+]

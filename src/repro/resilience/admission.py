@@ -1,0 +1,267 @@
+"""Admission control: a bounded concurrency gate plus a circuit breaker.
+
+:class:`AdmissionController` fronts the query-serving path with a
+semaphore of ``max_concurrent`` execution slots and a bounded waiting
+queue.  A request that finds all slots busy waits (up to
+``queue_timeout_s``) as long as fewer than ``max_queue`` requests are
+already waiting; otherwise it is **shed** immediately with
+:class:`~repro.errors.AdmissionRejected` carrying a ``Retry-After``
+hint.  Shedding at the door is the point: a saturated server answers
+"come back later" in microseconds instead of stacking unbounded work it
+will time out on anyway.
+
+:class:`CircuitBreaker` watches outcomes (``ok`` / ``shed`` /
+``timeout``) over a sliding window and *opens* when the shed-rate or
+timeout-rate crosses its threshold.  An open breaker marks ``/healthz``
+``degraded`` — a polite signal to load balancers to prefer other
+replicas — and closes again by itself once ``cooldown_s`` passes and
+the window drains below the thresholds.
+
+Metric names (catalogued in ``docs/observability.md``):
+``resilience.admission.admitted``, ``resilience.admission.shed``,
+``resilience.admission.wait.seconds``,
+``resilience.admission.in_flight``, ``resilience.admission.waiting``,
+``resilience.breaker.open``, ``resilience.breaker.trips``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from collections import deque
+from typing import Any, Iterator
+
+from repro.errors import AdmissionRejected
+from repro.obs import logging as _logging
+from repro.obs import metrics as _metrics
+
+__all__ = ["AdmissionController", "CircuitBreaker"]
+
+_ADMITTED = _metrics.counter("resilience.admission.admitted")
+_SHED = _metrics.counter("resilience.admission.shed")
+_WAIT_SECONDS = _metrics.histogram("resilience.admission.wait.seconds")
+_IN_FLIGHT = _metrics.gauge("resilience.admission.in_flight")
+_WAITING = _metrics.gauge("resilience.admission.waiting")
+_BREAKER_OPEN = _metrics.gauge("resilience.breaker.open")
+_BREAKER_TRIPS = _metrics.counter("resilience.breaker.trips")
+
+
+class AdmissionController:
+    """Semaphore-gated admission with a bounded waiting queue.
+
+    >>> gate = AdmissionController(max_concurrent=2, max_queue=0,
+    ...                            queue_timeout_s=0.0)
+    >>> with gate.slot():
+    ...     pass  # admitted work runs here
+    """
+
+    def __init__(
+        self,
+        *,
+        max_concurrent: int = 8,
+        max_queue: int = 16,
+        queue_timeout_s: float = 0.5,
+        retry_after_s: float = 1.0,
+        breaker: "CircuitBreaker | None" = None,
+    ):
+        if max_concurrent < 1:
+            raise ValueError(f"max_concurrent must be >= 1, got {max_concurrent}")
+        if max_queue < 0 or queue_timeout_s < 0:
+            raise ValueError("max_queue and queue_timeout_s must be >= 0")
+        self.max_concurrent = max_concurrent
+        self.max_queue = max_queue
+        self.queue_timeout_s = queue_timeout_s
+        self.retry_after_s = retry_after_s
+        self.breaker = breaker
+        self._sem = threading.Semaphore(max_concurrent)
+        self._lock = threading.Lock()
+        self._waiting = 0
+        self._in_flight = 0
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    @property
+    def waiting(self) -> int:
+        with self._lock:
+            return self._waiting
+
+    # -- admission --------------------------------------------------------
+
+    @contextlib.contextmanager
+    def slot(self) -> Iterator[None]:
+        """Hold one execution slot for the ``with`` body.
+
+        Raises :class:`~repro.errors.AdmissionRejected` when the queue
+        is full or the queue wait times out.
+        """
+        self.acquire()
+        try:
+            yield
+        finally:
+            self.release()
+
+    def acquire(self) -> None:
+        """Take a slot (waiting in the bounded queue); shed on overload."""
+        # Fast path: a free slot admits immediately, no queue involved.
+        if self._sem.acquire(blocking=False):
+            self._admitted()
+            return
+        with self._lock:
+            if self._waiting >= self.max_queue:
+                self._shed("queue-full")
+            self._waiting += 1
+            _WAITING.set(self._waiting)
+        start = time.perf_counter()
+        try:
+            admitted = self._sem.acquire(timeout=self.queue_timeout_s)
+        finally:
+            with self._lock:
+                self._waiting -= 1
+                _WAITING.set(self._waiting)
+        _WAIT_SECONDS.observe(time.perf_counter() - start)
+        if not admitted:
+            self._shed("queue-timeout")
+        self._admitted()
+
+    def _admitted(self) -> None:
+        with self._lock:
+            self._in_flight += 1
+            _IN_FLIGHT.set(self._in_flight)
+        _ADMITTED.inc()
+
+    def release(self) -> None:
+        with self._lock:
+            self._in_flight -= 1
+            _IN_FLIGHT.set(self._in_flight)
+        self._sem.release()
+
+    def _shed(self, reason: str) -> None:
+        _SHED.inc()
+        if self.breaker is not None:
+            self.breaker.record("shed")
+        _logging.warn(
+            "resilience.admission.shed",
+            reason=reason,
+            in_flight=self._in_flight,
+            waiting=self._waiting,
+            retry_after_s=self.retry_after_s,
+        )
+        raise AdmissionRejected(
+            f"admission rejected ({reason}): "
+            f"{self._in_flight} in flight, {self._waiting} waiting",
+            retry_after_s=self.retry_after_s,
+            reason=reason,
+        )
+
+
+class CircuitBreaker:
+    """Sliding-window shed/timeout-rate breaker backing ``/healthz``.
+
+    Outcomes are recorded as ``("ok" | "shed" | "timeout")`` events with
+    monotonic timestamps; events older than ``window_s`` age out.  The
+    breaker opens when the window holds at least ``min_events`` events
+    and either bad-rate crosses its threshold; it stays open for at
+    least ``cooldown_s`` and closes once the (current) window's rates
+    are back under the thresholds.
+    """
+
+    def __init__(
+        self,
+        *,
+        window_s: float = 30.0,
+        min_events: int = 10,
+        shed_rate_threshold: float = 0.5,
+        timeout_rate_threshold: float = 0.5,
+        cooldown_s: float = 10.0,
+    ):
+        if not 0 < shed_rate_threshold <= 1 or not 0 < timeout_rate_threshold <= 1:
+            raise ValueError("rate thresholds must be in (0, 1]")
+        self.window_s = window_s
+        self.min_events = min_events
+        self.shed_rate_threshold = shed_rate_threshold
+        self.timeout_rate_threshold = timeout_rate_threshold
+        self.cooldown_s = cooldown_s
+        self._events: deque[tuple[float, str]] = deque()
+        self._lock = threading.Lock()
+        self._open_until = 0.0
+        self._open = False
+
+    def record(self, outcome: str) -> None:
+        """Record one request outcome: ``"ok"``, ``"shed"``, ``"timeout"``."""
+        if outcome not in ("ok", "shed", "timeout"):
+            raise ValueError(f"unknown outcome {outcome!r}")
+        now = time.perf_counter()
+        with self._lock:
+            self._events.append((now, outcome))
+            self._prune(now)
+            self._evaluate(now)
+
+    @property
+    def open(self) -> bool:
+        """Whether the breaker is currently open (``degraded``)."""
+        now = time.perf_counter()
+        with self._lock:
+            self._prune(now)
+            self._evaluate(now)
+            return self._open
+
+    def state(self) -> dict[str, Any]:
+        """Breaker status for ``/healthz`` bodies and logs."""
+        now = time.perf_counter()
+        with self._lock:
+            self._prune(now)
+            self._evaluate(now)
+            total = len(self._events)
+            sheds = sum(1 for _, o in self._events if o == "shed")
+            timeouts = sum(1 for _, o in self._events if o == "timeout")
+            return {
+                "open": self._open,
+                "window_s": self.window_s,
+                "events": total,
+                "shed_rate": round(sheds / total, 4) if total else 0.0,
+                "timeout_rate": round(timeouts / total, 4) if total else 0.0,
+            }
+
+    # -- internals (lock held) --------------------------------------------
+
+    def _prune(self, now: float) -> None:
+        cutoff = now - self.window_s
+        events = self._events
+        while events and events[0][0] < cutoff:
+            events.popleft()
+
+    def _evaluate(self, now: float) -> None:
+        total = len(self._events)
+        sheds = timeouts = 0
+        for _, outcome in self._events:
+            if outcome == "shed":
+                sheds += 1
+            elif outcome == "timeout":
+                timeouts += 1
+        over = total >= self.min_events and (
+            sheds / total > self.shed_rate_threshold
+            or timeouts / total > self.timeout_rate_threshold
+        )
+        if over:
+            if not self._open:
+                self._open = True
+                _BREAKER_TRIPS.inc()
+                _BREAKER_OPEN.set(1)
+                _logging.warn(
+                    "resilience.breaker.open",
+                    events=total,
+                    sheds=sheds,
+                    timeouts=timeouts,
+                    window_s=self.window_s,
+                )
+            self._open_until = now + self.cooldown_s
+        elif self._open and now >= self._open_until:
+            self._open = False
+            _BREAKER_OPEN.set(0)
+            _logging.info("resilience.breaker.closed", events=total)

@@ -1,0 +1,226 @@
+"""Retry-with-backoff for transient I/O faults.
+
+A :class:`RetryPolicy` wraps the storage layer's durability syscalls
+(WAL write/fsync, snapshot write/rename) and re-issues an operation that
+failed *transiently* — ``EINTR``/``EAGAIN`` from the OS, or an injected
+:class:`~repro.storage.faultfs.TransientInjectedFault` from the chaos
+harness.  Permanent errors (``ENOSPC``, corruption, plain injected
+faults) are never retried: they re-raise immediately, unchanged.
+
+Three bounds keep retries from amplifying an outage:
+
+* **attempts** — at most ``max_attempts`` tries per call; exhaustion
+  re-raises the *original* error (the caller sees exactly what it would
+  have seen with no policy, plus ``resilience.retry.exhausted`` moving);
+* **backoff** — sleeps grow exponentially with *decorrelated jitter*
+  (each sleep is uniform over ``[base, prev * 3]``, capped), so a herd
+  of retriers decorrelates instead of synchronizing;
+* **retry budget** — a token bucket shared across calls: each retry
+  spends one token, tokens refill at a fixed rate, and an empty bucket
+  disables retrying (the original error surfaces) so a persistent fault
+  degrades to fail-fast instead of multiplying I/O load.
+
+The fast path is one ``try``: a call that succeeds first time costs no
+bookkeeping, takes no lock, and moves no metric.
+
+Metric names (catalogued in ``docs/observability.md``):
+``resilience.retry.attempts``, ``resilience.retry.recovered``,
+``resilience.retry.exhausted``, ``resilience.retry.denied``,
+``resilience.retry.sleep.seconds``.
+"""
+
+from __future__ import annotations
+
+import errno
+import random
+import threading
+import time
+from typing import Any, Callable, TypeVar
+
+from repro.obs import logging as _logging
+from repro.obs import metrics as _metrics
+
+__all__ = ["RetryBudget", "RetryPolicy", "is_transient"]
+
+T = TypeVar("T")
+
+#: OS error numbers that mean "try again" rather than "broken".
+_TRANSIENT_ERRNOS = frozenset({errno.EINTR, errno.EAGAIN, errno.EWOULDBLOCK})
+
+_ATTEMPTS = _metrics.counter("resilience.retry.attempts")
+_RECOVERED = _metrics.counter("resilience.retry.recovered")
+_EXHAUSTED = _metrics.counter("resilience.retry.exhausted")
+_DENIED = _metrics.counter("resilience.retry.denied")
+_SLEEP_SECONDS = _metrics.histogram("resilience.retry.sleep.seconds")
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Default transient/permanent classifier.
+
+    Transient: an :class:`OSError` whose errno is ``EINTR``/``EAGAIN``/
+    ``EWOULDBLOCK``, or any exception flagged ``transient = True`` (the
+    marker :class:`~repro.storage.faultfs.TransientInjectedFault`
+    carries).  Everything else is permanent.
+    """
+    if getattr(exc, "transient", False):
+        return True
+    return isinstance(exc, OSError) and exc.errno in _TRANSIENT_ERRNOS
+
+
+class RetryBudget:
+    """Token bucket bounding retry *volume* across many calls.
+
+    ``capacity`` tokens, refilled continuously at ``refill_per_s``.  A
+    retry spends one token; with the bucket empty, retrying is denied
+    and the original error surfaces.  Thread-safe.
+    """
+
+    def __init__(self, capacity: float = 10.0, refill_per_s: float = 1.0):
+        if capacity <= 0 or refill_per_s <= 0:
+            raise ValueError("capacity and refill_per_s must be positive")
+        self.capacity = float(capacity)
+        self.refill_per_s = float(refill_per_s)
+        self._tokens = float(capacity)
+        self._last = time.perf_counter()
+        self._lock = threading.Lock()
+
+    def try_spend(self, tokens: float = 1.0) -> bool:
+        """Spend ``tokens`` if available; returns whether it succeeded."""
+        with self._lock:
+            now = time.perf_counter()
+            self._tokens = min(
+                self.capacity, self._tokens + (now - self._last) * self.refill_per_s
+            )
+            self._last = now
+            if self._tokens < tokens:
+                return False
+            self._tokens -= tokens
+            return True
+
+    @property
+    def tokens(self) -> float:
+        """Current token count (refreshed; for tests and introspection)."""
+        with self._lock:
+            now = time.perf_counter()
+            self._tokens = min(
+                self.capacity, self._tokens + (now - self._last) * self.refill_per_s
+            )
+            self._last = now
+            return self._tokens
+
+
+class RetryPolicy:
+    """Bounded exponential-backoff-with-jitter retry for transient faults.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries per call (first attempt included).
+    base_delay_s / max_delay_s:
+        Backoff bounds.  Each sleep is drawn uniformly from
+        ``[base_delay_s, 3 * previous_sleep]`` (decorrelated jitter),
+        clamped to ``max_delay_s``.
+    budget:
+        Optional shared :class:`RetryBudget`; ``None`` means unbudgeted.
+    classify:
+        Transient/permanent predicate (default :func:`is_transient`).
+    rng:
+        Injectable :class:`random.Random` for deterministic tests.
+
+    >>> policy = RetryPolicy(max_attempts=3, base_delay_s=0.0)
+    >>> policy.call(lambda: 42)
+    42
+    """
+
+    def __init__(
+        self,
+        *,
+        max_attempts: int = 4,
+        base_delay_s: float = 0.001,
+        max_delay_s: float = 0.1,
+        budget: RetryBudget | None = None,
+        classify: Callable[[BaseException], bool] = is_transient,
+        rng: random.Random | None = None,
+    ):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if base_delay_s < 0 or max_delay_s < base_delay_s:
+            raise ValueError("need 0 <= base_delay_s <= max_delay_s")
+        self.max_attempts = max_attempts
+        self.base_delay_s = base_delay_s
+        self.max_delay_s = max_delay_s
+        self.budget = budget
+        self.classify = classify
+        self._rng = rng if rng is not None else random.Random()
+
+    def call(self, fn: Callable[[], T], *, describe: str = "") -> T:
+        """Run ``fn``, retrying transient failures within the bounds.
+
+        The first attempt is inline — a successful call pays one ``try``
+        and nothing else.  On exhaustion (attempts or budget) the
+        original (first) error re-raises unchanged.
+        """
+        try:
+            return fn()
+        except Exception as exc:
+            return self._retry_slow(fn, exc, describe)
+
+    def _retry_slow(self, fn: Callable[[], T], first_exc: Exception, describe: str) -> T:
+        if not self.classify(first_exc):
+            raise first_exc
+        _ATTEMPTS.inc()  # the failed first attempt
+        sleep = self.base_delay_s
+        for attempt in range(2, self.max_attempts + 1):
+            if self.budget is not None and not self.budget.try_spend():
+                _DENIED.inc()
+                _logging.warn(
+                    "resilience.retry.denied",
+                    op=describe,
+                    attempt=attempt,
+                    error=repr(first_exc),
+                )
+                raise first_exc
+            sleep = min(
+                self.max_delay_s,
+                self._rng.uniform(self.base_delay_s, max(sleep * 3, self.base_delay_s)),
+            )
+            if sleep > 0:
+                _SLEEP_SECONDS.observe(sleep)
+                time.sleep(sleep)
+            _ATTEMPTS.inc()
+            try:
+                result = fn()
+            except Exception as exc:  # noqa: BLE001 - classified below
+                if not self.classify(exc):
+                    raise
+                _logging.debug(
+                    "resilience.retry.attempt",
+                    op=describe,
+                    attempt=attempt,
+                    error=repr(exc),
+                )
+                continue
+            _RECOVERED.inc()
+            _logging.info(
+                "resilience.retry.recovered",
+                op=describe,
+                attempts=attempt,
+                error=repr(first_exc),
+            )
+            return result
+        _EXHAUSTED.inc()
+        _logging.warn(
+            "resilience.retry.exhausted",
+            op=describe,
+            attempts=self.max_attempts,
+            error=repr(first_exc),
+        )
+        raise first_exc
+
+    def wrap(self, fn: Callable[..., T], *, describe: str = "") -> Callable[..., T]:
+        """A function applying this policy to every call of ``fn``."""
+
+        def wrapped(*args: Any, **kwargs: Any) -> T:
+            return self.call(lambda: fn(*args, **kwargs), describe=describe)
+
+        return wrapped

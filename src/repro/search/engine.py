@@ -16,6 +16,7 @@ from typing import Iterable
 from repro.core.entry import PublicationRecord
 from repro.obs import logging as _logging
 from repro.obs import metrics as _metrics
+from repro.resilience.deadline import Guard
 from repro.search.inverted import InvertedIndex, analyze
 
 _QUERIES = _metrics.counter("search.queries")
@@ -74,12 +75,19 @@ class TitleSearchEngine:
     def __len__(self) -> int:
         return self.index.document_count
 
-    def search(self, query: str, *, k: int | None = None) -> list[SearchHit]:
+    def search(
+        self, query: str, *, k: int | None = None, guard: Guard | None = None
+    ) -> list[SearchHit]:
         """Ranked hits for ``query`` (AND semantics; quoted = phrase).
 
-        An empty or all-stopword query returns no hits.
+        An empty or all-stopword query returns no hits.  ``guard`` (a
+        :class:`repro.resilience.Guard`) is ticked once per candidate
+        scored, so a deadline or cancellation interrupts the ranking
+        loop on broad queries.
         """
         _QUERIES.inc()
+        if guard is not None:
+            guard.check()
         terms, phrases = _parse_query(query)
         all_terms = terms + [t for phrase in phrases for t in phrase]
         if not all_terms:
@@ -100,6 +108,8 @@ class TitleSearchEngine:
         n = max(self.index.document_count, 1)
         hits = []
         for doc_id in candidates:
+            if guard is not None:
+                guard.tick()
             score = 0.0
             for term in all_terms:
                 tf = self.index.term_frequency(term, doc_id)

@@ -24,7 +24,13 @@ from repro.storage.btree import BTree
 from repro.storage.hashindex import HashIndex
 from repro.storage.store import IndexKind, RecordStore, records_checksum
 from repro.storage.transactions import Transaction
-from repro.storage.faultfs import REAL_FS, FaultFS, FileSystem, InjectedFault
+from repro.storage.faultfs import (
+    REAL_FS,
+    FaultFS,
+    FileSystem,
+    InjectedFault,
+    TransientInjectedFault,
+)
 from repro.storage.fsck import FsckIssue, FsckReport, fsck
 
 __all__ = [
@@ -45,6 +51,7 @@ __all__ = [
     "FaultFS",
     "REAL_FS",
     "InjectedFault",
+    "TransientInjectedFault",
     "fsck",
     "FsckIssue",
     "FsckReport",

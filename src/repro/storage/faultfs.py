@@ -41,6 +41,18 @@ fault can target the WAL but not the snapshot::
         store.insert(record)          # the frame is torn mid-write
     assert fs.fired("partial_write") == 1
 
+Every failpoint also has a **transient** mode (``arm(..., transient=True)``)
+for exercising the retry path rather than the crash path: instead of its
+destructive behaviour, the failpoint raises a clean
+:class:`TransientInjectedFault` (``errno == EAGAIN``, ``transient = True``)
+*before* any side effect — no bytes reach the file, nothing is truncated,
+nothing is renamed — then fires again until its ``times`` are spent, after
+which the operation succeeds.  Because the failure is side-effect free,
+simply re-issuing the same call is always safe, which is exactly the
+contract :class:`~repro.resilience.retry.RetryPolicy` relies on.  Models
+an ``EINTR``/``EAGAIN``-style hiccup (briefly unreachable NFS server,
+interrupted syscall) rather than a crash.
+
 The shim is pure overhead-free plumbing in production: ``RecordStore``
 and ``WriteAheadLog`` default to :data:`REAL_FS`, whose methods are thin
 wrappers over the stdlib.
@@ -48,6 +60,7 @@ wrappers over the stdlib.
 
 from __future__ import annotations
 
+import errno as _errno
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -80,6 +93,23 @@ class InjectedFault(OSError):
         super().__init__(f"injected fault {name!r} at {path}")
         self.name = name
         self.path = Path(path)
+
+
+class TransientInjectedFault(InjectedFault):
+    """An injected fault that is safe — and expected — to retry.
+
+    Raised by failpoints armed with ``transient=True``: the operation
+    failed *before* any side effect, so re-issuing it is harmless.
+    Carries ``errno == EAGAIN`` and ``transient = True`` so both halves
+    of :func:`~repro.resilience.retry.is_transient` classify it as
+    retryable.
+    """
+
+    transient = True
+
+    def __init__(self, name: str, path: Path | str):
+        super().__init__(name, path)
+        self.errno = _errno.EAGAIN
 
 
 class FileSystem:
@@ -128,6 +158,7 @@ class _ArmedFailpoint:
     path_filter: str | None
     skip: int  # matching events to let pass before firing
     times: int  # remaining fires
+    transient: bool = False  # clean, side-effect-free, retryable failure
     params: dict[str, Any] = field(default_factory=dict)
 
     def matches(self, *paths: Path | str) -> bool:
@@ -225,6 +256,7 @@ class FaultFS(FileSystem):
         path: str | None = None,
         skip: int = 0,
         times: int = 1,
+        transient: bool = False,
         **params: Any,
     ) -> None:
         """Arm failpoint ``name``.
@@ -232,7 +264,10 @@ class FaultFS(FileSystem):
         ``path`` filters by substring of the affected path(s); ``skip``
         lets that many matching events through unharmed first (e.g. to
         hit the third frame of a batch); ``times`` bounds how often it
-        fires.  Extra keyword parameters configure the specific fault:
+        fires.  With ``transient=True`` the failpoint degenerates to a
+        clean :class:`TransientInjectedFault` raised *before* any side
+        effect — retry-safe, healed once ``times`` fires are spent.
+        Extra keyword parameters configure the specific fault:
         ``keep_bytes`` (partial_write), ``drop_bytes`` (torn_tail),
         ``byte`` / ``bit`` (bit_flip).
         """
@@ -244,7 +279,12 @@ class FaultFS(FileSystem):
             raise ValueError("skip must be >= 0 and times >= 1")
         self._armed.append(
             _ArmedFailpoint(
-                name=name, path_filter=path, skip=skip, times=times, params=params
+                name=name,
+                path_filter=path,
+                skip=skip,
+                times=times,
+                transient=transient,
+                params=params,
             )
         )
 
@@ -295,6 +335,10 @@ class FaultFS(FileSystem):
         armed = self._take(_WRITE_FAILPOINTS, fh.path)
         if armed is None:
             return fh.real.write(data)
+        if armed.transient:
+            # Clean transient failure: no byte reached the file, so the
+            # retry path can simply re-issue the identical write.
+            raise TransientInjectedFault(armed.name, fh.path)
         if armed.name == "bit_flip":
             # Silent corruption: the write "succeeds", CRCs catch it later.
             mutated = flip_bit(
@@ -318,6 +362,10 @@ class FaultFS(FileSystem):
         path = getattr(fh, "path", "<unknown>")
         armed = self._take("fail_before_fsync", path)
         if armed is not None:
+            if armed.transient:
+                # The data stays in the page cache untouched; a retried
+                # fsync pushes it out as if the hiccup never happened.
+                raise TransientInjectedFault("fail_before_fsync", path)
             # Worst-case crash-before-commit: everything since the last
             # successful fsync is lost from the page cache.
             fh.flush()
@@ -332,6 +380,10 @@ class FaultFS(FileSystem):
 
     def replace(self, src: Path | str, dst: Path | str) -> None:
         armed = self._take("fail_after_rename", src, dst)
+        if armed is not None and armed.transient:
+            # Transient mode fails *before* the rename (side-effect free);
+            # the non-transient mode keeps its after-the-rename semantics.
+            raise TransientInjectedFault("fail_after_rename", dst)
         super().replace(src, dst)
         if armed is not None:
             raise InjectedFault("fail_after_rename", dst)

@@ -63,8 +63,12 @@ import enum
 import json
 import zlib
 from dataclasses import dataclass
+from itertools import islice
 from pathlib import Path
-from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.deadline import Guard
 
 from repro.errors import (
     DuplicateKeyError,
@@ -78,6 +82,7 @@ from repro.storage import faultfs as _faultfs
 from repro.storage.btree import BTree
 from repro.storage.hashindex import HashIndex
 from repro.storage.schema import FieldType, Schema
+from repro.resilience.retry import RetryBudget, RetryPolicy
 from repro.storage.wal import WriteAheadLog
 
 #: Current snapshot format.  Version 2 added the manifest fields
@@ -241,11 +246,15 @@ class RecordStore:
         *,
         sync: bool = False,
         fs: _faultfs.FileSystem | None = None,
+        retry: RetryPolicy | None = None,
     ):
         self.schema = schema
         #: Filesystem facade for all durability-relevant I/O; tests pass a
         #: :class:`repro.storage.faultfs.FaultFS` to inject crashes.
         self._fs = fs if fs is not None else _faultfs.REAL_FS
+        #: Retry policy shared by the WAL and the snapshot writer: heals
+        #: transient I/O faults, passes permanent ones through untouched.
+        self._retry = retry if retry is not None else RetryPolicy(budget=RetryBudget())
         self._records: dict[Any, dict[str, Any]] = {}
         self._indexes: dict[str, _SecondaryIndex] = {}
         #: Monotone counter bumped on every applied put/delete; lets
@@ -268,7 +277,11 @@ class RecordStore:
             self._directory.mkdir(parents=True, exist_ok=True)
             self._recover()
             self._wal = WriteAheadLog(
-                self._wal_path, sync=sync, fs=self._fs, seal_floor=self._snapshot_seal
+                self._wal_path,
+                sync=sync,
+                fs=self._fs,
+                seal_floor=self._snapshot_seal,
+                retry=self._retry,
             )
 
     # -- paths -------------------------------------------------------------
@@ -299,15 +312,49 @@ class RecordStore:
         except KeyError:
             raise RecordNotFoundError(key) from None
 
-    def scan(self, predicate: Callable[[Mapping[str, Any]], bool] | None = None) -> Iterator[dict[str, Any]]:
-        """Iterate over (copies of) all records, optionally filtered."""
+    def scan(
+        self,
+        predicate: Callable[[Mapping[str, Any]], bool] | None = None,
+        *,
+        guard: "Guard | None" = None,
+    ) -> Iterator[dict[str, Any]]:
+        """Iterate over (copies of) all records, optionally filtered.
+
+        ``guard`` (a :class:`repro.resilience.Guard`) accounts every
+        record examined — filtered-out records included — so a deadline,
+        cancellation, or row budget interrupts the scan mid-stream.  To
+        keep the guarded loop within a few percent of the unguarded one,
+        rows are charged in blocks of up to ``guard.stride``, clipped to
+        the remaining row budget (a budget violation still reports
+        ``used == limit + 1`` exactly); the deadline/cancellation check
+        runs at least once per stride.
+        """
         _SCAN_COUNT.inc()
         examined = 0
         try:
-            for record in self._records.values():
-                examined += 1
-                if predicate is None or predicate(record):
-                    yield dict(record)
+            if guard is None:
+                for record in self._records.values():
+                    examined += 1
+                    if predicate is None or predicate(record):
+                        yield dict(record)
+                return
+            rows = iter(self._records.values())
+            stride = guard.stride
+            while True:
+                budget = guard.max_rows
+                size = (
+                    stride
+                    if budget is None
+                    else min(stride, budget - guard.rows_examined + 1)
+                )
+                chunk = tuple(islice(rows, size if size > 0 else 1))
+                if not chunk:
+                    return
+                guard.tick(len(chunk))
+                examined += len(chunk)
+                for record in chunk:
+                    if predicate is None or predicate(record):
+                        yield dict(record)
         finally:
             # One bulk increment per scan (not per record) keeps the hot
             # loop free of metric calls even on abandoned iterations.
@@ -878,12 +925,15 @@ class RecordStore:
         try:
             fh = self._fs.open(tmp, "wb")
             try:
-                fh.write(payload)
-                self._fs.fsync(fh)
+                self._retry.call(lambda: fh.write(payload), describe="checkpoint.write")
+                self._retry.call(lambda: self._fs.fsync(fh), describe="checkpoint.fsync")
             finally:
                 fh.close()
             self._verify_snapshot_file(tmp, state)
-            self._fs.replace(tmp, self._snapshot_path)
+            self._retry.call(
+                lambda: self._fs.replace(tmp, self._snapshot_path),
+                describe="checkpoint.replace",
+            )
         except BaseException:
             tmp.unlink(missing_ok=True)
             raise

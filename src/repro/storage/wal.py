@@ -57,6 +57,7 @@ from typing import Any, BinaryIO, Iterable, Iterator
 from repro.errors import CorruptLogError
 from repro.obs import logging as _logging
 from repro.obs import metrics as _metrics
+from repro.resilience.retry import RetryPolicy
 from repro.storage import faultfs as _faultfs
 
 _MAGIC = "W1"
@@ -177,10 +178,16 @@ class WriteAheadLog:
         sync: bool = False,
         fs: _faultfs.FileSystem | None = None,
         seal_floor: int = 0,
+        retry: "RetryPolicy | None" = None,
     ):
         self.path = Path(path)
         self.sync = sync
         self._fs = fs if fs is not None else _faultfs.REAL_FS
+        # Durability syscalls (write/fsync/rename) ride through a retry
+        # policy that re-issues transient failures (EINTR/EAGAIN or an
+        # injected TransientInjectedFault) and passes everything else —
+        # including the crash-test InjectedFault — straight through.
+        self._retry = retry if retry is not None else RetryPolicy()
         self.path.parent.mkdir(parents=True, exist_ok=True)
         existing = sealed_segment_paths(self.path)
         self._next_seal = max([seal_floor] + [n for n, _ in existing]) + 1
@@ -203,13 +210,13 @@ class WriteAheadLog:
         fh = self._require_open()
         offset = fh.tell()
         frame = _frame(payload)
-        fh.write(frame)
+        self._retry.call(lambda: fh.write(frame), describe="wal.append.write")
         self.entries_written += 1
         self._unreported_count += 1
         self._unreported_bytes += len(frame)
         if self.sync if sync is None else sync:
             start = time.perf_counter()
-            self._fs.fsync(fh)
+            self._retry.call(lambda: self._fs.fsync(fh), describe="wal.append.fsync")
             _FLUSH_SECONDS.observe(time.perf_counter() - start)
             _FSYNC_COUNT.inc()
             self._report_appends()
@@ -246,16 +253,16 @@ class WriteAheadLog:
         for payload in payloads:
             frame = _frame(payload)
             total_bytes += len(frame)
-            fh.write(frame)
+            self._retry.call(lambda: fh.write(frame), describe="wal.batch.write")
             written += 1
             if do_sync and sync_every is not None and written % sync_every == 0:
-                self._fs.fsync(fh)
+                self._retry.call(lambda: self._fs.fsync(fh), describe="wal.batch.fsync")
                 fsyncs += 1
         if written == 0:
             return 0
         if do_sync:
             if sync_every is None or written % sync_every:
-                self._fs.fsync(fh)
+                self._retry.call(lambda: self._fs.fsync(fh), describe="wal.batch.fsync")
                 fsyncs += 1
             _FLUSH_SECONDS.observe(time.perf_counter() - start)
             _FSYNC_COUNT.inc(fsyncs)
@@ -292,12 +299,15 @@ class WriteAheadLog:
         sealed_bytes = os.fstat(fh.fileno()).st_size
         if sealed_bytes == 0:
             return None
-        self._fs.fsync(fh)
+        self._retry.call(lambda: self._fs.fsync(fh), describe="wal.rotate.fsync")
         fh.close()
         self._fh = None
         seal = self._next_seal
         sealed_path = self.sealed_path(seal)
-        self._fs.replace(self.path, sealed_path)
+        self._retry.call(
+            lambda: self._fs.replace(self.path, sealed_path),
+            describe="wal.rotate.replace",
+        )
         self._fs.fsync_dir(self.path.parent)
         self._next_seal += 1
         self._fh = self._fs.open(self.path, "ab")
@@ -328,7 +338,7 @@ class WriteAheadLog:
         fh = self._require_open()
         fh.seek(0)
         fh.truncate()
-        self._fs.fsync(fh)
+        self._retry.call(lambda: self._fs.fsync(fh), describe="wal.truncate.fsync")
         removed = False
         for _, sealed in self.sealed_segments():
             self._fs.remove(sealed)

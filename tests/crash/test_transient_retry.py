@@ -1,0 +1,197 @@
+"""The transient matrix: every failpoint in retry mode, healed end to end.
+
+The crash matrix (:mod:`tests.crash.test_crash_matrix`) proves the store
+survives *permanent* faults by recovering after the fact.  This file
+proves the complementary contract: a **transient** fault — the same
+failpoints armed with ``transient=True``, raising a clean, side-effect-free
+:class:`TransientInjectedFault` — never surfaces to the caller at all,
+because the default :class:`~repro.resilience.retry.RetryPolicy` wired
+into the WAL and checkpoint paths absorbs it.
+
+Pinned acceptance criterion: a WAL append under a fail-twice transient
+injection commits successfully with **exactly 3** in
+``resilience.retry.attempts`` (the failed first try plus two retries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.obs import metrics
+from repro.resilience import RetryBudget, RetryPolicy
+from repro.storage import (
+    FaultFS,
+    InjectedFault,
+    RecordStore,
+    TransientInjectedFault,
+    fsck,
+)
+from repro.storage.schema import Field, FieldType, Schema
+
+SCHEMA = Schema(
+    [Field("id", FieldType.INT), Field("name", FieldType.STRING)],
+    primary_key="id",
+)
+
+BASE_KEYS = frozenset(range(10))
+
+
+def _rec(i: int) -> dict:
+    return {"id": i, "name": f"rec-{i}"}
+
+
+def _baseline(directory) -> None:
+    with RecordStore(SCHEMA, directory, sync=True) as store:
+        store.put_many([_rec(i) for i in range(10)])
+        store.checkpoint()
+
+
+def _attempts() -> int:
+    return metrics.counter("resilience.retry.attempts").value
+
+
+@dataclass(frozen=True)
+class Cell:
+    failpoint: str
+    op: str       # "put" drives the WAL path, "checkpoint" the snapshot path
+    site: str     # path substring the failpoint filters on
+
+
+def _cells() -> list[Cell]:
+    cells = []
+    # Every write-path failpoint on the WAL append, plus the fsync one.
+    for fp in ("partial_write", "torn_tail", "bit_flip", "fail_before_fsync"):
+        cells.append(Cell(failpoint=fp, op="put", site=".wal"))
+    # The snapshot write, fsync, and publish-rename sites.
+    for fp in ("partial_write", "torn_tail", "fail_before_fsync",
+               "fail_after_rename"):
+        cells.append(Cell(failpoint=fp, op="checkpoint", site="snapshot"))
+    return cells
+
+
+def _run_op(store: RecordStore, op: str) -> None:
+    if op == "put":
+        store.insert(_rec(100))
+    elif op == "checkpoint":
+        store.insert(_rec(100))
+        store.checkpoint()
+    else:  # pragma: no cover - matrix definition error
+        raise AssertionError(op)
+
+
+@pytest.mark.parametrize("cell", _cells(), ids=lambda c: f"{c.failpoint}-{c.op}")
+def test_transient_matrix_heals_with_default_policy(cell: Cell, tmp_path):
+    """Two transient fires at every site are absorbed; nothing surfaces."""
+    directory = tmp_path / "db"
+    _baseline(directory)
+
+    fs = FaultFS()
+    fs.arm(cell.failpoint, path=cell.site, transient=True, times=2)
+    with RecordStore(SCHEMA, directory, sync=True, fs=fs) as store:
+        _run_op(store, cell.op)  # must NOT raise: the policy heals it
+        assert fs.fired(cell.failpoint) == 2
+
+    # The operation really committed, and the store is pristine.
+    with RecordStore(SCHEMA, directory, sync=True) as recovered:
+        assert set(recovered.keys()) == BASE_KEYS | {100}
+        assert recovered.get(100) == _rec(100)
+    assert fsck(directory).exit_code() == 0
+
+
+def test_wal_append_fail_twice_commits_with_exactly_three_attempts(tmp_path):
+    """ISSUE acceptance: times=2 transient injection → attempts == 3."""
+    directory = tmp_path / "db"
+    _baseline(directory)
+
+    fs = FaultFS()
+    fs.arm("fail_before_fsync", path=".wal", transient=True, times=2)
+    with RecordStore(SCHEMA, directory, sync=True, fs=fs) as store:
+        before = _attempts()
+        store.insert(_rec(100))
+        assert _attempts() - before == 3
+        assert fs.fired("fail_before_fsync") == 2
+        assert store.get(100) == _rec(100)
+    assert metrics.counter("resilience.retry.recovered").value >= 1
+
+
+def test_clean_append_moves_no_retry_metric(tmp_path):
+    directory = tmp_path / "db"
+    _baseline(directory)
+    with RecordStore(SCHEMA, directory, sync=True) as store:
+        before = _attempts()
+        store.insert(_rec(100))
+        assert _attempts() == before
+
+
+def test_exhausted_attempts_surface_the_transient_fault(tmp_path):
+    """More fires than the policy's attempts: the original error escapes."""
+    directory = tmp_path / "db"
+    _baseline(directory)
+
+    fs = FaultFS()
+    # Default policy: max_attempts=4.  Ten fires can never be absorbed —
+    # the write-path fault is side-effect free, so no bytes ever land.
+    fs.arm("partial_write", path=".wal", transient=True, times=10)
+    store = RecordStore(SCHEMA, directory, sync=True, fs=fs)
+    exhausted_before = metrics.counter("resilience.retry.exhausted").value
+    with pytest.raises(TransientInjectedFault):
+        store.insert(_rec(100))
+    assert fs.fired("partial_write") == 4  # one per attempt, then gave up
+    assert metrics.counter("resilience.retry.exhausted").value == exhausted_before + 1
+
+    # Healing the fault heals the store: the same insert now commits.
+    fs.disarm_all()
+    store.insert(_rec(100))
+    store.close()
+    with RecordStore(SCHEMA, directory, sync=True) as recovered:
+        assert set(recovered.keys()) == BASE_KEYS | {100}
+    assert fsck(directory).exit_code() == 0
+
+
+def test_empty_retry_budget_surfaces_the_original_error(tmp_path):
+    """Budget exhaustion degrades to fail-fast with the first error."""
+    directory = tmp_path / "db"
+    _baseline(directory)
+
+    policy = RetryPolicy(
+        max_attempts=4,
+        base_delay_s=0.0,
+        max_delay_s=0.0,
+        budget=RetryBudget(capacity=1.0, refill_per_s=1e-9),
+    )
+    fs = FaultFS()
+    fs.arm("partial_write", path=".wal", transient=True, times=10)
+    store = RecordStore(SCHEMA, directory, sync=True, fs=fs, retry=policy)
+    denied_before = metrics.counter("resilience.retry.denied").value
+    with pytest.raises(TransientInjectedFault):
+        store.insert(_rec(100))
+    # First attempt failed, the single token bought one retry, the next
+    # retry was denied: two fires total, one denial.
+    assert fs.fired("partial_write") == 2
+    assert metrics.counter("resilience.retry.denied").value == denied_before + 1
+
+    # The failed insert left no partial state behind.
+    del store
+    fsck(directory, repair=True)
+    with RecordStore(SCHEMA, directory, sync=True) as recovered:
+        assert set(recovered.keys()) == BASE_KEYS
+    assert fsck(directory).exit_code() == 0
+
+
+def test_non_transient_faults_keep_their_crash_semantics(tmp_path):
+    """``transient=False`` (the default) still raises a permanent
+    ``InjectedFault`` on the first try — the retry layer must not touch it."""
+    directory = tmp_path / "db"
+    _baseline(directory)
+
+    fs = FaultFS()
+    fs.arm("partial_write", path=".wal")
+    store = RecordStore(SCHEMA, directory, sync=True, fs=fs)
+    before = _attempts()
+    with pytest.raises(InjectedFault) as exc_info:
+        store.insert(_rec(100))
+    assert not isinstance(exc_info.value, TransientInjectedFault)
+    assert fs.fired("partial_write") == 1   # exactly one try, no retries
+    assert _attempts() == before            # no retry metric moved

@@ -1,0 +1,20 @@
+"""Shared fixtures for the resilience suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import logging as obs_logging
+from repro.obs import metrics, tracing
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Zero the observability state so metric-delta assertions are exact."""
+    metrics.reset()
+    tracing.reset()
+    obs_logging.reset()
+    yield
+    metrics.reset()
+    tracing.reset()
+    obs_logging.reset()

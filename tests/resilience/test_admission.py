@@ -1,0 +1,173 @@
+"""Admission control and the circuit breaker.
+
+Covers the gate's three outcomes — fast-path admit, bounded queue wait,
+shed (queue-full and queue-timeout) — the in-flight/waiting accounting,
+and the breaker's open/close lifecycle feeding ``/healthz``.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import AdmissionRejected
+from repro.obs import metrics
+from repro.resilience import AdmissionController, CircuitBreaker
+
+
+class TestAdmissionController:
+    def test_free_slot_admits_immediately(self):
+        gate = AdmissionController(max_concurrent=1, max_queue=0, queue_timeout_s=0.0)
+        with gate.slot():
+            assert gate.in_flight == 1
+        assert gate.in_flight == 0
+
+    def test_slots_are_reusable_after_release(self):
+        gate = AdmissionController(max_concurrent=1, max_queue=0, queue_timeout_s=0.0)
+        for _ in range(3):
+            with gate.slot():
+                pass
+        assert metrics.counter("resilience.admission.admitted").value == 3
+
+    def test_full_queue_sheds_on_the_spot(self):
+        gate = AdmissionController(max_concurrent=1, max_queue=0, queue_timeout_s=0.0)
+        gate.acquire()
+        try:
+            start = time.perf_counter()
+            with pytest.raises(AdmissionRejected) as exc_info:
+                gate.acquire()
+            # Shedding at the door is fast: no queue wait happened.
+            assert time.perf_counter() - start < 0.1
+            assert exc_info.value.reason == "queue-full"
+            assert exc_info.value.retry_after_s > 0
+        finally:
+            gate.release()
+        assert metrics.counter("resilience.admission.shed").value == 1
+
+    def test_queue_wait_times_out_and_sheds(self):
+        gate = AdmissionController(
+            max_concurrent=1, max_queue=1, queue_timeout_s=0.05
+        )
+        gate.acquire()
+        try:
+            start = time.perf_counter()
+            with pytest.raises(AdmissionRejected) as exc_info:
+                gate.acquire()
+            waited = time.perf_counter() - start
+            assert exc_info.value.reason == "queue-timeout"
+            assert waited >= 0.05
+        finally:
+            gate.release()
+        assert gate.waiting == 0
+
+    def test_queued_request_is_admitted_when_a_slot_frees(self):
+        gate = AdmissionController(max_concurrent=1, max_queue=1, queue_timeout_s=5.0)
+        gate.acquire()
+        admitted = threading.Event()
+
+        def worker():
+            gate.acquire()
+            admitted.set()
+            gate.release()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        try:
+            # Give the worker time to enter the queue, then free the slot.
+            for _ in range(100):
+                if gate.waiting == 1:
+                    break
+                time.sleep(0.005)
+            assert gate.waiting == 1
+            gate.release()
+            assert admitted.wait(timeout=5.0)
+        finally:
+            thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert gate.in_flight == 0
+
+    def test_shed_feeds_the_breaker(self):
+        breaker = CircuitBreaker(min_events=1, shed_rate_threshold=0.5)
+        gate = AdmissionController(
+            max_concurrent=1, max_queue=0, queue_timeout_s=0.0, breaker=breaker
+        )
+        gate.acquire()
+        try:
+            with pytest.raises(AdmissionRejected):
+                gate.acquire()
+        finally:
+            gate.release()
+        assert breaker.open
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_concurrent": 0},
+            {"max_queue": -1},
+            {"queue_timeout_s": -0.1},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AdmissionController(**kwargs)
+
+
+class TestCircuitBreaker:
+    def test_stays_closed_below_min_events(self):
+        breaker = CircuitBreaker(min_events=10)
+        for _ in range(9):
+            breaker.record("shed")
+        assert not breaker.open
+
+    def test_opens_on_shed_rate(self):
+        breaker = CircuitBreaker(min_events=4, shed_rate_threshold=0.5)
+        for outcome in ("ok", "shed", "shed", "shed"):
+            breaker.record(outcome)
+        assert breaker.open
+        assert metrics.counter("resilience.breaker.trips").value == 1
+        assert metrics.gauge("resilience.breaker.open").value == 1
+
+    def test_opens_on_timeout_rate(self):
+        breaker = CircuitBreaker(min_events=2, timeout_rate_threshold=0.5)
+        breaker.record("timeout")
+        breaker.record("timeout")
+        assert breaker.open
+
+    def test_closes_after_cooldown_once_the_window_drains(self):
+        breaker = CircuitBreaker(
+            min_events=1, shed_rate_threshold=0.5, window_s=0.05, cooldown_s=0.0
+        )
+        breaker.record("shed")
+        assert breaker.open
+        time.sleep(0.08)  # events age out of the window
+        assert not breaker.open
+        assert metrics.gauge("resilience.breaker.open").value == 0
+
+    def test_ok_traffic_keeps_it_closed(self):
+        breaker = CircuitBreaker(min_events=2)
+        for _ in range(50):
+            breaker.record("ok")
+        breaker.record("shed")
+        assert not breaker.open
+
+    def test_state_shape(self):
+        breaker = CircuitBreaker(min_events=2, shed_rate_threshold=0.5)
+        breaker.record("ok")
+        breaker.record("shed")
+        breaker.record("shed")
+        state = breaker.state()
+        assert state["open"] is True
+        assert state["events"] == 3
+        assert state["shed_rate"] == round(2 / 3, 4)
+        assert state["timeout_rate"] == 0.0
+        assert state["window_s"] == breaker.window_s
+
+    def test_unknown_outcome_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker().record("weird")
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(shed_rate_threshold=0.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(timeout_rate_threshold=1.5)

@@ -1,0 +1,204 @@
+"""Retry-with-backoff: classification, bounds, budget, and metrics.
+
+The contract under test (see ``docs/resilience.md``):
+
+* only *transient* failures are retried; everything else re-raises
+  immediately and untouched;
+* exhaustion — attempts or budget — re-raises the **original** first
+  error, not the latest one;
+* ``resilience.retry.attempts`` counts only attempts on calls that
+  failed at least once, so a fault injected to fail twice shows exactly
+  three attempts;
+* backoff sleeps stay inside ``[base_delay_s, max_delay_s]``.
+"""
+
+import errno
+import random
+
+import pytest
+
+from repro.obs import metrics
+from repro.resilience import RetryBudget, RetryPolicy, is_transient
+from repro.storage.faultfs import InjectedFault, TransientInjectedFault
+
+
+def _counter(name):
+    return metrics.counter(name)
+
+
+class _Flaky:
+    """Fails ``failures`` times with ``exc_factory()``, then succeeds."""
+
+    def __init__(self, failures, exc_factory):
+        self.failures = failures
+        self.exc_factory = exc_factory
+        self.calls = 0
+        self.raised = []
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            exc = self.exc_factory()
+            self.raised.append(exc)
+            raise exc
+        return "ok"
+
+
+def _eagain():
+    return OSError(errno.EAGAIN, "resource temporarily unavailable")
+
+
+def _fast_policy(**kwargs):
+    kwargs.setdefault("base_delay_s", 0.0)
+    kwargs.setdefault("max_delay_s", 0.0)
+    return RetryPolicy(**kwargs)
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            OSError(errno.EINTR, "interrupted"),
+            OSError(errno.EAGAIN, "try again"),
+            OSError(errno.EWOULDBLOCK, "would block"),
+            TransientInjectedFault("fail_before_fsync", "/tmp/x"),
+        ],
+    )
+    def test_transient(self, exc):
+        assert is_transient(exc)
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            OSError(errno.ENOSPC, "no space left on device"),
+            InjectedFault("partial_write", "/tmp/x"),
+            ValueError("nope"),
+            RuntimeError("nope"),
+        ],
+    )
+    def test_permanent(self, exc):
+        assert not is_transient(exc)
+
+
+class TestRetryPolicy:
+    def test_clean_success_moves_no_metric(self):
+        attempts = _counter("resilience.retry.attempts")
+        before = attempts.value
+        assert _fast_policy().call(lambda: 42) == 42
+        assert attempts.value == before
+
+    def test_two_failures_heal_with_exactly_three_attempts(self):
+        attempts = _counter("resilience.retry.attempts")
+        recovered = _counter("resilience.retry.recovered")
+        flaky = _Flaky(2, _eagain)
+        assert _fast_policy(max_attempts=4).call(flaky) == "ok"
+        assert flaky.calls == 3
+        assert attempts.value == 3
+        assert recovered.value == 1
+
+    def test_permanent_error_is_never_retried(self):
+        attempts = _counter("resilience.retry.attempts")
+        flaky = _Flaky(10, lambda: ValueError("permanent"))
+        with pytest.raises(ValueError):
+            _fast_policy().call(flaky)
+        assert flaky.calls == 1
+        assert attempts.value == 0
+
+    def test_permanent_error_mid_retry_raises_it(self):
+        # Transient first, permanent second: the permanent one surfaces.
+        errors = iter([_eagain(), ValueError("disk on fire")])
+
+        def fn():
+            raise next(errors)
+
+        with pytest.raises(ValueError):
+            _fast_policy().call(fn)
+
+    def test_exhaustion_reraises_the_original_error(self):
+        exhausted = _counter("resilience.retry.exhausted")
+        attempts = _counter("resilience.retry.attempts")
+        flaky = _Flaky(10, _eagain)
+        with pytest.raises(OSError) as exc_info:
+            _fast_policy(max_attempts=3).call(flaky)
+        assert exc_info.value is flaky.raised[0]
+        assert flaky.calls == 3
+        assert attempts.value == 3
+        assert exhausted.value == 1
+
+    def test_budget_denial_reraises_the_original_error(self):
+        denied = _counter("resilience.retry.denied")
+        budget = RetryBudget(capacity=1.0, refill_per_s=1e-9)
+        flaky = _Flaky(10, _eagain)
+        with pytest.raises(OSError) as exc_info:
+            _fast_policy(max_attempts=5, budget=budget).call(flaky)
+        # One retry spent the only token; the next was denied.
+        assert flaky.calls == 2
+        assert exc_info.value is flaky.raised[0]
+        assert denied.value == 1
+
+    def test_sleeps_stay_inside_the_bounds(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(
+            "repro.resilience.retry.time.sleep", lambda s: sleeps.append(s)
+        )
+        policy = RetryPolicy(
+            max_attempts=6,
+            base_delay_s=0.001,
+            max_delay_s=0.05,
+            rng=random.Random(42),
+        )
+        flaky = _Flaky(10, _eagain)
+        with pytest.raises(OSError):
+            policy.call(flaky)
+        assert len(sleeps) == 5  # one sleep before each retry
+        assert all(0.001 <= s <= 0.05 for s in sleeps)
+
+    def test_wrap_applies_the_policy_per_call(self):
+        flaky = _Flaky(1, _eagain)
+        wrapped = _fast_policy().wrap(lambda: flaky())
+        assert wrapped() == "ok"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay_s": -0.1},
+            {"base_delay_s": 0.2, "max_delay_s": 0.1},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestRetryBudget:
+    def test_spend_down_to_empty(self):
+        budget = RetryBudget(capacity=2.0, refill_per_s=1e-9)
+        assert budget.try_spend()
+        assert budget.try_spend()
+        assert not budget.try_spend()
+        assert budget.tokens < 1.0
+
+    def test_tokens_refill_over_time(self):
+        budget = RetryBudget(capacity=5.0, refill_per_s=1000.0)
+        for _ in range(5):
+            budget.try_spend()
+        # At 1000 tokens/s the bucket refills almost immediately.
+        deadline_tokens = budget.tokens
+        assert deadline_tokens >= 0.0
+        import time
+
+        time.sleep(0.01)
+        assert budget.try_spend()
+
+    def test_capacity_is_a_ceiling(self):
+        budget = RetryBudget(capacity=3.0, refill_per_s=1000.0)
+        import time
+
+        time.sleep(0.01)
+        assert budget.tokens <= 3.0
+
+    @pytest.mark.parametrize("kwargs", [{"capacity": 0}, {"refill_per_s": 0}])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryBudget(**kwargs)

@@ -1,0 +1,147 @@
+"""The resilient serving path: ``/query`` plus the breaker in ``/healthz``.
+
+End-to-end over a real HTTP server: happy path, the typed-error status
+mapping (429 + ``Retry-After``, 504, 422, 400), ``/healthz`` flipping to
+``degraded`` while the breaker is open, and the leak-checked shutdown.
+"""
+
+import json
+import urllib.error
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.obs.server import TelemetryServer
+from repro.query.executor import QueryEngine
+from repro.resilience import AdmissionController, CircuitBreaker, QueryService
+from repro.storage.store import RecordStore
+
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+@pytest.fixture()
+def service(simple_schema):
+    store = RecordStore(simple_schema)
+    store.put_many(
+        [{"id": i, "name": f"rec-{i}", "year": 1900 + (i % 100)}
+         for i in range(500)]
+    )
+    breaker = CircuitBreaker(min_events=1, shed_rate_threshold=0.5)
+    admission = AdmissionController(
+        max_concurrent=2, max_queue=0, queue_timeout_s=0.0, breaker=breaker
+    )
+    return QueryService(QueryEngine(store), admission=admission)
+
+
+@pytest.fixture()
+def server(service):
+    srv = TelemetryServer(port=0, query_service=service)
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+def _query_url(server, q, **params):
+    params["q"] = q
+    return server.url + "/query?" + urllib.parse.urlencode(params)
+
+
+class TestQueryEndpoint:
+    def test_happy_path(self, server):
+        status, _, body = _get(_query_url(server, "year >= 1990 LIMIT 5"))
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["row_count"] == len(payload["rows"]) == 5
+        assert payload["rows_examined"] > 0
+        assert payload["seconds"] >= 0.0
+
+    def test_profile_included_on_request(self, server):
+        status, _, body = _get(
+            _query_url(server, "year >= 1990 LIMIT 3", profile="1")
+        )
+        assert status == 200
+        payload = json.loads(body)
+        assert "profile" in payload
+        assert payload["profile"]["row_count"] == payload["row_count"]
+
+    def test_missing_query_is_400(self, server):
+        status, _, body = _get(server.url + "/query")
+        assert status == 400
+        assert "error" in json.loads(body)
+
+    def test_syntax_error_is_400(self, server):
+        status, _, _ = _get(_query_url(server, "year >>>> nonsense"))
+        assert status == 400
+
+    def test_bad_timeout_parameter_is_400(self, server):
+        status, _, _ = _get(
+            _query_url(server, "year >= 1990", timeout_ms="soon")
+        )
+        assert status == 400
+
+    def test_expired_deadline_is_504(self, server):
+        status, _, body = _get(
+            _query_url(server, "year >= 1900", timeout_ms="0.000001")
+        )
+        assert status == 504
+        payload = json.loads(body)
+        assert payload["error"] == "query-timeout"
+
+    def test_row_budget_is_422(self, server):
+        status, _, body = _get(
+            _query_url(server, "year >= 1900", max_rows="10")
+        )
+        assert status == 422
+        assert json.loads(body)["error"] == "budget-exceeded"
+
+    def test_root_lists_query_endpoint(self, server):
+        _, _, body = _get(server.url + "/")
+        assert "/query" in json.loads(body)["endpoints"]
+
+
+class TestLoadShedding:
+    def test_saturated_gate_sheds_with_429_and_retry_after(self, server, service):
+        # Occupy every slot so the zero-depth queue sheds on the spot.
+        service.admission.acquire()
+        service.admission.acquire()
+        try:
+            status, headers, body = _get(_query_url(server, "year >= 1990"))
+        finally:
+            service.admission.release()
+            service.admission.release()
+        assert status == 429
+        assert int(headers["Retry-After"]) >= 1
+        payload = json.loads(body)
+        assert payload["error"] == "admission-rejected"
+        assert payload["reason"] == "queue-full"
+
+    def test_healthz_degrades_while_the_breaker_is_open(self, server, service):
+        service.breaker.record("shed")
+        assert service.breaker.open
+        status, _, body = _get(server.url + "/healthz")
+        assert status == 200  # overload is not a liveness failure
+        payload = json.loads(body)
+        assert payload["status"] == "degraded"
+        assert payload["breaker"]["open"] is True
+
+    def test_healthz_ok_with_breaker_closed(self, server, service):
+        service.breaker.record("ok")
+        status, _, body = _get(server.url + "/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["breaker"]["open"] is False
+
+
+class TestShutdown:
+    def test_stop_joins_the_server_thread(self, service):
+        srv = TelemetryServer(port=0, query_service=service)
+        srv.start()
+        assert srv.stop() is True

@@ -1,0 +1,69 @@
+"""CLI surface of the resilience layer: ``--timeout-ms`` / ``--max-rows``.
+
+A violated bound exits with a *distinct* nonzero code (3 for
+interrupted, 4 for budget) and prints exactly one structured JSON line
+on stderr, so scripts can branch on the failure class without parsing
+prose.
+"""
+
+import json
+
+from repro.cli import EXIT_BUDGET_EXCEEDED, EXIT_QUERY_INTERRUPTED, main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestQueryBounds:
+    def test_generous_bounds_change_nothing(self, capsys):
+        code, out, _ = run(capsys, "query", "year >= 1985 LIMIT 3")
+        code2, out2, _ = run(
+            capsys, "query", "year >= 1985 LIMIT 3",
+            "--timeout-ms", "60000", "--max-rows", "1000000",
+        )
+        assert code == code2 == 0
+        assert out == out2
+
+    def test_timeout_exits_3_with_one_json_line(self, capsys):
+        code, out, err = run(
+            capsys, "query", "year >= 1900", "--timeout-ms", "0.000001"
+        )
+        assert code == EXIT_QUERY_INTERRUPTED == 3
+        assert out == ""
+        lines = err.strip().splitlines()
+        assert len(lines) == 1
+        payload = json.loads(lines[0])
+        assert payload["error"] == "QueryTimeout"
+        assert "rows_examined" in payload
+        assert "elapsed_s" in payload
+
+    def test_budget_exits_4_with_one_json_line(self, capsys):
+        code, out, err = run(
+            capsys, "query", "year >= 1900", "--max-rows", "1"
+        )
+        assert code == EXIT_BUDGET_EXCEEDED == 4
+        assert out == ""
+        lines = err.strip().splitlines()
+        assert len(lines) == 1
+        payload = json.loads(lines[0])
+        assert payload["error"] == "budget-exceeded"
+        assert payload["budget"] == "rows"
+        assert payload["limit"] == 1
+        assert payload["used"] == 2
+
+    def test_exit_codes_are_distinct_from_generic_errors(self, capsys):
+        # A plain bad query stays on the generic error path (exit 1).
+        code, _, err = run(capsys, "query", "year >>>> nonsense")
+        assert code == 1
+        assert code not in (EXIT_QUERY_INTERRUPTED, EXIT_BUDGET_EXCEEDED)
+        assert err.startswith("error:")
+
+    def test_profiled_query_honors_bounds_too(self, capsys):
+        code, _, err = run(
+            capsys, "query", "year >= 1900", "--profile", "--max-rows", "1"
+        )
+        assert code == EXIT_BUDGET_EXCEEDED
+        assert json.loads(err.strip())["error"] == "budget-exceeded"
