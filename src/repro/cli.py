@@ -41,6 +41,21 @@ Subcommands
 ``logs``
     Tail structured log events: from a JSONL file (``--file``), or from
     an in-process run of the standard pipeline workload at debug level.
+``top``
+    The workload profiler's fingerprint table — which query shapes the
+    process's work went to (calls, rows, CPU/wall time, bytes, plan-cache
+    hits, interruptions).  ``--url`` polls a running daemon's ``/topz``
+    (``--interval`` for a live view); without it, a mixed demo burst runs
+    in-process and its table is shown.
+``profile``
+    Run the sampling wall-clock profiler for ``--seconds`` and write
+    ``flamegraph.pl``-ready collapsed stacks: against a running daemon
+    (``--url``, via ``/profilez``) or around an in-process query burst.
+``workload-report``
+    Seed a store (synthetic corpus by default), run a mixed query burst,
+    and write the full workload report as JSON: per-fingerprint operator
+    breakdowns, per-index key-usage, and exact key-distribution
+    histograms — the shard-key planning input.  See ``docs/profiling.md``.
 """
 
 from __future__ import annotations
@@ -417,7 +432,7 @@ def _cmd_serve_telemetry(args: argparse.Namespace) -> int:
     server = TelemetryServer(host=args.host, port=args.port, store_dir=args.store)
     print(f"telemetry: listening on {server.url}", file=sys.stderr)
     print(
-        "endpoints: /metrics /healthz /varz /tracez /logz",
+        "endpoints: /metrics /healthz /varz /tracez /logz /topz /profilez",
         file=sys.stderr,
     )
     try:
@@ -462,7 +477,8 @@ def _cmd_serve_query(args: argparse.Namespace) -> int:
         )
         print(f"query service: listening on {server.url}", file=sys.stderr)
         print(
-            "endpoints: /query /metrics /healthz /varz /tracez /logz",
+            "endpoints: /query /metrics /healthz /varz /tracez /logz "
+            "/topz /profilez",
             file=sys.stderr,
         )
         server.serve_forever()
@@ -512,6 +528,259 @@ def _cmd_logs(args: argparse.Namespace) -> int:
         else:
             print(obs_logging.format_event(record))
     print(f"({len(records)} events)", file=sys.stderr)
+    return 0
+
+
+def _http_get_json(url: str, *, timeout_s: float = 10.0) -> dict:
+    from urllib.request import urlopen
+
+    with urlopen(url, timeout=timeout_s) as resp:  # noqa: S310 - operator-supplied URL
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def _seeded_engine(corpus: str | None) -> tuple[QueryEngine, RecordStore]:
+    """An in-memory store over ``corpus`` with the standard three indexes."""
+    records = _load_corpus(corpus)
+    store = RecordStore(PUBLICATION_SCHEMA)
+    populate_store(store, records)
+    store.create_index("surnames", IndexKind.HASH)
+    store.create_index("year", IndexKind.BTREE)
+    store.create_index("volume", IndexKind.BTREE)
+    return QueryEngine(store), store
+
+
+def _run_mixed_burst(engine: QueryEngine, store: RecordStore) -> dict:
+    """A mixed bag of query shapes against ``store``: index lookups,
+    ranges, sorts, aggregates, and one budget-tripped scan — enough
+    distinct fingerprints (with operator breakdowns from the profiled
+    runs) to make the workload table worth reading.  Literals are
+    sampled from the store so every shape actually matches rows.
+    """
+    surnames: list[str] = []
+    years: list[int] = []
+    volumes: list[int] = []
+    for record in store.scan():
+        surnames.extend(record.get("surnames") or [])
+        if record.get("year") is not None:
+            years.append(record["year"])
+        if record.get("volume") is not None:
+            volumes.append(record["volume"])
+        if len(years) >= 64:
+            break
+    surnames = surnames or ["?"]
+    years = sorted(years) or [1980]
+    volumes = sorted(volumes) or [1]
+    mid_year = years[len(years) // 2]
+    executed = profiled = interrupted = 0
+    for i in range(8):
+        surname = surnames[(i * 7) % len(surnames)]
+        year = years[(i * 5) % len(years)]
+        volume = volumes[(i * 3) % len(volumes)]
+        shapes: list[tuple[str, bool]] = [
+            (f'surnames:"{surname}"', False),
+            (f"year >= {year} ORDER BY year LIMIT 25", False),
+            (f"year >= {min(year, mid_year)} AND year <= {max(year, mid_year)}", True),
+            (f"volume = {volume}", False),
+            (f"year >= {years[0]} GROUP BY year", i == 0),
+        ]
+        for text, profile in shapes:
+            engine.execute(text, profile=profile)
+            executed += 1
+            profiled += int(profile)
+    try:
+        engine.execute(f"year >= {years[0]} ORDER BY title", max_rows=10)
+    except QueryInterrupted:
+        interrupted += 1
+    executed += 1
+    return {"queries": executed, "profiled": profiled, "interrupted": interrupted}
+
+
+def _render_top_rows(rows: list[dict], *, evicted_calls: int = 0) -> str:
+    """The fingerprint table as an aligned terminal table."""
+    header = (
+        f"{'FINGERPRINT':<13} {'CALLS':>6} {'ROWS':>8} {'EXAM':>8} "
+        f"{'CPU_MS':>9} {'WALL_MS':>9} {'BYTES':>10} {'HIT%':>5} "
+        f"{'INT':>4}  TEMPLATE"
+    )
+    lines = [header]
+    for row in rows:
+        calls = row["calls"] or 1
+        interruptions = (
+            row["deadline_exceeded"] + row["cancelled"]
+            + row["budget_exceeded"] + row["shed"]
+        )
+        template = row["template"]
+        if len(template) > 48:
+            template = template[:45] + "..."
+        lines.append(
+            f"{row['fingerprint']:<13} {row['calls']:>6} "
+            f"{row['rows_returned']:>8} {row['rows_examined']:>8} "
+            f"{row['cpu_ns'] / 1e6:>9.2f} {row['wall_ns'] / 1e6:>9.2f} "
+            f"{row['bytes_scanned']:>10} "
+            f"{100.0 * row['plan_cache_hits'] / calls:>5.0f} "
+            f"{interruptions:>4}  {template}"
+        )
+    if evicted_calls:
+        lines.append(f"(+ {evicted_calls} calls under evicted fingerprints)")
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    if args.url:
+        base = args.url.rstrip("/")
+        iterations = args.iterations
+        if iterations is None and args.interval is None:
+            iterations = 1  # one shot unless a live view was asked for
+        interval = args.interval if args.interval is not None else 2.0
+        shown = 0
+        while True:
+            body = _http_get_json(f"{base}/topz?n={args.n}&sort={args.sort}")
+            if args.json:
+                print(json.dumps(body, indent=2, sort_keys=True))
+            else:
+                print(
+                    f"-- {base}/topz  sort={body['sort']}  "
+                    f"tracked={body['tracked']}/{body['maxsize']} --"
+                )
+                print(_render_top_rows(
+                    body["fingerprints"], evicted_calls=body["evicted_calls"]
+                ))
+            shown += 1
+            if iterations is not None and shown >= iterations:
+                return 0
+            _time.sleep(interval)
+    # No daemon: run the demo burst in-process and show its table once.
+    from repro.obs import workload as obs_workload
+
+    engine, store = _seeded_engine(args.corpus)
+    burst = _run_mixed_burst(engine, store)
+    table = obs_workload.get_default_table()
+    rows = table.top(args.n, sort_by=args.sort)
+    if args.json:
+        print(json.dumps(
+            {"burst": burst, "fingerprints": rows}, indent=2, sort_keys=True
+        ))
+    else:
+        print(
+            f"-- in-process burst: {burst['queries']} queries "
+            f"({burst['profiled']} profiled) --", file=sys.stderr,
+        )
+        print(_render_top_rows(rows, evicted_calls=table.evicted_calls))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import time as _time
+
+    if args.url:
+        base = args.url.rstrip("/")
+        _http_get_json(f"{base}/profilez?action=start&hz={args.hz}")
+        try:
+            _time.sleep(args.seconds)
+        finally:
+            status = _http_get_json(f"{base}/profilez?action=stop")
+        from urllib.request import urlopen
+
+        with urlopen(f"{base}/profilez?format=collapsed", timeout=10.0) as resp:
+            folded = resp.read().decode("utf-8")
+    else:
+        from repro.obs.profiling import SamplingProfiler
+
+        engine, store = _seeded_engine(args.corpus)
+        profiler = SamplingProfiler(hz=args.hz)
+        profiler.start()
+        try:
+            deadline = _time.perf_counter() + args.seconds
+            while _time.perf_counter() < deadline:
+                _run_mixed_burst(engine, store)
+        finally:
+            status = profiler.stop()
+        folded = profiler.render_collapsed()
+    if args.out:
+        Path(args.out).write_text(folded, encoding="utf-8")
+        print(f"wrote {len(folded.splitlines())} stacks to {args.out}", file=sys.stderr)
+    else:
+        print(folded, end="")
+    print(
+        f"profiler: {status['samples']} samples over "
+        f"{status['active_seconds']}s at {status['hz']} Hz "
+        f"({status['distinct_stacks']} distinct stacks)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _key_distribution(store: RecordStore, field: str, *, top: int = 20) -> dict:
+    """Exact per-key row counts for ``field`` from one offline scan.
+
+    The online :class:`~repro.obs.workload.KeyUsageTable` sees only the
+    keys the workload probed; this sees the whole table — together they
+    answer "is the hot key hot because of data skew or access skew?".
+    """
+    counts: dict = {}
+    for record in store.scan():
+        value = record.get(field)
+        if value is None:
+            continue
+        for v in value if isinstance(value, list) else [value]:
+            counts[v] = counts.get(v, 0) + 1
+    total = sum(counts.values())
+    ranked = sorted(counts.items(), key=lambda kv: kv[1], reverse=True)
+    return {
+        "field": field,
+        "distinct_keys": len(counts),
+        "rows": total,
+        "top_key_share": round(ranked[0][1] / total, 4) if total else 0.0,
+        "top_keys": [{"key": str(k), "rows": n} for k, n in ranked[:top]],
+    }
+
+
+def _cmd_workload_report(args: argparse.Namespace) -> int:
+    from repro.obs import workload as obs_workload
+
+    obs_workload.reset()
+    if args.corpus:
+        engine, store = _seeded_engine(args.corpus)
+        source = args.corpus
+    else:
+        from repro.corpus.synthetic import SyntheticCorpus, SyntheticCorpusConfig
+
+        records = list(
+            SyntheticCorpus(
+                SyntheticCorpusConfig(size=args.synthetic, seed=args.seed)
+            ).records()
+        )
+        store = RecordStore(PUBLICATION_SCHEMA)
+        populate_store(store, records)
+        store.create_index("surnames", IndexKind.HASH)
+        store.create_index("year", IndexKind.BTREE)
+        store.create_index("volume", IndexKind.BTREE)
+        engine = QueryEngine(store)
+        source = f"synthetic(size={args.synthetic}, seed={args.seed})"
+    burst = _run_mixed_burst(engine, store)
+    report = {
+        "corpus": {"source": source, "records": len(store)},
+        "burst": burst,
+        "workload": obs_workload.get_default_table().snapshot(),
+        "key_usage": obs_workload.get_default_key_usage().snapshot(),
+        "key_distribution": {
+            field: _key_distribution(store, field)
+            for field in ("surnames", "year", "volume")
+        },
+    }
+    output = json.dumps(report, indent=2, sort_keys=True, default=str)
+    if args.out:
+        Path(args.out).write_text(output + "\n", encoding="utf-8")
+        print(f"wrote workload report to {args.out}", file=sys.stderr)
+    else:
+        print(output)
+    print(
+        f"{report['workload']['tracked']} fingerprints over "
+        f"{burst['queries']} queries ({len(store)} records)",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -673,7 +942,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_serve = sub.add_parser(
         "serve-telemetry",
-        help="HTTP telemetry daemon: /metrics /healthz /varz /tracez /logz",
+        help="HTTP telemetry daemon: /metrics /healthz /varz /tracez /logz "
+             "/topz /profilez",
     )
     p_serve.add_argument(
         "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
@@ -783,6 +1053,97 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit raw JSON lines instead of text"
     )
     p_logs.set_defaults(func=_cmd_logs)
+
+    p_top = sub.add_parser(
+        "top",
+        help="hottest query shapes: the workload fingerprint table "
+             "(live from a daemon's /topz, or an in-process demo burst)",
+    )
+    p_top.add_argument(
+        "--url",
+        metavar="URL",
+        help="base URL of a running serve-telemetry/serve-query daemon; "
+             "without it a demo burst runs in-process",
+    )
+    p_top.add_argument(
+        "--interval",
+        type=float,
+        metavar="S",
+        help="with --url: refresh every S seconds (live top; default: one shot)",
+    )
+    p_top.add_argument(
+        "--iterations",
+        type=int,
+        metavar="N",
+        help="with --interval: stop after N refreshes (default: forever)",
+    )
+    p_top.add_argument(
+        "-n", type=int, default=20, help="rows to show (default: 20)"
+    )
+    p_top.add_argument(
+        "--sort",
+        default="calls",
+        choices=("calls", "cpu_ns", "wall_ns", "rows_returned",
+                 "rows_examined", "bytes_scanned"),
+        help="sort column (default: calls)",
+    )
+    p_top.add_argument(
+        "--corpus", help="without --url: corpus for the demo burst (default: bundled)"
+    )
+    p_top.add_argument(
+        "--json", action="store_true", help="emit the table as JSON"
+    )
+    p_top.set_defaults(func=_cmd_top)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="sample wall-clock stacks for N seconds; write "
+             "flamegraph.pl-ready collapsed output",
+    )
+    p_profile.add_argument(
+        "--seconds", type=float, default=5.0, metavar="N",
+        help="sampling duration (default: 5)",
+    )
+    p_profile.add_argument(
+        "--out", metavar="FILE",
+        help="write collapsed stacks here (default: stdout); feed to "
+             "flamegraph.pl to render an SVG",
+    )
+    p_profile.add_argument(
+        "--hz", type=int, default=97, help="sampling rate (default: 97)"
+    )
+    p_profile.add_argument(
+        "--url",
+        metavar="URL",
+        help="profile a running daemon via its /profilez endpoint instead "
+             "of an in-process query burst",
+    )
+    p_profile.add_argument(
+        "--corpus", help="without --url: corpus for the burst (default: bundled)"
+    )
+    p_profile.set_defaults(func=_cmd_profile)
+
+    p_workload = sub.add_parser(
+        "workload-report",
+        help="run a mixed query burst over a seeded store and write the "
+             "full workload report (fingerprints, operators, key skew) as JSON",
+    )
+    p_workload.add_argument(
+        "--corpus",
+        help="JSON corpus to seed from (default: a synthetic corpus)",
+    )
+    p_workload.add_argument(
+        "--synthetic", type=int, default=10_000, metavar="N",
+        help="size of the synthetic corpus when no --corpus is given "
+             "(default: 10000)",
+    )
+    p_workload.add_argument(
+        "--seed", type=int, default=1234, help="synthetic corpus seed (default: 1234)"
+    )
+    p_workload.add_argument(
+        "--out", metavar="FILE", help="write the JSON report here (default: stdout)"
+    )
+    p_workload.set_defaults(func=_cmd_workload_report)
     return parser
 
 

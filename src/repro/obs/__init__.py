@@ -49,7 +49,17 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.obs import export, logging, metrics, promexport, slowlog, timeseries, tracing
+from repro.obs import (
+    export,
+    logging,
+    metrics,
+    profiling,
+    promexport,
+    slowlog,
+    timeseries,
+    tracing,
+    workload,
+)
 from repro.obs.logging import JsonLogger, current_trace_id, new_trace_id, trace
 from repro.obs.logging import log as log_event
 from repro.obs.metrics import (
@@ -63,8 +73,16 @@ from repro.obs.metrics import (
     histogram,
     timed,
 )
+from repro.obs.profiling import SamplingProfiler, get_default_profiler
 from repro.obs.promexport import render_prometheus
 from repro.obs.slowlog import SlowQueryLog
+from repro.obs.workload import (
+    KeyUsageTable,
+    WorkloadTable,
+    get_default_key_usage,
+    get_default_table,
+    render_prometheus_workload,
+)
 from repro.obs.timeseries import TimeSeriesLog, TimeSeriesRecorder
 from repro.obs.tracing import Span, Tracer, finished_spans, get_default_tracer, span
 
@@ -76,7 +94,10 @@ __all__ = [
     "Span",
     "Tracer",
     "JsonLogger",
+    "SamplingProfiler",
     "SlowQueryLog",
+    "WorkloadTable",
+    "KeyUsageTable",
     "TimeSeriesLog",
     "TimeSeriesRecorder",
     "counter",
@@ -89,8 +110,12 @@ __all__ = [
     "new_trace_id",
     "current_trace_id",
     "render_prometheus",
+    "render_prometheus_workload",
     "get_default_registry",
     "get_default_tracer",
+    "get_default_profiler",
+    "get_default_table",
+    "get_default_key_usage",
     "finished_spans",
     "metrics_snapshot",
     "set_enabled",
@@ -102,7 +127,9 @@ __all__ = [
     "logging",
     "slowlog",
     "promexport",
+    "profiling",
     "timeseries",
+    "workload",
 ]
 
 
@@ -112,10 +139,13 @@ def metrics_snapshot() -> dict[str, Any]:
 
 
 def set_enabled(flag: bool) -> None:
-    """Enable/disable default metrics registry, tracer, and logger."""
+    """Enable/disable default metrics registry, tracer, logger, and the
+    workload-attribution tables (the sampling profiler has its own
+    explicit start/stop lifecycle and is not touched)."""
     metrics.set_enabled(flag)
     tracing.set_enabled(flag)
     logging.set_enabled(flag)
+    workload.set_enabled(flag)
 
 
 def is_enabled() -> bool:
@@ -124,7 +154,9 @@ def is_enabled() -> bool:
 
 
 def reset() -> None:
-    """Zero default-registry series, drop retained spans and log records."""
+    """Zero default-registry series, drop retained spans, log records,
+    and workload-attribution aggregates."""
     metrics.reset()
     tracing.reset()
     logging.reset()
+    workload.reset()

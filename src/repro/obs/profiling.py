@@ -1,0 +1,187 @@
+"""Sampling wall-clock profiler: collapsed stacks from ``sys._current_frames``.
+
+A :class:`SamplingProfiler` runs a daemon thread that wakes ``hz`` times
+a second, snapshots every live thread's Python stack via
+:func:`sys._current_frames`, and counts each observed stack in collapsed
+form — ``outermost;...;innermost`` frames joined with semicolons, each
+frame rendered as ``module:function``.  The output of
+:meth:`SamplingProfiler.render_collapsed` is one ``stack count`` line
+per distinct stack, directly consumable by ``flamegraph.pl`` (or
+speedscope's "collapsed" importer)::
+
+    repro.cli:main;repro.query.executor:execute;... 182
+
+Being a *sampler* it observes wall-clock time wherever threads actually
+are — lock waits and I/O included — at a cost proportional to ``hz``
+and thread count, not to the work being profiled.  It is **off by
+default** and started explicitly: from the CLI (``repro profile
+--seconds N --out prof.folded``) or over HTTP (``/profilez?action=start``
+on the telemetry daemon).  The sampler excludes its own thread, so an
+idle process profiles as its waiting threads, not as the profiler.
+
+Guardrails: ``hz`` is clamped to [1, 1000]; starting an already-running
+profiler raises; samples accumulate across start/stop cycles until
+:meth:`SamplingProfiler.reset` (so short bursts can be aggregated).
+``obs.profiler.samples`` counts sampling sweeps process-wide.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Any
+
+from repro.obs import metrics as _metrics
+
+__all__ = [
+    "SamplingProfiler",
+    "get_default_profiler",
+    "DEFAULT_HZ",
+    "MAX_HZ",
+]
+
+#: Default sampling rate.  97 Hz (a prime, per the perf-tools tradition)
+#: avoids lockstep with periodic work at round frequencies.
+DEFAULT_HZ = 97
+
+#: Upper clamp on the sampling rate.
+MAX_HZ = 1000
+
+_SAMPLES = _metrics.counter("obs.profiler.samples")
+
+
+def _frame_stack(frame: Any) -> str:
+    """Collapsed ``module:function`` stack for one frame, root first."""
+    parts: list[str] = []
+    while frame is not None:
+        code = frame.f_code
+        module = frame.f_globals.get("__name__", "?")
+        parts.append(f"{module}:{code.co_name}")
+        frame = frame.f_back
+    parts.reverse()
+    return ";".join(parts)
+
+
+class SamplingProfiler:
+    """Periodic all-threads stack sampler with collapsed-stack output."""
+
+    def __init__(self, hz: int = DEFAULT_HZ):
+        self.hz = max(1, min(int(hz), MAX_HZ))
+        self._counts: dict[str, int] = {}
+        self._samples = 0
+        self._lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._started_at: float | None = None
+        self._active_s = 0.0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    def start(self, *, hz: int | None = None) -> "SamplingProfiler":
+        """Begin sampling on a daemon thread; returns self for chaining."""
+        if self._thread is not None:
+            raise RuntimeError("profiler already running")
+        if hz is not None:
+            self.hz = max(1, min(int(hz), MAX_HZ))
+        self._stop.clear()
+        self._started_at = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> dict[str, Any]:
+        """Stop sampling and return :meth:`status`; no-op when stopped."""
+        thread = self._thread
+        if thread is not None:
+            self._stop.set()
+            thread.join(timeout=5.0)
+            self._thread = None
+            if self._started_at is not None:
+                self._active_s += time.perf_counter() - self._started_at
+                self._started_at = None
+        return self.status()
+
+    def _run(self) -> None:
+        interval = 1.0 / self.hz
+        own_id = threading.get_ident()
+        next_tick = time.perf_counter()
+        while not self._stop.is_set():
+            frames = sys._current_frames()
+            with self._lock:
+                self._samples += 1
+                for thread_id, frame in frames.items():
+                    if thread_id == own_id:
+                        continue
+                    stack = _frame_stack(frame)
+                    self._counts[stack] = self._counts.get(stack, 0) + 1
+            _SAMPLES.inc()
+            next_tick += interval
+            delay = next_tick - time.perf_counter()
+            if delay <= 0:
+                # Sampling overran the interval (many threads / deep
+                # stacks): resync rather than spinning to catch up.
+                next_tick = time.perf_counter()
+                continue
+            self._stop.wait(delay)
+
+    # -- results ------------------------------------------------------------
+
+    def status(self) -> dict[str, Any]:
+        active = self._active_s
+        if self._started_at is not None:
+            active += time.perf_counter() - self._started_at
+        with self._lock:
+            return {
+                "running": self.running,
+                "hz": self.hz,
+                "samples": self._samples,
+                "distinct_stacks": len(self._counts),
+                "active_seconds": round(active, 3),
+            }
+
+    def collect(self) -> dict[str, int]:
+        """Accumulated ``collapsed-stack -> sample count`` map (a copy)."""
+        with self._lock:
+            return dict(self._counts)
+
+    def render_collapsed(self) -> str:
+        """``flamegraph.pl``-ready text: one ``stack count`` line each,
+        hottest stacks first (order is cosmetic; the format is a bag)."""
+        counts = self.collect()
+        lines = [
+            f"{stack} {count}"
+            for stack, count in sorted(
+                counts.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def reset(self) -> None:
+        """Drop accumulated samples (a running profiler keeps sampling)."""
+        with self._lock:
+            self._counts.clear()
+            self._samples = 0
+        if self._started_at is not None:
+            self._started_at = time.perf_counter()
+        self._active_s = 0.0
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+_default_profiler = SamplingProfiler()
+
+
+def get_default_profiler() -> SamplingProfiler:
+    """The process-wide profiler behind ``/profilez`` and ``repro profile``."""
+    return _default_profiler

@@ -1,4 +1,4 @@
-"""Stdlib telemetry daemon: /metrics, /healthz, /varz, /tracez, /logz, /query.
+"""Stdlib telemetry daemon: /metrics /healthz /varz /tracez /logz /topz /profilez /query.
 
 :class:`TelemetryServer` wraps a :class:`http.server.ThreadingHTTPServer`
 exposing the process's observability state over HTTP — the backend of
@@ -24,6 +24,16 @@ exposing the process's observability state over HTTP — the backend of
 ``/logz``
     Tail of the in-process structured log ring, JSON
     (``?n=``, ``?level=``, ``?event=``, ``?trace=`` filters).
+``/topz``
+    The workload fingerprint table (:mod:`repro.obs.workload`), JSON:
+    hottest query shapes with per-operator CPU/rows/bytes breakdowns and
+    the per-index key-usage histograms (``?n=``, ``?sort=`` — one of the
+    table's sort keys).  The live backend of ``repro top``.
+``/profilez``
+    The process-wide sampling profiler (:mod:`repro.obs.profiling`).
+    ``?action=start|stop|reset`` drives the lifecycle (``&hz=`` with
+    start), the bare endpoint reports status, and ``?format=collapsed``
+    returns accumulated samples as ``flamegraph.pl``-ready text.
 ``/query``
     Present when the server was given a ``query_service``
     (:class:`repro.resilience.QueryService`): runs ``?q=`` through
@@ -59,7 +69,9 @@ from repro.errors import (
 )
 from repro.obs import logging as _logging
 from repro.obs import metrics as _metrics
+from repro.obs import profiling as _profiling
 from repro.obs import tracing as _tracing
+from repro.obs import workload as _workload
 from repro.obs.promexport import render_prometheus
 
 __all__ = ["TelemetryServer", "DEFAULT_PORT"]
@@ -128,6 +140,21 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
 
     # -- routes -------------------------------------------------------------
 
+    def _endpoints(self) -> list[str]:
+        """Every route this server answers (the / index and 404 contract)."""
+        endpoints = [
+            "/metrics",
+            "/healthz",
+            "/varz",
+            "/tracez",
+            "/logz",
+            "/topz",
+            "/profilez",
+        ]
+        if self.server.query_service is not None:
+            endpoints.append("/query")
+        return endpoints
+
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         parsed = urlparse(self.path)
         path = parsed.path.rstrip("/") or "/"
@@ -137,7 +164,8 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
                 self._send(
                     200,
                     "text/plain; version=0.0.4; charset=utf-8",
-                    render_prometheus(_metrics.snapshot()),
+                    render_prometheus(_metrics.snapshot())
+                    + _workload.render_prometheus_workload(),
                 )
             elif path == "/healthz":
                 status, body = _health_payload(
@@ -155,19 +183,92 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
                 )
             elif path == "/logz":
                 self._send_json(200, self._logz(parse_qs(parsed.query)))
+            elif path == "/topz":
+                self._topz(parse_qs(parsed.query))
+            elif path == "/profilez":
+                self._profilez(parse_qs(parsed.query))
             elif path == "/":
-                endpoints = ["/metrics", "/healthz", "/varz", "/tracez", "/logz"]
-                if self.server.query_service is not None:
-                    endpoints.append("/query")
                 self._send_json(
                     200,
-                    {"service": "repro-telemetry", "endpoints": endpoints},
+                    {"service": "repro-telemetry", "endpoints": self._endpoints()},
                 )
             else:
-                self._send_json(404, {"error": f"no such endpoint: {path}"})
+                self._send_json(
+                    404,
+                    {
+                        "error": f"no such endpoint: {path}",
+                        "endpoints": self._endpoints(),
+                    },
+                )
         except Exception as exc:  # pragma: no cover - defensive
             _logging.error("obs.server.error", path=path, error=repr(exc))
             self._send_json(500, {"error": repr(exc)})
+
+    def _topz(self, params: dict[str, list[str]]) -> None:
+        """The workload fingerprint table plus key-usage histograms."""
+
+        def first(key: str) -> str | None:
+            values = params.get(key)
+            return values[0] if values else None
+
+        sort_by = first("sort") or "calls"
+        try:
+            n = int(first("n") or 20)
+        except ValueError as exc:
+            self._send_json(400, {"error": f"bad parameter: {exc}"})
+            return
+        table = _workload.get_default_table()
+        try:
+            rows = table.top(n, sort_by=sort_by)
+        except ValueError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        self._send_json(
+            200,
+            {
+                "sort": sort_by,
+                "tracked": len(table),
+                "maxsize": table.maxsize,
+                "evicted_fingerprints": table.evicted_fingerprints,
+                "evicted_calls": table.evicted_calls,
+                "fingerprints": rows,
+                "key_usage": _workload.get_default_key_usage().snapshot(),
+            },
+        )
+
+    def _profilez(self, params: dict[str, list[str]]) -> None:
+        """Drive the process-wide sampling profiler over HTTP."""
+
+        def first(key: str) -> str | None:
+            values = params.get(key)
+            return values[0] if values else None
+
+        profiler = _profiling.get_default_profiler()
+        action = first("action")
+        if first("format") == "collapsed":
+            self._send(200, "text/plain; charset=utf-8", profiler.render_collapsed())
+            return
+        if action == "start":
+            try:
+                hz = int(h) if (h := first("hz")) else None
+            except ValueError as exc:
+                self._send_json(400, {"error": f"bad parameter: {exc}"})
+                return
+            try:
+                profiler.start(hz=hz)
+            except RuntimeError as exc:
+                self._send_json(409, {"error": str(exc), **profiler.status()})
+                return
+        elif action == "stop":
+            profiler.stop()
+        elif action == "reset":
+            profiler.reset()
+        elif action is not None:
+            self._send_json(
+                400, {"error": f"unknown action: {action} (start|stop|reset)"}
+            )
+            return
+        self._send_json(200, profiler.status())
 
     def _query(self, params: dict[str, list[str]]) -> None:
         """Run ``?q=`` through the attached query service; map typed errors."""

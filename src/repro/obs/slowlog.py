@@ -5,6 +5,7 @@ time reaches ``threshold_s``.  Each entry is one JSON object carrying
 everything needed to diagnose the query after the fact::
 
     {"ts": "2026-08-06T12:00:00.123Z", "trace_id": "a1b2c3d4e5f60001",
+     "fingerprint": "9c0f3ad81b2e",
      "query": "year >= 1900 ORDER BY year",
      "plan": "INDEX RANGE (btree) year in [1900, +inf)\\nORDER BY year ASC",
      "plan_cached": true, "rows": 271, "seconds": 0.1834,
@@ -118,13 +119,17 @@ class SlowQueryLog:
         profile: Any = None,
         reexecuted: bool = False,
         trace_id: str | None = None,
+        fingerprint: str | None = None,
     ) -> dict[str, Any]:
         """Record one slow execution; returns the entry dict.
 
         ``profile`` is either ``None``, an operator-tree dict, or any
         object with a ``to_dict()`` (a ``QueryProfile``/``OpProfile``).
-        The caller is responsible for the threshold check — the log
-        records whatever it is handed.
+        ``fingerprint`` is the workload fingerprint of the query shape
+        (see :mod:`repro.query.fingerprint`), joining the entry to the
+        aggregate row in ``repro top`` / ``/topz``.  The caller is
+        responsible for the threshold check — the log records whatever
+        it is handed.
         """
         entry: dict[str, Any] = {
             "ts": _now_iso(),
@@ -135,6 +140,8 @@ class SlowQueryLog:
             "rows": int(rows),
             "seconds": round(float(seconds), 6),
         }
+        if fingerprint is not None:
+            entry["fingerprint"] = fingerprint
         if profile is not None:
             entry["profile"] = profile.to_dict() if hasattr(profile, "to_dict") else profile
         if reexecuted:

@@ -14,11 +14,22 @@ by primary key (a list may contain the probe value twice).
 ``execute(..., profile=True)`` is the ``EXPLAIN ANALYZE`` surface: instead
 of a bare row list it returns a :class:`QueryProfile` whose operator tree
 annotates every node (seq-scan, index lookups/ranges, filter, aggregate,
-sort, limit) with wall time and rows-examined/rows-returned counts.
+sort, limit) with wall time, CPU time (``time.thread_time_ns``), bytes
+touched (sampled estimate), and rows-examined/rows-returned counts.
 Profiled execution materializes stage by stage so each node's cost is
 attributable; the unprofiled path stays streaming and is instrumented only
 with bulk counters (``query.executions``, ``query.rows.returned``) and a
 latency histogram (``query.seconds``).
+
+Every execution (profiled or not) is additionally attributed to its query
+*fingerprint* (:mod:`repro.query.fingerprint`) in the process-wide
+:class:`~repro.obs.workload.WorkloadTable`: calls, rows, CPU/wall
+nanoseconds, estimated bytes scanned, plan-cache hits, and deadline /
+cancellation / budget interruptions aggregate per query shape, and a
+profiled run rolls its per-operator breakdown into the same row.  The
+attribution is one fingerprint memo hit, two thread-clock reads, and one
+locked table fold per query — covered by the <5% overhead contract — and
+collapses to a flag check when ``repro.obs`` is disabled.
 """
 
 from __future__ import annotations
@@ -30,10 +41,17 @@ from dataclasses import dataclass
 from itertools import islice
 from typing import TYPE_CHECKING, Any, Iterator
 
-from repro.errors import QueryInterrupted, QueryPlanError
+from repro.errors import (
+    BudgetExceeded,
+    QueryCancelled,
+    QueryInterrupted,
+    QueryPlanError,
+    QueryTimeout,
+)
 from repro.obs import logging as _logging
 from repro.obs import metrics as _metrics
 from repro.obs import tracing as _tracing
+from repro.obs import workload as _workload
 from repro.obs.slowlog import SlowQueryLog
 from repro.resilience.deadline import CancelToken, Deadline, Guard
 from repro.query.ast_nodes import Query
@@ -53,10 +71,73 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.storage.store import RecordStore
 
 _EXECUTIONS = _metrics.counter("query.executions")
+# Bound once: the default table is a process-lifetime singleton (reset
+# mutates it in place), and the direct method call keeps the per-query
+# attribution cost inside the <5% overhead contract.
+_WORKLOAD_TABLE = _workload.get_default_table()
+# Pre-bound hot-path method: one global load instead of a global load
+# plus a method bind per attributed execution.
+_RECORD_PACKED = _WORKLOAD_TABLE.record_packed
 _ROWS_EXAMINED = _metrics.counter("query.rows.examined")
 _ROWS_RETURNED = _metrics.counter("query.rows.returned")
 _QUERY_SECONDS = _metrics.histogram("query.seconds")
 _PROFILED = _metrics.counter("query.profiled.count")
+
+#: Rows sampled when estimating the byte footprint of a row set.
+_BYTES_SAMPLE = 4
+
+#: Attributed executions between per-row byte-estimate resamples on the
+#: unprofiled path (profiled runs always sample their own rows).  The
+#: resample countdown ticks only on thread-CPU sample trips (1 in
+#: :data:`_CPU_SAMPLE_EVERY`), so keep this a multiple of that.
+_BYTES_REFRESH = 512
+
+#: Unprofiled executions between thread-CPU clock samples.  The
+#: CLOCK_THREAD_CPUTIME_ID read behind ``time.thread_time_ns`` is a real
+#: syscall on many kernels (no vDSO) — hundreds of ns, two reads per
+#: execution.  Sampling 1-in-N keeps per-fingerprint CPU attribution
+#: statistically sound (the fold scales sampled CPU up to the call
+#: count) at 1/N of the clock cost.  Profiled runs always measure.
+_CPU_SAMPLE_EVERY = 16
+
+
+def _record_bytes(record: dict[str, Any]) -> int:
+    """Cheap byte estimate of one record: string lengths + 8 per scalar."""
+    total = 0
+    for key, value in record.items():
+        total += len(key)
+        if isinstance(value, str):
+            total += len(value)
+        elif isinstance(value, list):
+            total += sum(len(v) if isinstance(v, str) else 8 for v in value)
+        else:
+            total += 8
+    return total
+
+
+def _estimate_bytes(rows: list[dict[str, Any]], count: int | None = None) -> int:
+    """Estimated bytes across ``count`` rows, sampled from ``rows``.
+
+    The first few rows are measured and the average extrapolated, so the
+    cost is constant regardless of result size — good enough for skew
+    and attribution, not an accounting-grade number.
+    """
+    if count is None:
+        count = len(rows)
+    if not rows or count <= 0:
+        return 0
+    sample = rows[:_BYTES_SAMPLE]
+    return int(sum(_record_bytes(r) for r in sample) / len(sample) * count)
+
+
+def _interruption_kind(exc: QueryInterrupted) -> str:
+    if isinstance(exc, QueryTimeout):
+        return "timeout"
+    if isinstance(exc, BudgetExceeded):
+        return "budget"
+    if isinstance(exc, QueryCancelled):
+        return "cancelled"
+    return "cancelled"  # unknown subclass: closest bucket
 
 
 @dataclass(frozen=True, slots=True)
@@ -66,7 +147,9 @@ class OpProfile:
     ``rows_examined`` counts the rows the operator looked at (its input,
     or for a seq-scan the whole table); ``rows_returned`` counts the rows
     it passed upward.  ``seconds`` is the node's own wall time, measured
-    over the materialization of its output (children excluded).
+    over the materialization of its output (children excluded);
+    ``cpu_ns`` is the thread-CPU time of the same stage, and ``bytes``
+    the sampled byte estimate of the rows it handled.
     """
 
     op: str  #: "seq-scan" | "index-lookup" | … | "filter" | "sort" | "limit"
@@ -75,6 +158,8 @@ class OpProfile:
     rows_returned: int
     seconds: float
     children: tuple["OpProfile", ...] = ()
+    cpu_ns: int = 0
+    bytes: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -83,7 +168,21 @@ class OpProfile:
             "rows_examined": self.rows_examined,
             "rows_returned": self.rows_returned,
             "seconds": self.seconds,
+            "cpu_ns": self.cpu_ns,
+            "bytes": self.bytes,
             "children": [child.to_dict() for child in self.children],
+        }
+
+    def workload_node(self) -> dict[str, int | str]:
+        """This node as a :class:`~repro.obs.workload.WorkloadTable`
+        operator-breakdown entry."""
+        return {
+            "op": self.op,
+            "rows_in": self.rows_examined,
+            "rows_out": self.rows_returned,
+            "cpu_ns": self.cpu_ns,
+            "wall_ns": int(self.seconds * 1e9),
+            "bytes": self.bytes,
         }
 
     def render(self) -> str:
@@ -96,7 +195,8 @@ class OpProfile:
         lines.append(
             f"{prefix}{self.op} ({self.detail})  "
             f"examined={self.rows_examined} returned={self.rows_returned}  "
-            f"{self.seconds * 1e3:.3f}ms"
+            f"{self.seconds * 1e3:.3f}ms cpu={self.cpu_ns / 1e6:.3f}ms "
+            f"bytes~{self.bytes}"
         )
         for child in self.children:
             child._render_into(lines, child_prefix + "└─ ", child_prefix + "   ")
@@ -117,16 +217,19 @@ class QueryProfile:
     plan_text: str
     seconds: float
     plan_cached: bool = False  #: plan came from the engine's PlanCache
+    fingerprint: str | None = None  #: workload fingerprint of the query shape
 
     def render(self) -> str:
         """The operator tree plus a total-time footer."""
         cached = "  (plan: cached)" if self.plan_cached else ""
-        return f"{self.root.render()}\ntotal: {self.seconds * 1e3:.3f}ms{cached}"
+        fp = f"  [fingerprint {self.fingerprint}]" if self.fingerprint else ""
+        return f"{self.root.render()}\ntotal: {self.seconds * 1e3:.3f}ms{cached}{fp}"
 
     def to_dict(self) -> dict[str, Any]:
         return {
             "plan": self.plan_text,
             "plan_cached": self.plan_cached,
+            "fingerprint": self.fingerprint,
             "seconds": self.seconds,
             "row_count": len(self.rows),
             "tree": self.root.to_dict(),
@@ -187,6 +290,16 @@ class QueryEngine:
         self.store = store
         self.plan_cache = PlanCache(maxsize=plan_cache_size)
         self.slow_log = slow_log
+        # Cached per-row byte estimate for workload attribution: rows
+        # share one schema, so a periodically refreshed average is as
+        # good as sampling every execution at a fraction of the cost.
+        self._bytes_per_row = 0.0
+        # One merged countdown serves both sampling schedules: every
+        # trip takes a thread-CPU sample, and every _BYTES_REFRESH /
+        # _CPU_SAMPLE_EVERY trips the byte estimate is resampled too —
+        # a single attribute decrement on the per-execution path.
+        self._probe = 0  # executions until the next thread-CPU sample
+        self._bytes_rounds = 0  # sample trips until the next byte resample
 
     # -- public API ---------------------------------------------------------
 
@@ -225,30 +338,89 @@ class QueryEngine:
             )
         with _logging.trace() as trace_id:
             parsed = self._parse(query)
-            plan, cached = self._plan(parsed)
+            plan, fp, template, cached = self.plan_cache.get_or_plan_fingerprinted(
+                parsed, self.store
+            )
             query_text = query if isinstance(query, str) else str(query)
-            if profile:
-                result: QueryProfile = self.run_plan_profiled(
-                    plan, plan_cached=cached, guard=guard
-                )
-                rows, seconds = len(result.rows), result.seconds
-                ran_profile: QueryProfile | None = result
-            else:
-                start = time.perf_counter()
-                plain = self.run_plan(plan, guard=guard)
-                rows, seconds = len(plain), time.perf_counter() - start
-                ran_profile = None
+            if not _WORKLOAD_TABLE.enabled:
+                fp = None
+            # Thread-CPU clock reads are sampled (see _CPU_SAMPLE_EVERY);
+            # cpu_start = -1 marks an unsampled execution.
+            cpu_start = -1
+            if fp is not None:
+                if profile:
+                    cpu_start = time.thread_time_ns()
+                else:
+                    self._probe -= 1
+                    if self._probe < 0:
+                        self._probe = _CPU_SAMPLE_EVERY - 1
+                        cpu_start = time.thread_time_ns()
+            start = time.perf_counter()
+            try:
+                if profile:
+                    result: QueryProfile = self.run_plan_profiled(
+                        plan, plan_cached=cached, guard=guard, fingerprint=fp
+                    )
+                    rows, seconds = len(result.rows), result.seconds
+                    ran_profile: QueryProfile | None = result
+                else:
+                    plain = self.run_plan(plan, guard=guard)
+                    rows, seconds = len(plain), time.perf_counter() - start
+                    ran_profile = None
+            except QueryInterrupted as exc:
+                if fp is not None:
+                    _RECORD_PACKED((
+                        fp, template, 0, exc.rows_examined,
+                        time.thread_time_ns() - cpu_start if cpu_start >= 0 else -1,
+                        time.perf_counter() - start,
+                        0, cached, _interruption_kind(exc), False, None,
+                    ))
+                raise
+            if fp is not None:
+                if guard is not None:
+                    examined = guard.rows_examined
+                elif isinstance(plan.access, FullScan):
+                    examined = len(self.store)
+                else:
+                    examined = rows
+                if cpu_start < 0:
+                    cpu_ns = -1
+                else:
+                    cpu_ns = time.thread_time_ns() - cpu_start
+                    # A sample trip also ticks the byte-estimate
+                    # resample countdown (see _BYTES_REFRESH).
+                    if not profile:
+                        self._bytes_rounds -= 1
+                        if self._bytes_rounds < 0 and plain:
+                            self._refresh_bytes_per_row(plain)
+                # Packed positional form of WorkloadTable.record — one
+                # deque append per execution (see record_packed); the
+                # common successful path uses the short 8-slot shape.
+                if profile:
+                    if result.rows:
+                        self._refresh_bytes_per_row(result.rows)
+                    _RECORD_PACKED((
+                        fp, template, rows, examined, cpu_ns, seconds,
+                        examined * self._bytes_per_row, cached, None, False,
+                        [n.workload_node() for n in result.root.iter_nodes()],
+                    ))
+                else:
+                    _RECORD_PACKED((
+                        fp, template, rows, examined, cpu_ns, seconds,
+                        examined * self._bytes_per_row, cached,
+                    ))
             _logging.debug(
                 "query.execute",
                 query=query_text,
                 access=plan.access.op,
                 plan_cached=cached,
+                fingerprint=fp,
                 rows=rows,
                 seconds=round(seconds, 6),
                 profiled=profile,
             )
             self._maybe_slow_log(
-                query_text, plan, cached, rows, seconds, ran_profile, trace_id
+                query_text, plan, cached, rows, seconds, ran_profile, trace_id, fp
             )
             return result if profile else plain
 
@@ -261,6 +433,19 @@ class QueryEngine:
     def _plan(self, parsed: Query) -> tuple[Plan, bool]:
         return self.plan_cache.get_or_plan(parsed, self.store)
 
+    def _refresh_bytes_per_row(self, out_rows: list[dict[str, Any]]) -> None:
+        """Resample the cached per-row byte estimate from live rows.
+
+        Sampling rows on every execution would dominate the attribution
+        budget on sub-100µs queries; instead the first execution (and
+        every :data:`_BYTES_REFRESH`\\ th after it) samples its result
+        rows, and the rest extrapolate from the cached average inline at
+        the record site.
+        """
+        sample = out_rows[:_BYTES_SAMPLE]
+        self._bytes_per_row = sum(_record_bytes(r) for r in sample) / len(sample)
+        self._bytes_rounds = _BYTES_REFRESH // _CPU_SAMPLE_EVERY
+
     def _maybe_slow_log(
         self,
         query_text: str,
@@ -270,6 +455,7 @@ class QueryEngine:
         seconds: float,
         profile: QueryProfile | None,
         trace_id: str,
+        fingerprint: str | None = None,
     ) -> None:
         slow = self.slow_log
         if slow is None or seconds < slow.threshold_s:
@@ -278,7 +464,9 @@ class QueryEngine:
         if profile is None and slow.profile_on_slow:
             # Re-run profiled (same plan, same trace ID) so the entry has
             # an operator tree; only queries already past the threshold pay.
-            profile = self.run_plan_profiled(plan, plan_cached=plan_cached)
+            profile = self.run_plan_profiled(
+                plan, plan_cached=plan_cached, fingerprint=fingerprint
+            )
             reexecuted = True
         slow.record(
             query=query_text,
@@ -289,6 +477,7 @@ class QueryEngine:
             profile=profile,
             reexecuted=reexecuted,
             trace_id=trace_id,
+            fingerprint=fingerprint,
         )
 
     def execute_without_indexes(self, query: str | Query) -> list[dict[str, Any]]:
@@ -421,22 +610,32 @@ class QueryEngine:
         return out
 
     def run_plan_profiled(
-        self, plan: Plan, *, plan_cached: bool = False, guard: Guard | None = None
+        self,
+        plan: Plan,
+        *,
+        plan_cached: bool = False,
+        guard: Guard | None = None,
+        fingerprint: str | None = None,
     ) -> QueryProfile:
         """Execute ``plan`` stage by stage, timing and counting each node.
 
         Unlike :meth:`run_plan` this materializes every stage so each
         operator's cost is attributable; results are identical.
         ``plan_cached`` is recorded in the profile so EXPLAIN ANALYZE
-        shows whether the plan came from the cache.  When a ``guard``
-        interrupts the run, the partial operator tree built so far is
-        attached to the raised error as ``exc.partial`` before it
+        shows whether the plan came from the cache, and ``fingerprint``
+        (when known) is stamped on the profile and its span.  When a
+        ``guard`` interrupts the run, the partial operator tree built so
+        far is attached to the raised error as ``exc.partial`` before it
         propagates.
         """
         total_start = time.perf_counter()
         try:
             return self._run_plan_profiled(
-                plan, plan_cached=plan_cached, guard=guard, total_start=total_start
+                plan,
+                plan_cached=plan_cached,
+                guard=guard,
+                total_start=total_start,
+                fingerprint=fingerprint,
             )
         except QueryInterrupted as exc:
             seconds = time.perf_counter() - total_start
@@ -453,6 +652,7 @@ class QueryEngine:
                 plan_text=plan.explain(),
                 seconds=seconds,
                 plan_cached=plan_cached,
+                fingerprint=fingerprint,
             )
             raise
 
@@ -463,14 +663,18 @@ class QueryEngine:
         plan_cached: bool,
         guard: Guard | None,
         total_start: float,
+        fingerprint: str | None = None,
     ) -> QueryProfile:
         with _tracing.span("query.execute", access=plan.access.op, profiled=True) as qspan:
             trace_id = _logging.current_trace_id()
             if trace_id is not None:
                 qspan.set_attribute("trace_id", trace_id)
+            if fingerprint is not None:
+                qspan.set_attribute("fingerprint", fingerprint)
             if guard is not None:
                 guard.check()
             start = time.perf_counter()
+            cpu_start = time.thread_time_ns()
             candidates = list(self._candidates(plan, guard))
             examined = len(self.store) if isinstance(plan.access, FullScan) else len(candidates)
             node = OpProfile(
@@ -479,11 +683,14 @@ class QueryEngine:
                 rows_examined=examined,
                 rows_returned=len(candidates),
                 seconds=time.perf_counter() - start,
+                cpu_ns=time.thread_time_ns() - cpu_start,
+                bytes=_estimate_bytes(candidates, examined),
             )
             rows = candidates
             if plan.residual is not None:
                 residual = plan.residual
                 start = time.perf_counter()
+                cpu_start = time.thread_time_ns()
                 filtered = [r for r in rows if residual.evaluate(r)]
                 node = OpProfile(
                     op="filter",
@@ -491,11 +698,14 @@ class QueryEngine:
                     rows_examined=len(rows),
                     rows_returned=len(filtered),
                     seconds=time.perf_counter() - start,
+                    cpu_ns=time.thread_time_ns() - cpu_start,
+                    bytes=_estimate_bytes(rows),
                     children=(node,),
                 )
                 rows = filtered
             if plan.group_by is not None:
                 start = time.perf_counter()
+                cpu_start = time.thread_time_ns()
                 grouped = self._aggregate(iter(rows), plan.group_by)
                 node = OpProfile(
                     op="aggregate",
@@ -503,6 +713,8 @@ class QueryEngine:
                     rows_examined=len(rows),
                     rows_returned=len(grouped),
                     seconds=time.perf_counter() - start,
+                    cpu_ns=time.thread_time_ns() - cpu_start,
+                    bytes=_estimate_bytes(rows),
                     children=(node,),
                 )
                 rows = grouped
@@ -510,6 +722,7 @@ class QueryEngine:
                 self._check_order_field(plan)
                 order_field = plan.order_by
                 start = time.perf_counter()
+                cpu_start = time.thread_time_ns()
                 rows = sorted(
                     rows,
                     key=lambda r: _sort_key(r.get(order_field)),
@@ -521,10 +734,13 @@ class QueryEngine:
                     rows_examined=len(rows),
                     rows_returned=len(rows),
                     seconds=time.perf_counter() - start,
+                    cpu_ns=time.thread_time_ns() - cpu_start,
+                    bytes=_estimate_bytes(rows),
                     children=(node,),
                 )
             if plan.limit is not None:
                 start = time.perf_counter()
+                cpu_start = time.thread_time_ns()
                 limited = rows[: plan.limit]
                 node = OpProfile(
                     op="limit",
@@ -532,6 +748,8 @@ class QueryEngine:
                     rows_examined=len(rows),
                     rows_returned=len(limited),
                     seconds=time.perf_counter() - start,
+                    cpu_ns=time.thread_time_ns() - cpu_start,
+                    bytes=_estimate_bytes(limited),
                     children=(node,),
                 )
                 rows = limited
@@ -548,6 +766,7 @@ class QueryEngine:
                 plan_text=plan.explain(),
                 seconds=seconds,
                 plan_cached=plan_cached,
+                fingerprint=fingerprint,
             )
 
     def _check_order_field(self, plan: Plan) -> None:

@@ -1,0 +1,122 @@
+"""Query fingerprinting: normalize a query AST into a stable identity.
+
+A *fingerprint* names a query's **shape** — the fields, operators, and
+output clauses — with every literal stripped, so semantically identical
+queries that differ only in literals (or in the whitespace the parser
+already discards) aggregate under one key::
+
+    year >= 1980 AND surnames:"McAteer"   ─┐
+    year >= 1990 AND surnames:"Soler"     ─┼─> surnames : ? AND year >= ?
+      year>=1875 AND surnames : "Petricek"─┘       (fingerprint 9c0f3a…)
+
+Normalization rules:
+
+* every comparison / LIKE literal becomes ``?``; an ``IN`` list becomes
+  ``(?)`` regardless of length (one probe shape, any list);
+* ``AND`` and ``OR`` chains are flattened and their operands sorted, so
+  conjunct order does not split a shape (conjunction commutes — the
+  planner already treats the clauses as a set);
+* output clauses (GROUP BY / ORDER BY / LIMIT presence — not the limit
+  *value*) are part of the shape: a paginated scan and a bare filter are
+  different workloads.
+
+The fingerprint itself is the first 12 hex digits of the BLAKE2b digest
+of the template — short enough for a metric label, stable across
+processes and Python hash seeds (unlike ``hash()``).  Both the template
+and the digest are returned so human surfaces (``repro top``, ``/topz``)
+can show the readable shape next to the key.
+
+Computation is memoized on the (hashable, frozen) :class:`Query` AST —
+the same object identity the plan cache keys on — so a repeated query
+pays one dict hit, not a tree walk.
+"""
+
+from __future__ import annotations
+
+import functools
+from hashlib import blake2b
+from typing import TYPE_CHECKING
+
+from repro.query.ast_nodes import (
+    And,
+    Comparison,
+    Expr,
+    Like,
+    Membership,
+    Not,
+    Or,
+    Query,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+__all__ = ["fingerprint_of", "query_template", "FINGERPRINT_HEX_LEN"]
+
+#: Hex digits in a fingerprint (6 bytes of BLAKE2b — collision-safe for
+#: any realistic number of distinct query shapes, short as a label).
+FINGERPRINT_HEX_LEN = 12
+
+
+def _template(expr: Expr | None) -> str:
+    """Literal-stripped, order-normalized rendering of a filter tree."""
+    if expr is None:
+        return "*"
+    if isinstance(expr, Comparison):
+        return f"{expr.field} {expr.op.value} ?"
+    if isinstance(expr, Membership):
+        return f"{expr.field} IN (?)"
+    if isinstance(expr, Like):
+        return f"{expr.field} LIKE ?"
+    if isinstance(expr, Not):
+        return f"NOT ({_template(expr.operand)})"
+    if isinstance(expr, (And, Or)):
+        word = "AND" if isinstance(expr, And) else "OR"
+        flat: list[str] = []
+        stack: list[Expr] = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, type(expr)):
+                stack.append(node.left)
+                stack.append(node.right)
+            else:
+                flat.append(_template(node))
+        # Sorted: AND/OR commute, so operand order must not split shapes.
+        joined = f" {word} ".join(sorted(flat))
+        return f"({joined})" if word == "OR" else joined
+    raise TypeError(f"unknown expression node {expr!r}")  # pragma: no cover
+
+
+def query_template(query: Query) -> str:
+    """The normalized template of ``query`` (human-readable shape)."""
+    parts = [_template(query.where)]
+    if query.group_by is not None:
+        parts.append(f"GROUP BY {query.group_by}")
+    if query.order_by is not None:
+        direction = "DESC" if query.descending else "ASC"
+        parts.append(f"ORDER BY {query.order_by} {direction}")
+    if query.limit is not None:
+        parts.append("LIMIT ?")
+    return " ".join(parts)
+
+
+@functools.lru_cache(maxsize=1024)
+def _fingerprint_cached(query: Query) -> tuple[str, str]:
+    template = query_template(query)
+    digest = blake2b(template.encode("utf-8"), digest_size=6).hexdigest()
+    return digest[:FINGERPRINT_HEX_LEN], template
+
+
+def fingerprint_of(query: Query) -> tuple[str, str]:
+    """``(fingerprint, template)`` for ``query``.
+
+    Queries whose AST carries an unhashable literal (a list value) skip
+    the memo and are normalized fresh — the fingerprint is identical
+    either way.
+    """
+    try:
+        return _fingerprint_cached(query)
+    except TypeError:
+        template = query_template(query)
+        digest = blake2b(template.encode("utf-8"), digest_size=6).hexdigest()
+        return digest[:FINGERPRINT_HEX_LEN], template

@@ -52,6 +52,7 @@ from repro.query.ast_nodes import (
     Query,
     conjuncts,
 )
+from repro.query.fingerprint import fingerprint_of
 
 #: Upper bound for prefix ranges over strings: above any realistic suffix.
 _PREFIX_CEILING = "\U0010ffff"
@@ -234,33 +235,47 @@ class PlanCache:
         if maxsize < 1:
             raise ValueError(f"maxsize must be positive, got {maxsize}")
         self.maxsize = maxsize
-        self._plans: OrderedDict[tuple[Query, int], Plan] = OrderedDict()
+        # Entries are (plan, fingerprint, template): the workload
+        # fingerprint is memoized next to the plan so a cache hit pays
+        # one structural hash for both (see docs/profiling.md).
+        self._plans: OrderedDict[
+            tuple[Query, int], tuple[Plan, str, str]
+        ] = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._plans)
 
     def get_or_plan(self, query: Query, store: "RecordStore") -> tuple[Plan, bool]:
         """Return ``(plan, was_cached)``, planning on a miss."""
+        plan, _, _, cached = self.get_or_plan_fingerprinted(query, store)
+        return plan, cached
+
+    def get_or_plan_fingerprinted(
+        self, query: Query, store: "RecordStore"
+    ) -> tuple[Plan, str, str, bool]:
+        """``(plan, fingerprint, template, was_cached)``, planning on a miss."""
         key = (query, store.index_epoch)
         try:
-            plan = self._plans[key]
+            entry = self._plans[key]
         except KeyError:
             pass
         except TypeError:
             # Unhashable literal somewhere in the AST: plan fresh, skip
             # caching entirely.
             _CACHE_MISS.inc()
-            return plan_query(query, store), False
+            fp, template = fingerprint_of(query)
+            return plan_query(query, store), fp, template, False
         else:
             self._plans.move_to_end(key)
             _CACHE_HIT.inc()
-            return plan, True
+            return entry[0], entry[1], entry[2], True
         plan = plan_query(query, store)
-        self._plans[key] = plan
+        fp, template = fingerprint_of(query)
+        self._plans[key] = (plan, fp, template)
         if len(self._plans) > self.maxsize:
             self._plans.popitem(last=False)
         _CACHE_MISS.inc()
-        return plan, False
+        return plan, fp, template, False
 
     def clear(self) -> None:
         self._plans.clear()
@@ -280,6 +295,7 @@ def plan_query(query: Query, store: "RecordStore") -> Plan:
         detail=access.describe(),
         residual=residual is not None,
         clauses=len(clauses),
+        fingerprint=fingerprint_of(query)[0],
     )
     return Plan(
         access=access,

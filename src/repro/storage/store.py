@@ -78,6 +78,7 @@ from repro.errors import (
 )
 from repro.obs import logging as _logging
 from repro.obs import metrics as _metrics
+from repro.obs import workload as _workload
 from repro.storage import faultfs as _faultfs
 from repro.storage.btree import BTree
 from repro.storage.hashindex import HashIndex
@@ -108,6 +109,28 @@ _RECOVERY_SEGMENTS = _metrics.counter("storage.recovery.segments_replayed")
 _RECOVERY_ENTRIES = _metrics.counter("storage.recovery.entries_replayed")
 _RECOVERY_TORN_BYTES = _metrics.counter("storage.recovery.torn_bytes_dropped")
 _RECOVERY_STALE_SEGMENTS = _metrics.counter("storage.recovery.stale_segments_skipped")
+
+#: Key-usage histograms (repro top / workload-report skew data).  Handle
+#: cached at import time like the metric series above; every recording
+#: call starts with the table's own enabled-flag check.
+_KEY_USAGE = _workload.get_default_key_usage()
+# Pre-bound for the two hottest probe sites (find_by / range_by): one
+# global load per probe instead of a global load plus a method bind.
+_KU_RECORD = _KEY_USAGE.record
+
+
+def _range_label(low: Any, high: Any) -> str:
+    """One histogram key naming a range probe's bounds, not its keys.
+
+    A range scan touching thousands of keys records a single
+    ``[low..high]`` descriptor — per-key counting on ranges would turn a
+    cheap index walk into a per-row accounting loop.  Exact per-key
+    distributions come from equality probes and from the offline
+    ``repro workload-report`` pass.
+    """
+    lo = "-inf" if low is None else low
+    hi = "+inf" if high is None else high
+    return f"[{lo}..{hi}]"
 
 
 def records_checksum(records: Sequence[Mapping[str, Any]]) -> str:
@@ -694,9 +717,13 @@ class RecordStore:
         index = self._require_composite(fields)
         if len(values) != len(fields):
             raise StorageError("values must match the composite's fields")
-        return [
+        out = [
             dict(self._records[pk]) for pk in index.structure.search(tuple(values))
         ]
+        _KEY_USAGE.record(
+            COMPOSITE_SEPARATOR.join(fields), tuple(values), len(out)
+        )
+        return out
 
     def range_by_composite(
         self,
@@ -748,6 +775,11 @@ class RecordStore:
             ):
                 continue
             out.append(dict(self._records[pk]))
+        _KEY_USAGE.record(
+            COMPOSITE_SEPARATOR.join(fields),
+            f"{prefix_tuple}{_range_label(low, high)}",
+            rows=len(out),
+        )
         return out
 
     def _require_composite(self, fields: Sequence[str]) -> _SecondaryIndex:
@@ -807,6 +839,7 @@ class RecordStore:
                 if pk not in seen:
                     seen.add(pk)
                     out.append(dict(self._records[pk]))
+            _KU_RECORD(field, value, len(out))
             return out
         return [r for r in self.scan(lambda rec: value in _index_keys(rec, field))]
 
@@ -830,7 +863,9 @@ class RecordStore:
             pairs = index.structure.range(
                 low, high, include_low=include_low, include_high=include_high
             )
-            return [dict(self._records[pk]) for _, pk in pairs]
+            out = [dict(self._records[pk]) for _, pk in pairs]
+            _KU_RECORD(field, _range_label(low, high), len(out))
+            return out
 
         def in_range(value: Any) -> bool:
             if low is not None and (value < low or (value == low and not include_low)):

@@ -11,6 +11,7 @@ Covers the PR's acceptance criteria directly:
 """
 
 import json
+import time
 import urllib.error
 import urllib.request
 
@@ -18,7 +19,7 @@ import pytest
 
 from repro.corpus.wvlr import PUBLICATION_SCHEMA, populate_store
 from repro.obs import logging as obs_logging
-from repro.obs import metrics, tracing
+from repro.obs import metrics, profiling, tracing, workload
 from repro.obs.server import TelemetryServer
 from repro.obs.slowlog import SlowQueryLog, read_slow_log
 from repro.query.executor import QueryEngine
@@ -126,14 +127,122 @@ class TestJsonEndpoints:
         records = json.loads(body)["records"]
         assert records and records[-1]["event"] == "itest.beta"
 
-    def test_unknown_path_404(self, server):
-        status, _, _ = _get(server.url + "/nope")
+    def test_unknown_path_404_lists_endpoints(self, server):
+        status, _, body = _get(server.url + "/nope")
         assert status == 404
+        payload = json.loads(body)
+        assert payload["error"] == "no such endpoint: /nope"
+        # The 404 page is a directory, not a dead end: every live route.
+        assert {"/metrics", "/healthz", "/varz", "/tracez", "/logz",
+                "/topz", "/profilez"} <= set(payload["endpoints"])
+        # No query service attached -> /query must NOT be advertised.
+        assert "/query" not in payload["endpoints"]
 
     def test_index_lists_endpoints(self, server):
         status, _, body = _get(server.url + "/")
         assert status == 200
-        assert "/metrics" in json.loads(body)["endpoints"]
+        endpoints = json.loads(body)["endpoints"]
+        assert "/metrics" in endpoints
+        assert "/topz" in endpoints
+        assert "/profilez" in endpoints
+
+
+class TestTopz:
+    def _burst(self, records):
+        store = RecordStore(PUBLICATION_SCHEMA)
+        populate_store(store, records)
+        store.create_index("year", IndexKind.BTREE)
+        engine = QueryEngine(store)
+        for year in (1960, 1970, 1980):
+            engine.execute(f"year >= {year} LIMIT 5")
+            engine.execute(f"year = {year}", profile=True)
+        return engine
+
+    def test_topz_serves_fingerprint_table(self, server, reference_records):
+        workload.reset()
+        self._burst(reference_records)
+        status, headers, body = _get(server.url + "/topz")
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        payload = json.loads(body)
+        templates = {row["template"]: row for row in payload["fingerprints"]}
+        assert templates["year >= ? LIMIT ?"]["calls"] == 3
+        assert templates["year = ?"]["calls"] == 3
+        # Profiled runs contributed per-operator breakdowns.
+        assert "index-lookup" in templates["year = ?"]["operators"]
+        # The btree probes landed in the key-usage histograms.
+        assert payload["key_usage"]["year"]["probes"] > 0
+        workload.reset()
+
+    def test_topz_sort_and_n_params(self, server, reference_records):
+        workload.reset()
+        self._burst(reference_records)
+        status, _, body = _get(server.url + "/topz?n=1&sort=rows_returned")
+        assert status == 200
+        payload = json.loads(body)
+        assert len(payload["fingerprints"]) == 1
+        assert payload["sort"] == "rows_returned"
+        workload.reset()
+
+    def test_topz_rejects_bad_sort(self, server):
+        status, _, body = _get(server.url + "/topz?sort=bogus")
+        assert status == 400
+        assert "sort_by" in json.loads(body)["error"]
+
+    def test_workload_family_rides_metrics_exposition(
+        self, server, reference_records
+    ):
+        workload.reset()
+        self._burst(reference_records)
+        status, _, body = _get(server.url + "/metrics")
+        assert status == 200
+        families = parse_exposition(body.decode("utf-8"))
+        calls = families["repro_workload_calls_total"]
+        assert calls["type"] == "counter"
+        assert sum(value for _, _, value in calls["samples"]) == 6.0
+        workload.reset()
+
+
+class TestProfilez:
+    def test_profilez_lifecycle_over_http(self, server):
+        profiling.get_default_profiler().reset()
+        status, _, body = _get(server.url + "/profilez")
+        assert status == 200
+        assert json.loads(body)["running"] is False
+
+        status, _, body = _get(server.url + "/profilez?action=start&hz=200")
+        assert status == 200
+        assert json.loads(body)["running"] is True
+        # A running profiler refuses a second start (409, status attached).
+        status, _, body = _get(server.url + "/profilez?action=start")
+        assert status == 409
+
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if json.loads(_get(server.url + "/profilez")[2])["samples"] > 0:
+                break
+            time.sleep(0.02)
+        status, _, body = _get(server.url + "/profilez?action=stop")
+        assert status == 200
+        stopped = json.loads(body)
+        assert stopped["running"] is False
+        assert stopped["samples"] > 0
+
+        status, headers, body = _get(server.url + "/profilez?format=collapsed")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        for line in body.decode("utf-8").splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert stack and count.isdigit()
+
+        status, _, _ = _get(server.url + "/profilez?action=reset")
+        assert status == 200
+        assert json.loads(_get(server.url + "/profilez")[2])["samples"] == 0
+
+    def test_profilez_rejects_unknown_action(self, server):
+        status, _, body = _get(server.url + "/profilez?action=enhance")
+        assert status == 400
+        assert "unknown action" in json.loads(body)["error"]
 
 
 class TestSlowQueryCorrelation:

@@ -1,0 +1,113 @@
+"""Property: fingerprints depend on query *shape*, never on literals.
+
+Random expression trees are fingerprinted twice — once as drawn, once
+with every literal replaced by a fresh random literal of the same type
+and (for AND/OR chains) the operand order shuffled — and the two
+fingerprints must collide.  A second property asserts the fingerprint
+round-trips through the parser: rendering noise (whitespace) never
+splits a shape.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.ast_nodes import (
+    And,
+    Comparison,
+    Expr,
+    Like,
+    Membership,
+    Not,
+    Operator,
+    Or,
+    Query,
+)
+from repro.query.fingerprint import fingerprint_of
+from repro.query.parser import parse_query
+
+_FIELDS = ["name", "year", "tags", "volume"]
+_COMPARE_OPS = [
+    Operator.EQ,
+    Operator.NE,
+    Operator.LT,
+    Operator.LE,
+    Operator.GT,
+    Operator.GE,
+    Operator.MATCH,
+]
+
+_literals = st.one_of(
+    st.integers(min_value=-5000, max_value=5000),
+    st.text(alphabet="abcdefgh", min_size=1, max_size=6),
+)
+
+
+@st.composite
+def expressions(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        kind = draw(st.sampled_from(["cmp", "in", "like"]))
+        field = draw(st.sampled_from(_FIELDS))
+        if kind == "cmp":
+            return Comparison(field, draw(st.sampled_from(_COMPARE_OPS)), draw(_literals))
+        if kind == "in":
+            values = draw(st.lists(_literals, min_size=1, max_size=4))
+            return Membership(field, tuple(values))
+        return Like(field, draw(st.text(alphabet="ab%_", min_size=1, max_size=5)))
+    kind = draw(st.sampled_from(["and", "or", "not"]))
+    if kind == "not":
+        return Not(draw(expressions(depth=depth + 1)))
+    left = draw(expressions(depth=depth + 1))
+    right = draw(expressions(depth=depth + 1))
+    return And(left, right) if kind == "and" else Or(left, right)
+
+
+def _relitteral(expr: Expr, rng: random.Random) -> Expr:
+    """The same expression shape with fresh literals and shuffled chains."""
+    if isinstance(expr, Comparison):
+        value = (
+            rng.randint(-5000, 5000)
+            if isinstance(expr.value, int)
+            else "".join(rng.choice("stuvwx") for _ in range(4))
+        )
+        return Comparison(expr.field, expr.op, value)
+    if isinstance(expr, Membership):
+        return Membership(
+            expr.field, tuple(rng.randint(0, 99) for _ in range(rng.randint(1, 6)))
+        )
+    if isinstance(expr, Like):
+        return Like(expr.field, "".join(rng.choice("cd%_") for _ in range(3)))
+    if isinstance(expr, Not):
+        return Not(_relitteral(expr.operand, rng))
+    if isinstance(expr, (And, Or)):
+        left = _relitteral(expr.left, rng)
+        right = _relitteral(expr.right, rng)
+        if rng.random() < 0.5 and not isinstance(expr.left, type(expr)) \
+                and not isinstance(expr.right, type(expr)):
+            # Swapping operands must not change the fingerprint
+            # (swap only at non-chain nodes to preserve chain flattening).
+            left, right = right, left
+        return type(expr)(left, right)
+    raise AssertionError(f"unhandled node {expr!r}")
+
+
+@given(expr=expressions(), seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=200, deadline=None)
+def test_fingerprint_ignores_literals_and_operand_order(expr, seed):
+    rng = random.Random(seed)
+    original = Query(where=expr, limit=10)
+    relitteraled = Query(where=_relitteral(expr, rng), limit=9999)
+    assert fingerprint_of(original) == fingerprint_of(relitteraled)
+
+
+@given(
+    year=st.integers(min_value=0, max_value=9999),
+    pad=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=50, deadline=None)
+def test_fingerprint_survives_parse_rendering_noise(year, pad):
+    spaces = " " * pad
+    noisy = parse_query(f"year{spaces}>={spaces}{year}{spaces}LIMIT{spaces}7")
+    clean = parse_query("year >= 1978 LIMIT 1")
+    assert fingerprint_of(noisy)[0] == fingerprint_of(clean)[0]

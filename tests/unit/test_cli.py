@@ -1,6 +1,7 @@
 """Unit tests for the CLI (invoked in-process via repro.cli.main)."""
 
 import json
+import re
 
 import pytest
 
@@ -140,15 +141,19 @@ class TestQueryProfile:
         assert set(doc) == {"rows", "profile"}
         assert len(doc["rows"]) == 5
         profile = doc["profile"]
-        assert set(profile) == {"plan", "plan_cached", "seconds", "row_count", "tree"}
+        assert set(profile) == {
+            "plan", "plan_cached", "fingerprint", "seconds", "row_count", "tree",
+        }
+        assert re.fullmatch(r"[0-9a-f]{12}", profile["fingerprint"])
         assert profile["row_count"] == 5
         node = profile["tree"]
         ops = []
         while True:
             assert set(node) == {
                 "op", "detail", "rows_examined", "rows_returned",
-                "seconds", "children",
+                "seconds", "cpu_ns", "bytes", "children",
             }
+            assert node["cpu_ns"] >= 0 and node["bytes"] >= 0
             assert node["rows_examined"] >= node["rows_returned"] >= 0
             assert node["seconds"] >= 0
             ops.append(node["op"])
@@ -370,3 +375,93 @@ class TestLogs:
         assert code == 0
         assert "beta.two" in out
         assert "alpha.one" not in out
+
+
+class TestTop:
+    def test_in_process_burst_renders_table(self, capsys):
+        from repro.obs import workload
+
+        workload.reset()
+        code, out, err = run(capsys, "top")
+        assert code == 0
+        assert "FINGERPRINT" in out and "TEMPLATE" in out
+        assert "year >= ? ORDER BY year ASC LIMIT ?" in out
+        assert "in-process burst" in err
+        workload.reset()
+
+    def test_json_output_has_fingerprints(self, capsys):
+        from repro.obs import workload
+
+        workload.reset()
+        code, out, _ = run(capsys, "top", "--json", "-n", "3", "--sort", "cpu_ns")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["burst"]["queries"] > 0
+        assert 1 <= len(payload["fingerprints"]) <= 3
+        assert all(row["cpu_ns"] >= 0 for row in payload["fingerprints"])
+        workload.reset()
+
+
+class TestProfile:
+    def test_profile_writes_collapsed_stacks(self, capsys, tmp_path):
+        out_file = tmp_path / "prof.folded"
+        code, _, err = run(
+            capsys, "profile", "--seconds", "0.4", "--hz", "300",
+            "--out", str(out_file),
+        )
+        assert code == 0
+        assert "samples over" in err
+        lines = out_file.read_text().strip().splitlines()
+        assert lines
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert ";" in stack or ":" in stack
+            assert count.isdigit()
+        # The burst itself must be visible in the profile.
+        assert any("repro.query" in line for line in lines)
+
+
+class TestWorkloadReport:
+    def test_report_meets_acceptance_shape(self, capsys, tmp_path):
+        out_file = tmp_path / "report.json"
+        code, _, err = run(
+            capsys, "workload-report", "--synthetic", "10000",
+            "--out", str(out_file),
+        )
+        assert code == 0
+        report = json.loads(out_file.read_text())
+        assert report["corpus"]["records"] == 10000
+        workload_snap = report["workload"]
+        # >= 3 distinct fingerprints, with operator-level breakdowns.
+        assert workload_snap["tracked"] >= 3
+        with_ops = [f for f in workload_snap["fingerprints"] if f["operators"]]
+        assert with_ops
+        for row in with_ops:
+            for op_stats in row["operators"].values():
+                assert {"calls", "rows_in", "rows_out", "cpu_ns", "wall_ns",
+                        "bytes"} <= set(op_stats)
+        # Key-usage (online) and key-distribution (offline) histograms.
+        assert report["key_usage"]["year"]["probes"] > 0
+        for field in ("surnames", "year", "volume"):
+            dist = report["key_distribution"][field]
+            assert dist["distinct_keys"] > 0
+            assert dist["top_keys"]
+        # The burst tripped at least one budget so interruptions surface.
+        assert report["burst"]["interrupted"] >= 1
+        assert "fingerprints over" in err
+
+    def test_report_to_stdout_with_reference_corpus_file(self, capsys, tmp_path):
+        corpus = {
+            "records": [
+                {"id": i, "title": f"T{i}", "authors": ["A, B."],
+                 "citation": f"{60 + i % 3}:{i} (196{i % 10})"}
+                for i in range(1, 40)
+            ]
+        }
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps(corpus))
+        code, out, _ = run(capsys, "workload-report", "--corpus", str(path))
+        assert code == 0
+        report = json.loads(out)
+        assert report["corpus"]["records"] == 39
+        assert report["workload"]["tracked"] >= 3

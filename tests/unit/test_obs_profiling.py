@@ -1,0 +1,87 @@
+"""Sampling profiler lifecycle, collapsed-stack output, and guardrails."""
+
+import re
+import threading
+import time
+
+import pytest
+
+from repro.obs.profiling import MAX_HZ, SamplingProfiler
+
+
+def _spin(stop: threading.Event) -> None:
+    while not stop.is_set():
+        sum(range(500))
+
+
+def test_lifecycle_and_status():
+    profiler = SamplingProfiler(hz=200)
+    assert not profiler.running
+    stop = threading.Event()
+    worker = threading.Thread(target=_spin, args=(stop,), daemon=True)
+    worker.start()
+    try:
+        profiler.start()
+        assert profiler.running
+        time.sleep(0.25)
+        status = profiler.stop()
+    finally:
+        stop.set()
+        worker.join()
+    assert not profiler.running
+    assert status["samples"] > 0
+    assert status["distinct_stacks"] > 0
+    assert status["active_seconds"] > 0
+    assert status["hz"] == 200
+
+
+def test_collapsed_output_is_flamegraph_format():
+    profiler = SamplingProfiler(hz=300)
+    stop = threading.Event()
+    worker = threading.Thread(target=_spin, args=(stop,), daemon=True)
+    worker.start()
+    try:
+        with profiler:  # context manager start/stop
+            time.sleep(0.2)
+    finally:
+        stop.set()
+        worker.join()
+    text = profiler.render_collapsed()
+    assert text.endswith("\n")
+    for line in text.splitlines():
+        # "<mod>:<func>(;<mod>:<func>)* <count>" — what flamegraph.pl eats.
+        assert re.fullmatch(r"[^ ]+(;[^ ]+)* \d+", line), line
+    # The spinning worker must show up under its own function name.
+    assert any("_spin" in stack for stack in profiler.collect())
+
+
+def test_double_start_raises_and_stop_is_idempotent():
+    profiler = SamplingProfiler()
+    profiler.start()
+    try:
+        with pytest.raises(RuntimeError, match="already running"):
+            profiler.start()
+    finally:
+        profiler.stop()
+    profiler.stop()  # no-op, no raise
+
+
+def test_hz_is_clamped():
+    assert SamplingProfiler(hz=0).hz == 1
+    assert SamplingProfiler(hz=10**9).hz == MAX_HZ
+
+
+def test_reset_drops_samples_and_restart_reuses():
+    profiler = SamplingProfiler(hz=300)
+    with profiler:
+        time.sleep(0.05)
+    assert profiler.status()["samples"] > 0
+    profiler.reset()
+    status = profiler.status()
+    assert status["samples"] == 0
+    assert status["distinct_stacks"] == 0
+    assert status["active_seconds"] == 0
+    # Start/stop again accumulates fresh samples into the same instance.
+    with profiler:
+        time.sleep(0.05)
+    assert profiler.status()["samples"] > 0

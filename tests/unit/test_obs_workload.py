@@ -1,0 +1,167 @@
+"""WorkloadTable / KeyUsageTable aggregation, eviction, and exposition."""
+
+import threading
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.workload import (
+    DEFAULT_EXPOSITION_LIMIT,
+    KeyUsageTable,
+    WorkloadTable,
+    render_prometheus_workload,
+)
+from tests.unit.test_obs_promexport import parse_exposition
+
+
+@pytest.fixture(autouse=True)
+def clean_metrics():
+    metrics.reset()
+    yield
+    metrics.reset()
+
+
+class TestWorkloadTable:
+    def test_record_aggregates_per_fingerprint(self):
+        table = WorkloadTable()
+        table.record("aa", "year >= ?", rows_returned=10, cpu_ns=100, wall_ns=200)
+        table.record("aa", "year >= ?", rows_returned=5, cpu_ns=50, wall_ns=70,
+                     plan_cached=True)
+        table.record("bb", "volume = ?", rows_returned=1)
+        (top,) = table.top(1)
+        assert top["fingerprint"] == "aa"
+        assert top["calls"] == 2
+        assert top["rows_returned"] == 15
+        assert top["cpu_ns"] == 150
+        assert top["wall_ns"] == 270
+        assert top["plan_cache_hits"] == 1
+        assert len(table) == 2
+
+    def test_interruption_kinds_count_separately(self):
+        table = WorkloadTable()
+        for kind in ("timeout", "timeout", "cancelled", "budget"):
+            table.record("aa", "t", interrupted=kind)
+        table.record("aa", "t", shed=True)
+        (row,) = table.top(1)
+        assert row["deadline_exceeded"] == 2
+        assert row["cancelled"] == 1
+        assert row["budget_exceeded"] == 1
+        assert row["shed"] == 1
+
+    def test_operator_breakdown_rolls_up(self):
+        table = WorkloadTable()
+        nodes = [
+            {"op": "filter", "rows_in": 10, "rows_out": 4, "cpu_ns": 5,
+             "wall_ns": 9, "bytes": 100},
+            {"op": "seq-scan", "rows_in": 10, "rows_out": 10, "cpu_ns": 7,
+             "wall_ns": 11, "bytes": 100},
+        ]
+        table.record("aa", "t", operators=nodes)
+        table.record("aa", "t", operators=nodes[:1])
+        (row,) = table.top(1)
+        assert row["operators"]["filter"] == {
+            "calls": 2, "rows_in": 20, "rows_out": 8, "cpu_ns": 10,
+            "wall_ns": 18, "bytes": 200,
+        }
+        assert row["operators"]["seq-scan"]["calls"] == 1
+
+    def test_topk_evicts_coldest_and_counts_it(self):
+        table = WorkloadTable(maxsize=2)
+        table.record("hot", "h")
+        table.record("hot", "h")
+        table.record("warm", "w")
+        table.record("cold", "c")  # evicts warm (fewest calls, not cold itself)
+        fingerprints = {row["fingerprint"] for row in table.top(10)}
+        assert fingerprints == {"hot", "cold"}
+        assert table.evicted_fingerprints == 1
+        assert table.evicted_calls == 1
+        snap = table.snapshot()
+        assert snap["evicted_fingerprints"] == 1
+        assert snap["tracked"] == 2
+
+    def test_top_sort_keys_validated(self):
+        table = WorkloadTable()
+        with pytest.raises(ValueError, match="sort_by"):
+            table.top(5, sort_by="nope")
+
+    def test_disabled_table_records_nothing(self):
+        table = WorkloadTable()
+        table.enabled = False
+        table.record("aa", "t")
+        assert len(table) == 0
+
+    def test_concurrent_records_lose_nothing(self):
+        table = WorkloadTable()
+        n, threads = 500, 8
+
+        def hammer(fingerprint: str) -> None:
+            for _ in range(n):
+                table.record(fingerprint, "t", rows_returned=1, cpu_ns=2)
+
+        workers = [
+            threading.Thread(target=hammer, args=(f"fp{i % 2}",))
+            for i in range(threads)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        rows = {r["fingerprint"]: r for r in table.top(4)}
+        assert rows["fp0"]["calls"] == n * threads // 2
+        assert rows["fp1"]["calls"] == n * threads // 2
+        assert rows["fp0"]["cpu_ns"] == n * threads  # 2 ns × calls
+
+
+class TestKeyUsageTable:
+    def test_probe_counts_and_histogram(self):
+        table = KeyUsageTable()
+        table.record("year", 1978, rows=3)
+        table.record("year", 1978, rows=2)
+        table.record("year", 1990, rows=1)
+        hist = table.histogram("year")
+        assert hist["probes"] == 3
+        assert hist["rows"] == 6
+        assert hist["tracked_keys"] == 2
+        assert hist["top_keys"][0] == {"key": "1978", "probes": 2, "rows": 5}
+        assert hist["top_key_row_share"] == round(5 / 6, 4)
+
+    def test_unseen_field_is_none(self):
+        assert KeyUsageTable().histogram("nope") is None
+
+    def test_bounded_keys_evict_least_probed(self):
+        table = KeyUsageTable(keys_per_field=2)
+        table.record("f", "a")
+        table.record("f", "a")
+        table.record("f", "b")
+        table.record("f", "c")  # evicts b
+        labels = {k["key"] for k in table.histogram("f")["top_keys"]}
+        assert labels == {"a", "c"}
+        # Totals keep counting what the bounded key map forgot.
+        assert table.histogram("f")["probes"] == 4
+
+    def test_long_keys_are_truncated(self):
+        table = KeyUsageTable()
+        table.record("f", "x" * 200)
+        (key,) = table.histogram("f")["top_keys"]
+        assert len(key["key"]) == 64
+        assert key["key"].endswith("...")
+
+
+class TestPrometheusExposition:
+    def test_empty_table_renders_empty(self):
+        assert render_prometheus_workload(WorkloadTable()) == ""
+
+    def test_exposition_parses_and_is_bounded(self):
+        table = WorkloadTable()
+        for i in range(DEFAULT_EXPOSITION_LIMIT + 5):
+            for _ in range(i + 1):  # distinct call counts: stable top-K
+                table.record(f"fp{i:02}", "t", cpu_ns=1_000_000, rows_returned=2)
+        text = render_prometheus_workload(table)
+        families = parse_exposition(text)
+        calls = families["repro_workload_calls_total"]
+        assert calls["type"] == "counter"
+        assert len(calls["samples"]) == DEFAULT_EXPOSITION_LIMIT
+        labels = {s[1]["fingerprint"] for s in calls["samples"]}
+        assert "fp00" not in labels  # coldest fell outside the cap
+        seconds = families["repro_workload_cpu_seconds_total"]
+        assert all(value > 0 for _, _, value in seconds["samples"])

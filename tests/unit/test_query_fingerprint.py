@@ -1,0 +1,131 @@
+"""Query fingerprinting: literal-invariance, shape sensitivity, threading.
+
+The fingerprint is the workload profiler's aggregation key, so its two
+contract halves are tested separately: queries differing only in
+literals or lexical noise MUST collide, and queries with different
+shapes (fields, operators, output clauses) MUST NOT.
+"""
+
+import threading
+
+import pytest
+
+from repro.corpus.wvlr import PUBLICATION_SCHEMA, populate_store
+from repro.corpus.synthetic import SyntheticCorpus, SyntheticCorpusConfig
+from repro.obs import workload
+from repro.query.executor import QueryEngine
+from repro.query.fingerprint import (
+    FINGERPRINT_HEX_LEN,
+    fingerprint_of,
+    query_template,
+)
+from repro.query.parser import parse_query
+from repro.storage.store import IndexKind, RecordStore
+
+
+def fp(text: str) -> str:
+    return fingerprint_of(parse_query(text))[0]
+
+
+class TestLiteralInvariance:
+    def test_different_literals_one_fingerprint(self):
+        assert fp('surnames:"McAteer" AND year >= 1978') == fp(
+            'surnames:"Soler" AND year >= 1990'
+        )
+
+    def test_whitespace_is_ignored(self):
+        assert fp("year   >=    1978") == fp("year >= 1978")
+
+    def test_limit_value_is_stripped(self):
+        assert fp("year >= 1950 LIMIT 5") == fp("year >= 1950 LIMIT 500")
+
+    def test_in_list_length_is_stripped(self):
+        assert fp("volume IN (1, 2)") == fp("volume IN (1, 2, 3, 4, 5)")
+
+    def test_conjunct_order_is_normalized(self):
+        assert fp('year >= 1978 AND surnames:"McAteer"') == fp(
+            'surnames:"McAteer" AND year >= 1978'
+        )
+
+    def test_disjunct_order_is_normalized(self):
+        assert fp("year = 1978 OR volume = 80") == fp("volume = 80 OR year = 1978")
+
+
+class TestShapeSensitivity:
+    @pytest.mark.parametrize(
+        "left,right",
+        [
+            ("year >= 1978", "year > 1978"),  # operator matters
+            ("year >= 1978", "volume >= 1978"),  # field matters
+            ("year >= 1978", "year >= 1978 LIMIT 10"),  # LIMIT presence
+            ("year >= 1978", "year >= 1978 ORDER BY year"),  # ORDER BY
+            ("year >= 1978 ORDER BY year", "year >= 1978 ORDER BY year DESC"),
+            ("year >= 1978", "year >= 1978 GROUP BY year"),
+            ("year = 1978 AND volume = 80", "year = 1978 OR volume = 80"),
+            ('NOT (surnames:"A")', 'surnames:"A"'),
+        ],
+    )
+    def test_distinct_shapes_distinct_fingerprints(self, left, right):
+        assert fp(left) != fp(right)
+
+    def test_fingerprint_is_short_stable_hex(self):
+        digest, template = fingerprint_of(parse_query("year >= 1978"))
+        assert len(digest) == FINGERPRINT_HEX_LEN
+        int(digest, 16)  # hex or raise
+        assert template == "year >= ?"
+        # Stable across calls (memoized and content-addressed).
+        assert fingerprint_of(parse_query("year >= 2000"))[0] == digest
+
+    def test_template_renders_output_clauses(self):
+        template = query_template(
+            parse_query("year >= 1950 GROUP BY year ORDER BY count DESC LIMIT 3")
+        )
+        assert template == "year >= ? GROUP BY year ORDER BY count DESC LIMIT ?"
+
+    def test_unhashable_literals_still_fingerprint(self):
+        # IN-lists carry list literals; the memo is skipped, the
+        # fingerprint identical.
+        assert fp("volume IN (1, 2)") == fp("volume IN (9, 10, 11)")
+
+
+class TestConcurrentAttribution:
+    """The workload table under concurrent executors: no lost rows, no
+    torn aggregates, exactly the expected call totals."""
+
+    def test_concurrent_executors_aggregate_exactly(self):
+        records = list(
+            SyntheticCorpus(SyntheticCorpusConfig(size=300, seed=7)).records()
+        )
+        store = RecordStore(PUBLICATION_SCHEMA)
+        populate_store(store, records)
+        store.create_index("year", IndexKind.BTREE)
+        table = workload.get_default_table()
+        workload.reset()
+
+        per_thread = 25
+        threads = 8
+        errors: list[BaseException] = []
+
+        def burst(seed: int) -> None:
+            engine = QueryEngine(store)
+            try:
+                for i in range(per_thread):
+                    engine.execute(f"year >= {1900 + (seed * i) % 90}")
+                    engine.execute(f"volume = {1 + (seed + i) % 30} LIMIT 5")
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        workers = [
+            threading.Thread(target=burst, args=(t + 1,)) for t in range(threads)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert not errors
+        rows = {row["template"]: row for row in table.top(10)}
+        assert rows["year >= ?"]["calls"] == per_thread * threads
+        assert rows["volume = ? LIMIT ?"]["calls"] == per_thread * threads
+        assert rows["year >= ?"]["cpu_ns"] > 0
+        assert rows["year >= ?"]["wall_ns"] > 0
+        workload.reset()
