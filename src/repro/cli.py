@@ -25,10 +25,14 @@ Subcommands
     Check (and with ``--repair``, repair) the integrity of a store
     directory: snapshot manifest, WAL segment chain, CRC frames, crash
     artifacts.  Exit code 0 = clean/repaired, 1 = repairable damage
-    found (run again with ``--repair``), 2 = fatal damage.
+    found (run again with ``--repair``), 2 = fatal damage.  A sharded
+    store root (``shards.json``) is detected automatically: every shard
+    is checked, the exit code is the worst across shards, and ``--json``
+    emits the per-shard report.
 ``checkpoint``
     Open a store directory, replay its WAL, and checkpoint it: write a
-    verified snapshot and delete the WAL segments it covers.
+    verified snapshot and delete the WAL segments it covers.  Sharded
+    roots are detected automatically and checkpointed shard-parallel.
 ``serve-telemetry``
     Run the stdlib HTTP telemetry daemon: ``/metrics`` (Prometheus),
     ``/healthz`` (fsck-backed store health), ``/varz``, ``/tracez``,
@@ -105,8 +109,28 @@ def _load_corpus(path: str | None) -> list[PublicationRecord]:
     ]
 
 
+def _records_via_shards(records: list[PublicationRecord], shards: int) -> list[PublicationRecord]:
+    """Round-trip ``records`` through an N-shard store's scatter-gather path.
+
+    The records come back via a sorted scan merged across shards —
+    byte-identical to the input corpus order (primary keys are unique),
+    so the built index is the same; the point is running the real
+    partition + merge machinery when ``--shards`` is requested.
+    """
+    from repro.query import ShardedQueryEngine
+    from repro.storage import ShardedStore
+
+    with ShardedStore(PUBLICATION_SCHEMA, shards=shards) as store:
+        populate_store(store, records)
+        with ShardedQueryEngine(store) as engine:
+            rows = engine.execute("* ORDER BY id")
+    return [PublicationRecord.from_store_dict(row) for row in rows]
+
+
 def _cmd_build(args: argparse.Namespace) -> int:
     records = _load_corpus(args.corpus)
+    if args.shards:
+        records = _records_via_shards(records, args.shards)
     options = CollationOptions(mc_as_mac=args.mc_as_mac)
     builder = AuthorIndexBuilder(options=options, resolve_variants=args.resolve)
     index = builder.add_records(records).build()
@@ -144,6 +168,19 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         Path(args.output).write_text(output, encoding="utf-8")
     else:
         print(output)
+    if args.store:
+        from repro.storage import ShardedStore
+
+        with ShardedStore(
+            PUBLICATION_SCHEMA, args.store, shards=args.shards or 1, sync=True
+        ) as store:
+            store.put_many(r.to_store_dict() for r in report.records)
+            store.checkpoint()
+            print(
+                f"stored {len(store)} records durably in "
+                f"{store.shard_count} shard(s) at {args.store}",
+                file=sys.stderr,
+            )
     print(
         f"parsed {report.record_count} records "
         f"({report.furniture_lines} furniture lines dropped, "
@@ -165,6 +202,8 @@ def _print_rows(rows: list[dict]) -> None:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     records = _load_corpus(args.corpus)
+    if args.shards:
+        return _cmd_query_sharded(args, records)
     store = RecordStore(PUBLICATION_SCHEMA)
     populate_store(store, records)
     store.create_index("surnames", IndexKind.HASH)
@@ -200,6 +239,36 @@ def _cmd_query(args: argparse.Namespace) -> int:
             _print_rows(profile.rows)
         return 0
     _print_rows(engine.execute(args.query, **bounds))
+    return 0
+
+
+def _cmd_query_sharded(args: argparse.Namespace, records: list[PublicationRecord]) -> int:
+    """``query --shards N``: scatter-gather across an N-shard store."""
+    from repro.query import ShardedQueryEngine
+    from repro.storage import ShardedStore
+
+    if args.profile:
+        print(
+            "error: --profile needs per-operator attribution and is only "
+            "available without --shards",
+            file=sys.stderr,
+        )
+        return 2
+    with ShardedStore(PUBLICATION_SCHEMA, shards=args.shards) as store:
+        populate_store(store, records)
+        store.create_index("surnames", IndexKind.HASH)
+        store.create_index("year", IndexKind.BTREE)
+        store.create_index("volume", IndexKind.BTREE)
+        with ShardedQueryEngine(store) as engine:
+            if args.explain:
+                print(engine.explain(args.query))
+                return 0
+            bounds: dict = {}
+            if args.timeout_ms is not None:
+                bounds["timeout_s"] = args.timeout_ms / 1000.0
+            if args.max_rows is not None:
+                bounds["max_rows"] = args.max_rows
+            _print_rows(engine.execute(args.query, **bounds))
     return 0
 
 
@@ -374,9 +443,26 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_fsck(args: argparse.Namespace) -> int:
-    from repro.storage.fsck import fsck
+    from repro.storage.fsck import fsck, fsck_sharded, is_sharded_root
 
-    report = fsck(args.directory, repair=args.repair)
+    if is_sharded_root(args.directory):
+        report = fsck_sharded(args.directory, repair=args.repair)
+        if args.shards is not None and len(report.shard_reports) not in (0, args.shards):
+            print(
+                f"error: expected {args.shards} shards, store has "
+                f"{len(report.shard_reports)}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        if args.shards is not None:
+            print(
+                "error: --shards given but the directory is not a sharded "
+                "store root (no shards.json)",
+                file=sys.stderr,
+            )
+            return 2
+        report = fsck(args.directory, repair=args.repair)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, ensure_ascii=False))
     else:
@@ -385,12 +471,36 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
 
 
 def _cmd_checkpoint(args: argparse.Namespace) -> int:
-    with RecordStore(PUBLICATION_SCHEMA, directory=args.directory) as store:
-        before = store._wal.total_size_bytes
-        store.checkpoint()
-        after = store._wal.total_size_bytes
+    from repro.storage import ShardedStore, is_sharded_root
+
+    if is_sharded_root(args.directory):
+        # shards= is optional (the manifest knows); when given it is
+        # cross-checked and a mismatch aborts before any shard opens.
+        with ShardedStore(
+            PUBLICATION_SCHEMA, args.directory, shards=args.shards
+        ) as store:
+            before = store.wal_size_bytes
+            store.checkpoint()
+            print(
+                f"checkpointed {len(store)} records across "
+                f"{store.shard_count} shards; WAL {before} -> "
+                f"{store.wal_size_bytes} bytes",
+                file=sys.stderr,
+            )
+        return 0
+    if args.shards is not None:
         print(
-            f"checkpointed {len(store)} records; WAL {before} -> {after} bytes",
+            "error: --shards given but the directory is not a sharded "
+            "store root (no shards.json)",
+            file=sys.stderr,
+        )
+        return 2
+    with RecordStore(PUBLICATION_SCHEMA, directory=args.directory) as store:
+        before = store.wal_size_bytes
+        store.checkpoint()
+        print(
+            f"checkpointed {len(store)} records; WAL {before} -> "
+            f"{store.wal_size_bytes} bytes",
             file=sys.stderr,
         )
     return 0
@@ -799,18 +909,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--no-pages", action="store_true", help="continuous text output")
     p_build.add_argument("--resolve", action="store_true", help="entity-resolve name variants")
     p_build.add_argument("--mc-as-mac", action="store_true", help="file Mc as Mac")
+    p_build.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        help="round-trip the corpus through an N-shard store's "
+             "scatter-gather path before building (result is identical; "
+             "exercises the partition + merge machinery)",
+    )
     p_build.set_defaults(func=_cmd_build)
 
     p_ingest = sub.add_parser("ingest", help="parse raw OCR'd index text to JSON")
     p_ingest.add_argument("input", help="raw text file")
     p_ingest.add_argument("--output", help="JSON output path (default: stdout)")
     p_ingest.add_argument("--show-warnings", action="store_true")
+    p_ingest.add_argument(
+        "--store",
+        metavar="DIR",
+        help="additionally commit the parsed records to a durable store "
+             "at DIR (WAL + checkpoint)",
+    )
+    p_ingest.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        help="with --store: partition the store into N shards and commit "
+             "them in parallel (default 1)",
+    )
     p_ingest.set_defaults(func=_cmd_ingest)
 
     p_query = sub.add_parser("query", help="query a corpus")
     p_query.add_argument("query", help='e.g. \'surnames:"McAteer" AND year >= 1980\'')
     p_query.add_argument("--corpus", help="JSON corpus path (default: bundled reference)")
     p_query.add_argument("--explain", action="store_true", help="print the plan only")
+    p_query.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        help="load the corpus into an N-shard store and execute via "
+             "scatter-gather (one worker per shard)",
+    )
     p_query.add_argument(
         "--profile",
         action="store_true",
@@ -931,6 +1069,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_fsck.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
     )
+    p_fsck.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        help="expected shard count for a sharded store root "
+             "(cross-checked against shards.json; detection is automatic)",
+    )
     p_fsck.set_defaults(func=_cmd_fsck)
 
     p_checkpoint = sub.add_parser(
@@ -938,6 +1083,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="snapshot a store directory and truncate its covered WAL segments",
     )
     p_checkpoint.add_argument("directory", help="store directory (WAL + snapshot)")
+    p_checkpoint.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        help="expected shard count for a sharded store root "
+             "(cross-checked against shards.json; detection is automatic)",
+    )
     p_checkpoint.set_defaults(func=_cmd_checkpoint)
 
     p_serve = sub.add_parser(

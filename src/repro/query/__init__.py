@@ -34,9 +34,11 @@ from repro.query.planner import (
     IndexMultiLookup,
     IndexRange,
     Plan,
+    ScatterPlan,
     plan_query,
+    plan_scatter,
 )
-from repro.query.executor import QueryEngine
+from repro.query.executor import PartialAggregate, QueryEngine, ShardedQueryEngine
 
 __all__ = [
     "Expr",
@@ -60,5 +62,9 @@ __all__ = [
     "CompositeLookup",
     "CompositeRange",
     "plan_query",
+    "plan_scatter",
+    "ScatterPlan",
+    "PartialAggregate",
     "QueryEngine",
+    "ShardedQueryEngine",
 ]

@@ -35,8 +35,11 @@ collapses to a flag check when ``repro.obs`` is disabled.
 from __future__ import annotations
 
 import base64
+import heapq
 import json
+import threading
 import time
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from itertools import islice
 from typing import TYPE_CHECKING, Any, Iterator
@@ -65,9 +68,12 @@ from repro.query.planner import (
     IndexRange,
     Plan,
     PlanCache,
+    ScatterPlan,
+    plan_scatter,
 )
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.sharded import ShardedStore
     from repro.storage.store import RecordStore
 
 _EXECUTIONS = _metrics.counter("query.executions")
@@ -908,3 +914,603 @@ def _sort_key(value: Any) -> tuple[int, Any]:
     if isinstance(value, str):
         return (3, value)
     return (4, str(value))
+
+
+# -- scatter-gather execution across a sharded store ------------------------
+
+_SCATTER_COUNT = _metrics.counter("query.scatter.count")
+_SCATTER_MERGE_SECONDS = _metrics.histogram("query.scatter.merge.seconds")
+
+
+class _SharedRowBudget:
+    """One row budget shared by every shard worker of a scatter.
+
+    The single-store guard enforces ``max_rows`` exactly; across
+    concurrently scanning workers exactness would need a lock per row, so
+    the shared ledger is charged in the same stride-sized blocks the
+    workers already tick in — the budget still trips within one stride
+    per worker of the limit, it just cannot promise ``used == limit + 1``.
+    """
+
+    __slots__ = ("max_rows", "rows", "_lock")
+
+    def __init__(self, max_rows: int):
+        self.max_rows = max_rows
+        self.rows = 0
+        self._lock = threading.Lock()
+
+    def add(self, n: int) -> int:
+        with self._lock:
+            self.rows += n
+            return self.rows
+
+
+class _EitherCancelled:
+    """Duck-typed :class:`CancelToken` view over caller + scatter tokens.
+
+    A worker must stop when either the caller cancelled the query or a
+    sibling worker failed (the scatter's internal abort); :class:`Guard`
+    only reads ``.cancelled``, so a two-token view slots straight in.
+    """
+
+    __slots__ = ("_caller", "_abort")
+
+    def __init__(self, caller: CancelToken | None, abort: CancelToken):
+        self._caller = caller
+        self._abort = abort
+
+    @property
+    def cancelled(self) -> bool:
+        return (
+            self._caller is not None and self._caller.cancelled
+        ) or self._abort.cancelled
+
+
+class _ShardGuard(Guard):
+    """Per-worker guard charging a scatter-shared row budget.
+
+    A :class:`Guard` is single-execution state and must not be shared
+    across threads, but its deadline and cancellation *inputs* are
+    thread-safe — so every worker gets its own guard wired to the shared
+    :class:`Deadline` / cancel tokens, and the row budget moves to a
+    locked :class:`_SharedRowBudget` so all workers draw from one limit.
+    """
+
+    __slots__ = ("_ledger",)
+
+    def __init__(
+        self,
+        *,
+        deadline: Deadline | None,
+        cancel: "_EitherCancelled | CancelToken | None",
+        ledger: _SharedRowBudget | None,
+        stride: int,
+    ):
+        super().__init__(deadline=deadline, cancel=cancel, stride=stride)  # type: ignore[arg-type]
+        self._ledger = ledger
+
+    def tick(self, rows: int = 1) -> None:
+        self.rows_examined += rows
+        ledger = self._ledger
+        if ledger is not None:
+            total = ledger.add(rows)
+            if total > ledger.max_rows:
+                self._raise_budget("rows", ledger.max_rows, total)
+        self._until_check -= rows
+        if self._until_check <= 0:
+            self._until_check = self.stride
+            self.check()
+
+
+@dataclass(slots=True)
+class PartialAggregate:
+    """Mergeable aggregate state over one numeric field.
+
+    Carries the classic decomposable set — count, sum, min, max — from
+    which avg derives as ``sum / count``, so per-shard partials combine
+    into exactly the whole-corpus aggregate (for ints bit-for-bit; float
+    sums can differ in the last ulp across groupings, as any
+    order-changing summation does).
+    """
+
+    count: int = 0
+    total: Any = 0
+    minimum: Any = None
+    maximum: Any = None
+
+    def add(self, value: Any) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def merge(self, other: "PartialAggregate") -> None:
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total += other.total
+        if self.minimum is None or other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if self.maximum is None or other.maximum > self.maximum:
+            self.maximum = other.maximum
+
+    def finalize(self) -> dict[str, Any]:
+        """The aggregate row: count/sum/min/max/avg (None-valued on empty)."""
+        if self.count == 0:
+            return {"count": 0, "sum": 0, "min": None, "max": None, "avg": None}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "avg": self.total / self.count,
+        }
+
+
+class ShardedQueryEngine:
+    """Scatter-gather query execution over a :class:`ShardedStore`.
+
+    Planning happens once, at the facade: the sharded store exposes the
+    same index metadata surface as a single store (epochs, kinds,
+    summed statistics), so the ordinary planner — and this engine's
+    :class:`PlanCache` — work unchanged.  The chosen plan is then split by
+    :func:`~repro.query.planner.plan_scatter`: every shard runs the access
+    path + residual against its own partition on a worker thread, and the
+    gather phase reassembles the output:
+
+    * **sorted scans** — shards return runs pre-sorted by
+      ``(ORDER BY value, primary key)`` and the gather k-way-merges them
+      lazily (:func:`heapq.merge`), stopping at LIMIT.  The primary-key
+      tiebreak totalizes the order, so the result is identical for any
+      shard count.  (It can differ from a *plain* :class:`QueryEngine` on
+      duplicate sort keys only: the plain engine's stable sort keeps
+      insertion order among ties where this engine uses primary-key
+      order.)
+    * **aggregates** — shards return partial per-value counts; the gather
+      sums and formats them exactly like
+      :meth:`QueryEngine._aggregate`, so GROUP BY output is byte-identical
+      to single-store execution.
+    * **LIMIT pushdown** — without aggregation each shard produces at most
+      LIMIT rows (bounded top-k heap when sorted, early-exit scan when
+      not) and the merged stream is trimmed again.  As in SQL, a query
+      *without* ORDER BY returns its matches in unspecified order (here:
+      shard-major), and LIMIT without ORDER BY picks an unspecified
+      subset — both depend on the shard count.  Sorted scans and
+      aggregates are the deterministic surfaces.
+
+    Deadlines, cancellation, and row budgets span the whole scatter: the
+    caller's :class:`Deadline` / :class:`CancelToken` are shared by every
+    worker directly (both are thread-safe), while the row budget moves
+    into a locked ledger all workers draw down together.  The first
+    failing worker aborts its siblings through an internal cancel token;
+    the first *root-cause* error (anything but the induced cancellation)
+    is what propagates, with ``rows_examined`` summed across workers.
+
+    Reads only — run ingest and queries from different phases, exactly as
+    with a single :class:`RecordStore`.  Profiled execution
+    (``EXPLAIN ANALYZE``) is not offered here; profile against a
+    single-store engine, where per-operator attribution is meaningful.
+    """
+
+    def __init__(
+        self,
+        store: "ShardedStore",
+        *,
+        plan_cache_size: int = 256,
+        slow_log: SlowQueryLog | None = None,
+    ):
+        self.store = store
+        self.plan_cache = PlanCache(maxsize=plan_cache_size)
+        self.slow_log = slow_log
+        self._engines = tuple(QueryEngine(shard) for shard in store.shards)
+        self._pool: ThreadPoolExecutor | None = None
+        self._shard_rows = tuple(
+            _metrics.counter("query.scatter.shard.rows", shard=str(i))
+            for i in range(store.shard_count)
+        )
+        self._bytes_per_row = 0.0
+
+    # -- public API --------------------------------------------------------
+
+    def execute(
+        self,
+        query: str | Query,
+        *,
+        guard: Guard | None = None,
+        timeout_s: float | None = None,
+        cancel: CancelToken | None = None,
+        max_rows: int | None = None,
+    ) -> list[dict[str, Any]]:
+        """Run ``query`` across all shards and return the merged records.
+
+        Bounds work as on :meth:`QueryEngine.execute` — pass a pre-built
+        :class:`Guard` or the convenience knobs — except that the bound
+        covers the *whole scatter*: the deadline and cancel token are
+        shared by every shard worker, and ``max_rows`` limits the total
+        rows examined across all shards (enforced at stride granularity;
+        see :class:`_SharedRowBudget`).
+        """
+        if guard is None and (
+            timeout_s is not None or cancel is not None or max_rows is not None
+        ):
+            guard = Guard(
+                deadline=Deadline.after(timeout_s) if timeout_s is not None else None,
+                cancel=cancel,
+                max_rows=max_rows,
+            )
+        with _logging.trace():
+            parsed = self._parse(query)
+            plan, fp, template, cached = self.plan_cache.get_or_plan_fingerprinted(
+                parsed, self.store  # type: ignore[arg-type]
+            )
+            splan = plan_scatter(plan)
+            self._check_clause_fields(splan)
+            if not _WORKLOAD_TABLE.enabled:
+                fp = None
+            start = time.perf_counter()
+            try:
+                out, examined = self._run_scatter(splan, guard)
+            except QueryInterrupted as exc:
+                if fp is not None:
+                    _RECORD_PACKED((
+                        fp, template, 0, exc.rows_examined, -1,
+                        time.perf_counter() - start,
+                        0, cached, _interruption_kind(exc), False, None,
+                    ))
+                raise
+            seconds = time.perf_counter() - start
+            _QUERY_SECONDS.observe(seconds)
+            if fp is not None:
+                # Worker CPU burns on pool threads, invisible to this
+                # thread's CPU clock — record the execution unsampled
+                # (cpu_ns = -1) rather than attribute only merge cost.
+                _RECORD_PACKED((
+                    fp, template, len(out), examined, -1, seconds,
+                    _estimate_bytes(out, examined), cached,
+                ))
+            _logging.debug(
+                "query.scatter.execute",
+                query=query if isinstance(query, str) else str(query),
+                access=plan.access.op,
+                shards=self.store.shard_count,
+                plan_cached=cached,
+                fingerprint=fp,
+                rows=len(out),
+                seconds=round(seconds, 6),
+            )
+            return out
+
+    def explain(self, query: str | Query) -> str:
+        """The scatter plan :meth:`execute` would use, as text."""
+        parsed = self._parse(query)
+        plan, _, _, _ = self.plan_cache.get_or_plan_fingerprinted(
+            parsed, self.store  # type: ignore[arg-type]
+        )
+        return plan_scatter(plan).explain()
+
+    def count(self, query: str | Query) -> int:
+        """Number of records matching ``query`` (clauses beyond the filter
+        are rejected, as on :meth:`QueryEngine.count`)."""
+        parsed = self._parse(query)
+        if parsed.group_by or parsed.order_by or parsed.limit is not None:
+            raise QueryPlanError(
+                "COUNT accepts a bare filter (no GROUP BY/ORDER BY/LIMIT)"
+            )
+        return len(self.execute(parsed))
+
+    def aggregate(
+        self,
+        query: str | Query,
+        field: str,
+        *,
+        guard: Guard | None = None,
+    ) -> dict[str, Any]:
+        """Scatter-gather numeric aggregate of ``field`` over the filter.
+
+        Each shard folds its matching records into a
+        :class:`PartialAggregate`; the partials merge into one row of
+        ``{"count", "sum", "min", "max", "avg"}`` over the non-None
+        values.  ``query`` must be a bare filter — GROUP BY COUNT goes
+        through :meth:`execute`; this is the programmatic surface for the
+        remaining decomposable aggregates.
+        """
+        parsed = self._parse(query)
+        if parsed.group_by or parsed.order_by or parsed.limit is not None:
+            raise QueryPlanError(
+                "aggregate() accepts a bare filter (no GROUP BY/ORDER BY/LIMIT)"
+            )
+        schema = self.store.schema
+        if not schema.has_field(field):
+            raise QueryPlanError(f"cannot aggregate unknown field {field!r}")
+        kind = schema.field(field).type.value
+        if kind not in ("int", "float"):
+            raise QueryPlanError(
+                f"aggregate needs a numeric field; {field!r} is {kind}"
+            )
+        plan, _, _, _ = self.plan_cache.get_or_plan_fingerprinted(
+            parsed, self.store  # type: ignore[arg-type]
+        )
+        splan = plan_scatter(plan)
+
+        def fold(rows: Iterator[dict[str, Any]]) -> PartialAggregate:
+            partial = PartialAggregate()
+            add = partial.add
+            for row in rows:
+                value = row.get(field)
+                if value is not None:
+                    add(value)
+            return partial
+
+        partials, _ = self._scatter(splan, guard, fold)
+        merged = PartialAggregate()
+        for partial in partials:
+            merged.merge(partial)
+        _EXECUTIONS.inc()
+        _SCATTER_COUNT.inc()
+        return merged.finalize()
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; shards stay open)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ShardedQueryEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- scatter/gather internals ------------------------------------------
+
+    @staticmethod
+    def _parse(query: str | Query) -> Query:
+        if isinstance(query, Query):
+            return query
+        return parse_query(query)
+
+    def _check_clause_fields(self, splan: ScatterPlan) -> None:
+        schema = self.store.schema
+        if splan.group_by is not None and not schema.has_field(splan.group_by):
+            raise QueryPlanError(f"cannot GROUP BY unknown field {splan.group_by!r}")
+        if splan.order_by is not None:
+            known = schema.has_field(splan.order_by)
+            if splan.group_by is not None:
+                known = splan.order_by in (splan.group_by, "count")
+            if not known:
+                raise QueryPlanError(
+                    f"cannot ORDER BY unknown field {splan.order_by!r}"
+                )
+
+    def _run_scatter(
+        self, splan: ScatterPlan, guard: Guard | None
+    ) -> tuple[list[dict[str, Any]], int]:
+        """Execute the scatter plan; returns (rows, rows_examined)."""
+        if splan.group_by is not None:
+            worker = self._fold_counts(splan.group_by)
+        elif splan.order_by is not None:
+            worker = self._fold_sorted(splan)
+        else:
+            worker = self._fold_plain(splan)
+        parts, examined = self._scatter(splan, guard, worker)
+
+        merge_start = time.perf_counter()
+        if splan.group_by is not None:
+            out = self._gather_counts(splan, parts)
+        elif splan.order_by is not None:
+            out = self._gather_sorted(splan, parts)
+        else:
+            out = self._gather_plain(splan, parts)
+        _SCATTER_MERGE_SECONDS.observe(time.perf_counter() - merge_start)
+        for i, part in enumerate(parts):
+            self._shard_rows[i].inc(len(part))
+        _EXECUTIONS.inc()
+        _SCATTER_COUNT.inc()
+        _ROWS_RETURNED.inc(len(out))
+        return out, examined
+
+    def _scatter(
+        self,
+        splan: ScatterPlan,
+        guard: Guard | None,
+        fold: Any,
+    ) -> tuple[list[Any], int]:
+        """Run ``fold`` over every shard's candidate rows, in parallel.
+
+        ``fold(rows_iterator) -> part`` consumes one shard's
+        residual-filtered candidates; the per-shard parts come back in
+        shard order.  Returns ``(parts, total_rows_examined)``.
+        """
+        if guard is not None:
+            guard.check()  # fail fast before spawning workers
+        abort = CancelToken()
+        worker_guards: list[Guard | None]
+        if guard is None:
+            worker_guards = [None] * self.store.shard_count
+        else:
+            ledger = (
+                _SharedRowBudget(guard.max_rows)
+                if guard.max_rows is not None
+                else None
+            )
+            cancel = _EitherCancelled(guard.cancel, abort)
+            worker_guards = [
+                _ShardGuard(
+                    deadline=guard.deadline,
+                    cancel=cancel,
+                    ledger=ledger,
+                    stride=guard.stride,
+                )
+                for _ in range(self.store.shard_count)
+            ]
+
+        def run_shard(idx: int) -> Any:
+            engine = self._engines[idx]
+            wguard = worker_guards[idx]
+            try:
+                rows = engine._candidates(splan.shard_plan, wguard)
+                residual = splan.shard_plan.residual
+                if residual is not None:
+                    rows = (r for r in rows if residual.evaluate(r))
+                return fold(rows)
+            except BaseException:
+                abort.cancel()  # stop the sibling workers promptly
+                raise
+
+        count = self.store.shard_count
+        if count == 1:
+            parts = [run_shard(0)]
+        else:
+            pool = self._pool
+            if pool is None:
+                pool = self._pool = ThreadPoolExecutor(
+                    max_workers=count, thread_name_prefix="repro-scatter"
+                )
+            futures: list[Future] = [pool.submit(run_shard, i) for i in range(count)]
+            parts = []
+            errors: list[BaseException] = []
+            for future in futures:
+                try:
+                    parts.append(future.result())
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    errors.append(exc)
+            if errors:
+                self._raise_first(errors, worker_guards)
+
+        examined = self._examined(splan, parts, worker_guards)
+        if guard is not None:
+            # Fold the workers' progress back into the caller's guard so
+            # its stats()/partial-progress reporting covers the scatter.
+            guard.rows_examined += examined
+        return parts, examined
+
+    def _examined(
+        self,
+        splan: ScatterPlan,
+        parts: list[Any],
+        worker_guards: list[Guard | None],
+    ) -> int:
+        if worker_guards[0] is not None:
+            return sum(g.rows_examined for g in worker_guards if g is not None)
+        if isinstance(splan.shard_plan.access, FullScan):
+            return len(self.store)
+        return sum(
+            part.count if isinstance(part, PartialAggregate) else len(part)
+            for part in parts
+        )
+
+    def _raise_first(
+        self, errors: list[BaseException], worker_guards: list[Guard | None]
+    ) -> None:
+        """Propagate the scatter's root cause.
+
+        Workers stopped by the internal abort token unwind with
+        :class:`QueryCancelled` — secondary noise when a sibling hit the
+        real limit — so any other error (in shard order) wins; a
+        cancellation propagates only when it is all there is (i.e. the
+        caller really cancelled).  Interrupted errors report the rows
+        examined by the *whole* scatter, not one worker.
+        """
+        total = sum(g.rows_examined for g in worker_guards if g is not None)
+        chosen = next(
+            (e for e in errors if not isinstance(e, QueryCancelled)), errors[0]
+        )
+        if isinstance(chosen, QueryInterrupted):
+            chosen.rows_examined = total
+        raise chosen
+
+    # -- per-shard folds ----------------------------------------------------
+
+    def _fold_counts(self, field: str) -> Any:
+        def fold(rows: Iterator[dict[str, Any]]) -> dict[Any, int]:
+            counts: dict[Any, int] = {}
+            for row in rows:
+                value = row.get(field)
+                if value is None:
+                    continue
+                values = value if isinstance(value, list) else [value]
+                for v in values:
+                    counts[v] = counts.get(v, 0) + 1
+            return counts
+
+        return fold
+
+    def _fold_sorted(self, splan: ScatterPlan) -> Any:
+        field = splan.order_by
+        pk = self.store.schema.primary_key
+
+        def sort_key(record: dict[str, Any]) -> tuple:
+            return (_sort_key(record.get(field)), _sort_key(record.get(pk)))
+
+        limit = splan.shard_limit
+
+        def fold(rows: Iterator[dict[str, Any]]) -> list[dict[str, Any]]:
+            if limit is not None:
+                top = heapq.nlargest if splan.descending else heapq.nsmallest
+                return top(limit, rows, key=sort_key)
+            return sorted(rows, key=sort_key, reverse=splan.descending)
+
+        return fold
+
+    def _fold_plain(self, splan: ScatterPlan) -> Any:
+        limit = splan.shard_limit
+
+        def fold(rows: Iterator[dict[str, Any]]) -> list[dict[str, Any]]:
+            if limit is not None:
+                return list(islice(rows, limit))
+            return list(rows)
+
+        return fold
+
+    # -- gather merges ------------------------------------------------------
+
+    def _gather_counts(
+        self, splan: ScatterPlan, parts: list[dict[Any, int]]
+    ) -> list[dict[str, Any]]:
+        field = splan.group_by
+        totals: dict[Any, int] = {}
+        for part in parts:
+            for value, count in part.items():
+                totals[value] = totals.get(value, 0) + count
+        # Format exactly as QueryEngine._aggregate: value-sorted rows.
+        out = [
+            {field: value, "count": count}
+            for value, count in sorted(totals.items(), key=lambda kv: _sort_key(kv[0]))
+        ]
+        if splan.order_by is not None:
+            order_field = splan.order_by
+            out.sort(
+                key=lambda r: _sort_key(r.get(order_field)),
+                reverse=splan.descending,
+            )
+        if splan.limit is not None:
+            out = out[: splan.limit]
+        return out
+
+    def _gather_sorted(
+        self, splan: ScatterPlan, parts: list[list[dict[str, Any]]]
+    ) -> list[dict[str, Any]]:
+        field = splan.order_by
+        pk = self.store.schema.primary_key
+
+        def sort_key(record: dict[str, Any]) -> tuple:
+            return (_sort_key(record.get(field)), _sort_key(record.get(pk)))
+
+        merged: Iterator[dict[str, Any]] = heapq.merge(
+            *parts, key=sort_key, reverse=splan.descending
+        )
+        if splan.limit is not None:
+            return list(islice(merged, splan.limit))
+        return list(merged)
+
+    def _gather_plain(
+        self, splan: ScatterPlan, parts: list[list[dict[str, Any]]]
+    ) -> list[dict[str, Any]]:
+        out: list[dict[str, Any]] = []
+        for part in parts:
+            out.extend(part)
+        if splan.limit is not None:
+            out = out[: splan.limit]
+        return out

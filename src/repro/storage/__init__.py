@@ -23,6 +23,7 @@ from repro.storage.wal import ChainScan, LogEntry, SegmentScan, WriteAheadLog
 from repro.storage.btree import BTree
 from repro.storage.hashindex import HashIndex
 from repro.storage.store import IndexKind, RecordStore, records_checksum
+from repro.storage.sharded import SHARD_MANIFEST, ShardedStore, shard_key_bytes, shard_of
 from repro.storage.transactions import Transaction
 from repro.storage.faultfs import (
     REAL_FS,
@@ -31,7 +32,14 @@ from repro.storage.faultfs import (
     InjectedFault,
     TransientInjectedFault,
 )
-from repro.storage.fsck import FsckIssue, FsckReport, fsck
+from repro.storage.fsck import (
+    FsckIssue,
+    FsckReport,
+    ShardedFsckReport,
+    fsck,
+    fsck_sharded,
+    is_sharded_root,
+)
 
 __all__ = [
     "Field",
@@ -46,6 +54,10 @@ __all__ = [
     "IndexKind",
     "RecordStore",
     "records_checksum",
+    "ShardedStore",
+    "SHARD_MANIFEST",
+    "shard_key_bytes",
+    "shard_of",
     "Transaction",
     "FileSystem",
     "FaultFS",
@@ -53,6 +65,9 @@ __all__ = [
     "InjectedFault",
     "TransientInjectedFault",
     "fsck",
+    "fsck_sharded",
+    "is_sharded_root",
     "FsckIssue",
     "FsckReport",
+    "ShardedFsckReport",
 ]

@@ -323,10 +323,122 @@ def _handle_tail_damage(
         report.add(REPAIRABLE, message, path)
 
 
+# -- sharded store roots ------------------------------------------------------
+
+
+def is_sharded_root(directory: Path | str) -> bool:
+    """True when ``directory`` is a sharded store root (has a manifest)."""
+    from repro.storage.sharded import SHARD_MANIFEST
+
+    return (Path(directory) / SHARD_MANIFEST).is_file()
+
+
+@dataclass(slots=True)
+class ShardedFsckReport:
+    """``fsck`` results for every shard of a sharded store root.
+
+    Shards are independent durability domains, so each gets a full
+    :class:`FsckReport` of its own; the root-level verdict is the
+    *worst-of* fold — the overall exit code is the maximum per-shard exit
+    code, with manifest problems (missing shard directories, unreadable
+    manifest) counting as fatal.
+    """
+
+    root: str
+    repair: bool
+    shard_reports: list[FsckReport] = field(default_factory=list)
+    manifest_issues: list[FsckIssue] = field(default_factory=list)
+
+    def add_manifest_issue(
+        self, severity: str, message: str, path: Path | str | None = None
+    ) -> None:
+        self.manifest_issues.append(
+            FsckIssue(severity=severity, message=message,
+                      path=str(path) if path is not None else None)
+        )
+
+    @property
+    def ok(self) -> bool:
+        return self.exit_code() == 0
+
+    def exit_code(self) -> int:
+        code = 0
+        if any(i.severity == FATAL for i in self.manifest_issues):
+            code = 2
+        elif any(i.severity == REPAIRABLE for i in self.manifest_issues):
+            code = 1
+        for report in self.shard_reports:
+            code = max(code, report.exit_code())
+        return code
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "root": self.root,
+            "repair": self.repair,
+            "sharded": True,
+            "shard_count": len(self.shard_reports),
+            "ok": self.ok,
+            "exit_code": self.exit_code(),
+            "manifest_issues": [
+                {"severity": i.severity, "message": i.message, "path": i.path}
+                for i in self.manifest_issues
+            ],
+            "shards": [report.to_dict() for report in self.shard_reports],
+        }
+
+    def render(self) -> str:
+        lines = [f"fsck (sharded) {self.root}: {len(self.shard_reports)} shard(s)"]
+        lines += [f"  {issue.render()}" for issue in self.manifest_issues]
+        for report in self.shard_reports:
+            lines += ["  " + line for line in report.render().splitlines()]
+        lines.append(f"  overall: {'clean' if self.ok else 'DAMAGED'}")
+        return "\n".join(lines)
+
+
+def fsck_sharded(root: Path | str, *, repair: bool = False) -> ShardedFsckReport:
+    """Run :func:`fsck` over every shard of the sharded store at ``root``.
+
+    Each shard directory is checked (and with ``repair=True``, repaired)
+    exactly as a standalone store; the combined report folds the verdicts
+    worst-of.  A fatal shard never stops the walk — the other shards are
+    still checked so the report shows the full blast radius.
+    """
+    from repro.storage.sharded import SHARD_MANIFEST
+
+    root = Path(root)
+    report = ShardedFsckReport(root=str(root), repair=repair)
+    manifest = root / SHARD_MANIFEST
+    try:
+        doc = json.loads(manifest.read_text(encoding="utf-8"))
+        shard_count = doc["shard_count"]
+        if not isinstance(shard_count, int) or shard_count < 1:
+            raise ValueError(f"bad shard_count {shard_count!r}")
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        report.add_manifest_issue(
+            FATAL, f"unreadable shard manifest: {exc}", manifest
+        )
+        return report
+    for index in range(shard_count):
+        shard_dir = root / f"shard-{index:02d}"
+        if not shard_dir.is_dir():
+            # A shard that never saw a write has no directory yet — an
+            # empty store is clean, not damaged.  Note it and move on.
+            report.add_manifest_issue(
+                INFO, f"shard {index:02d} has no directory (no writes yet)",
+                shard_dir,
+            )
+            continue
+        report.shard_reports.append(fsck(shard_dir, repair=repair))
+    return report
+
+
 __all__ = [
     "FsckIssue",
     "FsckReport",
+    "ShardedFsckReport",
     "fsck",
+    "fsck_sharded",
+    "is_sharded_root",
     "INFO",
     "REPAIRABLE",
     "REPAIRED",

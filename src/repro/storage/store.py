@@ -59,8 +59,11 @@ flush latency, group commits, rotations) are reported by
 
 from __future__ import annotations
 
+import contextlib
 import enum
+import gc
 import json
+import threading
 import zlib
 from dataclasses import dataclass
 from itertools import islice
@@ -131,6 +134,38 @@ def _range_label(low: Any, high: Any) -> str:
     lo = "-inf" if low is None else low
     hi = "+inf" if high is None else high
     return f"[{lo}..{hi}]"
+
+
+# Bulk operations pause the cyclic garbage collector: a 100k-record batch
+# allocates that many long-lived dicts, and the generational collector
+# otherwise rescans the growing survivor set several times mid-batch —
+# measured at ~15-20% of put_many wall time at 100k records with zero
+# garbage found (the store holds references to everything allocated).
+# The pause nests (sharded stores commit several shard batches at once,
+# possibly from worker threads) via a depth counter under a lock, and the
+# collector is re-enabled only by the outermost exit — and only if it was
+# enabled when the outermost pause began.
+_GC_PAUSE_LOCK = threading.Lock()
+_GC_PAUSE_DEPTH = 0
+_GC_PAUSE_REENABLE = False
+
+
+@contextlib.contextmanager
+def _gc_paused() -> Iterator[None]:
+    global _GC_PAUSE_DEPTH, _GC_PAUSE_REENABLE
+    with _GC_PAUSE_LOCK:
+        _GC_PAUSE_DEPTH += 1
+        if _GC_PAUSE_DEPTH == 1:
+            _GC_PAUSE_REENABLE = gc.isenabled()
+            if _GC_PAUSE_REENABLE:
+                gc.disable()
+    try:
+        yield
+    finally:
+        with _GC_PAUSE_LOCK:
+            _GC_PAUSE_DEPTH -= 1
+            if _GC_PAUSE_DEPTH == 0 and _GC_PAUSE_REENABLE:
+                gc.enable()
 
 
 def records_checksum(records: Sequence[Mapping[str, Any]]) -> str:
@@ -441,6 +476,7 @@ class RecordStore:
         on_conflict: str = "error",
         sync: bool | None = None,
         sync_every: int | None = None,
+        _prevalidated: bool = False,
     ) -> int:
         """Bulk-write ``records`` through the batched fast path.
 
@@ -449,34 +485,51 @@ class RecordStore:
         write and, when syncing, one fsync — bounded by ``sync_every``,
         see :meth:`WriteAheadLog.append_many`), and each secondary index
         is maintained with a single sorted batched update instead of one
-        top-down insert per key.  Returns the number of records written.
+        top-down insert per key.  The cyclic garbage collector is paused
+        for the duration (see ``_gc_paused``): the batch allocates only
+        long-lived objects, and mid-batch collections were the dominant
+        superlinear cost at 100k records.  Returns the number of records
+        written.
 
         ``on_conflict`` chooses what a primary key that already exists
         (in the store or earlier in the batch) means: ``"error"`` (the
         default) raises :class:`DuplicateKeyError` before any state is
         touched — the whole batch is atomic, matching ``insert()`` — and
         ``"replace"`` upserts, matching ``upsert()``.
+
+        ``_prevalidated`` is internal (used by
+        :class:`~repro.storage.sharded.ShardedStore`): the caller attests
+        ``records`` is a list of schema-valid, conflict-checked dicts
+        whose ownership transfers to the store, so validation, conflict
+        checks, and the defensive per-record copy are all skipped.
         """
         if on_conflict not in ("error", "replace"):
             raise StorageError(f"unknown on_conflict mode {on_conflict!r}")
-        materialized = [dict(record) for record in records]
+        if _prevalidated:
+            materialized = records if isinstance(records, list) else list(records)
+        else:
+            materialized = [dict(record) for record in records]
         if not materialized:
             return 0
-        batch_keys: set[Any] = set()
-        for record in materialized:
-            self.schema.validate(record)
-            if on_conflict == "error":
-                key = self.schema.primary_key_of(record)
-                if key in self._records or key in batch_keys:
-                    raise DuplicateKeyError(key)
-                batch_keys.add(key)
-        if self._wal is not None:
-            self._wal.append_many(
-                ({"op": "put", "record": record} for record in materialized),
-                sync=sync,
-                sync_every=sync_every,
-            )
-        self._apply_put_batch(materialized)
+        with _gc_paused():
+            if not _prevalidated:
+                self.schema.validate_many(materialized)
+                if on_conflict == "error":
+                    pk = self.schema.primary_key
+                    contains = self._records.__contains__
+                    batch_keys: set[Any] = set()
+                    for record in materialized:
+                        key = record[pk]
+                        if contains(key) or key in batch_keys:
+                            raise DuplicateKeyError(key)
+                        batch_keys.add(key)
+            if self._wal is not None:
+                self._wal.append_many(
+                    ({"op": "put", "record": record} for record in materialized),
+                    sync=sync,
+                    sync_every=sync_every,
+                )
+            self._apply_put_batch(materialized)
         _PUT_COUNT.inc(len(materialized))
         _PUT_MANY_COUNT.inc()
         _PUT_MANY_RECORDS.inc(len(materialized))
@@ -952,6 +1005,17 @@ class RecordStore:
         if self._directory is None:
             raise StorageError("in-memory store cannot checkpoint")
         assert self._wal is not None
+        with _gc_paused():
+            self._checkpoint_locked()
+
+    def _checkpoint_locked(self) -> None:
+        """Checkpoint body; runs with the garbage collector paused.
+
+        Serializing and read-back-verifying the full store image
+        allocates on the order of the store size with nothing to
+        collect; mid-checkpoint collections only rescan it.
+        """
+        assert self._wal is not None
         self._wal.rotate()
         covered = self._wal.highest_seal
         state = self._snapshot_state()
@@ -999,6 +1063,29 @@ class RecordStore:
     def snapshot(self) -> None:
         """Compatibility alias for :meth:`checkpoint`."""
         self.checkpoint()
+
+    @property
+    def wal_size_bytes(self) -> int:
+        """Total on-disk WAL footprint (active file plus sealed segments);
+        0 for an in-memory store."""
+        if self._wal is None:
+            return 0
+        return self._wal.total_size_bytes
+
+    def maybe_checkpoint(self, wal_bytes: int) -> bool:
+        """Checkpoint iff the WAL footprint is at least ``wal_bytes``.
+
+        The building block of a WAL-disk-bounding ingest loop: callers
+        stream batches and call this after each one, paying the
+        O(store size) snapshot cost only when the log has actually grown
+        past the bound.  Returns True when a checkpoint ran.
+        """
+        if wal_bytes <= 0:
+            raise StorageError(f"wal_bytes bound must be positive, got {wal_bytes}")
+        if self._wal is None or self.wal_size_bytes < wal_bytes:
+            return False
+        self.checkpoint()
+        return True
 
     def _verify_snapshot_file(self, path: Path, expected: dict[str, Any]) -> None:
         """Read a just-written snapshot back and verify its manifest.

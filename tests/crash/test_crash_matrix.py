@@ -26,6 +26,7 @@ import pytest
 from repro.errors import StorageError
 from repro.storage import FaultFS, InjectedFault, RecordStore, fsck
 from repro.storage.schema import Field, FieldType, Schema
+from repro.storage.wal import _frame
 
 SCHEMA = Schema(
     [Field("id", FieldType.INT), Field("name", FieldType.STRING)],
@@ -52,6 +53,7 @@ class Cell:
     fires: bool  # whether the failpoint can fire during this op at all
     expected_keys: frozenset  # exactly the committed prefix
     index_survives: bool = False  # only meaningful for op="index_create"
+    params: tuple = ()  # extra failpoint params as (key, value) pairs
 
 
 def _cells() -> list[Cell]:
@@ -71,21 +73,31 @@ def _cells() -> list[Cell]:
         raises=None, fires=False, expected_keys=BASE_KEYS | {100},
     ))
 
-    # -- put_many (group commit of 100..104), fault on the 3rd frame:
-    # recovery keeps the longest valid prefix of the batch.
+    # -- put_many (group commit of 100..104): the whole batch lands as one
+    # coalesced write, so the fault is aimed at a byte offset inside the
+    # 3rd frame; recovery keeps the longest valid prefix of the batch.
     prefix_2 = BASE_KEYS | {100, 101}
+    sizes = [len(_frame({"op": "put", "record": _rec(i)})) for i in range(100, 105)]
+    cut = sizes[0] + sizes[1] + sizes[2] // 2  # mid-3rd-frame, one chunk
+    total = sum(sizes)
     cells.append(Cell(  # fsync faults → everything since the last sync is gone
         failpoint="fail_before_fsync", op="put_many", site=".wal", skip=0,
         raises=InjectedFault, fires=True, expected_keys=BASE_KEYS,
     ))
-    for fp in ("partial_write", "torn_tail"):
-        cells.append(Cell(
-            failpoint=fp, op="put_many", site=".wal", skip=2,
-            raises=InjectedFault, fires=True, expected_keys=prefix_2,
-        ))
+    cells.append(Cell(
+        failpoint="partial_write", op="put_many", site=".wal", skip=0,
+        raises=InjectedFault, fires=True, expected_keys=prefix_2,
+        params=(("keep_bytes", cut),),
+    ))
+    cells.append(Cell(
+        failpoint="torn_tail", op="put_many", site=".wal", skip=0,
+        raises=InjectedFault, fires=True, expected_keys=prefix_2,
+        params=(("drop_bytes", total - cut),),
+    ))
     cells.append(Cell(  # silent corruption mid-batch; fsck truncates there
-        failpoint="bit_flip", op="put_many", site=".wal", skip=2,
+        failpoint="bit_flip", op="put_many", site=".wal", skip=0,
         raises=None, fires=True, expected_keys=prefix_2,
+        params=(("byte", cut),),
     ))
     cells.append(Cell(
         failpoint="fail_after_rename", op="put_many", site=".wal", skip=0,
@@ -157,7 +169,7 @@ def test_crash_matrix(cell: Cell, tmp_path):
     # Crash: reopen under fault injection, arm, run, abandon the store.
     fs = FaultFS()
     store = RecordStore(SCHEMA, directory, sync=True, fs=fs)
-    fs.arm(cell.failpoint, path=cell.site, skip=cell.skip)
+    fs.arm(cell.failpoint, path=cell.site, skip=cell.skip, **dict(cell.params))
     if cell.raises is None:
         _run_op(store, cell.op)
     else:
