@@ -1,0 +1,216 @@
+"""PAGED — millisecond reopen and working-set-bounded memory.
+
+Two experiments, written to ``BENCH_paged.json``:
+
+* **reopen** — checkpoint the same corpus in both data formats, then
+  measure cold open time.  Memory format must parse the full inline
+  snapshot (O(dataset)); paged format reads one 4 KiB meta page and
+  serves everything else read-through (O(1)).  Target: the paged store
+  reopens ≥ 10x faster at 100k records, and a full sorted scan of both
+  reopened stores is byte-identical (same records CRC).
+* **pool sweep** — a skewed point-read workload (90% of reads on a 10%
+  hot set) against the paged store at pool sizes 8 / 32 / 128 / 512
+  pages.  Reports the ``storage.bufferpool.*`` hit rate, throughput,
+  and resident bytes versus the on-disk pages file — the table behind
+  the tuning guidance in ``docs/performance.md``: memory is bounded by
+  the *pool*, not the dataset, and the knee sits where the pool covers
+  the working set.
+
+Standalone-runnable (pytest not required)::
+
+    PYTHONPATH=src python benchmarks/bench_paged.py             # print JSON
+    PYTHONPATH=src python benchmarks/bench_paged.py --quick     # CI smoke
+    PYTHONPATH=src python benchmarks/bench_paged.py --output BENCH_paged.json
+
+``--quick`` shrinks the corpus and repeat counts so CI can smoke-test the
+harness in seconds; the checked-in baseline comes from a full run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import tempfile
+from pathlib import Path
+from time import perf_counter
+
+from repro import obs
+from repro.corpus.synthetic import SyntheticCorpus, SyntheticCorpusConfig
+from repro.corpus.wvlr import PUBLICATION_SCHEMA
+from repro.storage import RecordStore, records_checksum
+from repro.storage.pages import PAGE_SIZE
+
+FULL_SIZE = 100_000
+QUICK_SIZE = 5_000
+POOL_SIZES = (8, 32, 128, 512)
+REOPEN_SPEEDUP_TARGET = 10.0
+HOT_FRACTION = 0.10  # the working set: 10% of keys ...
+HOT_PROBABILITY = 0.90  # ... take 90% of the reads
+
+_RECORD_CACHE: dict[int, list[dict]] = {}
+
+
+def _records(size: int) -> list[dict]:
+    if size not in _RECORD_CACHE:
+        config = SyntheticCorpusConfig(
+            size=size, seed=1729, author_pool=min(size // 2, 2_000)
+        )
+        corpus = SyntheticCorpus(config)
+        _RECORD_CACHE[size] = [record.to_store_dict() for record in corpus.records()]
+    return _RECORD_CACHE[size]
+
+
+def _scan_checksum(store: RecordStore) -> str:
+    return records_checksum(sorted(store.scan(), key=lambda r: r["id"]))
+
+
+def _counter(name: str) -> int:
+    return int(obs.metrics.snapshot()["counters"].get(name, 0))
+
+
+def bench_reopen(size: int, repeats: int, scratch: Path) -> dict:
+    """Cold-open latency of the same corpus in both data formats."""
+    rows = _records(size)
+    results: dict[str, dict] = {}
+    checksums: dict[str, str] = {}
+    for fmt in ("memory", "paged"):
+        directory = scratch / fmt
+        with RecordStore(PUBLICATION_SCHEMA, directory, data_format=fmt) as store:
+            store.put_many(rows)
+            store.checkpoint()
+        opens = []
+        for _ in range(repeats):
+            start = perf_counter()
+            store = RecordStore(PUBLICATION_SCHEMA, directory, data_format=fmt)
+            opens.append(perf_counter() - start)
+            store.close()
+        with RecordStore(PUBLICATION_SCHEMA, directory, data_format=fmt) as store:
+            assert len(store) == size
+            checksums[fmt] = _scan_checksum(store)
+        open_ms = sorted(opens)[len(opens) // 2] * 1e3
+        disk_bytes = sum(p.stat().st_size for p in directory.iterdir())
+        results[fmt] = {
+            "open_p50_ms": round(open_ms, 3),
+            "disk_bytes": disk_bytes,
+        }
+        print(
+            f"  reopen {size} records [{fmt}]: p50 {open_ms:.1f}ms "
+            f"({disk_bytes / 1e6:.1f} MB on disk)",
+            file=sys.stderr,
+        )
+    speedup = results["memory"]["open_p50_ms"] / results["paged"]["open_p50_ms"]
+    identical = checksums["memory"] == checksums["paged"]
+    results["speedup_paged_vs_memory"] = round(speedup, 1)
+    results["scan_checksum_identical"] = identical
+    print(
+        f"  paged reopens {speedup:.1f}x faster; scans "
+        f"{'byte-identical' if identical else 'DIVERGED'}",
+        file=sys.stderr,
+    )
+    assert identical, "paged and memory scans diverged"
+    return results
+
+
+def bench_pool_sweep(size: int, reads: int, scratch: Path) -> dict:
+    """Hit rate and resident memory across buffer-pool capacities."""
+    rows = _records(size)
+    directory = scratch / "sweep"
+    with RecordStore(PUBLICATION_SCHEMA, directory, data_format="paged") as store:
+        store.put_many(rows)
+        store.checkpoint()
+    pages_bytes = next(directory.glob("store.pages.*")).stat().st_size
+
+    keys = [row["id"] for row in rows]
+    rng = random.Random(42)
+    hot = keys[: max(1, int(len(keys) * HOT_FRACTION))]
+    workload = [
+        rng.choice(hot) if rng.random() < HOT_PROBABILITY else rng.choice(keys)
+        for _ in range(reads)
+    ]
+
+    results: dict[str, dict] = {"pages_file_bytes": pages_bytes}
+    for pool_pages in POOL_SIZES:
+        hits0, misses0 = _counter("storage.bufferpool.hits"), _counter(
+            "storage.bufferpool.misses"
+        )
+        with RecordStore(
+            PUBLICATION_SCHEMA, directory, data_format="paged",
+            pool_pages=pool_pages,
+        ) as store:
+            start = perf_counter()
+            for key in workload:
+                store.get(key)
+            elapsed = perf_counter() - start
+            # the pool, not the dataset, bounds resident record memory
+            resident = len(store._records.tree.pool) * PAGE_SIZE
+        hits = _counter("storage.bufferpool.hits") - hits0
+        misses = _counter("storage.bufferpool.misses") - misses0
+        hit_rate = hits / max(1, hits + misses)
+        assert resident <= pool_pages * PAGE_SIZE
+        results[str(pool_pages)] = {
+            "hit_rate": round(hit_rate, 4),
+            "reads_per_s": round(reads / elapsed),
+            "resident_bytes": resident,
+            "pool_bound_bytes": pool_pages * PAGE_SIZE,
+        }
+        print(
+            f"  pool {pool_pages:4d} pages: hit rate {hit_rate:6.2%}, "
+            f"{reads / elapsed:9,.0f} reads/s, resident "
+            f"{resident / 1024:.0f} KiB of {pages_bytes / 1e6:.1f} MB file",
+            file=sys.stderr,
+        )
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", help="write JSON here instead of stdout")
+    parser.add_argument(
+        "--quick", action="store_true", help="small corpus / few repeats (CI smoke)"
+    )
+    args = parser.parse_args(argv)
+
+    size = QUICK_SIZE if args.quick else FULL_SIZE
+    open_repeats = 3 if args.quick else 9
+    reads = 5_000 if args.quick else 50_000
+    obs.reset()
+    with tempfile.TemporaryDirectory(prefix="bench-paged-") as tmp:
+        reopen = bench_reopen(size, open_repeats, Path(tmp))
+        sweep = bench_pool_sweep(size, reads, Path(tmp))
+
+    speedup = reopen["speedup_paged_vs_memory"]
+    if not args.quick and speedup < REOPEN_SPEEDUP_TARGET:
+        print(
+            f"  WARNING: reopen speedup {speedup}x below the "
+            f"{REOPEN_SPEEDUP_TARGET}x target",
+            file=sys.stderr,
+        )
+    doc = {
+        "benchmark": "bench_paged",
+        "python": sys.version.split()[0],
+        "quick": args.quick,
+        "targets": {"reopen_speedup": REOPEN_SPEEDUP_TARGET},
+        "config": {
+            "records": size,
+            "open_repeats": open_repeats,
+            "sweep_reads": reads,
+            "hot_fraction": HOT_FRACTION,
+            "hot_probability": HOT_PROBABILITY,
+            "page_size": PAGE_SIZE,
+        },
+        "reopen": reopen,
+        "pool_sweep": sweep,
+    }
+    text = json.dumps(doc, indent=2)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,10 @@ Subcommands
     Open a store directory, replay its WAL, and checkpoint it: write a
     verified snapshot and delete the WAL segments it covers.  Sharded
     roots are detected automatically and checkpointed shard-parallel.
+    The on-disk data format is preserved by default; ``--paged``
+    migrates to the paged B+ tree format (v3 manifest + ``store.pages``
+    file, millisecond reopen), ``--memory`` migrates back to the
+    classic inline-records snapshot.
 ``serve-telemetry``
     Run the stdlib HTTP telemetry daemon: ``/metrics`` (Prometheus),
     ``/healthz`` (fsck-backed store health), ``/varz``, ``/tracez``,
@@ -171,14 +175,17 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     if args.store:
         from repro.storage import ShardedStore
 
+        data_format = "paged" if args.paged else "memory"
         with ShardedStore(
-            PUBLICATION_SCHEMA, args.store, shards=args.shards or 1, sync=True
+            PUBLICATION_SCHEMA, args.store, shards=args.shards or 1, sync=True,
+            data_format=data_format,
         ) as store:
             store.put_many(r.to_store_dict() for r in report.records)
             store.checkpoint()
             print(
                 f"stored {len(store)} records durably in "
-                f"{store.shard_count} shard(s) at {args.store}",
+                f"{store.shard_count} shard(s) at {args.store} "
+                f"({data_format} format)",
                 file=sys.stderr,
             )
     print(
@@ -470,21 +477,42 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
     return report.exit_code()
 
 
+def _detect_data_format(directory: Path | str) -> str:
+    """The format the store at ``directory`` last checkpointed in.
+
+    A version-3 ``snapshot.json`` means paged; anything else (v1/v2,
+    missing, unreadable — fsck's problem, not ours) means memory.  Lets
+    ``repro checkpoint`` preserve the on-disk format unless the user
+    explicitly asks to migrate.
+    """
+    try:
+        state = json.loads(
+            (Path(directory) / "snapshot.json").read_bytes().decode("utf-8")
+        )
+    except (OSError, ValueError):
+        return "memory"
+    return "paged" if state.get("version") == 3 else "memory"
+
+
 def _cmd_checkpoint(args: argparse.Namespace) -> int:
     from repro.storage import ShardedStore, is_sharded_root
 
     if is_sharded_root(args.directory):
+        data_format = args.data_format or _detect_data_format(
+            Path(args.directory) / "shard-00"
+        )
         # shards= is optional (the manifest knows); when given it is
         # cross-checked and a mismatch aborts before any shard opens.
         with ShardedStore(
-            PUBLICATION_SCHEMA, args.directory, shards=args.shards
+            PUBLICATION_SCHEMA, args.directory, shards=args.shards,
+            data_format=data_format,
         ) as store:
             before = store.wal_size_bytes
             store.checkpoint()
             print(
                 f"checkpointed {len(store)} records across "
-                f"{store.shard_count} shards; WAL {before} -> "
-                f"{store.wal_size_bytes} bytes",
+                f"{store.shard_count} shards ({data_format} format); "
+                f"WAL {before} -> {store.wal_size_bytes} bytes",
                 file=sys.stderr,
             )
         return 0
@@ -495,12 +523,15 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    with RecordStore(PUBLICATION_SCHEMA, directory=args.directory) as store:
+    data_format = args.data_format or _detect_data_format(args.directory)
+    with RecordStore(
+        PUBLICATION_SCHEMA, directory=args.directory, data_format=data_format
+    ) as store:
         before = store.wal_size_bytes
         store.checkpoint()
         print(
-            f"checkpointed {len(store)} records; WAL {before} -> "
-            f"{store.wal_size_bytes} bytes",
+            f"checkpointed {len(store)} records ({data_format} format); "
+            f"WAL {before} -> {store.wal_size_bytes} bytes",
             file=sys.stderr,
         )
     return 0
@@ -936,6 +967,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --store: partition the store into N shards and commit "
              "them in parallel (default 1)",
     )
+    p_ingest.add_argument(
+        "--paged",
+        action="store_true",
+        help="with --store: checkpoint into the paged on-disk B+ tree "
+             "format (store.pages file + LRU buffer pool) so the store "
+             "reopens in milliseconds with only the working set in RAM",
+    )
     p_ingest.set_defaults(func=_cmd_ingest)
 
     p_query = sub.add_parser("query", help="query a corpus")
@@ -1090,7 +1128,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="expected shard count for a sharded store root "
              "(cross-checked against shards.json; detection is automatic)",
     )
-    p_checkpoint.set_defaults(func=_cmd_checkpoint)
+    p_checkpoint_fmt = p_checkpoint.add_mutually_exclusive_group()
+    p_checkpoint_fmt.add_argument(
+        "--paged",
+        dest="data_format",
+        action="store_const",
+        const="paged",
+        help="write the paged B+ tree format (v3 manifest + store.pages "
+             "file); migrates a memory-format store",
+    )
+    p_checkpoint_fmt.add_argument(
+        "--memory",
+        dest="data_format",
+        action="store_const",
+        const="memory",
+        help="write the classic inline-records snapshot (v2); migrates a "
+             "paged store back",
+    )
+    p_checkpoint.set_defaults(func=_cmd_checkpoint, data_format=None)
 
     p_serve = sub.add_parser(
         "serve-telemetry",

@@ -4,8 +4,13 @@ The publisher-side substrate: publication records live in a single-writer
 embedded store with
 
 * an append-only, CRC-framed write-ahead log (:mod:`repro.storage.wal`),
-* an order-configurable B-tree for range-scannable secondary indexes
-  (:mod:`repro.storage.btree`),
+* an order-configurable in-memory B-tree for range-scannable secondary
+  indexes (:mod:`repro.storage.btree`),
+* a paged on-disk B+ tree — 4 KiB struct-packed pages, free-list, LRU
+  buffer pool with pin counts — serving checkpointed records
+  read-through so the working set, not the dataset, must fit in RAM
+  (:mod:`repro.storage.pages`, :mod:`repro.storage.bufferpool`,
+  :mod:`repro.storage.paged_btree`, :mod:`repro.storage.paged_store`),
 * a hash index for point lookups (:mod:`repro.storage.hashindex`),
 * checkpoint/rotation durability with verified snapshots
   (:mod:`repro.storage.store`),
@@ -21,8 +26,12 @@ Records are plain ``dict`` values validated against a light
 from repro.storage.schema import Field, FieldType, Schema
 from repro.storage.wal import ChainScan, LogEntry, SegmentScan, WriteAheadLog
 from repro.storage.btree import BTree
+from repro.storage.bufferpool import DEFAULT_POOL_PAGES, BufferPool
 from repro.storage.hashindex import HashIndex
-from repro.storage.store import IndexKind, RecordStore, records_checksum
+from repro.storage.paged_btree import PagedBTree
+from repro.storage.paged_store import PagedRecordMap
+from repro.storage.pages import PAGE_SIZE, PageCorruptionError, PageFile
+from repro.storage.store import DATA_FORMATS, IndexKind, RecordStore, records_checksum
 from repro.storage.sharded import SHARD_MANIFEST, ShardedStore, shard_key_bytes, shard_of
 from repro.storage.transactions import Transaction
 from repro.storage.faultfs import (
@@ -50,8 +59,16 @@ __all__ = [
     "ChainScan",
     "WriteAheadLog",
     "BTree",
+    "BufferPool",
+    "DEFAULT_POOL_PAGES",
     "HashIndex",
     "IndexKind",
+    "PAGE_SIZE",
+    "PageCorruptionError",
+    "PageFile",
+    "PagedBTree",
+    "PagedRecordMap",
+    "DATA_FORMATS",
     "RecordStore",
     "records_checksum",
     "ShardedStore",

@@ -1,0 +1,205 @@
+"""LRU buffer pool over a :class:`~repro.storage.pages.PageFile`.
+
+The pool is what makes the paged B+ tree *working-set* bound instead of
+*dataset* bound: at most ``capacity`` pages are resident at once, so a
+million-record page file can be served with a few hundred KiB of RAM as
+long as the hot keys fit.  Frames are evicted least-recently-used; a
+frame with a non-zero **pin count** is never evicted (a reader is
+holding a reference into it), and a **dirty** frame is written back to
+the page file before its slot is reused.
+
+Usage is a pin/unpin protocol — hold the pin only while decoding::
+
+    pool = BufferPool(pager, capacity=256)
+    with pool.pin(page_id) as raw:
+        node = LeafNode.unpack(raw)
+
+Thread safety: all frame bookkeeping runs under one lock, so concurrent
+readers may pin freely.  Writers (``put_page`` / ``new_page`` /
+``free_page``) assume the single-writer discipline the store layer
+already enforces — the pool serializes its own metadata, not tree
+mutations.
+
+Every pool publishes its behaviour through ``storage.bufferpool.*``
+metrics: ``hits`` / ``misses`` (counter pair — the hit rate), ``evictions``,
+``dirty_flushes`` (evictions that had to write back first), and the
+``pinned`` gauge (currently pinned frames across the process).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import StorageError
+from repro.obs import metrics as _metrics
+from repro.storage.pages import PageFile
+
+_HITS = _metrics.counter("storage.bufferpool.hits")
+_MISSES = _metrics.counter("storage.bufferpool.misses")
+_EVICTIONS = _metrics.counter("storage.bufferpool.evictions")
+_DIRTY_FLUSHES = _metrics.counter("storage.bufferpool.dirty_flushes")
+_PINNED = _metrics.gauge("storage.bufferpool.pinned")
+
+#: Default pool capacity in pages (256 × 4 KiB = 1 MiB resident).
+DEFAULT_POOL_PAGES = 256
+
+
+class _Frame:
+    __slots__ = ("data", "pin_count", "dirty")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pin_count = 0
+        self.dirty = False
+
+
+class BufferPool:
+    """Bounded page cache with pin counts and dirty write-back."""
+
+    def __init__(self, pager: PageFile, capacity: int = DEFAULT_POOL_PAGES):
+        if capacity < 1:
+            raise StorageError(f"buffer pool capacity must be >= 1, got {capacity}")
+        self._pager = pager
+        self.capacity = capacity
+        # OrderedDict as the LRU queue: most-recently-used at the end.
+        self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+        self._lock = threading.RLock()
+
+    # -- introspection (tests, stats) ----------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def resident(self) -> list[int]:
+        """Resident page ids, LRU first."""
+        with self._lock:
+            return list(self._frames)
+
+    def pin_count(self, page_id: int) -> int:
+        with self._lock:
+            frame = self._frames.get(page_id)
+            return frame.pin_count if frame is not None else 0
+
+    def is_dirty(self, page_id: int) -> bool:
+        with self._lock:
+            frame = self._frames.get(page_id)
+            return frame.dirty if frame is not None else False
+
+    # -- the pin protocol ----------------------------------------------------
+
+    @contextmanager
+    def pin(self, page_id: int) -> Iterator[bytes]:
+        """Pin ``page_id`` resident and yield its bytes.
+
+        The frame cannot be evicted while pinned; unpinning happens on
+        context exit.  A miss reads through the pager (CRC-verified) and
+        may evict the LRU unpinned frame to stay within capacity.
+        """
+        frame = self._acquire(page_id)
+        try:
+            yield frame.data
+        finally:
+            self._release(page_id)
+
+    def _acquire(self, page_id: int) -> _Frame:
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                _HITS.inc()
+                self._frames.move_to_end(page_id)
+                frame.pin_count += 1
+            else:
+                _MISSES.inc()
+                frame = _Frame(self._pager.read_page(page_id))
+                # Pin before shrinking: when every other frame is pinned,
+                # eviction must not pick the frame this call hands out.
+                frame.pin_count = 1
+                self._frames[page_id] = frame
+                self._shrink_locked()
+            _PINNED.inc()
+            return frame
+
+    def _release(self, page_id: int) -> None:
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None or frame.pin_count <= 0:
+                raise StorageError(f"unbalanced unpin of page {page_id}")
+            frame.pin_count -= 1
+            _PINNED.dec()
+
+    # -- writes --------------------------------------------------------------
+
+    def put_page(self, page_id: int, data: bytes) -> None:
+        """Install new (finalized) bytes for ``page_id`` and mark it dirty.
+
+        The write-back to disk happens on eviction or :meth:`flush`, so
+        repeated updates to a hot page cost one disk write, not many.
+        """
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                frame.data = data
+                self._frames.move_to_end(page_id)
+            else:
+                frame = _Frame(data)
+                self._frames[page_id] = frame
+                self._shrink_locked()
+            frame.dirty = True
+
+    def new_page(self) -> int:
+        """Allocate a page id from the pager (free list first)."""
+        with self._lock:
+            return self._pager.allocate()
+
+    def free_page(self, page_id: int) -> None:
+        """Drop ``page_id`` from the pool and return it to the free list."""
+        with self._lock:
+            frame = self._frames.pop(page_id, None)
+            if frame is not None and frame.pin_count > 0:
+                self._frames[page_id] = frame
+                raise StorageError(f"cannot free pinned page {page_id}")
+            self._pager.free(page_id)
+
+    # -- eviction and write-back ---------------------------------------------
+
+    def _shrink_locked(self) -> None:
+        """Evict LRU unpinned frames until within capacity."""
+        while len(self._frames) > self.capacity:
+            victim_id = None
+            for candidate_id, candidate in self._frames.items():
+                if candidate.pin_count == 0:
+                    victim_id = candidate_id
+                    break
+            if victim_id is None:
+                # Every frame is pinned; over-capacity is the lesser evil —
+                # evicting a pinned frame would invalidate a live reader.
+                return
+            victim = self._frames.pop(victim_id)
+            if victim.dirty:
+                self._pager.write_page(victim_id, victim.data)
+                _DIRTY_FLUSHES.inc()
+            _EVICTIONS.inc()
+
+    def flush(self) -> None:
+        """Write back every dirty frame (frames stay resident and clean)."""
+        with self._lock:
+            for page_id, frame in self._frames.items():
+                if frame.dirty:
+                    self._pager.write_page(page_id, frame.data)
+                    frame.dirty = False
+                    _DIRTY_FLUSHES.inc()
+
+    def clear(self) -> None:
+        """Flush then drop every frame (e.g. before closing the pager)."""
+        with self._lock:
+            self.flush()
+            for frame in self._frames.values():
+                if frame.pin_count > 0:
+                    raise StorageError("cannot clear pool with pinned frames")
+            self._frames.clear()
+
+
+__all__ = ["BufferPool", "DEFAULT_POOL_PAGES"]

@@ -4,7 +4,7 @@ The storage layer never calls :func:`open`, :func:`os.fsync`, or
 :func:`os.replace` directly; it routes every durability-relevant file
 operation through a tiny filesystem facade (:class:`FileSystem`).  The
 default :data:`REAL_FS` passes straight through to the OS.  Tests swap in
-a :class:`FaultFS`, arm one of five **named failpoints**, and drive the
+a :class:`FaultFS`, arm one of seven **named failpoints**, and drive the
 store into precisely-placed crashes:
 
 ``fail_before_fsync``
@@ -28,6 +28,17 @@ store into precisely-placed crashes:
     The next matching write silently flips one bit of its payload and
     succeeds.  Models silent media corruption — nothing fails until a
     CRC check (recovery or ``repro fsck``) catches it.
+``torn_page_write``
+    The next matching write persists only its first ``keep_bytes`` bytes
+    (default: half), then raises.  Mechanically ``partial_write``, but a
+    separate name so the paged-storage crash matrix can tear a 4 KiB
+    page write without also arming faults on WAL/snapshot paths — the
+    per-page CRC must catch the torn half on next read.
+``fail_after_page_flush``
+    The next matching fsync *succeeds* and then raises.  Models a crash
+    after page data reached stable storage but before the step that
+    makes it reachable (e.g. between flushing a new pages file and
+    publishing the snapshot manifest that references it).
 
 Failpoints are armed per :class:`FaultFS` instance (nothing global), fire
 a bounded number of times (default once), optionally skip their first
@@ -75,10 +86,12 @@ FAILPOINTS = (
     "torn_tail",
     "fail_after_rename",
     "bit_flip",
+    "torn_page_write",
+    "fail_after_page_flush",
 )
 
 #: Failpoints that intercept :meth:`FaultFile.write`.
-_WRITE_FAILPOINTS = ("partial_write", "torn_tail", "bit_flip")
+_WRITE_FAILPOINTS = ("partial_write", "torn_tail", "bit_flip", "torn_page_write")
 
 
 class InjectedFault(OSError):
@@ -173,7 +186,9 @@ class FaultFile:
     """A binary file handle whose writes route through the fault injector.
 
     Supports exactly the surface the storage layer uses: ``write``,
-    ``flush``, ``seek``, ``tell``, ``truncate``, ``close``, ``fileno``.
+    ``read``, ``flush``, ``seek``, ``tell``, ``truncate``, ``close``,
+    ``fileno``.  Reads pass straight through — they are not durability
+    relevant, but the pager needs them on the same handle it writes.
     Tracks ``synced_size`` — the file size at the last successful fsync —
     so ``fail_before_fsync`` can roll the file back to it.
     """
@@ -186,6 +201,9 @@ class FaultFile:
 
     def write(self, data: bytes) -> int:
         return self._fs._write(self, data)
+
+    def read(self, size: int = -1) -> bytes:
+        return self._real.read(size)
 
     def flush(self) -> None:
         self._real.flush()
@@ -268,8 +286,8 @@ class FaultFS(FileSystem):
         clean :class:`TransientInjectedFault` raised *before* any side
         effect — retry-safe, healed once ``times`` fires are spent.
         Extra keyword parameters configure the specific fault:
-        ``keep_bytes`` (partial_write), ``drop_bytes`` (torn_tail),
-        ``byte`` / ``bit`` (bit_flip).
+        ``keep_bytes`` (partial_write, torn_page_write), ``drop_bytes``
+        (torn_tail), ``byte`` / ``bit`` (bit_flip).
         """
         if name not in FAILPOINTS:
             raise ValueError(
@@ -346,7 +364,7 @@ class FaultFS(FileSystem):
             )
             fh.real.write(mutated)
             return len(data)
-        if armed.name == "partial_write":
+        if armed.name in ("partial_write", "torn_page_write"):
             keep = armed.params.get("keep_bytes", len(data) // 2)
             kept = data[: max(0, keep)]
         else:  # torn_tail
@@ -374,9 +392,16 @@ class FaultFS(FileSystem):
                 os.ftruncate(fh.fileno(), synced)
                 fh.seek(synced)
             raise InjectedFault("fail_before_fsync", path)
+        after = self._take("fail_after_page_flush", path)
+        if after is not None and after.transient:
+            # Side-effect free: fail before the fsync so a retry is safe.
+            raise TransientInjectedFault("fail_after_page_flush", path)
         super().fsync(fh)
         if isinstance(fh, FaultFile):
             fh.synced_size = os.fstat(fh.fileno()).st_size
+        if after is not None:
+            # The data is durable; the "crash" lands after the flush.
+            raise InjectedFault("fail_after_page_flush", path)
 
     def replace(self, src: Path | str, dst: Path | str) -> None:
         armed = self._take("fail_after_rename", src, dst)

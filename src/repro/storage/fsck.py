@@ -13,13 +13,20 @@ What it checks
 * **Snapshot** (``snapshot.json``): parses, has a supported version, and
   (version ≥ 2) its manifest agrees with its content — ``record_count``
   matches the records array and ``checksum`` matches the CRC-32 of the
-  canonical records JSON.
+  canonical records JSON.  A version-3 *paged* manifest has no inline
+  records; instead the referenced ``store.pages.NNNNNN`` file is opened
+  and deep-verified page by page (every CRC, key order, leaf chain,
+  free list), and its meta entry count / data CRC are compared against
+  the manifest.  Page-level corruption is fatal and reported with the
+  damaged page's id.
 * **Segment chain**: sealed segment numbering has no gaps above the
   snapshot's ``wal_seal``; every frame in every live segment passes the
   ``W1`` grammar, length, and CRC checks; tail damage appears only where
   a crash can legally put it — the final file of the chain.
 * **Crash artifacts**: stale sealed segments (at or below ``wal_seal``,
-  left by a crash mid-checkpoint) and stray snapshot temp files.
+  left by a crash mid-checkpoint), stray snapshot temp files, and stray
+  pages files — ``store.pages.*`` not referenced by the manifest,
+  including ``.tmp`` builds a crash abandoned mid-checkpoint.
 
 Repair policy
 -------------
@@ -32,7 +39,8 @@ Repair never invents data and never touches anything mid-chain:
   truncated to the longest valid prefix — this *does* drop acknowledged
   entries and is reported as data loss, but it is the only way to make
   the store openable again;
-* **stale segments** and **stray temp files** are deleted;
+* **stale segments**, **stray temp files**, and **stray pages files**
+  are deleted;
 * mid-chain damage (a bad sealed segment with later segments after it)
   is **fatal**: repairing it would silently drop an unbounded amount of
   acknowledged data, so fsck reports and refuses.
@@ -53,9 +61,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
-from repro.errors import CorruptLogError
+from repro.errors import CorruptLogError, StorageError
 from repro.obs import logging as _logging
 from repro.obs import metrics as _metrics
+from repro.storage.paged_btree import PagedBTree
+from repro.storage.pages import PageCorruptionError
 from repro.storage.store import _SUPPORTED_SNAPSHOT_VERSIONS, records_checksum
 from repro.storage.wal import SegmentScan, WriteAheadLog, sealed_segment_paths
 
@@ -171,7 +181,8 @@ def fsck(
         snapshot_path = directory / snapshot_name
         wal_base = directory / wal_name
         _check_stray_tmp(report, snapshot_path, repair)
-        wal_seal = _check_snapshot(report, snapshot_path)
+        wal_seal, pages_name = _check_snapshot(report, snapshot_path)
+        _check_stray_pages(report, directory, pages_name, repair)
         _check_chain(report, wal_base, wal_seal, repair)
         return report
     finally:
@@ -201,24 +212,33 @@ def _check_stray_tmp(report: FsckReport, snapshot_path: Path, repair: bool) -> N
         report.add(REPAIRABLE, "stray snapshot temp file (crash artifact)", tmp)
 
 
-def _check_snapshot(report: FsckReport, snapshot_path: Path) -> int:
-    """Validate the snapshot manifest; returns its ``wal_seal`` (0 if none)."""
+def _check_snapshot(report: FsckReport, snapshot_path: Path) -> tuple[int, str | None]:
+    """Validate the snapshot manifest.
+
+    Returns ``(wal_seal, pages_name)`` — the seal the snapshot covers
+    (0 when there is none) and, for a paged (v3) manifest, the name of
+    the pages file it references (``None`` otherwise), so the caller can
+    treat every *other* ``store.pages.*`` file as a stray.
+    """
     if not snapshot_path.exists():
         report.add(INFO, "no snapshot (recovery is WAL-only)")
-        return 0
+        return 0, None
     try:
         state = json.loads(snapshot_path.read_bytes().decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         report.add(FATAL, f"snapshot is not valid JSON: {exc}", snapshot_path)
-        return 0
+        return 0, None
     version = state.get("version")
     if version not in _SUPPORTED_SNAPSHOT_VERSIONS:
         report.add(FATAL, f"unsupported snapshot version {version!r}", snapshot_path)
-        return 0
+        return 0, None
+    if version == 3:
+        pages_name = _check_paged_snapshot(report, snapshot_path, state)
+        return int(state.get("wal_seal", 0)), pages_name
     records = state.get("records")
     if not isinstance(records, list):
         report.add(FATAL, "snapshot has no records array", snapshot_path)
-        return 0
+        return 0, None
     report.snapshot_records = len(records)
     if version >= 2:
         if state.get("record_count") != len(records):
@@ -238,7 +258,106 @@ def _check_snapshot(report: FsckReport, snapshot_path: Path) -> int:
             )
     else:
         report.add(INFO, "version-1 snapshot (no manifest; count/checksum unchecked)")
-    return int(state.get("wal_seal", 0))
+    return int(state.get("wal_seal", 0)), None
+
+
+def _check_paged_snapshot(
+    report: FsckReport, snapshot_path: Path, state: dict[str, Any]
+) -> str | None:
+    """Deep-verify the pages file a v3 manifest references.
+
+    Walks every reachable page through the pager (CRC-checked reads, key
+    order, uniform depth, leaf chain, overflow chains, free list) and
+    compares the meta page's entry count / data CRC against the
+    manifest.  Returns the referenced pages-file name when the manifest
+    at least names one, so stray detection knows what to keep.
+    """
+    pages_name = state.get("pages")
+    if not isinstance(pages_name, str) or not pages_name or "/" in pages_name:
+        report.add(
+            FATAL,
+            f"paged snapshot has a bad pages reference: {pages_name!r}",
+            snapshot_path,
+        )
+        return None
+    record_count = state.get("record_count")
+    if isinstance(record_count, int):
+        report.snapshot_records = record_count
+    pages_path = snapshot_path.parent / pages_name
+    if not pages_path.exists():
+        report.add(
+            FATAL,
+            f"paged snapshot references missing pages file {pages_name}",
+            pages_path,
+        )
+        return pages_name
+    tree: PagedBTree | None = None
+    try:
+        tree = PagedBTree(pages_path, pool_pages=64)
+        stats = tree.verify()
+    except PageCorruptionError as exc:
+        report.add(FATAL, f"page-level corruption in pages file: {exc}", pages_path)
+        return pages_name
+    except (StorageError, OSError) as exc:
+        report.add(FATAL, f"unreadable pages file: {exc}", pages_path)
+        return pages_name
+    finally:
+        if tree is not None:
+            tree.abandon()
+    damaged = False
+    if stats["entries"] != record_count:
+        damaged = True
+        report.add(
+            FATAL,
+            f"paged snapshot manifest says {record_count} records, "
+            f"pages file holds {stats['entries']}",
+            pages_path,
+        )
+    try:
+        expected_crc = int(str(state.get("checksum", "")), 16)
+    except ValueError:
+        expected_crc = -1
+    if stats["data_crc"] != expected_crc:
+        damaged = True
+        report.add(
+            FATAL,
+            f"pages checksum mismatch: manifest {state.get('checksum')!r}, "
+            f"pages file {stats['data_crc']:08x}",
+            pages_path,
+        )
+    if not damaged:
+        report.add(
+            INFO,
+            f"pages file verified: {stats['pages']} pages, "
+            f"{stats['entries']} entries, depth {stats['depth']}",
+            pages_path,
+        )
+    return pages_name
+
+
+def _check_stray_pages(
+    report: FsckReport, directory: Path, pages_name: str | None, repair: bool
+) -> None:
+    """Flag ``store.pages.*`` files the manifest does not reference.
+
+    A crash between publishing a pages file and publishing the manifest
+    (or during the tmp build, or before the post-checkpoint sweep of
+    superseded files) leaves extras behind.  They are never read by
+    recovery, so deleting them is always safe.
+    """
+    for path in sorted(directory.glob("store.pages.*")):
+        if pages_name is not None and path.name == pages_name:
+            continue
+        kind = (
+            "temp pages file"
+            if path.name.endswith(".tmp")
+            else "unreferenced pages file"
+        )
+        if repair:
+            path.unlink()
+            report.add(REPAIRED, f"removed stray {kind} (crash artifact)", path)
+        else:
+            report.add(REPAIRABLE, f"stray {kind} (crash artifact)", path)
 
 
 def _check_chain(

@@ -150,6 +150,8 @@ class ShardedStore:
         checkpoint_wal_bytes: int | None = None,
         fs: "_faultfs.FileSystem | None" = None,
         retry: "RetryPolicy | None" = None,
+        data_format: str = "memory",
+        pool_pages: int | None = None,
     ):
         self.schema = schema
         self.root: Path | None = Path(root) if root is not None else None
@@ -182,6 +184,13 @@ class ShardedStore:
         if self.root is not None:
             self.root.mkdir(parents=True, exist_ok=True)
             self._write_manifest()
+        # data_format/pool_pages pass straight through: each shard is a
+        # complete RecordStore, so paged checkpoints and read-through
+        # recovery compose per shard unchanged (pool memory is bounded
+        # per shard — budget pool_pages accordingly at high shard counts).
+        shard_kwargs: dict[str, Any] = {"data_format": data_format}
+        if pool_pages is not None:
+            shard_kwargs["pool_pages"] = pool_pages
         self.shards: tuple[RecordStore, ...] = tuple(
             RecordStore(
                 schema,
@@ -189,6 +198,7 @@ class ShardedStore:
                 sync=sync,
                 fs=fs,
                 retry=retry,
+                **shard_kwargs,
             )
             for i in range(count)
         )

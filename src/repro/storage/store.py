@@ -84,16 +84,34 @@ from repro.obs import metrics as _metrics
 from repro.obs import workload as _workload
 from repro.storage import faultfs as _faultfs
 from repro.storage.btree import BTree
+from repro.storage.bufferpool import DEFAULT_POOL_PAGES
 from repro.storage.hashindex import HashIndex
+from repro.storage.paged_btree import PagedBTree
+from repro.storage.paged_store import (
+    PagedRecordMap,
+    StreamingChecksum,
+    encode_record,
+)
 from repro.storage.schema import FieldType, Schema
 from repro.resilience.retry import RetryBudget, RetryPolicy
 from repro.storage.wal import WriteAheadLog
 
-#: Current snapshot format.  Version 2 added the manifest fields
+#: Current snapshot formats.  Version 2 added the manifest fields
 #: (``wal_seal``, ``record_count``, ``checksum``); version-1 snapshots
-#: (no manifest, single-file WAL) still load.
+#: (no manifest, single-file WAL) still load.  Version 3 is the *paged*
+#: manifest: instead of an inline ``records`` array it references a
+#: ``store.pages.NNNNNN`` B+ tree file holding the records, so recovery
+#: opens read-through instead of loading everything.
 _SNAPSHOT_VERSION = 2
-_SUPPORTED_SNAPSHOT_VERSIONS = (1, 2)
+_PAGED_SNAPSHOT_VERSION = 3
+_SUPPORTED_SNAPSHOT_VERSIONS = (1, 2, 3)
+
+#: Accepted ``data_format`` values: what :meth:`RecordStore.checkpoint`
+#: writes.  Recovery auto-detects the on-disk format from the manifest,
+#: so either setting opens either kind of directory — the flag controls
+#: the *next* checkpoint, which is how migrations run in both
+#: directions.
+DATA_FORMATS = ("memory", "paged")
 
 _GET_COUNT = _metrics.counter("storage.store.get.count")
 _PUT_COUNT = _metrics.counter("storage.store.put.count")
@@ -225,12 +243,18 @@ _TAIL = _TailType()
 class _SecondaryIndex:
     field: str  #: single field name, or "a+b+…" for composites
     kind: IndexKind
-    structure: BTree | HashIndex
+    #: ``None`` means declared-but-not-built: paged recovery registers
+    #: index declarations without scanning the data (that would defeat
+    #: the O(1) open); the first read through the index materializes it
+    #: (see ``RecordStore._ensure_index_built``).
+    structure: BTree | HashIndex | None
     fields: tuple[str, ...] = ()  #: non-empty only for composites
 
     @property
     def supports_range(self) -> bool:
-        return isinstance(self.structure, BTree)
+        # Decided by kind, not by isinstance: a lazy index has no
+        # structure yet but its range capability is already known.
+        return self.kind is IndexKind.BTREE
 
     @property
     def is_composite(self) -> bool:
@@ -284,6 +308,17 @@ class RecordStore:
     sync:
         fsync the WAL on every append (durable but slow); benchmarks
         measure both settings.
+    data_format:
+        What checkpoints write: ``"memory"`` (the classic v2 snapshot —
+        records inline in ``snapshot.json``, fully loaded at open) or
+        ``"paged"`` (a v3 manifest referencing a ``store.pages.NNNNNN``
+        B+ tree file, opened read-through in O(1) with only the working
+        set resident).  Recovery auto-detects the on-disk format, so
+        opening with the *other* flag and checkpointing migrates the
+        directory.
+    pool_pages:
+        Buffer-pool capacity (in 4 KiB pages) for paged reads; bounds
+        resident memory for the record data.
 
     >>> from repro.storage.schema import Field, FieldType, Schema
     >>> schema = Schema([Field("id", FieldType.INT), Field("t", FieldType.STRING)],
@@ -305,15 +340,27 @@ class RecordStore:
         sync: bool = False,
         fs: _faultfs.FileSystem | None = None,
         retry: RetryPolicy | None = None,
+        data_format: str = "memory",
+        pool_pages: int = DEFAULT_POOL_PAGES,
     ):
+        if data_format not in DATA_FORMATS:
+            raise StorageError(
+                f"unknown data_format {data_format!r}; expected one of {DATA_FORMATS}"
+            )
         self.schema = schema
+        self._data_format = data_format
+        self._pool_pages = pool_pages
         #: Filesystem facade for all durability-relevant I/O; tests pass a
         #: :class:`repro.storage.faultfs.FaultFS` to inject crashes.
         self._fs = fs if fs is not None else _faultfs.REAL_FS
         #: Retry policy shared by the WAL and the snapshot writer: heals
         #: transient I/O faults, passes permanent ones through untouched.
         self._retry = retry if retry is not None else RetryPolicy(budget=RetryBudget())
-        self._records: dict[Any, dict[str, Any]] = {}
+        #: Primary store of records: a plain dict in memory format, a
+        #: :class:`PagedRecordMap` (on-disk tree + in-memory overlay)
+        #: once a paged checkpoint exists.  Both expose the same mapping
+        #: surface; the paged map iterates in primary-key order.
+        self._records: dict[Any, dict[str, Any]] | PagedRecordMap = {}
         self._indexes: dict[str, _SecondaryIndex] = {}
         #: Monotone counter bumped on every applied put/delete; lets
         #: derived structures (caches, search engines) detect staleness.
@@ -353,6 +400,35 @@ class RecordStore:
     def _snapshot_path(self) -> Path:
         assert self._directory is not None
         return self._directory / "snapshot.json"
+
+    def _pages_name(self, seal: int) -> str:
+        """Pages file published by the checkpoint covering WAL seal ``seal``.
+
+        Versioned by seal (like WAL segments) so a crash mid-checkpoint
+        can never leave the manifest pointing at a half-rewritten file:
+        a new checkpoint always publishes a *new* name, the manifest
+        flips atomically, and superseded files are removed last (a crash
+        before that leaves fsck-repairable strays).
+        """
+        return f"store.pages.{seal:06d}"
+
+    @property
+    def data_format(self) -> str:
+        """The format the next checkpoint will write."""
+        return self._data_format
+
+    @property
+    def is_paged(self) -> bool:
+        """Whether records are currently served read-through from pages."""
+        return isinstance(self._records, PagedRecordMap)
+
+    @property
+    def overlay_size(self) -> int:
+        """Records buffered in memory since the last paged checkpoint
+        (0 when not paged — everything is in memory anyway)."""
+        if isinstance(self._records, PagedRecordMap):
+            return self._records.overlay_size
+        return 0
 
     # -- basic accessors -----------------------------------------------------
 
@@ -549,6 +625,8 @@ class RecordStore:
             by_key[self.schema.primary_key_of(record)] = record
         additions: list[tuple[_SecondaryIndex, list[tuple[Any, Any]]]] = []
         for index in self._indexes.values():
+            if index.structure is None:
+                continue  # lazy: the eventual build scans current state
             pairs = [
                 (index_key, key)
                 for key, record in by_key.items()
@@ -570,6 +648,7 @@ class RecordStore:
         self.mutation_count += len(by_key)
         self._records.update(by_key)
         for index, pairs in additions:
+            assert index.structure is not None
             index.structure.insert_many(pairs)
 
     def apply_batch(self, operations: list[dict[str, Any]]) -> None:
@@ -734,6 +813,52 @@ class RecordStore:
         self.index_epoch += 1
         return name
 
+    def _ensure_index_built(self, index: _SecondaryIndex) -> BTree | HashIndex:
+        """Materialize a lazily-declared index on first use.
+
+        Paged recovery declares indexes without building them (building
+        would scan the whole store and defeat the O(1) open); the first
+        read through an index pays the build cost instead.  Writes that
+        arrive before first use simply skip the unbuilt index — the
+        build scans the *current* records, so nothing is missed.
+        """
+        structure = index.structure
+        if structure is not None:
+            return structure
+        if index.is_composite:
+            fields = index.fields
+            structure = self._bulk_build_btree(
+                lambda record: _composite_keys(record, fields), 32
+            )
+        elif index.kind is IndexKind.BTREE:
+            field = index.field
+            structure = self._bulk_build_btree(
+                lambda record: _index_keys(record, field), 32
+            )
+        else:
+            structure = HashIndex.bulk_load(
+                (index_key, key)
+                for key, record in self._records.items()
+                for index_key in _index_keys(record, index.field)
+            )
+        index.structure = structure
+        return structure
+
+    def _declare_index(self, index_def: Mapping[str, Any]) -> None:
+        """Register an index declaration without building it (paged open)."""
+        if "fields" in index_def:
+            fields = tuple(index_def["fields"])
+            name = COMPOSITE_SEPARATOR.join(fields)
+            self._indexes[name] = _SecondaryIndex(
+                field=name, kind=IndexKind.BTREE, structure=None, fields=fields
+            )
+        else:
+            field = index_def["field"]
+            self._indexes[field] = _SecondaryIndex(
+                field=field, kind=IndexKind(index_def["kind"]), structure=None
+            )
+        self.index_epoch += 1
+
     def _bulk_build_btree(
         self, key_extractor: Callable[[Mapping[str, Any]], list[Any]], order: int
     ) -> BTree:
@@ -770,9 +895,8 @@ class RecordStore:
         index = self._require_composite(fields)
         if len(values) != len(fields):
             raise StorageError("values must match the composite's fields")
-        out = [
-            dict(self._records[pk]) for pk in index.structure.search(tuple(values))
-        ]
+        structure = self._ensure_index_built(index)
+        out = [dict(self._records[pk]) for pk in structure.search(tuple(values))]
         _KEY_USAGE.record(
             COMPOSITE_SEPARATOR.join(fields), tuple(values), len(out)
         )
@@ -811,9 +935,10 @@ class RecordStore:
         else:
             high_key = prefix_tuple + (_TAIL,)
             include_high_effective = True
-        assert isinstance(index.structure, BTree)
+        structure = self._ensure_index_built(index)
+        assert isinstance(structure, BTree)
         out = []
-        for key_tuple, pk in index.structure.range(
+        for key_tuple, pk in structure.range(
             low_key, high_key, include_low=True, include_high=include_high_effective
         ):
             if key_tuple[: len(prefix_tuple)] != prefix_tuple:
@@ -870,9 +995,10 @@ class RecordStore:
         index = self._indexes.get(field)
         if index is None:
             return None
+        structure = self._ensure_index_built(index)
         return {
-            "distinct_keys": index.structure.distinct_keys,
-            "entries": len(index.structure),
+            "distinct_keys": structure.distinct_keys,
+            "entries": len(structure),
         }
 
     # -- index-backed reads -----------------------------------------------------
@@ -885,10 +1011,11 @@ class RecordStore:
         _FIND_BY_COUNT.inc()
         index = self._indexes.get(field)
         if index is not None:
+            structure = self._ensure_index_built(index)
             # A list field may contain the value twice; keep first hits only.
             seen: set[Any] = set()
             out = []
-            for pk in index.structure.search(value):
+            for pk in structure.search(value):
                 if pk not in seen:
                     seen.add(pk)
                     out.append(dict(self._records[pk]))
@@ -912,8 +1039,9 @@ class RecordStore:
         _RANGE_BY_COUNT.inc()
         index = self._indexes.get(field)
         if index is not None and index.supports_range:
-            assert isinstance(index.structure, BTree)
-            pairs = index.structure.range(
+            structure = self._ensure_index_built(index)
+            assert isinstance(structure, BTree)
+            pairs = structure.range(
                 low, high, include_low=include_low, include_high=include_high
             )
             out = [dict(self._records[pk]) for _, pk in pairs]
@@ -943,6 +1071,8 @@ class RecordStore:
         key = self.schema.primary_key_of(record)
         self._records[key] = record
         for index in self._indexes.values():
+            if index.structure is None:
+                continue  # lazy: the eventual build scans current state
             for index_key in _keys_for(record, index):
                 index.structure.insert(index_key, key)
 
@@ -950,6 +1080,8 @@ class RecordStore:
         self.mutation_count += 1
         record = self._records.pop(key)
         for index in self._indexes.values():
+            if index.structure is None:
+                continue  # lazy: the eventual build scans current state
             for index_key in _keys_for(record, index):
                 index.structure.remove(index_key, key)
 
@@ -959,14 +1091,18 @@ class RecordStore:
 
     # -- durability ---------------------------------------------------------------
 
-    def _snapshot_state(self) -> dict[str, Any]:
-        """The full-state snapshot document, manifest fields included."""
-        index_defs = []
+    def _index_defs(self) -> list[dict[str, Any]]:
+        index_defs: list[dict[str, Any]] = []
         for idx in self._indexes.values():
             if idx.is_composite:
                 index_defs.append({"fields": list(idx.fields), "kind": idx.kind.value})
             else:
                 index_defs.append({"field": idx.field, "kind": idx.kind.value})
+        return index_defs
+
+    def _snapshot_state(self) -> dict[str, Any]:
+        """The full-state snapshot document, manifest fields included."""
+        index_defs = self._index_defs()
         records = list(self._records.values())
         assert self._wal is not None
         return {
@@ -1011,11 +1147,31 @@ class RecordStore:
     def _checkpoint_locked(self) -> None:
         """Checkpoint body; runs with the garbage collector paused.
 
+        Dispatches on the configured data format — the manifest the
+        snapshot publishes decides what the *next* open does, which is
+        how ``repro checkpoint --paged`` migrates a directory in place
+        (and back).
+        """
+        if self._data_format == "paged":
+            self._checkpoint_paged_locked()
+        else:
+            self._checkpoint_memory_locked()
+
+    def _checkpoint_memory_locked(self) -> None:
+        """Classic v2 checkpoint: records inline in ``snapshot.json``.
+
         Serializing and read-back-verifying the full store image
         allocates on the order of the store size with nothing to
         collect; mid-checkpoint collections only rescan it.
         """
         assert self._wal is not None
+        # Downgrade path: a paged directory checkpointed in memory format
+        # materializes everything back into a plain dict first, and drops
+        # the pages files once the inline snapshot is published.
+        old_map: PagedRecordMap | None = None
+        if isinstance(self._records, PagedRecordMap):
+            old_map = self._records
+            self._records = {key: record for key, record in old_map.items()}
         self._wal.rotate()
         covered = self._wal.highest_seal
         state = self._snapshot_state()
@@ -1048,6 +1204,10 @@ class RecordStore:
                 removed += 1
         if removed:
             self._fs.fsync_dir(self._directory)
+        if old_map is not None:
+            # The inline snapshot now owns the data; retire the pages.
+            old_map.close()
+            self._remove_pages_files(keep=None)
         self._snapshot_seal = covered
         _CHECKPOINT_COUNT.inc()
         _CHECKPOINT_SEGMENTS_REMOVED.inc(removed)
@@ -1059,6 +1219,180 @@ class RecordStore:
             segments_removed=removed,
             bytes_reclaimed=reclaimed,
         )
+
+    def _checkpoint_paged_locked(self) -> None:
+        """Paged (v3) checkpoint: publish a B+ tree pages file.
+
+        Same crash-ordered protocol as the memory checkpoint, with the
+        pages file slotted in before the manifest:
+
+        1. **Rotate** the WAL; the covered seal names the pages file.
+        2. **Build** ``store.pages.NNNNNN.tmp`` by streaming the records
+           in pk order through :meth:`PagedBTree.bulk_build` (unmodified
+           base records pass through as stored bytes), computing the
+           records CRC on the way; fsync; then **verify by re-opening**
+           — every page CRC-checked, entry count and data CRC compared.
+        3. **Publish the pages file** (atomic rename to its final name +
+           directory fsync).  A crash here leaves an unreferenced pages
+           file: a stray, repairable by ``repro fsck``.
+        4. **Publish the manifest** — a v3 ``snapshot.json`` referencing
+           the pages file by name, with the same ``wal_seal`` /
+           ``record_count`` / ``checksum`` fields as v2 but no inline
+           records.  Written to a temp file, verified by read-back,
+           renamed, directory fsynced.
+        5. **Reclaim**: covered WAL segments, then superseded
+           ``store.pages.*`` files.
+
+        Afterwards the store serves read-through from the new pages file
+        with an empty overlay.
+        """
+        assert self._wal is not None
+        assert self._directory is not None
+        self._wal.rotate()
+        covered = self._wal.highest_seal
+        pages_name = self._pages_name(covered)
+        pages_path = self._directory / pages_name
+        tmp_pages = self._directory / (pages_name + ".tmp")
+        tmp_pages.unlink(missing_ok=True)
+        checksum = StreamingChecksum()
+        if isinstance(self._records, PagedRecordMap):
+            source: Iterator[tuple[Any, bytes]] = self._records.sorted_encoded_items()
+        else:
+            source = (
+                (key, encode_record(record))
+                for key, record in sorted(
+                    self._records.items(), key=lambda item: item[0]
+                )
+            )
+
+        def stream() -> Iterator[tuple[Any, bytes]]:
+            for key, raw in source:
+                checksum.add(raw)
+                yield key, raw
+
+        tree: PagedBTree | None = None
+        try:
+            tree = PagedBTree.bulk_build(
+                tmp_pages, stream(), fs=self._fs, pool_pages=self._pool_pages
+            )
+            record_count = tree.entry_count
+            tree.set_data_crc(checksum.value())
+            self._retry.call(tree.flush, describe="checkpoint.pages.flush")
+            tree.close()
+            tree = None
+            self._verify_pages_file(tmp_pages, record_count, checksum.value())
+            self._retry.call(
+                lambda: self._fs.replace(tmp_pages, pages_path),
+                describe="checkpoint.pages.replace",
+            )
+        except BaseException:
+            if tree is not None:
+                tree.abandon()
+            tmp_pages.unlink(missing_ok=True)
+            raise
+        self._fs.fsync_dir(self._directory)
+        state = {
+            "version": _PAGED_SNAPSHOT_VERSION,
+            "format": "paged",
+            "pages": pages_name,
+            "wal_seal": covered,
+            "record_count": record_count,
+            "checksum": checksum.hexdigest(),
+            "indexes": self._index_defs(),
+        }
+        payload = json.dumps(state, ensure_ascii=False).encode("utf-8")
+        tmp = self._snapshot_path.with_suffix(".json.tmp")
+        try:
+            fh = self._fs.open(tmp, "wb")
+            try:
+                self._retry.call(lambda: fh.write(payload), describe="checkpoint.write")
+                self._retry.call(lambda: self._fs.fsync(fh), describe="checkpoint.fsync")
+            finally:
+                fh.close()
+            self._verify_paged_manifest(tmp, state)
+            self._retry.call(
+                lambda: self._fs.replace(tmp, self._snapshot_path),
+                describe="checkpoint.replace",
+            )
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        self._fs.fsync_dir(self._directory)
+        removed = 0
+        reclaimed = 0
+        for seal, sealed in self._wal.sealed_segments():
+            if seal <= covered:
+                reclaimed += sealed.stat().st_size
+                self._fs.remove(sealed)
+                removed += 1
+        old_map = self._records if isinstance(self._records, PagedRecordMap) else None
+        if old_map is not None:
+            old_map.close()
+        self._remove_pages_files(keep=pages_name)
+        if removed:
+            self._fs.fsync_dir(self._directory)
+        self._records = PagedRecordMap(
+            PagedBTree(pages_path, fs=self._fs, pool_pages=self._pool_pages)
+        )
+        self._snapshot_seal = covered
+        _CHECKPOINT_COUNT.inc()
+        _CHECKPOINT_SEGMENTS_REMOVED.inc(removed)
+        _CHECKPOINT_BYTES_RECLAIMED.inc(reclaimed)
+        _logging.info(
+            "storage.checkpoint",
+            wal_seal=covered,
+            records=record_count,
+            format="paged",
+            pages=pages_name,
+            segments_removed=removed,
+            bytes_reclaimed=reclaimed,
+        )
+
+    def _verify_pages_file(self, path: Path, count: int, data_crc: int) -> None:
+        """Deep read-back verification of a just-built pages file.
+
+        Every reachable page is re-read and CRC-checked and the tree
+        structure validated — the paged analog of re-parsing the inline
+        snapshot — because the checkpoint is about to delete the WAL
+        segments that could rebuild this data.
+        """
+        verify_tree = PagedBTree(path, fs=self._fs, pool_pages=64)
+        try:
+            stats = verify_tree.verify()
+        except StorageError as exc:
+            raise StorageError(f"paged checkpoint verification failed: {exc}") from exc
+        finally:
+            verify_tree.close()
+        if stats["entries"] != count or stats["data_crc"] != data_crc:
+            raise StorageError(
+                "paged checkpoint verification failed: pages file holds "
+                f"{stats['entries']} entries (crc {stats['data_crc']:08x}), "
+                f"expected {count} (crc {data_crc:08x})"
+            )
+
+    def _verify_paged_manifest(self, path: Path, expected: dict[str, Any]) -> None:
+        try:
+            with open(path, "rb") as fh:
+                state = json.loads(fh.read().decode("utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise StorageError(f"checkpoint verification failed: {exc}") from exc
+        for field in ("version", "pages", "record_count", "checksum"):
+            if state.get(field) != expected[field]:
+                raise StorageError(
+                    f"checkpoint verification failed: manifest {field} mismatch"
+                )
+
+    def _remove_pages_files(self, keep: str | None) -> None:
+        """Delete ``store.pages.*`` files except ``keep`` (and any tmps)."""
+        assert self._directory is not None
+        removed = False
+        for path in sorted(self._directory.glob("store.pages.*")):
+            if keep is not None and path.name == keep:
+                continue
+            self._fs.remove(path)
+            removed = True
+        if removed:
+            self._fs.fsync_dir(self._directory)
 
     def snapshot(self) -> None:
         """Compatibility alias for :meth:`checkpoint`."""
@@ -1124,20 +1458,25 @@ class RecordStore:
             version = state.get("version")
             if version not in _SUPPORTED_SNAPSHOT_VERSIONS:
                 raise StorageError(f"unsupported snapshot version {version!r}")
-            records = state["records"]
-            if version >= 2 and state.get("record_count") != len(records):
-                raise StorageError(
-                    "snapshot record count disagrees with its manifest "
-                    "(corrupt snapshot; run `repro fsck` for details)"
-                )
-            for record in records:
-                self.schema.validate(record)
-                self._records[self.schema.primary_key_of(record)] = dict(record)
-            for index_def in state.get("indexes", []):
-                if "fields" in index_def:
-                    self.create_composite_index(index_def["fields"])
-                else:
-                    self.create_index(index_def["field"], IndexKind(index_def["kind"]))
+            if version == _PAGED_SNAPSHOT_VERSION:
+                self._recover_paged(state)
+            else:
+                records = state["records"]
+                if version >= 2 and state.get("record_count") != len(records):
+                    raise StorageError(
+                        "snapshot record count disagrees with its manifest "
+                        "(corrupt snapshot; run `repro fsck` for details)"
+                    )
+                for record in records:
+                    self.schema.validate(record)
+                    self._records[self.schema.primary_key_of(record)] = dict(record)
+                for index_def in state.get("indexes", []):
+                    if "fields" in index_def:
+                        self.create_composite_index(index_def["fields"])
+                    else:
+                        self.create_index(
+                            index_def["field"], IndexKind(index_def["kind"])
+                        )
             self._snapshot_seal = int(state.get("wal_seal", 0))
         chain = WriteAheadLog.scan_chain(self._wal_path, min_seal=self._snapshot_seal)
         # Buffer runs of consecutive puts so replay of a bulk ingest goes
@@ -1163,6 +1502,41 @@ class RecordStore:
             snapshot_seal=self._snapshot_seal,
         )
 
+    def _recover_paged(self, state: dict[str, Any]) -> None:
+        """Open a v3 (paged) snapshot read-through — O(1), not O(n).
+
+        Only the tree's meta page is read: the manifest's record count
+        and checksum are compared against the meta fields the checkpoint
+        stamped, records stay on disk until touched, and secondary
+        indexes are *declared* but not built (see
+        :meth:`_ensure_index_built`).  Deep page validation is
+        ``repro fsck``'s job, exactly as chain validation is for the WAL.
+        """
+        assert self._directory is not None
+        pages_name = state.get("pages")
+        if not isinstance(pages_name, str) or "/" in pages_name:
+            raise StorageError(f"paged snapshot has invalid pages name {pages_name!r}")
+        pages_path = self._directory / pages_name
+        if not pages_path.exists():
+            raise StorageError(
+                f"paged snapshot references missing pages file {pages_name} "
+                "(run `repro fsck` for details)"
+            )
+        tree = PagedBTree(pages_path, fs=self._fs, pool_pages=self._pool_pages)
+        expected_crc = int(state.get("checksum", "0"), 16)
+        if (
+            tree.entry_count != state.get("record_count")
+            or tree.data_crc != expected_crc
+        ):
+            tree.close()
+            raise StorageError(
+                "paged snapshot manifest disagrees with its pages file "
+                "(corrupt checkpoint; run `repro fsck` for details)"
+            )
+        self._records = PagedRecordMap(tree)
+        for index_def in state.get("indexes", []):
+            self._declare_index(index_def)
+
     def _replay_op(
         self, payload: dict[str, Any], pending: list[dict[str, Any]]
     ) -> None:
@@ -1186,10 +1560,16 @@ class RecordStore:
             raise StorageError(f"unknown WAL op {op!r}")
 
     def close(self) -> None:
-        """Release the WAL file handle (safe to call twice)."""
+        """Release the WAL and pages file handles (safe to call twice).
+
+        Overlay records NOT yet checkpointed are still durable — they
+        live in the WAL and replay on the next open.
+        """
         if self._wal is not None:
             self._wal.close()
             self._wal = None
+        if isinstance(self._records, PagedRecordMap):
+            self._records.close()
 
     def __enter__(self) -> "RecordStore":
         return self

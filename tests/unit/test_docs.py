@@ -73,6 +73,10 @@ DOCTEST_MODULES = [
     "repro.storage.transactions",
     "repro.storage.faultfs",
     "repro.storage.fsck",
+    "repro.storage.pages",
+    "repro.storage.bufferpool",
+    "repro.storage.paged_btree",
+    "repro.storage.paged_store",
 ]
 
 

@@ -1,0 +1,231 @@
+"""Unit tests for repro.storage.paged_btree.
+
+The tree is exercised against a plain ``dict`` model: after any sequence
+of inserts, updates, and deletes, ``items()`` must equal the model's
+sorted items — across splits, overflow chains, free-list reuse, and a
+close/reopen cycle.  ``verify()`` (the deep structural check fsck runs)
+must pass after every phase.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.paged_btree import MAX_KEY_BYTES, PagedBTree
+from repro.storage.pages import OVERFLOW_CAPACITY
+
+
+def _model_check(tree: PagedBTree, model: dict) -> None:
+    assert len(tree) == len(model)
+    assert list(tree.items()) == sorted(model.items())
+    tree.verify()
+
+
+class TestBasics:
+    def test_empty_tree(self, tmp_path):
+        with PagedBTree(tmp_path / "t.pages", create=True) as tree:
+            assert len(tree) == 0
+            assert tree.get(1) is None
+            assert tree.get(1, b"dflt") == b"dflt"
+            assert 1 not in tree
+            assert list(tree.items()) == []
+            tree.verify()
+
+    def test_insert_get_update(self, tmp_path):
+        with PagedBTree(tmp_path / "t.pages", create=True) as tree:
+            tree.insert(2, b"two")
+            tree.insert(1, b"one")
+            assert tree.get(1) == b"one"
+            assert len(tree) == 2
+            tree.insert(1, b"uno")  # update in place
+            assert tree.get(1) == b"uno"
+            assert len(tree) == 2
+            assert list(tree.keys()) == [1, 2]
+
+    def test_delete(self, tmp_path):
+        with PagedBTree(tmp_path / "t.pages", create=True) as tree:
+            tree.insert(1, b"a")
+            tree.delete(1)
+            assert 1 not in tree
+            assert len(tree) == 0
+            with pytest.raises(KeyError):
+                tree.delete(1)
+
+    def test_oversized_key_rejected(self, tmp_path):
+        with PagedBTree(tmp_path / "t.pages", create=True) as tree:
+            with pytest.raises(StorageError):
+                tree.insert("k" * (MAX_KEY_BYTES + 10), b"v")
+
+    def test_mixed_key_types_round_trip(self, tmp_path):
+        path = tmp_path / "t.pages"
+        with PagedBTree(path, create=True) as tree:
+            tree.insert(("a", 1), b"tuple")
+            tree.insert(("a", 2), b"tuple2")
+            assert tree.get(("a", 1)) == b"tuple"
+            assert [k for k, _ in tree.range_items(("a", 1), ("a", 2))] == [
+                ("a", 1),
+                ("a", 2),
+            ]
+
+
+class TestSplitsAndScale:
+    def test_random_ops_match_dict_model(self, tmp_path):
+        rng = random.Random(8)
+        path = tmp_path / "t.pages"
+        model: dict = {}
+        with PagedBTree(path, create=True, pool_pages=16) as tree:
+            for _ in range(3000):
+                key = rng.randrange(600)
+                op = rng.random()
+                if op < 0.65 or key not in model:
+                    value = f"value-{key}-{rng.randrange(10)}".encode() * rng.randrange(
+                        1, 8
+                    )
+                    tree.insert(key, value)
+                    model[key] = value
+                else:
+                    tree.delete(key)
+                    del model[key]
+            _model_check(tree, model)
+            stats = tree.verify()
+            assert stats["depth"] >= 2  # the workload forced splits
+        # survives close/reopen byte-identically
+        with PagedBTree(path, pool_pages=16) as tree:
+            _model_check(tree, model)
+
+    def test_range_items(self, tmp_path):
+        with PagedBTree(tmp_path / "t.pages", create=True) as tree:
+            for i in range(200):
+                tree.insert(i, str(i).encode())
+            inclusive = [k for k, _ in tree.range_items(10, 20)]
+            assert inclusive == list(range(10, 21))
+            exclusive = [k for k, _ in tree.range_items(10, 20, inclusive=False)]
+            assert exclusive == list(range(10, 20))
+            assert [k for k, _ in tree.range_items(150, None)] == list(range(150, 200))
+            assert [k for k, _ in tree.range_items(None, 5)] == list(range(6))
+
+
+class TestOverflow:
+    def test_large_values_spill_and_round_trip(self, tmp_path):
+        path = tmp_path / "t.pages"
+        big = bytes(range(256)) * 64  # 16 KiB, several overflow pages
+        with PagedBTree(path, create=True) as tree:
+            tree.insert("big", big)
+            tree.insert("small", b"s")
+            assert tree.get("big") == big
+            stats = tree.verify()
+            assert stats["overflow_pages"] >= 4
+        with PagedBTree(path) as tree:
+            assert tree.get("big") == big
+
+    def test_overflow_chain_freed_on_delete(self, tmp_path):
+        with PagedBTree(tmp_path / "t.pages", create=True) as tree:
+            tree.insert("big", b"x" * (OVERFLOW_CAPACITY * 3))
+            occupied = tree.verify()["overflow_pages"]
+            assert occupied >= 3
+            tree.delete("big")
+            stats = tree.verify()
+            assert stats["overflow_pages"] == 0
+            assert stats["free_pages"] >= occupied
+
+    def test_update_replaces_overflow_chain(self, tmp_path):
+        with PagedBTree(tmp_path / "t.pages", create=True) as tree:
+            tree.insert("k", b"a" * (OVERFLOW_CAPACITY * 2))
+            tree.insert("k", b"tiny")
+            assert tree.get("k") == b"tiny"
+            stats = tree.verify()
+            assert stats["overflow_pages"] == 0
+            assert stats["free_pages"] >= 2  # the old chain was reclaimed
+
+
+class TestFreeList:
+    def test_deleted_pages_are_reused(self, tmp_path):
+        with PagedBTree(tmp_path / "t.pages", create=True, pool_pages=16) as tree:
+            for i in range(2000):
+                tree.insert(i, f"v{i}".encode() * 4)
+            for i in range(1500):
+                tree.delete(i)
+            tree.verify()
+            before = tree._pager.meta.page_count
+            for i in range(1000):
+                tree.insert(i, f"w{i}".encode() * 4)
+            grown = tree._pager.meta.page_count - before
+            assert grown <= 5  # refill consumed the free list, not the file
+            tree.verify()
+
+
+class TestBulkBuild:
+    def test_bulk_build_matches_inserts(self, tmp_path):
+        items = [(i, f"value-{i}".encode()) for i in range(5000)]
+        tree = PagedBTree.bulk_build(tmp_path / "bulk.pages", iter(items))
+        try:
+            assert len(tree) == 5000
+            assert list(tree.items()) == items
+            stats = tree.verify()
+            assert stats["depth"] >= 2
+            assert stats["free_pages"] == 0  # a fresh build wastes nothing
+        finally:
+            tree.close()
+
+    def test_bulk_build_with_overflow_values(self, tmp_path):
+        items = [(i, bytes([i % 256]) * 5000) for i in range(50)]
+        tree = PagedBTree.bulk_build(tmp_path / "bulk.pages", iter(items))
+        try:
+            assert tree.get(7) == b"\x07" * 5000
+            assert tree.verify()["overflow_pages"] >= 50
+        finally:
+            tree.close()
+
+    def test_bulk_build_rejects_unsorted(self, tmp_path):
+        with pytest.raises(StorageError):
+            PagedBTree.bulk_build(
+                tmp_path / "bulk.pages", iter([(2, b"b"), (1, b"a")])
+            )
+
+    def test_bulk_build_rejects_duplicates(self, tmp_path):
+        with pytest.raises(StorageError):
+            PagedBTree.bulk_build(
+                tmp_path / "bulk.pages", iter([(1, b"a"), (1, b"b")])
+            )
+
+    def test_bulk_build_empty(self, tmp_path):
+        tree = PagedBTree.bulk_build(tmp_path / "bulk.pages", iter([]))
+        try:
+            assert len(tree) == 0
+            assert list(tree.items()) == []
+            tree.verify()
+        finally:
+            tree.close()
+
+
+class TestLifecycle:
+    def test_read_only_open_never_writes(self, tmp_path):
+        path = tmp_path / "t.pages"
+        with PagedBTree(path, create=True) as tree:
+            for i in range(100):
+                tree.insert(i, b"v")
+        published = path.read_bytes()
+        with PagedBTree(path) as tree:
+            assert tree.get(50) == b"v"
+            list(tree.items())
+            tree.verify()
+        assert path.read_bytes() == published  # byte-for-byte untouched
+
+    def test_data_crc_survives_reopen(self, tmp_path):
+        path = tmp_path / "t.pages"
+        with PagedBTree(path, create=True) as tree:
+            tree.set_data_crc(0xCAFEBABE)
+        with PagedBTree(path) as tree:
+            assert tree.data_crc == 0xCAFEBABE
+
+    def test_abandon_discards_unflushed_writes(self, tmp_path):
+        path = tmp_path / "t.pages"
+        with PagedBTree(path, create=True) as tree:
+            tree.insert(1, b"committed")
+        tree = PagedBTree(path)
+        tree.insert(2, b"doomed")
+        tree.abandon()
+        with PagedBTree(path) as tree:
+            assert tree.get(1) == b"committed"
+            assert tree.get(2) is None

@@ -1,0 +1,271 @@
+"""Unit tests for the paged data format at the store layer.
+
+Covers :class:`~repro.storage.paged_store.PagedRecordMap` (overlay
+semantics over a base tree), :class:`StreamingChecksum` (must hash
+exactly what :func:`records_checksum` hashes), and
+:class:`RecordStore`/:class:`ShardedStore` running ``data_format="paged"``:
+checkpoint → reopen identity, WAL replay on top of a pages file, lazy
+secondary indexes, and migration in both directions.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RecordNotFoundError
+from repro.storage import (
+    IndexKind,
+    PagedBTree,
+    RecordStore,
+    ShardedStore,
+    records_checksum,
+)
+from repro.storage.paged_store import (
+    PagedRecordMap,
+    StreamingChecksum,
+    decode_record,
+    encode_record,
+)
+from repro.storage.schema import Field, FieldType, Schema
+
+SCHEMA = Schema(
+    [
+        Field("id", FieldType.INT),
+        Field("name", FieldType.STRING),
+        Field("year", FieldType.INT),
+    ],
+    primary_key="id",
+)
+
+
+def _rec(i: int, year: int | None = None) -> dict:
+    return {"id": i, "name": f"rec-{i}", "year": 1990 + (i % 7 if year is None else year)}
+
+
+def _base_map(tmp_path, n: int = 10) -> PagedRecordMap:
+    tree = PagedBTree.bulk_build(
+        tmp_path / "base.pages",
+        iter((i, encode_record(_rec(i))) for i in range(n)),
+    )
+    return PagedRecordMap(tree)
+
+
+class TestStreamingChecksum:
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_records_checksum(self, ids):
+        records = [_rec(i) for i in ids]
+        stream = StreamingChecksum()
+        for record in records:
+            stream.add(encode_record(record))
+        assert stream.hexdigest() == records_checksum(records)
+        assert stream.count == len(records)
+
+    def test_unicode_records(self):
+        records = [{"id": 1, "name": "Éskàpe — ünïcode", "year": 2000}]
+        stream = StreamingChecksum()
+        stream.add(encode_record(records[0]))
+        assert stream.hexdigest() == records_checksum(records)
+
+
+class TestEncoding:
+    def test_round_trip_and_canonical_form(self):
+        record = {"year": 1999, "id": 3, "name": "zyx"}
+        raw = encode_record(record)
+        assert decode_record(raw) == record
+        assert raw == b'{"id":3,"name":"zyx","year":1999}'  # sorted, compact
+
+
+class TestPagedRecordMap:
+    def test_read_through_base(self, tmp_path):
+        m = _base_map(tmp_path)
+        assert len(m) == 10
+        assert m[3] == _rec(3)
+        assert m.get(99) is None
+        assert 3 in m and 99 not in m
+        assert m.overlay_size == 0
+        m.close()
+
+    def test_overlay_insert_update_delete(self, tmp_path):
+        m = _base_map(tmp_path)
+        m[20] = _rec(20)            # insert past the base
+        m[3] = _rec(3, year=5)      # shadow a base record
+        popped = m.pop(7)           # tombstone a base record
+        assert popped == _rec(7)
+        assert len(m) == 10
+        assert m.overlay_size == 3
+        assert m[3]["year"] == 1995
+        assert 7 not in m
+        with pytest.raises(KeyError):
+            m[7]
+        with pytest.raises(KeyError):
+            m.pop(7)
+        # reinsert after delete clears the tombstone
+        m[7] = _rec(7, year=6)
+        assert m[7]["year"] == 1996
+        m.close()
+
+    def test_iteration_is_pk_ordered_merge(self, tmp_path):
+        m = _base_map(tmp_path)
+        m[15] = _rec(15)
+        m[-1] = _rec(-1)
+        m.pop(4)
+        keys = list(m)
+        assert keys == [-1, 0, 1, 2, 3, 5, 6, 7, 8, 9, 15]
+        assert [r["id"] for r in m.values()] == keys
+        assert list(m.keys()) == keys
+        m.close()
+
+    def test_sorted_encoded_items_reuses_base_bytes(self, tmp_path):
+        m = _base_map(tmp_path, n=5)
+        m[2] = _rec(2, year=9)
+        m.pop(4)
+        pairs = list(m.sorted_encoded_items())
+        assert [k for k, _ in pairs] == [0, 1, 2, 3]
+        assert decode_record(dict(pairs)[2])["year"] == 1999
+        # unmodified records pass through as the tree's stored bytes
+        assert dict(pairs)[1] == m.tree.get(1)
+        m.close()
+
+    def test_update_mapping(self, tmp_path):
+        m = _base_map(tmp_path, n=3)
+        m.update({5: _rec(5), 6: _rec(6)})
+        assert len(m) == 5
+        m.close()
+
+
+class TestPagedRecordStore:
+    def test_checkpoint_reopen_identity(self, tmp_path):
+        with RecordStore(SCHEMA, directory=tmp_path, data_format="paged") as store:
+            for i in range(300):
+                store.insert(_rec(i))
+            store.checkpoint()
+            assert store.is_paged
+            assert store.data_format == "paged"
+            before = sorted(store.scan(), key=lambda r: r["id"])
+        manifest = json.loads((tmp_path / "snapshot.json").read_bytes())
+        assert manifest["version"] == 3
+        assert manifest["format"] == "paged"
+        assert (tmp_path / manifest["pages"]).exists()
+        assert "records" not in manifest
+        with RecordStore(SCHEMA, directory=tmp_path, data_format="paged") as store:
+            assert len(store) == 300
+            assert sorted(store.scan(), key=lambda r: r["id"]) == before
+
+    def test_wal_replay_on_top_of_pages(self, tmp_path):
+        with RecordStore(SCHEMA, directory=tmp_path, data_format="paged") as store:
+            for i in range(50):
+                store.insert(_rec(i))
+            store.checkpoint()
+            store.insert(_rec(100))
+            store.delete(3)
+            store.update(5, {"year": 1999})
+        with RecordStore(SCHEMA, directory=tmp_path, data_format="paged") as store:
+            assert len(store) == 50  # +1 insert, -1 delete
+            assert store.get(100) == _rec(100)
+            with pytest.raises(RecordNotFoundError):
+                store.get(3)
+            assert store.get(5)["year"] == 1999
+            assert store.overlay_size == 3  # replayed writes stay in overlay
+
+    def test_overlay_drains_on_checkpoint(self, tmp_path):
+        with RecordStore(SCHEMA, directory=tmp_path, data_format="paged") as store:
+            for i in range(20):
+                store.insert(_rec(i))
+            store.checkpoint()
+            store.insert(_rec(40))
+            assert store.overlay_size == 1
+            store.checkpoint()
+            assert store.overlay_size == 0
+            assert len(store) == 21
+
+    def test_secondary_indexes_lazy_but_correct(self, tmp_path):
+        with RecordStore(SCHEMA, directory=tmp_path, data_format="paged") as store:
+            store.create_index("year", kind=IndexKind.BTREE)
+            store.create_index("name", kind=IndexKind.HASH)
+            for i in range(200):
+                store.insert(_rec(i))
+            store.checkpoint()
+        with RecordStore(SCHEMA, directory=tmp_path, data_format="paged") as store:
+            # writes before the first index read must land in the index
+            store.insert(_rec(500, year=3))
+            got = {r["id"] for r in store.find_by("year", 1993)}
+            assert got == {i for i in range(200) if i % 7 == 3} | {500}
+            assert [r["id"] for r in store.find_by("name", "rec-7")] == [7]
+            ranged = store.range_by("year", 1990, 1991)
+            assert {r["year"] for r in ranged} == {1990, 1991}
+
+    def test_migrate_memory_to_paged_and_back(self, tmp_path):
+        with RecordStore(SCHEMA, directory=tmp_path) as store:  # memory format
+            for i in range(40):
+                store.insert(_rec(i))
+            store.checkpoint()
+        assert json.loads((tmp_path / "snapshot.json").read_bytes())["version"] == 2
+
+        with RecordStore(SCHEMA, directory=tmp_path, data_format="paged") as store:
+            assert len(store) == 40
+            store.checkpoint()  # upgrade
+            assert store.is_paged
+        assert json.loads((tmp_path / "snapshot.json").read_bytes())["version"] == 3
+        assert list(tmp_path.glob("store.pages.*"))
+
+        with RecordStore(SCHEMA, directory=tmp_path, data_format="memory") as store:
+            assert len(store) == 40
+            assert not store.is_paged or store.data_format == "memory"
+            store.checkpoint()  # downgrade rewrites inline records
+        assert json.loads((tmp_path / "snapshot.json").read_bytes())["version"] == 2
+        assert not list(tmp_path.glob("store.pages.*"))
+        with RecordStore(SCHEMA, directory=tmp_path) as store:
+            assert sorted(r["id"] for r in store.scan()) == list(range(40))
+
+    def test_checksum_identical_across_formats(self, tmp_path):
+        mem_dir, paged_dir = tmp_path / "mem", tmp_path / "paged"
+        for directory, fmt in ((mem_dir, "memory"), (paged_dir, "paged")):
+            with RecordStore(SCHEMA, directory=directory, data_format=fmt) as store:
+                for i in range(25):
+                    store.insert(_rec(i))
+                store.checkpoint()
+        mem = json.loads((mem_dir / "snapshot.json").read_bytes())
+        paged = json.loads((paged_dir / "snapshot.json").read_bytes())
+        assert mem["checksum"] == paged["checksum"]
+        assert mem["record_count"] == paged["record_count"]
+
+    def test_invalid_data_format_rejected(self, tmp_path):
+        from repro.errors import StorageError
+
+        with pytest.raises(StorageError):
+            RecordStore(SCHEMA, directory=tmp_path, data_format="parquet")
+
+    def test_transactions_on_paged_store(self, tmp_path):
+        with RecordStore(SCHEMA, directory=tmp_path, data_format="paged") as store:
+            for i in range(10):
+                store.insert(_rec(i))
+            store.checkpoint()
+            with store.transaction() as txn:
+                txn.insert(_rec(50))
+                txn.delete(2)
+            assert store.get(50) == _rec(50)
+            with pytest.raises(RecordNotFoundError):
+                store.get(2)
+            with pytest.raises(RuntimeError):
+                with store.transaction() as txn:
+                    txn.insert(_rec(60))
+                    raise RuntimeError("rollback")
+            with pytest.raises(RecordNotFoundError):
+                store.get(60)
+
+
+class TestShardedPaged:
+    def test_sharded_paged_round_trip(self, tmp_path):
+        with ShardedStore(SCHEMA, tmp_path, shards=3, data_format="paged") as store:
+            store.put_many(_rec(i) for i in range(120))
+            store.checkpoint()
+        for shard_dir in sorted(tmp_path.glob("shard-*")):
+            manifest = json.loads((shard_dir / "snapshot.json").read_bytes())
+            assert manifest["version"] == 3
+            assert (shard_dir / manifest["pages"]).exists()
+        with ShardedStore(SCHEMA, tmp_path, data_format="paged") as store:
+            assert len(store) == 120
+            assert sorted(r["id"] for r in store.scan()) == list(range(120))
