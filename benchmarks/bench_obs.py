@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import tempfile
 from pathlib import Path
@@ -303,6 +304,11 @@ def main(argv=None) -> int:
         "python": sys.version.split()[0],
         "corpus_size": CORPUS_SIZE,
         "repeats": REPEATS,
+        # The ~36us point lookup is the one workload short enough that
+        # scheduler jitter on a busy or single-core host shows up as
+        # percent-scale noise in its ratio; a result is only comparable
+        # to runs on similar hardware, so record what this box was.
+        "host": {"cpu_count": os.cpu_count()},
         "target_overhead_pct": 5.0,
         "worst_overhead_pct": worst,
         "counter_inc_ns": {

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import tempfile
 from pathlib import Path
@@ -200,6 +201,10 @@ def main(argv=None) -> int:
     doc = {
         "benchmark": "bench_shard",
         "python": sys.version.split()[0],
+        # The ingest speedup is checkpoint-bound on one core; the
+        # thread-pool commit headroom only shows with cores to spare,
+        # so a result is only comparable to runs on similar hardware.
+        "host": {"cpu_count": os.cpu_count()},
         "quick": args.quick,
         "targets": {"ingest_speedup_4_shards_vs_1": INGEST_SPEEDUP_TARGET},
         "config": {

@@ -38,9 +38,20 @@ Subcommands
     file, millisecond reopen), ``--memory`` migrates back to the
     classic inline-records snapshot.
 ``serve-telemetry``
-    Run the stdlib HTTP telemetry daemon: ``/metrics`` (Prometheus),
-    ``/healthz`` (fsck-backed store health), ``/varz``, ``/tracez``,
-    ``/logz``.  See ``docs/operations.md``.
+    Run the stdlib HTTP telemetry daemon: ``/statusz`` (HTML dashboard),
+    ``/metrics`` (Prometheus), ``/healthz`` (fsck-backed store health),
+    ``/alertz`` (SLO burn-rate alerts), ``/progressz`` (in-flight long
+    operations), ``/varz``, ``/tracez``, ``/logz``.  See
+    ``docs/operations.md``.
+``progress``
+    One-shot (or ``--interval`` live) view of a running daemon's
+    ``/progressz``: in-flight checkpoints, bulk builds, fsck walks, and
+    sharded ingests with done/total, rate, and ETA.
+``alerts``
+    Evaluate declarative SLO rules (availability burn rate, latency,
+    checkpoint staleness, WAL backlog) over a recorded metric sample
+    ring — or poll a daemon's ``/alertz`` — and exit 1 when any rule is
+    firing, so cron/CI can page on it.
 ``serve-query``
     The telemetry daemon plus a resilient ``/query`` endpoint: admission
     control with load shedding (429 + ``Retry-After``), per-query
@@ -254,13 +265,6 @@ def _cmd_query_sharded(args: argparse.Namespace, records: list[PublicationRecord
     from repro.query import ShardedQueryEngine
     from repro.storage import ShardedStore
 
-    if args.profile:
-        print(
-            "error: --profile needs per-operator attribution and is only "
-            "available without --shards",
-            file=sys.stderr,
-        )
-        return 2
     with ShardedStore(PUBLICATION_SCHEMA, shards=args.shards) as store:
         populate_store(store, records)
         store.create_index("surnames", IndexKind.HASH)
@@ -275,6 +279,18 @@ def _cmd_query_sharded(args: argparse.Namespace, records: list[PublicationRecord
                 bounds["timeout_s"] = args.timeout_ms / 1000.0
             if args.max_rows is not None:
                 bounds["max_rows"] = args.max_rows
+            if args.profile:
+                profile = engine.execute(args.query, profile=True, **bounds)
+                if args.json:
+                    print(json.dumps(
+                        {"rows": profile.rows, "profile": profile.to_dict()},
+                        indent=2, ensure_ascii=False,
+                    ))
+                else:
+                    print(profile.render())
+                    print()
+                    _print_rows(profile.rows)
+                return 0
             _print_rows(engine.execute(args.query, **bounds))
     return 0
 
@@ -497,6 +513,11 @@ def _detect_data_format(directory: Path | str) -> str:
 def _cmd_checkpoint(args: argparse.Namespace) -> int:
     from repro.storage import ShardedStore, is_sharded_root
 
+    bar = None
+    if args.progress:
+        from repro.obs.progress import ProgressBar
+
+        bar = ProgressBar()
     if is_sharded_root(args.directory):
         data_format = args.data_format or _detect_data_format(
             Path(args.directory) / "shard-00"
@@ -508,7 +529,7 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
             data_format=data_format,
         ) as store:
             before = store.wal_size_bytes
-            store.checkpoint()
+            store.checkpoint(progress=bar)
             print(
                 f"checkpointed {len(store)} records across "
                 f"{store.shard_count} shards ({data_format} format); "
@@ -528,7 +549,7 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
         PUBLICATION_SCHEMA, directory=args.directory, data_format=data_format
     ) as store:
         before = store.wal_size_bytes
-        store.checkpoint()
+        store.checkpoint(progress=bar)
         print(
             f"checkpointed {len(store)} records ({data_format} format); "
             f"WAL {before} -> {store.wal_size_bytes} bytes",
@@ -555,32 +576,53 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 def _cmd_serve_telemetry(args: argparse.Namespace) -> int:
     from repro.obs.server import TelemetryServer
+    from repro.obs.slo import SLOEngine, load_rules
     from repro.obs.timeseries import TimeSeriesLog, TimeSeriesRecorder
 
     if args.store is not None and args.seed_corpus:
         # Seed the store directory with the corpus (for smoke tests and
         # demos) so /healthz has a real snapshot + WAL chain to walk.
         records = _load_corpus(args.corpus)
-        with RecordStore(PUBLICATION_SCHEMA, directory=args.store) as store:
-            if len(store) == 0:
-                populate_store(store, records)
-            store.checkpoint()
-    recorder = None
-    if args.timeseries:
-        recorder = TimeSeriesRecorder(
-            TimeSeriesLog(args.timeseries), interval_s=args.interval
-        ).start()
-    server = TelemetryServer(host=args.host, port=args.port, store_dir=args.store)
+        data_format = "paged" if args.paged else "memory"
+        if args.shards:
+            from repro.storage import ShardedStore
+
+            with ShardedStore(
+                PUBLICATION_SCHEMA, args.store, shards=args.shards,
+                data_format=data_format,
+            ) as store:
+                if len(store) == 0:
+                    populate_store(store, records)
+                store.checkpoint()
+        else:
+            with RecordStore(
+                PUBLICATION_SCHEMA, directory=args.store, data_format=data_format
+            ) as store:
+                if len(store) == 0:
+                    populate_store(store, records)
+                store.checkpoint()
+    # The SLO engine needs sampled history: use the on-disk ring when
+    # --timeseries names one, an in-memory ring otherwise, so /alertz
+    # and the /statusz alerts section work out of the box.
+    rules = load_rules(args.slo_rules) if args.slo_rules else None
+    ts_log = TimeSeriesLog(args.timeseries) if args.timeseries else TimeSeriesLog()
+    recorder = TimeSeriesRecorder(ts_log, interval_s=args.interval).start()
+    server = TelemetryServer(
+        host=args.host,
+        port=args.port,
+        store_dir=args.store,
+        slo_engine=SLOEngine(ts_log, rules),
+    )
     print(f"telemetry: listening on {server.url}", file=sys.stderr)
     print(
-        "endpoints: /metrics /healthz /varz /tracez /logz /topz /profilez",
+        "endpoints: /statusz /metrics /healthz /alertz /progressz /varz "
+        "/tracez /logz /topz /profilez",
         file=sys.stderr,
     )
     try:
         server.serve_forever()
     finally:
-        if recorder is not None:
-            recorder.stop()
+        recorder.stop()
     return 0
 
 
@@ -626,6 +668,103 @@ def _cmd_serve_query(args: argparse.Namespace) -> int:
     finally:
         store.close()
     return 0
+
+
+def _render_progress_snapshot(body: dict) -> str:
+    """``/progressz`` payload as aligned terminal lines."""
+    lines = []
+    for op in body.get("active", []):
+        total = f"/{op['total']}" if op["total"] is not None else ""
+        pct = f" ({op['percent']:.0f}%)" if op["percent"] is not None else ""
+        eta = f"  ETA {op['eta_s']:.0f}s" if op["eta_s"] is not None else ""
+        lines.append(
+            f"ACTIVE  {op['name']:<28} {op['done']}{total}{pct}  "
+            f"{op['rate_per_s']:,.0f}/s{eta}"
+        )
+    for op in body.get("recent", []):
+        status = "ok" if op["ok"] else "FAILED"
+        lines.append(
+            f"RECENT  {op['name']:<28} {op['done']} in {op['elapsed_s']}s  {status}"
+        )
+    if not lines:
+        lines.append("(no operations in flight or recently finished)")
+    return "\n".join(lines)
+
+
+def _cmd_progress(args: argparse.Namespace) -> int:
+    import time as _time
+
+    base = args.url.rstrip("/")
+    shown = 0
+    while True:
+        body = _http_get_json(f"{base}/progressz")
+        if args.json:
+            print(json.dumps(body, indent=2, sort_keys=True))
+        else:
+            print(f"-- {base}/progressz --")
+            print(_render_progress_snapshot(body))
+        shown += 1
+        if args.interval is None or (
+            args.iterations is not None and shown >= args.iterations
+        ):
+            return 0
+        _time.sleep(args.interval)
+
+
+def _render_alerts(body: dict) -> str:
+    """``/alertz`` payload (or a local evaluation) as terminal lines."""
+    if body.get("enabled") is False:
+        return f"alerting disabled: {body.get('reason', 'no SLO engine')}"
+    lines = [f"{'RULE':<24} {'SEVERITY':<8} {'STATE':<8} REASON"]
+    for state in body.get("rules", []):
+        verdict = "FIRING" if state["firing"] else (
+            "no-data" if state.get("no_data") else "ok"
+        )
+        lines.append(
+            f"{state['name']:<24} {state['severity']:<8} {verdict:<8} "
+            f"{state['reason']}"
+        )
+    firing = body.get("firing", [])
+    lines.append(
+        f"({len(firing)} firing / {len(body.get('rules', []))} rules)"
+    )
+    return "\n".join(lines)
+
+
+def _cmd_alerts(args: argparse.Namespace) -> int:
+    """Evaluate SLO rules; exit 0 when quiet, 1 when any rule is firing."""
+    try:
+        if args.url:
+            if args.rules or args.timeseries:
+                print(
+                    "error: --rules/--timeseries evaluate locally and "
+                    "cannot be combined with --url (the daemon owns its "
+                    "rules)",
+                    file=sys.stderr,
+                )
+                return 2
+            body = _http_get_json(f"{args.url.rstrip('/')}/alertz")
+        else:
+            if not args.timeseries:
+                print(
+                    "error: need --timeseries FILE (a sample ring written "
+                    "by serve-telemetry) or --url DAEMON",
+                    file=sys.stderr,
+                )
+                return 2
+            from repro.obs.slo import SLOEngine, load_rules
+            from repro.obs.timeseries import TimeSeriesLog
+
+            rules = load_rules(args.rules) if args.rules else None
+            body = SLOEngine(TimeSeriesLog(args.timeseries), rules).evaluate()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(body, indent=2, sort_keys=True))
+    else:
+        print(_render_alerts(body))
+    return 1 if body.get("firing") else 0
 
 
 def _cmd_logs(args: argparse.Namespace) -> int:
@@ -1145,12 +1284,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the classic inline-records snapshot (v2); migrates a "
              "paged store back",
     )
+    p_checkpoint.add_argument(
+        "--progress",
+        action="store_true",
+        help="render a live progress bar on stderr while the checkpoint "
+             "streams (also visible on a daemon's /progressz)",
+    )
     p_checkpoint.set_defaults(func=_cmd_checkpoint, data_format=None)
 
     p_serve = sub.add_parser(
         "serve-telemetry",
-        help="HTTP telemetry daemon: /metrics /healthz /varz /tracez /logz "
-             "/topz /profilez",
+        help="HTTP telemetry daemon: /statusz /metrics /healthz /alertz "
+             "/progressz /varz /tracez /logz /topz /profilez",
     )
     p_serve.add_argument(
         "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
@@ -1179,7 +1324,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--interval",
         type=float,
         default=10.0,
-        help="sampling interval in seconds for --timeseries (default: 10)",
+        help="metric sampling interval in seconds (default: 10)",
+    )
+    p_serve.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        help="with --store --seed-corpus: seed an N-shard store root "
+             "instead of a single store",
+    )
+    p_serve.add_argument(
+        "--paged",
+        action="store_true",
+        help="with --store --seed-corpus: checkpoint the seed in the "
+             "paged B+ tree format",
+    )
+    p_serve.add_argument(
+        "--slo-rules",
+        metavar="FILE",
+        help="JSON SLO rule file for /alertz (default: the built-in "
+             "query-availability / latency / checkpoint-staleness / "
+             "wal-backlog rules)",
     )
     p_serve.set_defaults(func=_cmd_serve_telemetry)
 
@@ -1235,6 +1400,61 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: 100000)",
     )
     p_serve_query.set_defaults(func=_cmd_serve_query)
+
+    p_progress = sub.add_parser(
+        "progress",
+        help="in-flight and recently finished long operations from a "
+             "running daemon's /progressz",
+    )
+    p_progress.add_argument(
+        "--url",
+        default="http://127.0.0.1:9179",
+        help="base URL of a serve-telemetry/serve-query daemon "
+             "(default: http://127.0.0.1:9179)",
+    )
+    p_progress.add_argument(
+        "--interval",
+        type=float,
+        metavar="S",
+        help="refresh every S seconds instead of one shot",
+    )
+    p_progress.add_argument(
+        "--iterations",
+        type=int,
+        metavar="N",
+        help="with --interval: stop after N refreshes (default: forever)",
+    )
+    p_progress.add_argument(
+        "--json", action="store_true", help="emit the raw /progressz payload"
+    )
+    p_progress.set_defaults(func=_cmd_progress)
+
+    p_alerts = sub.add_parser(
+        "alerts",
+        help="evaluate SLO burn-rate rules over sampled metric history; "
+             "exit 1 when any rule is firing",
+    )
+    p_alerts.add_argument(
+        "--rules",
+        metavar="FILE",
+        help="JSON SLO rule file (default: the built-in rules); see "
+             "docs/operations.md for the format",
+    )
+    p_alerts.add_argument(
+        "--timeseries",
+        metavar="FILE",
+        help="sample ring to evaluate (as written by serve-telemetry "
+             "--timeseries)",
+    )
+    p_alerts.add_argument(
+        "--url",
+        metavar="URL",
+        help="poll a running daemon's /alertz instead of evaluating locally",
+    )
+    p_alerts.add_argument(
+        "--json", action="store_true", help="emit the evaluation as JSON"
+    )
+    p_alerts.set_defaults(func=_cmd_alerts)
 
     p_logs = sub.add_parser(
         "logs", help="tail structured log events (file or in-process demo run)"

@@ -54,7 +54,9 @@ from repro.obs import (
     logging,
     metrics,
     profiling,
+    progress,
     promexport,
+    slo,
     slowlog,
     timeseries,
     tracing,
@@ -83,8 +85,17 @@ from repro.obs.workload import (
     get_default_table,
     render_prometheus_workload,
 )
+from repro.obs.progress import ProgressBar, ProgressRegistry, ProgressTracker
+from repro.obs.slo import SLOEngine
 from repro.obs.timeseries import TimeSeriesLog, TimeSeriesRecorder
-from repro.obs.tracing import Span, Tracer, finished_spans, get_default_tracer, span
+from repro.obs.tracing import (
+    Span,
+    TraceContext,
+    Tracer,
+    finished_spans,
+    get_default_tracer,
+    span,
+)
 
 __all__ = [
     "Counter",
@@ -92,8 +103,13 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "Span",
+    "TraceContext",
     "Tracer",
     "JsonLogger",
+    "ProgressBar",
+    "ProgressRegistry",
+    "ProgressTracker",
+    "SLOEngine",
     "SamplingProfiler",
     "SlowQueryLog",
     "WorkloadTable",
@@ -128,6 +144,8 @@ __all__ = [
     "slowlog",
     "promexport",
     "profiling",
+    "progress",
+    "slo",
     "timeseries",
     "workload",
 ]
@@ -155,8 +173,9 @@ def is_enabled() -> bool:
 
 def reset() -> None:
     """Zero default-registry series, drop retained spans, log records,
-    and workload-attribution aggregates."""
+    progress trackers, and workload-attribution aggregates."""
     metrics.reset()
     tracing.reset()
     logging.reset()
+    progress.reset()
     workload.reset()

@@ -50,9 +50,8 @@ import os
 import threading
 import time
 from collections import deque
-from contextlib import contextmanager
 from datetime import datetime, timezone
-from typing import Any, Iterator, TextIO
+from typing import Any, TextIO
 
 from repro.obs import metrics as _metrics
 
@@ -112,13 +111,16 @@ def current_trace_id() -> str | None:
     return stack[-1] if stack else None
 
 
-@contextmanager
-def trace(trace_id: str | None = None) -> Iterator[str]:
+class trace:
     """Bind a trace id to this thread for the duration of the block.
 
     With no argument, reuses the enclosing trace's id when one is bound
     (so nested instrumented layers join the same trace) and mints a
-    fresh id otherwise.  Yields the bound id.
+    fresh id otherwise.  ``__enter__`` yields the bound id.
+
+    A hand-rolled context manager rather than ``@contextmanager``: this
+    sits on the per-query hot path and the generator protocol costs more
+    than the work it wraps.
 
     >>> with trace() as tid:
     ...     assert current_trace_id() == tid
@@ -127,16 +129,23 @@ def trace(trace_id: str | None = None) -> Iterator[str]:
     >>> current_trace_id() is None
     True
     """
-    tid = trace_id or current_trace_id() or new_trace_id()
-    stack = getattr(_local, "trace_stack", None)
-    if stack is None:
-        stack = []
-        _local.trace_stack = stack
-    stack.append(tid)
-    try:
-        yield tid
-    finally:
-        stack.pop()
+
+    __slots__ = ("_tid",)
+
+    def __init__(self, trace_id: str | None = None) -> None:
+        self._tid = trace_id
+
+    def __enter__(self) -> str:
+        tid = self._tid or current_trace_id() or new_trace_id()
+        stack = getattr(_local, "trace_stack", None)
+        if stack is None:
+            stack = []
+            _local.trace_stack = stack
+        stack.append(tid)
+        return tid
+
+    def __exit__(self, *_exc: object) -> None:
+        _local.trace_stack.pop()
 
 
 def _now_iso() -> str:
@@ -239,6 +248,18 @@ class JsonLogger:
         return self._file_path
 
     # -- emission ----------------------------------------------------------
+
+    def would_log(self, level: str) -> bool:
+        """Whether an event at ``level`` would pass the enabled/level gates.
+
+        Hot paths use this to skip marshalling keyword fields for events
+        that :meth:`log` would discard anyway (rate limiting still applies
+        at emission time and is not consulted here).
+        """
+        severity = LEVELS.get(level)
+        if severity is None:
+            raise ValueError(f"unknown level {level!r}; expected one of {sorted(LEVELS)}")
+        return self._enabled and severity >= self._level
 
     def log(self, event: str, level: str = "info", **fields: Any) -> None:
         """Emit one structured event; no-op when disabled or below level."""
@@ -403,6 +424,11 @@ def get_default_logger() -> JsonLogger:
 def log(event: str, level: str = "info", **fields: Any) -> None:
     """Emit an event on the default logger."""
     _DEFAULT_LOGGER.log(event, level, **fields)
+
+
+def would_log(level: str) -> bool:
+    """Whether the default logger would emit at ``level`` (see :meth:`JsonLogger.would_log`)."""
+    return _DEFAULT_LOGGER.would_log(level)
 
 
 def debug(event: str, **fields: Any) -> None:

@@ -1,4 +1,4 @@
-"""Stdlib telemetry daemon: /metrics /healthz /varz /tracez /logz /topz /profilez /query.
+"""Stdlib telemetry daemon: /statusz /metrics /healthz /alertz /progressz and friends.
 
 :class:`TelemetryServer` wraps a :class:`http.server.ThreadingHTTPServer`
 exposing the process's observability state over HTTP — the backend of
@@ -34,6 +34,19 @@ exposing the process's observability state over HTTP — the backend of
     ``?action=start|stop|reset`` drives the lifecycle (``&hz=`` with
     start), the bare endpoint reports status, and ``?format=collapsed``
     returns accumulated samples as ``flamegraph.pl``-ready text.
+``/progressz``
+    In-flight and recently finished long-running operations
+    (:mod:`repro.obs.progress`): checkpoints, bulk builds, fsck walks,
+    sharded ingests — each with done/total, rate, and ETA.  JSON.
+``/alertz``
+    SLO evaluation results (:mod:`repro.obs.slo`) when the server was
+    given an ``slo_engine``; otherwise an ``{"enabled": false}`` stub so
+    pollers can distinguish "no alerting configured" from "all clear".
+``/statusz``
+    The human dashboard: one self-contained server-rendered HTML page
+    (inline CSS, no JavaScript, no external assets) showing per-shard
+    health, buffer-pool hit rates, WAL/checkpoint state, firing alerts,
+    in-flight progress, and recent slow queries.  Auto-refreshes.
 ``/query``
     Present when the server was given a ``query_service``
     (:class:`repro.resilience.QueryService`): runs ``?q=`` through
@@ -55,7 +68,9 @@ module-level import here would complete that cycle.
 from __future__ import annotations
 
 import json
+import re
 import threading
+from datetime import datetime, timezone
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import parse_qs, urlparse
@@ -70,6 +85,7 @@ from repro.errors import (
 from repro.obs import logging as _logging
 from repro.obs import metrics as _metrics
 from repro.obs import profiling as _profiling
+from repro.obs import progress as _progress
 from repro.obs import tracing as _tracing
 from repro.obs import workload as _workload
 from repro.obs.promexport import render_prometheus
@@ -94,9 +110,14 @@ def _health_payload(
         body: dict[str, Any] = {"status": "ok", "store": None}
         http_status = 200
     else:
-        from repro.storage.fsck import fsck  # lazy: storage instruments via obs
+        # Lazy import: storage instruments via obs, so a module-level
+        # import here would complete that cycle.
+        from repro.storage.fsck import fsck, fsck_sharded, is_sharded_root
 
-        report = fsck(store_dir)
+        if is_sharded_root(store_dir):
+            report = fsck_sharded(store_dir)
+        else:
+            report = fsck(store_dir)
         code = report.exit_code()
         status = {0: "ok", 1: "degraded", 2: "fail"}[code]
         body = {"status": status, "store": report.to_dict()}
@@ -109,6 +130,229 @@ def _health_payload(
             # a hint to load balancers, not a liveness failure.
             body["status"] = "degraded"
     return http_status, body
+
+
+# -- /statusz rendering -------------------------------------------------------
+
+#: Flat series name with a shard label: ``storage.bufferpool.hits{shard=3}``.
+_SHARD_SERIES = re.compile(r"^(?P<name>[^{]+)\{shard=(?P<shard>\d+)\}$")
+
+_STATUSZ_CSS = """
+body { font-family: system-ui, sans-serif; margin: 1.5rem; color: #1a1a2e; }
+h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 1.4rem; }
+table { border-collapse: collapse; margin: 0.4rem 0; }
+th, td { border: 1px solid #c8c8d8; padding: 0.25rem 0.6rem;
+         font-size: 0.85rem; text-align: right; }
+th { background: #eef; } td.l, th.l { text-align: left; }
+.ok { color: #1a7a2e; } .warn { color: #a06000; } .bad { color: #b02020; }
+.muted { color: #777; font-size: 0.85rem; }
+.bar { display: inline-block; width: 120px; height: 0.7rem;
+       background: #e4e4f0; vertical-align: middle; }
+.bar > span { display: block; height: 100%; background: #4a6fd0; }
+"""
+
+
+def _esc(value: Any) -> str:
+    """Minimal HTML escaping (the stdlib ``html`` module is outside the
+    obs import allowlist, and three replacements are all we need)."""
+    return (
+        str(value).replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _shard_rows(snapshot: dict[str, Any]) -> list[dict[str, Any]]:
+    """Per-shard series folded into one row per shard, sorted by shard id."""
+    shards: dict[int, dict[str, float]] = {}
+    for kind in ("counters", "gauges"):
+        for flat, value in snapshot.get(kind, {}).items():
+            match = _SHARD_SERIES.match(flat)
+            if match:
+                shard = int(match.group("shard"))
+                shards.setdefault(shard, {})[match.group("name")] = value
+    return [
+        {"shard": shard, **series} for shard, series in sorted(shards.items())
+    ]
+
+
+def _hit_rate(hits: float, misses: float) -> str:
+    total = hits + misses
+    return f"{100.0 * hits / total:.1f}%" if total else "–"
+
+
+def _statusz_html(
+    *,
+    store_dir: str | None,
+    slo_engine: Any,
+    query_service: Any,
+) -> str:
+    """The whole dashboard as one dependency-free HTML document."""
+    snapshot = _metrics.snapshot()
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    now = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    out: list[str] = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        "<meta http-equiv='refresh' content='5'>",
+        "<title>repro /statusz</title>",
+        f"<style>{_STATUSZ_CSS}</style></head><body>",
+        "<h1>repro telemetry — /statusz</h1>",
+        f"<p class='muted'>generated {_esc(now)}Z · "
+        f"store: {_esc(store_dir) if store_dir else 'none (in-memory)'} · "
+        "<a href='/metrics'>/metrics</a> <a href='/healthz'>/healthz</a> "
+        "<a href='/alertz'>/alertz</a> <a href='/progressz'>/progressz</a> "
+        "<a href='/varz'>/varz</a> <a href='/tracez'>/tracez</a> "
+        "<a href='/logz'>/logz</a> <a href='/topz'>/topz</a></p>",
+    ]
+
+    # -- alerts --------------------------------------------------------------
+    out.append("<h2>Alerts</h2>")
+    if slo_engine is None:
+        out.append(
+            "<p class='muted'>SLO engine not attached — serve with "
+            "<code>--timeseries</code> to enable burn-rate evaluation.</p>"
+        )
+    else:
+        evaluation = slo_engine.evaluate()
+        firing = evaluation["firing"]
+        if firing:
+            out.append(
+                "<table><tr><th class='l'>rule</th><th>severity</th>"
+                "<th class='l'>reason</th></tr>"
+            )
+            for state in firing:
+                out.append(
+                    f"<tr><td class='l bad'>{_esc(state['name'])}</td>"
+                    f"<td>{_esc(state['severity'])}</td>"
+                    f"<td class='l'>{_esc(state['reason'])}</td></tr>"
+                )
+            out.append("</table>")
+        else:
+            no_data = [s["name"] for s in evaluation["rules"] if s.get("no_data")]
+            out.append(
+                f"<p class='ok'>no alerts firing "
+                f"({len(evaluation['rules'])} rules evaluated"
+                + (f"; no data yet: {_esc(', '.join(no_data))}" if no_data else "")
+                + ")</p>"
+            )
+    if query_service is not None:
+        breaker = query_service.breaker.state()
+        css = "bad" if breaker.get("open") else "ok"
+        out.append(
+            f"<p>circuit breaker: <span class='{css}'>"
+            f"{'open' if breaker.get('open') else 'closed'}</span></p>"
+        )
+
+    # -- per-shard health ----------------------------------------------------
+    out.append("<h2>Shards</h2>")
+    shards = _shard_rows(snapshot)
+    if shards:
+        out.append(
+            "<table><tr><th>shard</th><th>pool hits</th><th>pool misses</th>"
+            "<th>hit rate</th><th>evictions</th><th>tree searches</th>"
+            "<th>tree depth</th></tr>"
+        )
+        for row in shards:
+            hits = row.get("storage.bufferpool.hits", 0)
+            misses = row.get("storage.bufferpool.misses", 0)
+            out.append(
+                f"<tr><td>{row['shard']}</td><td>{hits:,.0f}</td>"
+                f"<td>{misses:,.0f}</td><td>{_hit_rate(hits, misses)}</td>"
+                f"<td>{row.get('storage.bufferpool.evictions', 0):,.0f}</td>"
+                f"<td>{row.get('storage.paged_btree.searches', 0):,.0f}</td>"
+                f"<td>{row.get('storage.paged_btree.depth', 0):,.0f}</td></tr>"
+            )
+        out.append("</table>")
+    else:
+        out.append(
+            "<p class='muted'>no per-shard series recorded (single store, "
+            "or no paged/sharded activity in this process yet)</p>"
+        )
+    global_hits = counters.get("storage.bufferpool.hits", 0)
+    global_misses = counters.get("storage.bufferpool.misses", 0)
+    if global_hits or global_misses:
+        out.append(
+            f"<p>unsharded buffer pool: {global_hits:,.0f} hits / "
+            f"{global_misses:,.0f} misses "
+            f"({_hit_rate(global_hits, global_misses)} hit rate), "
+            f"{gauges.get('storage.bufferpool.pinned', 0):,.0f} pinned</p>"
+        )
+
+    # -- WAL / checkpoint ----------------------------------------------------
+    appended = counters.get("storage.wal.append.bytes", 0)
+    reclaimed = counters.get("storage.checkpoint.bytes_reclaimed", 0)
+    out.append("<h2>Durability</h2>")
+    out.append(
+        "<table><tr><th class='l'>series</th><th>value</th></tr>"
+        f"<tr><td class='l'>WAL appends</td>"
+        f"<td>{counters.get('storage.wal.append.count', 0):,.0f}</td></tr>"
+        f"<tr><td class='l'>WAL bytes appended</td><td>{appended:,.0f}</td></tr>"
+        f"<tr><td class='l'>WAL fsyncs</td>"
+        f"<td>{counters.get('storage.wal.fsync.count', 0):,.0f}</td></tr>"
+        f"<tr><td class='l'>checkpoints</td>"
+        f"<td>{counters.get('storage.checkpoint.count', 0):,.0f}</td></tr>"
+        f"<tr><td class='l'>bytes reclaimed by checkpoints</td>"
+        f"<td>{reclaimed:,.0f}</td></tr>"
+        f"<tr><td class='l'>un-checkpointed WAL backlog (bytes)</td>"
+        f"<td>{max(0, appended - reclaimed):,.0f}</td></tr>"
+        "</table>"
+    )
+
+    # -- progress ------------------------------------------------------------
+    out.append("<h2>Progress</h2>")
+    progress = _progress.snapshot()
+    if progress["active"]:
+        out.append(
+            "<table><tr><th class='l'>operation</th><th>done</th><th>total</th>"
+            "<th class='l'>bar</th><th>rate/s</th><th>ETA</th></tr>"
+        )
+        for op in progress["active"]:
+            pct = op["percent"]
+            bar = (
+                f"<span class='bar'><span style='width:{pct:.0f}%'></span></span>"
+                if pct is not None
+                else "<span class='muted'>?</span>"
+            )
+            eta = f"{op['eta_s']:.0f}s" if op["eta_s"] is not None else "–"
+            out.append(
+                f"<tr><td class='l'>{_esc(op['name'])}</td>"
+                f"<td>{op['done']:,}</td>"
+                f"<td>{op['total'] if op['total'] is not None else '?'}</td>"
+                f"<td class='l'>{bar}</td><td>{op['rate_per_s']:,.0f}</td>"
+                f"<td>{eta}</td></tr>"
+            )
+        out.append("</table>")
+    else:
+        out.append("<p class='muted'>no operations in flight</p>")
+    if progress["recent"]:
+        out.append("<p class='muted'>recently finished: ")
+        out.append(", ".join(
+            f"{_esc(op['name'])} ({op['done']:,} in {op['elapsed_s']}s"
+            + ("" if op["ok"] else ", FAILED") + ")"
+            for op in progress["recent"][:6]
+        ))
+        out.append("</p>")
+
+    # -- slow queries --------------------------------------------------------
+    out.append("<h2>Recent slow queries</h2>")
+    slow = _logging.tail(10, event="query.slow")
+    if slow:
+        out.append(
+            "<table><tr><th class='l'>ts</th><th class='l'>query</th>"
+            "<th>seconds</th><th>rows</th></tr>"
+        )
+        for record in reversed(slow):
+            out.append(
+                f"<tr><td class='l'>{_esc(record.get('ts', ''))}</td>"
+                f"<td class='l'>{_esc(record.get('query', ''))}</td>"
+                f"<td>{record.get('seconds', 0)}</td>"
+                f"<td>{record.get('rows', 0)}</td></tr>"
+            )
+        out.append("</table>")
+    else:
+        out.append("<p class='muted'>none in the log ring</p>")
+
+    out.append("</body></html>")
+    return "".join(out)
 
 
 class _TelemetryHandler(BaseHTTPRequestHandler):
@@ -143,8 +387,11 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
     def _endpoints(self) -> list[str]:
         """Every route this server answers (the / index and 404 contract)."""
         endpoints = [
+            "/statusz",
             "/metrics",
             "/healthz",
+            "/alertz",
+            "/progressz",
             "/varz",
             "/tracez",
             "/logz",
@@ -183,6 +430,20 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
                 )
             elif path == "/logz":
                 self._send_json(200, self._logz(parse_qs(parsed.query)))
+            elif path == "/progressz":
+                self._send_json(200, _progress.snapshot())
+            elif path == "/alertz":
+                self._alertz()
+            elif path == "/statusz":
+                self._send(
+                    200,
+                    "text/html; charset=utf-8",
+                    _statusz_html(
+                        store_dir=self.server.store_dir,
+                        slo_engine=self.server.slo_engine,
+                        query_service=self.server.query_service,
+                    ),
+                )
             elif path == "/topz":
                 self._topz(parse_qs(parsed.query))
             elif path == "/profilez":
@@ -203,6 +464,29 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
         except Exception as exc:  # pragma: no cover - defensive
             _logging.error("obs.server.error", path=path, error=repr(exc))
             self._send_json(500, {"error": repr(exc)})
+
+    def _alertz(self) -> None:
+        """SLO evaluation results, or an explicit disabled stub.
+
+        The stub is HTTP 200 on purpose: "alerting is not configured" is
+        an answer, not a server error, and pollers key off ``enabled``.
+        """
+        engine = self.server.slo_engine
+        if engine is None:
+            self._send_json(
+                200,
+                {
+                    "enabled": False,
+                    "reason": "no SLO engine attached "
+                              "(serve-telemetry starts one when sampling runs)",
+                    "rules": [],
+                    "firing": [],
+                },
+            )
+            return
+        payload = engine.evaluate()
+        payload["enabled"] = True
+        self._send_json(200, payload)
 
     def _topz(self, params: dict[str, list[str]]) -> None:
         """The workload fingerprint table plus key-usage histograms."""
@@ -378,16 +662,21 @@ class TelemetryServer:
         port: int = DEFAULT_PORT,
         store_dir: str | None = None,
         query_service: Any = None,
+        slo_engine: Any = None,
     ):
         self.store_dir = str(store_dir) if store_dir is not None else None
         #: Optional :class:`repro.resilience.QueryService` behind /query
         #: (duck-typed here so the obs layer stays dependency-light).
         self.query_service = query_service
+        #: Optional :class:`repro.obs.slo.SLOEngine` behind /alertz and the
+        #: /statusz alerts section (duck-typed: anything with .evaluate()).
+        self.slo_engine = slo_engine
         self._httpd = ThreadingHTTPServer((host, port), _TelemetryHandler)
         self._httpd.daemon_threads = True
         # Handlers reach server state through ``self.server``.
         self._httpd.store_dir = self.store_dir  # type: ignore[attr-defined]
         self._httpd.query_service = query_service  # type: ignore[attr-defined]
+        self._httpd.slo_engine = slo_engine  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
         _logging.info(
             "obs.server.start", host=self.host, port=self.port, store=self.store_dir

@@ -1,0 +1,460 @@
+"""Declarative SLOs with multi-window burn-rate alerting.
+
+Metrics nobody watches are decoration.  This module closes the loop:
+operators declare *service level objectives* as data (JSON rules, see
+below), and :class:`SLOEngine` evaluates them over the sampled history
+in :class:`~repro.obs.timeseries.TimeSeriesLog` — the same samples the
+telemetry daemon's recorder already writes.  Results surface on the
+daemon's ``/alertz`` endpoint, the ``/statusz`` dashboard, and the
+``repro alerts`` CLI.
+
+Two rule kinds cover the fleet basics:
+
+``availability`` — an error-budget SLO over a (bad, total) counter
+pair, alerted on **burn rate**: ``burn = (Δbad/Δtotal) / (1 -
+objective)``, i.e. how many times faster than "exactly on objective"
+the error budget is being spent.  Each window pair fires only when
+*both* the long and the short window exceed the threshold — the long
+window proves the problem is sustained, the short window proves it is
+still happening (so alerts reset quickly once the bleeding stops)::
+
+    {"name": "query-availability", "kind": "availability",
+     "objective": 0.999,
+     "total": "query.executions", "bad": "query.failures",
+     "windows": [
+       {"long_s": 3600,  "short_s": 300,  "burn": 14.4, "severity": "page"},
+       {"long_s": 21600, "short_s": 1800, "burn": 6.0,  "severity": "ticket"}]}
+
+``threshold`` — a bound on a derived value, held over a window.  The
+``source`` selects the derivation: ``gauge`` (latest gauge value),
+``rate`` (Δcounter per second over ``window_s``), ``ratio``
+(Δnumerator/Δdenominator over ``window_s`` — e.g. mean query latency
+from a histogram's sampled ``.sum``/``.count``), ``counter_gap``
+(latest A minus latest B — e.g. WAL bytes appended minus bytes
+reclaimed), or ``staleness`` (seconds since the counter last moved —
+e.g. time since the last checkpoint)::
+
+    {"name": "checkpoint-staleness", "kind": "threshold",
+     "source": "staleness", "metric": "storage.checkpoint.count",
+     "op": ">", "bound": 3600, "severity": "ticket"}
+
+A rule without enough samples to evaluate reports ``no_data`` and does
+**not** fire — silence is not evidence of health, but it is not
+evidence of an outage either; the dashboard renders no-data states
+distinctly so a dead recorder is visible.
+
+Standard library only, like the rest of ``repro.obs``.  Metric names
+(catalogued in ``docs/observability.md``): ``obs.slo.evaluations``,
+``obs.slo.firing``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any
+
+from repro.obs import logging as _logging
+from repro.obs import metrics as _metrics
+from repro.obs.timeseries import TimeSeriesLog
+
+__all__ = [
+    "SLOEngine",
+    "load_rules",
+    "validate_rules",
+    "DEFAULT_RULES",
+    "SEVERITIES",
+]
+
+#: Escalating alert severities (rules may use any of these).
+SEVERITIES = ("info", "ticket", "page")
+
+_EVALUATIONS = _metrics.counter("obs.slo.evaluations")
+_FIRING = _metrics.gauge("obs.slo.firing")
+
+_THRESHOLD_SOURCES = ("gauge", "rate", "ratio", "counter_gap", "staleness")
+_OPS = {
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+}
+
+#: Burn thresholds/windows follow the multiwindow, multi-burn-rate
+#: alerting recipe: a fast burn pages (budget gone in ~2 days at 99.9%),
+#: a slow burn files a ticket.
+DEFAULT_RULES: list[dict[str, Any]] = [
+    {
+        "name": "query-availability",
+        "kind": "availability",
+        "objective": 0.999,
+        "total": "query.executions",
+        "bad": "query.failures",
+        "windows": [
+            {"long_s": 3600, "short_s": 300, "burn": 14.4, "severity": "page"},
+            {"long_s": 21600, "short_s": 1800, "burn": 6.0, "severity": "ticket"},
+        ],
+    },
+    {
+        "name": "query-mean-latency",
+        "kind": "threshold",
+        "source": "ratio",
+        "numerator": "query.seconds.sum",
+        "denominator": "query.seconds.count",
+        "op": ">",
+        "bound": 0.250,
+        "window_s": 300,
+        "severity": "ticket",
+    },
+    {
+        "name": "checkpoint-staleness",
+        "kind": "threshold",
+        "source": "staleness",
+        "metric": "storage.checkpoint.count",
+        "op": ">",
+        "bound": 3600,
+        "severity": "ticket",
+    },
+    {
+        "name": "wal-backlog",
+        "kind": "threshold",
+        "source": "counter_gap",
+        "metric": "storage.wal.append.bytes",
+        "minus": "storage.checkpoint.bytes_reclaimed",
+        "op": ">",
+        "bound": 256 << 20,
+        "severity": "ticket",
+    },
+]
+
+
+def _now() -> tuple[str, float]:
+    now = datetime.now(timezone.utc)
+    iso = now.isoformat(timespec="milliseconds").replace("+00:00", "Z")
+    return iso, now.timestamp()
+
+
+def validate_rules(rules: Any) -> list[dict[str, Any]]:
+    """Check a parsed rules document; returns the rule list.
+
+    Accepts either a bare list or ``{"slos": [...]}``.  Raises
+    ``ValueError`` naming the offending rule and field — rule files are
+    operator-written, so errors must say *what* is wrong, not just fail.
+    """
+    if isinstance(rules, dict):
+        rules = rules.get("slos")
+    if not isinstance(rules, list) or not rules:
+        raise ValueError("SLO rules must be a non-empty list (or {'slos': [...]})")
+    seen: set[str] = set()
+    for i, rule in enumerate(rules):
+        where = f"rule #{i}"
+        if not isinstance(rule, dict):
+            raise ValueError(f"{where}: expected an object, got {type(rule).__name__}")
+        name = rule.get("name")
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"{where}: missing 'name'")
+        where = f"rule {name!r}"
+        if name in seen:
+            raise ValueError(f"{where}: duplicate rule name")
+        seen.add(name)
+        kind = rule.get("kind")
+        if kind == "availability":
+            objective = rule.get("objective")
+            if not isinstance(objective, (int, float)) or not 0 < objective < 1:
+                raise ValueError(f"{where}: 'objective' must be in (0, 1)")
+            for field in ("total", "bad"):
+                if not isinstance(rule.get(field), str):
+                    raise ValueError(f"{where}: missing counter name {field!r}")
+            windows = rule.get("windows")
+            if not isinstance(windows, list) or not windows:
+                raise ValueError(f"{where}: 'windows' must be a non-empty list")
+            for window in windows:
+                for field in ("long_s", "short_s", "burn"):
+                    value = window.get(field) if isinstance(window, dict) else None
+                    if not isinstance(value, (int, float)) or value <= 0:
+                        raise ValueError(f"{where}: window needs positive {field!r}")
+                if window.get("severity", "ticket") not in SEVERITIES:
+                    raise ValueError(
+                        f"{where}: severity must be one of {SEVERITIES}"
+                    )
+        elif kind == "threshold":
+            source = rule.get("source")
+            if source not in _THRESHOLD_SOURCES:
+                raise ValueError(
+                    f"{where}: 'source' must be one of {_THRESHOLD_SOURCES}"
+                )
+            if rule.get("op", ">") not in _OPS:
+                raise ValueError(f"{where}: 'op' must be one of {sorted(_OPS)}")
+            if not isinstance(rule.get("bound"), (int, float)):
+                raise ValueError(f"{where}: missing numeric 'bound'")
+            if source == "ratio":
+                for field in ("numerator", "denominator"):
+                    if not isinstance(rule.get(field), str):
+                        raise ValueError(f"{where}: ratio needs {field!r}")
+            elif source == "counter_gap":
+                for field in ("metric", "minus"):
+                    if not isinstance(rule.get(field), str):
+                        raise ValueError(f"{where}: counter_gap needs {field!r}")
+            elif not isinstance(rule.get("metric"), str):
+                raise ValueError(f"{where}: missing 'metric'")
+            if source in ("rate", "ratio") and not isinstance(
+                rule.get("window_s"), (int, float)
+            ):
+                raise ValueError(f"{where}: source {source!r} needs 'window_s'")
+            if rule.get("severity", "ticket") not in SEVERITIES:
+                raise ValueError(f"{where}: severity must be one of {SEVERITIES}")
+        else:
+            raise ValueError(
+                f"{where}: 'kind' must be 'availability' or 'threshold'"
+            )
+    return rules
+
+
+def load_rules(path: Path | str) -> list[dict[str, Any]]:
+    """Read and validate a JSON rules file."""
+    with open(path, encoding="utf-8") as fh:
+        try:
+            doc = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"invalid JSON in SLO rules file {path}: {exc}") from exc
+    return validate_rules(doc)
+
+
+def _delta(window: list[dict[str, Any]], name: str) -> float | None:
+    """Counter delta across a sample window, Prometheus reset rule.
+
+    ``None`` when the window has fewer than two samples or the counter
+    never appears (counter-absent and counter-zero are different facts).
+    """
+    if len(window) < 2:
+        return None
+    first, last = window[0], window[-1]
+    end = last.get("counters", {}).get(name)
+    if end is None:
+        return None
+    start = first.get("counters", {}).get(name, 0)
+    delta = end - start
+    return float(end) if delta < 0 else float(delta)
+
+
+class SLOEngine:
+    """Evaluates SLO rules over a :class:`TimeSeriesLog`.
+
+    Stateless per evaluation except for edge detection: transitions
+    into/out of firing emit ``obs.slo.firing`` / ``obs.slo.resolved``
+    log events, so the structured log carries alert history even when
+    nobody polls ``/alertz``.
+    """
+
+    def __init__(
+        self,
+        log: TimeSeriesLog,
+        rules: list[dict[str, Any]] | None = None,
+    ):
+        self.log = log
+        self.rules = validate_rules(rules if rules is not None else DEFAULT_RULES)
+        self._was_firing: set[str] = set()
+        self._lock = threading.Lock()
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(self, *, now_epoch: float | None = None) -> dict[str, Any]:
+        """Evaluate every rule; returns the ``/alertz`` payload shape:
+        ``{"generated_ts", "rules": [state, ...], "firing": [...]}``."""
+        iso, epoch = _now()
+        if now_epoch is None:
+            now_epoch = epoch
+        states = []
+        for rule in self.rules:
+            if rule["kind"] == "availability":
+                states.append(self._eval_availability(rule, now_epoch))
+            else:
+                states.append(self._eval_threshold(rule, now_epoch))
+        firing = [s for s in states if s["firing"]]
+        _EVALUATIONS.inc()
+        _FIRING.set(len(firing))
+        self._log_transitions(states)
+        return {"generated_ts": iso, "rules": states, "firing": firing}
+
+    def firing(self, *, now_epoch: float | None = None) -> list[dict[str, Any]]:
+        """Just the rules currently firing."""
+        return self.evaluate(now_epoch=now_epoch)["firing"]
+
+    def _log_transitions(self, states: list[dict[str, Any]]) -> None:
+        with self._lock:
+            now_firing = {s["name"] for s in states if s["firing"]}
+            started = now_firing - self._was_firing
+            resolved = self._was_firing - now_firing
+            self._was_firing = now_firing
+        for state in states:
+            if state["name"] in started:
+                _logging.warn(
+                    "obs.slo.firing",
+                    rule=state["name"],
+                    severity=state["severity"],
+                    reason=state["reason"],
+                )
+        for name in resolved:
+            _logging.info("obs.slo.resolved", rule=name)
+
+    # -- availability (burn rate) -------------------------------------------
+
+    def _eval_availability(
+        self, rule: dict[str, Any], now_epoch: float
+    ) -> dict[str, Any]:
+        budget = 1.0 - float(rule["objective"])
+        window_states = []
+        firing_severity: str | None = None
+        no_data = True
+        for window in rule["windows"]:
+            burns = {}
+            for arm, seconds in (("long", window["long_s"]), ("short", window["short_s"])):
+                samples = self.log.window(seconds, now_epoch=now_epoch)
+                bad = _delta(samples, rule["bad"])
+                total = _delta(samples, rule["total"])
+                if bad is None or total is None or total <= 0:
+                    burns[arm] = None
+                else:
+                    burns[arm] = (bad / total) / budget
+            fires = (
+                burns["long"] is not None
+                and burns["short"] is not None
+                and burns["long"] >= window["burn"]
+                and burns["short"] >= window["burn"]
+            )
+            if burns["long"] is not None or burns["short"] is not None:
+                no_data = False
+            severity = window.get("severity", "ticket")
+            window_states.append(
+                {
+                    "long_s": window["long_s"],
+                    "short_s": window["short_s"],
+                    "threshold": window["burn"],
+                    "burn_long": round(burns["long"], 3) if burns["long"] is not None else None,
+                    "burn_short": round(burns["short"], 3) if burns["short"] is not None else None,
+                    "severity": severity,
+                    "firing": fires,
+                }
+            )
+            if fires and (
+                firing_severity is None
+                or SEVERITIES.index(severity) > SEVERITIES.index(firing_severity)
+            ):
+                firing_severity = severity
+        firing = firing_severity is not None
+        if firing:
+            worst = max(
+                (w for w in window_states if w["firing"]),
+                key=lambda w: (w["burn_long"] or 0),
+            )
+            reason = (
+                f"burn rate {worst['burn_long']:.1f}x over {worst['long_s']:.0f}s "
+                f"(threshold {worst['threshold']}x, objective {rule['objective']})"
+            )
+        elif no_data:
+            reason = "no data"
+        else:
+            reason = "within budget"
+        return {
+            "name": rule["name"],
+            "kind": "availability",
+            "objective": rule["objective"],
+            "severity": firing_severity or rule["windows"][0].get("severity", "ticket"),
+            "firing": firing,
+            "no_data": no_data,
+            "windows": window_states,
+            "reason": reason,
+        }
+
+    # -- threshold ------------------------------------------------------------
+
+    def _eval_threshold(
+        self, rule: dict[str, Any], now_epoch: float
+    ) -> dict[str, Any]:
+        source = rule["source"]
+        value: float | None
+        detail = ""
+        if source == "gauge":
+            value = self._latest_gauge(rule["metric"])
+            detail = rule["metric"]
+        elif source == "rate":
+            samples = self.log.window(rule["window_s"], now_epoch=now_epoch)
+            delta = _delta(samples, rule["metric"])
+            elapsed = (
+                float(samples[-1]["epoch"]) - float(samples[0]["epoch"])
+                if len(samples) >= 2
+                else 0.0
+            )
+            value = delta / elapsed if delta is not None and elapsed > 0 else None
+            detail = f"rate({rule['metric']})/{rule['window_s']:.0f}s"
+        elif source == "ratio":
+            samples = self.log.window(rule["window_s"], now_epoch=now_epoch)
+            num = _delta(samples, rule["numerator"])
+            den = _delta(samples, rule["denominator"])
+            value = num / den if num is not None and den else None
+            detail = f"{rule['numerator']}/{rule['denominator']}"
+        elif source == "counter_gap":
+            a = self._latest_counter(rule["metric"])
+            b = self._latest_counter(rule["minus"])
+            value = a - b if a is not None and b is not None else None
+            detail = f"{rule['metric']} - {rule['minus']}"
+        else:  # staleness
+            value = self._staleness(rule["metric"], now_epoch)
+            detail = f"seconds since {rule['metric']} moved"
+        op = rule.get("op", ">")
+        firing = value is not None and _OPS[op](value, rule["bound"])
+        if firing:
+            reason = f"{detail} = {value:.3f} {op} {rule['bound']}"
+        elif value is None:
+            reason = "no data"
+        else:
+            reason = f"{detail} = {value:.3f} within bound"
+        return {
+            "name": rule["name"],
+            "kind": "threshold",
+            "source": source,
+            "severity": rule.get("severity", "ticket"),
+            "firing": firing,
+            "no_data": value is None,
+            "value": round(value, 6) if value is not None else None,
+            "op": op,
+            "bound": rule["bound"],
+            "reason": reason,
+        }
+
+    def _latest_gauge(self, name: str) -> float | None:
+        samples = self.log.samples()
+        if not samples:
+            return None
+        value = samples[-1].get("gauges", {}).get(name)
+        return float(value) if value is not None else None
+
+    def _latest_counter(self, name: str) -> float | None:
+        samples = self.log.samples()
+        if not samples:
+            return None
+        value = samples[-1].get("counters", {}).get(name)
+        return float(value) if value is not None else None
+
+    def _staleness(self, name: str, now_epoch: float) -> float | None:
+        """Seconds since ``name`` last changed value.
+
+        ``None`` (no data) when the counter is absent, was never nonzero
+        in retained history (the op never runs here — e.g. a pure-query
+        process that never checkpoints), or history is a single sample.
+        """
+        samples = self.log.samples()
+        values = [
+            (s["epoch"], s.get("counters", {}).get(name))
+            for s in samples
+            if name in s.get("counters", {})
+        ]
+        if len(values) < 2 or not any(v for _, v in values):
+            return None
+        last_change = values[0][0]
+        for (_, prev), (epoch, cur) in zip(values, values[1:]):
+            if cur != prev:
+                last_change = epoch
+        return max(0.0, now_epoch - last_change)

@@ -111,14 +111,26 @@ class TimeSeriesLog:
     # -- sampling -----------------------------------------------------------
 
     def sample(self, snapshot: dict[str, Any] | None = None) -> dict[str, Any]:
-        """Record one sample (of ``snapshot`` or the default registry)."""
+        """Record one sample (of ``snapshot`` or the default registry).
+
+        Histograms are folded into the counter namespace as two monotone
+        series each — ``<name>.count`` and ``<name>.sum`` — so windowed
+        math (mean latency over the last N seconds, SLO burn rates over
+        ``*.seconds`` families) works from samples alone without
+        persisting every bucket.
+        """
         if snapshot is None:
             snapshot = _metrics.snapshot()
         iso, epoch = _now()
+        counters = dict(snapshot.get("counters", {}))
+        for name, hist in snapshot.get("histograms", {}).items():
+            if isinstance(hist, dict):
+                counters[f"{name}.count"] = hist.get("count", 0)
+                counters[f"{name}.sum"] = hist.get("sum", 0.0)
         record = {
             "ts": iso,
             "epoch": epoch,
-            "counters": dict(snapshot.get("counters", {})),
+            "counters": counters,
             "gauges": dict(snapshot.get("gauges", {})),
         }
         with self._lock:

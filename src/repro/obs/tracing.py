@@ -13,6 +13,25 @@ Finished *root* spans land in a bounded ring buffer (oldest evicted
 first), so a long-lived process keeps the most recent traces without
 unbounded growth.  A disabled tracer hands out a shared no-op span and
 touches no per-thread state — the hot-path cost is one flag check.
+
+Cross-thread propagation
+------------------------
+
+The span stack is per-thread, so work handed to a pool thread would
+normally start a *new* root there — detaching per-shard work from its
+query's trace and littering the ring with orphan roots.
+:class:`TraceContext` fixes that: ``TraceContext.capture()`` on the
+submitting thread grabs the current trace id and span, and
+``ctx.attach()`` on the worker re-binds both — the captured span is
+pushed as a **foreign frame** (new spans nest under it; it is never
+finished or retained by the worker), and the trace id is re-bound so
+the worker's log lines join the query's trace::
+
+    ctx = TraceContext.capture()
+    def worker():
+        with ctx.attach():
+            with span("query.shard", shard=3):   # child of the query root
+                ...
 """
 
 from __future__ import annotations
@@ -20,11 +39,13 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
+from contextlib import contextmanager
 from typing import Any, Iterator
 
 __all__ = [
     "Span",
     "Tracer",
+    "TraceContext",
     "get_default_tracer",
     "span",
     "set_enabled",
@@ -208,6 +229,33 @@ class Tracer:
             with self._lock:
                 self._finished.append(span)
 
+    # -- foreign frames (cross-thread propagation) --------------------------
+
+    def _push_foreign(self, span: Span) -> None:
+        """Adopt another thread's open span as this thread's stack base.
+
+        Unlike :meth:`_push`, the span is *not* linked as a child of
+        anything here — it already lives in its owner's tree.  New spans
+        opened on this thread nest under it via the normal push path.
+        """
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        stack.append(span)
+
+    def _pop_foreign(self, span: Span) -> None:
+        """Remove a foreign frame without finishing or retaining it.
+
+        The owning thread's ``__exit__`` sets ``_end`` and files the root
+        in the ring; doing either here would double-finish the span or
+        record an orphan root per pool thread.
+        """
+        stack = getattr(self._local, "stack", None)
+        while stack:
+            if stack.pop() is span:
+                break
+
     # -- retention ----------------------------------------------------------
 
     def finished_spans(self) -> list[Span]:
@@ -223,6 +271,68 @@ class Tracer:
         """Drop all retained spans (open spans are unaffected)."""
         with self._lock:
             self._finished.clear()
+
+
+class TraceContext:
+    """Capturable trace state: one trace id + one parent span.
+
+    Capture on the thread that owns the trace, attach on each worker
+    thread the work fans out to — every span/log line the worker emits
+    then joins the originating trace instead of starting a detached one.
+    Capturing outside any trace/span yields a context whose ``attach``
+    is a no-op, so call sites need no conditionals.
+
+    Instances are immutable and may be attached concurrently by any
+    number of worker threads (child-list appends are GIL-atomic).
+    """
+
+    __slots__ = ("trace_id", "parent_span", "_tracer")
+
+    def __init__(
+        self,
+        trace_id: str | None,
+        parent_span: Span | None,
+        tracer: "Tracer | None" = None,
+    ):
+        self.trace_id = trace_id
+        self.parent_span = parent_span
+        self._tracer = tracer if tracer is not None else _DEFAULT_TRACER
+
+    @classmethod
+    def capture(cls, tracer: "Tracer | None" = None) -> "TraceContext":
+        """Snapshot the calling thread's trace id and innermost open span."""
+        from repro.obs import logging as _logging
+
+        tracer = tracer if tracer is not None else _DEFAULT_TRACER
+        parent = tracer.current_span() if tracer.enabled else None
+        return cls(_logging.current_trace_id(), parent, tracer)
+
+    @contextmanager
+    def attach(self) -> Iterator["TraceContext"]:
+        """Re-bind the captured trace id and parent span on this thread."""
+        from repro.obs import logging as _logging
+
+        parent = self.parent_span
+        adopt = (
+            parent is not None
+            and self._tracer.enabled
+            and self._tracer.current_span() is not parent
+        )
+        if adopt:
+            self._tracer._push_foreign(parent)
+        try:
+            if self.trace_id is not None:
+                with _logging.trace(self.trace_id):
+                    yield self
+            else:
+                yield self
+        finally:
+            if adopt:
+                self._tracer._pop_foreign(parent)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parent = self.parent_span.name if self.parent_span is not None else None
+        return f"TraceContext(trace_id={self.trace_id!r}, parent={parent!r})"
 
 
 # -- process-global default tracer ------------------------------------------

@@ -57,6 +57,7 @@ from repro.obs import tracing as _tracing
 from repro.obs import workload as _workload
 from repro.obs.slowlog import SlowQueryLog
 from repro.resilience.deadline import CancelToken, Deadline, Guard
+from repro.storage.bufferpool import PageStats, page_stats_scope
 from repro.query.ast_nodes import Query
 from repro.query.parser import parse_query
 from repro.query.planner import (
@@ -88,6 +89,9 @@ _ROWS_EXAMINED = _metrics.counter("query.rows.examined")
 _ROWS_RETURNED = _metrics.counter("query.rows.returned")
 _QUERY_SECONDS = _metrics.histogram("query.seconds")
 _PROFILED = _metrics.counter("query.profiled.count")
+# Availability SLO numerator (paired with query.executions): every
+# execute() that unwound with an error, interruptions included.
+_FAILURES = _metrics.counter("query.failures")
 
 #: Rows sampled when estimating the byte footprint of a row set.
 _BYTES_SAMPLE = 4
@@ -216,7 +220,14 @@ class OpProfile:
 
 @dataclass(frozen=True, slots=True)
 class QueryProfile:
-    """Rows plus the annotated operator tree of one profiled execution."""
+    """Rows plus the annotated operator tree of one profiled execution.
+
+    ``page_hits`` / ``page_misses`` are the buffer-pool pages this query
+    touched (thread-attributed through
+    :func:`repro.storage.bufferpool.page_stats_scope`; summed across
+    shard workers on a scatter).  Both stay 0 against a memory-format
+    store — there is no pool to hit.
+    """
 
     rows: list[dict[str, Any]]
     root: OpProfile
@@ -224,12 +235,20 @@ class QueryProfile:
     seconds: float
     plan_cached: bool = False  #: plan came from the engine's PlanCache
     fingerprint: str | None = None  #: workload fingerprint of the query shape
+    page_hits: int = 0  #: buffer-pool hits attributed to this query
+    page_misses: int = 0  #: buffer-pool misses attributed to this query
 
     def render(self) -> str:
         """The operator tree plus a total-time footer."""
         cached = "  (plan: cached)" if self.plan_cached else ""
         fp = f"  [fingerprint {self.fingerprint}]" if self.fingerprint else ""
-        return f"{self.root.render()}\ntotal: {self.seconds * 1e3:.3f}ms{cached}{fp}"
+        pages = ""
+        if self.page_hits or self.page_misses:
+            pages = f"  pages: {self.page_hits} hit / {self.page_misses} miss"
+        return (
+            f"{self.root.render()}\n"
+            f"total: {self.seconds * 1e3:.3f}ms{pages}{cached}{fp}"
+        )
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -238,6 +257,8 @@ class QueryProfile:
             "fingerprint": self.fingerprint,
             "seconds": self.seconds,
             "row_count": len(self.rows),
+            "page_hits": self.page_hits,
+            "page_misses": self.page_misses,
             "tree": self.root.to_dict(),
         }
 
@@ -342,6 +363,19 @@ class QueryEngine:
                 cancel=cancel,
                 max_rows=max_rows,
             )
+        try:
+            return self._execute(query, profile=profile, guard=guard)
+        except Exception:
+            _FAILURES.inc()
+            raise
+
+    def _execute(
+        self,
+        query: str | Query,
+        *,
+        profile: bool,
+        guard: Guard | None,
+    ) -> list[dict[str, Any]] | QueryProfile:
         with _logging.trace() as trace_id:
             parsed = self._parse(query)
             plan, fp, template, cached = self.plan_cache.get_or_plan_fingerprinted(
@@ -415,16 +449,17 @@ class QueryEngine:
                         fp, template, rows, examined, cpu_ns, seconds,
                         examined * self._bytes_per_row, cached,
                     ))
-            _logging.debug(
-                "query.execute",
-                query=query_text,
-                access=plan.access.op,
-                plan_cached=cached,
-                fingerprint=fp,
-                rows=rows,
-                seconds=round(seconds, 6),
-                profiled=profile,
-            )
+            if _logging.would_log("debug"):
+                _logging.debug(
+                    "query.execute",
+                    query=query_text,
+                    access=plan.access.op,
+                    plan_cached=cached,
+                    fingerprint=fp,
+                    rows=rows,
+                    seconds=round(seconds, 6),
+                    profiled=profile,
+                )
             self._maybe_slow_log(
                 query_text, plan, cached, rows, seconds, ran_profile, trace_id, fp
             )
@@ -681,7 +716,12 @@ class QueryEngine:
                 guard.check()
             start = time.perf_counter()
             cpu_start = time.thread_time_ns()
-            candidates = list(self._candidates(plan, guard))
+            # Pool pages are only touched while the access path streams
+            # candidate records off the paged tree, so the attribution
+            # scope need not cover the later (pure in-memory) stages.
+            pstats = PageStats()
+            with page_stats_scope(pstats):
+                candidates = list(self._candidates(plan, guard))
             examined = len(self.store) if isinstance(plan.access, FullScan) else len(candidates)
             node = OpProfile(
                 op=plan.access.op,
@@ -766,6 +806,9 @@ class QueryEngine:
             seconds = time.perf_counter() - total_start
             _QUERY_SECONDS.observe(seconds)
             qspan.set_attribute("rows", len(rows))
+            if pstats.hits or pstats.misses:
+                qspan.set_attribute("page_hits", pstats.hits)
+                qspan.set_attribute("page_misses", pstats.misses)
             return QueryProfile(
                 rows=rows,
                 root=node,
@@ -773,6 +816,8 @@ class QueryEngine:
                 seconds=seconds,
                 plan_cached=plan_cached,
                 fingerprint=fingerprint,
+                page_hits=pstats.hits,
+                page_misses=pstats.misses,
             )
 
     def _check_order_field(self, plan: Plan) -> None:
@@ -1089,9 +1134,18 @@ class ShardedQueryEngine:
     is what propagates, with ``rows_examined`` summed across workers.
 
     Reads only — run ingest and queries from different phases, exactly as
-    with a single :class:`RecordStore`.  Profiled execution
-    (``EXPLAIN ANALYZE``) is not offered here; profile against a
-    single-store engine, where per-operator attribution is meaningful.
+    with a single :class:`RecordStore`.
+
+    Observability: every execution runs under one trace ID that the
+    shard workers adopt — the scatter emits a ``query.scatter`` root
+    span with one ``query.shard`` child per shard (``shard`` / ``rows``
+    / ``seconds`` attributes), worker log lines carry the caller's trace
+    ID, and a slow execution lands one slow-log entry covering the whole
+    fan-out.  ``execute(..., profile=True)`` returns a
+    :class:`QueryProfile` whose root ``scatter`` node has one ``shard``
+    child per shard (rows, per-shard wall time, buffer-pool page
+    hits/misses attributed through
+    :func:`~repro.storage.bufferpool.page_stats_scope`).
     """
 
     def __init__(
@@ -1118,12 +1172,18 @@ class ShardedQueryEngine:
         self,
         query: str | Query,
         *,
+        profile: bool = False,
         guard: Guard | None = None,
         timeout_s: float | None = None,
         cancel: CancelToken | None = None,
         max_rows: int | None = None,
-    ) -> list[dict[str, Any]]:
+    ) -> list[dict[str, Any]] | QueryProfile:
         """Run ``query`` across all shards and return the merged records.
+
+        With ``profile=True``, returns a :class:`QueryProfile` instead:
+        the merged rows plus a two-level operator tree — a ``scatter``
+        root with one ``shard`` child per shard carrying that worker's
+        rows, wall time, and buffer-pool page hits/misses.
 
         Bounds work as on :meth:`QueryEngine.execute` — pass a pre-built
         :class:`Guard` or the convenience knobs — except that the bound
@@ -1140,7 +1200,20 @@ class ShardedQueryEngine:
                 cancel=cancel,
                 max_rows=max_rows,
             )
-        with _logging.trace():
+        try:
+            return self._execute(query, profile=profile, guard=guard)
+        except Exception:
+            _FAILURES.inc()
+            raise
+
+    def _execute(
+        self,
+        query: str | Query,
+        *,
+        profile: bool,
+        guard: Guard | None,
+    ) -> list[dict[str, Any]] | QueryProfile:
+        with _logging.trace() as trace_id:
             parsed = self._parse(query)
             plan, fp, template, cached = self.plan_cache.get_or_plan_fingerprinted(
                 parsed, self.store  # type: ignore[arg-type]
@@ -1149,18 +1222,26 @@ class ShardedQueryEngine:
             self._check_clause_fields(splan)
             if not _WORKLOAD_TABLE.enabled:
                 fp = None
+            query_text = query if isinstance(query, str) else str(query)
             start = time.perf_counter()
-            try:
-                out, examined = self._run_scatter(splan, guard)
-            except QueryInterrupted as exc:
-                if fp is not None:
-                    _RECORD_PACKED((
-                        fp, template, 0, exc.rows_examined, -1,
-                        time.perf_counter() - start,
-                        0, cached, _interruption_kind(exc), False, None,
-                    ))
-                raise
-            seconds = time.perf_counter() - start
+            with _tracing.span(
+                "query.scatter",
+                access=plan.access.op,
+                shards=self.store.shard_count,
+            ) as sspan:
+                sspan.set_attribute("trace_id", trace_id)
+                try:
+                    out, examined, metas = self._run_scatter(splan, guard)
+                except QueryInterrupted as exc:
+                    if fp is not None:
+                        _RECORD_PACKED((
+                            fp, template, 0, exc.rows_examined, -1,
+                            time.perf_counter() - start,
+                            0, cached, _interruption_kind(exc), False, None,
+                        ))
+                    raise
+                seconds = time.perf_counter() - start
+                sspan.set_attribute("rows", len(out))
             _QUERY_SECONDS.observe(seconds)
             if fp is not None:
                 # Worker CPU burns on pool threads, invisible to this
@@ -1170,17 +1251,108 @@ class ShardedQueryEngine:
                     fp, template, len(out), examined, -1, seconds,
                     _estimate_bytes(out, examined), cached,
                 ))
-            _logging.debug(
-                "query.scatter.execute",
-                query=query if isinstance(query, str) else str(query),
-                access=plan.access.op,
-                shards=self.store.shard_count,
-                plan_cached=cached,
-                fingerprint=fp,
-                rows=len(out),
-                seconds=round(seconds, 6),
+            result: QueryProfile | None = None
+            if profile:
+                _PROFILED.inc()
+                result = self._scatter_profile(
+                    splan, out, examined, metas, seconds, cached, fp
+                )
+            if _logging.would_log("debug"):
+                _logging.debug(
+                    "query.scatter.execute",
+                    query=query_text,
+                    access=plan.access.op,
+                    shards=self.store.shard_count,
+                    plan_cached=cached,
+                    fingerprint=fp,
+                    rows=len(out),
+                    seconds=round(seconds, 6),
+                )
+            self._maybe_slow_log(
+                query_text, splan, cached, len(out), seconds, result, trace_id, fp
             )
-            return out
+            return result if result is not None else out
+
+    def _scatter_profile(
+        self,
+        splan: ScatterPlan,
+        out: list[dict[str, Any]],
+        examined: int,
+        metas: list[dict[str, Any] | None],
+        seconds: float,
+        plan_cached: bool,
+        fingerprint: str | None,
+    ) -> QueryProfile:
+        """Assemble the EXPLAIN ANALYZE tree of one scatter execution."""
+        children: list[OpProfile] = []
+        hits = misses = 0
+        for meta in metas:
+            if meta is None:
+                continue
+            hits += meta["page_hits"]
+            misses += meta["page_misses"]
+            children.append(
+                OpProfile(
+                    op="shard",
+                    detail=(
+                        f"shard {meta['shard']}  pages "
+                        f"hit={meta['page_hits']} miss={meta['page_misses']}"
+                    ),
+                    rows_examined=meta["examined"],
+                    rows_returned=meta["rows"],
+                    seconds=meta["seconds"],
+                )
+            )
+        root = OpProfile(
+            op="scatter",
+            detail=(
+                f"{splan.shard_plan.access.describe()} "
+                f"over {self.store.shard_count} shards"
+            ),
+            rows_examined=examined,
+            rows_returned=len(out),
+            seconds=seconds,
+            children=tuple(children),
+        )
+        return QueryProfile(
+            rows=out,
+            root=root,
+            plan_text=splan.explain(),
+            seconds=seconds,
+            plan_cached=plan_cached,
+            fingerprint=fingerprint,
+            page_hits=hits,
+            page_misses=misses,
+        )
+
+    def _maybe_slow_log(
+        self,
+        query_text: str,
+        splan: ScatterPlan,
+        plan_cached: bool,
+        rows: int,
+        seconds: float,
+        profile: QueryProfile | None,
+        trace_id: str,
+        fingerprint: str | None,
+    ) -> None:
+        """One slow-log entry for the whole fan-out (no profiled re-run:
+        re-scattering would double every shard's work — the per-shard
+        spans already attribute the time)."""
+        slow = self.slow_log
+        if slow is None or seconds < slow.threshold_s:
+            return
+        slow.record(
+            query=query_text,
+            plan=splan.explain(),
+            plan_cached=plan_cached,
+            rows=rows,
+            seconds=seconds,
+            profile=profile,
+            reexecuted=False,
+            trace_id=trace_id,
+            fingerprint=fingerprint,
+        )
 
     def explain(self, query: str | Query) -> str:
         """The scatter plan :meth:`execute` would use, as text."""
@@ -1243,7 +1415,7 @@ class ShardedQueryEngine:
                     add(value)
             return partial
 
-        partials, _ = self._scatter(splan, guard, fold)
+        partials, _, _ = self._scatter(splan, guard, fold)
         merged = PartialAggregate()
         for partial in partials:
             merged.merge(partial)
@@ -1286,15 +1458,16 @@ class ShardedQueryEngine:
 
     def _run_scatter(
         self, splan: ScatterPlan, guard: Guard | None
-    ) -> tuple[list[dict[str, Any]], int]:
-        """Execute the scatter plan; returns (rows, rows_examined)."""
+    ) -> tuple[list[dict[str, Any]], int, list[dict[str, Any] | None]]:
+        """Execute the scatter plan; returns (rows, rows_examined,
+        per-shard metadata in shard order)."""
         if splan.group_by is not None:
             worker = self._fold_counts(splan.group_by)
         elif splan.order_by is not None:
             worker = self._fold_sorted(splan)
         else:
             worker = self._fold_plain(splan)
-        parts, examined = self._scatter(splan, guard, worker)
+        parts, examined, metas = self._scatter(splan, guard, worker)
 
         merge_start = time.perf_counter()
         if splan.group_by is not None:
@@ -1309,19 +1482,24 @@ class ShardedQueryEngine:
         _EXECUTIONS.inc()
         _SCATTER_COUNT.inc()
         _ROWS_RETURNED.inc(len(out))
-        return out, examined
+        return out, examined, metas
 
     def _scatter(
         self,
         splan: ScatterPlan,
         guard: Guard | None,
         fold: Any,
-    ) -> tuple[list[Any], int]:
+    ) -> tuple[list[Any], int, list[dict[str, Any] | None]]:
         """Run ``fold`` over every shard's candidate rows, in parallel.
 
         ``fold(rows_iterator) -> part`` consumes one shard's
         residual-filtered candidates; the per-shard parts come back in
-        shard order.  Returns ``(parts, total_rows_examined)``.
+        shard order.  Returns ``(parts, total_rows_examined, metas)``
+        where ``metas[i]`` describes shard ``i``'s work (rows, wall
+        time, buffer-pool page touches) — ``None`` for a worker that
+        failed.  Workers adopt the caller's trace context, so their
+        ``query.shard`` spans nest under the ``query.scatter`` root and
+        their log lines carry the same trace ID.
         """
         if guard is not None:
             guard.check()  # fail fast before spawning workers
@@ -1346,18 +1524,44 @@ class ShardedQueryEngine:
                 for _ in range(self.store.shard_count)
             ]
 
+        ctx = _tracing.TraceContext.capture()
+        metas: list[dict[str, Any] | None] = [None] * self.store.shard_count
+
         def run_shard(idx: int) -> Any:
             engine = self._engines[idx]
             wguard = worker_guards[idx]
-            try:
-                rows = engine._candidates(splan.shard_plan, wguard)
-                residual = splan.shard_plan.residual
-                if residual is not None:
-                    rows = (r for r in rows if residual.evaluate(r))
-                return fold(rows)
-            except BaseException:
-                abort.cancel()  # stop the sibling workers promptly
-                raise
+            with ctx.attach(), _tracing.span("query.shard", shard=idx) as sspan:
+                shard_start = time.perf_counter()
+                stats = PageStats()
+                try:
+                    with page_stats_scope(stats):
+                        rows = engine._candidates(splan.shard_plan, wguard)
+                        residual = splan.shard_plan.residual
+                        if residual is not None:
+                            rows = (r for r in rows if residual.evaluate(r))
+                        part = fold(rows)
+                except BaseException:
+                    abort.cancel()  # stop the sibling workers promptly
+                    raise
+                elapsed = time.perf_counter() - shard_start
+                n = part.count if isinstance(part, PartialAggregate) else len(part)
+                if wguard is not None:
+                    shard_examined = wguard.rows_examined
+                elif isinstance(splan.shard_plan.access, FullScan):
+                    shard_examined = len(self.store.shards[idx])
+                else:
+                    shard_examined = n
+                sspan.set_attribute("rows", n)
+                sspan.set_attribute("seconds", round(elapsed, 6))
+                metas[idx] = {
+                    "shard": idx,
+                    "rows": n,
+                    "seconds": elapsed,
+                    "examined": shard_examined,
+                    "page_hits": stats.hits,
+                    "page_misses": stats.misses,
+                }
+                return part
 
         count = self.store.shard_count
         if count == 1:
@@ -1384,7 +1588,7 @@ class ShardedQueryEngine:
             # Fold the workers' progress back into the caller's guard so
             # its stats()/partial-progress reporting covers the scatter.
             guard.rows_examined += examined
-        return parts, examined
+        return parts, examined, metas
 
     def _examined(
         self,

@@ -23,7 +23,16 @@ mutations.
 Every pool publishes its behaviour through ``storage.bufferpool.*``
 metrics: ``hits`` / ``misses`` (counter pair — the hit rate), ``evictions``,
 ``dirty_flushes`` (evictions that had to write back first), and the
-``pinned`` gauge (currently pinned frames across the process).
+``pinned`` gauge (currently pinned frames across the process).  A pool
+opened under a :class:`~repro.storage.sharded.ShardedStore` carries a
+``shard`` label on its counters, so per-shard hit rates are separable.
+
+Per-query attribution: :func:`page_stats_scope` binds a
+:class:`PageStats` accumulator to the current thread; every pool
+hit/miss on that thread while the scope is open is also added to the
+accumulator.  The profiled query path (EXPLAIN ANALYZE) binds one per
+operator/shard worker, turning process-global pool counters into
+per-query page-touch counts.
 """
 
 from __future__ import annotations
@@ -47,6 +56,53 @@ _PINNED = _metrics.gauge("storage.bufferpool.pinned")
 DEFAULT_POOL_PAGES = 256
 
 
+class PageStats:
+    """Per-scope page-touch accumulator (see :func:`page_stats_scope`).
+
+    One scope is bound per thread, so plain integer adds suffice — two
+    threads never share one instance concurrently; a fan-out query sums
+    its workers' instances after they join.
+    """
+
+    __slots__ = ("hits", "misses")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def add(self, other: "PageStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PageStats(hits={self.hits}, misses={self.misses})"
+
+
+_scope = threading.local()
+
+
+@contextmanager
+def page_stats_scope(stats: PageStats | None = None) -> Iterator[PageStats]:
+    """Attribute this thread's pool hits/misses to ``stats`` while open.
+
+    Scopes nest: the innermost wins (restored on exit).  Metrics still
+    count globally — the scope is *additional* attribution, not a tap.
+    """
+    if stats is None:
+        stats = PageStats()
+    prev = getattr(_scope, "stats", None)
+    _scope.stats = stats
+    try:
+        yield stats
+    finally:
+        _scope.stats = prev
+
+
+def current_page_stats() -> PageStats | None:
+    """The accumulator bound to this thread, or ``None``."""
+    return getattr(_scope, "stats", None)
+
+
 class _Frame:
     __slots__ = ("data", "pin_count", "dirty")
 
@@ -59,7 +115,13 @@ class _Frame:
 class BufferPool:
     """Bounded page cache with pin counts and dirty write-back."""
 
-    def __init__(self, pager: PageFile, capacity: int = DEFAULT_POOL_PAGES):
+    def __init__(
+        self,
+        pager: PageFile,
+        capacity: int = DEFAULT_POOL_PAGES,
+        *,
+        shard: int | None = None,
+    ):
         if capacity < 1:
             raise StorageError(f"buffer pool capacity must be >= 1, got {capacity}")
         self._pager = pager
@@ -67,6 +129,20 @@ class BufferPool:
         # OrderedDict as the LRU queue: most-recently-used at the end.
         self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
         self._lock = threading.RLock()
+        # Under a sharded store each shard's pool reports under its own
+        # label so per-shard hit rates are separable; unlabeled otherwise.
+        if shard is None:
+            self._hits, self._misses = _HITS, _MISSES
+            self._evictions, self._dirty_flushes = _EVICTIONS, _DIRTY_FLUSHES
+        else:
+            self._hits = _metrics.counter("storage.bufferpool.hits", shard=shard)
+            self._misses = _metrics.counter("storage.bufferpool.misses", shard=shard)
+            self._evictions = _metrics.counter(
+                "storage.bufferpool.evictions", shard=shard
+            )
+            self._dirty_flushes = _metrics.counter(
+                "storage.bufferpool.dirty_flushes", shard=shard
+            )
 
     # -- introspection (tests, stats) ----------------------------------------
 
@@ -108,11 +184,17 @@ class BufferPool:
         with self._lock:
             frame = self._frames.get(page_id)
             if frame is not None:
-                _HITS.inc()
+                self._hits.inc()
+                stats = getattr(_scope, "stats", None)
+                if stats is not None:
+                    stats.hits += 1
                 self._frames.move_to_end(page_id)
                 frame.pin_count += 1
             else:
-                _MISSES.inc()
+                self._misses.inc()
+                stats = getattr(_scope, "stats", None)
+                if stats is not None:
+                    stats.misses += 1
                 frame = _Frame(self._pager.read_page(page_id))
                 # Pin before shrinking: when every other frame is pinned,
                 # eviction must not pick the frame this call hands out.
@@ -180,8 +262,8 @@ class BufferPool:
             victim = self._frames.pop(victim_id)
             if victim.dirty:
                 self._pager.write_page(victim_id, victim.data)
-                _DIRTY_FLUSHES.inc()
-            _EVICTIONS.inc()
+                self._dirty_flushes.inc()
+            self._evictions.inc()
 
     def flush(self) -> None:
         """Write back every dirty frame (frames stay resident and clean)."""
@@ -190,7 +272,7 @@ class BufferPool:
                 if frame.dirty:
                     self._pager.write_page(page_id, frame.data)
                     frame.dirty = False
-                    _DIRTY_FLUSHES.inc()
+                    self._dirty_flushes.inc()
 
     def clear(self) -> None:
         """Flush then drop every frame (e.g. before closing the pager)."""
@@ -202,4 +284,10 @@ class BufferPool:
             self._frames.clear()
 
 
-__all__ = ["BufferPool", "DEFAULT_POOL_PAGES"]
+__all__ = [
+    "BufferPool",
+    "DEFAULT_POOL_PAGES",
+    "PageStats",
+    "page_stats_scope",
+    "current_page_stats",
+]

@@ -64,6 +64,7 @@ from typing import Any
 from repro.errors import CorruptLogError, StorageError
 from repro.obs import logging as _logging
 from repro.obs import metrics as _metrics
+from repro.obs import progress as _progress
 from repro.storage.paged_btree import PagedBTree
 from repro.storage.pages import PageCorruptionError
 from repro.storage.store import _SUPPORTED_SNAPSHOT_VERSIONS, records_checksum
@@ -180,10 +181,14 @@ def fsck(
             return report
         snapshot_path = directory / snapshot_name
         wal_base = directory / wal_name
-        _check_stray_tmp(report, snapshot_path, repair)
-        wal_seal, pages_name = _check_snapshot(report, snapshot_path)
-        _check_stray_pages(report, directory, pages_name, repair)
-        _check_chain(report, wal_base, wal_seal, repair)
+        # Indeterminate total: the walk covers pages (deep verify) plus
+        # WAL entries, and neither count is known until the files are
+        # read.  The tracker still surfaces done/rate on /progressz.
+        with _progress.start("storage.fsck", directory=str(directory)) as tracker:
+            _check_stray_tmp(report, snapshot_path, repair)
+            wal_seal, pages_name = _check_snapshot(report, snapshot_path, tracker)
+            _check_stray_pages(report, directory, pages_name, repair)
+            _check_chain(report, wal_base, wal_seal, repair, tracker)
         return report
     finally:
         _FSCK_ISSUES.inc(sum(1 for i in report.issues if i.severity != INFO))
@@ -212,7 +217,9 @@ def _check_stray_tmp(report: FsckReport, snapshot_path: Path, repair: bool) -> N
         report.add(REPAIRABLE, "stray snapshot temp file (crash artifact)", tmp)
 
 
-def _check_snapshot(report: FsckReport, snapshot_path: Path) -> tuple[int, str | None]:
+def _check_snapshot(
+    report: FsckReport, snapshot_path: Path, tracker: _progress.ProgressTracker
+) -> tuple[int, str | None]:
     """Validate the snapshot manifest.
 
     Returns ``(wal_seal, pages_name)`` — the seal the snapshot covers
@@ -233,7 +240,7 @@ def _check_snapshot(report: FsckReport, snapshot_path: Path) -> tuple[int, str |
         report.add(FATAL, f"unsupported snapshot version {version!r}", snapshot_path)
         return 0, None
     if version == 3:
-        pages_name = _check_paged_snapshot(report, snapshot_path, state)
+        pages_name = _check_paged_snapshot(report, snapshot_path, state, tracker)
         return int(state.get("wal_seal", 0)), pages_name
     records = state.get("records")
     if not isinstance(records, list):
@@ -262,7 +269,10 @@ def _check_snapshot(report: FsckReport, snapshot_path: Path) -> tuple[int, str |
 
 
 def _check_paged_snapshot(
-    report: FsckReport, snapshot_path: Path, state: dict[str, Any]
+    report: FsckReport,
+    snapshot_path: Path,
+    state: dict[str, Any],
+    tracker: _progress.ProgressTracker,
 ) -> str | None:
     """Deep-verify the pages file a v3 manifest references.
 
@@ -294,7 +304,7 @@ def _check_paged_snapshot(
     tree: PagedBTree | None = None
     try:
         tree = PagedBTree(pages_path, pool_pages=64)
-        stats = tree.verify()
+        stats = tree.verify(on_page=tracker.tick)
     except PageCorruptionError as exc:
         report.add(FATAL, f"page-level corruption in pages file: {exc}", pages_path)
         return pages_name
@@ -361,7 +371,11 @@ def _check_stray_pages(
 
 
 def _check_chain(
-    report: FsckReport, wal_base: Path, wal_seal: int, repair: bool
+    report: FsckReport,
+    wal_base: Path,
+    wal_seal: int,
+    repair: bool,
+    tracker: _progress.ProgressTracker,
 ) -> None:
     stale: list[tuple[int, Path]] = []
     live: list[tuple[int, Path]] = []
@@ -397,6 +411,7 @@ def _check_chain(
     for position, path in enumerate(chain_files):
         scan = WriteAheadLog.scan_file(path, strict=False)
         report.entries_checked += len(scan.entries)
+        tracker.tick(len(scan.entries))
         is_last = position == len(chain_files) - 1
         if scan.clean:
             continue

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import bisect
 from pathlib import Path
-from typing import Any, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.errors import StorageError
 from repro.obs import metrics as _metrics
@@ -83,10 +83,27 @@ class PagedBTree:
         fs: _faultfs.FileSystem | None = None,
         pool_pages: int = DEFAULT_POOL_PAGES,
         create: bool = False,
+        shard: int | None = None,
     ):
         self.path = Path(path)
         self._pager = PageFile(self.path, fs=fs, create=create)
-        self._pool = BufferPool(self._pager, capacity=pool_pages)
+        self._pool = BufferPool(self._pager, capacity=pool_pages, shard=shard)
+        # Shard-labeled metric handles under a ShardedStore (matching the
+        # shard-labeled storage.sharded.* series); module handles otherwise.
+        if shard is None:
+            self._searches, self._splits = _SEARCHES, _SPLITS
+            self._bulk_loads, self._depth = _BULK_LOADS, _DEPTH
+        else:
+            self._searches = _metrics.counter(
+                "storage.paged_btree.searches", shard=shard
+            )
+            self._splits = _metrics.counter(
+                "storage.paged_btree.node_splits", shard=shard
+            )
+            self._bulk_loads = _metrics.counter(
+                "storage.paged_btree.bulk_loads", shard=shard
+            )
+            self._depth = _metrics.gauge("storage.paged_btree.depth", shard=shard)
         #: Whether anything was written since open/flush; a pure-read
         #: lifetime leaves the file untouched on close.
         self._dirty = create
@@ -204,7 +221,7 @@ class PagedBTree:
         return path, page_id, node
 
     def get(self, key: Any, default: Any = None) -> bytes | Any:
-        _SEARCHES.inc()
+        self._searches.inc()
         _path, _pid, leaf = self._descend(key)
         idx = bisect.bisect_left(leaf.keys, key)
         if idx < len(leaf.keys) and leaf.keys[idx] == key:
@@ -251,7 +268,7 @@ class PagedBTree:
         self, lo: Any = None, hi: Any = None, *, inclusive: bool = True
     ) -> Iterator[tuple[Any, bytes]]:
         """Pairs with ``lo <= key <= hi`` (``< hi`` when not inclusive)."""
-        _SEARCHES.inc()
+        self._searches.inc()
         if lo is None:
             _pid, leaf = self._leftmost_leaf()
             idx = 0
@@ -300,7 +317,7 @@ class PagedBTree:
         self._split_leaf(path, page_id, leaf)
 
     def _split_leaf(self, path: list, page_id: int, leaf: LeafNode) -> None:
-        _SPLITS.inc()
+        self._splits.inc()
         split = self._leaf_split_point(leaf)
         right_pid = self._pool.new_page()
         right = LeafNode(
@@ -348,7 +365,7 @@ class PagedBTree:
                 return
             # Split the internal node: the median key moves up (B+
             # internals do not duplicate it).
-            _SPLITS.inc()
+            self._splits.inc()
             mid = len(node.keys) // 2
             separator = node.keys[mid]
             right = InternalNode(
@@ -438,6 +455,7 @@ class PagedBTree:
         *,
         fs: _faultfs.FileSystem | None = None,
         pool_pages: int = DEFAULT_POOL_PAGES,
+        shard: int | None = None,
     ) -> "PagedBTree":
         """Build a fresh tree from **key-sorted** ``(key, value)`` pairs.
 
@@ -446,8 +464,8 @@ class PagedBTree:
         page_id) pair per leaf for the internal levels.  This is the
         checkpoint path — :meth:`flush` (fsync) is the caller's job.
         """
-        _BULK_LOADS.inc()
-        tree = cls(path, fs=fs, pool_pages=pool_pages, create=True)
+        tree = cls(path, fs=fs, pool_pages=pool_pages, create=True, shard=shard)
+        tree._bulk_loads.inc()
         tree._bulk_load(items)
         return tree
 
@@ -517,7 +535,7 @@ class PagedBTree:
 
     # -- verification --------------------------------------------------------
 
-    def verify(self) -> dict[str, Any]:
+    def verify(self, *, on_page: Callable[[int], None] | None = None) -> dict[str, Any]:
         """Deep-check every reachable page; raise on any inconsistency.
 
         Dirty frames are written back first, then every read goes
@@ -529,6 +547,9 @@ class PagedBTree:
         leaf chain (global key order across leaves), overflow chain
         lengths, the free list (no cycles, only free pages), and the
         meta entry count.  Returns a stats dict.
+
+        ``on_page`` (when given) is called with ``1`` for every node
+        page walked — the progress-tracker hook for long fsck runs.
         """
         self._pool.flush()
         meta = self._pager.meta
@@ -547,6 +568,8 @@ class PagedBTree:
 
         def walk(page_id: int, depth: int, lo: Any, hi: Any) -> None:
             raw = self._pager.read_page(page_id)  # CRC-verified
+            if on_page is not None:
+                on_page(1)
             ptype = page_type(raw)
             if ptype == PT_LEAF:
                 node = LeafNode.unpack(raw)
@@ -593,7 +616,7 @@ class PagedBTree:
             stats["free_pages"] += 1
             if stats["free_pages"] > meta.page_count:
                 raise PageCorruptionError(free_pid, "free list longer than the file")
-        _DEPTH.set(stats["depth"])
+        self._depth.set(stats["depth"])
         return stats
 
     @staticmethod

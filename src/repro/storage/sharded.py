@@ -43,12 +43,19 @@ Observability: bulk writes report ``storage.sharded.put_many.count`` /
 ``storage.sharded.put_many.records{shard=…}`` counters and
 ``storage.sharded.records{shard=…}`` gauges (skew is visible on
 ``/metrics`` as divergence between shard labels); facade-driven
-checkpoints report ``storage.sharded.checkpoint.count{shard=…}``.
+checkpoints report ``storage.sharded.checkpoint.count{shard=…}``.  Each
+member store is opened with ``shard=i`` so its paged-tree and
+buffer-pool series carry the same label.  Shard workers adopt the
+submitting thread's trace context (spans nest, log lines share the
+trace id), and bulk writes / checkpoints register progress trackers
+(``storage.sharded.put_many`` / ``storage.sharded.checkpoint``) visible
+on ``/progressz``.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
 import zlib
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -58,6 +65,8 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping, Se
 from repro.errors import DuplicateKeyError, StorageError
 from repro.obs import logging as _logging
 from repro.obs import metrics as _metrics
+from repro.obs import progress as _progress
+from repro.obs import tracing as _tracing
 from repro.storage import faultfs as _faultfs
 from repro.storage.schema import Schema
 from repro.storage.store import IndexKind, RecordStore
@@ -191,6 +200,8 @@ class ShardedStore:
         shard_kwargs: dict[str, Any] = {"data_format": data_format}
         if pool_pages is not None:
             shard_kwargs["pool_pages"] = pool_pages
+        # shard=i labels each member's paged-tree/buffer-pool metric
+        # series, so per-shard hit rates stay separable on /metrics.
         self.shards: tuple[RecordStore, ...] = tuple(
             RecordStore(
                 schema,
@@ -198,6 +209,7 @@ class ShardedStore:
                 sync=sync,
                 fs=fs,
                 retry=retry,
+                shard=i,
                 **shard_kwargs,
             )
             for i in range(count)
@@ -351,6 +363,7 @@ class ShardedStore:
         on_conflict: str = "error",
         sync: bool | None = None,
         sync_every: int | None = None,
+        progress: Callable[[_progress.ProgressTracker], None] | None = None,
     ) -> int:
         """Bulk-write ``records``: validate once, partition by shard key,
         commit the shard sub-batches in parallel.
@@ -392,22 +405,35 @@ class ShardedStore:
             for record in materialized:
                 parts[crc(key_bytes(record[pk])) % count].append(record)
 
-        def commit(shard: RecordStore, part: list[dict[str, Any]]) -> int:
-            return shard.put_many(
+        def commit(
+            shard: RecordStore,
+            part: list[dict[str, Any]],
+            tracker: _progress.ProgressTracker,
+        ) -> int:
+            written = shard.put_many(
                 part,
                 on_conflict=on_conflict,
                 sync=sync,
                 sync_every=sync_every,
                 _prevalidated=True,
             )
+            tracker.tick(written)
+            return written
 
-        self._each_shard(
-            [
-                (i, lambda s=self.shards[i], p=parts[i]: commit(s, p))
-                for i in range(count)
-                if parts[i]
-            ]
-        )
+        with _progress.start(
+            "storage.sharded.put_many",
+            total=len(materialized),
+            shards=sum(1 for p in parts if p),
+        ) as op:
+            if progress is not None:
+                op.subscribe(progress)
+            self._each_shard(
+                [
+                    (i, lambda s=self.shards[i], p=parts[i]: commit(s, p, op))
+                    for i in range(count)
+                    if parts[i]
+                ]
+            )
         for i in range(count):
             if parts[i]:
                 self._put_records_counters[i].inc(len(parts[i]))
@@ -573,15 +599,21 @@ class ShardedStore:
 
     # -- durability --------------------------------------------------------
 
-    def checkpoint(self) -> None:
+    def checkpoint(
+        self,
+        *,
+        progress: Callable[[_progress.ProgressTracker], None] | None = None,
+    ) -> None:
         """Checkpoint every shard, in parallel.
 
         Each shard runs its own four-step snapshot/rotate/publish/reclaim
         protocol; a failure in any shard propagates after all have
         settled (the others' checkpoints remain valid — shards are
-        independent durability domains).
+        independent durability domains).  ``progress`` (when given)
+        observes one facade-level tracker aggregating every shard's
+        record count — a single bar for the whole fan-out.
         """
-        self._checkpoint_shards(range(self.shard_count))
+        self._checkpoint_shards(range(self.shard_count), progress=progress)
 
     def maybe_checkpoint(self) -> list[int]:
         """Checkpoint (in parallel) the shards whose WAL footprint is at
@@ -598,11 +630,41 @@ class ShardedStore:
             self._checkpoint_shards(due)
         return due
 
-    def _checkpoint_shards(self, indexes: Iterable[int]) -> None:
+    def _checkpoint_shards(
+        self,
+        indexes: Iterable[int],
+        progress: Callable[[_progress.ProgressTracker], None] | None = None,
+    ) -> None:
         indexes = list(indexes)
-        self._each_shard(
-            [(i, self.shards[i].checkpoint) for i in indexes]
-        )
+        total = sum(len(self.shards[i]) for i in indexes)
+        with _progress.start(
+            "storage.sharded.checkpoint", total=total, shards=len(indexes)
+        ) as agg:
+            if progress is not None:
+                agg.subscribe(progress)
+            # Relay each shard tracker's per-tick deltas into the facade
+            # aggregate, so one bar covers the whole parallel fan-out.
+            relay_lock = threading.Lock()
+            relayed: dict[int, int] = {}
+
+            def relay(tracker: _progress.ProgressTracker, key: int) -> None:
+                with relay_lock:
+                    delta = tracker.done - relayed.get(key, 0)
+                    relayed[key] = tracker.done
+                if delta > 0:
+                    agg.tick(delta)
+
+            self._each_shard(
+                [
+                    (
+                        i,
+                        lambda s=self.shards[i], k=i: s.checkpoint(
+                            progress=lambda t, k=k: relay(t, k)
+                        ),
+                    )
+                    for i in indexes
+                ]
+            )
         for i in indexes:
             self._checkpoint_counters[i].inc()
             self._records_gauges[i].set(len(self.shards[i]))
@@ -625,8 +687,17 @@ class ShardedStore:
                 max_workers=self.shard_count,
                 thread_name_prefix="repro-shard",
             )
+        # Workers adopt the caller's trace context: their spans nest
+        # under the submitting span and their log lines carry the same
+        # trace id, so one bulk write reads as one trace.
+        ctx = _tracing.TraceContext.capture()
+
+        def run(fn: Callable[[], Any]) -> Any:
+            with ctx.attach():
+                return fn()
+
         futures: list[tuple[int, Future]] = [
-            (i, pool.submit(fn)) for i, fn in tasks
+            (i, pool.submit(run, fn)) for i, fn in tasks
         ]
         results: list[Any] = []
         first_exc: BaseException | None = None

@@ -81,6 +81,7 @@ from repro.errors import (
 )
 from repro.obs import logging as _logging
 from repro.obs import metrics as _metrics
+from repro.obs import progress as _progress
 from repro.obs import workload as _workload
 from repro.storage import faultfs as _faultfs
 from repro.storage.btree import BTree
@@ -319,6 +320,12 @@ class RecordStore:
     pool_pages:
         Buffer-pool capacity (in 4 KiB pages) for paged reads; bounds
         resident memory for the record data.
+    shard:
+        Shard ordinal when this store is one member of a
+        :class:`~repro.storage.sharded.ShardedStore`; labels the paged
+        B+ tree and buffer-pool metric series with ``shard=N`` so
+        per-shard behaviour is separable in ``/metrics``.  ``None`` (the
+        default) keeps the unlabeled process-wide series.
 
     >>> from repro.storage.schema import Field, FieldType, Schema
     >>> schema = Schema([Field("id", FieldType.INT), Field("t", FieldType.STRING)],
@@ -342,6 +349,7 @@ class RecordStore:
         retry: RetryPolicy | None = None,
         data_format: str = "memory",
         pool_pages: int = DEFAULT_POOL_PAGES,
+        shard: int | None = None,
     ):
         if data_format not in DATA_FORMATS:
             raise StorageError(
@@ -350,6 +358,7 @@ class RecordStore:
         self.schema = schema
         self._data_format = data_format
         self._pool_pages = pool_pages
+        self._shard = shard
         #: Filesystem facade for all durability-relevant I/O; tests pass a
         #: :class:`repro.storage.faultfs.FaultFS` to inject crashes.
         self._fs = fs if fs is not None else _faultfs.REAL_FS
@@ -1115,7 +1124,11 @@ class RecordStore:
         }
 
     @_metrics.get_default_registry().timed("storage.checkpoint.seconds")
-    def checkpoint(self) -> None:
+    def checkpoint(
+        self,
+        *,
+        progress: Callable[[_progress.ProgressTracker], None] | None = None,
+    ) -> None:
         """Snapshot the full state and reclaim the WAL segments it covers.
 
         Four crash-ordered steps:
@@ -1142,9 +1155,12 @@ class RecordStore:
             raise StorageError("in-memory store cannot checkpoint")
         assert self._wal is not None
         with _gc_paused():
-            self._checkpoint_locked()
+            self._checkpoint_locked(progress)
 
-    def _checkpoint_locked(self) -> None:
+    def _checkpoint_locked(
+        self,
+        progress: Callable[[_progress.ProgressTracker], None] | None = None,
+    ) -> None:
         """Checkpoint body; runs with the garbage collector paused.
 
         Dispatches on the configured data format — the manifest the
@@ -1152,12 +1168,20 @@ class RecordStore:
         how ``repro checkpoint --paged`` migrates a directory in place
         (and back).
         """
-        if self._data_format == "paged":
-            self._checkpoint_paged_locked()
-        else:
-            self._checkpoint_memory_locked()
+        attrs: dict[str, Any] = {"format": self._data_format}
+        if self._shard is not None:
+            attrs["shard"] = self._shard
+        with _progress.start(
+            "storage.checkpoint", total=len(self._records), **attrs
+        ) as tracker:
+            if progress is not None:
+                tracker.subscribe(progress)
+            if self._data_format == "paged":
+                self._checkpoint_paged_locked(tracker)
+            else:
+                self._checkpoint_memory_locked(tracker)
 
-    def _checkpoint_memory_locked(self) -> None:
+    def _checkpoint_memory_locked(self, tracker: _progress.ProgressTracker) -> None:
         """Classic v2 checkpoint: records inline in ``snapshot.json``.
 
         Serializing and read-back-verifying the full store image
@@ -1208,6 +1232,9 @@ class RecordStore:
             # The inline snapshot now owns the data; retire the pages.
             old_map.close()
             self._remove_pages_files(keep=None)
+        # The inline snapshot is written in one piece; the whole batch
+        # completes at publish time rather than record by record.
+        tracker.tick(len(self._records))
         self._snapshot_seal = covered
         _CHECKPOINT_COUNT.inc()
         _CHECKPOINT_SEGMENTS_REMOVED.inc(removed)
@@ -1220,7 +1247,7 @@ class RecordStore:
             bytes_reclaimed=reclaimed,
         )
 
-    def _checkpoint_paged_locked(self) -> None:
+    def _checkpoint_paged_locked(self, tracker: _progress.ProgressTracker) -> None:
         """Paged (v3) checkpoint: publish a B+ tree pages file.
 
         Same crash-ordered protocol as the memory checkpoint, with the
@@ -1266,14 +1293,27 @@ class RecordStore:
             )
 
         def stream() -> Iterator[tuple[Any, bytes]]:
+            # Tick the progress tracker in blocks: per-record lock
+            # traffic on a 100k-record build would be pure overhead.
+            pending = 0
             for key, raw in source:
                 checksum.add(raw)
+                pending += 1
+                if pending >= 1024:
+                    tracker.tick(pending)
+                    pending = 0
                 yield key, raw
+            if pending:
+                tracker.tick(pending)
 
         tree: PagedBTree | None = None
         try:
             tree = PagedBTree.bulk_build(
-                tmp_pages, stream(), fs=self._fs, pool_pages=self._pool_pages
+                tmp_pages,
+                stream(),
+                fs=self._fs,
+                pool_pages=self._pool_pages,
+                shard=self._shard,
             )
             record_count = tree.entry_count
             tree.set_data_crc(checksum.value())
@@ -1332,7 +1372,12 @@ class RecordStore:
         if removed:
             self._fs.fsync_dir(self._directory)
         self._records = PagedRecordMap(
-            PagedBTree(pages_path, fs=self._fs, pool_pages=self._pool_pages)
+            PagedBTree(
+                pages_path,
+                fs=self._fs,
+                pool_pages=self._pool_pages,
+                shard=self._shard,
+            )
         )
         self._snapshot_seal = covered
         _CHECKPOINT_COUNT.inc()
@@ -1522,7 +1567,9 @@ class RecordStore:
                 f"paged snapshot references missing pages file {pages_name} "
                 "(run `repro fsck` for details)"
             )
-        tree = PagedBTree(pages_path, fs=self._fs, pool_pages=self._pool_pages)
+        tree = PagedBTree(
+            pages_path, fs=self._fs, pool_pages=self._pool_pages, shard=self._shard
+        )
         expected_crc = int(state.get("checksum", "0"), 16)
         if (
             tree.entry_count != state.get("record_count")

@@ -19,10 +19,13 @@ import pytest
 
 from repro.corpus.wvlr import PUBLICATION_SCHEMA, populate_store
 from repro.obs import logging as obs_logging
-from repro.obs import metrics, profiling, tracing, workload
+from repro.obs import metrics, profiling, progress, tracing, workload
 from repro.obs.server import TelemetryServer
+from repro.obs.slo import SLOEngine
 from repro.obs.slowlog import SlowQueryLog, read_slow_log
+from repro.obs.timeseries import TimeSeriesLog
 from repro.query.executor import QueryEngine
+from repro.storage.sharded import ShardedStore
 from repro.storage.store import IndexKind, RecordStore
 from tests.unit.test_obs_promexport import parse_exposition
 
@@ -313,3 +316,124 @@ class TestSlowQueryCorrelation:
         assert "profile" not in entry
         # No re-execution: no profiled span was opened.
         assert tracing.last_root() is None
+
+
+class TestProgressz:
+    def test_active_operation_is_visible_mid_flight(self, server):
+        progress.reset()
+        with progress.start("itest.rebuild", total=8, shard=1) as tracker:
+            tracker.tick(2)
+            status, headers, body = _get(server.url + "/progressz")
+            assert status == 200
+            assert headers["Content-Type"].startswith("application/json")
+            payload = json.loads(body)
+            (op,) = payload["active"]
+            assert op["name"] == "itest.rebuild"
+            assert op["done"] == 2 and op["total"] == 8
+            assert op["percent"] == 25.0
+            assert op["attrs"] == {"shard": 1}
+        progress.reset()
+
+    def test_finished_operation_moves_to_recent(self, server):
+        progress.reset()
+        with progress.start("itest.ckpt", total=3) as tracker:
+            tracker.tick(3)
+        payload = json.loads(_get(server.url + "/progressz")[2])
+        assert payload["active"] == []
+        (op,) = payload["recent"]
+        assert op["name"] == "itest.ckpt" and op["ok"] is True
+        progress.reset()
+
+
+class TestAlertz:
+    PINNED_RULE = {
+        "name": "pinned-pages", "kind": "threshold", "source": "gauge",
+        "metric": "pool.pinned", "op": ">=", "bound": 5, "severity": "ticket",
+    }
+
+    def _server_with_engine(self, rules, ts):
+        return TelemetryServer(port=0, slo_engine=SLOEngine(ts, rules))
+
+    def test_no_engine_serves_disabled_stub(self, server):
+        status, _, body = _get(server.url + "/alertz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["enabled"] is False
+        assert payload["firing"] == []
+        assert "no SLO engine" in payload["reason"]
+
+    def test_firing_rule_served_over_http(self):
+        ts = TimeSeriesLog()
+        ts.sample({"counters": {}, "gauges": {"pool.pinned": 9}, "histograms": {}})
+        with self._server_with_engine([self.PINNED_RULE], ts) as srv:
+            status, _, body = _get(srv.url + "/alertz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["enabled"] is True
+        (state,) = payload["firing"]
+        assert state["name"] == "pinned-pages"
+        assert state["value"] == 9
+        assert payload["rules"][0]["firing"] is True
+
+    def test_quiet_rule_is_enabled_but_silent(self):
+        ts = TimeSeriesLog()
+        ts.sample({"counters": {}, "gauges": {"pool.pinned": 0}, "histograms": {}})
+        with self._server_with_engine([self.PINNED_RULE], ts) as srv:
+            payload = json.loads(_get(srv.url + "/alertz")[2])
+        assert payload["enabled"] is True
+        assert payload["firing"] == []
+
+
+class TestStatusz:
+    def test_statusz_is_selfcontained_html(self, server):
+        status, headers, body = _get(server.url + "/statusz")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/html")
+        page = body.decode("utf-8")
+        # Self-contained: inline CSS, no external scripts or stylesheets.
+        assert "<style>" in page
+        assert "src=" not in page and "href=\"http" not in page
+        for section in ("Alerts", "Durability", "Progress", "slow queries"):
+            assert section in page
+
+    def test_statusz_renders_per_shard_rows(self, server):
+        for shard in (0, 1, 2):
+            metrics.counter("storage.bufferpool.hits", shard=shard).inc(90)
+            metrics.counter("storage.bufferpool.misses", shard=shard).inc(10)
+        page = _get(server.url + "/statusz")[2].decode("utf-8")
+        assert page.count("<tr><td>") >= 3  # one row per shard
+        assert "90.0%" in page  # hit rate column
+
+    def test_statusz_escapes_slow_query_text(self, server):
+        obs_logging.get_default_logger().warn(
+            "query.slow", query="year <= 2000 & <script>", seconds=1.0, rows=1
+        )
+        page = _get(server.url + "/statusz")[2].decode("utf-8")
+        assert "<script>" not in page
+        assert "&lt;script&gt;" in page
+
+    def test_statusz_firing_alert_is_rendered(self):
+        ts = TimeSeriesLog()
+        ts.sample({"counters": {}, "gauges": {"pool.pinned": 9}, "histograms": {}})
+        engine = SLOEngine(ts, [TestAlertz.PINNED_RULE])
+        with TelemetryServer(port=0, slo_engine=engine) as srv:
+            page = _get(srv.url + "/statusz")[2].decode("utf-8")
+        assert "pinned-pages" in page
+        assert "ticket" in page
+
+
+class TestHealthzSharded:
+    def test_sharded_store_health_walks_every_shard(
+        self, tmp_path, reference_records
+    ):
+        with ShardedStore(
+            PUBLICATION_SCHEMA, tmp_path / "fleet", shards=3
+        ) as store:
+            store.put_many(r.to_store_dict() for r in reference_records)
+            store.checkpoint()
+        with TelemetryServer(port=0, store_dir=str(tmp_path / "fleet")) as srv:
+            status, _, body = _get(srv.url + "/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["store"]["exit_code"] == 0

@@ -142,7 +142,8 @@ class TestQueryProfile:
         assert len(doc["rows"]) == 5
         profile = doc["profile"]
         assert set(profile) == {
-            "plan", "plan_cached", "fingerprint", "seconds", "row_count", "tree",
+            "plan", "plan_cached", "fingerprint", "seconds", "row_count",
+            "page_hits", "page_misses", "tree",
         }
         assert re.fullmatch(r"[0-9a-f]{12}", profile["fingerprint"])
         assert profile["row_count"] == 5
@@ -465,3 +466,128 @@ class TestWorkloadReport:
         report = json.loads(out)
         assert report["corpus"]["records"] == 39
         assert report["workload"]["tracked"] >= 3
+
+
+class TestAlerts:
+    """`repro alerts`: exit 0 quiet, 1 firing, 2 usage error."""
+
+    RULES = {
+        "slos": [{
+            "name": "query-availability",
+            "kind": "availability",
+            "objective": 0.999,
+            "total": "query.executions",
+            "bad": "query.failures",
+            "windows": [
+                {"long_s": 3600, "short_s": 300, "burn": 14.4,
+                 "severity": "page"},
+            ],
+        }]
+    }
+
+    def _write(self, tmp_path, *, failures):
+        """A timeseries file where 2% of queries failed (or none did)."""
+        import time
+
+        rules = tmp_path / "rules.json"
+        rules.write_text(json.dumps(self.RULES), encoding="utf-8")
+        ts = tmp_path / "ts.jsonl"
+        bad = (0, 20, 40) if failures else (0, 0, 0)
+        now = time.time()
+        with open(ts, "w", encoding="utf-8") as fh:
+            for epoch, total, b in zip((now - 3500, now - 280, now - 1),
+                                       (0, 1000, 2000), bad):
+                fh.write(json.dumps({
+                    "ts": "x", "epoch": epoch,
+                    "counters": {"query.executions": total,
+                                 "query.failures": b},
+                    "gauges": {},
+                }) + "\n")
+        return rules, ts
+
+    def test_injected_failures_fire_burn_rate_alert(self, capsys, tmp_path):
+        rules, ts = self._write(tmp_path, failures=True)
+        code, out, _ = run(
+            capsys, "alerts", "--rules", str(rules), "--timeseries", str(ts)
+        )
+        assert code == 1
+        assert "query-availability" in out
+        assert "FIRING" in out
+        assert "burn rate" in out
+
+    def test_clean_window_exits_zero(self, capsys, tmp_path):
+        rules, ts = self._write(tmp_path, failures=False)
+        code, out, _ = run(
+            capsys, "alerts", "--rules", str(rules), "--timeseries", str(ts)
+        )
+        assert code == 0
+        assert "0 firing" in out
+
+    def test_json_output_is_the_evaluation(self, capsys, tmp_path):
+        rules, ts = self._write(tmp_path, failures=True)
+        code, out, _ = run(
+            capsys, "alerts", "--rules", str(rules),
+            "--timeseries", str(ts), "--json",
+        )
+        assert code == 1
+        payload = json.loads(out)
+        assert [s["name"] for s in payload["firing"]] == ["query-availability"]
+        assert payload["rules"][0]["windows"][0]["burn_long"] > 14.4
+
+    def test_invalid_rules_exit_two(self, capsys, tmp_path):
+        rules = tmp_path / "rules.json"
+        rules.write_text(json.dumps({"slos": [{"name": "x", "kind": "nope"}]}),
+                         encoding="utf-8")
+        code, _, err = run(
+            capsys, "alerts", "--rules", str(rules),
+            "--timeseries", str(tmp_path / "ts.jsonl"),
+        )
+        assert code == 2
+        assert "kind" in err
+
+    def test_url_mode_rejects_local_flags(self, capsys, tmp_path):
+        rules, _ = self._write(tmp_path, failures=False)
+        code, _, err = run(
+            capsys, "alerts", "--url", "http://127.0.0.1:1",
+            "--rules", str(rules),
+        )
+        assert code == 2
+        assert "cannot be combined" in err
+
+    def test_url_mode_polls_alertz(self, capsys):
+        from repro.obs.server import TelemetryServer
+
+        with TelemetryServer(port=0) as srv:
+            code, out, _ = run(capsys, "alerts", "--url", srv.url)
+        assert code == 0
+        assert "disabled" in out or "0 firing" in out
+
+
+class TestProgressCli:
+    def test_progress_snapshot_over_http(self, capsys):
+        from repro.obs import progress
+        from repro.obs.server import TelemetryServer
+
+        progress.reset()
+        with TelemetryServer(port=0) as srv:
+            with progress.start("storage.checkpoint", total=10) as tracker:
+                tracker.tick(4)
+                code, out, _ = run(capsys, "progress", "--url", srv.url)
+        assert code == 0
+        assert "storage.checkpoint" in out
+        assert "4/10" in out
+        progress.reset()
+
+    def test_progress_json_mode(self, capsys):
+        from repro.obs import progress
+        from repro.obs.server import TelemetryServer
+
+        progress.reset()
+        with progress.start("fsck"):
+            pass
+        with TelemetryServer(port=0) as srv:
+            code, out, _ = run(capsys, "progress", "--url", srv.url, "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert [op["name"] for op in payload["recent"]] == ["fsck"]
+        progress.reset()

@@ -1,0 +1,204 @@
+"""SLO engine: rule validation, burn-rate math, threshold sources."""
+
+import json
+
+import pytest
+
+from repro.obs import logging as obs_logging
+from repro.obs.slo import DEFAULT_RULES, SLOEngine, load_rules, validate_rules
+from repro.obs.timeseries import TimeSeriesLog
+
+
+def _seed(ts: TimeSeriesLog, epoch: float, counters: dict, gauges: dict | None = None):
+    """Inject a sample at a controlled epoch (the ring keeps the object)."""
+    record = ts.sample({"counters": counters, "gauges": gauges or {}, "histograms": {}})
+    record["epoch"] = epoch
+    return record
+
+
+AVAILABILITY_RULE = {
+    "name": "avail",
+    "kind": "availability",
+    "objective": 0.999,
+    "total": "query.executions",
+    "bad": "query.failures",
+    "windows": [
+        {"long_s": 3600, "short_s": 300, "burn": 14.4, "severity": "page"},
+    ],
+}
+
+
+class TestValidation:
+    def test_default_rules_validate(self):
+        assert validate_rules(DEFAULT_RULES) is DEFAULT_RULES
+
+    def test_accepts_slos_wrapper(self):
+        assert validate_rules({"slos": [AVAILABILITY_RULE]}) == [AVAILABILITY_RULE]
+
+    @pytest.mark.parametrize(
+        "mutation, message",
+        [
+            ({"name": None}, "missing 'name'"),
+            ({"kind": "nope"}, "'kind' must be"),
+            ({"objective": 1.5}, "'objective' must be in"),
+            ({"windows": []}, "'windows' must be a non-empty list"),
+            ({"windows": [{"long_s": 10, "short_s": 5}]}, "positive 'burn'"),
+            (
+                {"windows": [{"long_s": 10, "short_s": 5, "burn": 2, "severity": "x"}]},
+                "severity must be one of",
+            ),
+        ],
+    )
+    def test_availability_rule_errors(self, mutation, message):
+        rule = {**AVAILABILITY_RULE, **mutation}
+        with pytest.raises(ValueError, match=message):
+            validate_rules([rule])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            validate_rules([AVAILABILITY_RULE, dict(AVAILABILITY_RULE)])
+
+    def test_threshold_rule_errors(self):
+        with pytest.raises(ValueError, match="'source' must be one of"):
+            validate_rules([{"name": "t", "kind": "threshold", "source": "nope"}])
+        with pytest.raises(ValueError, match="needs 'window_s'"):
+            validate_rules([{
+                "name": "t", "kind": "threshold", "source": "rate",
+                "metric": "m", "op": ">", "bound": 1,
+            }])
+
+    def test_load_rules_reports_bad_json(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            load_rules(path)
+
+    def test_load_rules_round_trip(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps({"slos": [AVAILABILITY_RULE]}), encoding="utf-8")
+        assert load_rules(path)[0]["name"] == "avail"
+
+
+class TestBurnRate:
+    def _engine(self):
+        ts = TimeSeriesLog()
+        return ts, SLOEngine(ts, [AVAILABILITY_RULE])
+
+    def test_fires_when_both_windows_burn(self):
+        ts, engine = self._engine()
+        # 2% failure rate against a 0.1% budget = 20x burn, sustained.
+        _seed(ts, 1000.0, {"query.executions": 0, "query.failures": 0})
+        _seed(ts, 4000.0, {"query.executions": 1000, "query.failures": 20})
+        _seed(ts, 4300.0, {"query.executions": 2000, "query.failures": 40})
+        result = engine.evaluate(now_epoch=4300.0)
+        (state,) = result["firing"]
+        assert state["name"] == "avail"
+        assert state["severity"] == "page"
+        window = state["windows"][0]
+        assert window["burn_long"] == pytest.approx(20.0, rel=0.01)
+        assert window["burn_short"] == pytest.approx(20.0, rel=0.01)
+        assert "burn rate" in state["reason"]
+
+    def test_quiet_short_window_resets_the_alert(self):
+        ts, engine = self._engine()
+        # An old burst, then a clean recent window: the long arm still
+        # burns but the short arm is quiet, so the alert must NOT fire.
+        _seed(ts, 1000.0, {"query.executions": 0, "query.failures": 0})
+        _seed(ts, 3900.0, {"query.executions": 1000, "query.failures": 20})
+        _seed(ts, 4000.0, {"query.executions": 1100, "query.failures": 20})
+        _seed(ts, 4300.0, {"query.executions": 1200, "query.failures": 20})
+        result = engine.evaluate(now_epoch=4300.0)
+        assert result["firing"] == []
+        assert not result["rules"][0]["no_data"]
+
+    def test_no_data_without_samples(self):
+        _, engine = self._engine()
+        result = engine.evaluate(now_epoch=1000.0)
+        state = result["rules"][0]
+        assert state["no_data"] and not state["firing"]
+        assert state["reason"] == "no data"
+
+    def test_counter_reset_does_not_fire_spuriously(self):
+        ts, engine = self._engine()
+        # Process restart: totals drop.  The Prometheus reset rule takes
+        # the delta from zero, so 1 failure / 1000 executions = 1x burn.
+        _seed(ts, 4000.0, {"query.executions": 50_000, "query.failures": 500})
+        _seed(ts, 4200.0, {"query.executions": 1000, "query.failures": 1})
+        assert engine.evaluate(now_epoch=4200.0)["firing"] == []
+
+    def test_transitions_logged(self):
+        obs_logging.reset()
+        ts, engine = self._engine()
+        _seed(ts, 4000.0, {"query.executions": 0, "query.failures": 0})
+        _seed(ts, 4200.0, {"query.executions": 100, "query.failures": 50})
+        engine.evaluate(now_epoch=4200.0)
+        assert obs_logging.tail(5, event="obs.slo.firing")
+        # Bleeding stops: delta goes clean, the alert resolves.
+        _seed(ts, 4250.0, {"query.executions": 200, "query.failures": 50})
+        _seed(ts, 8000.0, {"query.executions": 300, "query.failures": 50})
+        engine.evaluate(now_epoch=8000.0)
+        resolved = obs_logging.tail(5, event="obs.slo.resolved")
+        assert resolved and resolved[-1]["rule"] == "avail"
+
+
+class TestThresholdSources:
+    def test_gauge_threshold(self):
+        ts = TimeSeriesLog()
+        _seed(ts, 100.0, {}, gauges={"pool.pinned": 9})
+        rule = {
+            "name": "pinned", "kind": "threshold", "source": "gauge",
+            "metric": "pool.pinned", "op": ">=", "bound": 5,
+        }
+        (state,) = SLOEngine(ts, [rule]).evaluate(now_epoch=100.0)["firing"]
+        assert state["value"] == 9
+
+    def test_ratio_threshold_mean_latency(self):
+        ts = TimeSeriesLog()
+        _seed(ts, 100.0, {"query.seconds.sum": 0.0, "query.seconds.count": 0})
+        _seed(ts, 160.0, {"query.seconds.sum": 30.0, "query.seconds.count": 100})
+        rule = {
+            "name": "latency", "kind": "threshold", "source": "ratio",
+            "numerator": "query.seconds.sum", "denominator": "query.seconds.count",
+            "op": ">", "bound": 0.250, "window_s": 300, "severity": "ticket",
+        }
+        (state,) = SLOEngine(ts, [rule]).evaluate(now_epoch=160.0)["firing"]
+        assert state["value"] == pytest.approx(0.3)
+
+    def test_counter_gap_wal_backlog(self):
+        ts = TimeSeriesLog()
+        _seed(ts, 100.0, {
+            "storage.wal.append.bytes": 600,
+            "storage.checkpoint.bytes_reclaimed": 100,
+        })
+        rule = {
+            "name": "backlog", "kind": "threshold", "source": "counter_gap",
+            "metric": "storage.wal.append.bytes",
+            "minus": "storage.checkpoint.bytes_reclaimed",
+            "op": ">", "bound": 400,
+        }
+        (state,) = SLOEngine(ts, [rule]).evaluate(now_epoch=100.0)["firing"]
+        assert state["value"] == 500
+
+    def test_staleness_fires_when_counter_stops_moving(self):
+        ts = TimeSeriesLog()
+        _seed(ts, 100.0, {"storage.checkpoint.count": 1})
+        _seed(ts, 200.0, {"storage.checkpoint.count": 2})
+        _seed(ts, 5000.0, {"storage.checkpoint.count": 2})
+        rule = {
+            "name": "stale", "kind": "threshold", "source": "staleness",
+            "metric": "storage.checkpoint.count", "op": ">", "bound": 3600,
+        }
+        engine = SLOEngine(ts, [rule])
+        (state,) = engine.evaluate(now_epoch=5000.0)["firing"]
+        assert state["value"] == pytest.approx(4800.0)
+
+    def test_staleness_is_no_data_when_op_never_ran(self):
+        ts = TimeSeriesLog()
+        _seed(ts, 100.0, {"storage.checkpoint.count": 0})
+        _seed(ts, 5000.0, {"storage.checkpoint.count": 0})
+        rule = {
+            "name": "stale", "kind": "threshold", "source": "staleness",
+            "metric": "storage.checkpoint.count", "op": ">", "bound": 3600,
+        }
+        state = SLOEngine(ts, [rule]).evaluate(now_epoch=5000.0)["rules"][0]
+        assert state["no_data"] and not state["firing"]

@@ -1,0 +1,215 @@
+"""Cross-shard trace propagation: one query, one span tree, one trace id.
+
+The contract under stress here (PR 9's tentpole): work fanned out to
+pool threads — scatter-gather queries, sharded ingest, sharded
+checkpoint — must join the *caller's* trace, not start trees of its
+own.  Concretely:
+
+* a profiled sharded query finishes exactly ONE root span
+  (``query.scatter``) whose children are ``query.shard`` spans with
+  shard attributes — never N orphan roots from the worker threads;
+* the same trace id appears on the span tree, on every correlated log
+  line, and on the slow-log entry (three surfaces, one id);
+* per-shard buffer-pool page stats attribute to the query that touched
+  them even with concurrent queries in flight.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs import logging as obs_logging
+from repro.obs import metrics, tracing
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.tracing import TraceContext, get_default_tracer
+from repro.query import ShardedQueryEngine
+from repro.storage import ShardedStore
+from repro.storage.schema import Field, FieldType, Schema
+
+SCHEMA = Schema(
+    [
+        Field("id", FieldType.INT),
+        Field("year", FieldType.INT),
+        Field("name", FieldType.STRING),
+    ],
+    primary_key="id",
+)
+
+
+def _corpus(n: int = 300) -> list[dict]:
+    return [
+        {"id": i, "year": 1900 + (i % 25), "name": f"n{i:04d}"} for i in range(n)
+    ]
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    metrics.reset()
+    tracing.reset()
+    obs_logging.reset()
+    tracing.get_default_tracer().enable()
+    yield
+    tracing.reset()
+    obs_logging.reset()
+
+
+def _scatter_roots():
+    """Finished roots named query.scatter, and everything else."""
+    roots = tracing.finished_spans()
+    scatter = [r for r in roots if r.name == "query.scatter"]
+    other = [r for r in roots if r.name != "query.scatter"]
+    return scatter, other
+
+
+class TestScatterSpanTree:
+    def test_one_root_with_shard_children(self):
+        with ShardedStore(SCHEMA, shards=4) as store:
+            store.put_many(_corpus())
+            with ShardedQueryEngine(store) as engine:
+                engine.execute("year >= 1910 ORDER BY year LIMIT 10")
+        scatter, _ = _scatter_roots()
+        assert len(scatter) == 1
+        root = scatter[0]
+        shard_children = [c for c in root.children if c.name == "query.shard"]
+        assert len(shard_children) == 4
+        assert sorted(c.attributes["shard"] for c in shard_children) == [0, 1, 2, 3]
+        for child in shard_children:
+            assert child.attributes["rows"] >= 0
+            assert child.attributes["seconds"] >= 0.0
+
+    def test_no_orphan_roots_from_worker_threads(self):
+        with ShardedStore(SCHEMA, shards=4) as store:
+            store.put_many(_corpus())
+            with ShardedQueryEngine(store) as engine:
+                for _ in range(5):
+                    engine.execute("* ORDER BY year LIMIT 7")
+        scatter, other = _scatter_roots()
+        assert len(scatter) == 5
+        # Worker spans must be children of their scatter, never roots.
+        assert [r.name for r in other if r.name == "query.shard"] == []
+
+    def test_trace_id_spans_logs_and_slow_log_agree(self):
+        slow = SlowQueryLog(threshold_s=0.0)  # record everything
+        with ShardedStore(SCHEMA, shards=3) as store:
+            store.put_many(_corpus())
+            with ShardedQueryEngine(store, slow_log=slow) as engine:
+                engine.execute("year >= 1905 ORDER BY year LIMIT 5")
+        (root,), _ = _scatter_roots()
+        trace_id = root.attributes["trace_id"]
+        assert trace_id
+        # One slow-log entry for the whole fan-out, same trace id.
+        entries = slow.entries()
+        assert len(entries) == 1
+        assert entries[0]["trace_id"] == trace_id
+        # Every query.* log line of this execution carries the same id.
+        query_events = [
+            r for r in obs_logging.tail(100, event="query")
+            if r.get("trace_id") is not None
+        ]
+        assert query_events
+        assert {r["trace_id"] for r in query_events} == {trace_id}
+
+    def test_profiled_scatter_reports_per_shard_rows_and_pages(self, tmp_path):
+        with ShardedStore(
+            SCHEMA, tmp_path / "paged", shards=3, data_format="paged"
+        ) as store:
+            store.put_many(_corpus())
+            store.checkpoint()  # push records into pages files
+        with ShardedStore(
+            SCHEMA, tmp_path / "paged", shards=3, data_format="paged"
+        ) as store:
+            with ShardedQueryEngine(store) as engine:
+                profile = engine.execute("* ORDER BY id", profile=True)
+        assert profile.root.op == "scatter"
+        shard_ops = [c for c in profile.root.children if c.op == "shard"]
+        assert len(shard_ops) == 3
+        assert sum(c.rows_returned for c in shard_ops) == 300
+        # A full scan over a freshly opened paged store must touch the
+        # pool: the per-query page accounting cannot be all zeros.
+        assert profile.page_hits + profile.page_misses > 0
+        rendered = profile.render()
+        assert "pages:" in rendered and "shard 0" in rendered
+
+
+class TestConcurrentQueries:
+    def test_interleaved_queries_keep_trees_separate(self):
+        """8 threads x 5 queries: every scatter keeps exactly its own
+        shard children and its own trace id — no cross-talk through the
+        shared worker pool."""
+        with ShardedStore(SCHEMA, shards=4) as store:
+            store.put_many(_corpus())
+            with ShardedQueryEngine(store) as engine:
+                errors: list[BaseException] = []
+
+                def worker():
+                    try:
+                        for _ in range(5):
+                            engine.execute("year >= 1908 ORDER BY year LIMIT 9")
+                    except BaseException as exc:  # pragma: no cover
+                        errors.append(exc)
+
+                threads = [threading.Thread(target=worker) for _ in range(8)]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+        assert errors == []
+        scatter, other = _scatter_roots()
+        # The tracer ring may retain fewer than 40 roots, but every
+        # retained scatter must be complete and self-consistent.
+        assert scatter
+        assert [r.name for r in other if r.name == "query.shard"] == []
+        trace_ids = set()
+        for root in scatter:
+            children = [c for c in root.children if c.name == "query.shard"]
+            assert sorted(c.attributes["shard"] for c in children) == [0, 1, 2, 3]
+            trace_ids.add(root.attributes["trace_id"])
+        assert len(trace_ids) == len(scatter)  # distinct queries, distinct ids
+
+
+class TestTraceContext:
+    def test_capture_attach_adopts_parent_span(self):
+        tracer = get_default_tracer()
+        tracer.enable()
+        with tracing.span("outer") as outer:
+            ctx = TraceContext.capture()
+            result = {}
+
+            def worker():
+                with ctx.attach():
+                    with tracing.span("inner"):
+                        result["parent"] = tracer.current_span()
+
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        roots = tracing.finished_spans()
+        assert [r.name for r in roots] == ["outer"]
+        assert [c.name for c in roots[0].children] == ["inner"]
+        assert outer.children[0].name == "inner"
+
+    def test_attach_is_noop_on_same_thread(self):
+        tracer = get_default_tracer()
+        tracer.enable()
+        with tracing.span("solo"):
+            ctx = TraceContext.capture()
+            with ctx.attach():  # already current: must not re-push
+                with tracing.span("child"):
+                    pass
+        (root,) = tracing.finished_spans()
+        assert root.name == "solo"
+        assert [c.name for c in root.children] == ["child"]
+
+    def test_attach_restores_trace_id_on_worker(self):
+        with obs_logging.trace() as trace_id:
+            ctx = TraceContext.capture()
+        seen = {}
+
+        def worker():
+            with ctx.attach():
+                seen["id"] = obs_logging.current_trace_id()
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert seen["id"] == trace_id
