@@ -12,6 +12,11 @@ Two contracts from ``docs/resilience.md`` are measured:
   zero-depth queue, the admission gate must answer "come back later" in
   microseconds.  Reported as p50/p99 over a synthetic overload: worker
   threads hammering the saturated gate.
+* **Scrub overhead on foreground queries** — scatter-gather query
+  latency over a 4-shard paged store with the background CRC scrubber
+  idle versus sweeping continuously at its default rate limit.  The
+  token bucket is supposed to make the scrubber invisible to foreground
+  reads; the p50/p99 deltas put a number on "invisible".
 
 Standalone-runnable (pytest not required)::
 
@@ -28,14 +33,19 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 import threading
+from pathlib import Path
 from time import perf_counter
 
 from repro.errors import AdmissionRejected
-from repro.query.executor import QueryEngine
+from repro.query.executor import QueryEngine, ShardedQueryEngine
 from repro.resilience import AdmissionController, CancelToken, Deadline, Guard
+from repro.storage import ShardedStore
 from repro.storage.schema import Field, FieldType, Schema
+from repro.storage.scrub import DEFAULT_BYTES_PER_S, Scrubber
 from repro.storage.store import RecordStore
 
 #: The unconstrained full scan: matches every record, no index, no limit.
@@ -46,6 +56,9 @@ WARMUP = 2
 STORE_SIZE = 100_000
 SHED_WORKERS = 8
 SHEDS_PER_WORKER = 2_000
+SCRUB_SHARDS = 4
+SCRUB_STORE_SIZE = 40_000
+SCRUB_QUERY_REPEATS = 400
 
 TARGET_OVERHEAD_PCT = 2.0
 
@@ -173,6 +186,68 @@ def _shed_latency(workers: int, sheds_per_worker: int) -> dict:
     }
 
 
+def _query_latencies(engine: ShardedQueryEngine, query: str, repeats: int) -> list[float]:
+    latencies = []
+    for _ in range(repeats):
+        start = perf_counter()
+        engine.execute(query)
+        latencies.append(perf_counter() - start)
+    return sorted(latencies)
+
+
+def _scrub_overhead(size: int, repeats: int, root: Path) -> dict:
+    store = ShardedStore(SCHEMA, root, shards=SCRUB_SHARDS, data_format="paged")
+    try:
+        store.put_many(
+            [
+                {"id": i, "name": f"rec-{i}", "year": 1900 + (i % 120)}
+                for i in range(size)
+            ]
+        )
+        store.checkpoint()
+        engine = ShardedQueryEngine(store)
+        query = "year >= 2010"  # touches every shard, returns a thin slice
+        engine.execute(query)  # prime parser/planner caches, untimed
+
+        idle = _query_latencies(engine, query, repeats)
+
+        # Keep a sweep in flight for the whole measurement window: loop
+        # run_once() in a thread rather than start(), whose interval gap
+        # would let the foreground arm race ahead of the scrubber.
+        scrubber = Scrubber(store)
+        stop = threading.Event()
+
+        def sweep() -> None:
+            while not stop.is_set():
+                scrubber.run_once()
+
+        sweeper = threading.Thread(target=sweep, daemon=True)
+        sweeper.start()
+        try:
+            busy = _query_latencies(engine, query, repeats)
+        finally:
+            stop.set()
+            sweeper.join()
+    finally:
+        store.close()
+
+    idle_p99 = _percentile(idle, 0.99)
+    busy_p99 = _percentile(busy, 0.99)
+    return {
+        "shards": SCRUB_SHARDS,
+        "records": size,
+        "queries": repeats,
+        "scrub_rate_mb_s": round(DEFAULT_BYTES_PER_S / (1024 * 1024), 1),
+        "idle_p50_us": round(_percentile(idle, 0.50) * 1e6, 1),
+        "idle_p99_us": round(idle_p99 * 1e6, 1),
+        "scrubbing_p50_us": round(_percentile(busy, 0.50) * 1e6, 1),
+        "scrubbing_p99_us": round(busy_p99 * 1e6, 1),
+        "p99_overhead_pct": round((busy_p99 / idle_p99 - 1.0) * 100, 2)
+        if idle_p99
+        else 0.0,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", help="write JSON here instead of stdout")
@@ -185,25 +260,32 @@ def main(argv=None) -> int:
     size = 10_000 if args.quick else STORE_SIZE
     repeats = 5 if args.quick else REPEATS
     sheds = 200 if args.quick else SHEDS_PER_WORKER
+    scrub_size = 4_000 if args.quick else SCRUB_STORE_SIZE
+    scrub_queries = 50 if args.quick else SCRUB_QUERY_REPEATS
 
     store = _build_store(size)
     scan = _scan_overhead(store, repeats)
     shed = _shed_latency(SHED_WORKERS, sheds)
+    with tempfile.TemporaryDirectory(prefix="bench-scrub-") as tmp:
+        scrub = _scrub_overhead(scrub_size, scrub_queries, Path(tmp))
 
     doc = {
         "benchmark": "bench_resilience",
         "python": sys.version.split()[0],
+        # Scrub overhead is an I/O-contention measurement: the sweeper
+        # competes with foreground reads for cores and page cache, so a
+        # result is only comparable to runs on similar hardware.
+        "host": {"cpu_count": os.cpu_count()},
         "quick": args.quick,
         "repeats": repeats,
         "target_overhead_pct": TARGET_OVERHEAD_PCT,
         "guarded_scan": scan,
         "shed_latency": shed,
+        "scrub_overhead": scrub,
     }
     text = json.dumps(doc, indent=2)
     overhead = scan["executor_full_scan"]["overhead_pct"]
     if args.output:
-        from pathlib import Path
-
         Path(args.output).write_text(text + "\n")
         print(
             f"wrote {args.output} (guard overhead {overhead:+.2f}%, "

@@ -279,6 +279,8 @@ def _cmd_query_sharded(args: argparse.Namespace, records: list[PublicationRecord
                 bounds["timeout_s"] = args.timeout_ms / 1000.0
             if args.max_rows is not None:
                 bounds["max_rows"] = args.max_rows
+            if args.partial_ok:
+                bounds["partial"] = True
             if args.profile:
                 profile = engine.execute(args.query, profile=True, **bounds)
                 if args.json:
@@ -291,7 +293,15 @@ def _cmd_query_sharded(args: argparse.Namespace, records: list[PublicationRecord
                     print()
                     _print_rows(profile.rows)
                 return 0
-            _print_rows(engine.execute(args.query, **bounds))
+            result = engine.execute(args.query, **bounds)
+            _print_rows(result)
+            if getattr(result, "partial", False):
+                failed = ", ".join(str(s) for s in result.shards_failed)
+                print(
+                    f"warning: partial result — shard(s) {failed} "
+                    "failed or quarantined and were skipped",
+                    file=sys.stderr,
+                )
     return 0
 
 
@@ -558,6 +568,83 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_sharded_root(directory: str) -> "object | None":
+    """Open the sharded store at ``directory``, or print why not.
+
+    Shared by the shard fault-tolerance commands (scrub / quarantine /
+    readmit); returns ``None`` after printing an error (callers exit 2).
+    """
+    from repro.errors import StorageError
+    from repro.storage import ShardedStore, is_sharded_root
+
+    if not is_sharded_root(directory):
+        print(
+            f"error: {directory} is not a sharded store root (no shards.json)",
+            file=sys.stderr,
+        )
+        return None
+    data_format = _detect_data_format(Path(directory) / "shard-00")
+    try:
+        return ShardedStore(PUBLICATION_SCHEMA, directory, data_format=data_format)
+    except StorageError as exc:
+        print(
+            f"error: cannot open store: {exc}\n"
+            f"hint: a shard too damaged to open needs offline repair — "
+            f"try `repro fsck --repair {directory}` first",
+            file=sys.stderr,
+        )
+        return None
+
+
+def _cmd_scrub(args: argparse.Namespace) -> int:
+    from repro.storage import Scrubber
+
+    store = _open_sharded_root(args.directory)
+    if store is None:
+        return 2
+    bytes_per_s = args.rate_mb_s * 1024 * 1024 if args.rate_mb_s else None
+    with store:
+        scrubber = Scrubber(store, bytes_per_s=bytes_per_s)
+        report = scrubber.run_once(repair=args.repair)
+        rows = store.health.rows()
+    if args.json:
+        print(json.dumps(
+            {"scrub": report.to_dict(), "health": rows},
+            indent=2, ensure_ascii=False,
+        ))
+    else:
+        print(report.render())
+        for row in rows:
+            if row["state"] != "healthy":
+                print(f"shard {row['shard']}: {row['state']} ({row['reason']})")
+    return 0 if all(r.clean or r.repaired for r in report.shards) else 1
+
+
+def _cmd_quarantine(args: argparse.Namespace) -> int:
+    store = _open_sharded_root(args.directory)
+    if store is None:
+        return 2
+    with store:
+        store.quarantine(args.shard, args.reason)
+        state = store.health.state(args.shard)
+    print(f"shard {args.shard}: {state}", file=sys.stderr)
+    return 0
+
+
+def _cmd_readmit(args: argparse.Namespace) -> int:
+    store = _open_sharded_root(args.directory)
+    if store is None:
+        return 2
+    with store:
+        store.readmit(args.shard, reopen=not args.no_reopen)
+        state = store.health.state(args.shard)
+        records = len(store.shards[args.shard])
+    print(
+        f"shard {args.shard}: {state} ({records} records)", file=sys.stderr
+    )
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.export import dumps_csv, format_bibtex
 
@@ -607,11 +694,33 @@ def _cmd_serve_telemetry(args: argparse.Namespace) -> int:
     rules = load_rules(args.slo_rules) if args.slo_rules else None
     ts_log = TimeSeriesLog(args.timeseries) if args.timeseries else TimeSeriesLog()
     recorder = TimeSeriesRecorder(ts_log, interval_s=args.interval).start()
+    # Optional background scrubber: needs the sharded store held open
+    # for the daemon's lifetime so its verdict can back /healthz.
+    scrub_store = scrubber = None
+    if args.scrub_interval:
+        from repro.storage import ShardedStore, Scrubber, is_sharded_root
+
+        if args.store is None or not is_sharded_root(args.store):
+            print(
+                "error: --scrub-interval needs a sharded --store "
+                "(shards.json root)",
+                file=sys.stderr,
+            )
+            recorder.stop()
+            return 2
+        data_format = _detect_data_format(Path(args.store) / "shard-00")
+        scrub_store = ShardedStore(
+            PUBLICATION_SCHEMA, args.store, data_format=data_format
+        )
+        scrubber = Scrubber(scrub_store)
+        scrubber.start(args.scrub_interval, repair=args.scrub_repair)
     server = TelemetryServer(
         host=args.host,
         port=args.port,
         store_dir=args.store,
         slo_engine=SLOEngine(ts_log, rules),
+        scrubber=scrubber,
+        health_ttl_s=args.health_ttl,
     )
     print(f"telemetry: listening on {server.url}", file=sys.stderr)
     print(
@@ -622,6 +731,10 @@ def _cmd_serve_telemetry(args: argparse.Namespace) -> int:
     try:
         server.serve_forever()
     finally:
+        if scrubber is not None:
+            scrubber.stop()
+        if scrub_store is not None:
+            scrub_store.close()
         recorder.stop()
     return 0
 
@@ -630,13 +743,26 @@ def _cmd_serve_query(args: argparse.Namespace) -> int:
     from repro.obs.server import TelemetryServer
     from repro.resilience import AdmissionController, CircuitBreaker, QueryService
 
+    from repro.query import ShardedQueryEngine
+    from repro.storage import is_sharded_root
+
     records = _load_corpus(args.corpus)
-    store = RecordStore(PUBLICATION_SCHEMA, directory=args.store)
-    try:
+    if args.store is not None and is_sharded_root(args.store):
+        # A sharded root gets the scatter-gather engine: health-gated
+        # strict reads, and `partial_ok=1` degrading to the healthy
+        # shards with an HTTP 206.
+        store = _open_sharded_root(args.store)
+        if store is None:
+            return 2
+        engine = ShardedQueryEngine(store)
+    else:
+        store = RecordStore(PUBLICATION_SCHEMA, directory=args.store)
         if len(store) == 0:
             populate_store(store, records)
             if args.store is not None:
                 store.checkpoint()
+        engine = QueryEngine(store)
+    try:
         store.create_index("surnames", IndexKind.HASH)
         store.create_index("year", IndexKind.BTREE)
         store.create_index("volume", IndexKind.BTREE)
@@ -647,7 +773,7 @@ def _cmd_serve_query(args: argparse.Namespace) -> int:
             breaker=CircuitBreaker(),
         )
         service = QueryService(
-            QueryEngine(store),
+            engine,
             admission=admission,
             default_timeout_s=args.default_timeout_ms / 1000.0,
             default_max_rows=args.default_max_rows,
@@ -657,6 +783,7 @@ def _cmd_serve_query(args: argparse.Namespace) -> int:
             port=args.port,
             store_dir=args.store,
             query_service=service,
+            health_ttl_s=args.health_ttl,
         )
         print(f"query service: listening on {server.url}", file=sys.stderr)
         print(
@@ -666,6 +793,8 @@ def _cmd_serve_query(args: argparse.Namespace) -> int:
         )
         server.serve_forever()
     finally:
+        if isinstance(engine, ShardedQueryEngine):
+            engine.close()
         store.close()
     return 0
 
@@ -1127,6 +1256,13 @@ def build_parser() -> argparse.ArgumentParser:
              "scatter-gather (one worker per shard)",
     )
     p_query.add_argument(
+        "--partial-ok",
+        action="store_true",
+        help="with --shards: tolerate failing/quarantined shards — return "
+             "rows from the healthy ones and note the skipped shards on "
+             "stderr instead of failing the whole query",
+    )
+    p_query.add_argument(
         "--profile",
         action="store_true",
         help="EXPLAIN ANALYZE: run the query and print the per-operator "
@@ -1292,6 +1428,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_checkpoint.set_defaults(func=_cmd_checkpoint, data_format=None)
 
+    p_scrub = sub.add_parser(
+        "scrub",
+        help="CRC-verify every page and WAL segment of a sharded store; "
+             "quarantine damaged shards (and with --repair, heal them)",
+    )
+    p_scrub.add_argument("directory", help="sharded store root (shards.json)")
+    p_scrub.add_argument(
+        "--repair",
+        action="store_true",
+        help="self-heal quarantined shards: fsck --repair, re-verify, "
+             "reopen (WAL replay), re-admit",
+    )
+    p_scrub.add_argument(
+        "--rate-mb-s",
+        type=float,
+        metavar="MB",
+        help="I/O rate limit in MiB/s (default: unmetered for a one-shot "
+             "run; daemons should meter)",
+    )
+    p_scrub.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    p_scrub.set_defaults(func=_cmd_scrub)
+
+    p_quarantine = sub.add_parser(
+        "quarantine",
+        help="pull one shard out of partial-mode query fan-out (persisted)",
+    )
+    p_quarantine.add_argument("directory", help="sharded store root (shards.json)")
+    p_quarantine.add_argument("shard", type=int, help="shard index")
+    p_quarantine.add_argument(
+        "--reason", default="operator", help="recorded reason (default: operator)"
+    )
+    p_quarantine.set_defaults(func=_cmd_quarantine)
+
+    p_readmit = sub.add_parser(
+        "readmit",
+        help="return a quarantined shard to service (reopens it from disk "
+             "first so repaired files are picked up)",
+    )
+    p_readmit.add_argument("directory", help="sharded store root (shards.json)")
+    p_readmit.add_argument("shard", type=int, help="shard index")
+    p_readmit.add_argument(
+        "--no-reopen",
+        action="store_true",
+        help="skip the close/reopen (keep serving the in-memory state)",
+    )
+    p_readmit.set_defaults(func=_cmd_readmit)
+
     p_serve = sub.add_parser(
         "serve-telemetry",
         help="HTTP telemetry daemon: /statusz /metrics /healthz /alertz "
@@ -1344,7 +1529,29 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="JSON SLO rule file for /alertz (default: the built-in "
              "query-availability / latency / checkpoint-staleness / "
-             "wal-backlog rules)",
+             "wal-backlog / shard-quarantined rules)",
+    )
+    p_serve.add_argument(
+        "--health-ttl",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="seconds an inline-fsck /healthz verdict is cached "
+             "(default: 5; 0 disables the cache)",
+    )
+    p_serve.add_argument(
+        "--scrub-interval",
+        type=float,
+        metavar="SECONDS",
+        help="with a sharded --store: run a background scrubber sweep "
+             "every SECONDS (its verdict then backs /healthz)",
+    )
+    p_serve.add_argument(
+        "--scrub-repair",
+        action="store_true",
+        help="with --scrub-interval: auto-repair shards the scrubber "
+             "quarantines (quarantine → fsck --repair → verify "
+             "→ readmit)",
     )
     p_serve.set_defaults(func=_cmd_serve_telemetry)
 
@@ -1398,6 +1605,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=100_000,
         help="per-query row budget when the request names none "
              "(default: 100000)",
+    )
+    p_serve_query.add_argument(
+        "--health-ttl",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="seconds an inline-fsck /healthz verdict is cached "
+             "(default: 5; 0 disables the cache)",
     )
     p_serve_query.set_defaults(func=_cmd_serve_query)
 

@@ -175,6 +175,36 @@ class TransactionError(StorageError):
     """Raised on invalid transaction usage (nested begin, commit w/o begin)."""
 
 
+class MultiShardError(StorageError):
+    """Raised when parallel work failed on more than one shard.
+
+    ``failures`` maps shard index → the exception that shard raised, so
+    callers see *every* failed shard instead of just the first one (the
+    others' committed work stands — shards are independent durability
+    domains, and cross-shard bulk writes are not atomic once the
+    per-shard commits begin).
+    """
+
+    def __init__(self, failures: dict[int, BaseException]):
+        self.failures = dict(failures)
+        detail = "; ".join(
+            f"shard {shard}: {type(exc).__name__}: {exc}"
+            for shard, exc in sorted(self.failures.items())
+        )
+        super().__init__(f"{len(self.failures)} shards failed: {detail}")
+
+
+class ShardUnavailableError(StorageError):
+    """Raised when a strict query touches a quarantined/repairing shard."""
+
+    def __init__(self, shard: int, state: str, reason: str = ""):
+        suffix = f" ({reason})" if reason else ""
+        super().__init__(f"shard {shard} is {state}{suffix}")
+        self.shard = shard
+        self.state = state
+        self.reason = reason
+
+
 class ValidationError(ReproError):
     """Raised when a record or entry violates a model invariant."""
 

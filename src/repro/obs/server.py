@@ -13,10 +13,17 @@ exposing the process's observability state over HTTP — the backend of
     :func:`repro.storage.fsck.fsck` walker (read-only) over the snapshot
     and WAL chain and maps its exit code: 0 → ``ok`` (HTTP 200),
     1 → ``degraded`` (HTTP 200 — recoverable damage, the store still
-    serves), 2 → ``fail`` (HTTP 503).  When a query service is attached
-    and its circuit breaker is open (shed/timeout rate over threshold),
-    ``ok`` downgrades to ``degraded`` and the breaker state is included.
-    Without a store the endpoint reports process liveness only.
+    serves), 2 → ``fail`` (HTTP 503).  The fsck verdict is cached for
+    ``health_ttl_s`` seconds (pollers should not trigger a full walk per
+    request), and when a background :class:`repro.storage.scrub.Scrubber`
+    is attached its last verdict (with its age) is served instead of
+    running fsck inline at all.  Sharded roots additionally report
+    per-shard health rows from the shard manifest; a quarantined or
+    repairing shard downgrades ``ok`` to ``degraded``.  When a query
+    service is attached and its circuit breaker is open (shed/timeout
+    rate over threshold), ``ok`` downgrades to ``degraded`` and the
+    breaker state is included.  Without a store the endpoint reports
+    process liveness only.
 ``/varz``
     Raw JSON metrics snapshot (counters / gauges / histograms).
 ``/tracez``
@@ -53,7 +60,9 @@ exposing the process's observability state over HTTP — the backend of
     admission control and a deadline/budget guard (``?timeout_ms=``,
     ``?max_rows=``, ``?profile=1``).  Typed failures map to HTTP codes:
     shed → 429 with a ``Retry-After`` header, deadline → 504, budget →
-    422, bad query → 400.
+    422, bad query → 400.  Against a sharded engine, ``?partial_ok=1``
+    tolerates failing/quarantined shards: the response carries
+    ``partial: true`` plus ``shards_failed`` and is sent as HTTP 206.
 
 The server binds before :meth:`TelemetryServer.serve_forever` returns
 control, so ``port=0`` (ephemeral) works for tests: construct, read
@@ -70,7 +79,9 @@ from __future__ import annotations
 import json
 import re
 import threading
+import time
 from datetime import datetime, timezone
+from pathlib import Path
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import parse_qs, urlparse
@@ -102,26 +113,107 @@ def _count_request(path: str) -> None:
     _metrics.counter("obs.server.requests", path=path).inc()
 
 
+#: Default seconds a /healthz fsck verdict is served from cache.  An
+#: inline fsck walks every page and WAL frame — fine once, pathological
+#: when a load balancer polls every second.
+DEFAULT_HEALTH_TTL_S = 5.0
+
+#: ``(expires_monotonic, exit_code, report_dict)`` per store directory.
+_health_cache: dict[str, tuple[float, int, dict[str, Any]]] = {}
+_health_cache_lock = threading.Lock()
+
+
+def _cached_fsck(store_dir: str, ttl_s: float) -> tuple[int, dict[str, Any], bool]:
+    """fsck ``store_dir``, serving a cached verdict while it is fresh.
+
+    Returns ``(exit_code, report_dict, was_cached)``.
+    """
+    now = time.monotonic()
+    if ttl_s > 0:
+        with _health_cache_lock:
+            entry = _health_cache.get(store_dir)
+        if entry is not None and now < entry[0]:
+            return entry[1], entry[2], True
+    # Lazy import: storage instruments via obs, so a module-level
+    # import here would complete that cycle.
+    from repro.storage.fsck import fsck, fsck_sharded, is_sharded_root
+
+    if is_sharded_root(store_dir):
+        report = fsck_sharded(store_dir)
+    else:
+        report = fsck(store_dir)
+    code = report.exit_code()
+    doc = report.to_dict()
+    if ttl_s > 0:
+        with _health_cache_lock:
+            _health_cache[store_dir] = (now + ttl_s, code, doc)
+    return code, doc, False
+
+
+def _manifest_shard_health(store_dir: str) -> list[dict[str, Any]] | None:
+    """Per-shard health rows from a sharded root's manifest, or ``None``.
+
+    The health machine persists non-healthy shards into ``shards.json``;
+    shards absent from that section are healthy.
+    """
+    try:
+        doc = json.loads(
+            (Path(store_dir) / "shards.json").read_text(encoding="utf-8")
+        )
+    except (OSError, json.JSONDecodeError):
+        return None
+    count = doc.get("shard_count")
+    if not isinstance(count, int) or count < 1:
+        return None
+    persisted = doc.get("health") or {}
+    rows = []
+    for i in range(count):
+        entry = persisted.get(str(i)) if isinstance(persisted, dict) else None
+        if isinstance(entry, dict):
+            rows.append(
+                {
+                    "shard": i,
+                    "state": entry.get("state", "healthy"),
+                    "reason": entry.get("reason", ""),
+                }
+            )
+        else:
+            rows.append({"shard": i, "state": "healthy", "reason": ""})
+    return rows
+
+
 def _health_payload(
-    store_dir: str | None, query_service: Any = None
+    store_dir: str | None,
+    query_service: Any = None,
+    *,
+    ttl_s: float = DEFAULT_HEALTH_TTL_S,
+    scrubber: Any = None,
 ) -> tuple[int, dict[str, Any]]:
     """(http_status, body) for /healthz."""
     if store_dir is None:
         body: dict[str, Any] = {"status": "ok", "store": None}
         http_status = 200
     else:
-        # Lazy import: storage instruments via obs, so a module-level
-        # import here would complete that cycle.
-        from repro.storage.fsck import fsck, fsck_sharded, is_sharded_root
-
-        if is_sharded_root(store_dir):
-            report = fsck_sharded(store_dir)
+        verdict = scrubber.last_verdict() if scrubber is not None else None
+        if verdict is not None:
+            # A background scrubber already deep-verified the store; its
+            # last verdict (stamped with its age) replaces an inline fsck.
+            status = "ok" if verdict.get("clean") else "fail"
+            body = {"status": status, "store": None, "scrub": verdict}
+            http_status = 503 if not verdict.get("clean") else 200
         else:
-            report = fsck(store_dir)
-        code = report.exit_code()
-        status = {0: "ok", 1: "degraded", 2: "fail"}[code]
-        body = {"status": status, "store": report.to_dict()}
-        http_status = 503 if code == 2 else 200
+            code, doc, cached = _cached_fsck(store_dir, ttl_s)
+            status = {0: "ok", 1: "degraded", 2: "fail"}[code]
+            body = {"status": status, "store": doc, "cached": cached}
+            http_status = 503 if code == 2 else 200
+        shard_health = _manifest_shard_health(store_dir)
+        if shard_health is not None:
+            body["shards"] = shard_health
+            if any(r["state"] in ("quarantined", "repairing") for r in shard_health):
+                if body["status"] == "ok":
+                    # The store's bytes may be intact, but part of the
+                    # keyspace is out of service: degraded, not down.
+                    body["status"] = "degraded"
     if query_service is not None:
         breaker_state = query_service.breaker.state()
         body["breaker"] = breaker_state
@@ -136,6 +228,11 @@ def _health_payload(
 
 #: Flat series name with a shard label: ``storage.bufferpool.hits{shard=3}``.
 _SHARD_SERIES = re.compile(r"^(?P<name>[^{]+)\{shard=(?P<shard>\d+)\}$")
+
+#: ``storage.shard.health`` gauge levels → state names (mirrors
+#: ``repro.storage.health.HEALTH_LEVELS``; duplicated because the obs
+#: layer must not import storage at module level).
+_HEALTH_NAMES = {0: "healthy", 1: "degraded", 2: "quarantined", 3: "repairing"}
 
 _STATUSZ_CSS = """
 body { font-family: system-ui, sans-serif; margin: 1.5rem; color: #1a1a2e; }
@@ -247,15 +344,22 @@ def _statusz_html(
     shards = _shard_rows(snapshot)
     if shards:
         out.append(
-            "<table><tr><th>shard</th><th>pool hits</th><th>pool misses</th>"
-            "<th>hit rate</th><th>evictions</th><th>tree searches</th>"
-            "<th>tree depth</th></tr>"
+            "<table><tr><th>shard</th><th>health</th><th>pool hits</th>"
+            "<th>pool misses</th><th>hit rate</th><th>evictions</th>"
+            "<th>tree searches</th><th>tree depth</th></tr>"
         )
         for row in shards:
             hits = row.get("storage.bufferpool.hits", 0)
             misses = row.get("storage.bufferpool.misses", 0)
+            level = row.get("storage.shard.health")
+            name = _HEALTH_NAMES.get(int(level) if level is not None else -1, "–")
+            css = {"healthy": "ok", "degraded": "warn"}.get(name, "bad")
+            health_cell = (
+                f"<span class='{css}'>{name}</span>" if level is not None else "–"
+            )
             out.append(
-                f"<tr><td>{row['shard']}</td><td>{hits:,.0f}</td>"
+                f"<tr><td>{row['shard']}</td><td>{health_cell}</td>"
+                f"<td>{hits:,.0f}</td>"
                 f"<td>{misses:,.0f}</td><td>{_hit_rate(hits, misses)}</td>"
                 f"<td>{row.get('storage.bufferpool.evictions', 0):,.0f}</td>"
                 f"<td>{row.get('storage.paged_btree.searches', 0):,.0f}</td>"
@@ -416,7 +520,10 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
                 )
             elif path == "/healthz":
                 status, body = _health_payload(
-                    self.server.store_dir, self.server.query_service
+                    self.server.store_dir,
+                    self.server.query_service,
+                    ttl_s=self.server.health_ttl_s,
+                    scrubber=self.server.scrubber,
                 )
                 self._send_json(status, body)
             elif path == "/query":
@@ -578,9 +685,14 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
             self._send_json(400, {"error": f"bad parameter: {exc}"})
             return
         profile = first("profile") in ("1", "true", "yes")
+        partial_ok = first("partial_ok") in ("1", "true", "yes")
         try:
             body = service.execute_request(
-                q, timeout_ms=timeout_ms, max_rows=max_rows, profile=profile
+                q,
+                timeout_ms=timeout_ms,
+                max_rows=max_rows,
+                profile=profile,
+                partial=partial_ok,
             )
         except AdmissionRejected as exc:
             payload = json.dumps(
@@ -626,7 +738,9 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
         except QueryError as exc:
             self._send_json(400, {"error": "bad-query", "detail": str(exc)})
         else:
-            self._send_json(200, body)
+            # A degraded partial result is still a success, but the 206
+            # marks it as incomplete for clients that only read status.
+            self._send_json(206 if body.get("partial") else 200, body)
 
     @staticmethod
     def _logz(query: dict[str, list[str]]) -> dict[str, Any]:
@@ -663,6 +777,8 @@ class TelemetryServer:
         store_dir: str | None = None,
         query_service: Any = None,
         slo_engine: Any = None,
+        scrubber: Any = None,
+        health_ttl_s: float = DEFAULT_HEALTH_TTL_S,
     ):
         self.store_dir = str(store_dir) if store_dir is not None else None
         #: Optional :class:`repro.resilience.QueryService` behind /query
@@ -671,12 +787,20 @@ class TelemetryServer:
         #: Optional :class:`repro.obs.slo.SLOEngine` behind /alertz and the
         #: /statusz alerts section (duck-typed: anything with .evaluate()).
         self.slo_engine = slo_engine
+        #: Optional :class:`repro.storage.scrub.Scrubber` (duck-typed:
+        #: anything with ``.last_verdict()``) — when it has a verdict,
+        #: /healthz serves that instead of running fsck inline.
+        self.scrubber = scrubber
+        #: Seconds an inline-fsck /healthz verdict is cached (0 disables).
+        self.health_ttl_s = health_ttl_s
         self._httpd = ThreadingHTTPServer((host, port), _TelemetryHandler)
         self._httpd.daemon_threads = True
         # Handlers reach server state through ``self.server``.
         self._httpd.store_dir = self.store_dir  # type: ignore[attr-defined]
         self._httpd.query_service = query_service  # type: ignore[attr-defined]
         self._httpd.slo_engine = slo_engine  # type: ignore[attr-defined]
+        self._httpd.scrubber = scrubber  # type: ignore[attr-defined]
+        self._httpd.health_ttl_s = health_ttl_s  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
         _logging.info(
             "obs.server.start", host=self.host, port=self.port, store=self.store_dir

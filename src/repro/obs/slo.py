@@ -27,6 +27,8 @@ still happening (so alerts reset quickly once the bleeding stops)::
 
 ``threshold`` — a bound on a derived value, held over a window.  The
 ``source`` selects the derivation: ``gauge`` (latest gauge value),
+``gauge_max`` (max of the latest values across a labelled gauge family,
+e.g. the worst ``storage.shard.health{shard=…}`` level in the fleet),
 ``rate`` (Δcounter per second over ``window_s``), ``ratio``
 (Δnumerator/Δdenominator over ``window_s`` — e.g. mean query latency
 from a histogram's sampled ``.sum``/``.count``), ``counter_gap``
@@ -74,7 +76,14 @@ SEVERITIES = ("info", "ticket", "page")
 _EVALUATIONS = _metrics.counter("obs.slo.evaluations")
 _FIRING = _metrics.gauge("obs.slo.firing")
 
-_THRESHOLD_SOURCES = ("gauge", "rate", "ratio", "counter_gap", "staleness")
+_THRESHOLD_SOURCES = (
+    "gauge",
+    "gauge_max",
+    "rate",
+    "ratio",
+    "counter_gap",
+    "staleness",
+)
 _OPS = {
     ">": lambda a, b: a > b,
     ">=": lambda a, b: a >= b,
@@ -116,6 +125,18 @@ DEFAULT_RULES: list[dict[str, Any]] = [
         "op": ">",
         "bound": 3600,
         "severity": "ticket",
+    },
+    {
+        # Health levels: 0 healthy, 1 degraded, 2 quarantined,
+        # 3 repairing (see repro.storage.health.HEALTH_LEVELS).  A
+        # quarantined shard means reads are already degraded — page.
+        "name": "shard-quarantined",
+        "kind": "threshold",
+        "source": "gauge_max",
+        "metric": "storage.shard.health",
+        "op": ">=",
+        "bound": 2,
+        "severity": "page",
     },
     {
         "name": "wal-backlog",
@@ -379,6 +400,9 @@ class SLOEngine:
         if source == "gauge":
             value = self._latest_gauge(rule["metric"])
             detail = rule["metric"]
+        elif source == "gauge_max":
+            value = self._latest_gauge_max(rule["metric"])
+            detail = f"max({rule['metric']}{{…}})"
         elif source == "rate":
             samples = self.log.window(rule["window_s"], now_epoch=now_epoch)
             delta = _delta(samples, rule["metric"])
@@ -430,6 +454,24 @@ class SLOEngine:
             return None
         value = samples[-1].get("gauges", {}).get(name)
         return float(value) if value is not None else None
+
+    def _latest_gauge_max(self, name: str) -> float | None:
+        """Max latest value across a labelled gauge family.
+
+        Matches the flat name exactly plus every labelled series
+        (``name{…}``), so one rule covers a per-shard family without
+        knowing the shard count up front.
+        """
+        samples = self.log.samples()
+        if not samples:
+            return None
+        prefix = name + "{"
+        values = [
+            float(v)
+            for key, v in samples[-1].get("gauges", {}).items()
+            if key == name or key.startswith(prefix)
+        ]
+        return max(values) if values else None
 
     def _latest_counter(self, name: str) -> float | None:
         samples = self.log.samples()

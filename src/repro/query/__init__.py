@@ -38,7 +38,12 @@ from repro.query.planner import (
     plan_query,
     plan_scatter,
 )
-from repro.query.executor import PartialAggregate, QueryEngine, ShardedQueryEngine
+from repro.query.executor import (
+    PartialAggregate,
+    PartialResult,
+    QueryEngine,
+    ShardedQueryEngine,
+)
 
 __all__ = [
     "Expr",
@@ -65,6 +70,7 @@ __all__ = [
     "plan_scatter",
     "ScatterPlan",
     "PartialAggregate",
+    "PartialResult",
     "QueryEngine",
     "ShardedQueryEngine",
 ]

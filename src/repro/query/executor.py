@@ -50,6 +50,7 @@ from repro.errors import (
     QueryInterrupted,
     QueryPlanError,
     QueryTimeout,
+    ShardUnavailableError,
 )
 from repro.obs import logging as _logging
 from repro.obs import metrics as _metrics
@@ -57,6 +58,7 @@ from repro.obs import tracing as _tracing
 from repro.obs import workload as _workload
 from repro.obs.slowlog import SlowQueryLog
 from repro.resilience.deadline import CancelToken, Deadline, Guard
+from repro.resilience.retry import RetryPolicy
 from repro.storage.bufferpool import PageStats, page_stats_scope
 from repro.query.ast_nodes import Query
 from repro.query.parser import parse_query
@@ -237,6 +239,8 @@ class QueryProfile:
     fingerprint: str | None = None  #: workload fingerprint of the query shape
     page_hits: int = 0  #: buffer-pool hits attributed to this query
     page_misses: int = 0  #: buffer-pool misses attributed to this query
+    partial: bool = False  #: a partial-mode scatter skipped shard(s)
+    shards_failed: tuple[int, ...] = ()  #: skipped shard indexes
 
     def render(self) -> str:
         """The operator tree plus a total-time footer."""
@@ -245,13 +249,17 @@ class QueryProfile:
         pages = ""
         if self.page_hits or self.page_misses:
             pages = f"  pages: {self.page_hits} hit / {self.page_misses} miss"
+        degraded = ""
+        if self.partial:
+            failed = ", ".join(str(s) for s in self.shards_failed)
+            degraded = f"\nPARTIAL RESULT: shard(s) {failed} failed or quarantined"
         return (
             f"{self.root.render()}\n"
-            f"total: {self.seconds * 1e3:.3f}ms{pages}{cached}{fp}"
+            f"total: {self.seconds * 1e3:.3f}ms{pages}{cached}{fp}{degraded}"
         )
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        doc = {
             "plan": self.plan_text,
             "plan_cached": self.plan_cached,
             "fingerprint": self.fingerprint,
@@ -261,6 +269,12 @@ class QueryProfile:
             "page_misses": self.page_misses,
             "tree": self.root.to_dict(),
         }
+        if self.partial:
+            # Complete results keep the pre-sharding JSON shape; the
+            # degradation keys only appear when shards actually dropped out.
+            doc["partial"] = True
+            doc["shards_failed"] = list(self.shards_failed)
+        return doc
 
 
 @dataclass(frozen=True, slots=True)
@@ -965,6 +979,32 @@ def _sort_key(value: Any) -> tuple[int, Any]:
 
 _SCATTER_COUNT = _metrics.counter("query.scatter.count")
 _SCATTER_MERGE_SECONDS = _metrics.histogram("query.scatter.merge.seconds")
+# Partial-mode scatters that actually returned a degraded (incomplete)
+# result — the numerator of a "how often are we serving partial" SLO.
+_SCATTER_PARTIAL = _metrics.counter("query.scatter.partial.count")
+
+
+class PartialResult(list):
+    """Rows from a partial-mode scatter, plus degradation metadata.
+
+    A plain ``list`` subclass, so every caller that just iterates rows is
+    unaffected; ``partial`` is ``True`` when at least one shard was
+    skipped, and ``shards_failed`` names the skipped shard indexes.
+    Strict-mode executions never return this type.
+    """
+
+    __slots__ = ("partial", "shards_failed")
+
+    def __init__(
+        self,
+        rows: list[dict[str, Any]],
+        *,
+        partial: bool = False,
+        shards_failed: tuple[int, ...] = (),
+    ):
+        super().__init__(rows)
+        self.partial = partial
+        self.shards_failed = shards_failed
 
 
 class _SharedRowBudget:
@@ -1154,17 +1194,43 @@ class ShardedQueryEngine:
         *,
         plan_cache_size: int = 256,
         slow_log: SlowQueryLog | None = None,
+        retry: RetryPolicy | None = None,
     ):
         self.store = store
         self.plan_cache = PlanCache(maxsize=plan_cache_size)
         self.slow_log = slow_log
+        #: Bounded per-shard retry used by partial mode before a failing
+        #: shard is given up on (transient faults recover in place; a
+        #: persistent fault costs max_attempts tries, then the shard is
+        #: skipped).  Strict mode never retries — its semantics are
+        #: byte-for-byte the pre-partial behaviour.
+        self.retry = retry if retry is not None else RetryPolicy(max_attempts=2)
         self._engines = tuple(QueryEngine(shard) for shard in store.shards)
+        self._engines_for = store.shards  # tuple identity watched for reopens
         self._pool: ThreadPoolExecutor | None = None
         self._shard_rows = tuple(
             _metrics.counter("query.scatter.shard.rows", shard=str(i))
             for i in range(store.shard_count)
         )
+        self._shard_skipped = tuple(
+            _metrics.counter("query.scatter.shard.skipped", shard=str(i))
+            for i in range(store.shard_count)
+        )
         self._bytes_per_row = 0.0
+
+    def _refresh_engines(self) -> None:
+        """Rebuild per-shard engines for shards the store swapped out
+        (``ShardedStore.reopen_shard`` after a repair).  Identity check
+        only — the no-change case costs one ``is``."""
+        shards = self.store.shards
+        if shards is self._engines_for:
+            return
+        engines = list(self._engines)
+        for i, shard in enumerate(shards):
+            if engines[i].store is not shard:
+                engines[i] = QueryEngine(shard)
+        self._engines = tuple(engines)
+        self._engines_for = shards
 
     # -- public API --------------------------------------------------------
 
@@ -1177,6 +1243,7 @@ class ShardedQueryEngine:
         timeout_s: float | None = None,
         cancel: CancelToken | None = None,
         max_rows: int | None = None,
+        partial: bool = False,
     ) -> list[dict[str, Any]] | QueryProfile:
         """Run ``query`` across all shards and return the merged records.
 
@@ -1191,6 +1258,20 @@ class ShardedQueryEngine:
         shared by every shard worker, and ``max_rows`` limits the total
         rows examined across all shards (enforced at stride granularity;
         see :class:`_SharedRowBudget`).
+
+        ``partial=True`` opts into graceful degradation: quarantined
+        shards are skipped up front, a shard whose worker fails is
+        retried (bounded, via the engine's :class:`RetryPolicy`) and
+        then skipped instead of failing the whole query, and the rows
+        come back as a :class:`PartialResult` whose ``partial`` /
+        ``shards_failed`` attributes say exactly what is missing (the
+        profile carries the same fields).  Interruptions — deadline,
+        cancellation, row budget — still raise: they bound the *caller's*
+        resources, not a shard's health.  The default (strict) mode is
+        all-or-nothing: a worker failure propagates, and a quarantined
+        shard raises :class:`~repro.errors.ShardUnavailableError` up
+        front — its bytes cannot be trusted, so strict refuses to read
+        around (or from) it.
         """
         if guard is None and (
             timeout_s is not None or cancel is not None or max_rows is not None
@@ -1201,10 +1282,18 @@ class ShardedQueryEngine:
                 max_rows=max_rows,
             )
         try:
-            return self._execute(query, profile=profile, guard=guard)
+            return self._execute(
+                query, profile=profile, guard=guard, partial=partial
+            )
         except Exception:
             _FAILURES.inc()
             raise
+
+    def execute_partial(
+        self, query: str | Query, **kwargs: Any
+    ) -> PartialResult | QueryProfile:
+        """:meth:`execute` with ``partial=True`` (convenience alias)."""
+        return self.execute(query, partial=True, **kwargs)  # type: ignore[return-value]
 
     def _execute(
         self,
@@ -1212,6 +1301,7 @@ class ShardedQueryEngine:
         *,
         profile: bool,
         guard: Guard | None,
+        partial: bool = False,
     ) -> list[dict[str, Any]] | QueryProfile:
         with _logging.trace() as trace_id:
             parsed = self._parse(query)
@@ -1231,7 +1321,9 @@ class ShardedQueryEngine:
             ) as sspan:
                 sspan.set_attribute("trace_id", trace_id)
                 try:
-                    out, examined, metas = self._run_scatter(splan, guard)
+                    out, examined, metas, shards_failed = self._run_scatter(
+                        splan, guard, partial=partial
+                    )
                 except QueryInterrupted as exc:
                     if fp is not None:
                         _RECORD_PACKED((
@@ -1242,6 +1334,16 @@ class ShardedQueryEngine:
                     raise
                 seconds = time.perf_counter() - start
                 sspan.set_attribute("rows", len(out))
+                if shards_failed:
+                    sspan.set_attribute("shards_failed", list(shards_failed))
+            if partial:
+                out = PartialResult(
+                    out,
+                    partial=bool(shards_failed),
+                    shards_failed=shards_failed,
+                )
+                if shards_failed:
+                    _SCATTER_PARTIAL.inc()
             _QUERY_SECONDS.observe(seconds)
             if fp is not None:
                 # Worker CPU burns on pool threads, invisible to this
@@ -1255,7 +1357,8 @@ class ShardedQueryEngine:
             if profile:
                 _PROFILED.inc()
                 result = self._scatter_profile(
-                    splan, out, examined, metas, seconds, cached, fp
+                    splan, out, examined, metas, seconds, cached, fp,
+                    shards_failed=shards_failed if partial else (),
                 )
             if _logging.would_log("debug"):
                 _logging.debug(
@@ -1267,6 +1370,7 @@ class ShardedQueryEngine:
                     fingerprint=fp,
                     rows=len(out),
                     seconds=round(seconds, 6),
+                    partial=bool(shards_failed),
                 )
             self._maybe_slow_log(
                 query_text, splan, cached, len(out), seconds, result, trace_id, fp
@@ -1282,10 +1386,21 @@ class ShardedQueryEngine:
         seconds: float,
         plan_cached: bool,
         fingerprint: str | None,
+        shards_failed: tuple[int, ...] = (),
     ) -> QueryProfile:
         """Assemble the EXPLAIN ANALYZE tree of one scatter execution."""
         children: list[OpProfile] = []
         hits = misses = 0
+        for idx in shards_failed:
+            children.append(
+                OpProfile(
+                    op="shard",
+                    detail=f"shard {idx}  SKIPPED (failed or quarantined)",
+                    rows_examined=0,
+                    rows_returned=0,
+                    seconds=0.0,
+                )
+            )
         for meta in metas:
             if meta is None:
                 continue
@@ -1323,6 +1438,8 @@ class ShardedQueryEngine:
             fingerprint=fingerprint,
             page_hits=hits,
             page_misses=misses,
+            partial=bool(shards_failed),
+            shards_failed=shards_failed,
         )
 
     def _maybe_slow_log(
@@ -1415,7 +1532,7 @@ class ShardedQueryEngine:
                     add(value)
             return partial
 
-        partials, _, _ = self._scatter(splan, guard, fold)
+        partials, _, _, _ = self._scatter(splan, guard, fold)
         merged = PartialAggregate()
         for partial in partials:
             merged.merge(partial)
@@ -1457,17 +1574,21 @@ class ShardedQueryEngine:
                 )
 
     def _run_scatter(
-        self, splan: ScatterPlan, guard: Guard | None
-    ) -> tuple[list[dict[str, Any]], int, list[dict[str, Any] | None]]:
+        self, splan: ScatterPlan, guard: Guard | None, *, partial: bool = False
+    ) -> tuple[
+        list[dict[str, Any]], int, list[dict[str, Any] | None], tuple[int, ...]
+    ]:
         """Execute the scatter plan; returns (rows, rows_examined,
-        per-shard metadata in shard order)."""
+        per-shard metadata in shard order, failed shard indexes)."""
         if splan.group_by is not None:
             worker = self._fold_counts(splan.group_by)
         elif splan.order_by is not None:
             worker = self._fold_sorted(splan)
         else:
             worker = self._fold_plain(splan)
-        parts, examined, metas = self._scatter(splan, guard, worker)
+        parts, examined, metas, failed = self._scatter(
+            splan, guard, worker, partial=partial
+        )
 
         merge_start = time.perf_counter()
         if splan.group_by is not None:
@@ -1477,30 +1598,43 @@ class ShardedQueryEngine:
         else:
             out = self._gather_plain(splan, parts)
         _SCATTER_MERGE_SECONDS.observe(time.perf_counter() - merge_start)
-        for i, part in enumerate(parts):
-            self._shard_rows[i].inc(len(part))
+        for meta in metas:
+            if meta is not None:
+                self._shard_rows[meta["shard"]].inc(meta["rows"])
         _EXECUTIONS.inc()
         _SCATTER_COUNT.inc()
         _ROWS_RETURNED.inc(len(out))
-        return out, examined, metas
+        return out, examined, metas, failed
 
     def _scatter(
         self,
         splan: ScatterPlan,
         guard: Guard | None,
         fold: Any,
-    ) -> tuple[list[Any], int, list[dict[str, Any] | None]]:
+        *,
+        partial: bool = False,
+    ) -> tuple[list[Any], int, list[dict[str, Any] | None], tuple[int, ...]]:
         """Run ``fold`` over every shard's candidate rows, in parallel.
 
         ``fold(rows_iterator) -> part`` consumes one shard's
         residual-filtered candidates; the per-shard parts come back in
-        shard order.  Returns ``(parts, total_rows_examined, metas)``
-        where ``metas[i]`` describes shard ``i``'s work (rows, wall
-        time, buffer-pool page touches) — ``None`` for a worker that
-        failed.  Workers adopt the caller's trace context, so their
+        shard order.  Returns ``(parts, total_rows_examined, metas,
+        failed)`` where ``metas[i]`` describes shard ``i``'s work (rows,
+        wall time, buffer-pool page touches) — ``None`` for a worker
+        that failed — and ``failed`` is the tuple of skipped shard
+        indexes (always empty in strict mode, which raises instead).
+        Workers adopt the caller's trace context, so their
         ``query.shard`` spans nest under the ``query.scatter`` root and
         their log lines carry the same trace ID.
+
+        In partial mode a quarantined shard is skipped without being
+        touched, a shard whose worker raises gets a bounded retry (the
+        engine's :class:`RetryPolicy` — only transient faults actually
+        re-run) and is then skipped, and sibling workers are *not*
+        aborted by a skippable failure.  Interruptions (deadline /
+        cancel / budget) abort the scatter in both modes.
         """
+        self._refresh_engines()
         if guard is not None:
             guard.check()  # fail fast before spawning workers
         abort = CancelToken()
@@ -1526,53 +1660,105 @@ class ShardedQueryEngine:
 
         ctx = _tracing.TraceContext.capture()
         metas: list[dict[str, Any] | None] = [None] * self.store.shard_count
+        health = getattr(self.store, "health", None)
+        failed: dict[int, BaseException] = {}
+        failed_lock = threading.Lock()
+        skipped = object()  # sentinel part for a shard given up on
 
-        def run_shard(idx: int) -> Any:
+        def attempt(idx: int) -> Any:
             engine = self._engines[idx]
             wguard = worker_guards[idx]
+            stats = PageStats()
+            shard_start = time.perf_counter()
+            with page_stats_scope(stats):
+                rows = engine._candidates(splan.shard_plan, wguard)
+                residual = splan.shard_plan.residual
+                if residual is not None:
+                    rows = (r for r in rows if residual.evaluate(r))
+                part = fold(rows)
+            elapsed = time.perf_counter() - shard_start
+            n = part.count if isinstance(part, PartialAggregate) else len(part)
+            if wguard is not None:
+                shard_examined = wguard.rows_examined
+            elif isinstance(splan.shard_plan.access, FullScan):
+                shard_examined = len(self.store.shards[idx])
+            else:
+                shard_examined = n
+            metas[idx] = {
+                "shard": idx,
+                "rows": n,
+                "seconds": elapsed,
+                "examined": shard_examined,
+                "page_hits": stats.hits,
+                "page_misses": stats.misses,
+            }
+            return part
+
+        def run_shard(idx: int) -> Any:
             with ctx.attach(), _tracing.span("query.shard", shard=idx) as sspan:
-                shard_start = time.perf_counter()
-                stats = PageStats()
                 try:
-                    with page_stats_scope(stats):
-                        rows = engine._candidates(splan.shard_plan, wguard)
-                        residual = splan.shard_plan.residual
-                        if residual is not None:
-                            rows = (r for r in rows if residual.evaluate(r))
-                        part = fold(rows)
-                except BaseException:
-                    abort.cancel()  # stop the sibling workers promptly
+                    if partial:
+                        part = self.retry.call(
+                            lambda: attempt(idx), describe=f"query.shard{idx}"
+                        )
+                    else:
+                        part = attempt(idx)
+                except QueryInterrupted:
+                    # The caller's bound tripped (or a sibling's abort
+                    # propagated) — not a shard fault, in either mode.
+                    abort.cancel()
                     raise
-                elapsed = time.perf_counter() - shard_start
-                n = part.count if isinstance(part, PartialAggregate) else len(part)
-                if wguard is not None:
-                    shard_examined = wguard.rows_examined
-                elif isinstance(splan.shard_plan.access, FullScan):
-                    shard_examined = len(self.store.shards[idx])
-                else:
-                    shard_examined = n
-                sspan.set_attribute("rows", n)
-                sspan.set_attribute("seconds", round(elapsed, 6))
-                metas[idx] = {
-                    "shard": idx,
-                    "rows": n,
-                    "seconds": elapsed,
-                    "examined": shard_examined,
-                    "page_hits": stats.hits,
-                    "page_misses": stats.misses,
-                }
+                except BaseException as exc:
+                    if health is not None:
+                        health.record_error(idx, exc, source="query")
+                    if not partial:
+                        abort.cancel()  # stop the sibling workers promptly
+                        raise
+                    with failed_lock:
+                        failed[idx] = exc
+                    self._shard_skipped[idx].inc()
+                    sspan.set_attribute("skipped", True)
+                    _logging.warn(
+                        "query.scatter.shard_skipped",
+                        shard=idx,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                    return skipped
+                if health is not None:
+                    health.record_success(idx)
+                meta = metas[idx]
+                if meta is not None:
+                    sspan.set_attribute("rows", meta["rows"])
+                    sspan.set_attribute("seconds", round(meta["seconds"], 6))
                 return part
 
         count = self.store.shard_count
-        if count == 1:
-            parts = [run_shard(0)]
+        indexes = list(range(count))
+        if health is not None:
+            for idx in list(indexes):
+                if not health.is_serving(idx):
+                    if not partial:
+                        # Strict queries must not read a shard pulled
+                        # out of service — a corruption quarantine means
+                        # its bytes cannot be trusted.  Fail fast with
+                        # the typed error instead of fanning out.
+                        raise ShardUnavailableError(
+                            idx, health.state(idx), health.reason(idx)
+                        )
+                    indexes.remove(idx)
+                    failed[idx] = ShardUnavailableError(
+                        idx, health.state(idx), health.reason(idx)
+                    )
+                    self._shard_skipped[idx].inc()
+        if len(indexes) == 1:
+            parts = [run_shard(indexes[0])]
         else:
             pool = self._pool
             if pool is None:
                 pool = self._pool = ThreadPoolExecutor(
                     max_workers=count, thread_name_prefix="repro-scatter"
                 )
-            futures: list[Future] = [pool.submit(run_shard, i) for i in range(count)]
+            futures: list[Future] = [pool.submit(run_shard, i) for i in indexes]
             parts = []
             errors: list[BaseException] = []
             for future in futures:
@@ -1582,13 +1768,20 @@ class ShardedQueryEngine:
                     errors.append(exc)
             if errors:
                 self._raise_first(errors, worker_guards)
+        parts = [part for part in parts if part is not skipped]
 
-        examined = self._examined(splan, parts, worker_guards)
+        if failed and worker_guards[0] is None:
+            # A skipped shard's rows cannot be counted as examined — sum
+            # what the surviving workers actually reported instead of
+            # the whole-store estimate.
+            examined = sum(m["examined"] for m in metas if m is not None)
+        else:
+            examined = self._examined(splan, parts, worker_guards)
         if guard is not None:
             # Fold the workers' progress back into the caller's guard so
             # its stats()/partial-progress reporting covers the scatter.
             guard.rows_examined += examined
-        return parts, examined, metas
+        return parts, examined, metas, tuple(sorted(failed))
 
     def _examined(
         self,

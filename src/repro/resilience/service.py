@@ -89,6 +89,7 @@ class QueryService:
         timeout_ms: float | None = None,
         max_rows: int | None = None,
         profile: bool = False,
+        partial: bool = False,
     ) -> dict[str, Any]:
         """Run one request end to end; returns the JSON-ready response body.
 
@@ -98,6 +99,12 @@ class QueryService:
         :class:`~repro.errors.QueryCancelled`,
         :class:`~repro.errors.BudgetExceeded` — plus the usual
         :class:`~repro.errors.QueryError` family for bad queries.
+
+        ``partial=True`` (honored only when the engine supports
+        partial-result scatter-gather, i.e. a
+        :class:`~repro.query.executor.ShardedQueryEngine`) tolerates
+        failing or quarantined shards; a degraded response carries
+        ``partial: true`` and the ``shards_failed`` list.
         """
         _REQUESTS.inc()
         timeout_s = (
@@ -123,7 +130,12 @@ class QueryService:
                     raise QueryTimeout(  # pragma: no cover - check() raises first
                         "deadline exhausted in admission queue", timeout_s=timeout_s
                     )
-                result = self.engine.execute(query, profile=profile, guard=guard)
+                if partial and hasattr(self.engine, "execute_partial"):
+                    result = self.engine.execute(
+                        query, profile=profile, guard=guard, partial=True
+                    )
+                else:
+                    result = self.engine.execute(query, profile=profile, guard=guard)
             except QueryTimeout:
                 self.breaker.record("timeout")
                 raise
@@ -140,6 +152,13 @@ class QueryService:
             }
             if profile:
                 body["profile"] = result.to_dict()
+            # PartialResult (rows) and QueryProfile both carry the
+            # degradation marker when a shard was skipped.
+            if getattr(result, "partial", False):
+                body["partial"] = True
+                body["shards_failed"] = sorted(
+                    getattr(result, "shards_failed", ())
+                )
             # Enforce the response-byte budget on the serialized payload
             # the transport is about to write.
             guard.add_bytes(len(json.dumps(body, default=str)))

@@ -15,7 +15,9 @@ embedded store with
 * checkpoint/rotation durability with verified snapshots
   (:mod:`repro.storage.store`),
 * buffered transactions with rollback (:mod:`repro.storage.transactions`),
-* offline integrity checking and repair (:mod:`repro.storage.fsck`), and
+* offline integrity checking and repair (:mod:`repro.storage.fsck`),
+* per-shard health tracking and a self-healing background scrubber
+  (:mod:`repro.storage.health`, :mod:`repro.storage.scrub`), and
 * a fault-injecting filesystem shim for crash testing
   (:mod:`repro.storage.faultfs`).
 
@@ -49,6 +51,16 @@ from repro.storage.fsck import (
     fsck_sharded,
     is_sharded_root,
 )
+from repro.storage.health import (
+    DEGRADED,
+    HEALTH_LEVELS,
+    HEALTHY,
+    QUARANTINED,
+    REPAIRING,
+    ShardHealthMachine,
+    classify_error,
+)
+from repro.storage.scrub import ScrubReport, Scrubber, ShardScrubResult
 
 __all__ = [
     "Field",
@@ -87,4 +99,14 @@ __all__ = [
     "FsckIssue",
     "FsckReport",
     "ShardedFsckReport",
+    "HEALTHY",
+    "DEGRADED",
+    "QUARANTINED",
+    "REPAIRING",
+    "HEALTH_LEVELS",
+    "ShardHealthMachine",
+    "classify_error",
+    "Scrubber",
+    "ScrubReport",
+    "ShardScrubResult",
 ]

@@ -41,6 +41,13 @@ Repair never invents data and never touches anything mid-chain:
   the store openable again;
 * **stale segments**, **stray temp files**, and **stray pages files**
   are deleted;
+* a **damaged snapshot with a complete WAL** (sealed segments running
+  contiguously from seal 1, everything clean — i.e. no checkpoint ever
+  reclaimed anything, so the WAL still holds the full committed history)
+  is **rolled back**: the snapshot and its pages files are deleted and
+  the next open recovers by full WAL replay, with zero committed-record
+  loss (secondary-index declarations, which live only in the snapshot,
+  must be re-declared by the caller);
 * mid-chain damage (a bad sealed segment with later segments after it)
   is **fatal**: repairing it would silently drop an unbounded amount of
   acknowledged data, so fsck reports and refuses.
@@ -186,7 +193,51 @@ def fsck(
         # read.  The tracker still surfaces done/rate on /progressz.
         with _progress.start("storage.fsck", directory=str(directory)) as tracker:
             _check_stray_tmp(report, snapshot_path, repair)
+            before = len(report.issues)
             wal_seal, pages_name = _check_snapshot(report, snapshot_path, tracker)
+            snapshot_fatal = any(
+                issue.severity == FATAL for issue in report.issues[before:]
+            )
+            target = (
+                _rollback_target(directory, wal_base, wal_seal)
+                if snapshot_fatal
+                else None
+            )
+            if target is not None:
+                # The snapshot is damaged, but an older state plus the
+                # surviving WAL still holds the complete committed
+                # history: either a previous checkpoint's pages file
+                # deep-verifies clean and every later segment is present
+                # and clean (target > 0), or the chain runs unbroken
+                # from genesis (target == 0).  Rolling the snapshot back
+                # to that point makes the next open recover by WAL
+                # replay with zero committed-record loss.
+                for issue in report.issues[before:]:
+                    if issue.severity == FATAL:
+                        issue.severity = REPAIRED if repair else REPAIRABLE
+                if repair:
+                    wal_seal, pages_name = _rollback_snapshot(
+                        report, directory, snapshot_path, target
+                    )
+                else:
+                    point = (
+                        f"checkpoint {target} (its pages file verifies clean)"
+                        if target
+                        else "genesis (the WAL chain is complete from seal 1)"
+                    )
+                    report.add(
+                        REPAIRABLE,
+                        f"snapshot is damaged but the history survives — "
+                        f"repair will roll back to {point} and recover the "
+                        "rest by WAL replay (zero committed-record loss)",
+                        snapshot_path,
+                    )
+                    # The rollback point's files are the only good copy
+                    # of the data: reference them below so nothing
+                    # offers to delete them as stale/stray.
+                    wal_seal = target
+                    if target:
+                        pages_name = f"store.pages.{target:06d}"
             _check_stray_pages(report, directory, pages_name, repair)
             _check_chain(report, wal_base, wal_seal, repair, tracker)
         return report
@@ -204,6 +255,141 @@ def fsck(
             entries_checked=report.entries_checked,
             issues=len(report.issues),
         )
+
+
+def _fsync_dir(directory: Path) -> None:
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _pages_files(directory: Path) -> list[tuple[int, Path]]:
+    """``(seal, path)`` of canonical ``store.pages.NNNNNN`` files, ascending."""
+    out = []
+    for path in directory.glob("store.pages.*"):
+        seal_text = path.name.rsplit(".", 1)[-1]
+        if seal_text.isdigit():
+            out.append((int(seal_text), path))
+    out.sort()
+    return out
+
+
+def _rollback_target(directory: Path, wal_base: Path, wal_seal: int) -> int | None:
+    """Newest checkpoint a damaged snapshot can safely roll back to.
+
+    A rollback point ``K`` is safe when the surviving files still hold
+    every committed write: for ``K > 0`` the pages file
+    ``store.pages.K`` must deep-verify clean (the complete state as of
+    checkpoint ``K``), and in both cases every WAL segment *after*
+    ``K`` — up to the newest checkpoint any evidence proves happened
+    (the highest seal among surviving segments, surviving pages files,
+    and the snapshot's own claim) — must be present and scan clean, as
+    must the active log.  A hole in that range means a later
+    checkpoint's reclaim already deleted history the rollback would
+    need, so the candidate is rejected rather than risk silent loss.
+
+    Candidates are tried newest-first (pages files by descending seal,
+    then genesis ``K = 0``); returns the first safe one, or ``None``.
+    """
+    sealed = sealed_segment_paths(wal_base)
+    seals = {seal for seal, _path in sealed}
+    pages = _pages_files(directory)
+    proven = max(
+        [*seals, *(seal for seal, _path in pages), wal_seal], default=0
+    )
+    segment_clean: dict[int, bool] = {}
+
+    def chain_ok(k: int) -> bool:
+        by_seal = dict(sealed)
+        for seal in range(k + 1, proven + 1):
+            if seal not in by_seal:
+                return False
+            if seal not in segment_clean:
+                segment_clean[seal] = WriteAheadLog.scan_file(
+                    by_seal[seal], strict=False
+                ).clean
+            if not segment_clean[seal]:
+                return False
+        if wal_base.exists():
+            if not WriteAheadLog.scan_file(wal_base, strict=False).clean:
+                return False
+        return True
+
+    for seal, path in sorted(pages, reverse=True):
+        if not chain_ok(seal):
+            continue
+        try:
+            tree = PagedBTree(path)
+            try:
+                tree.verify()
+            finally:
+                tree.close()
+        except Exception:
+            continue
+        return seal
+    if sealed and min(seals) == 1 and chain_ok(0):
+        return 0
+    return None
+
+
+def _rollback_snapshot(
+    report: FsckReport, directory: Path, snapshot_path: Path, target: int
+) -> tuple[int, str | None]:
+    """Roll the store back to checkpoint ``target`` (repair action).
+
+    Only called once :func:`_rollback_target` has proven the rollback
+    point plus the surviving WAL hold the full history.  Deletes the
+    damaged snapshot and every pages file newer than the target; for
+    ``target > 0`` a fresh manifest referencing the verified pages file
+    is written (its record count and CRC come from the tree's own meta
+    page, so the manifest/pages cross-check holds on the next open), and
+    recovery replays the WAL from there.  Secondary-index declarations
+    live only in the snapshot and are lost — callers re-declare them
+    (``ShardedStore.reopen_shard`` mirrors a sibling shard).
+
+    Returns the ``(wal_seal, pages_name)`` now in effect.
+    """
+    keep_name = f"store.pages.{target:06d}" if target else None
+    for _seal, path in _pages_files(directory):
+        if path.name == keep_name:
+            continue
+        path.unlink()
+        report.add(REPAIRED, "removed pages file of rolled-back snapshot", path)
+    if keep_name is None:
+        snapshot_path.unlink()
+        report.add(
+            REPAIRED,
+            "rolled back damaged snapshot; next open recovers by full WAL replay",
+            snapshot_path,
+        )
+        return 0, None
+    tree = PagedBTree(directory / keep_name)
+    try:
+        record_count, data_crc = tree.entry_count, tree.data_crc
+    finally:
+        tree.close()
+    state = {
+        "version": 3,
+        "format": "paged",
+        "pages": keep_name,
+        "wal_seal": target,
+        "record_count": record_count,
+        "checksum": f"{data_crc:08x}",
+        "indexes": [],
+    }
+    tmp = snapshot_path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(state, ensure_ascii=False), encoding="utf-8")
+    os.replace(tmp, snapshot_path)
+    _fsync_dir(directory)
+    report.add(
+        REPAIRED,
+        f"rolled snapshot back to checkpoint {target}; next open recovers "
+        "the rest by WAL replay",
+        snapshot_path,
+    )
+    return target, keep_name
 
 
 def _check_stray_tmp(report: FsckReport, snapshot_path: Path, repair: bool) -> None:

@@ -8,7 +8,8 @@ fsck surface — so all of the single-store durability machinery composes
 per shard unchanged.  On disk::
 
     root/
-      shards.json     # manifest: shard count + router, written atomically
+      shards.json     # manifest: shard count + router + persisted shard
+                      # health states, written atomically
       shard-00/       # a full RecordStore directory (store.wal, snapshot.json)
       shard-01/
       ...
@@ -62,12 +63,13 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping, Sequence
 
-from repro.errors import DuplicateKeyError, StorageError
+from repro.errors import DuplicateKeyError, MultiShardError, StorageError
 from repro.obs import logging as _logging
 from repro.obs import metrics as _metrics
 from repro.obs import progress as _progress
 from repro.obs import tracing as _tracing
 from repro.storage import faultfs as _faultfs
+from repro.storage.health import ShardHealthMachine
 from repro.storage.schema import Schema
 from repro.storage.store import IndexKind, RecordStore
 
@@ -161,6 +163,7 @@ class ShardedStore:
         retry: "RetryPolicy | None" = None,
         data_format: str = "memory",
         pool_pages: int | None = None,
+        health_config: Mapping[str, Any] | None = None,
     ):
         self.schema = schema
         self.root: Path | None = Path(root) if root is not None else None
@@ -171,6 +174,7 @@ class ShardedStore:
         self.checkpoint_wal_bytes = checkpoint_wal_bytes
         self._fs = fs if fs is not None else _faultfs.REAL_FS
 
+        health_doc: Mapping[str, Any] | None = None
         if self.root is None:
             if shards is None:
                 raise StorageError("in-memory sharded store needs an explicit shards=")
@@ -178,7 +182,7 @@ class ShardedStore:
         else:
             manifest = self.root / SHARD_MANIFEST
             if manifest.exists():
-                count = self._load_manifest(manifest, expected=shards)
+                count, health_doc = self._load_manifest(manifest, expected=shards)
             else:
                 if shards is None:
                     raise StorageError(
@@ -192,7 +196,6 @@ class ShardedStore:
         self.shard_count = count
         if self.root is not None:
             self.root.mkdir(parents=True, exist_ok=True)
-            self._write_manifest()
         # data_format/pool_pages pass straight through: each shard is a
         # complete RecordStore, so paged checkpoints and read-through
         # recovery compose per shard unchanged (pool memory is bounded
@@ -200,6 +203,12 @@ class ShardedStore:
         shard_kwargs: dict[str, Any] = {"data_format": data_format}
         if pool_pages is not None:
             shard_kwargs["pool_pages"] = pool_pages
+        # Construction arguments are kept so a repaired shard can be
+        # rebuilt in place by reopen_shard() with identical settings.
+        self._shard_sync = sync
+        self._shard_fs = fs
+        self._shard_retry = retry
+        self._shard_kwargs = shard_kwargs
         # shard=i labels each member's paged-tree/buffer-pool metric
         # series, so per-shard hit rates stay separable on /metrics.
         self.shards: tuple[RecordStore, ...] = tuple(
@@ -214,6 +223,13 @@ class ShardedStore:
             )
             for i in range(count)
         )
+        #: Per-shard health states; persisted into the manifest on every
+        #: transition so quarantine survives a reopen.
+        self.health = ShardHealthMachine(count, **dict(health_config or {}))
+        self.health.load(health_doc)
+        self.health.on_change = self._health_changed
+        if self.root is not None:
+            self._write_manifest()
         # One worker per shard: workloads here are dominated by per-shard
         # WAL/snapshot I/O and (on multi-core hosts) per-shard CPU, so the
         # pool is sized to the partition width, not the host.  Lazy — a
@@ -236,7 +252,10 @@ class ShardedStore:
 
     # -- manifest ---------------------------------------------------------
 
-    def _load_manifest(self, manifest: Path, *, expected: int | None) -> int:
+    def _load_manifest(
+        self, manifest: Path, *, expected: int | None
+    ) -> tuple[int, Mapping[str, Any] | None]:
+        """(shard_count, persisted health doc) from an existing manifest."""
         try:
             doc = json.loads(manifest.read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError) as exc:
@@ -253,21 +272,36 @@ class ShardedStore:
                 f"store at {manifest.parent} has {count} shards; "
                 f"reopening with shards={expected} would misroute keys"
             )
-        return count
+        health = doc.get("health")
+        return count, health if isinstance(health, dict) else None
 
     def _write_manifest(self) -> None:
+        """(Re)write the manifest atomically.
+
+        ``shard_count`` and ``router`` are immutable (validated on load);
+        the only mutable section is ``health`` — non-healthy shard states
+        that must survive a reopen (a shard pulled for corruption stays
+        quarantined until it is repaired and readmitted).
+        """
         assert self.root is not None
         manifest = self.root / SHARD_MANIFEST
-        doc = {
+        doc: dict[str, Any] = {
             "version": _MANIFEST_VERSION,
             "shard_count": self.shard_count,
             "router": "crc32",
         }
-        if manifest.exists():
-            return
+        health = getattr(self, "health", None)
+        if health is not None:
+            health_doc = health.to_dict()
+            if health_doc:
+                doc["health"] = health_doc
         tmp = manifest.with_suffix(".json.tmp")
         tmp.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
         tmp.replace(manifest)
+
+    def _health_changed(self, shard: int, old: str, new: str, reason: str) -> None:
+        if self.root is not None:
+            self._write_manifest()
 
     def shard_path(self, index: int) -> Path:
         """Directory of shard ``index`` under the store root."""
@@ -374,6 +408,16 @@ class ShardedStore:
         or duplicate key aborts the whole batch with no shard touched.
         The per-shard commits then take the pre-validated fast path
         (ownership of the partitioned dicts transfers to the shards).
+
+        **Cross-shard partial-write contract**: once the per-shard
+        commits begin, the batch is no longer atomic *across* shards —
+        each shard's sub-batch commits (or fails) independently, and a
+        failure never rolls back sibling shards' committed work.  One
+        failing shard re-raises its error unchanged; several raise a
+        single :class:`~repro.errors.MultiShardError` naming every
+        failed shard, so the caller knows exactly which partitions to
+        retry (re-submitting the same records with
+        ``on_conflict="replace"`` is idempotent).
 
         When ``checkpoint_wal_bytes`` is configured, shards whose WAL
         crossed the bound are checkpointed (in parallel) before
@@ -669,18 +713,100 @@ class ShardedStore:
             self._checkpoint_counters[i].inc()
             self._records_gauges[i].set(len(self.shards[i]))
 
+    # -- fault tolerance ---------------------------------------------------
+
+    def quarantine(self, index: int, reason: str = "operator") -> None:
+        """Pull shard ``index`` out of service (persisted; idempotent).
+
+        Partial-mode scatter queries skip it; strict queries and direct
+        writes still reach it — quarantine routes *query fan-out*, it is
+        not an access-control wall.
+        """
+        if not 0 <= index < self.shard_count:
+            raise StorageError(f"no shard {index} (store has {self.shard_count})")
+        self.health.quarantine(index, reason)
+
+    def readmit(self, index: int, *, reopen: bool = False) -> None:
+        """Return a quarantined/repairing shard to service (persisted).
+
+        With ``reopen=True`` (disk stores only) the member store is
+        closed and rebuilt from its directory first, so a repair that
+        rewrote the shard's files (snapshot rollback + WAL replay) is
+        actually picked up rather than served from stale in-memory state.
+        """
+        if not 0 <= index < self.shard_count:
+            raise StorageError(f"no shard {index} (store has {self.shard_count})")
+        if reopen and self.root is not None:
+            self.reopen_shard(index)
+        self.health.readmit(index)
+
+    def reopen_shard(self, index: int) -> RecordStore:
+        """Close shard ``index`` and reopen it from its directory.
+
+        The re-admission step after a repair: recovery replays whatever
+        the repair left on disk (e.g. a full WAL chain after a snapshot
+        rollback).  Secondary-index *declarations* live only in the
+        snapshot, so a rollback loses them — they are re-declared here by
+        mirroring a sibling shard (declarations are uniform across
+        shards; the indexes themselves rebuild lazily).
+        """
+        if self.root is None:
+            raise StorageError("reopen_shard needs a disk-backed store")
+        self.shards[index].close()
+        store = RecordStore(
+            self.schema,
+            self.shard_path(index),
+            sync=self._shard_sync,
+            fs=self._shard_fs,
+            retry=self._shard_retry,
+            shard=index,
+            **self._shard_kwargs,
+        )
+        sibling = next(
+            (s for j, s in enumerate(self.shards) if j != index), None
+        )
+        if sibling is not None:
+            for field in sibling.indexed_fields:
+                if not store.has_index(field):
+                    kind = sibling.index_kind(field)
+                    if kind is not None:
+                        store.create_index(field, kind)
+            declared = set(store.composite_indexes())
+            for fields in sibling.composite_indexes():
+                if fields not in declared:
+                    store.create_composite_index(fields)
+        shards = list(self.shards)
+        shards[index] = store
+        # New tuple identity: ShardedQueryEngine watches this to refresh
+        # its per-shard engines.
+        self.shards = tuple(shards)
+        self._records_gauges[index].set(len(store))
+        _logging.info("storage.sharded.reopen", shard=index, records=len(store))
+        return store
+
     # -- parallel helper ---------------------------------------------------
 
     def _each_shard(self, tasks: list[tuple[int, Callable[[], Any]]]) -> list[Any]:
         """Run one callable per shard, in parallel when there are several.
 
-        The calling thread blocks until every task settles.  The first
-        exception (in shard order) propagates; later ones are logged and
-        dropped — shards are independent, so one shard's failure never
-        rolls back another's committed work (documented per caller).
+        The calling thread blocks until every task settles.  Shards are
+        independent durability domains, so one shard's failure never
+        rolls back another's committed work; a single failing shard
+        re-raises its exception unchanged, and when *several* fail the
+        caller gets one :class:`~repro.errors.MultiShardError` naming
+        every failed shard (instead of the first error hiding the rest).
+        Every failure also feeds the shard :attr:`health` machine.
         """
         if len(tasks) <= 1:
-            return [fn() for _, fn in tasks]
+            results = []
+            for i, fn in tasks:
+                try:
+                    results.append(fn())
+                except BaseException as exc:
+                    self.health.record_error(i, exc, source="write")
+                    raise
+                self.health.record_success(i)
+            return results
         pool = self._pool
         if pool is None:
             pool = self._pool = ThreadPoolExecutor(
@@ -700,21 +826,24 @@ class ShardedStore:
             (i, pool.submit(run, fn)) for i, fn in tasks
         ]
         results: list[Any] = []
-        first_exc: BaseException | None = None
+        failures: dict[int, BaseException] = {}
         for i, future in futures:
             try:
                 results.append(future.result())
             except BaseException as exc:  # noqa: BLE001 - re-raised below
-                if first_exc is None:
-                    first_exc = exc
-                else:
-                    _logging.warn(
-                        "storage.sharded.secondary_failure",
-                        shard=i,
-                        error=f"{type(exc).__name__}: {exc}",
-                    )
-        if first_exc is not None:
-            raise first_exc
+                failures[i] = exc
+                self.health.record_error(i, exc, source="write")
+                _logging.warn(
+                    "storage.sharded.shard_failure",
+                    shard=i,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            else:
+                self.health.record_success(i)
+        if len(failures) == 1:
+            raise next(iter(failures.values()))
+        if failures:
+            raise MultiShardError(failures) from next(iter(failures.values()))
         return results
 
     # -- lifecycle ---------------------------------------------------------

@@ -1,0 +1,197 @@
+"""fsck snapshot rollback and sharded worst-of aggregation.
+
+The repair policy under test: a damaged snapshot/pages file is only
+FATAL when the history needed to rebuild it is gone.  When the full
+chain (an older checkpoint or genesis, plus every later WAL segment)
+survives, fsck rolls the snapshot back and recovers the tail by WAL
+replay — zero committed-record loss.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.storage import RecordStore, ShardedStore, fsck, fsck_sharded
+from repro.storage.faultfs import FaultFS, InjectedFault, flip_bit_on_disk
+from repro.storage.fsck import FATAL, REPAIRABLE, REPAIRED
+from repro.storage.pages import PAGE_SIZE
+from repro.storage.schema import Field, FieldType, Schema
+
+SCHEMA = Schema(
+    [Field("id", FieldType.INT), Field("name", FieldType.STRING)],
+    primary_key="id",
+)
+
+
+def _rec(i: int) -> dict:
+    return {"id": i, "name": f"rec-{i:05d}"}
+
+
+def _records(store) -> list[dict]:
+    return sorted(store.scan(), key=lambda r: r["id"])
+
+
+class TestGenesisRollback:
+    """First checkpoint published its snapshot but died before reclaim:
+    segment 1 onward still exist, so the snapshot is expendable."""
+
+    def _build(self, directory):
+        fs = FaultFS()
+        store = RecordStore(
+            SCHEMA, directory, sync=True, data_format="paged", fs=fs
+        )
+        store.put_many([_rec(i) for i in range(120)])
+        fs.arm("fail_after_rename", path="snapshot.json")
+        with pytest.raises(InjectedFault):
+            store.checkpoint()
+        store.close()
+
+    def test_damaged_first_snapshot_rolls_back_to_genesis(self, tmp_path):
+        directory = tmp_path / "db"
+        self._build(directory)
+        pages = sorted(directory.glob("store.pages.*"))[-1]
+        flip_bit_on_disk(pages, byte_index=1 * PAGE_SIZE + 64, bit=1)
+
+        dry = fsck(directory)
+        assert dry.exit_code() == 1  # repairable, NOT fatal
+        assert any(
+            i.severity == REPAIRABLE and "roll back" in i.message
+            for i in dry.issues
+        )
+        assert not any(i.severity == FATAL for i in dry.issues)
+
+        report = fsck(directory, repair=True)
+        assert report.exit_code() == 0  # everything demoted to REPAIRED
+        assert any(i.severity == REPAIRED for i in report.issues)
+        assert not (directory / "snapshot.json").exists()  # back to genesis
+
+        with RecordStore(SCHEMA, directory, data_format="paged") as store:
+            assert _records(store) == [_rec(i) for i in range(120)]
+
+
+class TestCheckpointRollback:
+    """Second checkpoint published then died before reclaim: rollback
+    target is the *previous* checkpoint, with the tail replayed."""
+
+    def _build(self, directory):
+        fs = FaultFS()
+        store = RecordStore(
+            SCHEMA, directory, sync=True, data_format="paged", fs=fs
+        )
+        store.put_many([_rec(i) for i in range(120)])
+        store.checkpoint()
+        store.put_many([_rec(i) for i in range(120, 150)])
+        fs.arm("fail_after_rename", path="snapshot.json")
+        with pytest.raises(InjectedFault):
+            store.checkpoint()
+        store.close()
+
+    def test_rolls_back_to_previous_checkpoint(self, tmp_path):
+        directory = tmp_path / "db"
+        self._build(directory)
+        pages = sorted(directory.glob("store.pages.*"))[-1]
+        assert pages.name == "store.pages.000002"
+        flip_bit_on_disk(pages, byte_index=1 * PAGE_SIZE + 64, bit=1)
+
+        assert fsck(directory).exit_code() == 1
+        report = fsck(directory, repair=True)
+        assert report.exit_code() == 0
+
+        manifest = json.loads((directory / "snapshot.json").read_text())
+        assert manifest["pages"] == "store.pages.000001"
+        assert not (directory / "store.pages.000002").exists()
+
+        with RecordStore(SCHEMA, directory, data_format="paged") as store:
+            # Checkpoint 1 records AND the post-checkpoint tail survive.
+            assert _records(store) == [_rec(i) for i in range(150)]
+
+    def test_damaged_manifest_json_rolls_back_too(self, tmp_path):
+        directory = tmp_path / "db"
+        self._build(directory)
+        snap = directory / "snapshot.json"
+        snap.write_bytes(snap.read_bytes()[:-20] + b"garbage-not-json")
+
+        report = fsck(directory, repair=True)
+        assert report.exit_code() == 0
+        with RecordStore(SCHEMA, directory, data_format="paged") as store:
+            assert len(store) == 150
+
+
+class TestRollbackRefusal:
+    def test_fatal_when_history_was_reclaimed(self, tmp_path):
+        # A successful checkpoint reclaims the WAL; the pages file is
+        # then the only copy.  Damage must stay FATAL — a rollback here
+        # would silently lose committed records.
+        directory = tmp_path / "db"
+        with RecordStore(
+            SCHEMA, directory, sync=True, data_format="paged"
+        ) as store:
+            store.put_many([_rec(i) for i in range(120)])
+            store.checkpoint()
+        pages = sorted(directory.glob("store.pages.*"))[-1]
+        flip_bit_on_disk(pages, byte_index=1 * PAGE_SIZE + 64, bit=1)
+
+        assert fsck(directory).exit_code() == 2
+        report = fsck(directory, repair=True)
+        assert report.exit_code() == 2
+        assert any(i.severity == FATAL for i in report.issues)
+
+
+class TestShardedAggregation:
+    """fsck_sharded under mixed shard states: worst-of fold, full blast
+    radius, per-shard detail in ``--json``."""
+
+    def _mixed_root(self, tmp_path):
+        root = tmp_path / "db"
+        store = ShardedStore(
+            SCHEMA, root, shards=3, sync=True, data_format="paged"
+        )
+        store.put_many([_rec(i) for i in range(240)])
+        store.checkpoint()
+        store.put_many([_rec(i) for i in range(240, 270)])
+        store.close()
+        # Shard 0: clean.  Shard 1: repairable torn WAL tail.  Shard 2:
+        # fatal page rot (its WAL history was reclaimed by checkpoint).
+        wal = root / "shard-01" / "store.wal"
+        wal.write_bytes(wal.read_bytes() + b'W1 deadbeef 42 {"op":')
+        pages = sorted((root / "shard-02").glob("store.pages.*"))[-1]
+        flip_bit_on_disk(pages, byte_index=1 * PAGE_SIZE + 64, bit=1)
+        return root
+
+    def test_exit_code_is_worst_of(self, tmp_path):
+        root = self._mixed_root(tmp_path)
+        report = fsck_sharded(root)
+        assert report.exit_code() == 2
+        assert not report.ok
+        codes = [r.exit_code() for r in report.shard_reports]
+        assert codes == [0, 1, 2]
+
+    def test_fatal_shard_does_not_stop_the_walk(self, tmp_path):
+        root = self._mixed_root(tmp_path)
+        report = fsck_sharded(root)
+        # All three shards were visited even though one is fatal.
+        assert len(report.shard_reports) == 3
+
+    def test_repair_fixes_what_it_can(self, tmp_path):
+        root = self._mixed_root(tmp_path)
+        report = fsck_sharded(root, repair=True)
+        codes = [r.exit_code() for r in report.shard_reports]
+        assert codes == [0, 0, 2]  # torn tail repaired; rot stays fatal
+        assert report.exit_code() == 2
+
+    def test_cli_json_carries_per_shard_detail(self, tmp_path, capsys):
+        root = self._mixed_root(tmp_path)
+        code = main(["fsck", str(root), "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 2
+        assert doc["sharded"] is True
+        assert doc["exit_code"] == 2
+        shards = doc["shards"]
+        assert len(shards) == 3
+        assert [s["exit_code"] for s in shards] == [0, 1, 2]
+        # The damaged shards name their problems.
+        assert any("torn tail" in i["message"] for i in shards[1]["issues"])
+        assert any(i["severity"] == FATAL for i in shards[2]["issues"])

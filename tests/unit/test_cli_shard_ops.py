@@ -1,0 +1,68 @@
+"""CLI shard fault-tolerance commands: scrub, quarantine, readmit."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.corpus.wvlr import PUBLICATION_SCHEMA, populate_store
+from repro.storage import ShardedStore
+from repro.storage.faultfs import flip_bit_on_disk
+from repro.storage.pages import PAGE_SIZE
+
+
+@pytest.fixture()
+def root(tmp_path):
+    store = ShardedStore(
+        PUBLICATION_SCHEMA, tmp_path / "db", shards=3, data_format="paged"
+    )
+    populate_store(store)
+    store.checkpoint()
+    store.close()
+    return tmp_path / "db"
+
+
+class TestScrubCommand:
+    def test_clean_store_exits_zero(self, root, capsys):
+        assert main(["scrub", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_json_shape(self, root, capsys):
+        assert main(["scrub", str(root), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["scrub"]["clean"] is True
+        assert len(doc["scrub"]["shards"]) == 3
+        assert [row["state"] for row in doc["health"]] == ["healthy"] * 3
+
+    def test_damage_exits_one_and_quarantines(self, root, capsys):
+        snap = root / "shard-01" / "snapshot.json"
+        pages = root / "shard-01" / json.loads(snap.read_text())["pages"]
+        flip_bit_on_disk(pages, byte_index=1 * PAGE_SIZE + 80, bit=6)
+        assert main(["scrub", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "shard 1: quarantined" in out
+
+    def test_not_a_sharded_root_exits_two(self, tmp_path, capsys):
+        assert main(["scrub", str(tmp_path)]) == 2
+        assert "not a sharded store root" in capsys.readouterr().err
+
+
+class TestQuarantineReadmit:
+    def test_round_trip_persists_across_invocations(self, root, capsys):
+        assert main(
+            ["quarantine", str(root), "1", "--reason", "operator drill"]
+        ) == 0
+        assert "shard 1: quarantined" in capsys.readouterr().err
+        # A fresh scrub invocation (separate open) sees the quarantine.
+        main(["scrub", str(root), "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["health"][1]["state"] == "quarantined"
+        assert doc["health"][1]["reason"] == "operator drill"
+
+        assert main(["readmit", str(root), "1"]) == 0
+        err = capsys.readouterr().err
+        assert "shard 1: healthy" in err
+        main(["scrub", str(root), "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["health"][1]["state"] == "healthy"

@@ -152,6 +152,50 @@ class TestThresholdSources:
         (state,) = SLOEngine(ts, [rule]).evaluate(now_epoch=100.0)["firing"]
         assert state["value"] == 9
 
+    def test_gauge_max_over_labelled_family(self):
+        # One rule covers the whole storage.shard.health{shard=...}
+        # family: the worst shard's level is what fires the alert.
+        ts = TimeSeriesLog()
+        _seed(ts, 100.0, {}, gauges={
+            "storage.shard.health{shard=0}": 0,
+            "storage.shard.health{shard=1}": 2,
+            "storage.shard.health{shard=2}": 1,
+        })
+        rule = {
+            "name": "shard-quarantined", "kind": "threshold",
+            "source": "gauge_max", "metric": "storage.shard.health",
+            "op": ">=", "bound": 2, "severity": "page",
+        }
+        (state,) = SLOEngine(ts, [rule]).evaluate(now_epoch=100.0)["firing"]
+        assert state["value"] == 2
+
+    def test_gauge_max_quiet_when_fleet_healthy(self):
+        ts = TimeSeriesLog()
+        _seed(ts, 100.0, {}, gauges={
+            "storage.shard.health{shard=0}": 0,
+            "storage.shard.health{shard=1}": 1,
+        })
+        rule = {
+            "name": "shard-quarantined", "kind": "threshold",
+            "source": "gauge_max", "metric": "storage.shard.health",
+            "op": ">=", "bound": 2,
+        }
+        result = SLOEngine(ts, [rule]).evaluate(now_epoch=100.0)
+        assert result["firing"] == []
+        (state,) = result["rules"]
+        assert state["value"] == 1 and not state["no_data"]
+
+    def test_gauge_max_no_data_without_family(self):
+        ts = TimeSeriesLog()
+        _seed(ts, 100.0, {}, gauges={"other.gauge": 3})
+        rule = {
+            "name": "shard-quarantined", "kind": "threshold",
+            "source": "gauge_max", "metric": "storage.shard.health",
+            "op": ">=", "bound": 2,
+        }
+        (state,) = SLOEngine(ts, [rule]).evaluate(now_epoch=100.0)["rules"]
+        assert state["no_data"] is True and not state["firing"]
+
     def test_ratio_threshold_mean_latency(self):
         ts = TimeSeriesLog()
         _seed(ts, 100.0, {"query.seconds.sum": 0.0, "query.seconds.count": 0})

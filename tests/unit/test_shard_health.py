@@ -1,0 +1,192 @@
+"""ShardHealthMachine: transitions, thresholds, persistence, classification."""
+
+import pytest
+
+import errno
+
+from repro.errors import CorruptLogError, MultiShardError, ShardUnavailableError, StorageError
+from repro.storage import (
+    DEGRADED,
+    HEALTH_LEVELS,
+    HEALTHY,
+    QUARANTINED,
+    REPAIRING,
+    ShardHealthMachine,
+    classify_error,
+)
+from repro.storage.faultfs import TransientInjectedFault
+from repro.storage.pages import PageCorruptionError
+
+
+def _blip() -> OSError:
+    return OSError(errno.EAGAIN, "try again")
+
+
+class TestClassifyError:
+    def test_corruption_family(self):
+        assert classify_error(PageCorruptionError(3, "bad CRC")) == "corruption"
+        assert classify_error(CorruptLogError("bad frame")) == "corruption"
+
+    def test_transient(self):
+        assert classify_error(_blip()) == "transient"
+        assert classify_error(_blip()) == "transient"
+
+    def test_io_default(self):
+        assert classify_error(OSError(5, "I/O error")) == "io"
+        assert classify_error(StorageError("anything else")) == "io"
+
+
+class TestTransitions:
+    def test_initial_state_is_healthy(self):
+        machine = ShardHealthMachine(3)
+        for i in range(3):
+            assert machine.state(i) == HEALTHY
+            assert machine.is_serving(i)
+
+    def test_corruption_quarantines_immediately(self):
+        machine = ShardHealthMachine(2)
+        state = machine.record_error(1, PageCorruptionError(3, "CRC mismatch"))
+        assert state == QUARANTINED
+        assert not machine.is_serving(1)
+        assert machine.quarantined_shards() == (1,)
+        # Sibling untouched.
+        assert machine.state(0) == HEALTHY
+
+    def test_windowed_errors_degrade_then_quarantine(self):
+        machine = ShardHealthMachine(1, window=10, min_events=5)
+        # Below min_events nothing moves.
+        for _ in range(4):
+            machine.record_error(0, _blip())
+        assert machine.state(0) == HEALTHY
+        machine.record_error(0, _blip())
+        assert machine.state(0) == DEGRADED
+        # Degraded shards keep serving (partial mode still fans out).
+        assert machine.is_serving(0)
+        for _ in range(5):
+            machine.record_error(0, _blip())
+        assert machine.state(0) == QUARANTINED
+        assert not machine.is_serving(0)
+
+    def test_successes_heal_degraded(self):
+        machine = ShardHealthMachine(
+            1, window=10, min_events=5, recovery_successes=3
+        )
+        for _ in range(5):
+            machine.record_error(0, _blip())
+        assert machine.state(0) == DEGRADED
+        for _ in range(3):
+            machine.record_success(0)
+        assert machine.state(0) == HEALTHY
+
+    def test_quarantine_is_sticky_under_success(self):
+        # A quarantined shard must NOT heal from successes; only an
+        # explicit readmit (post-repair) returns it to service.
+        machine = ShardHealthMachine(1)
+        machine.quarantine(0, "operator")
+        for _ in range(100):
+            machine.record_success(0)
+        assert machine.state(0) == QUARANTINED
+
+    def test_repair_cycle(self):
+        machine = ShardHealthMachine(1)
+        machine.quarantine(0, "scrub found damage")
+        machine.start_repair(0)
+        assert machine.state(0) == REPAIRING
+        assert not machine.is_serving(0)
+        machine.repair_failed(0, "fsck exit 2")
+        assert machine.state(0) == QUARANTINED
+        machine.start_repair(0)
+        machine.readmit(0, "repair verified")
+        assert machine.state(0) == HEALTHY
+
+    def test_start_repair_requires_quarantine(self):
+        machine = ShardHealthMachine(1)
+        with pytest.raises(ValueError, match="not quarantined"):
+            machine.start_repair(0)
+
+    def test_readmit_clears_error_window(self):
+        machine = ShardHealthMachine(1, window=10, min_events=5)
+        for _ in range(5):
+            machine.record_error(0, _blip())
+        machine.quarantine(0, "operator")
+        machine.readmit(0)
+        # Old errors are gone: one new error must not re-degrade.
+        machine.record_error(0, _blip())
+        assert machine.state(0) == HEALTHY
+
+    def test_on_change_hook_sees_every_transition(self):
+        seen = []
+        machine = ShardHealthMachine(
+            2, on_change=lambda *args: seen.append(args)
+        )
+        machine.quarantine(1, "operator")
+        machine.start_repair(1)
+        machine.readmit(1, "done")
+        assert [s[:3] for s in seen] == [
+            (1, HEALTHY, QUARANTINED),
+            (1, QUARANTINED, REPAIRING),
+            (1, REPAIRING, HEALTHY),
+        ]
+
+
+class TestPersistence:
+    def test_to_dict_only_records_non_healthy(self):
+        machine = ShardHealthMachine(4)
+        machine.quarantine(2, "bit rot")
+        doc = machine.to_dict()
+        assert set(doc) == {"2"}
+        assert doc["2"]["state"] == QUARANTINED
+        assert doc["2"]["reason"] == "bit rot"
+
+    def test_round_trip(self):
+        machine = ShardHealthMachine(4)
+        machine.quarantine(1, "bit rot")
+        restored = ShardHealthMachine(4)
+        restored.load(machine.to_dict())
+        assert restored.state(1) == QUARANTINED
+        assert restored.reason(1) == "bit rot"
+        assert restored.state(0) == HEALTHY
+
+    def test_interrupted_repair_loads_as_quarantined(self):
+        machine = ShardHealthMachine(2)
+        machine.quarantine(0, "damage")
+        machine.start_repair(0)
+        restored = ShardHealthMachine(2)
+        restored.load(machine.to_dict())
+        # A crash mid-repair must not leave the shard serving or stuck
+        # in "repairing" — the repair has to be re-run from quarantine.
+        assert restored.state(0) == QUARANTINED
+
+    def test_load_ignores_unknown_shards_and_states(self):
+        machine = ShardHealthMachine(2)
+        machine.load({"9": {"state": QUARANTINED}, "0": {"state": "bogus"}})
+        assert machine.state(0) == HEALTHY
+        assert machine.state(1) == HEALTHY
+
+
+class TestRows:
+    def test_rows_shape(self):
+        machine = ShardHealthMachine(2)
+        machine.quarantine(1, "why")
+        rows = machine.rows()
+        assert len(rows) == 2
+        assert rows[0]["shard"] == 0 and rows[0]["state"] == HEALTHY
+        assert rows[1]["state"] == QUARANTINED
+        assert rows[1]["reason"] == "why"
+
+    def test_health_levels_cover_all_states(self):
+        assert set(HEALTH_LEVELS) == {HEALTHY, DEGRADED, QUARANTINED, REPAIRING}
+        assert HEALTH_LEVELS[HEALTHY] == 0
+        assert HEALTH_LEVELS[QUARANTINED] == 2
+
+
+class TestErrorTypes:
+    def test_multi_shard_error_names_every_shard(self):
+        exc = MultiShardError({3: OSError("x"), 1: ValueError("y")})
+        assert "shard 1" in str(exc) and "shard 3" in str(exc)
+        assert set(exc.failures) == {1, 3}
+
+    def test_shard_unavailable_carries_context(self):
+        exc = ShardUnavailableError(2, QUARANTINED, "bit rot")
+        assert exc.shard == 2 and exc.state == QUARANTINED
+        assert "shard 2 is quarantined" in str(exc)

@@ -224,3 +224,45 @@ class TestShardedFsck:
             store.put_many([_rec(i) for i in range(5)])
         assert not is_sharded_root(directory)
         assert fsck(directory).exit_code() == 0
+
+
+class TestPutManyPartialFailure:
+    """The cross-shard partial-write contract: every failed shard is
+    named, and the survivors' committed work stands."""
+
+    def test_single_shard_failure_reraises_unchanged(self, tmp_path):
+        from repro.storage.faultfs import FaultFS, InjectedFault
+
+        fs = FaultFS()
+        store = ShardedStore(
+            SCHEMA, tmp_path / "db", shards=3, fs=fs, sync=True
+        )
+        fs.arm("fail_before_fsync", path="shard-01/store.wal")
+        with pytest.raises(InjectedFault):
+            store.put_many([_rec(i) for i in range(60)])
+        store.close()
+
+    def test_multi_shard_failure_names_every_shard(self, tmp_path):
+        from repro.errors import MultiShardError
+        from repro.storage.faultfs import FaultFS
+
+        fs = FaultFS()
+        store = ShardedStore(
+            SCHEMA, tmp_path / "db", shards=3, fs=fs, sync=True
+        )
+        records = [_rec(i) for i in range(60)]
+        parts = {store.shard_for(r["id"]) for r in records}
+        assert parts == {0, 1, 2}  # the batch really spans all shards
+        fs.arm("fail_before_fsync", path="shard-00/store.wal")
+        fs.arm("fail_before_fsync", path="shard-02/store.wal")
+        with pytest.raises(MultiShardError) as err:
+            store.put_many(records)
+        assert set(err.value.failures) == {0, 2}
+        assert "shard 0" in str(err.value) and "shard 2" in str(err.value)
+        # The untouched shard's sub-batch committed and survives reopen.
+        store.close()
+        with ShardedStore(SCHEMA, tmp_path / "db", sync=True) as reopened:
+            kept = sorted(reopened.keys())
+            assert kept == sorted(
+                r["id"] for r in records if reopened.shard_for(r["id"]) == 1
+            )
